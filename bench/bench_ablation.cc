@@ -1,0 +1,128 @@
+// Ablation studies of the design choices DESIGN.md calls out:
+//
+//  A. Garbage collection (Def. 4 / Theorem 5): verifier memory and graph
+//     size with GC on vs off on a long-running workload.
+//  B. Certifier mirroring (§V-D): cost of the O(degree) SSI mirror vs the
+//     general incremental cycle detector vs a full DFS per commit.
+//  C. Clock-skew robustness: violations reported on a *correct* run as the
+//     per-client clock skew grows — the verifier must stay silent while
+//     skew is small relative to operation latency, and intervals stop
+//     being trustworthy once skew rivals it.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workload/ycsb.h"
+
+using namespace leopard;
+using namespace leopard::bench;
+
+namespace {
+
+void AblationGc() {
+  PrintHeader("Ablation A: garbage collection (YCSB, 24 clients)");
+  std::printf("%-8s | %-28s | %-28s\n", "txns", "with GC (s/MiB/graph)",
+              "no GC (s/MiB/graph)");
+  for (uint64_t txns : {5000ull, 10000ull, 20000ull}) {
+    YcsbWorkload::Options wo;
+    wo.record_count = 500;
+    YcsbWorkload workload(wo);
+    RunResult run = CollectTraces(&workload, Protocol::kMvcc2plSsi,
+                                  IsolationLevel::kSerializable, txns, 24,
+                                  /*seed=*/61 + txns);
+    VerifierConfig with_gc = ConfigForMiniDb(Protocol::kMvcc2plSsi,
+                                             IsolationLevel::kSerializable);
+    VerifierConfig no_gc = with_gc;
+    no_gc.enable_gc = false;
+
+    auto measure = [&run](const VerifierConfig& config) {
+      Leopard verifier(config);
+      Stopwatch timer;
+      for (const auto& t : run.MergedTraces()) verifier.Process(t);
+      verifier.Finish();
+      return std::tuple{timer.Seconds(), Mib(verifier.ApproxMemoryBytes()),
+                        verifier.GraphNodeCount()};
+    };
+    auto [s1, m1, g1] = measure(with_gc);
+    auto [s2, m2, g2] = measure(no_gc);
+    std::printf("%-8llu | %8.4fs %8.2fMiB %7zu | %8.4fs %8.2fMiB %7zu\n",
+                static_cast<unsigned long long>(txns), s1, m1, g1, s2, m2,
+                g2);
+  }
+}
+
+void AblationCertifier() {
+  PrintHeader("Ablation B: certifier implementations (20K txns BlindW-ish "
+              "YCSB)");
+  YcsbWorkload::Options wo;
+  wo.record_count = 500;
+  YcsbWorkload workload(wo);
+  RunResult run = CollectTraces(&workload, Protocol::kMvcc2plSsi,
+                                IsolationLevel::kSerializable, 20000, 24,
+                                /*seed=*/71);
+  std::printf("%-14s %10s %10s\n", "certifier", "seconds", "violations");
+  for (CertifierMode mode : {CertifierMode::kSsi, CertifierMode::kCycle,
+                             CertifierMode::kFullDfs}) {
+    VerifierConfig config = ConfigForMiniDb(Protocol::kMvcc2plSsi,
+                                            IsolationLevel::kSerializable);
+    config.certifier = mode;
+    if (mode == CertifierMode::kFullDfs) config.enable_gc = false;
+    Leopard verifier(config);
+    Stopwatch timer;
+    uint64_t budget = mode == CertifierMode::kFullDfs ? 4000 : 0;
+    uint64_t processed = 0;
+    for (const auto& t : run.MergedTraces()) {
+      verifier.Process(t);
+      // The full-DFS baseline is quadratic; cap its input.
+      if (budget && t.op == OpType::kCommit && ++processed >= budget) break;
+    }
+    verifier.Finish();
+    std::printf("%-14s %9.4fs %10llu%s\n", CertifierModeName(mode),
+                timer.Seconds(),
+                static_cast<unsigned long long>(
+                    verifier.stats().sc_violations),
+                budget ? "  (first 4000 commits only)" : "");
+  }
+}
+
+void AblationSkew() {
+  PrintHeader("Ablation C: clock-skew robustness (correct run, op latency "
+              "~50-180us)");
+  std::printf("%-12s %12s %12s\n", "skew(+/-ns)", "violations",
+              "deps_deduced");
+  for (int64_t skew : {0ll, 1000ll, 10000ll, 50000ll, 200000ll, 1000000ll}) {
+    Database::Options dbo;
+    dbo.lock_wait = LockWaitPolicy::kWaitDie;
+    Database db(dbo);
+    YcsbWorkload::Options wo;
+    wo.record_count = 200;
+    wo.theta = 0.7;
+    YcsbWorkload workload(wo);
+    SimOptions so;
+    so.clients = 12;
+    so.total_txns = 4000;
+    so.seed = 81;
+    so.max_clock_skew_ns = skew;
+    SimRunner runner(&db, &workload, so);
+    RunResult run = runner.Run();
+    VerifyOutcome out = VerifyWithLeopard(
+        run, ConfigForMiniDb(Protocol::kMvcc2plSsi,
+                             IsolationLevel::kSerializable));
+    std::printf("%-12lld %12llu %12llu\n", static_cast<long long>(skew),
+                static_cast<unsigned long long>(
+                    out.stats.TotalViolations()),
+                static_cast<unsigned long long>(out.stats.deps_deduced));
+  }
+  std::printf("(Interval certainty absorbs skew well below the operation "
+              "latency; once skew rivals it, intervals lie and spurious "
+              "reports appear — matching the paper's NTP requirement.)\n");
+}
+
+}  // namespace
+
+int main() {
+  AblationGc();
+  AblationCertifier();
+  AblationSkew();
+  return 0;
+}

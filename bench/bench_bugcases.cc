@@ -1,0 +1,158 @@
+// Reproduces §VI-F: the four TiDB bug case studies, recreated with
+// MiniDB fault injection, checked by Leopard and by the Elle-style
+// baseline. Leopard finds every one from the interval structure; the
+// Elle-style checker only reports the cases that form value-visible
+// anomalies or cycles.
+
+#include <cstdio>
+#include <vector>
+
+#include "baseline/elle_checker.h"
+#include "bench_util.h"
+#include "workload/ledger.h"
+#include "workload/ycsb.h"
+
+using namespace leopard;
+using namespace leopard::bench;
+
+namespace {
+
+struct CaseResult {
+  uint64_t injected = 0;
+  uint64_t leopard_violations = 0;
+  const char* leopard_kind = "";
+  bool elle_found = false;
+  /// Elle requires workloads whose written values are globally unique; on
+  /// the Ledger workload (counter arithmetic repeats values) its verdicts
+  /// are meaningless either way — the paper's workload-dependence point.
+  bool elle_applicable = true;
+};
+
+CaseResult RunCaseOn(Workload* workload, const FaultPlan& plan,
+                     Protocol protocol, IsolationLevel isolation,
+                     uint64_t seed) {
+  Database::Options dbo;
+  dbo.protocol = protocol;
+  dbo.isolation = isolation;
+  dbo.faults = plan;
+  dbo.fault_seed = seed;
+  Database db(dbo);
+  SimOptions so;
+  so.clients = 8;
+  so.total_txns = 800;
+  so.seed = seed;
+  SimRunner runner(&db, workload, so);
+  RunResult run = runner.Run();
+
+  CaseResult out;
+  out.injected = db.injected_fault_count();
+
+  Leopard verifier(ConfigForMiniDb(protocol, isolation));
+  ElleChecker elle;
+  for (const auto& t : run.MergedTraces()) {
+    verifier.Process(t);
+    elle.Add(t);
+  }
+  verifier.Finish();
+  const auto& s = verifier.stats();
+  out.leopard_violations = s.TotalViolations();
+  if (s.me_violations > 0) {
+    out.leopard_kind = "ME";
+  } else if (s.cr_violations > 0) {
+    out.leopard_kind = "CR";
+  } else if (s.fuw_violations > 0) {
+    out.leopard_kind = "FUW";
+  } else if (s.sc_violations > 0) {
+    out.leopard_kind = "SC";
+  }
+  out.elle_found = elle.Check().anomaly_found;
+  return out;
+}
+
+CaseResult RunCase(const FaultPlan& plan, Protocol protocol,
+                   IsolationLevel isolation, uint64_t seed) {
+  YcsbWorkload::Options wo;
+  wo.record_count = 40;
+  wo.theta = 0.8;
+  YcsbWorkload workload(wo);
+  return RunCaseOn(&workload, plan, protocol, isolation, seed);
+}
+
+CaseResult RunLedgerCase(const FaultPlan& plan, uint64_t seed) {
+  LedgerWorkload::Options wo;
+  wo.slots = 60;
+  LedgerWorkload workload(wo);
+  CaseResult out = RunCaseOn(&workload, plan, Protocol::kMvcc2plSsi,
+                             IsolationLevel::kSerializable, seed);
+  out.elle_applicable = false;
+  return out;
+}
+
+void Print(const char* name, const char* paper_bug, const CaseResult& r) {
+  const char* elle = !r.elle_applicable
+                         ? "n/a (needs unique-value workload)"
+                         : (r.elle_found ? "found" : "missed");
+  std::printf("%-28s %-34s %8llu %10llu %-5s %s\n", name, paper_bug,
+              static_cast<unsigned long long>(r.injected),
+              static_cast<unsigned long long>(r.leopard_violations),
+              r.leopard_kind, elle);
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("§VI-F bug cases: fault-injected MiniDB, Leopard vs Elle");
+  std::printf("%-28s %-34s %8s %10s %-5s %s\n", "injected fault",
+              "paper analogue", "faults", "leopard", "kind", "elle");
+
+  {
+    // Bug 1 ("dirty write": TiDB's no-op first update acquires no lock) and
+    // Bug 3 ("incompatible write locks" through the join path): writes that
+    // silently skip lock acquisition.
+    FaultPlan plan;
+    plan.drop_lock_prob = 0.15;
+    Print("dropped write locks",
+          "Bugs 1 & 3: dirty/unlocked writes",
+          RunCase(plan, Protocol::kMvcc2plSsi, IsolationLevel::kSerializable,
+                  101));
+  }
+  {
+    // Bug 2 ("inconsistent read": a read misses the latest committed
+    // update): stale snapshots.
+    FaultPlan plan;
+    plan.stale_snapshot_prob = 0.25;
+    plan.stale_snapshot_lag = 8;
+    Print("stale snapshots", "Bug 2: inconsistent read",
+          RunCase(plan, Protocol::kMvcc2plSsi,
+                  IsolationLevel::kReadCommitted, 102));
+  }
+  {
+    // Bug 4 ("a query returns two versions"): reads of deleted rows return
+    // the pre-delete version, on the delete-heavy Ledger workload.
+    FaultPlan plan;
+    plan.resurrect_deleted_prob = 0.4;
+    Print("resurrected deletes", "Bug 4: query returns two versions",
+          RunLedgerCase(plan, 103));
+  }
+  {
+    // Range scans silently dropping rows (the inverse visibility bug).
+    FaultPlan plan;
+    plan.hide_row_prob = 0.2;
+    Print("hidden scan rows", "lost row in range scan",
+          RunLedgerCase(plan, 105));
+  }
+  {
+    // SmallBank-on-TiDB style lost update: first-updater-wins silently
+    // skipped under snapshot isolation.
+    FaultPlan plan;
+    plan.skip_fuw_prob = 1.0;
+    Print("skipped first-updater-wins", "lost update (no cycle for Elle)",
+          RunCase(plan, Protocol::kMvcc2plSsi,
+                  IsolationLevel::kSnapshotIsolation, 104));
+  }
+
+  std::printf("\nPaper shape: every injected mechanism violation is caught "
+              "by Leopard; the cycle-based checker misses the lock and "
+              "lost-update cases that close no dependency cycle.\n");
+  return 0;
+}

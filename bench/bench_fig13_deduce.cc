@@ -1,0 +1,88 @@
+// Reproduces paper Fig. 13: effectiveness of dependency deduction. For
+// SmallBank, TPC-C, BlindW-W and BlindW-RW, the ratio β of conflicting
+// operation pairs with overlapping intervals is split into the part the
+// four mechanisms still *deduce* and the part that stays *uncertain*
+// (duplicate values in SmallBank, blind writes, ...).
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "workload/blindw.h"
+#include "workload/ledger.h"
+#include "workload/smallbank.h"
+#include "workload/tpcc.h"
+
+using namespace leopard;
+using namespace leopard::bench;
+
+namespace {
+
+void Report(const char* name, Workload* workload) {
+  Database::Options dbo;
+  dbo.protocol = Protocol::kMvcc2plSsi;
+  dbo.isolation = IsolationLevel::kSerializable;
+  dbo.lock_wait = LockWaitPolicy::kWaitDie;
+  Database db(dbo);
+  SimOptions so = ContendedSimOptions(/*clients=*/24, /*txns=*/15000,
+                                      /*seed=*/21);
+  SimRunner runner(&db, workload, so);
+  RunResult run = runner.Run();
+  VerifyOutcome out = VerifyWithLeopard(
+      run,
+      ConfigForMiniDb(Protocol::kMvcc2plSsi, IsolationLevel::kSerializable));
+  const auto& s = out.stats;
+  double total = static_cast<double>(s.deps_total);
+  double beta = total == 0 ? 0 : s.OverlappedTotal() / total;
+  double deduced = total == 0 ? 0 : s.DeducedOverlappedTotal() / total;
+  double uncertain = total == 0 ? 0 : s.UncertainTotal() / total;
+  std::printf("%-12s %10llu %9.5f %9.5f %9.5f   ww:%llu/%llu wr:%llu/%llu\n",
+              name, static_cast<unsigned long long>(s.deps_total), beta,
+              deduced, uncertain,
+              static_cast<unsigned long long>(s.deduced_overlapped_ww),
+              static_cast<unsigned long long>(s.overlapped_ww),
+              static_cast<unsigned long long>(s.deduced_overlapped_wr),
+              static_cast<unsigned long long>(s.overlapped_wr));
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Fig. 13: beta split into deduced vs uncertain");
+  std::printf("%-12s %10s %9s %9s %9s   %s\n", "workload", "deps", "beta",
+              "deduced", "uncertain", "deduced/overlapped by type");
+
+  {
+    SmallBankWorkload::Options o;
+    SmallBankWorkload w(o);
+    Report("SmallBank", &w);
+  }
+  {
+    TpccWorkload::Options o;
+    o.customers_per_district = 50;
+    TpccWorkload w(o);
+    Report("TPC-C", &w);
+  }
+  {
+    BlindWWorkload::Options o;
+    o.variant = BlindWVariant::kWriteOnly;
+    BlindWWorkload w(o);
+    Report("BlindW-W", &w);
+  }
+  {
+    BlindWWorkload::Options o;
+    o.variant = BlindWVariant::kReadWrite;
+    BlindWWorkload w(o);
+    Report("BlindW-RW", &w);
+  }
+  {
+    LedgerWorkload::Options o;
+    LedgerWorkload w(o);
+    Report("Ledger", &w);
+  }
+
+  std::printf("\nPaper shape: beta is small everywhere; BlindW overlaps are "
+              "fully deduced (unique values), while SmallBank (duplicate "
+              "amalgamate zeros) keeps a residue of uncertain wr pairs.\n");
+  return 0;
+}

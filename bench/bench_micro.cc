@@ -1,0 +1,104 @@
+// Component microbenchmarks (google-benchmark): per-trace costs of the
+// two-level pipeline, the mechanism-mirrored verifier, incremental cycle
+// detection and candidate-version-set computation.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "verifier/dependency_graph.h"
+#include "verifier/version_order.h"
+#include "workload/blindw.h"
+
+namespace leopard {
+namespace {
+
+const RunResult& SharedRun() {
+  static const RunResult& run = *new RunResult([] {
+    BlindWWorkload::Options wo;
+    wo.variant = BlindWVariant::kReadWriteRange;
+    BlindWWorkload workload(wo);
+    return bench::CollectTraces(&workload, Protocol::kMvcc2plSsi,
+                                IsolationLevel::kSerializable,
+                                /*txns=*/4000, /*clients=*/16, /*seed=*/3);
+  }());
+  return run;
+}
+
+void BM_PipelineDispatch(benchmark::State& state) {
+  const RunResult& run = SharedRun();
+  for (auto _ : state) {
+    TwoLevelPipeline pipeline(
+        static_cast<uint32_t>(run.client_traces.size()));
+    uint64_t n = 0;
+    for (ClientId c = 0; c < run.client_traces.size(); ++c) {
+      for (const auto& t : run.client_traces[c]) pipeline.Push(c, Trace(t));
+      pipeline.Close(c);
+    }
+    while (pipeline.Dispatch()) ++n;
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(run.TotalTraces()));
+}
+BENCHMARK(BM_PipelineDispatch);
+
+void BM_LeopardVerify(benchmark::State& state) {
+  const RunResult& run = SharedRun();
+  auto traces = run.MergedTraces();
+  auto config = ConfigForMiniDb(Protocol::kMvcc2plSsi,
+                                IsolationLevel::kSerializable);
+  for (auto _ : state) {
+    Leopard verifier(config);
+    for (const auto& t : traces) verifier.Process(t);
+    verifier.Finish();
+    benchmark::DoNotOptimize(verifier.stats().deps_deduced);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(traces.size()));
+}
+BENCHMARK(BM_LeopardVerify);
+
+void BM_PkEdgeInsert(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  for (auto _ : state) {
+    DependencyGraph graph(CertifierMode::kCycle);
+    for (TxnId i = 1; i <= static_cast<TxnId>(n); ++i) {
+      DependencyGraph::NodeInfo info;
+      info.first_op = {static_cast<Timestamp>(i * 10),
+                       static_cast<Timestamp>(i * 10 + 1)};
+      info.end = {static_cast<Timestamp>(i * 10 + 2),
+                  static_cast<Timestamp>(i * 10 + 3)};
+      graph.AddNode(i, info);
+      if (i > 1) {
+        benchmark::DoNotOptimize(graph.AddEdge(i - 1, i, DepType::kWw));
+      }
+      if (i > 2 && i % 3 == 0) {
+        // Back edges exercise the Pearce-Kelly reordering path.
+        benchmark::DoNotOptimize(graph.AddEdge(i, i - 2, DepType::kRw));
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_PkEdgeInsert)->Arg(1000)->Arg(10000);
+
+void BM_CandidateSet(benchmark::State& state) {
+  VersionOrderIndex index;
+  for (int i = 0; i < 64; ++i) {
+    Timestamp at = static_cast<Timestamp>(10 + i * 10);
+    index.Install(1, 1000 + i, i + 1, {at, at + 2});
+    auto* list = index.Get(1);
+    list->back().status = WriterStatus::kCommitted;
+    list->back().writer_commit = {at + 3, at + 4};
+  }
+  TimeInterval snapshot{500, 505};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Candidates(1, snapshot));
+  }
+}
+BENCHMARK(BM_CandidateSet);
+
+}  // namespace
+}  // namespace leopard
+
+BENCHMARK_MAIN();

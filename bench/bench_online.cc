@@ -1,0 +1,104 @@
+// Online verification (the paper's deployment mode, extending Fig. 12):
+// the verifier consumes the trace stream *while* client threads run the
+// workload. Reports the workload's throughput with and without the live
+// verifier attached (the tracing overhead the paper argues is negligible)
+// and the drain lag once the workload stops.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "harness/online_verifier.h"
+#include "harness/thread_runner.h"
+#include "workload/smallbank.h"
+#include "workload/ycsb.h"
+
+using namespace leopard;
+using namespace leopard::bench;
+
+namespace {
+
+struct OnlineRow {
+  double plain_tps = 0;
+  double attached_tps = 0;
+  double drain_seconds = 0;
+  uint64_t traces = 0;
+  uint64_t violations = 0;
+};
+
+OnlineRow RunOnce(Workload* workload, uint64_t txns) {
+  OnlineRow row;
+  ThreadRunnerOptions to;
+  to.threads = 4;
+  to.total_txns = txns;
+  to.seed = 7;
+  to.op_delay_ns = 20000;  // modeled engine latency
+
+  {
+    Database::Options dbo;
+    dbo.lock_wait = LockWaitPolicy::kWaitDie;
+    Database db(dbo);
+    ThreadRunner runner(&db, workload, to);
+    RunResult run = runner.Run();
+    row.plain_tps =
+        static_cast<double>(run.committed + run.aborted) / run.wall_seconds;
+  }
+  {
+    Database::Options dbo;
+    dbo.lock_wait = LockWaitPolicy::kWaitDie;
+    Database db(dbo);
+    OnlineVerifier online(to.threads,
+                          ConfigForMiniDb(Protocol::kMvcc2plSsi,
+                                          IsolationLevel::kSerializable));
+    to.on_trace = [&online](ClientId client, const Trace& trace) {
+      online.Push(client, Trace(trace));
+    };
+    ThreadRunner runner(&db, workload, to);
+    RunResult run = runner.Run();
+    row.attached_tps =
+        static_cast<double>(run.committed + run.aborted) / run.wall_seconds;
+    Stopwatch drain;
+    for (ClientId c = 0; c < to.threads; ++c) online.Close(c);
+    const Leopard& verifier = online.Wait();
+    row.drain_seconds = drain.Seconds();
+    row.traces = verifier.stats().traces_processed;
+    row.violations = verifier.stats().TotalViolations();
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Online verification: workload tps alone vs with live "
+              "verifier, and drain lag at workload end");
+  std::printf("%-10s %-8s %12s %12s %10s %10s %6s\n", "workload", "txns",
+              "plain-tps", "online-tps", "drain(s)", "traces", "bugs");
+  for (uint64_t txns : {2000ull, 5000ull, 10000ull}) {
+    {
+      YcsbWorkload::Options wo;
+      wo.record_count = 2000;
+      YcsbWorkload workload(wo);
+      OnlineRow row = RunOnce(&workload, txns);
+      std::printf("%-10s %-8llu %12.0f %12.0f %10.4f %10llu %6llu\n",
+                  "YCSB", static_cast<unsigned long long>(txns),
+                  row.plain_tps, row.attached_tps, row.drain_seconds,
+                  static_cast<unsigned long long>(row.traces),
+                  static_cast<unsigned long long>(row.violations));
+    }
+    {
+      SmallBankWorkload::Options wo;
+      SmallBankWorkload workload(wo);
+      OnlineRow row = RunOnce(&workload, txns);
+      std::printf("%-10s %-8llu %12.0f %12.0f %10.4f %10llu %6llu\n",
+                  "SmallBank", static_cast<unsigned long long>(txns),
+                  row.plain_tps, row.attached_tps, row.drain_seconds,
+                  static_cast<unsigned long long>(row.traces),
+                  static_cast<unsigned long long>(row.violations));
+    }
+  }
+  std::printf("\nExpected: attaching the live verifier costs little "
+              "workload throughput, and the residual drain after the last "
+              "transaction is near zero — verification keeps pace.\n");
+  return 0;
+}

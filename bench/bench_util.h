@@ -1,0 +1,122 @@
+#ifndef LEOPARD_BENCH_BENCH_UTIL_H_
+#define LEOPARD_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/sim_runner.h"
+#include "pipeline/two_level_pipeline.h"
+#include "trace/trace.h"
+#include "txn/database.h"
+#include "verifier/leopard.h"
+#include "verifier/mechanism_table.h"
+#include "workload/workload.h"
+
+namespace leopard {
+namespace bench {
+
+/// Wall-clock stopwatch in seconds.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Runs `workload` on MiniDB under the given protocol/isolation with the
+/// virtual-time harness and returns the trace streams.
+inline RunResult CollectTraces(Workload* workload, Protocol protocol,
+                               IsolationLevel isolation, uint64_t txns,
+                               uint32_t clients, uint64_t seed,
+                               const FaultPlan& faults = FaultPlan()) {
+  Database::Options dbo;
+  dbo.protocol = protocol;
+  dbo.isolation = isolation;
+  // Benchmarks model PostgreSQL-style blocking locks (waiters retry and
+  // their operation intervals stretch over the conflict).
+  dbo.lock_wait = LockWaitPolicy::kWaitDie;
+  dbo.faults = faults;
+  dbo.fault_seed = seed;
+  Database db(dbo);
+  SimOptions so;
+  so.clients = clients;
+  so.total_txns = txns;
+  so.seed = seed;
+  SimRunner runner(&db, workload, so);
+  return runner.Run();
+}
+
+/// Simulation settings for contention studies: back-to-back operations and
+/// wide service-latency variance, so conflicting operations actually
+/// overlap in time (Figs. 4 & 13).
+inline SimOptions ContendedSimOptions(uint32_t clients, uint64_t txns,
+                                      uint64_t seed) {
+  SimOptions so;
+  so.clients = clients;
+  so.total_txns = txns;
+  so.seed = seed;
+  so.think_max = 0;
+  so.service_min = 20000;
+  so.service_max = 800000;
+  so.tail_min = 10000;
+  so.tail_max = 200000;
+  return so;
+}
+
+struct VerifyOutcome {
+  double seconds = 0;
+  size_t peak_memory = 0;
+  VerifierStats stats;
+  uint64_t traces = 0;
+};
+
+/// Feeds a run's traces through the two-level pipeline into `verifier`,
+/// measuring wall time and (sampled) peak verifier memory.
+inline VerifyOutcome VerifyWithLeopard(const RunResult& run,
+                                       const VerifierConfig& config) {
+  Leopard verifier(config);
+  TwoLevelPipeline pipeline(
+      static_cast<uint32_t>(run.client_traces.size()));
+  VerifyOutcome out;
+  Stopwatch timer;
+  for (ClientId c = 0; c < run.client_traces.size(); ++c) {
+    for (const auto& t : run.client_traces[c]) pipeline.Push(c, Trace(t));
+    pipeline.Close(c);
+  }
+  uint64_t n = 0;
+  while (auto t = pipeline.Dispatch()) {
+    verifier.Process(*t);
+    if (++n % 4096 == 0) {
+      out.peak_memory = std::max(out.peak_memory,
+                                 verifier.ApproxMemoryBytes());
+    }
+  }
+  verifier.Finish();
+  out.seconds = timer.Seconds();
+  out.peak_memory = std::max(out.peak_memory, verifier.ApproxMemoryBytes());
+  out.stats = verifier.stats();
+  out.traces = n;
+  return out;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline double Mib(size_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+}  // namespace bench
+}  // namespace leopard
+
+#endif  // LEOPARD_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,72 @@
+// Verifying a complex application workload: TPC-C at SERIALIZABLE.
+//
+// The paper's point against workload-specific checkers: Leopard needs no
+// cooperation from the application — TPC-C's read-modify-writes, inserts
+// and range reads are verified from interval traces alone. This example
+// runs TPC-C on every protocol MiniDB offers at SERIALIZABLE and prints
+// per-mechanism verification statistics.
+//
+// Build & run:  ./build/examples/verify_tpcc
+
+#include <cstdio>
+
+#include "harness/sim_runner.h"
+#include "txn/database.h"
+#include "verifier/leopard.h"
+#include "verifier/mechanism_table.h"
+#include "workload/tpcc.h"
+
+int main() {
+  using namespace leopard;
+
+  const Protocol protocols[] = {Protocol::kMvcc2plSsi, Protocol::kMvcc2pl,
+                                Protocol::kMvccOcc, Protocol::kMvccTo,
+                                Protocol::k2pl};
+  std::printf("%-14s %8s %8s %8s %9s %9s %6s %s\n", "protocol", "commit",
+              "abort", "traces", "deps", "overlap", "bugs", "mechanisms");
+  bool any_violation = false;
+  for (Protocol protocol : protocols) {
+    Database::Options dbo;
+    dbo.protocol = protocol;
+    dbo.isolation = IsolationLevel::kSerializable;
+    Database db(dbo);
+
+    TpccWorkload::Options wo;
+    wo.scale_factor = 1;
+    wo.customers_per_district = 50;
+    TpccWorkload workload(wo);
+    SimOptions so;
+    so.clients = 8;
+    so.total_txns = 1500;
+    so.seed = 5 + static_cast<uint64_t>(protocol);
+    SimRunner runner(&db, &workload, so);
+    RunResult run = runner.Run();
+
+    VerifierConfig config =
+        ConfigForMiniDb(protocol, IsolationLevel::kSerializable);
+    Leopard verifier(config);
+    for (const auto& trace : run.MergedTraces()) verifier.Process(trace);
+    verifier.Finish();
+
+    const VerifierStats& s = verifier.stats();
+    char mechanisms[32];
+    std::snprintf(mechanisms, sizeof(mechanisms), "%s%s%s%s",
+                  config.check_cr ? "CR " : "", config.check_me ? "ME " : "",
+                  config.check_fuw ? "FUW " : "",
+                  config.check_sc ? "SC" : "");
+    std::printf("%-14s %8llu %8llu %8llu %9llu %9llu %6llu %s\n",
+                ProtocolName(protocol),
+                static_cast<unsigned long long>(run.committed),
+                static_cast<unsigned long long>(run.aborted),
+                static_cast<unsigned long long>(s.traces_processed),
+                static_cast<unsigned long long>(s.deps_deduced),
+                static_cast<unsigned long long>(s.OverlappedTotal()),
+                static_cast<unsigned long long>(s.TotalViolations()),
+                mechanisms);
+    any_violation |= s.TotalViolations() > 0;
+  }
+  std::printf("%s\n", any_violation
+                          ? "=> unexpected violations on a fault-free run"
+                          : "=> all protocols verified clean on TPC-C");
+  return any_violation ? 1 : 0;
+}

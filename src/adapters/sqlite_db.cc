@@ -1,0 +1,293 @@
+#include "adapters/sqlite_db.h"
+
+#include <sqlite3.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+
+namespace leopard {
+
+namespace {
+// Consecutive SQLITE_BUSY results a transaction tolerates before the
+// adapter rolls it back — the standard application-side resolution of
+// SQLite's shared->reserved upgrade deadlock.
+constexpr uint32_t kBusyLimit = 50;
+
+std::string TempPath() {
+  static std::atomic<uint64_t> counter{0};
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "/tmp/leopard_sqlite_%d_%llu.db",
+                static_cast<int>(getpid()),
+                static_cast<unsigned long long>(counter++));
+  return buf;
+}
+}  // namespace
+
+struct SqliteDb::Connection {
+  sqlite3* db = nullptr;
+  sqlite3_stmt* read = nullptr;
+  sqlite3_stmt* lock_row = nullptr;  // UPDATE kv SET v=v WHERE k=?
+  sqlite3_stmt* write = nullptr;
+  sqlite3_stmt* del = nullptr;
+  sqlite3_stmt* range = nullptr;
+  bool in_txn = false;
+  uint32_t busy_streak = 0;
+
+  ~Connection() {
+    for (sqlite3_stmt* stmt : {read, lock_row, write, del, range}) {
+      if (stmt != nullptr) sqlite3_finalize(stmt);
+    }
+    if (db != nullptr) sqlite3_close(db);
+  }
+};
+
+SqliteDb::SqliteDb(const Options& options) : options_(options) {
+  path_ = options.path.empty() ? TempPath() : options.path;
+  unlink_on_close_ = options.path.empty();
+  for (uint32_t i = 0; i < options_.connections; ++i) {
+    auto conn = std::make_unique<Connection>();
+    if (sqlite3_open(path_.c_str(), &conn->db) != SQLITE_OK) return;
+    sqlite3_busy_timeout(conn->db, 0);  // immediate BUSY: harness retries
+    if (i == 0) {
+      char* err = nullptr;
+      int rc = sqlite3_exec(
+          conn->db,
+          "CREATE TABLE IF NOT EXISTS kv (k INTEGER PRIMARY KEY, "
+          "v INTEGER NOT NULL);",
+          nullptr, nullptr, &err);
+      if (err != nullptr) sqlite3_free(err);
+      if (rc != SQLITE_OK) return;
+    }
+    auto prepare = [&conn](const char* sql, sqlite3_stmt** stmt) {
+      return sqlite3_prepare_v2(conn->db, sql, -1, stmt, nullptr) ==
+             SQLITE_OK;
+    };
+    if (!prepare("SELECT v FROM kv WHERE k = ?1;", &conn->read) ||
+        !prepare("UPDATE kv SET v = v WHERE k = ?1;", &conn->lock_row) ||
+        !prepare("INSERT OR REPLACE INTO kv (k, v) VALUES (?1, ?2);",
+                 &conn->write) ||
+        !prepare("DELETE FROM kv WHERE k = ?1;", &conn->del) ||
+        !prepare("SELECT k, v FROM kv WHERE k >= ?1 AND k < ?2 ORDER BY k;",
+                 &conn->range)) {
+      return;
+    }
+    connections_.push_back(std::move(conn));
+  }
+  init_ok_ = connections_.size() == options_.connections;
+}
+
+SqliteDb::~SqliteDb() {
+  connections_.clear();
+  if (unlink_on_close_) {
+    std::remove(path_.c_str());
+    std::remove((path_ + "-journal").c_str());
+    std::remove((path_ + "-wal").c_str());
+    std::remove((path_ + "-shm").c_str());
+  }
+}
+
+SqliteDb::Connection* SqliteDb::ConnFor(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = txn_conn_.find(txn);
+  if (it == txn_conn_.end()) return nullptr;
+  return connections_[it->second].get();
+}
+
+Status SqliteDb::Exec(Connection& conn, const char* sql) {
+  char* err = nullptr;
+  int rc = sqlite3_exec(conn.db, sql, nullptr, nullptr, &err);
+  std::string message = err != nullptr ? err : "";
+  if (err != nullptr) sqlite3_free(err);
+  if (rc == SQLITE_OK) return Status::Ok();
+  if (rc == SQLITE_BUSY) return Status::Busy("sqlite busy");
+  return Status::Internal("sqlite: " + message);
+}
+
+Status SqliteDb::Step(Connection& conn, sqlite3_stmt* stmt) {
+  int rc = sqlite3_step(stmt);
+  sqlite3_reset(stmt);
+  if (rc == SQLITE_DONE || rc == SQLITE_ROW) {
+    conn.busy_streak = 0;
+    return rc == SQLITE_ROW ? Status::Ok()
+                            : Status::NotFound("no row");
+  }
+  if (rc == SQLITE_BUSY) {
+    // Shared->reserved upgrade deadlocks never resolve by waiting; after a
+    // bounded streak, roll the transaction back like real applications do.
+    if (++conn.busy_streak >= kBusyLimit) {
+      Exec(conn, "ROLLBACK;");
+      conn.in_txn = false;
+      conn.busy_streak = 0;
+      return Status::Aborted("sqlite busy (deadlock resolution)");
+    }
+    return Status::Busy("sqlite busy");
+  }
+  return Status::Internal(sqlite3_errmsg(conn.db));
+}
+
+void SqliteDb::Load(const std::vector<WriteAccess>& rows) {
+  if (!init_ok_) return;
+  Connection& conn = *connections_[0];
+  Exec(conn, "BEGIN;");
+  for (const auto& row : rows) {
+    sqlite3_bind_int64(conn.write, 1,
+                       static_cast<sqlite3_int64>(row.key));
+    sqlite3_bind_int64(conn.write, 2,
+                       static_cast<sqlite3_int64>(row.value));
+    sqlite3_step(conn.write);
+    sqlite3_reset(conn.write);
+  }
+  Exec(conn, "COMMIT;");
+}
+
+TxnId SqliteDb::Begin(ClientId client) {
+  if (!init_ok_) return 0;
+  uint32_t conn_idx = client % options_.connections;
+  Connection& conn = *connections_[conn_idx];
+  if (!conn.in_txn) {
+    if (!Exec(conn, "BEGIN;").ok()) return 0;
+    conn.in_txn = true;
+    conn.busy_streak = 0;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  TxnId id = next_txn_++;
+  txn_conn_[id] = conn_idx;
+  return id;
+}
+
+StatusOr<Value> SqliteDb::Read(TxnId txn, Key key) {
+  Connection* conn = ConnFor(txn);
+  if (conn == nullptr || !conn->in_txn) {
+    return Status::FailedPrecondition("txn not active");
+  }
+  sqlite3_bind_int64(conn->read, 1, static_cast<sqlite3_int64>(key));
+  int rc = sqlite3_step(conn->read);
+  if (rc == SQLITE_ROW) {
+    Value value =
+        static_cast<Value>(sqlite3_column_int64(conn->read, 0));
+    sqlite3_reset(conn->read);
+    conn->busy_streak = 0;
+    return value;
+  }
+  sqlite3_reset(conn->read);
+  if (rc == SQLITE_DONE) {
+    conn->busy_streak = 0;
+    return Status::NotFound("no row");
+  }
+  if (rc == SQLITE_BUSY) {
+    if (++conn->busy_streak >= kBusyLimit) {
+      Exec(*conn, "ROLLBACK;");
+      conn->in_txn = false;
+      conn->busy_streak = 0;
+      return Status::Aborted("sqlite busy (deadlock resolution)");
+    }
+    return Status::Busy("sqlite busy");
+  }
+  return Status::Internal(sqlite3_errmsg(conn->db));
+}
+
+StatusOr<Value> SqliteDb::ReadForUpdate(TxnId txn, Key key) {
+  Connection* conn = ConnFor(txn);
+  if (conn == nullptr || !conn->in_txn) {
+    return Status::FailedPrecondition("txn not active");
+  }
+  // SQLite has no FOR UPDATE; a self-assignment UPDATE takes the reserved
+  // (writer) lock, giving the exclusive semantics the statement promises.
+  sqlite3_bind_int64(conn->lock_row, 1, static_cast<sqlite3_int64>(key));
+  Status locked = Step(*conn, conn->lock_row);
+  if (!locked.ok() && locked.code() != StatusCode::kNotFound) {
+    return locked;  // kBusy or kAborted
+  }
+  return Read(txn, key);
+}
+
+StatusOr<std::vector<ReadAccess>> SqliteDb::ReadRange(TxnId txn, Key first,
+                                                      uint32_t count) {
+  Connection* conn = ConnFor(txn);
+  if (conn == nullptr || !conn->in_txn) {
+    return Status::FailedPrecondition("txn not active");
+  }
+  sqlite3_bind_int64(conn->range, 1, static_cast<sqlite3_int64>(first));
+  sqlite3_bind_int64(conn->range, 2,
+                     static_cast<sqlite3_int64>(first + count));
+  std::vector<ReadAccess> out;
+  int rc;
+  while ((rc = sqlite3_step(conn->range)) == SQLITE_ROW) {
+    ReadAccess r;
+    r.key = static_cast<Key>(sqlite3_column_int64(conn->range, 0));
+    r.value = static_cast<Value>(sqlite3_column_int64(conn->range, 1));
+    out.push_back(r);
+  }
+  sqlite3_reset(conn->range);
+  if (rc == SQLITE_DONE) {
+    conn->busy_streak = 0;
+    return out;
+  }
+  if (rc == SQLITE_BUSY) {
+    if (++conn->busy_streak >= kBusyLimit) {
+      Exec(*conn, "ROLLBACK;");
+      conn->in_txn = false;
+      conn->busy_streak = 0;
+      return Status::Aborted("sqlite busy (deadlock resolution)");
+    }
+    return Status::Busy("sqlite busy");
+  }
+  return Status::Internal(sqlite3_errmsg(conn->db));
+}
+
+Status SqliteDb::Write(TxnId txn, Key key, Value value) {
+  Connection* conn = ConnFor(txn);
+  if (conn == nullptr || !conn->in_txn) {
+    return Status::FailedPrecondition("txn not active");
+  }
+  sqlite3_bind_int64(conn->write, 1, static_cast<sqlite3_int64>(key));
+  sqlite3_bind_int64(conn->write, 2, static_cast<sqlite3_int64>(value));
+  Status s = Step(*conn, conn->write);
+  return s.code() == StatusCode::kNotFound ? Status::Ok() : s;
+}
+
+Status SqliteDb::Delete(TxnId txn, Key key) {
+  Connection* conn = ConnFor(txn);
+  if (conn == nullptr || !conn->in_txn) {
+    return Status::FailedPrecondition("txn not active");
+  }
+  sqlite3_bind_int64(conn->del, 1, static_cast<sqlite3_int64>(key));
+  Status s = Step(*conn, conn->del);
+  return s.code() == StatusCode::kNotFound ? Status::Ok() : s;
+}
+
+Status SqliteDb::Commit(TxnId txn) {
+  Connection* conn = ConnFor(txn);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    txn_conn_.erase(txn);
+  }
+  if (conn == nullptr) return Status::FailedPrecondition("unknown txn");
+  if (!conn->in_txn) return Status::Aborted("txn already rolled back");
+  Status s = Exec(*conn, "COMMIT;");
+  if (s.ok()) {
+    conn->in_txn = false;
+    return s;
+  }
+  // COMMIT failed (e.g. BUSY): roll back so the connection is reusable.
+  Exec(*conn, "ROLLBACK;");
+  conn->in_txn = false;
+  return Status::Aborted("sqlite commit failed: " + s.message());
+}
+
+Status SqliteDb::Abort(TxnId txn) {
+  Connection* conn = ConnFor(txn);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    txn_conn_.erase(txn);
+  }
+  if (conn == nullptr) return Status::Ok();  // idempotent
+  if (conn->in_txn) {
+    Exec(*conn, "ROLLBACK;");
+    conn->in_txn = false;
+  }
+  return Status::Ok();
+}
+
+}  // namespace leopard

@@ -1,0 +1,93 @@
+#ifndef LEOPARD_BASELINE_COBRA_VERIFIER_H_
+#define LEOPARD_BASELINE_COBRA_VERIFIER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace leopard {
+
+/// Baseline reimplementation of Cobra's verification strategy (OSDI'20):
+/// serializability checking of a key-value history by building a polygraph —
+/// known wr edges (from globally-unique written values) plus, for every
+/// read, an either/or constraint against every other writer of the key —
+/// and searching for an acyclic resolution with constraint propagation and
+/// backtracking.
+///
+/// Unlike Leopard it ignores trace time intervals entirely, runs offline on
+/// the full history, and re-runs whole-graph reachability for feasibility
+/// checks — which is what produces the superlinear verification time and
+/// history-sized memory footprint of Fig. 14. With `enable_gc`, fence
+/// boundaries every `fence_every` transactions trigger Cobra's expensive
+/// garbage identification: fully-resolved prefix transactions are removed
+/// after splicing their reachability into their neighbours.
+class CobraVerifier {
+ public:
+  struct Options {
+    bool enable_gc = false;
+    uint32_t fence_every = 20;
+    /// Backtracking budget; searches beyond it give up (reported).
+    uint64_t max_steps = 2000000;
+  };
+
+  struct Report {
+    bool serializable = true;
+    bool gave_up = false;
+    std::string violation;
+    uint64_t txns = 0;
+    uint64_t constraints = 0;
+  };
+
+  explicit CobraVerifier(const Options& options) : options_(options) {}
+
+  /// Feeds one trace (any order within a client; commit traces drive epoch
+  /// boundaries when GC is on).
+  void Add(const Trace& trace);
+
+  /// Runs the polygraph search over everything added.
+  Report Verify();
+
+  size_t ApproxMemoryBytes() const;
+  size_t peak_memory_bytes() const { return peak_memory_; }
+
+ private:
+  struct PendingTxn {
+    std::vector<ReadAccess> reads;
+    std::vector<WriteAccess> writes;
+    bool committed = false;
+  };
+  struct Constraint {
+    // Either writer2 -> writer1 (w2 precedes the version read), or
+    // reader -> writer2 (the read precedes the other write).
+    TxnId writer1 = 0;
+    TxnId writer2 = 0;
+    TxnId reader = 0;
+    bool resolved = false;
+  };
+
+  bool Reachable(TxnId from, TxnId to) const;
+  void AddKnownEdge(TxnId from, TxnId to);
+  /// Propagates forced constraint choices; returns false on violation.
+  bool Propagate(Report& report);
+  bool Search(Report& report, uint64_t& steps);
+  void GcEpoch();
+  void NotePeak();
+
+  Options options_;
+  std::unordered_map<TxnId, PendingTxn> txns_;
+  std::unordered_map<Value, TxnId> value_writer_;
+  std::unordered_map<Key, std::vector<TxnId>> key_writers_;
+  std::unordered_map<TxnId, std::unordered_set<TxnId>> edges_;
+  std::vector<Constraint> constraints_;
+  std::vector<TxnId> commit_order_;
+  size_t peak_memory_ = 0;
+  uint64_t peak_samples_ = 0;
+};
+
+}  // namespace leopard
+
+#endif  // LEOPARD_BASELINE_COBRA_VERIFIER_H_

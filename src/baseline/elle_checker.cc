@@ -1,0 +1,163 @@
+#include "baseline/elle_checker.h"
+
+#include <sstream>
+
+namespace leopard {
+
+void ElleChecker::Add(const Trace& trace) {
+  auto& t = txns_[trace.txn];
+  switch (trace.op) {
+    case OpType::kRead: {
+      t.reads.insert(t.reads.end(), trace.read_set.begin(),
+                     trace.read_set.end());
+      break;
+    }
+    case OpType::kWrite: {
+      // A write to a key this transaction previously read makes the
+      // version order around that write manifest.
+      for (const auto& w : trace.write_set) {
+        for (const auto& r : t.reads) {
+          if (r.key == w.key) {
+            t.rmw_predecessors.emplace_back(w.key, r.value);
+            break;
+          }
+        }
+      }
+      t.writes.insert(t.writes.end(), trace.write_set.begin(),
+                      trace.write_set.end());
+      break;
+    }
+    case OpType::kCommit:
+      t.committed = true;
+      break;
+    case OpType::kAbort:
+      t.aborted = true;
+      break;
+  }
+}
+
+ElleChecker::Report ElleChecker::Check() {
+  Report report;
+  // Value -> committed writer; value -> aborted writer (for G1a);
+  // per-writer non-final values (for G1b).
+  std::unordered_map<Value, TxnId> committed_writer;
+  std::unordered_map<Value, TxnId> aborted_writer;
+  std::unordered_set<Value> intermediate_values;
+  for (const auto& [id, t] : txns_) {
+    if (t.aborted) {
+      for (const auto& w : t.writes) aborted_writer[w.value] = id;
+      continue;
+    }
+    if (!t.committed) continue;
+    ++report.txns;
+    std::unordered_map<Key, Value> final_value;
+    for (const auto& w : t.writes) {
+      auto [it, inserted] = final_value.try_emplace(w.key, w.value);
+      if (!inserted) {
+        intermediate_values.insert(it->second);  // overwritten in-txn
+        it->second = w.value;
+      }
+    }
+    for (const auto& [key, value] : final_value) {
+      committed_writer[value] = id;
+    }
+  }
+
+  auto add_edge = [this, &report](TxnId from, TxnId to) {
+    if (from == to) return;
+    if (edges_[from].insert(to).second) ++report.edges;
+  };
+
+  std::unordered_map<Value, std::vector<TxnId>> value_readers;
+  for (const auto& [id, t] : txns_) {
+    if (!t.committed) continue;
+    for (const auto& r : t.reads) {
+      auto ait = aborted_writer.find(r.value);
+      if (ait != aborted_writer.end()) {
+        std::ostringstream os;
+        os << "G1a aborted read: txn " << id << " read value " << r.value
+           << " written by aborted txn " << ait->second;
+        report.anomaly_found = true;
+        report.anomalies.push_back(os.str());
+        continue;
+      }
+      if (intermediate_values.contains(r.value)) {
+        std::ostringstream os;
+        os << "G1b intermediate read: txn " << id << " read value "
+           << r.value;
+        report.anomaly_found = true;
+        report.anomalies.push_back(os.str());
+      }
+      auto wit = committed_writer.find(r.value);
+      if (wit != committed_writer.end()) {
+        add_edge(wit->second, id);  // wr
+        value_readers[r.value].push_back(id);
+      }
+    }
+  }
+  // Manifest version orders from read-modify-writes: the read value's
+  // writer ww-precedes this transaction, and everyone else who read that
+  // value rw-precedes it.
+  for (const auto& [id, t] : txns_) {
+    if (!t.committed) continue;
+    for (const auto& [key, pred_value] : t.rmw_predecessors) {
+      auto wit = committed_writer.find(pred_value);
+      if (wit != committed_writer.end()) add_edge(wit->second, id);  // ww
+      auto rit = value_readers.find(pred_value);
+      if (rit != value_readers.end()) {
+        for (TxnId reader : rit->second) add_edge(reader, id);  // rw
+      }
+    }
+  }
+
+  std::string where;
+  if (HasCycle(where)) {
+    report.anomaly_found = true;
+    report.anomalies.push_back("dependency cycle: " + where);
+  }
+  return report;
+}
+
+bool ElleChecker::HasCycle(std::string& where) const {
+  std::unordered_map<TxnId, int> colour;  // 0 white, 1 grey, 2 black
+  struct Frame {
+    TxnId node;
+    std::vector<TxnId> targets;
+    size_t next = 0;
+  };
+  auto targets_of = [this](TxnId id) {
+    std::vector<TxnId> out;
+    auto it = edges_.find(id);
+    if (it != edges_.end()) out.assign(it->second.begin(), it->second.end());
+    return out;
+  };
+  for (const auto& [start, unused] : edges_) {
+    if (colour[start] != 0) continue;
+    std::vector<Frame> stack;
+    colour[start] = 1;
+    stack.push_back(Frame{start, targets_of(start)});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      if (frame.next >= frame.targets.size()) {
+        colour[frame.node] = 2;
+        stack.pop_back();
+        continue;
+      }
+      TxnId next = frame.targets[frame.next++];
+      int c = colour[next];
+      if (c == 1) {
+        std::ostringstream os;
+        os << "through txn " << next;
+        where = os.str();
+        return true;
+      }
+      if (c == 0) {
+        colour[next] = 1;
+        stack.push_back(Frame{next, targets_of(next)});
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace leopard

@@ -1,0 +1,38 @@
+#ifndef LEOPARD_BASELINE_NAIVE_VERIFIER_H_
+#define LEOPARD_BASELINE_NAIVE_VERIFIER_H_
+
+#include "verifier/config.h"
+#include "verifier/leopard.h"
+
+namespace leopard {
+
+/// The "naive cycle searching" comparator of Fig. 11: identical dependency
+/// deduction to Leopard, but the serialization certifier re-runs a
+/// from-scratch DFS over the whole dependency graph after every committed
+/// transaction, and garbage collection is disabled — so both verification
+/// time and memory grow superlinearly with the transaction scale.
+inline VerifierConfig MakeNaiveConfig(VerifierConfig base) {
+  base.check_sc = true;
+  base.certifier = CertifierMode::kFullDfs;
+  base.enable_gc = false;
+  return base;
+}
+
+class NaiveVerifier {
+ public:
+  explicit NaiveVerifier(const VerifierConfig& base)
+      : impl_(MakeNaiveConfig(base)) {}
+
+  void Process(const Trace& trace) { impl_.Process(trace); }
+  void Finish() { impl_.Finish(); }
+  const std::vector<BugDescriptor>& bugs() const { return impl_.bugs(); }
+  const VerifierStats& stats() const { return impl_.stats(); }
+  size_t ApproxMemoryBytes() const { return impl_.ApproxMemoryBytes(); }
+
+ private:
+  Leopard impl_;
+};
+
+}  // namespace leopard
+
+#endif  // LEOPARD_BASELINE_NAIVE_VERIFIER_H_

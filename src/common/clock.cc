@@ -1,0 +1,22 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace leopard {
+
+Timestamp MonotonicClock::Now() {
+  auto now = std::chrono::steady_clock::now().time_since_epoch();
+  Timestamp t = static_cast<Timestamp>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+  // Ensure strict global monotonicity even if the OS clock has coarse
+  // resolution: bump past the last handed-out value.
+  Timestamp prev = last_.load(std::memory_order_relaxed);
+  while (true) {
+    Timestamp next = t > prev ? t : prev + 1;
+    if (last_.compare_exchange_weak(prev, next, std::memory_order_relaxed)) {
+      return next;
+    }
+  }
+}
+
+}  // namespace leopard

@@ -1,0 +1,72 @@
+#ifndef LEOPARD_COMMON_CLOCK_H_
+#define LEOPARD_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/interval.h"
+
+namespace leopard {
+
+/// Abstract time source for tracers. Timestamps must be strictly increasing
+/// across successive Now() calls from the same thread.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual Timestamp Now() = 0;
+};
+
+/// Wall-clock-backed clock: std::chrono::steady_clock nanoseconds with an
+/// atomic tie-break so that concurrent callers never observe the same value.
+/// Used by the real-thread harness.
+class MonotonicClock : public Clock {
+ public:
+  Timestamp Now() override;
+
+ private:
+  std::atomic<Timestamp> last_{0};
+};
+
+/// Deterministic virtual clock driven by the simulation harness. The harness
+/// advances time explicitly; Now() reads the current virtual instant and
+/// bumps it by one tick so intervals are never degenerate.
+class VirtualClock : public Clock {
+ public:
+  Timestamp Now() override { return now_++; }
+
+  /// Moves virtual time forward to at least `t`.
+  void AdvanceTo(Timestamp t) {
+    if (t > now_) now_ = t;
+  }
+  Timestamp Peek() const { return now_; }
+
+ private:
+  Timestamp now_ = 1;
+};
+
+/// Per-client view of a shared clock with a constant offset, modelling
+/// imperfect software clock synchronization (NTP-style skew) between client
+/// machines in a distributed deployment (§IV-A). A skew of s makes every
+/// timestamp from this client read s ns late (positive) or early (negative,
+/// expressed via `negative`).
+class SkewedClock : public Clock {
+ public:
+  SkewedClock(Clock* base, int64_t skew_ns)
+      : base_(base), skew_ns_(skew_ns) {}
+
+  Timestamp Now() override {
+    Timestamp t = base_->Now();
+    if (skew_ns_ >= 0) return t + static_cast<Timestamp>(skew_ns_);
+    Timestamp mag = static_cast<Timestamp>(-skew_ns_);
+    return t > mag ? t - mag : 0;
+  }
+
+ private:
+  Clock* base_;       // not owned
+  int64_t skew_ns_;
+};
+
+}  // namespace leopard
+
+#endif  // LEOPARD_COMMON_CLOCK_H_

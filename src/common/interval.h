@@ -1,0 +1,64 @@
+#ifndef LEOPARD_COMMON_INTERVAL_H_
+#define LEOPARD_COMMON_INTERVAL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+
+namespace leopard {
+
+/// Timestamps are nanoseconds on a logical monotone axis (real or virtual).
+using Timestamp = uint64_t;
+
+constexpr Timestamp kMinTimestamp = 0;
+constexpr Timestamp kMaxTimestamp = UINT64_MAX;
+
+/// A half-abstract time interval (bef, aft) during which some instantaneous
+/// event — a write installing a version, a snapshot being taken, a lock being
+/// acquired or released — happened at an unknown exact point.
+///
+/// This is the paper's central abstraction (§IV-A): the Tracer records only
+/// `ts_bef` (immediately before issuing an operation to the DBMS) and
+/// `ts_aft` (immediately after it returned), so every interval is known to
+/// contain the instant the DBMS actually performed the operation.
+struct TimeInterval {
+  Timestamp bef = 0;  ///< timestamp taken before the operation was issued
+  Timestamp aft = 0;  ///< timestamp taken after the operation completed
+
+  constexpr TimeInterval() = default;
+  constexpr TimeInterval(Timestamp b, Timestamp a) : bef(b), aft(a) {}
+
+  friend constexpr bool operator==(const TimeInterval&,
+                                   const TimeInterval&) = default;
+};
+
+/// True iff every point of `a` precedes every point of `b`, i.e. the event
+/// in `a` certainly happened before the event in `b`.
+constexpr bool CertainlyBefore(const TimeInterval& a, const TimeInterval& b) {
+  return a.aft < b.bef;
+}
+
+/// True iff the two intervals overlap: neither event is certainly first.
+constexpr bool Overlaps(const TimeInterval& a, const TimeInterval& b) {
+  return !CertainlyBefore(a, b) && !CertainlyBefore(b, a);
+}
+
+/// True iff some point of `a` precedes some point of `b` — i.e. it is
+/// *possible* that the event in `a` happened before the event in `b`.
+/// (Endpoints are exclusive, so strict comparison.)
+constexpr bool PossiblyBefore(const TimeInterval& a, const TimeInterval& b) {
+  return a.bef < b.aft;
+}
+
+/// The smallest interval containing both (used for diagnostics only).
+constexpr TimeInterval Hull(const TimeInterval& a, const TimeInterval& b) {
+  return TimeInterval(std::min(a.bef, b.bef), std::max(a.aft, b.aft));
+}
+
+inline std::ostream& operator<<(std::ostream& os, const TimeInterval& iv) {
+  return os << "(" << iv.bef << "," << iv.aft << ")";
+}
+
+}  // namespace leopard
+
+#endif  // LEOPARD_COMMON_INTERVAL_H_

@@ -1,0 +1,41 @@
+#include "common/rng.h"
+
+namespace leopard {
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  assert(n > 0);
+  assert(theta >= 0.0 && theta < 1.0);
+  zetan_ = Zeta(n_, theta_);
+  zeta2_ = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+uint64_t ZipfianGenerator::Next(Rng& rng) {
+  if (theta_ == 0.0) return rng.Uniform(n_);
+  double u = rng.NextDouble();
+  double uz = u * zetan_;
+  uint64_t rank;
+  if (uz < 1.0) {
+    rank = 0;
+  } else if (uz < 1.0 + std::pow(0.5, theta_)) {
+    rank = 1;
+  } else {
+    rank = static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    if (rank >= n_) rank = n_ - 1;
+  }
+  return ScatterKey(rank, n_);
+}
+
+}  // namespace leopard

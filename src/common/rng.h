@@ -1,0 +1,82 @@
+#ifndef LEOPARD_COMMON_RNG_H_
+#define LEOPARD_COMMON_RNG_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace leopard {
+
+/// SplitMix64: tiny, fast, high-quality 64-bit PRNG. Deterministic given a
+/// seed, which every workload/harness component relies on for reproducible
+/// experiments.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) {
+    assert(n > 0);
+    return Next() % n;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) {
+    assert(lo <= hi);
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+/// Zipfian-distributed key generator over [0, n) with skew parameter theta,
+/// following the standard YCSB construction (Gray et al.). theta = 0 is
+/// uniform; theta -> 1 is highly skewed. Used to reproduce the contention
+/// sweeps of Fig. 4.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta);
+
+  /// Draws the next key in [0, n). Popular keys are scattered over the key
+  /// space via multiplicative hashing so that hot keys are not all adjacent.
+  uint64_t Next(Rng& rng);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2_;
+};
+
+/// Scatters a dense rank (0 = most popular) over the key space so adjacent
+/// ranks do not map to adjacent keys. Stateless and deterministic.
+inline uint64_t ScatterKey(uint64_t rank, uint64_t n) {
+  return (rank * 0x9e3779b97f4a7c15ULL) % n;
+}
+
+}  // namespace leopard
+
+#endif  // LEOPARD_COMMON_RNG_H_

@@ -1,0 +1,160 @@
+#include "harness/executor.h"
+
+#include <cassert>
+
+namespace leopard {
+
+void TxnExecutor::BeginTxn(const TxnSpec& spec) {
+  assert(!in_txn_);
+  spec_ = spec;
+  op_index_ = 0;
+  reads_this_txn_.clear();
+  txn_ = db_->Begin(client_);
+  in_txn_ = true;
+}
+
+Value TxnExecutor::EvalRule(const OpSpec& op) {
+  switch (op.rule) {
+    case ValueRule::kUnique:
+      return MakeClientValue(client_, value_counter_++);
+    case ValueRule::kConstant:
+      return op.constant;
+    case ValueRule::kSumOfReads: {
+      Value sum = 0;
+      for (Value v : reads_this_txn_) sum += v;  // wrapping sum is fine
+      return sum;
+    }
+    case ValueRule::kFirstReadPlusDelta: {
+      Value base = reads_this_txn_.empty() ? 0 : reads_this_txn_.front();
+      return base + static_cast<Value>(op.delta);
+    }
+    case ValueRule::kLastReadPlusDelta: {
+      Value base = reads_this_txn_.empty() ? 0 : reads_this_txn_.back();
+      return base + static_cast<Value>(op.delta);
+    }
+  }
+  return 0;
+}
+
+OpOutcome TxnExecutor::FinishAborted() {
+  // The engine usually initiated this abort itself; the explicit rollback
+  // is idempotent for MiniDB and lets adapters clean their session state.
+  db_->Abort(txn_);
+  in_txn_ = false;
+  OpOutcome out;
+  out.trace.op = OpType::kAbort;
+  out.trace.txn = txn_;
+  out.trace.client = client_;
+  out.txn_finished = true;
+  out.committed = false;
+  return out;
+}
+
+OpOutcome TxnExecutor::AbortTxn() {
+  assert(in_txn_);
+  return FinishAborted();
+}
+
+OpOutcome TxnExecutor::ExecuteNextOp() {
+  assert(in_txn_);
+  OpOutcome out;
+  out.trace.txn = txn_;
+  out.trace.client = client_;
+
+  if (op_index_ >= spec_.ops.size()) {
+    // Implicit terminal commit.
+    Status s = db_->Commit(txn_);
+    in_txn_ = false;
+    out.txn_finished = true;
+    out.committed = s.ok();
+    out.trace.op = s.ok() ? OpType::kCommit : OpType::kAbort;
+    return out;
+  }
+
+  const OpSpec& op = spec_.ops[op_index_++];
+  auto retry_op = [this, &out] {
+    --op_index_;  // re-execute the same op on the next call
+    out.retry = true;
+    return out;
+  };
+  switch (op.kind) {
+    case OpKind::kRead:
+    case OpKind::kReadForUpdate: {
+      bool locking = op.kind == OpKind::kReadForUpdate;
+      auto v = locking ? db_->ReadForUpdate(txn_, op.key)
+                       : db_->Read(txn_, op.key);
+      out.trace.for_update = locking;
+      if (v.ok()) {
+        out.trace.op = OpType::kRead;
+        out.trace.read_set.push_back(ReadAccess{op.key, *v});
+        reads_this_txn_.push_back(*v);
+        return out;
+      }
+      if (v.status().code() == StatusCode::kNotFound) {
+        out.trace.op = OpType::kRead;
+        out.trace.absent_reads.push_back(op.key);  // row absent
+        return out;
+      }
+      if (v.status().code() == StatusCode::kBusy) return retry_op();
+      return FinishAborted();
+    }
+    case OpKind::kRangeRead: {
+      auto rows = db_->ReadRange(txn_, op.key, op.range_count);
+      if (rows.ok()) {
+        out.trace.op = OpType::kRead;
+        out.trace.read_set = *rows;
+        out.trace.range_first = op.key;
+        out.trace.range_count = op.range_count;
+        for (const auto& r : out.trace.read_set) {
+          reads_this_txn_.push_back(r.value);
+        }
+        return out;
+      }
+      if (rows.status().code() == StatusCode::kBusy) return retry_op();
+      return FinishAborted();
+    }
+    case OpKind::kWrite: {
+      Value value = EvalRule(op);
+      Status s = db_->Write(txn_, op.key, value);
+      if (s.ok()) {
+        out.trace.op = OpType::kWrite;
+        out.trace.write_set.push_back(WriteAccess{op.key, value});
+        return out;
+      }
+      if (s.code() == StatusCode::kBusy) return retry_op();
+      return FinishAborted();
+    }
+    case OpKind::kDelete: {
+      Status s = db_->Delete(txn_, op.key);
+      if (s.ok()) {
+        out.trace.op = OpType::kWrite;
+        out.trace.write_set.push_back(
+            WriteAccess{op.key, kTombstoneValue});
+        return out;
+      }
+      if (s.code() == StatusCode::kBusy) return retry_op();
+      return FinishAborted();
+    }
+    case OpKind::kRangeWrite:
+    case OpKind::kRangeDelete: {
+      std::vector<WriteAccess> writes;
+      writes.reserve(op.range_count);
+      for (uint32_t i = 0; i < op.range_count; ++i) {
+        Value value = op.kind == OpKind::kRangeDelete ? kTombstoneValue
+                                                      : EvalRule(op);
+        writes.push_back(WriteAccess{op.key + i, value});
+      }
+      Status s = db_->WriteBatch(txn_, writes);
+      if (s.ok()) {
+        out.trace.op = OpType::kWrite;
+        out.trace.write_set = std::move(writes);
+        return out;
+      }
+      if (s.code() == StatusCode::kBusy) return retry_op();
+      return FinishAborted();
+    }
+  }
+  return FinishAborted();
+}
+
+}  // namespace leopard

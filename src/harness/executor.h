@@ -1,0 +1,75 @@
+#ifndef LEOPARD_HARNESS_EXECUTOR_H_
+#define LEOPARD_HARNESS_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.h"
+#include "txn/kv_interface.h"
+#include "workload/workload.h"
+
+namespace leopard {
+
+/// Result of executing one client operation against the database.
+struct OpOutcome {
+  /// Trace body for this operation: op kind, txn, client and read/write sets
+  /// are filled in; the *interval* is assigned by the runner that owns the
+  /// clock (virtual or real).
+  Trace trace;
+  /// True when this operation terminated the transaction (commit or abort).
+  bool txn_finished = false;
+  /// Valid when txn_finished: did the transaction commit?
+  bool committed = false;
+  /// True when the engine asked the client to wait and retry the same
+  /// operation (lock wait under the wait-die policy). No trace is emitted;
+  /// the runner re-executes later, keeping the original ts_bef so the
+  /// operation's final interval covers the whole wait.
+  bool retry = false;
+};
+
+/// Drives one client's transactions against a Database, one operation at a
+/// time. The step-wise interface lets the virtual-time simulator interleave
+/// operations from many logical clients deterministically, while the
+/// real-thread runner simply calls it in a loop.
+///
+/// The executor evaluates ValueRules (unique values, constants, values
+/// derived from prior reads) and appends the implicit commit operation after
+/// the last spec op.
+class TxnExecutor {
+ public:
+  TxnExecutor(ClientId client, TransactionalKv* db)
+      : client_(client), db_(db) {}
+
+  /// Starts a new transaction for `spec`. Must not be called while a
+  /// transaction is in flight.
+  void BeginTxn(const TxnSpec& spec);
+
+  bool InTxn() const { return in_txn_; }
+
+  /// Executes the next operation (or the final commit). The returned trace
+  /// body is ready except for its time interval.
+  OpOutcome ExecuteNextOp();
+
+  /// Force-aborts the in-flight transaction (runner-side timeout of a lock
+  /// wait); returns the abort outcome.
+  OpOutcome AbortTxn();
+
+  ClientId client() const { return client_; }
+
+ private:
+  Value EvalRule(const OpSpec& op);
+  OpOutcome FinishAborted();
+
+  ClientId client_;
+  TransactionalKv* db_;
+  TxnSpec spec_;
+  size_t op_index_ = 0;
+  bool in_txn_ = false;
+  TxnId txn_ = 0;
+  std::vector<Value> reads_this_txn_;
+  uint64_t value_counter_ = 0;
+};
+
+}  // namespace leopard
+
+#endif  // LEOPARD_HARNESS_EXECUTOR_H_

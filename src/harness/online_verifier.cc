@@ -1,0 +1,72 @@
+#include "harness/online_verifier.h"
+
+namespace leopard {
+
+OnlineVerifier::OnlineVerifier(uint32_t n_clients,
+                               const VerifierConfig& config)
+    : pipeline_(n_clients),
+      verifier_(config),
+      n_clients_(n_clients),
+      open_clients_(n_clients),
+      worker_([this] { Loop(); }) {}
+
+OnlineVerifier::~OnlineVerifier() {
+  {
+    // Force-close any stream the caller forgot, so the worker can drain
+    // and terminate (Close is idempotent).
+    std::lock_guard<std::mutex> lock(mu_);
+    for (ClientId c = 0; c < n_clients_; ++c) pipeline_.Close(c);
+    open_clients_ = 0;
+  }
+  producer_cv_.notify_one();
+  Wait();
+  worker_.join();
+}
+
+void OnlineVerifier::Push(ClientId client, Trace trace) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pipeline_.Push(client, std::move(trace));
+  }
+  producer_cv_.notify_one();
+}
+
+void OnlineVerifier::Close(ClientId client) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pipeline_.Close(client);
+    if (open_clients_ > 0) --open_clients_;
+  }
+  producer_cv_.notify_one();
+}
+
+const Leopard& OnlineVerifier::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return finished_; });
+  return verifier_;
+}
+
+uint64_t OnlineVerifier::verified_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return verified_;
+}
+
+void OnlineVerifier::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    // Drain everything currently dispatchable. Process() runs under the
+    // lock: Leopard itself is single-threaded by design, and producers only
+    // contend for the short Push critical section.
+    while (auto trace = pipeline_.Dispatch()) {
+      verifier_.Process(*trace);
+      ++verified_;
+    }
+    if (open_clients_ == 0 && pipeline_.Exhausted()) break;
+    producer_cv_.wait(lock);
+  }
+  verifier_.Finish();
+  finished_ = true;
+  done_cv_.notify_all();
+}
+
+}  // namespace leopard

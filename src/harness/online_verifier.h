@@ -1,0 +1,58 @@
+#ifndef LEOPARD_HARNESS_ONLINE_VERIFIER_H_
+#define LEOPARD_HARNESS_ONLINE_VERIFIER_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "pipeline/two_level_pipeline.h"
+#include "verifier/leopard.h"
+
+namespace leopard {
+
+/// The paper's deployment mode: verification runs *while* the workload
+/// executes. Client threads push traces as they produce them; a dedicated
+/// verifier thread drains the two-level pipeline and feeds Leopard, so
+/// violations surface moments after the offending operations commit.
+///
+/// Thread-safety: Push/Close may be called concurrently from any number of
+/// producer threads; the verifier thread owns Dispatch and the Leopard
+/// instance. Wait() blocks until every pushed trace has been verified.
+class OnlineVerifier {
+ public:
+  OnlineVerifier(uint32_t n_clients, const VerifierConfig& config);
+  ~OnlineVerifier();
+  OnlineVerifier(const OnlineVerifier&) = delete;
+  OnlineVerifier& operator=(const OnlineVerifier&) = delete;
+
+  /// Appends a trace from `client` (ts_bef non-decreasing per client).
+  void Push(ClientId client, Trace trace);
+
+  /// Marks `client`'s stream as finished.
+  void Close(ClientId client);
+
+  /// Blocks until all pushed traces are verified (all clients must have
+  /// been closed), then returns the final verifier.
+  const Leopard& Wait();
+
+  /// Traces verified so far (approximate while running).
+  uint64_t verified_count() const;
+
+ private:
+  void Loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable producer_cv_;  // signals: new input available
+  std::condition_variable done_cv_;      // signals: verification finished
+  TwoLevelPipeline pipeline_;
+  Leopard verifier_;
+  uint64_t verified_ = 0;
+  uint32_t n_clients_;
+  uint32_t open_clients_;
+  bool finished_ = false;
+  std::thread worker_;
+};
+
+}  // namespace leopard
+
+#endif  // LEOPARD_HARNESS_ONLINE_VERIFIER_H_

@@ -1,0 +1,39 @@
+#ifndef LEOPARD_HARNESS_RUN_RESULT_H_
+#define LEOPARD_HARNESS_RUN_RESULT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace leopard {
+
+/// Everything a workload run produces: the per-client trace streams (each
+/// sorted by ts_bef, as a sequential client naturally emits them) and run
+/// statistics. client_traces[0] additionally begins with the bulk-load
+/// traces of pseudo-transaction 0 so verifiers learn the initial versions.
+struct RunResult {
+  std::vector<std::vector<Trace>> client_traces;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t total_ops = 0;
+  /// Virtual nanoseconds spanned by the run (SimRunner) or wall nanoseconds
+  /// (ThreadRunner).
+  Timestamp duration_ns = 0;
+  /// Real time the run took to execute, for throughput comparisons.
+  double wall_seconds = 0;
+
+  uint64_t TotalTraces() const {
+    uint64_t n = 0;
+    for (const auto& v : client_traces) n += v.size();
+    return n;
+  }
+
+  /// All traces merged and sorted by ts_bef (convenience for offline
+  /// verifiers and tests).
+  std::vector<Trace> MergedTraces() const;
+};
+
+}  // namespace leopard
+
+#endif  // LEOPARD_HARNESS_RUN_RESULT_H_

@@ -1,0 +1,165 @@
+#include "harness/sim_runner.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace leopard {
+
+std::vector<Trace> RunResult::MergedTraces() const {
+  std::vector<Trace> all;
+  all.reserve(TotalTraces());
+  for (const auto& v : client_traces) {
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Trace& a, const Trace& b) {
+                     return a.ts_bef() < b.ts_bef();
+                   });
+  return all;
+}
+
+SimRunner::SimRunner(TransactionalKv* db, Workload* workload,
+                     const SimOptions& options)
+    : db_(db), workload_(workload), options_(options) {}
+
+uint64_t SimRunner::Draw(Rng& rng, uint64_t lo, uint64_t hi) {
+  return lo >= hi ? lo : rng.UniformRange(lo, hi);
+}
+
+uint64_t SimRunner::DrawScaled(ClientState& c, uint64_t lo, uint64_t hi) {
+  return static_cast<uint64_t>(static_cast<double>(Draw(c.rng, lo, hi)) *
+                               c.speed);
+}
+
+bool SimRunner::TargetReached(const RunResult& result) const {
+  uint64_t finished =
+      options_.retry_aborted ? result.committed
+                             : result.committed + result.aborted;
+  return finished >= options_.total_txns;
+}
+
+void SimRunner::ScheduleNext(ClientState& c, RunResult& result) {
+  if (!c.exec->InTxn()) {
+    if (TargetReached(result)) {
+      c.done = true;
+      c.scheduled = false;
+      return;
+    }
+    c.last_spec = workload_->NextTransaction(c.rng);
+    c.exec->BeginTxn(c.last_spec);
+  }
+  c.pending_bef = c.now;
+  c.pending_service =
+      c.now + DrawScaled(c, options_.service_min, options_.service_max);
+  c.scheduled = true;
+}
+
+RunResult SimRunner::Run() {
+  auto wall_start = std::chrono::steady_clock::now();
+  RunResult result;
+  result.client_traces.resize(options_.clients);
+
+  // Bulk-load initial rows as pseudo-transaction 0, traced at the very
+  // beginning of the virtual timeline so verifiers see the initial versions.
+  std::vector<WriteAccess> rows = workload_->InitialRows();
+  db_->Load(rows);
+  constexpr Timestamp kWorkloadStart = 1000;
+  if (!rows.empty() && !result.client_traces.empty()) {
+    result.client_traces[0].push_back(
+        MakeWriteTrace(kLoadTxnId, 0, TimeInterval(1, 2), std::move(rows)));
+    result.client_traces[0].push_back(
+        MakeCommitTrace(kLoadTxnId, 0, TimeInterval(3, 4)));
+  }
+
+  std::vector<ClientState> clients;
+  clients.reserve(options_.clients);
+  for (uint32_t i = 0; i < options_.clients; ++i) {
+    ClientState c(options_.seed * 0x100000001b3ULL + i + 1);
+    c.exec = std::make_unique<TxnExecutor>(static_cast<ClientId>(i), db_);
+    if (options_.speed_spread > 1.0) {
+      c.speed = 1.0 + c.rng.NextDouble() * (options_.speed_spread - 1.0);
+    }
+    c.now = kWorkloadStart + DrawScaled(c, options_.think_min,
+                                        options_.think_max);
+    if (options_.max_clock_skew_ns > 0) {
+      uint64_t span = static_cast<uint64_t>(options_.max_clock_skew_ns) * 2;
+      c.skew = static_cast<int64_t>(c.rng.Uniform(span + 1)) -
+               options_.max_clock_skew_ns;
+    }
+    clients.push_back(std::move(c));
+  }
+  for (auto& c : clients) ScheduleNext(c, result);
+
+  Timestamp virtual_end = kWorkloadStart;
+  while (true) {
+    // Pick the client whose service point comes next on the virtual clock.
+    ClientState* next = nullptr;
+    for (auto& c : clients) {
+      if (!c.scheduled) continue;
+      if (next == nullptr || c.pending_service < next->pending_service) {
+        next = &c;
+      }
+    }
+    if (next == nullptr) break;  // all clients done
+
+    OpOutcome outcome = next->exec->ExecuteNextOp();
+    if (outcome.retry) {
+      if (++next->retries_this_op <= options_.max_retries) {
+        // Lock wait: retry the same operation later. ts_bef is unchanged,
+        // so the eventual trace interval covers the whole wait — exactly
+        // how a blocked statement looks from the client side.
+        next->pending_service +=
+            DrawScaled(*next, options_.retry_min, options_.retry_max);
+        continue;
+      }
+      outcome = next->exec->AbortTxn();  // lock-wait timeout
+    }
+    next->retries_this_op = 0;
+    Timestamp ts_aft =
+        next->pending_service +
+        DrawScaled(*next, options_.tail_min, options_.tail_max);
+    // Apply this client's constant clock skew to the recorded interval.
+    auto skewed = [next](Timestamp t) {
+      if (next->skew >= 0) return t + static_cast<Timestamp>(next->skew);
+      Timestamp mag = static_cast<Timestamp>(-next->skew);
+      return t > mag ? t - mag : 0;
+    };
+    outcome.trace.interval = TimeInterval(skewed(next->pending_bef),
+                                          skewed(ts_aft));
+    ClientId cid = next->exec->client();
+    result.client_traces[cid].push_back(std::move(outcome.trace));
+    ++result.total_ops;
+    if (outcome.txn_finished) {
+      if (outcome.committed) {
+        ++result.committed;
+      } else {
+        ++result.aborted;
+        if (options_.retry_aborted) {
+          // Re-run the same transaction as a fresh attempt.
+          next->now = ts_aft + DrawScaled(*next, options_.think_min,
+                                          options_.think_max);
+          virtual_end = std::max(virtual_end, ts_aft);
+          next->exec->BeginTxn(next->last_spec);
+          next->pending_bef = next->now;
+          next->pending_service =
+              next->now + DrawScaled(*next, options_.service_min,
+                                     options_.service_max);
+          continue;
+        }
+      }
+    }
+    next->now = ts_aft + DrawScaled(*next, options_.think_min,
+                                    options_.think_max);
+    virtual_end = std::max(virtual_end, ts_aft);
+    ScheduleNext(*next, result);
+  }
+
+  result.duration_ns = virtual_end - kWorkloadStart;
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return result;
+}
+
+}  // namespace leopard

@@ -1,0 +1,97 @@
+#ifndef LEOPARD_HARNESS_SIM_RUNNER_H_
+#define LEOPARD_HARNESS_SIM_RUNNER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "harness/executor.h"
+#include "harness/run_result.h"
+#include "txn/kv_interface.h"
+#include "workload/workload.h"
+
+namespace leopard {
+
+/// Deterministic virtual-time workload driver.
+///
+/// Each logical client is a sequential state machine; the scheduler executes
+/// the operation whose *service point* (the instant the DBMS processes it)
+/// comes next on the virtual clock. Every operation gets a trace interval
+/// [ts_bef, ts_aft] containing its service point, with configurable service
+/// and tail latencies — so interval overlap between clients (the paper's β)
+/// is a controllable function of latency vs. think time, reproducible on a
+/// single core.
+///
+/// Optional per-client clock skew shifts recorded timestamps, modelling
+/// imperfect NTP synchronization across client machines.
+struct SimOptions {
+  uint32_t clients = 8;
+  /// Stop once this many transactions finished (committed when
+  /// retry_aborted, otherwise committed+aborted).
+  uint64_t total_txns = 1000;
+  uint64_t seed = 42;
+  bool retry_aborted = false;
+
+  // Virtual latency model (nanoseconds).
+  uint64_t service_min = 40000;  ///< ts_bef -> service point
+  uint64_t service_max = 120000;
+  uint64_t tail_min = 10000;     ///< service point -> ts_aft
+  uint64_t tail_max = 60000;
+  uint64_t think_min = 0;        ///< ts_aft -> next ts_bef
+  uint64_t think_max = 30000;
+  /// Backoff before re-attempting an operation the engine asked to retry
+  /// (wait-die lock wait). The op keeps its original ts_bef, so its final
+  /// trace interval spans the whole wait.
+  uint64_t retry_min = 40000;
+  uint64_t retry_max = 120000;
+  /// Retries per op before the runner gives up and aborts the transaction.
+  uint32_t max_retries = 10000;
+
+  /// Per-client clock skew drawn uniformly from [-max_clock_skew_ns, +max].
+  int64_t max_clock_skew_ns = 0;
+
+  /// Per-client speed heterogeneity: client i's latencies are multiplied by
+  /// a factor drawn uniformly from [1, speed_spread]. Values > 1 reproduce
+  /// the uneven timestamp distributions that stress the two-level
+  /// pipeline's watermark (Fig. 10).
+  double speed_spread = 1.0;
+};
+
+class SimRunner {
+ public:
+  SimRunner(TransactionalKv* db, Workload* workload,
+            const SimOptions& options);
+
+  /// Loads the workload's initial rows and runs to completion.
+  RunResult Run();
+
+ private:
+  struct ClientState {
+    std::unique_ptr<TxnExecutor> exec;
+    Rng rng;
+    TxnSpec last_spec;
+    Timestamp now = 0;
+    Timestamp pending_bef = 0;
+    Timestamp pending_service = 0;
+    int64_t skew = 0;
+    double speed = 1.0;
+    uint32_t retries_this_op = 0;
+    bool scheduled = false;
+    bool done = false;
+
+    explicit ClientState(uint64_t seed) : rng(seed) {}
+  };
+
+  void ScheduleNext(ClientState& c, RunResult& result);
+  bool TargetReached(const RunResult& result) const;
+  uint64_t Draw(Rng& rng, uint64_t lo, uint64_t hi);
+  uint64_t DrawScaled(ClientState& c, uint64_t lo, uint64_t hi);
+
+  TransactionalKv* db_;
+  Workload* workload_;
+  SimOptions options_;
+};
+
+}  // namespace leopard
+
+#endif  // LEOPARD_HARNESS_SIM_RUNNER_H_

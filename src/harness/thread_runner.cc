@@ -1,0 +1,106 @@
+#include "harness/thread_runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "harness/executor.h"
+
+namespace leopard {
+
+RunResult ThreadRunner::Run() {
+  auto wall_start = std::chrono::steady_clock::now();
+  RunResult result;
+  result.client_traces.resize(options_.threads);
+
+  std::vector<WriteAccess> rows = workload_->InitialRows();
+  db_->Load(rows);
+
+  MonotonicClock clock;
+  Timestamp run_start = clock.Now();
+  if (!rows.empty()) {
+    result.client_traces[0].push_back(MakeWriteTrace(
+        kLoadTxnId, 0, TimeInterval(run_start - 4, run_start - 3),
+        std::move(rows)));
+    result.client_traces[0].push_back(MakeCommitTrace(
+        kLoadTxnId, 0, TimeInterval(run_start - 2, run_start - 1)));
+    if (options_.on_trace) {
+      options_.on_trace(0, result.client_traces[0][0]);
+      options_.on_trace(0, result.client_traces[0][1]);
+    }
+  }
+
+  std::atomic<uint64_t> finished{0};
+  std::atomic<uint64_t> committed{0};
+  std::atomic<uint64_t> aborted{0};
+  std::atomic<uint64_t> total_ops{0};
+
+  auto worker = [&](uint32_t tid) {
+    Rng rng(options_.seed * 0x100000001b3ULL + tid + 1);
+    TxnExecutor exec(static_cast<ClientId>(tid), db_);
+    auto& traces = result.client_traces[tid];
+    while (finished.load(std::memory_order_relaxed) < options_.total_txns) {
+      TxnSpec spec = workload_->NextTransaction(rng);
+      bool done = false;
+      while (!done) {
+        exec.BeginTxn(spec);
+        while (exec.InTxn()) {
+          Timestamp bef = clock.Now();
+          OpOutcome outcome = exec.ExecuteNextOp();
+          while (outcome.retry) {  // lock wait: spin until granted
+            std::this_thread::yield();
+            outcome = exec.ExecuteNextOp();
+          }
+          if (options_.op_delay_ns > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::nanoseconds(options_.op_delay_ns));
+          }
+          Timestamp aft = clock.Now();
+          outcome.trace.interval = TimeInterval(bef, aft);
+          bool txn_finished = outcome.txn_finished;
+          bool txn_committed = outcome.committed;
+          traces.push_back(std::move(outcome.trace));
+          if (options_.on_trace) {
+            options_.on_trace(static_cast<ClientId>(tid), traces.back());
+          }
+          total_ops.fetch_add(1, std::memory_order_relaxed);
+          if (txn_finished) {
+            if (txn_committed) {
+              committed.fetch_add(1, std::memory_order_relaxed);
+              finished.fetch_add(1, std::memory_order_relaxed);
+              done = true;
+            } else {
+              aborted.fetch_add(1, std::memory_order_relaxed);
+              if (options_.retry_aborted) {
+                break;  // retry same spec with a fresh transaction
+              }
+              finished.fetch_add(1, std::memory_order_relaxed);
+              done = true;
+            }
+          }
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(options_.threads);
+  for (uint32_t t = 0; t < options_.threads; ++t) {
+    threads.emplace_back(worker, t);
+  }
+  for (auto& t : threads) t.join();
+
+  result.committed = committed.load();
+  result.aborted = aborted.load();
+  result.total_ops = total_ops.load();
+  result.duration_ns = clock.Now() - run_start;
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return result;
+}
+
+}  // namespace leopard

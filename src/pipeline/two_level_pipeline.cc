@@ -1,0 +1,134 @@
+#include "pipeline/two_level_pipeline.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace leopard {
+
+TwoLevelPipeline::TwoLevelPipeline(uint32_t n_clients, Options options)
+    : options_(options),
+      locals_(n_clients),
+      closed_(n_clients, false),
+      last_pushed_(n_clients, 0) {}
+
+void TwoLevelPipeline::NoteBuffered() {
+  stats_.max_buffered = std::max(stats_.max_buffered, buffered_traces_);
+  stats_.max_buffered_bytes =
+      std::max(stats_.max_buffered_bytes, buffered_bytes_);
+  stats_.max_global_heap = std::max(stats_.max_global_heap, global_.size());
+  stats_.max_global_bytes = std::max(stats_.max_global_bytes, heap_bytes_);
+}
+
+void TwoLevelPipeline::Push(ClientId client, Trace trace) {
+  assert(client < locals_.size());
+  assert(!closed_[client]);
+  assert(locals_[client].empty() ||
+         locals_[client].back().ts_bef() <= trace.ts_bef());
+  ++buffered_traces_;
+  buffered_bytes_ += trace.ApproxBytes();
+  last_pushed_[client] = trace.ts_bef();
+  locals_[client].push_back(std::move(trace));
+  NoteBuffered();
+}
+
+void TwoLevelPipeline::Close(ClientId client) {
+  assert(client < locals_.size());
+  closed_[client] = true;
+}
+
+void TwoLevelPipeline::UpdateWatermark() {
+  Timestamp wm = kMaxTimestamp;
+  for (size_t i = 0; i < locals_.size(); ++i) {
+    if (!locals_[i].empty()) {
+      wm = std::min(wm, locals_[i].front().ts_bef());
+    } else if (!closed_[i]) {
+      // Open and drained: the client's future traces can only carry
+      // ts_bef >= its last push (0 if it never produced anything yet).
+      wm = std::min(wm, last_pushed_[i]);
+    }
+  }
+  watermark_ = wm;
+}
+
+bool TwoLevelPipeline::FetchRound() {
+  if (!options_.optimized) {
+    // "w/o Opt": fetch every local buffer wholesale.
+    bool fetched = false;
+    for (auto& local : locals_) {
+      while (!local.empty()) {
+        heap_bytes_ += local.front().ApproxBytes();
+        global_.push(std::move(local.front()));
+        local.pop_front();
+        fetched = true;
+      }
+    }
+    if (fetched) ++stats_.rounds;
+    return fetched;
+  }
+  // Optimized: fetch a batch from the local buffer with the smallest
+  // timestamp, which is the buffer currently pinning the watermark.
+  size_t best = locals_.size();
+  for (size_t i = 0; i < locals_.size(); ++i) {
+    if (locals_[i].empty()) continue;
+    if (best == locals_.size() ||
+        locals_[i].front().ts_bef() < locals_[best].front().ts_bef()) {
+      best = i;
+    }
+  }
+  if (best == locals_.size()) return false;  // nothing to fetch
+  ++stats_.rounds;
+  auto& local = locals_[best];
+  for (size_t n = 0; n < options_.fetch_batch && !local.empty(); ++n) {
+    heap_bytes_ += local.front().ApproxBytes();
+    global_.push(std::move(local.front()));
+    local.pop_front();
+  }
+  return true;
+}
+
+std::optional<Trace> TwoLevelPipeline::Dispatch() {
+  while (true) {
+    UpdateWatermark();
+    if (!global_.empty() && global_.top().ts_bef() <= watermark_) {
+      Trace t = global_.top();
+      global_.pop();
+      --buffered_traces_;
+      buffered_bytes_ -= std::min(buffered_bytes_, t.ApproxBytes());
+      heap_bytes_ -= std::min(heap_bytes_, t.ApproxBytes());
+      ++stats_.dispatched;
+      return t;
+    }
+    // Cannot dispatch: pull more input into the heap, or report starvation
+    // when every local buffer is already drained.
+    if (!FetchRound()) return std::nullopt;
+    NoteBuffered();
+  }
+}
+
+bool TwoLevelPipeline::Exhausted() const {
+  for (size_t i = 0; i < locals_.size(); ++i) {
+    if (!closed_[i] || !locals_[i].empty()) return false;
+  }
+  return global_.empty();
+}
+
+void NaiveSorter::Push(ClientId client, Trace trace) {
+  (void)client;
+  buffered_bytes_ += trace.ApproxBytes();
+  heap_.push(std::move(trace));
+  max_buffered_ = std::max(max_buffered_, heap_.size());
+  max_buffered_bytes_ = std::max(max_buffered_bytes_, buffered_bytes_);
+}
+
+std::vector<Trace> NaiveSorter::DrainSorted() {
+  std::vector<Trace> out;
+  out.reserve(heap_.size());
+  while (!heap_.empty()) {
+    out.push_back(heap_.top());
+    heap_.pop();
+  }
+  buffered_bytes_ = 0;
+  return out;
+}
+
+}  // namespace leopard

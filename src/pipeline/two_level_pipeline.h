@@ -1,0 +1,129 @@
+#ifndef LEOPARD_PIPELINE_TWO_LEVEL_PIPELINE_H_
+#define LEOPARD_PIPELINE_TWO_LEVEL_PIPELINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace leopard {
+
+/// The paper's two-level pipeline (§IV-C): per-client *local buffers* absorb
+/// each client's naturally-ordered trace stream; a *global buffer* (min-heap
+/// on ts_bef) merges them; a *watermark* — the smallest front ts_bef across
+/// local buffers — bounds what may be dispatched, guaranteeing monotonically
+/// increasing dispatch order (Theorem 1).
+///
+/// Producer side: Push(client, trace) in ts_bef order per client, then
+/// Close(client) at end of stream. Consumer side: Dispatch() returns the
+/// next trace in global ts_bef order, or nullopt when the pipeline is
+/// starved (an open local buffer is empty, so the watermark cannot advance).
+///
+/// With Options::optimized (default), each round fetches only from the local
+/// buffer with the smallest timestamp — the §IV-C optimization that keeps
+/// the global heap small when clients progress unevenly. The unoptimized
+/// mode ("w/o Opt" in Fig. 10) fetches every local buffer wholesale each
+/// round, letting traces from fast clients pile up in the heap.
+class TwoLevelPipeline {
+ public:
+  struct Options {
+    bool optimized = true;
+    /// Max traces pulled from one local buffer per fetch in optimized mode.
+    size_t fetch_batch = 256;
+  };
+
+  struct Stats {
+    uint64_t dispatched = 0;
+    uint64_t rounds = 0;           ///< fetch rounds executed
+    size_t max_global_heap = 0;    ///< peak traces in the global min-heap
+    size_t max_global_bytes = 0;   ///< peak approximate bytes in the heap —
+                                   ///< the verifier-side memory of Fig. 10
+                                   ///< (local buffers live client-side)
+    size_t max_buffered = 0;       ///< peak traces buffered (heap + locals)
+    size_t max_buffered_bytes = 0; ///< peak approximate bytes buffered
+  };
+
+  explicit TwoLevelPipeline(uint32_t n_clients)
+      : TwoLevelPipeline(n_clients, Options()) {}
+  TwoLevelPipeline(uint32_t n_clients, Options options);
+
+  /// Appends a trace from `client`. Traces from one client must arrive in
+  /// non-decreasing ts_bef order.
+  void Push(ClientId client, Trace trace);
+
+  /// Marks `client`'s stream as ended; its emptiness no longer stalls the
+  /// watermark.
+  void Close(ClientId client);
+
+  /// Next trace in global ts_bef order, or nullopt when starved. After all
+  /// clients are closed, drains everything.
+  std::optional<Trace> Dispatch();
+
+  /// True when every client is closed and all traces have been dispatched.
+  bool Exhausted() const;
+
+  const Stats& stats() const { return stats_; }
+  Timestamp watermark() const { return watermark_; }
+
+ private:
+  struct ByTsBef {
+    bool operator()(const Trace& a, const Trace& b) const {
+      return a.ts_bef() > b.ts_bef();  // min-heap
+    }
+  };
+
+  /// Recomputes the watermark: the smallest lower bound on any trace that
+  /// can still arrive or sits in a local buffer. A non-empty buffer
+  /// contributes its head's ts_bef; an empty open buffer contributes the
+  /// client's last pushed ts_bef (future pushes are non-decreasing); an
+  /// empty closed buffer contributes nothing.
+  void UpdateWatermark();
+  /// Moves at least one trace from a local buffer into the global heap;
+  /// returns false when every local buffer is empty.
+  bool FetchRound();
+  void NoteBuffered();
+
+  Options options_;
+  std::vector<std::deque<Trace>> locals_;
+  std::vector<bool> closed_;
+  std::vector<Timestamp> last_pushed_;
+  std::priority_queue<Trace, std::vector<Trace>, ByTsBef> global_;
+  Timestamp watermark_ = 0;
+  size_t buffered_traces_ = 0;
+  size_t buffered_bytes_ = 0;
+  size_t heap_bytes_ = 0;
+  Stats stats_;
+};
+
+/// Baseline for Fig. 10: one big global min-heap with no local buffering —
+/// every trace from every client goes straight into a heap of the entire
+/// backlog, and nothing can be dispatched before all input has arrived
+/// (there is no watermark to certify completeness).
+class NaiveSorter {
+ public:
+  void Push(ClientId client, Trace trace);
+
+  /// Drains all traces in ts_bef order. Call after all pushes.
+  std::vector<Trace> DrainSorted();
+
+  size_t max_buffered() const { return max_buffered_; }
+  size_t max_buffered_bytes() const { return max_buffered_bytes_; }
+
+ private:
+  struct ByTsBef {
+    bool operator()(const Trace& a, const Trace& b) const {
+      return a.ts_bef() > b.ts_bef();
+    }
+  };
+  std::priority_queue<Trace, std::vector<Trace>, ByTsBef> heap_;
+  size_t max_buffered_ = 0;
+  size_t buffered_bytes_ = 0;
+  size_t max_buffered_bytes_ = 0;
+};
+
+}  // namespace leopard
+
+#endif  // LEOPARD_PIPELINE_TWO_LEVEL_PIPELINE_H_

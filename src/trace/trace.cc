@@ -1,0 +1,101 @@
+#include "trace/trace.h"
+
+#include <sstream>
+
+namespace leopard {
+
+const char* OpTypeName(OpType op) {
+  switch (op) {
+    case OpType::kRead:
+      return "READ";
+    case OpType::kWrite:
+      return "WRITE";
+    case OpType::kCommit:
+      return "COMMIT";
+    case OpType::kAbort:
+      return "ABORT";
+  }
+  return "UNKNOWN";
+}
+
+std::string Trace::ToString() const {
+  std::ostringstream os;
+  os << "{" << interval << " " << OpTypeName(op) << " txn=" << txn
+     << " client=" << client;
+  if (op == OpType::kRead) {
+    os << " rs=[";
+    for (size_t i = 0; i < read_set.size(); ++i) {
+      if (i) os << ",";
+      os << read_set[i].key << ":" << read_set[i].value;
+    }
+    os << "]";
+    if (!absent_reads.empty()) {
+      os << " absent=[";
+      for (size_t i = 0; i < absent_reads.size(); ++i) {
+        if (i) os << ",";
+        os << absent_reads[i];
+      }
+      os << "]";
+    }
+    if (for_update) os << " for_update";
+    if (range_count > 0) {
+      os << " range=[" << range_first << "," << range_first + range_count
+         << ")";
+    }
+  } else if (op == OpType::kWrite) {
+    os << " ws=[";
+    for (size_t i = 0; i < write_set.size(); ++i) {
+      if (i) os << ",";
+      os << write_set[i].key << ":" << write_set[i].value;
+    }
+    os << "]";
+  }
+  os << "}";
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Trace& t) {
+  return os << t.ToString();
+}
+
+Trace MakeReadTrace(TxnId txn, ClientId client, TimeInterval iv,
+                    std::vector<ReadAccess> rs) {
+  Trace t;
+  t.interval = iv;
+  t.op = OpType::kRead;
+  t.txn = txn;
+  t.client = client;
+  t.read_set = std::move(rs);
+  return t;
+}
+
+Trace MakeWriteTrace(TxnId txn, ClientId client, TimeInterval iv,
+                     std::vector<WriteAccess> ws) {
+  Trace t;
+  t.interval = iv;
+  t.op = OpType::kWrite;
+  t.txn = txn;
+  t.client = client;
+  t.write_set = std::move(ws);
+  return t;
+}
+
+Trace MakeCommitTrace(TxnId txn, ClientId client, TimeInterval iv) {
+  Trace t;
+  t.interval = iv;
+  t.op = OpType::kCommit;
+  t.txn = txn;
+  t.client = client;
+  return t;
+}
+
+Trace MakeAbortTrace(TxnId txn, ClientId client, TimeInterval iv) {
+  Trace t;
+  t.interval = iv;
+  t.op = OpType::kAbort;
+  t.txn = txn;
+  t.client = client;
+  return t;
+}
+
+}  // namespace leopard

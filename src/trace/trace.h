@@ -1,0 +1,113 @@
+#ifndef LEOPARD_TRACE_TRACE_H_
+#define LEOPARD_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/interval.h"
+
+namespace leopard {
+
+/// Transaction identifier. Ids are unique across the whole run; id 0 is the
+/// pseudo-transaction that loads the initial database state.
+using TxnId = uint64_t;
+
+/// Client (connection/session) identifier. A client issues operations
+/// strictly sequentially, so its traces have increasing `ts_bef`.
+using ClientId = uint32_t;
+
+/// Record key and value. Verification identifies versions by the value a
+/// write installs, so workloads that want fully-deducible dependencies write
+/// globally unique values (the paper's BlindW-RW does exactly this, while
+/// SmallBank's `amalgamate` deliberately does not — §VI-D).
+using Key = uint64_t;
+using Value = uint64_t;
+
+constexpr TxnId kLoadTxnId = 0;
+
+/// Value installed by a DELETE: a tombstone version. Ordinary writes never
+/// use it (client values stay below 2^61; load values use the top bit with
+/// low key bits).
+constexpr Value kTombstoneValue = ~0ULL;
+
+enum class OpType : uint8_t {
+  kRead = 0,
+  kWrite = 1,
+  kCommit = 2,
+  kAbort = 3,
+};
+
+const char* OpTypeName(OpType op);
+
+/// One element of a read set: the key and the value the client observed.
+struct ReadAccess {
+  Key key = 0;
+  Value value = 0;
+
+  friend bool operator==(const ReadAccess&, const ReadAccess&) = default;
+};
+
+/// One element of a write set: the key and the value the client installed.
+struct WriteAccess {
+  Key key = 0;
+  Value value = 0;
+
+  friend bool operator==(const WriteAccess&, const WriteAccess&) = default;
+};
+
+/// The interval-based trace of one database operation (§IV-A):
+/// T = {ts_bef, ts_aft, r_t(rs) / w_t(ws) / c_t / a_t}.
+///
+/// Collected entirely on the client side — no DBMS kernel or application
+/// logic changes — which is what makes Leopard a black-box verifier.
+struct Trace {
+  TimeInterval interval;
+  OpType op = OpType::kRead;
+  TxnId txn = 0;
+  ClientId client = 0;
+  std::vector<ReadAccess> read_set;    // populated for kRead
+  std::vector<WriteAccess> write_set;  // populated for kWrite
+
+  /// Read statements the client issued that found *no* row (deleted or
+  /// never inserted). The verifier checks absence like any other read: a
+  /// certainly-visible non-tombstone version refutes it.
+  std::vector<Key> absent_reads;
+
+  /// True for locking reads (SELECT ... FOR UPDATE): the statement
+  /// acquired exclusive locks and read current, not snapshot, state.
+  bool for_update = false;
+
+  /// For range reads: the scanned key range [range_first, range_first +
+  /// range_count). Keys in the range missing from read_set were absent.
+  Key range_first = 0;
+  uint32_t range_count = 0;
+
+  Timestamp ts_bef() const { return interval.bef; }
+  Timestamp ts_aft() const { return interval.aft; }
+
+  /// Rough live-memory footprint in bytes, used by pipeline/verifier memory
+  /// accounting in the benchmarks.
+  size_t ApproxBytes() const {
+    return sizeof(Trace) + read_set.capacity() * sizeof(ReadAccess) +
+           write_set.capacity() * sizeof(WriteAccess) +
+           absent_reads.capacity() * sizeof(Key);
+  }
+
+  std::string ToString() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Trace& t);
+
+/// Convenience constructors used pervasively by tests.
+Trace MakeReadTrace(TxnId txn, ClientId client, TimeInterval iv,
+                    std::vector<ReadAccess> rs);
+Trace MakeWriteTrace(TxnId txn, ClientId client, TimeInterval iv,
+                     std::vector<WriteAccess> ws);
+Trace MakeCommitTrace(TxnId txn, ClientId client, TimeInterval iv);
+Trace MakeAbortTrace(TxnId txn, ClientId client, TimeInterval iv);
+
+}  // namespace leopard
+
+#endif  // LEOPARD_TRACE_TRACE_H_

@@ -1,0 +1,171 @@
+#include "trace/trace_io.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace leopard {
+
+namespace {
+
+constexpr char kMagic[8] = {'L', 'E', 'O', 'T', 'R', 'C', '0', '2'};
+
+void PutU8(std::string& out, uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+void PutU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+void PutU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+class Reader {
+ public:
+  Reader(const std::string& bytes, size_t start)
+      : bytes_(bytes), pos_(start) {}
+
+  bool GetU8(uint8_t& v) {
+    if (pos_ + 1 > bytes_.size()) return false;
+    v = static_cast<uint8_t>(bytes_[pos_++]);
+    return true;
+  }
+  bool GetU32(uint32_t& v) {
+    if (pos_ + 4 > bytes_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[pos_++]))
+           << (8 * i);
+    }
+    return true;
+  }
+  bool GetU64(uint64_t& v) {
+    if (pos_ + 8 > bytes_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_++]))
+           << (8 * i);
+    }
+    return true;
+  }
+  bool Done() const { return pos_ == bytes_.size(); }
+
+ private:
+  const std::string& bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string EncodeTraces(const std::vector<Trace>& traces) {
+  std::string out(kMagic, sizeof(kMagic));
+  for (const Trace& t : traces) {
+    PutU8(out, static_cast<uint8_t>(t.op));
+    PutU32(out, t.client);
+    PutU64(out, t.txn);
+    PutU64(out, t.ts_bef());
+    PutU64(out, t.ts_aft());
+    PutU32(out, static_cast<uint32_t>(t.read_set.size()));
+    for (const auto& r : t.read_set) {
+      PutU64(out, r.key);
+      PutU64(out, r.value);
+    }
+    PutU32(out, static_cast<uint32_t>(t.write_set.size()));
+    for (const auto& w : t.write_set) {
+      PutU64(out, w.key);
+      PutU64(out, w.value);
+    }
+    PutU32(out, static_cast<uint32_t>(t.absent_reads.size()));
+    for (Key k : t.absent_reads) PutU64(out, k);
+    PutU8(out, t.for_update ? 1 : 0);
+    PutU64(out, t.range_first);
+    PutU32(out, t.range_count);
+  }
+  return out;
+}
+
+StatusOr<std::vector<Trace>> DecodeTraces(const std::string& bytes) {
+  if (bytes.size() < sizeof(kMagic) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a leopard trace file");
+  }
+  Reader reader(bytes, sizeof(kMagic));
+  std::vector<Trace> out;
+  while (!reader.Done()) {
+    Trace t;
+    uint8_t op = 0;
+    uint32_t client = 0;
+    uint64_t txn = 0, bef = 0, aft = 0;
+    uint32_t n = 0;
+    if (!reader.GetU8(op) || op > 3 || !reader.GetU32(client) ||
+        !reader.GetU64(txn) || !reader.GetU64(bef) || !reader.GetU64(aft)) {
+      return Status::InvalidArgument("truncated trace header");
+    }
+    t.op = static_cast<OpType>(op);
+    t.client = client;
+    t.txn = txn;
+    t.interval = {bef, aft};
+    if (!reader.GetU32(n)) return Status::InvalidArgument("truncated reads");
+    t.read_set.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      ReadAccess r;
+      if (!reader.GetU64(r.key) || !reader.GetU64(r.value)) {
+        return Status::InvalidArgument("truncated read entry");
+      }
+      t.read_set.push_back(r);
+    }
+    if (!reader.GetU32(n)) {
+      return Status::InvalidArgument("truncated writes");
+    }
+    t.write_set.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      WriteAccess w;
+      if (!reader.GetU64(w.key) || !reader.GetU64(w.value)) {
+        return Status::InvalidArgument("truncated write entry");
+      }
+      t.write_set.push_back(w);
+    }
+    if (!reader.GetU32(n)) {
+      return Status::InvalidArgument("truncated absent reads");
+    }
+    t.absent_reads.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      Key k = 0;
+      if (!reader.GetU64(k)) {
+        return Status::InvalidArgument("truncated absent key");
+      }
+      t.absent_reads.push_back(k);
+    }
+    uint8_t for_update = 0;
+    if (!reader.GetU8(for_update) || for_update > 1 ||
+        !reader.GetU64(t.range_first) || !reader.GetU32(t.range_count)) {
+      return Status::InvalidArgument("truncated trace footer");
+    }
+    t.for_update = for_update != 0;
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+Status WriteTraceFile(const std::string& path,
+                      const std::vector<Trace>& traces) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return Status::Internal("cannot open " + path + " for write");
+  std::string bytes = EncodeTraces(traces);
+  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!file) return Status::Internal("short write to " + path);
+  return Status::Ok();
+}
+
+StatusOr<std::vector<Trace>> ReadTraceFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::NotFound("cannot open " + path);
+  std::string bytes((std::istreambuf_iterator<char>(file)),
+                    std::istreambuf_iterator<char>());
+  return DecodeTraces(bytes);
+}
+
+}  // namespace leopard

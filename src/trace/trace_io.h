@@ -1,0 +1,37 @@
+#ifndef LEOPARD_TRACE_TRACE_IO_H_
+#define LEOPARD_TRACE_TRACE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "trace/trace.h"
+
+namespace leopard {
+
+/// Binary trace-log serialization, so traces collected on client machines
+/// can be shipped to and replayed by an offline verifier.
+///
+/// File layout: an 8-byte magic/version header, then one record per trace:
+///   u8 op | u32 client | u64 txn | u64 ts_bef | u64 ts_aft |
+///   u32 n_reads  { u64 key | u64 value } *
+///   u32 n_writes { u64 key | u64 value } *
+/// All integers little-endian.
+///
+/// Writers append traces of ONE client stream per file (ts_bef
+/// non-decreasing), matching how the tracer collects them.
+
+/// Writes `traces` to `path`, replacing any existing file.
+Status WriteTraceFile(const std::string& path,
+                      const std::vector<Trace>& traces);
+
+/// Reads a trace file written by WriteTraceFile.
+StatusOr<std::vector<Trace>> ReadTraceFile(const std::string& path);
+
+/// In-memory encode/decode used by the file functions (and tests).
+std::string EncodeTraces(const std::vector<Trace>& traces);
+StatusOr<std::vector<Trace>> DecodeTraces(const std::string& bytes);
+
+}  // namespace leopard
+
+#endif  // LEOPARD_TRACE_TRACE_IO_H_

@@ -1,0 +1,578 @@
+#include "txn/database.h"
+
+#include <algorithm>
+
+namespace leopard {
+
+const char* ProtocolName(Protocol p) {
+  switch (p) {
+    case Protocol::kMvcc2pl:
+      return "MVCC+2PL";
+    case Protocol::kMvcc2plSsi:
+      return "MVCC+2PL+SSI";
+    case Protocol::kMvccOcc:
+      return "MVCC+OCC";
+    case Protocol::kMvccTo:
+      return "MVTO";
+    case Protocol::k2pl:
+      return "2PL";
+    case Protocol::kPercolator:
+      return "Percolator";
+  }
+  return "UNKNOWN";
+}
+
+const char* IsolationLevelName(IsolationLevel il) {
+  switch (il) {
+    case IsolationLevel::kReadCommitted:
+      return "READ_COMMITTED";
+    case IsolationLevel::kRepeatableRead:
+      return "REPEATABLE_READ";
+    case IsolationLevel::kSnapshotIsolation:
+      return "SNAPSHOT_ISOLATION";
+    case IsolationLevel::kSerializable:
+      return "SERIALIZABLE";
+  }
+  return "UNKNOWN";
+}
+
+Database::Database(const Options& options)
+    : options_(options), faults_(options.faults, options.fault_seed) {}
+
+bool Database::UsesMvccReads() const {
+  if (options_.protocol == Protocol::k2pl) return false;
+  if (LockingReads()) return false;
+  return true;
+}
+
+bool Database::BufferedCommitProtocol() const {
+  return options_.protocol == Protocol::kMvccOcc ||
+         options_.protocol == Protocol::kPercolator;
+}
+
+// InnoDB-style SERIALIZABLE: plain 2PL with shared locks on reads, reading
+// the latest committed version. Pure 2PL always reads under locks.
+bool Database::LockingReads() const {
+  if (options_.protocol == Protocol::k2pl) return true;
+  return options_.protocol == Protocol::kMvcc2pl &&
+         options_.isolation == IsolationLevel::kSerializable;
+}
+
+// First-updater-wins applies at snapshot isolation, and — PostgreSQL-style —
+// at every level >= REPEATABLE_READ of the SSI protocol (PostgreSQL's RR *is*
+// snapshot isolation). InnoDB-style RR deliberately lacks it, reproducing the
+// lost-update difference the paper highlights (§I, C2).
+bool Database::FuwEnabled() const {
+  if (options_.isolation == IsolationLevel::kSnapshotIsolation) return true;
+  if (options_.protocol == Protocol::kMvcc2plSsi &&
+      options_.isolation >= IsolationLevel::kRepeatableRead) {
+    return true;
+  }
+  return false;
+}
+
+bool Database::StatementLevelSnapshot() const {
+  return options_.isolation == IsolationLevel::kReadCommitted;
+}
+
+bool Database::SsiEnabled() const {
+  return options_.protocol == Protocol::kMvcc2plSsi &&
+         options_.isolation == IsolationLevel::kSerializable;
+}
+
+void Database::Load(const std::vector<WriteAccess>& rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Lsn load_lsn = ++lsn_;
+  for (const auto& row : rows) {
+    StoredVersion v;
+    v.value = row.value;
+    v.writer = kLoadTxnId;
+    v.commit_lsn = load_lsn;
+    v.version_ts = load_lsn;
+    versions_.Install(row.key, v);
+  }
+}
+
+TxnId Database::Begin(ClientId client) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TxnId id = next_txn_++;
+  auto t = std::make_unique<Transaction>();
+  t->id = id;
+  t->client = client;
+  if (options_.protocol == Protocol::kMvccTo) {
+    t->start_ts = ++lsn_;
+  } else {
+    t->start_ts = lsn_;
+  }
+  ++stats_.begins;
+  txns_.emplace(id, std::move(t));
+  return id;
+}
+
+Transaction* Database::GetActive(TxnId txn) {
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) return nullptr;
+  Transaction* t = it->second.get();
+  return t->status == TxnStatus::kActive ? t : nullptr;
+}
+
+void Database::EnsureSnapshot(Transaction* t) {
+  if (StatementLevelSnapshot() || !t->snapshot_taken) {
+    t->snapshot = lsn_;
+    t->snapshot_taken = true;
+    if (faults_.StaleSnapshot()) {
+      uint32_t lag = options_.faults.stale_snapshot_lag;
+      t->snapshot = t->snapshot > lag ? t->snapshot - lag : 0;
+    }
+  }
+}
+
+Status Database::AcquireLock(Transaction* t, Key key, LockMode mode) {
+  Status s = locks_.Acquire(t->id, key, mode);
+  if (s.ok()) return s;
+  if (options_.lock_wait == LockWaitPolicy::kWaitDie) {
+    // Wait-die: an older requester (smaller id = earlier begin) waits for
+    // the holders; a younger one dies. Deadlock-free since waits only go
+    // from older to younger.
+    std::vector<TxnId> holders =
+        locks_.ConflictingHolders(t->id, key, mode);
+    bool older_than_all = !holders.empty();
+    for (TxnId h : holders) {
+      if (t->id > h) {
+        older_than_all = false;
+        break;
+      }
+    }
+    if (older_than_all) return Status::Busy("lock wait");
+  }
+  AbortLocked(t);
+  return s;
+}
+
+void Database::FinishTxn(Transaction* t, TxnStatus status) {
+  locks_.ReleaseAll(t->id);
+  t->status = status;
+  if (status == TxnStatus::kAborted) {
+    ++stats_.aborts;
+    // Aborted transactions leave no trace in the store; drop SIREAD marks
+    // and the transaction object eagerly (nothing depends on them).
+    if (SsiEnabled()) {
+      for (const auto& [key, ts] : t->read_versions) {
+        auto it = sireads_.find(key);
+        if (it == sireads_.end()) continue;
+        auto& v = it->second;
+        v.erase(std::remove(v.begin(), v.end(), t->id), v.end());
+        if (v.empty()) sireads_.erase(it);
+      }
+    }
+    txns_.erase(t->id);
+  } else {
+    ++stats_.commits;
+    ++commits_since_gc_;
+    MaybeGcLocked();
+  }
+}
+
+void Database::AbortLocked(Transaction* t) {
+  FinishTxn(t, TxnStatus::kAborted);
+}
+
+StatusOr<Value> Database::Read(TxnId txn, Key key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Transaction* t = GetActive(txn);
+  if (t == nullptr) return Status::FailedPrecondition("txn not active");
+  ++stats_.reads;
+  return ReadLocked(t, key, /*refresh_statement_snapshot=*/true);
+}
+
+StatusOr<Value> Database::ReadLocked(Transaction* t, Key key,
+                                     bool refresh_statement_snapshot) {
+  // Read-your-own-writes always wins (own delete reads as absent).
+  auto own = t->write_buffer.find(key);
+  if (own != t->write_buffer.end()) {
+    if (own->second == kTombstoneValue) {
+      return Status::NotFound("deleted in this transaction");
+    }
+    return own->second;
+  }
+
+  if (LockingReads()) {
+    if (!faults_.DropLock()) {
+      Status s = AcquireLock(t, key, LockMode::kShared);
+      if (!s.ok()) return s;  // kBusy: retry later; kAborted: rolled back
+    }
+    auto v = versions_.ReadLatest(key);
+    if (!v.ok()) return v.status();
+    t->read_versions[key] = v->version_ts;
+    if (v->value == kTombstoneValue) return Status::NotFound("deleted");
+    return v->value;
+  }
+
+  if (options_.protocol == Protocol::kMvccTo) {
+    auto v = versions_.ReadAtSnapshot(key, t->start_ts);
+    if (!v.ok()) return v.status();
+    versions_.NoteReadTs(key, t->start_ts);
+    t->read_versions[key] = v->version_ts;
+    if (v->value == kTombstoneValue) return Status::NotFound("deleted");
+    return v->value;
+  }
+
+  // MVCC consistent read.
+  if (refresh_statement_snapshot) EnsureSnapshot(t);
+
+  // Fault: dirty read — expose an uncommitted write of another transaction.
+  if (faults_.DirtyRead()) {
+    for (const auto& [id, other] : txns_) {
+      if (id == t->id || other->status != TxnStatus::kActive) continue;
+      auto w = other->write_buffer.find(key);
+      if (w != other->write_buffer.end()) return w->second;
+    }
+  }
+  // Fault: future read — see past the snapshot.
+  if (faults_.FutureRead()) {
+    auto latest = versions_.ReadLatest(key);
+    if (latest.ok() && latest->version_ts > t->snapshot) {
+      t->read_versions[key] = latest->version_ts;
+      return latest->value;
+    }
+  }
+
+  auto v = versions_.ReadAtSnapshot(key, t->snapshot);
+  if (!v.ok()) return v.status();
+  t->read_versions[key] = v->version_ts;
+  if (SsiEnabled()) {
+    auto& readers = sireads_[key];
+    if (std::find(readers.begin(), readers.end(), t->id) == readers.end()) {
+      readers.push_back(t->id);
+    }
+    // Reader-side rw detection: a committed version newer than our snapshot
+    // means we (the reader of the old version) have an outgoing rw edge to
+    // its writer. If that writer already has an outgoing rw edge itself, it
+    // is a committed pivot of a dangerous structure — abort the reader.
+    if (!faults_.SkipCertifier()) {
+      for (TxnId wid : versions_.WritersAfter(key, t->snapshot)) {
+        if (wid == t->id) continue;
+        t->ssi_out = true;
+        auto wit = txns_.find(wid);
+        if (wit == txns_.end()) continue;
+        Transaction* w = wit->second.get();
+        w->ssi_in = true;
+        if (w->ssi_out) {
+          AbortLocked(t);
+          return Status::Aborted("SSI: dangerous structure (read)");
+        }
+      }
+      if (t->ssi_in && t->ssi_out) {
+        AbortLocked(t);
+        return Status::Aborted("SSI: dangerous structure (read self)");
+      }
+    }
+  }
+  if (v->value == kTombstoneValue) {
+    // Fault: a deleted version resurfaces (the paper's Bug 4).
+    if (faults_.ResurrectDeleted()) {
+      auto stale = versions_.ReadAtSnapshot(key, t->snapshot);
+      Lsn ts = stale->version_ts;
+      while (true) {
+        auto older = versions_.ReadStale(key, ts);
+        if (!older.ok()) break;
+        if (older->value != kTombstoneValue) return older->value;
+        ts = older->version_ts;
+      }
+    }
+    return Status::NotFound("deleted");
+  }
+  return v->value;
+}
+
+StatusOr<std::vector<ReadAccess>> Database::ReadRange(TxnId txn, Key first,
+                                                      uint32_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Transaction* t = GetActive(txn);
+  if (t == nullptr) return Status::FailedPrecondition("txn not active");
+  // One snapshot per statement: refresh once, then read all keys under it.
+  if (UsesMvccReads()) EnsureSnapshot(t);
+  std::vector<ReadAccess> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Key key = first + i;
+    ++stats_.reads;
+    auto v = ReadLocked(t, key, /*refresh_statement_snapshot=*/false);
+    if (v.ok()) {
+      if (faults_.HideRow()) continue;  // fault: scan drops a visible row
+      out.push_back(ReadAccess{key, *v});
+    } else if (v.status().code() == StatusCode::kAborted ||
+               v.status().code() == StatusCode::kBusy) {
+      // kBusy: the whole statement retries later (acquired locks are
+      // re-entrant, so the retry is cheap).
+      return v.status();
+    }
+    // NotFound keys are skipped, like a range scan.
+  }
+  return out;
+}
+
+Status Database::Write(TxnId txn, Key key, Value value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Transaction* t = GetActive(txn);
+  if (t == nullptr) return Status::FailedPrecondition("txn not active");
+  if (value == kTombstoneValue) {
+    return Status::InvalidArgument("reserved tombstone value");
+  }
+  ++stats_.writes;
+  return WriteLocked(t, key, value);
+}
+
+Status Database::Delete(TxnId txn, Key key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Transaction* t = GetActive(txn);
+  if (t == nullptr) return Status::FailedPrecondition("txn not active");
+  ++stats_.writes;
+  // A delete is a write of the tombstone version: same locks, same
+  // first-updater-wins behaviour, same visibility-at-commit.
+  return WriteLocked(t, key, kTombstoneValue);
+}
+
+StatusOr<Value> Database::ReadForUpdate(TxnId txn, Key key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Transaction* t = GetActive(txn);
+  if (t == nullptr) return Status::FailedPrecondition("txn not active");
+  ++stats_.reads;
+  // Like any first statement, FOR UPDATE establishes the transaction
+  // snapshot (it reads *current* state itself, but later snapshot reads
+  // date from here).
+  if (UsesMvccReads()) EnsureSnapshot(t);
+  auto own = t->write_buffer.find(key);
+  if (own != t->write_buffer.end()) {
+    if (own->second == kTombstoneValue) {
+      return Status::NotFound("deleted in this transaction");
+    }
+    return own->second;
+  }
+  if (!faults_.DropLock()) {
+    Status s = AcquireLock(t, key, LockMode::kExclusive);
+    if (!s.ok()) return s;
+  }
+  if (options_.protocol == Protocol::kMvccTo) {
+    // MVTO reads at the transaction timestamp even under FOR UPDATE
+    // (CockroachDB-style); the write-rule validation protects the lock's
+    // intent instead.
+    auto v = versions_.ReadAtSnapshot(key, t->start_ts);
+    if (!v.ok()) return v.status();
+    versions_.NoteReadTs(key, t->start_ts);
+    t->read_versions[key] = v->version_ts;
+    if (v->value == kTombstoneValue) return Status::NotFound("deleted");
+    return v->value;
+  }
+  // Current read: the latest committed version, whatever the snapshot.
+  auto v = versions_.ReadLatest(key);
+  if (!v.ok()) return v.status();
+  t->read_versions[key] = v->version_ts;
+  if (v->value == kTombstoneValue) return Status::NotFound("deleted");
+  return v->value;
+}
+
+Status Database::WriteLocked(Transaction* t, Key key, Value value) {
+  switch (options_.protocol) {
+    case Protocol::k2pl:
+    case Protocol::kMvcc2pl:
+    case Protocol::kMvcc2plSsi: {
+      if (UsesMvccReads()) EnsureSnapshot(t);
+      if (!faults_.DropLock()) {
+        Status s = AcquireLock(t, key, LockMode::kExclusive);
+        if (!s.ok()) return s;  // kBusy: retry later; kAborted: rolled back
+      }
+      if (FuwEnabled() && !faults_.SkipFuw()) {
+        // First updater wins: a version committed after our snapshot means a
+        // concurrent transaction already updated this record.
+        if (versions_.LatestCommitLsn(key) > t->snapshot) {
+          AbortLocked(t);
+          return Status::Aborted("first updater wins");
+        }
+      }
+      t->BufferWrite(key, value);
+      return Status::Ok();
+    }
+    case Protocol::kMvccOcc:
+    case Protocol::kPercolator:
+      EnsureSnapshot(t);
+      t->BufferWrite(key, value);
+      return Status::Ok();
+    case Protocol::kMvccTo:
+      t->BufferWrite(key, value);
+      return Status::Ok();
+  }
+  return Status::Internal("unreachable");
+}
+
+Status Database::ValidateCommitLocked(Transaction* t) {
+  if (faults_.SkipCertifier()) return Status::Ok();
+  switch (options_.protocol) {
+    case Protocol::kMvccOcc: {
+      // Backward validation: every read must still be the latest version.
+      for (const auto& [key, ts] : t->read_versions) {
+        if (versions_.LatestVersionTs(key) != ts) {
+          return Status::Aborted("OCC validation failed");
+        }
+      }
+      return Status::Ok();
+    }
+    case Protocol::kMvccTo: {
+      // Timestamp-ordering write rules: abort if a later-timestamp reader or
+      // writer already acted on any written key.
+      for (const auto& [key, value] : t->write_buffer) {
+        if (versions_.MaxReadTs(key) > t->start_ts) {
+          return Status::Aborted("TO: read too late");
+        }
+        if (versions_.LatestVersionTs(key) > t->start_ts) {
+          return Status::Aborted("TO: write too late");
+        }
+      }
+      return Status::Ok();
+    }
+    case Protocol::kMvcc2plSsi: {
+      if (!SsiEnabled()) return Status::Ok();
+      // SSI certifier: detect rw antidependencies r -rw-> t created by our
+      // writes over versions that concurrent transactions have read.
+      for (const auto& [key, value] : t->write_buffer) {
+        auto it = sireads_.find(key);
+        if (it == sireads_.end()) continue;
+        for (TxnId rid : it->second) {
+          if (rid == t->id) continue;
+          auto rit = txns_.find(rid);
+          if (rit == txns_.end()) continue;
+          Transaction* r = rit->second.get();
+          bool concurrent =
+              r->status == TxnStatus::kActive ||
+              (r->status == TxnStatus::kCommitted &&
+               r->commit_lsn > t->snapshot);
+          if (!concurrent) continue;
+          // Edge r -rw-> t.
+          t->ssi_in = true;
+          r->ssi_out = true;
+          if (r->status == TxnStatus::kCommitted && r->ssi_in) {
+            // r would become a committed pivot (in && out): dangerous
+            // structure — abort the transaction that completes it.
+            return Status::Aborted("SSI: dangerous structure (pivot)");
+          }
+        }
+      }
+      if (t->ssi_in && t->ssi_out) {
+        return Status::Aborted("SSI: dangerous structure (self pivot)");
+      }
+      return Status::Ok();
+    }
+    case Protocol::kPercolator: {
+      // First-committer-wins: any write key with a version committed after
+      // our snapshot means a concurrent transaction updated it first.
+      for (const auto& [key, value] : t->write_buffer) {
+        if (versions_.LatestCommitLsn(key) > t->snapshot) {
+          return Status::Aborted("Percolator: write-write conflict");
+        }
+      }
+      return Status::Ok();
+    }
+    case Protocol::kMvcc2pl:
+    case Protocol::k2pl:
+      return Status::Ok();  // strict 2PL needs no commit-time certifier
+  }
+  return Status::Internal("unreachable");
+}
+
+void Database::InstallWritesLocked(Transaction* t) {
+  t->commit_lsn = ++lsn_;
+  for (Key key : t->write_order) {
+    if (faults_.LostWrite()) continue;  // committed write silently dropped
+    StoredVersion v;
+    v.value = t->write_buffer[key];
+    v.writer = t->id;
+    v.commit_lsn = t->commit_lsn;
+    v.version_ts = options_.protocol == Protocol::kMvccTo ? t->start_ts
+                                                          : t->commit_lsn;
+    versions_.Install(key, v);
+  }
+}
+
+Status Database::Commit(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Transaction* t = GetActive(txn);
+  if (t == nullptr) return Status::Aborted("txn already finished");
+  Status valid = ValidateCommitLocked(t);
+  if (!valid.ok()) {
+    AbortLocked(t);
+    return valid;
+  }
+  InstallWritesLocked(t);
+  FinishTxn(t, TxnStatus::kCommitted);
+  return Status::Ok();
+}
+
+Status Database::Abort(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) return Status::Ok();  // idempotent
+  Transaction* t = it->second.get();
+  if (t->status != TxnStatus::kActive) return Status::Ok();
+  AbortLocked(t);
+  return Status::Ok();
+}
+
+void Database::MaybeGcLocked() {
+  constexpr uint64_t kGcEvery = 64;
+  if (commits_since_gc_ < kGcEvery) return;
+  commits_since_gc_ = 0;
+  // A committed transaction can be dropped once no active transaction is
+  // concurrent with it (needed only for SSI flag propagation).
+  Lsn min_active = kMaxTimestamp;
+  for (const auto& [id, t] : txns_) {
+    if (t->status == TxnStatus::kActive) {
+      min_active = std::min(min_active, t->start_ts);
+    }
+  }
+  for (auto it = txns_.begin(); it != txns_.end();) {
+    Transaction* t = it->second.get();
+    if (t->status == TxnStatus::kCommitted && t->commit_lsn < min_active) {
+      if (SsiEnabled()) {
+        for (const auto& [key, ts] : t->read_versions) {
+          auto sit = sireads_.find(key);
+          if (sit == sireads_.end()) continue;
+          auto& v = sit->second;
+          v.erase(std::remove(v.begin(), v.end(), t->id), v.end());
+          if (v.empty()) sireads_.erase(sit);
+        }
+      }
+      it = txns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Database::Stats Database::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+uint64_t Database::injected_fault_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_.injected_count();
+}
+
+StatusOr<Value> Database::DebugReadLatest(Key key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto v = versions_.ReadLatest(key);
+  if (!v.ok()) return v.status();
+  return v->value;
+}
+
+size_t Database::DebugVersionCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return versions_.VersionCount();
+}
+
+size_t Database::DebugLiveTxnCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return txns_.size();
+}
+
+}  // namespace leopard

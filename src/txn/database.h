@@ -1,0 +1,137 @@
+#ifndef LEOPARD_TXN_DATABASE_H_
+#define LEOPARD_TXN_DATABASE_H_
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "trace/trace.h"
+#include "txn/fault_injector.h"
+#include "txn/kv_interface.h"
+#include "txn/lock_manager.h"
+#include "txn/transaction.h"
+#include "txn/types.h"
+#include "txn/version_store.h"
+
+namespace leopard {
+
+/// MiniDB: an in-memory multi-version transactional key-value store used as
+/// the DBMS-under-test. It implements the concurrency-control assemblies of
+/// paper Fig. 1 — MVCC+2PL (InnoDB-style), MVCC+2PL+SSI (PostgreSQL-style),
+/// MVCC+OCC (FoundationDB-style), MVTO (CockroachDB-style) and pure 2PL
+/// (SQLite-style) — at isolation levels RC / RR / SI / SER, and supports
+/// deterministic fault injection that corrupts exactly one of the four
+/// mechanisms (CR, ME, FUW, SC) at a time.
+///
+/// All public methods are thread-safe (serialized by an internal mutex); the
+/// virtual-time harness also drives it single-threaded.
+class Database : public TransactionalKv {
+ public:
+  struct Options {
+    Protocol protocol = Protocol::kMvcc2plSsi;
+    IsolationLevel isolation = IsolationLevel::kSerializable;
+    LockWaitPolicy lock_wait = LockWaitPolicy::kNoWait;
+    FaultPlan faults;
+    uint64_t fault_seed = 1;
+  };
+
+  struct Stats {
+    uint64_t begins = 0;
+    uint64_t commits = 0;
+    uint64_t aborts = 0;
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+  };
+
+  explicit Database(const Options& options);
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Bulk-loads initial rows as committed versions written by kLoadTxnId.
+  void Load(const std::vector<WriteAccess>& rows) override;
+
+  /// Starts a transaction on behalf of `client` and returns its id (> 0).
+  TxnId Begin(ClientId client) override;
+
+  /// Reads one key. kAborted means the transaction was aborted by the engine
+  /// (lock conflict under NO-WAIT); kNotFound means no visible version.
+  StatusOr<Value> Read(TxnId txn, Key key) override;
+
+  /// Range read of `count` consecutive keys starting at `first`; missing
+  /// keys are skipped. One consistent snapshot per call at statement-level
+  /// isolation.
+  StatusOr<std::vector<ReadAccess>> ReadRange(TxnId txn, Key first,
+                                              uint32_t count) override;
+
+  /// Buffers a write. May abort the transaction (lock conflict, FUW).
+  Status Write(TxnId txn, Key key, Value value) override;
+
+  /// Deletes a key: buffers a tombstone version. Same conflict rules as a
+  /// write. Subsequent reads of the key (beyond this transaction) see no
+  /// row until someone re-inserts it.
+  Status Delete(TxnId txn, Key key) override;
+
+  /// Locking read (SELECT ... FOR UPDATE): acquires the exclusive lock and
+  /// returns the latest committed value (a *current* read, not a snapshot
+  /// read), like PostgreSQL/InnoDB. kNotFound if the row is absent.
+  StatusOr<Value> ReadForUpdate(TxnId txn, Key key) override;
+
+  /// Attempts to commit. kAborted means certifier/validation rejected the
+  /// transaction; in that case the transaction has already been rolled back.
+  Status Commit(TxnId txn) override;
+
+  /// Rolls back. Idempotent on already-finished transactions.
+  Status Abort(TxnId txn) override;
+
+  const Options& options() const { return options_; }
+  Stats stats() const;
+  uint64_t injected_fault_count() const;
+
+  /// Test-only introspection: latest committed value of a key.
+  StatusOr<Value> DebugReadLatest(Key key) const;
+  size_t DebugVersionCount() const;
+  size_t DebugLiveTxnCount() const;
+
+ private:
+  // All helpers below assume mu_ is held.
+  Transaction* GetActive(TxnId txn);
+  /// Acquires a lock under the configured wait policy. kBusy means the
+  /// caller should retry the whole operation later (wait-die wait);
+  /// kAborted means the transaction has been rolled back.
+  Status AcquireLock(Transaction* t, Key key, LockMode mode);
+  void EnsureSnapshot(Transaction* t);
+  void AbortLocked(Transaction* t);
+  void FinishTxn(Transaction* t, TxnStatus status);
+  StatusOr<Value> ReadLocked(Transaction* t, Key key,
+                             bool refresh_statement_snapshot);
+  Status WriteLocked(Transaction* t, Key key, Value value);
+  Status ValidateCommitLocked(Transaction* t);
+  void InstallWritesLocked(Transaction* t);
+  void MaybeGcLocked();
+
+  bool UsesMvccReads() const;
+  bool BufferedCommitProtocol() const;
+  bool LockingReads() const;
+  bool FuwEnabled() const;
+  bool StatementLevelSnapshot() const;
+  bool SsiEnabled() const;
+
+  Options options_;
+  mutable std::mutex mu_;
+  FaultInjector faults_;
+  LockManager locks_;
+  VersionStore versions_;
+  std::unordered_map<TxnId, std::unique_ptr<Transaction>> txns_;
+  /// Readers per key for SSI rw-antidependency detection (SIREAD marks).
+  std::unordered_map<Key, std::vector<TxnId>> sireads_;
+  Lsn lsn_ = 0;
+  TxnId next_txn_ = 1;
+  uint64_t commits_since_gc_ = 0;
+  Stats stats_;
+};
+
+}  // namespace leopard
+
+#endif  // LEOPARD_TXN_DATABASE_H_

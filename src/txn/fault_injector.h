@@ -1,0 +1,89 @@
+#ifndef LEOPARD_TXN_FAULT_INJECTOR_H_
+#define LEOPARD_TXN_FAULT_INJECTOR_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace leopard {
+
+/// Probabilistic isolation-bug plan for MiniDB. Each knob corrupts exactly
+/// one of the four mechanisms, mirroring the classes of real bugs the paper
+/// found in commercial DBMSs (§VI-F):
+///
+///  - drop_lock_prob        → ME violations (dirty write; Bugs 1 & 3:
+///                            TiDB "first update acquires no lock" /
+///                            "join forgets lock acquisition")
+///  - stale_snapshot_prob   → CR violations (inconsistent read; Bug 2)
+///  - dirty_read_prob       → CR violations (read of uncommitted/aborted
+///                            data, G1a-style; Bug 4's phantom version)
+///  - future_read_prob      → CR violations (read newer than snapshot)
+///  - lost_write_prob       → CR violations (committed write never installed)
+///  - skip_fuw_prob         → FUW violations (lost update under SI)
+///  - skip_certifier_prob   → SC violations (write skew / non-serializable
+///                            commits slipping past the certifier)
+struct FaultPlan {
+  double drop_lock_prob = 0.0;
+  double stale_snapshot_prob = 0.0;
+  double dirty_read_prob = 0.0;
+  double future_read_prob = 0.0;
+  double lost_write_prob = 0.0;
+  double skip_fuw_prob = 0.0;
+  double skip_certifier_prob = 0.0;
+  /// A read of a deleted row returns the pre-delete version (Bug 4: "a
+  /// query returns two versions" — the deleted one resurfaces).
+  double resurrect_deleted_prob = 0.0;
+  /// A range scan silently drops a visible row.
+  double hide_row_prob = 0.0;
+
+  /// How many LSNs a stale snapshot lags behind (at least 1 version).
+  uint32_t stale_snapshot_lag = 4;
+
+  bool AnyFault() const {
+    return drop_lock_prob > 0 || stale_snapshot_prob > 0 ||
+           dirty_read_prob > 0 || future_read_prob > 0 ||
+           lost_write_prob > 0 || skip_fuw_prob > 0 ||
+           skip_certifier_prob > 0 || resurrect_deleted_prob > 0 ||
+           hide_row_prob > 0;
+  }
+};
+
+/// Deterministic coin-flipper for a FaultPlan. Separate RNG stream from the
+/// workload so enabling faults does not perturb the generated transactions.
+class FaultInjector {
+ public:
+  FaultInjector(const FaultPlan& plan, uint64_t seed)
+      : plan_(plan), rng_(seed ^ 0xfa17fa17fa17fa17ULL) {}
+
+  bool DropLock() { return Hit(plan_.drop_lock_prob); }
+  bool StaleSnapshot() { return Hit(plan_.stale_snapshot_prob); }
+  bool DirtyRead() { return Hit(plan_.dirty_read_prob); }
+  bool FutureRead() { return Hit(plan_.future_read_prob); }
+  bool LostWrite() { return Hit(plan_.lost_write_prob); }
+  bool SkipFuw() { return Hit(plan_.skip_fuw_prob); }
+  bool SkipCertifier() { return Hit(plan_.skip_certifier_prob); }
+  bool ResurrectDeleted() { return Hit(plan_.resurrect_deleted_prob); }
+  bool HideRow() { return Hit(plan_.hide_row_prob); }
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Total number of faults actually injected (for test assertions: a run
+  /// that injected nothing cannot be expected to produce violations).
+  uint64_t injected_count() const { return injected_; }
+
+ private:
+  bool Hit(double p) {
+    if (p <= 0.0) return false;
+    bool hit = rng_.Chance(p);
+    if (hit) ++injected_;
+    return hit;
+  }
+
+  FaultPlan plan_;
+  Rng rng_;
+  uint64_t injected_ = 0;
+};
+
+}  // namespace leopard
+
+#endif  // LEOPARD_TXN_FAULT_INJECTOR_H_

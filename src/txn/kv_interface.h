@@ -1,0 +1,56 @@
+#ifndef LEOPARD_TXN_KV_INTERFACE_H_
+#define LEOPARD_TXN_KV_INTERFACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "trace/trace.h"
+
+namespace leopard {
+
+/// The client-facing surface of a transactional key-value DBMS, as seen by
+/// the tracing harness. MiniDB implements it natively; adapters wrap real
+/// engines (e.g. SQLite) behind the same surface so the identical harness,
+/// tracer and verifier run against them — the black-box property in action.
+///
+/// Error contract: kAborted means the engine rolled the transaction back
+/// (conflict, validation); kBusy means the operation should be retried
+/// later (lock wait) with the transaction still alive; kNotFound means the
+/// row is absent (visible tombstone or never inserted).
+class TransactionalKv {
+ public:
+  virtual ~TransactionalKv() = default;
+
+  /// Bulk-loads initial rows as a committed load transaction.
+  virtual void Load(const std::vector<WriteAccess>& rows) = 0;
+
+  /// Starts a transaction on behalf of `client`; returns its id (> 0).
+  virtual TxnId Begin(ClientId client) = 0;
+
+  virtual StatusOr<Value> Read(TxnId txn, Key key) = 0;
+  virtual StatusOr<Value> ReadForUpdate(TxnId txn, Key key) = 0;
+  virtual StatusOr<std::vector<ReadAccess>> ReadRange(TxnId txn, Key first,
+                                                      uint32_t count) = 0;
+  virtual Status Write(TxnId txn, Key key, Value value) = 0;
+  virtual Status Delete(TxnId txn, Key key) = 0;
+
+  /// Multi-row statement (an UPDATE/DELETE whose predicate matches several
+  /// rows): all writes succeed or the call fails as a unit. The default
+  /// implementation loops Write/Delete; engines may override.
+  virtual Status WriteBatch(TxnId txn,
+                            const std::vector<WriteAccess>& writes) {
+    for (const auto& w : writes) {
+      Status s = w.value == kTombstoneValue ? Delete(txn, w.key)
+                                            : Write(txn, w.key, w.value);
+      if (!s.ok()) return s;
+    }
+    return Status::Ok();
+  }
+  virtual Status Commit(TxnId txn) = 0;
+  virtual Status Abort(TxnId txn) = 0;
+};
+
+}  // namespace leopard
+
+#endif  // LEOPARD_TXN_KV_INTERFACE_H_

@@ -1,0 +1,87 @@
+#include "txn/lock_manager.h"
+
+#include <algorithm>
+
+namespace leopard {
+
+Status LockManager::Acquire(TxnId txn, Key key, LockMode mode) {
+  Entry& e = table_[key];
+  bool holds_shared = std::find(e.shared_holders.begin(),
+                                e.shared_holders.end(),
+                                txn) != e.shared_holders.end();
+  if (mode == LockMode::kShared) {
+    if (e.exclusive_holder == txn || holds_shared) return Status::Ok();
+    if (e.exclusive_holder != 0) {
+      return Status::Aborted("lock conflict: X held");
+    }
+    e.shared_holders.push_back(txn);
+    held_[txn].push_back(key);
+    return Status::Ok();
+  }
+  // Exclusive request.
+  if (e.exclusive_holder == txn) return Status::Ok();
+  if (e.exclusive_holder != 0) {
+    return Status::Aborted("lock conflict: X held");
+  }
+  if (!e.shared_holders.empty()) {
+    // Upgrade allowed only when txn is the sole shared holder.
+    if (e.shared_holders.size() == 1 && holds_shared) {
+      e.shared_holders.clear();
+      e.exclusive_holder = txn;
+      return Status::Ok();  // key already recorded in held_
+    }
+    return Status::Aborted("lock conflict: S held by others");
+  }
+  e.exclusive_holder = txn;
+  held_[txn].push_back(key);
+  return Status::Ok();
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  auto it = held_.find(txn);
+  if (it == held_.end()) return;
+  for (Key key : it->second) {
+    auto eit = table_.find(key);
+    if (eit == table_.end()) continue;
+    Entry& e = eit->second;
+    if (e.exclusive_holder == txn) e.exclusive_holder = 0;
+    auto sit = std::find(e.shared_holders.begin(), e.shared_holders.end(),
+                         txn);
+    if (sit != e.shared_holders.end()) e.shared_holders.erase(sit);
+    if (e.Empty()) table_.erase(eit);
+  }
+  held_.erase(it);
+}
+
+bool LockManager::Holds(TxnId txn, Key key, LockMode mode) const {
+  auto it = table_.find(key);
+  if (it == table_.end()) return false;
+  const Entry& e = it->second;
+  if (e.exclusive_holder == txn) return true;
+  if (mode == LockMode::kShared) {
+    return std::find(e.shared_holders.begin(), e.shared_holders.end(),
+                     txn) != e.shared_holders.end();
+  }
+  return false;
+}
+
+std::vector<TxnId> LockManager::ConflictingHolders(TxnId txn, Key key,
+                                                   LockMode mode) const {
+  std::vector<TxnId> out;
+  auto it = table_.find(key);
+  if (it == table_.end()) return out;
+  const Entry& e = it->second;
+  if (e.exclusive_holder != 0 && e.exclusive_holder != txn) {
+    out.push_back(e.exclusive_holder);
+  }
+  if (mode == LockMode::kExclusive) {
+    for (TxnId holder : e.shared_holders) {
+      if (holder != txn) out.push_back(holder);
+    }
+  }
+  return out;
+}
+
+size_t LockManager::LockedKeyCount() const { return table_.size(); }
+
+}  // namespace leopard

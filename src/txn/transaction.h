@@ -1,0 +1,55 @@
+#ifndef LEOPARD_TXN_TRANSACTION_H_
+#define LEOPARD_TXN_TRANSACTION_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "trace/trace.h"
+#include "txn/types.h"
+
+namespace leopard {
+
+/// Per-transaction execution state kept by MiniDB while a transaction is
+/// active (and briefly after commit, for SSI conflict bookkeeping).
+struct Transaction {
+  TxnId id = 0;
+  ClientId client = 0;
+  TxnStatus status = TxnStatus::kActive;
+
+  /// MVCC snapshot: highest commit LSN visible to this transaction. Taken
+  /// lazily at the first operation (transaction-level consistent read) or
+  /// refreshed per statement (statement-level consistent read).
+  Lsn snapshot = 0;
+  bool snapshot_taken = false;
+
+  /// MVTO start timestamp / OCC begin marker.
+  Lsn start_ts = 0;
+
+  /// Commit LSN once committed (0 while active/aborted).
+  Lsn commit_lsn = 0;
+
+  /// Buffered uncommitted writes: final value per key plus write order.
+  std::unordered_map<Key, Value> write_buffer;
+  std::vector<Key> write_order;
+
+  /// Keys read and the version_ts observed — OCC validation input.
+  std::unordered_map<Key, Lsn> read_versions;
+
+  /// SSI dangerous-structure flags: has an inbound / outbound rw
+  /// antidependency with a concurrent transaction.
+  bool ssi_in = false;
+  bool ssi_out = false;
+
+  void BufferWrite(Key key, Value value) {
+    auto [it, inserted] = write_buffer.try_emplace(key, value);
+    if (inserted) {
+      write_order.push_back(key);
+    } else {
+      it->second = value;
+    }
+  }
+};
+
+}  // namespace leopard
+
+#endif  // LEOPARD_TXN_TRANSACTION_H_

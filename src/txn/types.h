@@ -1,0 +1,59 @@
+#ifndef LEOPARD_TXN_TYPES_H_
+#define LEOPARD_TXN_TYPES_H_
+
+#include <cstdint>
+
+#include "trace/trace.h"
+
+namespace leopard {
+
+/// Concurrency-control protocol combinations found in the surveyed DBMSs
+/// (paper Fig. 1). Each protocol is an assembly of the four mechanisms.
+enum class Protocol : uint8_t {
+  kMvcc2pl = 0,   ///< MVCC reads + 2PL writes (InnoDB/Aurora/SQL Server style)
+  kMvcc2plSsi,    ///< MVCC + 2PL + SSI certifier (PostgreSQL serializable)
+  kMvccOcc,       ///< MVCC snapshot reads + OCC validation (FoundationDB)
+  kMvccTo,        ///< Multi-version timestamp ordering (CockroachDB style)
+  k2pl,           ///< Pure strict 2PL, single-version (SQLite style)
+  kPercolator,    ///< Optimistic SI: buffered writes, first-committer-wins
+                  ///< validation at commit (TiDB optimistic / Percolator)
+};
+
+const char* ProtocolName(Protocol p);
+
+/// ANSI-style isolation levels offered by MiniDB. Which anomalies each level
+/// admits depends on the protocol, exactly as in real systems: e.g. MVCC+2PL
+/// repeatable read (InnoDB) allows lost updates while SI (PostgreSQL RR)
+/// does not.
+enum class IsolationLevel : uint8_t {
+  kReadCommitted = 0,   ///< statement-level consistent read
+  kRepeatableRead,      ///< transaction-level consistent read, no FUW
+  kSnapshotIsolation,   ///< transaction-level consistent read + FUW
+  kSerializable,        ///< adds the protocol's serialization certifier
+};
+
+const char* IsolationLevelName(IsolationLevel il);
+
+/// How lock conflicts are handled. NO-WAIT aborts the requester instantly
+/// (fully deterministic); WAIT-DIE lets a requester older than every
+/// conflicting holder wait (the client retries the operation, stretching
+/// its trace interval like a blocked statement in a real engine) while
+/// younger requesters abort — deadlock-free by construction.
+enum class LockWaitPolicy : uint8_t {
+  kNoWait = 0,
+  kWaitDie,
+};
+
+enum class TxnStatus : uint8_t {
+  kActive = 0,
+  kCommitted,
+  kAborted,
+};
+
+/// Monotone logical sequence number used by MiniDB for snapshots and commit
+/// ordering. Internal to the engine — the verifier never sees it (black box).
+using Lsn = uint64_t;
+
+}  // namespace leopard
+
+#endif  // LEOPARD_TXN_TYPES_H_

@@ -1,0 +1,97 @@
+#include "txn/version_store.h"
+
+#include <algorithm>
+
+namespace leopard {
+
+void VersionStore::Install(Key key, const StoredVersion& v) {
+  auto& hist = map_[key];
+  auto& vs = hist.versions;
+  // Versions almost always arrive in version_ts order; insertion sort from
+  // the tail keeps the common case O(1).
+  auto pos = vs.end();
+  while (pos != vs.begin() && std::prev(pos)->version_ts > v.version_ts) {
+    --pos;
+  }
+  vs.insert(pos, v);
+}
+
+StatusOr<StoredVersion> VersionStore::ReadAtSnapshot(Key key,
+                                                     Lsn snapshot) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return Status::NotFound("no such key");
+  const auto& vs = it->second.versions;
+  for (auto rit = vs.rbegin(); rit != vs.rend(); ++rit) {
+    if (rit->version_ts <= snapshot) return *rit;
+  }
+  return Status::NotFound("no version visible at snapshot");
+}
+
+StatusOr<StoredVersion> VersionStore::ReadLatest(Key key) const {
+  auto it = map_.find(key);
+  if (it == map_.end() || it->second.versions.empty()) {
+    return Status::NotFound("no such key");
+  }
+  return it->second.versions.back();
+}
+
+StatusOr<StoredVersion> VersionStore::ReadStale(Key key, Lsn snapshot) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return Status::NotFound("no such key");
+  const auto& vs = it->second.versions;
+  const StoredVersion* visible = nullptr;
+  const StoredVersion* prev = nullptr;
+  for (const auto& v : vs) {
+    if (v.version_ts <= snapshot) {
+      prev = visible;
+      visible = &v;
+    }
+  }
+  if (prev == nullptr) return Status::NotFound("no stale version");
+  return *prev;
+}
+
+Lsn VersionStore::LatestVersionTs(Key key) const {
+  auto it = map_.find(key);
+  if (it == map_.end() || it->second.versions.empty()) return 0;
+  return it->second.versions.back().version_ts;
+}
+
+Lsn VersionStore::LatestCommitLsn(Key key) const {
+  auto it = map_.find(key);
+  if (it == map_.end() || it->second.versions.empty()) return 0;
+  Lsn best = 0;
+  for (const auto& v : it->second.versions) {
+    best = std::max(best, v.commit_lsn);
+  }
+  return best;
+}
+
+std::vector<TxnId> VersionStore::WritersAfter(Key key, Lsn snapshot) const {
+  std::vector<TxnId> writers;
+  auto it = map_.find(key);
+  if (it == map_.end()) return writers;
+  for (auto rit = it->second.versions.rbegin();
+       rit != it->second.versions.rend(); ++rit) {
+    if (rit->commit_lsn > snapshot) writers.push_back(rit->writer);
+  }
+  return writers;
+}
+
+void VersionStore::NoteReadTs(Key key, Lsn ts) {
+  auto& hist = map_[key];
+  hist.max_read_ts = std::max(hist.max_read_ts, ts);
+}
+
+Lsn VersionStore::MaxReadTs(Key key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? 0 : it->second.max_read_ts;
+}
+
+size_t VersionStore::VersionCount() const {
+  size_t n = 0;
+  for (const auto& [k, hist] : map_) n += hist.versions.size();
+  return n;
+}
+
+}  // namespace leopard

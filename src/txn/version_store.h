@@ -1,0 +1,81 @@
+#ifndef LEOPARD_TXN_VERSION_STORE_H_
+#define LEOPARD_TXN_VERSION_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "trace/trace.h"
+#include "txn/types.h"
+
+namespace leopard {
+
+/// One committed version of a record.
+struct StoredVersion {
+  Value value = 0;
+  TxnId writer = 0;
+  /// Commit order position (assigned when the writer commits).
+  Lsn commit_lsn = 0;
+  /// Version axis used for visibility. Equal to commit_lsn for commit-order
+  /// protocols; equal to the writer's start timestamp for MVTO.
+  Lsn version_ts = 0;
+};
+
+/// In-memory multi-version record store for MiniDB. Holds only *committed*
+/// versions; in-flight writes live in the owning transaction's write buffer.
+///
+/// Not thread-safe; the Database serializes access.
+class VersionStore {
+ public:
+  VersionStore() = default;
+  VersionStore(const VersionStore&) = delete;
+  VersionStore& operator=(const VersionStore&) = delete;
+
+  /// Installs a committed version, keeping the chain sorted by version_ts.
+  void Install(Key key, const StoredVersion& v);
+
+  /// Latest version with version_ts <= snapshot (MVCC consistent read).
+  /// NotFound if the key has no visible version.
+  StatusOr<StoredVersion> ReadAtSnapshot(Key key, Lsn snapshot) const;
+
+  /// Latest committed version regardless of snapshot.
+  StatusOr<StoredVersion> ReadLatest(Key key) const;
+
+  /// Version immediately *preceding* the one visible at `snapshot`; used by
+  /// stale-snapshot fault injection. NotFound if there is no older version.
+  StatusOr<StoredVersion> ReadStale(Key key, Lsn snapshot) const;
+
+  /// version_ts of the newest committed version, or 0 if none.
+  Lsn LatestVersionTs(Key key) const;
+
+  /// commit_lsn of the newest committed version, or 0 if none.
+  Lsn LatestCommitLsn(Key key) const;
+
+  /// Writers of committed versions with commit_lsn > `snapshot` (newest
+  /// first). Used by the SSI reader-side rw-antidependency check.
+  std::vector<TxnId> WritersAfter(Key key, Lsn snapshot) const;
+
+  /// MVTO read-timestamp bookkeeping: remember that a reader with timestamp
+  /// `ts` observed this key, and query the maximum such timestamp.
+  void NoteReadTs(Key key, Lsn ts);
+  Lsn MaxReadTs(Key key) const;
+
+  bool Contains(Key key) const { return map_.contains(key); }
+  size_t KeyCount() const { return map_.size(); }
+
+  /// Total number of stored versions (tests/stats).
+  size_t VersionCount() const;
+
+ private:
+  struct KeyHistory {
+    std::vector<StoredVersion> versions;  // sorted by version_ts ascending
+    Lsn max_read_ts = 0;
+  };
+
+  std::unordered_map<Key, KeyHistory> map_;
+};
+
+}  // namespace leopard
+
+#endif  // LEOPARD_TXN_VERSION_STORE_H_

@@ -1,0 +1,32 @@
+#include "verifier/bug.h"
+
+#include <sstream>
+
+namespace leopard {
+
+const char* BugTypeName(BugType type) {
+  switch (type) {
+    case BugType::kCrViolation:
+      return "CR_VIOLATION";
+    case BugType::kMeViolation:
+      return "ME_VIOLATION";
+    case BugType::kFuwViolation:
+      return "FUW_VIOLATION";
+    case BugType::kScViolation:
+      return "SC_VIOLATION";
+  }
+  return "UNKNOWN";
+}
+
+std::string BugDescriptor::ToString() const {
+  std::ostringstream os;
+  os << BugTypeName(type) << " key=" << key << " txns=[";
+  for (size_t i = 0; i < txns.size(); ++i) {
+    if (i) os << ",";
+    os << txns[i];
+  }
+  os << "] " << detail;
+  return os.str();
+}
+
+}  // namespace leopard

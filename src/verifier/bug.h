@@ -1,0 +1,37 @@
+#ifndef LEOPARD_VERIFIER_BUG_H_
+#define LEOPARD_VERIFIER_BUG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace leopard {
+
+/// Which of the four verified mechanisms was violated.
+enum class BugType : uint8_t {
+  kCrViolation = 0,   ///< consistent read: impossible value observed
+  kMeViolation,       ///< mutual exclusion: incompatible locks co-held
+  kFuwViolation,      ///< first updater wins: lost update between committed
+  kScViolation,       ///< serialization certifier: prohibited dependency
+};
+
+const char* BugTypeName(BugType type);
+
+/// A violation report ("bug descriptor" in the paper): the mechanism that
+/// failed, the transactions and record involved, and a human-readable
+/// explanation of why no ordering of the trace intervals is compatible with
+/// the mechanism.
+struct BugDescriptor {
+  BugType type = BugType::kCrViolation;
+  std::vector<TxnId> txns;
+  Key key = 0;
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+}  // namespace leopard
+
+#endif  // LEOPARD_VERIFIER_BUG_H_

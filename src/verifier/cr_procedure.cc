@@ -1,0 +1,238 @@
+// Consistent-read verification (Algorithm 2, CONSISTENTREAD): version
+// installation, candidate-set matching, absence checks and the wr/rw
+// deductions that flow from them.
+
+#include "verifier/leopard.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace leopard {
+
+void Leopard::InstallVersion(Key key, Value value, TxnId writer,
+                             TimeInterval install) {
+  VersionOrderIndex::InstallResult res =
+      versions_.Install(key, value, writer, install);
+  ++stats_.versions_tracked;
+  // rw deduction, Fig. 9: readers of the certainly-preceding version have
+  // an anti-dependency on this writer.
+  if (res.certain_prev != SIZE_MAX) {
+    const auto* list = versions_.Get(key);
+    for (TxnId reader : (*list)[res.certain_prev].readers) {
+      if (reader == writer) continue;
+      ++stats_.deps_total;
+      Deduce(reader, writer, DepType::kRw);
+    }
+  }
+}
+
+void Leopard::ProcessRead(const Trace& trace) {
+  TxnState& t = GetTxn(trace.txn, trace.interval);
+  if (trace.read_set.empty() && trace.absent_reads.empty() &&
+      trace.range_count == 0) {
+    return;
+  }
+
+  PendingRead pending;
+  pending.txn = trace.txn;
+  pending.op_interval = trace.interval;
+  // FOR UPDATE is a *current* read whatever the isolation level: its
+  // snapshot is the statement itself.
+  pending.snapshot = config_.statement_level_cr || trace.for_update
+                         ? trace.interval
+                         : t.first_op;
+
+  auto note_read_lock = [&](Key key, bool exclusive) {
+    locks_.NoteAcquire(key, trace.txn, exclusive, trace.interval);
+    if (std::find(t.read_keys.begin(), t.read_keys.end(), key) ==
+        t.read_keys.end()) {
+      t.read_keys.push_back(key);
+    }
+  };
+
+  for (const auto& r : trace.read_set) {
+    if (config_.check_me) {
+      if (trace.for_update) {
+        note_read_lock(r.key, /*exclusive=*/true);
+      } else if (config_.locking_reads) {
+        note_read_lock(r.key, /*exclusive=*/false);
+      }
+    }
+    // First CR case (§V-A): a read must see this transaction's own earlier
+    // writes; those never reach candidate matching.
+    auto own = t.own_writes.find(r.key);
+    if (own != t.own_writes.end()) {
+      if (config_.check_cr && own->second != r.value) {
+        std::ostringstream os;
+        os << "read " << r.value << " instead of own uncommitted write "
+           << own->second;
+        ReportBug(BugType::kCrViolation, r.key, {trace.txn}, os.str());
+      }
+      continue;
+    }
+    pending.items.push_back(r);
+  }
+
+  // Absent rows: explicit misses plus range-scan gaps.
+  auto note_absent = [&](Key key) {
+    auto own = t.own_writes.find(key);
+    if (own != t.own_writes.end()) {
+      if (config_.check_cr && own->second != kTombstoneValue) {
+        std::ostringstream os;
+        os << "row reported absent despite own uncommitted write "
+           << own->second;
+        ReportBug(BugType::kCrViolation, key, {trace.txn}, os.str());
+      }
+      return;
+    }
+    pending.absent_items.push_back(key);
+  };
+  for (Key key : trace.absent_reads) note_absent(key);
+  if (trace.range_count > 0) {
+    std::unordered_set<Key> returned;
+    for (const auto& r : trace.read_set) returned.insert(r.key);
+    for (uint32_t i = 0; i < trace.range_count; ++i) {
+      Key key = trace.range_first + i;
+      if (!returned.contains(key)) note_absent(key);
+    }
+  }
+
+  if ((!pending.items.empty() || !pending.absent_items.empty()) &&
+      config_.check_cr) {
+    pending_reads_.push(std::move(pending));
+  }
+}
+
+void Leopard::FlushPendingReads() {
+  while (!pending_reads_.empty() &&
+         pending_reads_.top().snapshot.aft < frontier_) {
+    PendingRead read = pending_reads_.top();
+    pending_reads_.pop();
+    VerifyRead(read);
+  }
+}
+
+void Leopard::VerifyAbsence(Key key, const PendingRead& read) {
+  ++stats_.reads_verified;
+  // On the timestamp axis (MVTO) any visible version may carry a newer
+  // logical timestamp than the reader, so absence can never be refuted
+  // from intervals alone.
+  if (config_.allow_stale_reads) return;
+  auto* list = versions_.Get(key);
+  if (list == nullptr || list->empty()) return;  // never existed: fine
+  CandidateSet cand = versions_.Candidates(key, read.snapshot);
+  if (cand.indices.empty()) return;  // nothing visible yet: fine
+  size_t tombstones = 0;
+  size_t tombstone_idx = SIZE_MAX;
+  for (size_t idx : cand.indices) {
+    if ((*list)[idx].value == kTombstoneValue) {
+      ++tombstones;
+      tombstone_idx = idx;
+    }
+  }
+  if (tombstones == 0) {
+    if (cand.has_pivot) {
+      // A non-tombstone version was certainly visible: the row cannot
+      // legitimately be absent (hidden row / lost insert).
+      std::ostringstream os;
+      os << "row reported absent although a committed version was "
+            "certainly visible ("
+         << cand.indices.size() << " candidates)";
+      ReportBug(BugType::kCrViolation, key, {read.txn}, os.str());
+    }
+    return;
+  }
+  if (tombstones == 1) {
+    // Unique explanation: the reader observed this delete — a wr
+    // dependency on the deleting transaction (and rw edges to writers of
+    // certainly-later versions, like any other read).
+    VersionEntry& entry = (*list)[tombstone_idx];
+    entry.readers.push_back(read.txn);
+    if (entry.writer != read.txn) {
+      ++stats_.deps_total;
+      Deduce(entry.writer, read.txn, DepType::kWr);
+    }
+  }
+}
+
+void Leopard::VerifyRead(const PendingRead& read) {
+  for (Key key : read.absent_items) VerifyAbsence(key, read);
+  for (const auto& item : read.items) {
+    ++stats_.reads_verified;
+    auto* list = versions_.Get(item.key);
+    if (list == nullptr || list->empty()) continue;  // unknown record
+    CandidateSet cand =
+        config_.allow_stale_reads
+            ? versions_.CandidatesRelaxed(item.key, read.snapshot)
+            : versions_.Candidates(item.key, read.snapshot);
+    size_t match = SIZE_MAX;
+    size_t match_count = 0;
+    for (size_t idx : cand.indices) {
+      if ((*list)[idx].value == item.value) {
+        match = idx;
+        ++match_count;
+      }
+    }
+    if (match_count == 0) {
+      std::ostringstream os;
+      os << "value " << item.value << " not in the candidate version set ("
+         << cand.indices.size() << " candidates)";
+      ReportBug(BugType::kCrViolation, item.key, {read.txn}, os.str());
+      continue;
+    }
+    if (match_count > 1) {
+      // Duplicate values: the version read cannot be identified (the
+      // SmallBank amalgamate case, §VI-D) — an uncertain wr dependency.
+      ++stats_.deps_total;
+      ++stats_.overlapped_wr;
+      ++stats_.uncertain_wr;
+      continue;
+    }
+    VersionEntry& entry = (*list)[match];
+    entry.readers.push_back(read.txn);
+    if (entry.writer != read.txn) {
+      ++stats_.deps_total;
+      bool overlapped = Overlaps(entry.install, read.op_interval);
+      if (overlapped) {
+        ++stats_.overlapped_wr;
+        ++stats_.deduced_overlapped_wr;
+      }
+      Deduce(entry.writer, read.txn, DepType::kWr);
+    }
+    // rw deduction, Fig. 9: if the matched version's direct successor is
+    // already known and certainly ordered, this reader anti-depends on the
+    // successor's writer.
+    if (match + 1 < list->size()) {
+      const VersionEntry& succ = (*list)[match + 1];
+      if (CertainlyBefore(entry.install, succ.install) &&
+          succ.writer != read.txn) {
+        ++stats_.deps_total;
+        Deduce(read.txn, succ.writer, DepType::kRw);
+      }
+    }
+    // Candidate-set elimination (§V-A): a *skipped* candidate certainly
+    // newer in version order than the matched one was invisible to this
+    // snapshot, i.e. it committed after the snapshot point — an rw edge
+    // that resolves an otherwise-uncertain interval overlap. (Not valid
+    // under timestamp-axis reads, where skipping a newer commit is
+    // legitimate.)
+    if (!config_.allow_stale_reads) {
+      for (size_t idx : cand.indices) {
+        if (idx <= match) continue;
+        const VersionEntry& later = (*list)[idx];
+        if (later.writer == read.txn ||
+            !CertainlyBefore(entry.install, later.install)) {
+          continue;
+        }
+        ++stats_.deps_total;
+        if (Overlaps(later.writer_commit, read.snapshot)) {
+          ++stats_.overlapped_rw;
+          ++stats_.deduced_overlapped_rw;
+        }
+        Deduce(read.txn, later.writer, DepType::kRw);
+      }
+    }
+  }
+}
+}  // namespace leopard

@@ -1,0 +1,302 @@
+#include "verifier/dependency_graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+#include <unordered_set>
+
+namespace leopard {
+
+const char* DepTypeName(DepType type) {
+  switch (type) {
+    case DepType::kWw:
+      return "ww";
+    case DepType::kWr:
+      return "wr";
+    case DepType::kRw:
+      return "rw";
+  }
+  return "?";
+}
+
+const char* CertifierModeName(CertifierMode mode) {
+  switch (mode) {
+    case CertifierMode::kCycle:
+      return "cycle";
+    case CertifierMode::kSsi:
+      return "ssi";
+    case CertifierMode::kCommitOrder:
+      return "commit-order";
+    case CertifierMode::kTsOrder:
+      return "ts-order";
+    case CertifierMode::kFullDfs:
+      return "full-dfs";
+  }
+  return "?";
+}
+
+void DependencyGraph::AddNode(TxnId id, const NodeInfo& info) {
+  auto [it, inserted] = nodes_.try_emplace(id);
+  if (!inserted) return;
+  it->second.info = info;
+  it->second.ord = next_ord_++;
+}
+
+DependencyGraph::Node* DependencyGraph::Find(TxnId id) {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+const DependencyGraph::Node* DependencyGraph::Find(TxnId id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+bool DependencyGraph::Concurrent(const Node& a, const Node& b) const {
+  // *Certain* concurrency: each transaction began (no later than its first
+  // operation completed) before the other committed (no earlier than its
+  // terminal operation began). Requiring certainty keeps the SSI mirror
+  // free of false positives when trace intervals are loose.
+  return CertainlyBefore(a.info.first_op, b.info.end) &&
+         CertainlyBefore(b.info.first_op, a.info.end);
+}
+
+std::optional<std::string> DependencyGraph::CheckSsi(TxnId from, Node& f,
+                                                     TxnId to, Node& t) {
+  // The new rw edge from->to may complete a dangerous structure
+  // a -rw-> pivot -rw-> b with the pivot concurrent with both neighbours.
+  // Case 1: `from` is the pivot (some a -rw-> from exists).
+  if (Concurrent(f, t)) {
+    for (TxnId a : f.rw_in) {
+      const Node* an = Find(a);
+      if (an == nullptr) continue;
+      if (Concurrent(*an, f)) {
+        std::ostringstream os;
+        os << "SSI dangerous structure: " << a << " -rw-> " << from
+           << " -rw-> " << to << " among concurrent committed transactions";
+        return os.str();
+      }
+    }
+    // Case 2: `to` is the pivot (some to -rw-> b exists).
+    for (TxnId b : t.rw_out) {
+      const Node* bn = Find(b);
+      if (bn == nullptr) continue;
+      if (Concurrent(t, *bn)) {
+        std::ostringstream os;
+        os << "SSI dangerous structure: " << from << " -rw-> " << to
+           << " -rw-> " << b << " among concurrent committed transactions";
+        return os.str();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> DependencyGraph::AddEdge(TxnId from, TxnId to,
+                                                    DepType type) {
+  if (from == to) return std::nullopt;
+  Node* f = Find(from);
+  Node* t = Find(to);
+  if (f == nullptr || t == nullptr) return std::nullopt;
+  for (const auto& [peer, ptype] : f->out) {
+    if (peer == to && ptype == type) return std::nullopt;  // duplicate
+  }
+  f->out.emplace_back(to, type);
+  t->in.push_back(from);
+  ++t->in_degree;
+  ++edge_count_;
+
+  if (check_real_time_order_ &&
+      CertainlyBefore(t->info.end, f->info.first_op)) {
+    // `to` finished before `from` even began, yet `to` depends on `from`:
+    // the serialization order contradicts real time.
+    std::ostringstream os;
+    os << "strict serializability: " << DepTypeName(type) << " edge "
+       << from << " -> " << to << " points backwards in real time";
+    return os.str();
+  }
+
+  switch (mode_) {
+    case CertifierMode::kSsi: {
+      if (type != DepType::kRw) return std::nullopt;
+      f->rw_out.push_back(to);
+      t->rw_in.push_back(from);
+      return CheckSsi(from, *f, to, *t);
+    }
+    case CertifierMode::kCommitOrder: {
+      // OCC serializes in commit order; wr/ww edges always point forward,
+      // but an rw edge whose target *certainly committed first* is
+      // impossible under a working validator.
+      if (type == DepType::kRw &&
+          CertainlyBefore(t->info.end, f->info.end)) {
+        std::ostringstream os;
+        os << "commit-order certifier: rw edge " << from << " -> " << to
+           << " points backwards in commit order";
+        return os.str();
+      }
+      return std::nullopt;
+    }
+    case CertifierMode::kTsOrder: {
+      // MVTO orders transactions by begin timestamp: a dependency onto a
+      // transaction that certainly began earlier is prohibited.
+      if (CertainlyBefore(t->info.first_op, f->info.first_op)) {
+        std::ostringstream os;
+        os << "ts-order certifier: " << DepTypeName(type) << " edge " << from
+           << " -> " << to << " points backwards in timestamp order";
+        return os.str();
+      }
+      return std::nullopt;
+    }
+    case CertifierMode::kCycle:
+      return PkInsert(from, to);
+    case CertifierMode::kFullDfs:
+      return std::nullopt;  // caller runs FullCycleSearch per commit
+  }
+  return std::nullopt;
+}
+
+bool DependencyGraph::PkForward(TxnId id, int64_t upper_ord, TxnId target,
+                                std::vector<TxnId>& reached) {
+  // Iterative DFS over nodes with ord <= upper_ord. Returns true when
+  // `target` is reachable (a cycle).
+  std::unordered_set<TxnId> seen;
+  std::vector<TxnId> stack{id};
+  seen.insert(id);
+  while (!stack.empty()) {
+    TxnId cur = stack.back();
+    stack.pop_back();
+    if (cur == target) return true;
+    reached.push_back(cur);
+    Node* n = Find(cur);
+    if (n == nullptr) continue;
+    for (const auto& [next, type] : n->out) {
+      Node* nn = Find(next);
+      if (nn == nullptr || nn->ord > upper_ord) continue;
+      if (seen.insert(next).second) stack.push_back(next);
+    }
+  }
+  return false;
+}
+
+void DependencyGraph::PkBackward(TxnId id, int64_t lower_ord,
+                                 std::vector<TxnId>& reached) {
+  std::unordered_set<TxnId> seen;
+  std::vector<TxnId> stack{id};
+  seen.insert(id);
+  while (!stack.empty()) {
+    TxnId cur = stack.back();
+    stack.pop_back();
+    reached.push_back(cur);
+    Node* n = Find(cur);
+    if (n == nullptr) continue;
+    for (TxnId prev : n->in) {
+      Node* pn = Find(prev);
+      if (pn == nullptr || pn->ord < lower_ord) continue;
+      if (seen.insert(prev).second) stack.push_back(prev);
+    }
+  }
+}
+
+std::optional<std::string> DependencyGraph::PkInsert(TxnId from, TxnId to) {
+  Node* f = Find(from);
+  Node* t = Find(to);
+  if (t->ord > f->ord) return std::nullopt;  // already topologically sorted
+
+  // Affected region: nodes reachable forward from `to` with ord <= ord[from]
+  // and nodes reaching `from` backward with ord >= ord[to].
+  std::vector<TxnId> forward, backward;
+  if (PkForward(to, f->ord, from, forward)) {
+    std::ostringstream os;
+    os << "dependency cycle through " << from << " -> " << to;
+    return os.str();
+  }
+  PkBackward(from, t->ord, backward);
+
+  // Reassign the union's topological indices: backward set first (keeping
+  // relative order), then forward set.
+  auto by_ord = [this](TxnId a, TxnId b) {
+    return Find(a)->ord < Find(b)->ord;
+  };
+  std::sort(forward.begin(), forward.end(), by_ord);
+  std::sort(backward.begin(), backward.end(), by_ord);
+  std::vector<int64_t> slots;
+  slots.reserve(forward.size() + backward.size());
+  for (TxnId id : backward) slots.push_back(Find(id)->ord);
+  for (TxnId id : forward) slots.push_back(Find(id)->ord);
+  std::sort(slots.begin(), slots.end());
+  size_t i = 0;
+  for (TxnId id : backward) Find(id)->ord = slots[i++];
+  for (TxnId id : forward) Find(id)->ord = slots[i++];
+  return std::nullopt;
+}
+
+std::optional<std::string> DependencyGraph::FullCycleSearch() {
+  // Iterative three-colour DFS over the whole graph.
+  std::unordered_map<TxnId, int> colour;  // 0 white, 1 grey, 2 black
+  for (const auto& [start, node] : nodes_) {
+    if (colour[start] != 0) continue;
+    std::vector<std::pair<TxnId, size_t>> stack{{start, 0}};
+    colour[start] = 1;
+    while (!stack.empty()) {
+      auto& [cur, idx] = stack.back();
+      Node* n = Find(cur);
+      if (n == nullptr || idx >= n->out.size()) {
+        colour[cur] = 2;
+        stack.pop_back();
+        continue;
+      }
+      TxnId next = n->out[idx++].first;
+      if (!nodes_.contains(next)) continue;
+      int c = colour[next];
+      if (c == 1) {
+        std::ostringstream os;
+        os << "dependency cycle through " << next;
+        return os.str();
+      }
+      if (c == 0) {
+        colour[next] = 1;
+        stack.emplace_back(next, 0);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+size_t DependencyGraph::PruneGarbage(Timestamp safe_ts) {
+  size_t pruned = 0;
+  std::deque<TxnId> queue;
+  for (const auto& [id, node] : nodes_) {
+    if (node.in_degree == 0 && node.info.end.aft <= safe_ts) {
+      queue.push_back(id);
+    }
+  }
+  while (!queue.empty()) {
+    TxnId id = queue.front();
+    queue.pop_front();
+    Node* n = Find(id);
+    if (n == nullptr) continue;
+    for (const auto& [next, type] : n->out) {
+      Node* nn = Find(next);
+      if (nn == nullptr) continue;
+      if (--nn->in_degree == 0 && nn->info.end.aft <= safe_ts) {
+        queue.push_back(next);
+      }
+    }
+    edge_count_ -= n->out.size();
+    nodes_.erase(id);
+    ++pruned;
+  }
+  return pruned;
+}
+
+size_t DependencyGraph::ApproxBytes() const {
+  size_t bytes = nodes_.size() * (sizeof(TxnId) + sizeof(Node));
+  for (const auto& [id, node] : nodes_) {
+    bytes += node.out.capacity() * sizeof(std::pair<TxnId, DepType>);
+    bytes += node.in.capacity() * sizeof(TxnId);
+    bytes += (node.rw_in.capacity() + node.rw_out.capacity()) * sizeof(TxnId);
+  }
+  return bytes;
+}
+
+}  // namespace leopard

@@ -1,0 +1,96 @@
+#ifndef LEOPARD_VERIFIER_DEPENDENCY_GRAPH_H_
+#define LEOPARD_VERIFIER_DEPENDENCY_GRAPH_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/interval.h"
+#include "trace/trace.h"
+#include "verifier/config.h"
+#include "verifier/stats.h"
+
+namespace leopard {
+
+/// The serialization-certifier state (§V-D): a dependency graph over
+/// committed transactions, checked with the invariant of whichever certifier
+/// the DBMS under test claims to implement.
+///
+///  - kCycle: incremental cycle detection via Pearce–Kelly topological-order
+///    maintenance — O(affected region) per edge instead of a full search.
+///  - kSsi / kCommitOrder / kTsOrder: O(degree) mirror checks of the SSI /
+///    OCC / MVTO certifiers.
+///  - kFullDfs: from-scratch DFS after every committed transaction, the
+///    naive baseline of Fig. 11.
+///
+/// Garbage transactions (Def. 4: in-degree zero and ended before the
+/// earliest unverified snapshot) are pruned by PruneGarbage; Theorem 5
+/// guarantees they cannot join any future cycle.
+class DependencyGraph {
+ public:
+  struct NodeInfo {
+    /// (first operation ts_bef, terminal operation ts_aft): the span during
+    /// which the transaction was certainly active; used for concurrency
+    /// tests in the SSI mirror.
+    TimeInterval first_op;
+    TimeInterval end;
+  };
+
+  explicit DependencyGraph(CertifierMode mode,
+                           bool check_real_time_order = false)
+      : mode_(mode), check_real_time_order_(check_real_time_order) {}
+
+  /// Registers a committed transaction.
+  void AddNode(TxnId id, const NodeInfo& info);
+  bool HasNode(TxnId id) const { return nodes_.contains(id); }
+
+  /// Adds a dependency edge (`to` depends on `from`, i.e. `from` precedes
+  /// `to` in any serial order). Returns a violation description when the
+  /// certifier's invariant breaks. Duplicate edges are ignored.
+  std::optional<std::string> AddEdge(TxnId from, TxnId to, DepType type);
+
+  /// kFullDfs only: run the from-scratch cycle search (call per commit).
+  std::optional<std::string> FullCycleSearch();
+
+  /// Prunes garbage transactions: in-degree 0 and end.aft <= safe_ts.
+  /// Returns the number of nodes removed.
+  size_t PruneGarbage(Timestamp safe_ts);
+
+  size_t NodeCount() const { return nodes_.size(); }
+  size_t EdgeCount() const { return edge_count_; }
+  size_t ApproxBytes() const;
+
+ private:
+  struct Node {
+    NodeInfo info;
+    std::vector<std::pair<TxnId, DepType>> out;
+    std::vector<TxnId> in;
+    uint32_t in_degree = 0;
+    int64_t ord = 0;  // Pearce–Kelly topological index
+    std::vector<TxnId> rw_in;   // SSI mirror bookkeeping
+    std::vector<TxnId> rw_out;
+  };
+
+  Node* Find(TxnId id);
+  const Node* Find(TxnId id) const;
+  bool Concurrent(const Node& a, const Node& b) const;
+  std::optional<std::string> CheckSsi(TxnId from, Node& f, TxnId to, Node& t);
+  /// Pearce–Kelly: restore topological order after inserting from->to;
+  /// returns a description when a cycle is found.
+  std::optional<std::string> PkInsert(TxnId from, TxnId to);
+  bool PkForward(TxnId id, int64_t upper_ord, TxnId target,
+                 std::vector<TxnId>& reached);
+  void PkBackward(TxnId id, int64_t lower_ord, std::vector<TxnId>& reached);
+
+  CertifierMode mode_;
+  bool check_real_time_order_;
+  std::unordered_map<TxnId, Node> nodes_;
+  size_t edge_count_ = 0;
+  int64_t next_ord_ = 0;
+};
+
+}  // namespace leopard
+
+#endif  // LEOPARD_VERIFIER_DEPENDENCY_GRAPH_H_

@@ -1,0 +1,259 @@
+#include "verifier/leopard.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace leopard {
+
+namespace {
+constexpr size_t kMaxStoredBugs = 10000;
+}  // namespace
+
+Leopard::Leopard(const VerifierConfig& config)
+    : config_(config),
+      graph_(config.certifier, config.check_real_time_order) {}
+
+Leopard::TxnState& Leopard::GetTxn(TxnId id,
+                                   const TimeInterval& op_interval) {
+  auto [it, inserted] = txns_.try_emplace(id);
+  TxnState& t = it->second;
+  if (inserted) t.id = id;
+  if (!t.has_first_op) {
+    t.first_op = op_interval;
+    t.has_first_op = true;
+  }
+  return t;
+}
+
+void Leopard::ReportBug(BugType type, Key key, std::vector<TxnId> txns,
+                        std::string detail) {
+  switch (type) {
+    case BugType::kCrViolation:
+      ++stats_.cr_violations;
+      break;
+    case BugType::kMeViolation:
+      ++stats_.me_violations;
+      break;
+    case BugType::kFuwViolation:
+      ++stats_.fuw_violations;
+      break;
+    case BugType::kScViolation:
+      ++stats_.sc_violations;
+      break;
+  }
+  if (bugs_.size() >= kMaxStoredBugs) return;
+  BugDescriptor bug;
+  bug.type = type;
+  bug.key = key;
+  bug.txns = std::move(txns);
+  bug.detail = std::move(detail);
+  bugs_.push_back(std::move(bug));
+}
+
+void Leopard::Process(const Trace& trace) {
+  if (trace.ts_bef() < frontier_) ++stats_.out_of_order_traces;
+  frontier_ = std::max(frontier_, trace.ts_bef());
+  FlushPendingReads();
+  ++stats_.traces_processed;
+  switch (trace.op) {
+    case OpType::kRead:
+      ProcessRead(trace);
+      break;
+    case OpType::kWrite:
+      ProcessWrite(trace);
+      break;
+    case OpType::kCommit:
+      ProcessTerminal(trace, /*committed=*/true);
+      break;
+    case OpType::kAbort:
+      ProcessTerminal(trace, /*committed=*/false);
+      break;
+  }
+  ++traces_since_gc_;
+  if (config_.enable_gc && traces_since_gc_ >= config_.gc_every) {
+    MaybeGc();
+  }
+}
+
+void Leopard::Finish() {
+  frontier_ = kMaxTimestamp;
+  FlushPendingReads();
+}
+
+
+void Leopard::ProcessWrite(const Trace& trace) {
+  TxnState& t = GetTxn(trace.txn, trace.interval);
+  for (const auto& w : trace.write_set) {
+    auto [it, first_write] = t.own_writes.insert_or_assign(w.key, w.value);
+    if (first_write) t.write_keys.push_back(w.key);
+    if (!config_.install_at_commit) {
+      InstallVersion(w.key, w.value, trace.txn, trace.interval);
+    }
+    if (config_.check_me) {
+      locks_.NoteAcquire(w.key, trace.txn, /*exclusive=*/true,
+                         trace.interval);
+    }
+  }
+}
+
+
+
+
+
+void Leopard::ProcessTerminal(const Trace& trace, bool committed) {
+  TxnState& t = GetTxn(trace.txn, trace.interval);
+  t.end = trace.interval;
+  t.status = committed ? TxnStatus::kCommitted : TxnStatus::kAborted;
+
+  if (config_.check_me) {
+    std::vector<Key> lock_keys = t.write_keys;
+    lock_keys.insert(lock_keys.end(), t.read_keys.begin(),
+                     t.read_keys.end());
+    locks_.NoteRelease(trace.txn, lock_keys, trace.interval, committed);
+    VerifyMeAtRelease(t);
+  }
+
+  if (committed) {
+    MarkVersionsCommitted(t);
+    if (config_.check_sc) {
+      graph_.AddNode(trace.txn, {t.first_op, t.end});
+    }
+    if (config_.check_fuw) VerifyFuwAtCommit(t);
+    // Materialize dependency edges that were waiting for this commit.
+    std::vector<PendingEdge> pending = std::move(t.pending);
+    t.pending.clear();
+    for (const auto& e : pending) EmitEdge(e.from, e.to, e.type);
+    if (config_.check_sc && config_.certifier == CertifierMode::kFullDfs) {
+      auto violation = graph_.FullCycleSearch();
+      if (violation) {
+        ReportBug(BugType::kScViolation, 0, {trace.txn}, *violation);
+      }
+    }
+  } else {
+    // Aborted: its versions were never committed — anyone who read them saw
+    // dirty data.
+    for (Key key : t.write_keys) {
+      std::vector<TxnId> dirty = versions_.RemoveAborted(key, trace.txn);
+      if (config_.check_cr) {
+        for (TxnId reader : dirty) {
+          std::ostringstream os;
+          os << "read a version written by aborted transaction "
+             << trace.txn;
+          ReportBug(BugType::kCrViolation, key, {reader, trace.txn},
+                    os.str());
+        }
+      }
+    }
+  }
+  // The registry entry is no longer needed: committed membership is now
+  // encoded in the dependency graph; pending edges of aborted txns drop.
+  txns_.erase(trace.txn);
+}
+
+void Leopard::MarkVersionsCommitted(TxnState& t) {
+  if (config_.install_at_commit) {
+    // OCC/TO engines physically install buffered writes at commit: create
+    // the version entries now, with the commit interval as installation.
+    for (Key key : t.write_keys) {
+      InstallVersion(key, t.own_writes[key], t.id, t.end);
+    }
+  }
+  for (Key key : t.write_keys) {
+    auto* list = versions_.Get(key);
+    if (list == nullptr) continue;
+    for (auto& entry : *list) {
+      if (entry.writer == t.id) {
+        entry.status = WriterStatus::kCommitted;
+        entry.writer_snapshot = t.first_op;
+        entry.writer_commit = t.end;
+      }
+    }
+  }
+}
+
+
+
+void Leopard::Deduce(TxnId from, TxnId to, DepType type) {
+  if (from == to) return;
+  ++stats_.deps_deduced;
+  if (!config_.check_sc) return;
+
+  auto status_of = [this](TxnId id) -> TxnStatus {
+    auto it = txns_.find(id);
+    if (it != txns_.end()) return it->second.status;
+    // Not in the registry: committed transactions live on in the graph
+    // until pruned; anything else is aborted or irrelevant.
+    return graph_.HasNode(id) ? TxnStatus::kCommitted : TxnStatus::kAborted;
+  };
+
+  TxnStatus sf = status_of(from);
+  TxnStatus st = status_of(to);
+  if (sf == TxnStatus::kAborted || st == TxnStatus::kAborted) return;
+  if (sf == TxnStatus::kCommitted && st == TxnStatus::kCommitted) {
+    EmitEdge(from, to, type);
+    return;
+  }
+  // Park the edge on one active endpoint; its terminal trace resolves it.
+  TxnId holder = sf == TxnStatus::kActive ? from : to;
+  txns_[holder].pending.push_back(PendingEdge{from, to, type});
+}
+
+void Leopard::EmitEdge(TxnId from, TxnId to, DepType type) {
+  // Re-check the far endpoint: an edge parked on `from` may find `to`
+  // still active (park again) or aborted (drop).
+  if (!graph_.HasNode(from) || !graph_.HasNode(to)) {
+    TxnId missing = graph_.HasNode(from) ? to : from;
+    auto it = txns_.find(missing);
+    if (it != txns_.end() && it->second.status == TxnStatus::kActive) {
+      it->second.pending.push_back(PendingEdge{from, to, type});
+    }
+    return;
+  }
+  auto violation = graph_.AddEdge(from, to, type);
+  if (violation) {
+    ReportBug(BugType::kScViolation, 0, {from, to},
+              *violation + " (" + DepTypeName(type) + " edge)");
+  }
+}
+
+Timestamp Leopard::SafeTs() const {
+  Timestamp safe = frontier_;
+  for (const auto& [id, t] : txns_) {
+    if (t.status == TxnStatus::kActive && t.has_first_op) {
+      safe = std::min(safe, t.first_op.bef);
+    }
+  }
+  return safe;
+}
+
+void Leopard::MaybeGc() {
+  traces_since_gc_ = 0;
+  ++stats_.gc_sweeps;
+  Timestamp safe = SafeTs();
+  // Under relaxed (timestamp-axis) reads, arbitrarily old versions may
+  // still be legitimately observed — version pruning is disabled there.
+  if (!config_.allow_stale_reads) {
+    stats_.pruned_versions += versions_.Prune(safe);
+  }
+  stats_.pruned_locks += locks_.Prune(safe);
+  if (config_.check_sc) {
+    stats_.pruned_txns += graph_.PruneGarbage(safe);
+  }
+}
+
+size_t Leopard::ApproxMemoryBytes() const {
+  size_t bytes = versions_.ApproxBytes() + locks_.ApproxBytes() +
+                 graph_.ApproxBytes();
+  bytes += txns_.size() * (sizeof(TxnId) + sizeof(TxnState));
+  for (const auto& [id, t] : txns_) {
+    bytes += t.write_keys.capacity() * sizeof(Key);
+    bytes += t.read_keys.capacity() * sizeof(Key);
+    bytes += t.own_writes.size() * (sizeof(Key) + sizeof(Value) + 16);
+    bytes += t.pending.capacity() * sizeof(PendingEdge);
+  }
+  bytes += pending_reads_.size() * sizeof(PendingRead);
+  return bytes;
+}
+
+}  // namespace leopard

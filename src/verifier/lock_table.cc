@@ -1,0 +1,98 @@
+#include "verifier/lock_table.h"
+
+namespace leopard {
+
+void MirrorLockTable::NoteAcquire(Key key, TxnId txn, bool exclusive,
+                                  TimeInterval acquire) {
+  auto& list = map_[key];
+  for (auto& rec : list) {
+    if (rec.txn != txn) continue;
+    if (exclusive) {
+      if (!rec.has_x) {
+        rec.has_x = true;
+        rec.x_acquire = acquire;
+      }
+    } else if (!rec.has_s) {
+      rec.has_s = true;
+      rec.s_acquire = acquire;
+    }
+    return;
+  }
+  LockRec rec;
+  rec.txn = txn;
+  if (exclusive) {
+    rec.has_x = true;
+    rec.x_acquire = acquire;
+  } else {
+    rec.has_s = true;
+    rec.s_acquire = acquire;
+  }
+  list.push_back(rec);
+}
+
+void MirrorLockTable::NoteRelease(TxnId txn, const std::vector<Key>& keys,
+                                  TimeInterval release, bool committed) {
+  for (Key key : keys) {
+    auto it = map_.find(key);
+    if (it == map_.end()) continue;
+    for (auto& rec : it->second) {
+      if (rec.txn == txn) {
+        rec.released = true;
+        rec.committed = committed;
+        rec.release = release;
+        break;
+      }
+    }
+  }
+}
+
+std::vector<LockRec>* MirrorLockTable::Get(Key key) {
+  auto it = map_.find(key);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+size_t MirrorLockTable::Prune(Timestamp safe_ts) {
+  size_t removed = 0;
+  for (auto mit = map_.begin(); mit != map_.end();) {
+    auto& list = mit->second;
+    bool has_unreleased = false;
+    for (const auto& rec : list) {
+      if (!rec.released) {
+        has_unreleased = true;
+        break;
+      }
+    }
+    if (!has_unreleased) {
+      for (auto it = list.begin(); it != list.end();) {
+        if (it->released && it->release.aft < safe_ts) {
+          it = list.erase(it);
+          ++removed;
+        } else {
+          ++it;
+        }
+      }
+    }
+    if (list.empty()) {
+      mit = map_.erase(mit);
+    } else {
+      ++mit;
+    }
+  }
+  return removed;
+}
+
+size_t MirrorLockTable::RecordCount() const {
+  size_t n = 0;
+  for (const auto& [k, list] : map_) n += list.size();
+  return n;
+}
+
+size_t MirrorLockTable::ApproxBytes() const {
+  size_t bytes = map_.size() * (sizeof(Key) + sizeof(void*) * 2);
+  for (const auto& [k, list] : map_) {
+    bytes += list.capacity() * sizeof(LockRec);
+  }
+  return bytes;
+}
+
+}  // namespace leopard

@@ -1,0 +1,87 @@
+#ifndef LEOPARD_VERIFIER_LOCK_TABLE_H_
+#define LEOPARD_VERIFIER_LOCK_TABLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/interval.h"
+#include "trace/trace.h"
+
+namespace leopard {
+
+/// The four-way outcome of ordering two transactions' (start, end) interval
+/// pairs when their exact instants are unknown (Theorems 3 & 4). For ME the
+/// pair is (lock acquire, lock release); for FUW it is (snapshot
+/// generation, commit). "t0 then t1" is possible iff some point of t0's end
+/// interval precedes some point of t1's start interval.
+enum class PairOrder : uint8_t {
+  kViolation = 0,     ///< neither order possible: overlap forbidden
+  kFirstThenSecond,   ///< only t0 -> t1 possible: deduce a ww dependency
+  kSecondThenFirst,   ///< only t1 -> t0 possible
+  kUncertain,         ///< both orders possible (requires clock anomalies)
+};
+
+inline PairOrder OrderTxnPair(const TimeInterval& start0,
+                              const TimeInterval& end0,
+                              const TimeInterval& start1,
+                              const TimeInterval& end1) {
+  (void)start0;
+  (void)start1;
+  bool zero_first = PossiblyBefore(end0, start1);  // end0.bef < start1.aft
+  bool one_first = PossiblyBefore(end1, start0);
+  if (zero_first && one_first) return PairOrder::kUncertain;
+  if (zero_first) return PairOrder::kFirstThenSecond;
+  if (one_first) return PairOrder::kSecondThenFirst;
+  return PairOrder::kViolation;
+}
+
+/// A transaction's lock footprint on one record, reconstructed from traces:
+/// a write op acquires the exclusive lock, a read op (under locking-read
+/// configurations) the shared lock; the terminal commit/abort op releases
+/// everything (strict 2PL).
+struct LockRec {
+  TxnId txn = 0;
+  bool has_s = false;
+  bool has_x = false;
+  TimeInterval s_acquire;
+  TimeInterval x_acquire;
+  bool released = false;
+  /// Set at release time: did the owning transaction commit? Violation
+  /// checks include aborted holders (they did hold the lock); dependency
+  /// deduction only uses committed ones.
+  bool committed = false;
+  TimeInterval release;
+};
+
+/// Mirror of the DBMS lock table (§V-B): per-record lists of lock
+/// acquire/release time intervals. The ME verifier walks these lists when a
+/// transaction releases its locks.
+class MirrorLockTable {
+ public:
+  /// Records a lock acquisition (first acquisition of each mode wins; a
+  /// repeated write keeps the earliest X interval).
+  void NoteAcquire(Key key, TxnId txn, bool exclusive, TimeInterval acquire);
+
+  /// Marks `txn`'s locks on `keys` released at `release`.
+  void NoteRelease(TxnId txn, const std::vector<Key>& keys,
+                   TimeInterval release, bool committed);
+
+  std::vector<LockRec>* Get(Key key);
+
+  /// Prunes released lock records with release.aft < safe_ts. A key that
+  /// still has an unreleased record keeps its whole history (a pending pair
+  /// evaluation may need it). Returns records removed.
+  size_t Prune(Timestamp safe_ts);
+
+  size_t KeyCount() const { return map_.size(); }
+  size_t RecordCount() const;
+  size_t ApproxBytes() const;
+
+ private:
+  std::unordered_map<Key, std::vector<LockRec>> map_;
+};
+
+}  // namespace leopard
+
+#endif  // LEOPARD_VERIFIER_LOCK_TABLE_H_

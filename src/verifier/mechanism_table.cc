@@ -1,0 +1,215 @@
+#include "verifier/mechanism_table.h"
+
+namespace leopard {
+
+namespace {
+
+std::vector<MechanismRow> BuildTable() {
+  using IL = IsolationLevel;
+  using CM = CertifierMode;
+  auto row = [](std::string dbms, std::string cc, IL il, bool me, bool cr,
+                bool fuw, bool sc, CM certifier) {
+    MechanismRow r;
+    r.dbms = std::move(dbms);
+    r.concurrency_control = std::move(cc);
+    r.isolation = il;
+    r.me = me;
+    r.cr = cr;
+    r.fuw = fuw;
+    r.sc = sc;
+    r.certifier = certifier;
+    return r;
+  };
+  // Fig. 1 of the paper, one row per (DBMS, IL).
+  return {
+      // PostgreSQL / OpenGauss: 2PL+MVCC+SSI.
+      row("PostgreSQL", "2PL+MVCC+SSI", IL::kSerializable, true, true, true,
+          true, CM::kSsi),
+      row("PostgreSQL", "2PL+MVCC+SSI", IL::kSnapshotIsolation, true, true,
+          true, false, CM::kCycle),
+      row("PostgreSQL", "2PL+MVCC+SSI", IL::kReadCommitted, true, true,
+          false, false, CM::kCycle),
+      row("OpenGauss", "2PL+MVCC+SSI", IL::kSerializable, true, true, true,
+          true, CM::kSsi),
+      row("OpenGauss", "2PL+MVCC+SSI", IL::kSnapshotIsolation, true, true,
+          true, false, CM::kCycle),
+      row("OpenGauss", "2PL+MVCC+SSI", IL::kReadCommitted, true, true, false,
+          false, CM::kCycle),
+      // InnoDB family: 2PL+MVCC at SR/RR/RC.
+      row("InnoDB", "2PL+MVCC", IL::kSerializable, true, true, false, false,
+          CM::kCycle),
+      row("InnoDB", "2PL+MVCC", IL::kRepeatableRead, true, true, false,
+          false, CM::kCycle),
+      row("InnoDB", "2PL+MVCC", IL::kReadCommitted, true, true, false, false,
+          CM::kCycle),
+      row("Aurora", "2PL+MVCC", IL::kSerializable, true, true, false, false,
+          CM::kCycle),
+      row("PolarDB", "2PL+MVCC", IL::kSerializable, true, true, false, false,
+          CM::kCycle),
+      row("SQLServer", "2PL+MVCC", IL::kSerializable, true, true, false,
+          false, CM::kCycle),
+      // TiDB.
+      row("TiDB", "2PL+MVCC", IL::kRepeatableRead, true, true, false, false,
+          CM::kCycle),
+      row("TiDB", "2PL+MVCC", IL::kReadCommitted, true, true, false, false,
+          CM::kCycle),
+      row("TiDB", "Percolator", IL::kSnapshotIsolation, false, true, false,
+          true, CM::kCommitOrder),
+      // RocksDB.
+      row("RocksDB", "2PL+MVCC", IL::kSerializable, true, true, false, false,
+          CM::kCycle),
+      row("RocksDB", "OCC+MVCC", IL::kSerializable, false, true, false, true,
+          CM::kCommitOrder),
+      // SQLite: pure 2PL, single version.
+      row("SQLite", "2PL", IL::kSerializable, true, false, false, false,
+          CM::kCycle),
+      // FoundationDB.
+      row("FoundationDB", "OCC+MVCC", IL::kSerializable, false, true, false,
+          true, CM::kCommitOrder),
+      // SingleStore.
+      row("SingleStore", "2PL+MVCC", IL::kReadCommitted, true, true, false,
+          false, CM::kCycle),
+      // CockroachDB.
+      row("CockroachDB", "TO+MVCC", IL::kSerializable, false, true, false,
+          true, CM::kTsOrder),
+      // Spanner.
+      row("Spanner", "2PL+MVCC", IL::kSerializable, true, true, false, false,
+          CM::kCycle),
+      // YugabyteDB.
+      row("YugabyteDB", "2PL+MVCC", IL::kSerializable, true, true, true,
+          true, CM::kSsi),
+      row("YugabyteDB", "2PL+MVCC", IL::kRepeatableRead, true, true, true,
+          true, CM::kSsi),
+      row("YugabyteDB", "2PL+MVCC", IL::kReadCommitted, true, true, true,
+          true, CM::kSsi),
+      // Oracle / NuoDB / SAP HANA: SI via first-updater-wins.
+      row("Oracle", "2PL+MVCC", IL::kSnapshotIsolation, true, true, true,
+          false, CM::kCycle),
+      row("Oracle", "2PL+MVCC", IL::kReadCommitted, true, true, false, false,
+          CM::kCycle),
+      row("NuoDB", "2PL+MVCC", IL::kSnapshotIsolation, true, true, true,
+          false, CM::kCycle),
+      row("NuoDB", "2PL+MVCC", IL::kReadCommitted, true, true, false, false,
+          CM::kCycle),
+      row("SAPHANA", "2PL+MVCC", IL::kSnapshotIsolation, true, true, true,
+          false, CM::kCycle),
+      row("SAPHANA", "2PL+MVCC", IL::kReadCommitted, true, true, false,
+          false, CM::kCycle),
+  };
+}
+
+}  // namespace
+
+const std::vector<MechanismRow>& MechanismTable() {
+  static const std::vector<MechanismRow>& table =
+      *new std::vector<MechanismRow>(BuildTable());
+  return table;
+}
+
+std::optional<MechanismRow> FindMechanismRow(const std::string& dbms,
+                                             IsolationLevel isolation) {
+  for (const auto& row : MechanismTable()) {
+    if (row.dbms == dbms && row.isolation == isolation) return row;
+  }
+  return std::nullopt;
+}
+
+VerifierConfig ConfigFromRow(const MechanismRow& row) {
+  VerifierConfig config;
+  config.check_me = row.me;
+  config.check_cr = row.cr;
+  config.check_fuw = row.fuw;
+  config.check_sc = row.sc;
+  config.statement_level_cr =
+      row.isolation == IsolationLevel::kReadCommitted;
+  config.locking_reads = !row.cr;  // single-version 2PL reads under S locks
+  config.certifier = row.certifier;
+  if (!row.me) {
+    // Lock-free engines (OCC / TO / Percolator) install at commit.
+    config.install_at_commit = true;
+    if (row.certifier == CertifierMode::kTsOrder) {
+      config.allow_stale_reads = true;
+      config.statement_level_cr = true;
+    }
+  }
+  return config;
+}
+
+VerifierConfig ConfigForMiniDb(Protocol protocol, IsolationLevel isolation) {
+  VerifierConfig config;
+  config.statement_level_cr =
+      isolation == IsolationLevel::kReadCommitted;
+  switch (protocol) {
+    case Protocol::kMvcc2pl:
+      config.check_me = true;
+      config.check_cr = true;
+      config.check_fuw = isolation == IsolationLevel::kSnapshotIsolation;
+      config.check_sc = false;
+      // InnoDB-style SERIALIZABLE: locking reads of the latest version,
+      // i.e. statement-level consistency under shared locks.
+      if (isolation == IsolationLevel::kSerializable) {
+        config.locking_reads = true;
+        config.statement_level_cr = true;
+        config.check_sc = true;
+        config.certifier = CertifierMode::kCycle;
+      }
+      break;
+    case Protocol::kMvcc2plSsi:
+      config.check_me = true;
+      config.check_cr = true;
+      config.check_fuw = isolation >= IsolationLevel::kRepeatableRead;
+      config.check_sc = isolation == IsolationLevel::kSerializable;
+      config.certifier = CertifierMode::kSsi;
+      break;
+    case Protocol::kMvccOcc:
+      config.check_me = false;
+      config.check_cr = true;
+      config.check_fuw = false;
+      config.check_sc = true;
+      config.certifier = CertifierMode::kCommitOrder;
+      config.install_at_commit = true;
+      break;
+    case Protocol::kMvccTo:
+      config.check_me = false;
+      config.check_cr = true;
+      config.check_fuw = false;
+      config.check_sc = true;
+      config.certifier = CertifierMode::kTsOrder;
+      config.install_at_commit = true;
+      config.allow_stale_reads = true;
+      config.statement_level_cr = true;
+      break;
+    case Protocol::k2pl:
+      config.check_me = true;
+      config.check_cr = true;  // locking reads see the latest version
+      config.check_fuw = false;
+      config.check_sc = false;
+      config.locking_reads = true;
+      config.statement_level_cr = true;
+      break;
+    case Protocol::kPercolator:
+      // TiDB-optimistic / Percolator SI: snapshot reads, buffered writes
+      // installed at commit, first-committer-wins instead of locks.
+      config.check_me = false;
+      config.check_cr = true;
+      config.check_fuw = true;
+      config.check_sc = false;
+      config.install_at_commit = true;
+      break;
+  }
+  return config;
+}
+
+VerifierConfig ConfigForSqlite() {
+  VerifierConfig config;
+  config.check_cr = true;
+  config.statement_level_cr = false;  // DB-level locking: one state per txn
+  config.check_me = true;
+  config.locking_reads = false;  // readers exclude commits, not writes
+  config.check_fuw = false;
+  config.check_sc = true;
+  config.certifier = CertifierMode::kCycle;
+  return config;
+}
+
+}  // namespace leopard

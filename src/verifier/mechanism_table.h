@@ -1,0 +1,53 @@
+#ifndef LEOPARD_VERIFIER_MECHANISM_TABLE_H_
+#define LEOPARD_VERIFIER_MECHANISM_TABLE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "txn/types.h"
+#include "verifier/config.h"
+
+namespace leopard {
+
+/// One row of the paper's Fig. 1: which of the four mechanisms implement a
+/// given isolation level in a given commercial DBMS, and therefore which
+/// mechanisms Leopard must verify there.
+struct MechanismRow {
+  std::string dbms;
+  std::string concurrency_control;
+  IsolationLevel isolation = IsolationLevel::kSerializable;
+  bool me = false;
+  bool cr = false;
+  bool fuw = false;
+  bool sc = false;
+  CertifierMode certifier = CertifierMode::kCycle;
+};
+
+/// The encoded Fig. 1 matrix for the DBMSs the paper surveys.
+const std::vector<MechanismRow>& MechanismTable();
+
+/// Looks up a row by DBMS name (case-sensitive, e.g. "PostgreSQL") and
+/// isolation level.
+std::optional<MechanismRow> FindMechanismRow(const std::string& dbms,
+                                             IsolationLevel isolation);
+
+/// Builds the VerifierConfig for a Fig. 1 row.
+VerifierConfig ConfigFromRow(const MechanismRow& row);
+
+/// Builds the VerifierConfig that mirrors what MiniDB actually enforces for
+/// a protocol/isolation pair — the config used throughout tests and
+/// benchmarks when verifying MiniDB runs.
+VerifierConfig ConfigForMiniDb(Protocol protocol, IsolationLevel isolation);
+
+/// VerifierConfig for real SQLite (rollback-journal mode). SQLite locks at
+/// *database* granularity: writers exclude each other from their first
+/// write statement (mirrored as per-row exclusive locks), and no writer
+/// can commit while any reader's transaction is open — so every
+/// transaction reads one consistent database state (transaction-level CR)
+/// without per-row read locks, and committed histories are serializable.
+VerifierConfig ConfigForSqlite();
+
+}  // namespace leopard
+
+#endif  // LEOPARD_VERIFIER_MECHANISM_TABLE_H_

@@ -1,0 +1,63 @@
+#include "verifier/overlap_stats.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace leopard {
+
+OverlapReport AnalyzeOverlap(const std::vector<Trace>& traces) {
+  // Pass 1: which transactions committed.
+  std::unordered_set<TxnId> committed;
+  for (const Trace& t : traces) {
+    if (t.op == OpType::kCommit) committed.insert(t.txn);
+  }
+
+  struct KeyState {
+    bool has_write = false;
+    TimeInterval last_write;
+    TxnId last_writer = 0;
+    std::vector<std::pair<TxnId, TimeInterval>> readers_since_write;
+  };
+  std::unordered_map<Key, KeyState> keys;
+  std::unordered_map<Value, TimeInterval> value_install;
+  std::unordered_map<Value, TxnId> value_writer;
+
+  OverlapReport report;
+  for (const Trace& t : traces) {
+    if (!committed.contains(t.txn)) continue;
+    if (t.op == OpType::kWrite) {
+      for (const auto& w : t.write_set) {
+        KeyState& state = keys[w.key];
+        if (state.has_write && state.last_writer != t.txn) {
+          ++report.ww_pairs;
+          if (Overlaps(state.last_write, t.interval)) {
+            ++report.overlapped_ww;
+          }
+        }
+        for (const auto& [reader, iv] : state.readers_since_write) {
+          if (reader == t.txn) continue;
+          ++report.rw_pairs;
+          if (Overlaps(iv, t.interval)) ++report.overlapped_rw;
+        }
+        state.readers_since_write.clear();
+        state.has_write = true;
+        state.last_write = t.interval;
+        state.last_writer = t.txn;
+        value_install[w.value] = t.interval;
+        value_writer[w.value] = t.txn;
+      }
+    } else if (t.op == OpType::kRead) {
+      for (const auto& r : t.read_set) {
+        auto it = value_install.find(r.value);
+        if (it != value_install.end() && value_writer[r.value] != t.txn) {
+          ++report.wr_pairs;
+          if (Overlaps(it->second, t.interval)) ++report.overlapped_wr;
+        }
+        keys[r.key].readers_since_write.emplace_back(t.txn, t.interval);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace leopard

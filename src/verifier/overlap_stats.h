@@ -1,0 +1,47 @@
+#ifndef LEOPARD_VERIFIER_OVERLAP_STATS_H_
+#define LEOPARD_VERIFIER_OVERLAP_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace leopard {
+
+/// Tracer-side overlap analysis (§IV-B / Fig. 4): how often do the trace
+/// intervals of *conflicting* operations overlap, making their order — and
+/// hence the dependency between their transactions — uncertain from
+/// timestamps alone? β = overlapped / total conflicting pairs.
+///
+/// Conflicting pairs, per record: consecutive writes (ww), each read
+/// against the write whose value it observed (wr), and each read against
+/// the next write of the record (rw). This is computed directly from the
+/// trace stream, before and independent of mechanism-mirrored
+/// verification.
+struct OverlapReport {
+  uint64_t ww_pairs = 0;
+  uint64_t wr_pairs = 0;
+  uint64_t rw_pairs = 0;
+  uint64_t overlapped_ww = 0;
+  uint64_t overlapped_wr = 0;
+  uint64_t overlapped_rw = 0;
+
+  uint64_t TotalPairs() const { return ww_pairs + wr_pairs + rw_pairs; }
+  uint64_t OverlappedPairs() const {
+    return overlapped_ww + overlapped_wr + overlapped_rw;
+  }
+  double Beta() const {
+    return TotalPairs() == 0 ? 0.0
+                             : static_cast<double>(OverlappedPairs()) /
+                                   static_cast<double>(TotalPairs());
+  }
+};
+
+/// Analyzes a trace stream sorted by ts_bef (e.g. RunResult::MergedTraces).
+/// Only committed transactions' operations form dependencies; pass the
+/// full stream — terminal traces identify commit status.
+OverlapReport AnalyzeOverlap(const std::vector<Trace>& traces);
+
+}  // namespace leopard
+
+#endif  // LEOPARD_VERIFIER_OVERLAP_STATS_H_

@@ -1,0 +1,67 @@
+#ifndef LEOPARD_VERIFIER_STATS_H_
+#define LEOPARD_VERIFIER_STATS_H_
+
+#include <cstdint>
+
+namespace leopard {
+
+/// Dependency type in Adya's notation: for two committed transactions,
+/// t_n ww-/wr-/rw-depends on t_m when t_n installs the successor version /
+/// reads t_m's version / installs the successor of a version t_m read.
+enum class DepType : uint8_t { kWw = 0, kWr, kRw };
+
+const char* DepTypeName(DepType type);
+
+/// Counters accumulated while verifying. `overlapped_*` counts conflicting
+/// operation pairs whose trace intervals overlap (the paper's β numerator);
+/// of those, `deduced_*` were still resolved to a unique dependency by the
+/// mechanism-mirrored rules, and the rest stay uncertain (Fig. 13).
+struct VerifierStats {
+  uint64_t traces_processed = 0;
+  uint64_t reads_verified = 0;
+  uint64_t versions_tracked = 0;
+  /// Traces that arrived with ts_bef below the dispatch frontier. The
+  /// pipeline guarantees this never happens (Theorem 1); a nonzero count
+  /// means the feed is broken and verdicts are unreliable.
+  uint64_t out_of_order_traces = 0;
+
+  // Dependency bookkeeping.
+  uint64_t deps_total = 0;       ///< dependencies examined (incl. certain)
+  uint64_t deps_deduced = 0;     ///< edges fed to the dependency graph
+  uint64_t overlapped_ww = 0;
+  uint64_t overlapped_wr = 0;
+  uint64_t overlapped_rw = 0;
+  uint64_t deduced_overlapped_ww = 0;
+  uint64_t deduced_overlapped_wr = 0;
+  uint64_t deduced_overlapped_rw = 0;
+  uint64_t uncertain_ww = 0;
+  uint64_t uncertain_wr = 0;
+
+  // Violations by mechanism.
+  uint64_t cr_violations = 0;
+  uint64_t me_violations = 0;
+  uint64_t fuw_violations = 0;
+  uint64_t sc_violations = 0;
+
+  // Garbage collection.
+  uint64_t gc_sweeps = 0;
+  uint64_t pruned_versions = 0;
+  uint64_t pruned_locks = 0;
+  uint64_t pruned_txns = 0;
+
+  uint64_t TotalViolations() const {
+    return cr_violations + me_violations + fuw_violations + sc_violations;
+  }
+  uint64_t OverlappedTotal() const {
+    return overlapped_ww + overlapped_wr + overlapped_rw;
+  }
+  uint64_t DeducedOverlappedTotal() const {
+    return deduced_overlapped_ww + deduced_overlapped_wr +
+           deduced_overlapped_rw;
+  }
+  uint64_t UncertainTotal() const { return uncertain_ww + uncertain_wr; }
+};
+
+}  // namespace leopard
+
+#endif  // LEOPARD_VERIFIER_STATS_H_

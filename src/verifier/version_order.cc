@@ -1,0 +1,169 @@
+#include "verifier/version_order.h"
+
+#include <algorithm>
+
+namespace leopard {
+
+VersionOrderIndex::InstallResult VersionOrderIndex::Install(
+    Key key, Value value, TxnId writer, TimeInterval install) {
+  auto& list = map_[key];
+  VersionEntry entry;
+  entry.value = value;
+  entry.writer = writer;
+  entry.install = install;
+  // Traces are dispatched in ts_bef order so installs almost always append;
+  // keep the list sorted by install.aft with a tail insertion sort.
+  auto pos = list.end();
+  while (pos != list.begin() && std::prev(pos)->install.aft > install.aft) {
+    --pos;
+  }
+  InstallResult result;
+  if (pos == list.end() && !list.empty() &&
+      CertainlyBefore(list.back().install, install)) {
+    result.certain_prev = list.size() - 1;
+  }
+  result.index = static_cast<size_t>(pos - list.begin());
+  list.insert(pos, std::move(entry));
+  return result;
+}
+
+std::vector<VersionEntry>* VersionOrderIndex::Get(Key key) {
+  auto it = map_.find(key);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+const std::vector<VersionEntry>* VersionOrderIndex::Get(Key key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+CandidateSet VersionOrderIndex::Candidates(Key key,
+                                           TimeInterval snapshot) const {
+  CandidateSet out;
+  const auto* list = Get(key);
+  if (list == nullptr || list->empty()) return out;
+
+  // Visibility is commit-based: a version can be seen by this snapshot only
+  // if its writer *committed* before the snapshot point, which is possible
+  // iff writer_commit.bef < snapshot.aft. Versions of still-active or
+  // aborted writers are invisible. (The paper's Fig. 6 categories classify
+  // by installation interval; when a transaction runs long, its install
+  // interval precedes its commit, so we pick the pivot — the version
+  // certainly visible at the snapshot — by commit certainty, and use the
+  // installation order only to rule versions certainly *overwritten* before
+  // the pivot as garbage. This keeps Theorem 2's minimality argument while
+  // never misclassifying a legitimately-visible version.)
+  size_t pivot = list->size();  // sentinel: no pivot
+  for (size_t i = 0; i < list->size(); ++i) {
+    const VersionEntry& v = (*list)[i];
+    if (v.status != WriterStatus::kCommitted) continue;
+    if (v.writer_commit.aft < snapshot.bef) pivot = i;
+  }
+  const TimeInterval* pivot_install =
+      pivot == list->size() ? nullptr : &(*list)[pivot].install;
+  out.has_pivot = pivot_install != nullptr;
+  for (size_t i = 0; i < list->size(); ++i) {
+    const VersionEntry& v = (*list)[i];
+    if (v.status != WriterStatus::kCommitted) continue;  // invisible
+    // Future version: the writer cannot have committed before the snapshot.
+    if (!PossiblyBefore(v.writer_commit, snapshot)) continue;
+    // Garbage version: certainly installed before the pivot version, which
+    // itself was certainly visible — so this one was already overwritten.
+    if (pivot_install != nullptr && i < pivot &&
+        v.install.aft < pivot_install->bef) {
+      continue;
+    }
+    out.indices.push_back(i);
+  }
+  return out;
+}
+
+CandidateSet VersionOrderIndex::CandidatesRelaxed(
+    Key key, TimeInterval snapshot) const {
+  CandidateSet out;
+  const auto* list = Get(key);
+  if (list == nullptr || list->empty()) return out;
+  for (size_t i = 0; i < list->size(); ++i) {
+    const VersionEntry& v = (*list)[i];
+    if (v.status != WriterStatus::kCommitted) continue;
+    if (!PossiblyBefore(v.writer_commit, snapshot)) continue;  // future
+    out.indices.push_back(i);
+    if (CertainlyBefore(v.writer_commit, snapshot)) out.has_pivot = true;
+  }
+  return out;
+}
+
+std::vector<TxnId> VersionOrderIndex::RemoveAborted(Key key, TxnId writer) {
+  std::vector<TxnId> dirty_readers;
+  auto* list = Get(key);
+  if (list == nullptr) return dirty_readers;
+  for (auto it = list->begin(); it != list->end();) {
+    if (it->writer == writer) {
+      for (TxnId r : it->readers) {
+        if (r != writer) dirty_readers.push_back(r);
+      }
+      it = list->erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return dirty_readers;
+}
+
+size_t VersionOrderIndex::Prune(Timestamp safe_ts) {
+  size_t removed = 0;
+  for (auto mit = map_.begin(); mit != map_.end();) {
+    auto& list = mit->second;
+    // Pivot w.r.t. every future snapshot (whose bef >= safe_ts): the last
+    // version whose commit certainly precedes safe_ts. Anything certainly
+    // installed before that pivot is garbage for every future snapshot —
+    // removable once its own commit also precedes safe_ts (so no pending
+    // FUW pair can involve it).
+    size_t pivot = list.size();
+    for (size_t i = 0; i < list.size(); ++i) {
+      if (list[i].status == WriterStatus::kCommitted &&
+          list[i].writer_commit.aft < safe_ts) {
+        pivot = i;
+      }
+    }
+    if (pivot == list.size() || pivot == 0) {
+      ++mit;
+      continue;
+    }
+    const TimeInterval pv = list[pivot].install;
+    size_t erase_end = 0;
+    while (erase_end < pivot &&
+           list[erase_end].install.aft < pv.bef &&
+           list[erase_end].status == WriterStatus::kCommitted &&
+           list[erase_end].writer_commit.aft < safe_ts) {
+      ++erase_end;
+    }
+    if (erase_end > 0) {
+      list.erase(list.begin(), list.begin() + erase_end);
+      removed += erase_end;
+    }
+    if (list.empty()) {
+      mit = map_.erase(mit);
+    } else {
+      ++mit;
+    }
+  }
+  return removed;
+}
+
+size_t VersionOrderIndex::VersionCount() const {
+  size_t n = 0;
+  for (const auto& [k, list] : map_) n += list.size();
+  return n;
+}
+
+size_t VersionOrderIndex::ApproxBytes() const {
+  size_t bytes = map_.size() * (sizeof(Key) + sizeof(void*) * 2);
+  for (const auto& [k, list] : map_) {
+    bytes += list.capacity() * sizeof(VersionEntry);
+    for (const auto& v : list) bytes += v.readers.capacity() * sizeof(TxnId);
+  }
+  return bytes;
+}
+
+}  // namespace leopard

@@ -1,0 +1,88 @@
+#ifndef LEOPARD_VERIFIER_VERSION_ORDER_H_
+#define LEOPARD_VERIFIER_VERSION_ORDER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/interval.h"
+#include "trace/trace.h"
+
+namespace leopard {
+
+/// Writer outcome as learned from terminal traces.
+enum class WriterStatus : uint8_t { kUnknown = 0, kCommitted, kAborted };
+
+/// One installed version of a record, as reconstructed from a write trace.
+/// Commit-side fields are filled in when the writer's terminal trace is
+/// dispatched.
+struct VersionEntry {
+  Value value = 0;
+  TxnId writer = 0;
+  TimeInterval install;          ///< version installation time interval
+  WriterStatus status = WriterStatus::kUnknown;
+  TimeInterval writer_snapshot;  ///< writer's snapshot generation interval
+  TimeInterval writer_commit;    ///< writer's commit interval
+  /// Transactions whose reads matched this version uniquely (for rw
+  /// antidependency deduction, Fig. 9).
+  std::vector<TxnId> readers;
+};
+
+/// The candidate version set of a read (§V-A): every version possibly
+/// visible under the snapshot generation interval, minimized per Theorem 2
+/// to overlap versions, the pivot version and pivot-overlap versions.
+struct CandidateSet {
+  /// Indices into the key's ordered version list.
+  std::vector<size_t> indices;
+  /// True when a pivot exists (some version certainly precedes the
+  /// snapshot). When false and indices is empty the record had no version
+  /// yet — a read of it cannot be CR-checked.
+  bool has_pivot = false;
+};
+
+/// Ordered version lists per record (§V-A): versions sorted by the after
+/// timestamp of their installation interval, built incrementally from write
+/// traces, consumed by the CR and FUW verifiers.
+class VersionOrderIndex {
+ public:
+  struct InstallResult {
+    size_t index = SIZE_MAX;        ///< position of the inserted version
+    size_t certain_prev = SIZE_MAX; ///< certainly-preceding direct
+                                    ///< predecessor, if one exists
+  };
+
+  /// Inserts a version keeping the list sorted by install.aft.
+  InstallResult Install(Key key, Value value, TxnId writer,
+                        TimeInterval install);
+
+  std::vector<VersionEntry>* Get(Key key);
+  const std::vector<VersionEntry>* Get(Key key) const;
+
+  /// Computes the minimal candidate version set for a snapshot interval.
+  CandidateSet Candidates(Key key, TimeInterval snapshot) const;
+
+  /// Relaxed candidate set (MVTO verification): every version possibly
+  /// installed before the snapshot interval ended, i.e. everything except
+  /// certain future versions.
+  CandidateSet CandidatesRelaxed(Key key, TimeInterval snapshot) const;
+
+  /// Removes all versions written by an aborted transaction on `key`.
+  /// Returns the readers of the removed versions (dirty readers).
+  std::vector<TxnId> RemoveAborted(Key key, TxnId writer);
+
+  /// Prunes versions that can never again be a candidate for any snapshot
+  /// with bef >= safe_ts, provided their writers committed with
+  /// writer_commit.aft < safe_ts. Returns versions removed.
+  size_t Prune(Timestamp safe_ts);
+
+  size_t KeyCount() const { return map_.size(); }
+  size_t VersionCount() const;
+  size_t ApproxBytes() const;
+
+ private:
+  std::unordered_map<Key, std::vector<VersionEntry>> map_;
+};
+
+}  // namespace leopard
+
+#endif  // LEOPARD_VERIFIER_VERSION_ORDER_H_

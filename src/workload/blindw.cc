@@ -1,0 +1,49 @@
+#include "workload/blindw.h"
+
+namespace leopard {
+
+std::string BlindWWorkload::name() const {
+  switch (options_.variant) {
+    case BlindWVariant::kWriteOnly:
+      return "BlindW-W";
+    case BlindWVariant::kReadWrite:
+      return "BlindW-RW";
+    case BlindWVariant::kReadWriteRange:
+      return "BlindW-RW+";
+  }
+  return "BlindW";
+}
+
+std::vector<WriteAccess> BlindWWorkload::InitialRows() const {
+  std::vector<WriteAccess> rows;
+  rows.reserve(options_.record_count);
+  for (uint64_t k = 0; k < options_.record_count; ++k) {
+    rows.push_back(WriteAccess{k, MakeLoadValue(k)});
+  }
+  return rows;
+}
+
+TxnSpec BlindWWorkload::NextTransaction(Rng& rng) {
+  TxnSpec spec;
+  spec.ops.reserve(options_.ops_per_txn);
+  bool write_txn = options_.variant == BlindWVariant::kWriteOnly ||
+                   rng.Chance(0.5);
+  for (uint32_t i = 0; i < options_.ops_per_txn; ++i) {
+    Key key = rng.Uniform(options_.record_count);
+    if (write_txn) {
+      spec.ops.push_back(OpSpec::WriteUnique(key));
+    } else if (options_.variant == BlindWVariant::kReadWriteRange &&
+               rng.Chance(0.5)) {
+      uint32_t count = options_.range_size;
+      if (key + count > options_.record_count) {
+        key = options_.record_count - count;
+      }
+      spec.ops.push_back(OpSpec::RangeRead(key, count));
+    } else {
+      spec.ops.push_back(OpSpec::Read(key));
+    }
+  }
+  return spec;
+}
+
+}  // namespace leopard

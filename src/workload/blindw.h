@@ -1,0 +1,49 @@
+#ifndef LEOPARD_WORKLOAD_BLINDW_H_
+#define LEOPARD_WORKLOAD_BLINDW_H_
+
+#include <string>
+#include <vector>
+
+#include "workload/workload.h"
+
+namespace leopard {
+
+/// The BlindW key-value workload family from Cobra, as extended by the
+/// paper (§VI, Workload): a 2K-key table, 8 operations per transaction,
+/// uniformly-accessed keys.
+///
+///  - BlindW-W:   100% blind-write transactions with unique values — the
+///                hard case for ww tracking (no read precedes the write).
+///  - BlindW-RW:  50% pure-read transactions, 50% blind-write transactions.
+///  - BlindW-RW+: BlindW-RW with half the item-reads replaced by 10-key
+///                range reads, stressing dependency volume.
+enum class BlindWVariant : uint8_t {
+  kWriteOnly = 0,  // BlindW-W
+  kReadWrite,      // BlindW-RW
+  kReadWriteRange, // BlindW-RW+
+};
+
+class BlindWWorkload : public Workload {
+ public:
+  struct Options {
+    BlindWVariant variant = BlindWVariant::kReadWrite;
+    uint64_t record_count = 2000;
+    uint32_t ops_per_txn = 8;
+    uint32_t range_size = 10;
+  };
+
+  explicit BlindWWorkload(const Options& options) : options_(options) {}
+
+  std::string name() const override;
+  std::vector<WriteAccess> InitialRows() const override;
+  TxnSpec NextTransaction(Rng& rng) override;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace leopard
+
+#endif  // LEOPARD_WORKLOAD_BLINDW_H_

@@ -1,0 +1,66 @@
+#include "workload/ledger.h"
+
+namespace leopard {
+
+std::vector<WriteAccess> LedgerWorkload::InitialRows() const {
+  std::vector<WriteAccess> rows;
+  uint64_t preloaded = static_cast<uint64_t>(
+      static_cast<double>(options_.slots) * options_.preload_fraction);
+  rows.reserve(preloaded + 1);
+  for (uint64_t slot = 0; slot < preloaded; ++slot) {
+    rows.push_back(WriteAccess{slot, MakeLoadValue(slot)});
+  }
+  rows.push_back(WriteAccess{CounterKey(), MakeLoadValue(CounterKey())});
+  return rows;
+}
+
+TxnSpec LedgerWorkload::NextTransaction(Rng& rng) {
+  TxnSpec spec;
+  uint64_t slot = rng.Uniform(options_.slots);
+  switch (rng.Uniform(10)) {
+    case 0:
+    case 1:
+    case 2: {  // Produce: insert a task, bump the counter.
+      spec.ops.push_back(OpSpec::WriteUnique(slot));
+      spec.ops.push_back(OpSpec::Read(CounterKey()));
+      spec.ops.push_back(OpSpec::WriteLastReadPlus(CounterKey(), 1));
+      break;
+    }
+    case 3:
+    case 4:
+    case 5: {  // Consume: lock the row, delete it, decrement the counter.
+      spec.ops.push_back(OpSpec::ReadForUpdate(slot));
+      spec.ops.push_back(OpSpec::Delete(slot));
+      spec.ops.push_back(OpSpec::Read(CounterKey()));
+      spec.ops.push_back(OpSpec::WriteLastReadPlus(CounterKey(), -1));
+      break;
+    }
+    case 6: {  // Scan: range-read a window of the queue.
+      uint64_t first = slot;
+      if (first + options_.scan_width > options_.slots) {
+        first = options_.slots - options_.scan_width;
+      }
+      spec.ops.push_back(OpSpec::RangeRead(first, options_.scan_width));
+      break;
+    }
+    case 7: {  // Purge: one statement deleting a whole window.
+      uint64_t first = slot;
+      uint32_t width = options_.scan_width / 2 + 1;
+      if (first + width > options_.slots) first = options_.slots - width;
+      spec.ops.push_back(OpSpec::RangeRead(first, width));
+      spec.ops.push_back(OpSpec::RangeDelete(first, width));
+      break;
+    }
+    default: {  // Audit: spot-check two slots, lock one.
+      spec.ops.push_back(OpSpec::Read(slot));
+      spec.ops.push_back(
+          OpSpec::Read(rng.Uniform(options_.slots)));
+      spec.ops.push_back(
+          OpSpec::ReadForUpdate(rng.Uniform(options_.slots)));
+      break;
+    }
+  }
+  return spec;
+}
+
+}  // namespace leopard

@@ -1,0 +1,42 @@
+#ifndef LEOPARD_WORKLOAD_LEDGER_H_
+#define LEOPARD_WORKLOAD_LEDGER_H_
+
+#include <string>
+#include <vector>
+
+#include "workload/workload.h"
+
+namespace leopard {
+
+/// A task-queue / outbox workload built around the SQL surface of the
+/// paper's §VI-F bug listings: producers INSERT rows, consumers lock rows
+/// with SELECT ... FOR UPDATE and DELETE them, auditors range-scan the
+/// queue — so absent rows, tombstones and exclusive locking reads are all
+/// continuously exercised (none of the classic benchmarks touch them).
+///
+/// Schema: `slots` keys [0, slots) hold tasks (or nothing); key `slots`
+/// is a queue-depth counter maintained with read-modify-writes.
+class LedgerWorkload : public Workload {
+ public:
+  struct Options {
+    uint64_t slots = 500;
+    /// Fraction of slots preloaded with a task.
+    double preload_fraction = 0.5;
+    uint32_t scan_width = 10;
+  };
+
+  explicit LedgerWorkload(const Options& options) : options_(options) {}
+
+  std::string name() const override { return "Ledger"; }
+  std::vector<WriteAccess> InitialRows() const override;
+  TxnSpec NextTransaction(Rng& rng) override;
+
+  Key CounterKey() const { return options_.slots; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace leopard
+
+#endif  // LEOPARD_WORKLOAD_LEDGER_H_

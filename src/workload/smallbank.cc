@@ -1,0 +1,85 @@
+#include "workload/smallbank.h"
+
+#include <algorithm>
+
+namespace leopard {
+
+SmallBankWorkload::SmallBankWorkload(const Options& options)
+    : options_(options),
+      accounts_(static_cast<uint64_t>(options.scale_factor) *
+                options.accounts_per_sf),
+      hot_accounts_(std::max<uint64_t>(
+          1, static_cast<uint64_t>(static_cast<double>(accounts_) *
+                                   options.hotspot_size_fraction))) {}
+
+std::vector<WriteAccess> SmallBankWorkload::InitialRows() const {
+  std::vector<WriteAccess> rows;
+  rows.reserve(accounts_ * 2);
+  for (uint64_t a = 0; a < accounts_; ++a) {
+    rows.push_back(WriteAccess{CheckingKey(a), MakeLoadValue(CheckingKey(a))});
+    rows.push_back(WriteAccess{SavingsKey(a), MakeLoadValue(SavingsKey(a))});
+  }
+  return rows;
+}
+
+uint64_t SmallBankWorkload::PickAccount(Rng& rng) const {
+  if (rng.Chance(options_.hotspot_fraction)) {
+    return rng.Uniform(hot_accounts_);
+  }
+  return rng.Uniform(accounts_);
+}
+
+TxnSpec SmallBankWorkload::NextTransaction(Rng& rng) {
+  TxnSpec spec;
+  uint64_t a = PickAccount(rng);
+  int64_t amount = static_cast<int64_t>(rng.UniformRange(1, 100));
+  switch (rng.Uniform(6)) {
+    case 0: {  // Balance: read both balances.
+      spec.ops.push_back(OpSpec::Read(CheckingKey(a)));
+      spec.ops.push_back(OpSpec::Read(SavingsKey(a)));
+      break;
+    }
+    case 1: {  // DepositChecking: checking += amount.
+      spec.ops.push_back(OpSpec::Read(CheckingKey(a)));
+      spec.ops.push_back(OpSpec::WriteFirstReadPlus(CheckingKey(a), amount));
+      break;
+    }
+    case 2: {  // TransactSavings: savings += amount.
+      spec.ops.push_back(OpSpec::Read(SavingsKey(a)));
+      spec.ops.push_back(OpSpec::WriteFirstReadPlus(SavingsKey(a), amount));
+      break;
+    }
+    case 3: {  // Amalgamate: move everything from a to b.
+      uint64_t b = PickAccount(rng);
+      if (b == a) b = (a + 1) % accounts_;
+      spec.ops.push_back(OpSpec::Read(SavingsKey(a)));
+      spec.ops.push_back(OpSpec::Read(CheckingKey(a)));
+      spec.ops.push_back(OpSpec::Read(CheckingKey(b)));
+      // The zero writes are the constant duplicate values called out by the
+      // paper: repeated amalgamates on an account install indistinguishable
+      // versions.
+      spec.ops.push_back(OpSpec::WriteConstant(SavingsKey(a), 0));
+      spec.ops.push_back(OpSpec::WriteConstant(CheckingKey(a), 0));
+      spec.ops.push_back(OpSpec::WriteSumOfReads(CheckingKey(b)));
+      break;
+    }
+    case 4: {  // WriteCheck: checking -= amount after balance check.
+      spec.ops.push_back(OpSpec::Read(SavingsKey(a)));
+      spec.ops.push_back(OpSpec::Read(CheckingKey(a)));
+      spec.ops.push_back(OpSpec::WriteFirstReadPlus(CheckingKey(a), -amount));
+      break;
+    }
+    default: {  // SendPayment: checking(a) -= amount, checking(b) += amount.
+      uint64_t b = PickAccount(rng);
+      if (b == a) b = (a + 1) % accounts_;
+      spec.ops.push_back(OpSpec::Read(CheckingKey(a)));
+      spec.ops.push_back(OpSpec::WriteFirstReadPlus(CheckingKey(a), -amount));
+      spec.ops.push_back(OpSpec::Read(CheckingKey(b)));
+      spec.ops.push_back(OpSpec::WriteLastReadPlus(CheckingKey(b), amount));
+      break;
+    }
+  }
+  return spec;
+}
+
+}  // namespace leopard

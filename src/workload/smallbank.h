@@ -1,0 +1,49 @@
+#ifndef LEOPARD_WORKLOAD_SMALLBANK_H_
+#define LEOPARD_WORKLOAD_SMALLBANK_H_
+
+#include <string>
+#include <vector>
+
+#include "workload/workload.h"
+
+namespace leopard {
+
+/// SmallBank (Alomari et al., ICDE'08): a banking workload over per-account
+/// checking and savings balances with six transaction types. Balance-update
+/// transactions derive written values from values read, and `amalgamate`
+/// writes constant zeros — reproducing the duplicate-value traces that make
+/// some SmallBank dependencies undeducible (§VI-D, Fig. 13a).
+class SmallBankWorkload : public Workload {
+ public:
+  struct Options {
+    /// scale_factor 1 corresponds to `accounts_per_sf` accounts.
+    uint32_t scale_factor = 1;
+    uint32_t accounts_per_sf = 1000;
+    /// Fraction of transactions hitting a small hot set, as in the original
+    /// benchmark's 90/10 split.
+    double hotspot_fraction = 0.9;
+    double hotspot_size_fraction = 0.1;
+  };
+
+  explicit SmallBankWorkload(const Options& options);
+
+  std::string name() const override { return "SmallBank"; }
+  std::vector<WriteAccess> InitialRows() const override;
+  TxnSpec NextTransaction(Rng& rng) override;
+
+  uint64_t account_count() const { return accounts_; }
+
+  static Key CheckingKey(uint64_t account) { return account * 2; }
+  static Key SavingsKey(uint64_t account) { return account * 2 + 1; }
+
+ private:
+  uint64_t PickAccount(Rng& rng) const;
+
+  Options options_;
+  uint64_t accounts_;
+  uint64_t hot_accounts_;
+};
+
+}  // namespace leopard
+
+#endif  // LEOPARD_WORKLOAD_SMALLBANK_H_

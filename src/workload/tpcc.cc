@@ -1,0 +1,136 @@
+#include "workload/tpcc.h"
+
+namespace leopard {
+
+std::vector<WriteAccess> TpccWorkload::InitialRows() const {
+  std::vector<WriteAccess> rows;
+  auto add = [&rows](Key key) {
+    rows.push_back(WriteAccess{key, MakeLoadValue(key)});
+  };
+  for (uint32_t w = 0; w < options_.scale_factor; ++w) {
+    add(Encode(Table::kWarehouseYtd, w, 0, 0));
+    for (uint32_t d = 0; d < options_.districts_per_warehouse; ++d) {
+      add(Encode(Table::kDistrictYtd, w, d, 0));
+      add(Encode(Table::kDistrictNextOid, w, d, 0));
+      for (uint32_t c = 0; c < options_.customers_per_district; ++c) {
+        add(Encode(Table::kCustomerBalance, w, d, c));
+        add(Encode(Table::kCustomerYtd, w, d, c));
+      }
+    }
+    for (uint32_t i = 0; i < options_.items; ++i) {
+      add(Encode(Table::kStock, w, 0, i));
+    }
+  }
+  for (uint32_t i = 0; i < options_.items; ++i) {
+    add(Encode(Table::kItem, 0, 0, i));
+  }
+  return rows;
+}
+
+TxnSpec TpccWorkload::NextTransaction(Rng& rng) {
+  uint64_t roll = rng.Uniform(100);
+  if (roll < 45) return NewOrder(rng);
+  if (roll < 88) return Payment(rng);
+  if (roll < 92) return OrderStatus(rng);
+  if (roll < 96) return Delivery(rng);
+  return StockLevel(rng);
+}
+
+TxnSpec TpccWorkload::NewOrder(Rng& rng) {
+  TxnSpec spec;
+  uint32_t w = PickWarehouse(rng);
+  uint32_t d = PickDistrict(rng);
+  spec.ops.push_back(OpSpec::Read(Encode(Table::kWarehouseYtd, w, 0, 0)));
+  // Advance the district's next-order-id sequence (read-modify-write).
+  Key next_oid = Encode(Table::kDistrictNextOid, w, d, 0);
+  spec.ops.push_back(OpSpec::Read(next_oid));
+  spec.ops.push_back(OpSpec::WriteLastReadPlus(next_oid, 1));
+  uint32_t lines = static_cast<uint32_t>(rng.UniformRange(5, 15));
+  uint64_t oid = next_order_id_.fetch_add(1);
+  for (uint32_t l = 0; l < lines; ++l) {
+    uint64_t item = rng.Uniform(options_.items);
+    spec.ops.push_back(OpSpec::Read(Encode(Table::kItem, 0, 0, item)));
+    Key stock = Encode(Table::kStock, w, 0, item);
+    spec.ops.push_back(OpSpec::Read(stock));
+    spec.ops.push_back(OpSpec::WriteLastReadPlus(
+        stock, -static_cast<int64_t>(rng.UniformRange(1, 10))));
+    spec.ops.push_back(OpSpec::WriteUnique(
+        Encode(Table::kOrderLine, 0, 0, oid * kMaxLinesPerOrder + l)));
+  }
+  spec.ops.push_back(
+      OpSpec::WriteUnique(Encode(Table::kOrder, 0, 0, oid)));
+  return spec;
+}
+
+TxnSpec TpccWorkload::Payment(Rng& rng) {
+  TxnSpec spec;
+  uint32_t w = PickWarehouse(rng);
+  uint32_t d = PickDistrict(rng);
+  uint32_t c = PickCustomer(rng);
+  int64_t amount = static_cast<int64_t>(rng.UniformRange(1, 5000));
+  Key wh = Encode(Table::kWarehouseYtd, w, 0, 0);
+  spec.ops.push_back(OpSpec::Read(wh));
+  spec.ops.push_back(OpSpec::WriteLastReadPlus(wh, amount));
+  Key dist = Encode(Table::kDistrictYtd, w, d, 0);
+  spec.ops.push_back(OpSpec::Read(dist));
+  spec.ops.push_back(OpSpec::WriteLastReadPlus(dist, amount));
+  Key bal = Encode(Table::kCustomerBalance, w, d, c);
+  spec.ops.push_back(OpSpec::Read(bal));
+  spec.ops.push_back(OpSpec::WriteLastReadPlus(bal, -amount));
+  return spec;
+}
+
+TxnSpec TpccWorkload::OrderStatus(Rng& rng) {
+  TxnSpec spec;
+  uint32_t w = PickWarehouse(rng);
+  uint32_t d = PickDistrict(rng);
+  uint32_t c = PickCustomer(rng);
+  spec.ops.push_back(
+      OpSpec::Read(Encode(Table::kCustomerBalance, w, d, c)));
+  uint64_t created = next_order_id_.load();
+  if (created > 0) {
+    uint64_t oid = rng.Uniform(created);
+    spec.ops.push_back(OpSpec::Read(Encode(Table::kOrder, 0, 0, oid)));
+    spec.ops.push_back(OpSpec::RangeRead(
+        Encode(Table::kOrderLine, 0, 0, oid * kMaxLinesPerOrder),
+        kMaxLinesPerOrder));
+  }
+  return spec;
+}
+
+TxnSpec TpccWorkload::Delivery(Rng& rng) {
+  TxnSpec spec;
+  uint32_t w = PickWarehouse(rng);
+  uint32_t d = PickDistrict(rng);
+  uint32_t c = PickCustomer(rng);
+  uint64_t created = next_order_id_.load();
+  if (created > 0) {
+    // Stamp the carrier onto an existing order (overwrite).
+    uint64_t oid = rng.Uniform(created);
+    spec.ops.push_back(
+        OpSpec::WriteUnique(Encode(Table::kOrder, 0, 0, oid)));
+  }
+  Key bal = Encode(Table::kCustomerBalance, w, d, c);
+  spec.ops.push_back(OpSpec::Read(bal));
+  spec.ops.push_back(OpSpec::WriteLastReadPlus(
+      bal, static_cast<int64_t>(rng.UniformRange(1, 500))));
+  Key ytd = Encode(Table::kCustomerYtd, w, d, c);
+  spec.ops.push_back(OpSpec::Read(ytd));
+  spec.ops.push_back(OpSpec::WriteLastReadPlus(ytd, 1));
+  return spec;
+}
+
+TxnSpec TpccWorkload::StockLevel(Rng& rng) {
+  TxnSpec spec;
+  uint32_t w = PickWarehouse(rng);
+  uint32_t d = PickDistrict(rng);
+  spec.ops.push_back(
+      OpSpec::Read(Encode(Table::kDistrictNextOid, w, d, 0)));
+  uint64_t first_item =
+      rng.Uniform(options_.items > 20 ? options_.items - 20 : 1);
+  spec.ops.push_back(
+      OpSpec::RangeRead(Encode(Table::kStock, w, 0, first_item), 20));
+  return spec;
+}
+
+}  // namespace leopard

@@ -1,0 +1,115 @@
+#ifndef LEOPARD_WORKLOAD_WORKLOAD_H_
+#define LEOPARD_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "trace/trace.h"
+
+namespace leopard {
+
+enum class OpKind : uint8_t {
+  kRead = 0,
+  kWrite,
+  kRangeRead,
+  kReadForUpdate,  ///< SELECT ... FOR UPDATE: exclusive lock + current read
+  kDelete,         ///< installs a tombstone version
+  kRangeWrite,     ///< one statement writing `range_count` rows
+  kRangeDelete,    ///< one statement deleting `range_count` rows
+};
+
+/// How the client computes the value for a write operation. Workload specs
+/// are pure data; the executing client evaluates the rule against the values
+/// it has read so far in the transaction. This lets workloads control value
+/// *uniqueness*, which drives how many dependencies Leopard can deduce
+/// (§VI-D: BlindW writes unique values; SmallBank's amalgamate writes
+/// constant zeros that defeat candidate-version matching).
+enum class ValueRule : uint8_t {
+  kUnique = 0,         ///< globally unique value minted by the client
+  kConstant,           ///< fixed constant (e.g. 0)
+  kSumOfReads,         ///< sum of all values read so far in this transaction
+  kFirstReadPlusDelta, ///< first value read in this transaction + delta
+  kLastReadPlusDelta,  ///< most recent value read in this transaction + delta
+};
+
+/// One operation of a transaction template.
+struct OpSpec {
+  OpKind kind = OpKind::kRead;
+  Key key = 0;
+  uint32_t range_count = 0;       // kRangeRead only
+  ValueRule rule = ValueRule::kUnique;  // kWrite only
+  Value constant = 0;             // kConstant payload
+  int64_t delta = 0;              // kFirstReadPlusDelta payload
+
+  static OpSpec Read(Key key) { return {OpKind::kRead, key, 0, {}, 0, 0}; }
+  static OpSpec RangeRead(Key first, uint32_t count) {
+    return {OpKind::kRangeRead, first, count, {}, 0, 0};
+  }
+  static OpSpec WriteUnique(Key key) {
+    return {OpKind::kWrite, key, 0, ValueRule::kUnique, 0, 0};
+  }
+  static OpSpec WriteConstant(Key key, Value c) {
+    return {OpKind::kWrite, key, 0, ValueRule::kConstant, c, 0};
+  }
+  static OpSpec WriteSumOfReads(Key key) {
+    return {OpKind::kWrite, key, 0, ValueRule::kSumOfReads, 0, 0};
+  }
+  static OpSpec WriteFirstReadPlus(Key key, int64_t delta) {
+    return {OpKind::kWrite, key, 0, ValueRule::kFirstReadPlusDelta, 0, delta};
+  }
+  static OpSpec WriteLastReadPlus(Key key, int64_t delta) {
+    return {OpKind::kWrite, key, 0, ValueRule::kLastReadPlusDelta, 0, delta};
+  }
+  static OpSpec ReadForUpdate(Key key) {
+    return {OpKind::kReadForUpdate, key, 0, {}, 0, 0};
+  }
+  static OpSpec Delete(Key key) {
+    return {OpKind::kDelete, key, 0, {}, 0, 0};
+  }
+  static OpSpec RangeWriteUnique(Key first, uint32_t count) {
+    return {OpKind::kRangeWrite, first, count, ValueRule::kUnique, 0, 0};
+  }
+  static OpSpec RangeDelete(Key first, uint32_t count) {
+    return {OpKind::kRangeDelete, first, count, {}, 0, 0};
+  }
+};
+
+/// A transaction template: the ordered operations one transaction performs.
+struct TxnSpec {
+  std::vector<OpSpec> ops;
+};
+
+/// Abstract workload generator. Implementations must be deterministic given
+/// the caller-supplied RNG. One Workload instance may be shared by several
+/// clients (NextTransaction is called with each client's own RNG).
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Rows to bulk-load before the run. Values must be globally unique (the
+  /// harness relies on this to seed version matching); use MakeLoadValue.
+  virtual std::vector<WriteAccess> InitialRows() const = 0;
+
+  /// Generates the next transaction template.
+  virtual TxnSpec NextTransaction(Rng& rng) = 0;
+};
+
+/// Globally unique value for the initial load of `key` (top bit set so load
+/// values can never collide with client-minted values).
+inline Value MakeLoadValue(Key key) {
+  return (1ULL << 63) | key;
+}
+
+/// Globally unique value minted by client `client` (client ids are < 2^20,
+/// counters < 2^40).
+inline Value MakeClientValue(ClientId client, uint64_t counter) {
+  return (static_cast<Value>(client) + 1) << 40 | counter;
+}
+
+}  // namespace leopard
+
+#endif  // LEOPARD_WORKLOAD_WORKLOAD_H_

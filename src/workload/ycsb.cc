@@ -1,0 +1,87 @@
+#include "workload/ycsb.h"
+
+namespace leopard {
+
+YcsbWorkload::YcsbWorkload(const Options& options)
+    : options_(options), zipf_(options.record_count, options.theta) {}
+
+std::vector<WriteAccess> YcsbWorkload::InitialRows() const {
+  std::vector<WriteAccess> rows;
+  rows.reserve(options_.record_count);
+  for (uint64_t k = 0; k < options_.record_count; ++k) {
+    rows.push_back(WriteAccess{k, MakeLoadValue(k)});
+  }
+  return rows;
+}
+
+std::string YcsbWorkload::name() const {
+  switch (options_.mix) {
+    case YcsbMix::kA:
+      return "YCSB-A";
+    case YcsbMix::kB:
+      return "YCSB-B";
+    case YcsbMix::kC:
+      return "YCSB-C";
+    case YcsbMix::kE:
+      return "YCSB-E";
+    case YcsbMix::kF:
+      return "YCSB-F";
+    case YcsbMix::kCustom:
+      return "YCSB-A";
+  }
+  return "YCSB";
+}
+
+TxnSpec YcsbWorkload::NextTransaction(Rng& rng) {
+  TxnSpec spec;
+  spec.ops.reserve(options_.ops_per_txn);
+  double read_ratio = options_.read_ratio;
+  switch (options_.mix) {
+    case YcsbMix::kA:
+      read_ratio = 0.5;
+      break;
+    case YcsbMix::kB:
+      read_ratio = 0.95;
+      break;
+    case YcsbMix::kC:
+      read_ratio = 1.0;
+      break;
+    case YcsbMix::kCustom:
+    case YcsbMix::kE:
+    case YcsbMix::kF:
+      break;
+  }
+  for (uint32_t i = 0; i < options_.ops_per_txn; ++i) {
+    Key key = zipf_.Next(rng);
+    switch (options_.mix) {
+      case YcsbMix::kE: {  // 95% short scans, 5% updates
+        if (rng.Chance(0.95)) {
+          uint32_t len = options_.scan_length;
+          if (key + len > options_.record_count) {
+            key = options_.record_count - len;
+          }
+          spec.ops.push_back(OpSpec::RangeRead(key, len));
+        } else {
+          spec.ops.push_back(OpSpec::WriteUnique(key));
+        }
+        break;
+      }
+      case YcsbMix::kF: {  // read-modify-write (fresh unique payload)
+        spec.ops.push_back(OpSpec::Read(key));
+        spec.ops.push_back(OpSpec::WriteUnique(key));
+        break;
+      }
+      default: {
+        if (rng.Chance(read_ratio)) {
+          spec.ops.push_back(OpSpec::Read(key));
+        } else {
+          spec.ops.push_back(OpSpec::WriteUnique(key));
+        }
+        break;
+      }
+    }
+  }
+  return spec;
+}
+
+}  // namespace leopard

@@ -1,0 +1,52 @@
+#ifndef LEOPARD_WORKLOAD_YCSB_H_
+#define LEOPARD_WORKLOAD_YCSB_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/workload.h"
+
+namespace leopard {
+
+/// The standard YCSB workload mixes.
+enum class YcsbMix : uint8_t {
+  kA = 0,  ///< 50% read / 50% update
+  kB,      ///< 95% read / 5% update
+  kC,      ///< 100% read
+  kE,      ///< 95% short range scan / 5% insert-style update
+  kF,      ///< read-modify-write
+  kCustom, ///< use Options::read_ratio directly
+};
+
+/// YCSB key-value workload over a single table: each transaction is
+/// `ops_per_txn` operations drawn from the selected mix over zipfian-chosen
+/// keys. YCSB-A with a custom read ratio drives the overlap-ratio study of
+/// Fig. 4 (sweeping `theta`, the client count and the read ratio).
+class YcsbWorkload : public Workload {
+ public:
+  struct Options {
+    uint64_t record_count = 100000;
+    double theta = 0.6;        ///< zipfian skew; 0 = uniform
+    double read_ratio = 0.5;   ///< used by kA (fixed) and kCustom
+    uint32_t ops_per_txn = 4;
+    YcsbMix mix = YcsbMix::kCustom;
+    uint32_t scan_length = 10;  ///< kE range size
+  };
+
+  explicit YcsbWorkload(const Options& options);
+
+  std::string name() const override;
+  std::vector<WriteAccess> InitialRows() const override;
+  TxnSpec NextTransaction(Rng& rng) override;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  ZipfianGenerator zipf_;
+};
+
+}  // namespace leopard
+
+#endif  // LEOPARD_WORKLOAD_YCSB_H_

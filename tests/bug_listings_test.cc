@@ -1,0 +1,340 @@
+// Literal reproductions of the paper's §VI-F bug listings plus the
+// absence/tombstone verification they rely on.
+
+#include <gtest/gtest.h>
+
+#include "harness/sim_runner.h"
+#include "txn/database.h"
+#include "verifier/leopard.h"
+#include "verifier/mechanism_table.h"
+#include "workload/ledger.h"
+
+namespace leopard {
+namespace {
+
+Trace R(TxnId txn, Timestamp bef, Timestamp aft, Key key, Value value) {
+  return MakeReadTrace(txn, static_cast<ClientId>(txn % 8), {bef, aft},
+                       {{key, value}});
+}
+Trace Rfu(TxnId txn, Timestamp bef, Timestamp aft, Key key, Value value) {
+  Trace t = R(txn, bef, aft, key, value);
+  t.for_update = true;
+  return t;
+}
+Trace Rabsent(TxnId txn, Timestamp bef, Timestamp aft, Key key) {
+  Trace t = MakeReadTrace(txn, static_cast<ClientId>(txn % 8), {bef, aft},
+                          {});
+  t.absent_reads.push_back(key);
+  return t;
+}
+Trace W(TxnId txn, Timestamp bef, Timestamp aft, Key key, Value value) {
+  return MakeWriteTrace(txn, static_cast<ClientId>(txn % 8), {bef, aft},
+                        {{key, value}});
+}
+Trace Del(TxnId txn, Timestamp bef, Timestamp aft, Key key) {
+  return W(txn, bef, aft, key, kTombstoneValue);
+}
+Trace C(TxnId txn, Timestamp bef, Timestamp aft) {
+  return MakeCommitTrace(txn, static_cast<ClientId>(txn % 8), {bef, aft});
+}
+
+void Feed(Leopard& leopard, std::vector<Trace> traces) {
+  std::stable_sort(traces.begin(), traces.end(),
+                   [](const Trace& a, const Trace& b) {
+                     return a.ts_bef() < b.ts_bef();
+                   });
+  for (const auto& t : traces) leopard.Process(t);
+  leopard.Finish();
+}
+
+VerifierConfig PgConfig() {
+  return ConfigForMiniDb(Protocol::kMvcc2plSsi,
+                         IsolationLevel::kSerializable);
+}
+
+std::vector<Trace> LoadOne(Key key, Value value) {
+  return {MakeWriteTrace(kLoadTxnId, 0, {1, 2}, {{key, value}}),
+          MakeCommitTrace(kLoadTxnId, 0, {3, 4})};
+}
+
+// Listing 1 — "Incompatible Write Locks": txn 211 holds the write lock on
+// record 1; concurrent txn 324 nevertheless succeeds with SELECT ... FOR
+// UPDATE through the join path (TiDB forgot the lock acquisition).
+TEST(BugListingsTest, Listing1IncompatibleWriteLocks) {
+  Leopard leopard(PgConfig());
+  auto traces = LoadOne(1, 100);
+  traces.push_back(W(211, 10, 11, 1, 101));    // UPDATE t SET b=3 (locks)
+  traces.push_back(Rfu(324, 14, 15, 1, 100));  // SELECT ... FOR UPDATE: OK?!
+  traces.push_back(C(324, 20, 21));
+  traces.push_back(C(211, 40, 41));
+  Feed(leopard, traces);
+  EXPECT_GE(leopard.stats().me_violations, 1u);
+  bool found = false;
+  for (const auto& bug : leopard.bugs()) {
+    if (bug.type == BugType::kMeViolation) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+// The correct schedule: 324's FOR UPDATE waits for 211 (its interval spans
+// 211's commit) and reads the new value. No violation.
+TEST(BugListingsTest, Listing1CorrectBlockingSchedule) {
+  Leopard leopard(PgConfig());
+  auto traces = LoadOne(1, 100);
+  traces.push_back(W(211, 10, 11, 1, 101));
+  traces.push_back(Rfu(324, 14, 45, 1, 101));  // blocked until 211 commits
+  traces.push_back(C(211, 40, 41));
+  traces.push_back(C(324, 50, 51));
+  Feed(leopard, traces);
+  EXPECT_EQ(leopard.stats().TotalViolations(), 0u);
+}
+
+// Listing 2 — "A Query that Returns two versions": txn 412 re-inserts a
+// row deleted by txn 213, then its read returns the *deleted* version
+// instead of its own write.
+TEST(BugListingsTest, Listing2DeletedVersionResurfaces) {
+  Leopard leopard(PgConfig());
+  auto traces = LoadOne(2, 200);
+  traces.push_back(Del(213, 10, 11, 2));      // DELETE FROM s WHERE a=2
+  traces.push_back(C(213, 12, 13));
+  traces.push_back(W(412, 20, 21, 2, 777));   // INSERT INTO s VALUES(2,3)
+  traces.push_back(R(412, 24, 25, 2, 200));   // returns the deleted row!
+  traces.push_back(C(412, 30, 31));
+  Feed(leopard, traces);
+  EXPECT_GE(leopard.stats().cr_violations, 1u);
+}
+
+// A later reader observing the deleted value is a garbage read.
+TEST(BugListingsTest, ReadOfDeletedValueIsViolation) {
+  Leopard leopard(PgConfig());
+  auto traces = LoadOne(2, 200);
+  traces.push_back(Del(213, 10, 11, 2));
+  traces.push_back(C(213, 12, 13));
+  traces.push_back(R(500, 50, 51, 2, 200));  // resurrected version
+  traces.push_back(C(500, 60, 61));
+  Feed(leopard, traces);
+  EXPECT_GE(leopard.stats().cr_violations, 1u);
+}
+
+TEST(AbsenceTest, AbsentAfterDeleteIsFineAndDeducesWr) {
+  Leopard leopard(PgConfig());
+  auto traces = LoadOne(2, 200);
+  traces.push_back(Del(213, 10, 11, 2));
+  traces.push_back(C(213, 12, 13));
+  traces.push_back(Rabsent(500, 50, 51, 2));  // correctly sees no row
+  traces.push_back(C(500, 60, 61));
+  Feed(leopard, traces);
+  EXPECT_EQ(leopard.stats().TotalViolations(), 0u);
+  EXPECT_GT(leopard.stats().deps_deduced, 0u);  // wr edge 213 -> 500
+}
+
+TEST(AbsenceTest, HiddenRowIsViolation) {
+  Leopard leopard(PgConfig());
+  auto traces = LoadOne(2, 200);
+  traces.push_back(Rabsent(500, 50, 51, 2));  // row exists but "absent"
+  traces.push_back(C(500, 60, 61));
+  Feed(leopard, traces);
+  EXPECT_GE(leopard.stats().cr_violations, 1u);
+}
+
+TEST(AbsenceTest, NeverInsertedKeyAbsentIsFine) {
+  Leopard leopard(PgConfig());
+  auto traces = LoadOne(2, 200);
+  traces.push_back(Rabsent(500, 50, 51, 99));  // key 99 never existed
+  traces.push_back(C(500, 60, 61));
+  Feed(leopard, traces);
+  EXPECT_EQ(leopard.stats().TotalViolations(), 0u);
+}
+
+TEST(AbsenceTest, ConcurrentInsertAbsenceUncertain) {
+  Leopard leopard(PgConfig());
+  std::vector<Trace> traces = {
+      MakeCommitTrace(kLoadTxnId, 0, {1, 2}),
+  };
+  // Insert commits overlapping the reader's snapshot: absence is possible.
+  traces.push_back(W(7, 10, 12, 5, 555));
+  traces.push_back(C(7, 14, 60));
+  traces.push_back(Rabsent(8, 20, 22, 5));
+  traces.push_back(C(8, 70, 71));
+  Feed(leopard, traces);
+  EXPECT_EQ(leopard.stats().TotalViolations(), 0u);
+}
+
+TEST(AbsenceTest, RangeGapOverVisibleRowIsViolation) {
+  Leopard leopard(PgConfig());
+  std::vector<Trace> traces = {
+      MakeWriteTrace(kLoadTxnId, 0, {1, 2}, {{1, 100}, {2, 200}, {3, 300}}),
+      MakeCommitTrace(kLoadTxnId, 0, {3, 4}),
+  };
+  // Range scan [1,4) that returns keys 1 and 3 but silently drops key 2.
+  Trace scan = MakeReadTrace(9, 1, {50, 52}, {{1, 100}, {3, 300}});
+  scan.range_first = 1;
+  scan.range_count = 3;
+  traces.push_back(scan);
+  traces.push_back(C(9, 60, 61));
+  Feed(leopard, traces);
+  EXPECT_GE(leopard.stats().cr_violations, 1u);
+}
+
+TEST(AbsenceTest, RangeGapOverDeletedRowIsFine) {
+  Leopard leopard(PgConfig());
+  std::vector<Trace> traces = {
+      MakeWriteTrace(kLoadTxnId, 0, {1, 2}, {{1, 100}, {2, 200}, {3, 300}}),
+      MakeCommitTrace(kLoadTxnId, 0, {3, 4}),
+  };
+  traces.push_back(Del(7, 10, 11, 2));
+  traces.push_back(C(7, 12, 13));
+  Trace scan = MakeReadTrace(9, 1, {50, 52}, {{1, 100}, {3, 300}});
+  scan.range_first = 1;
+  scan.range_count = 3;
+  traces.push_back(scan);
+  traces.push_back(C(9, 60, 61));
+  Feed(leopard, traces);
+  EXPECT_EQ(leopard.stats().TotalViolations(), 0u);
+}
+
+TEST(AbsenceTest, OwnDeleteReadsAbsent) {
+  Leopard leopard(PgConfig());
+  auto traces = LoadOne(2, 200);
+  traces.push_back(Del(5, 10, 11, 2));
+  traces.push_back(Rabsent(5, 14, 15, 2));  // own delete: absent is right
+  traces.push_back(C(5, 20, 21));
+  Feed(leopard, traces);
+  EXPECT_EQ(leopard.stats().TotalViolations(), 0u);
+}
+
+TEST(AbsenceTest, AbsentDespiteOwnInsertIsViolation) {
+  Leopard leopard(PgConfig());
+  auto traces = LoadOne(2, 200);
+  traces.push_back(W(5, 10, 11, 7, 700));
+  traces.push_back(Rabsent(5, 14, 15, 7));  // lost its own insert
+  traces.push_back(C(5, 20, 21));
+  Feed(leopard, traces);
+  EXPECT_GE(leopard.stats().cr_violations, 1u);
+}
+
+// End-to-end: the Ledger workload (insert / FOR UPDATE + delete / scans)
+// verifies clean on a fault-free engine across the locking protocols.
+TEST(LedgerIntegrationTest, CleanAcrossProtocols) {
+  for (auto combo : {std::pair{Protocol::kMvcc2plSsi,
+                               IsolationLevel::kSerializable},
+                     std::pair{Protocol::kMvcc2plSsi,
+                               IsolationLevel::kReadCommitted},
+                     std::pair{Protocol::kMvcc2pl,
+                               IsolationLevel::kRepeatableRead},
+                     std::pair{Protocol::kMvccOcc,
+                               IsolationLevel::kSerializable},
+                     std::pair{Protocol::kMvccTo,
+                               IsolationLevel::kSerializable}}) {
+    Database::Options dbo;
+    dbo.protocol = combo.first;
+    dbo.isolation = combo.second;
+    Database db(dbo);
+    LedgerWorkload::Options wo;
+    wo.slots = 200;
+    LedgerWorkload workload(wo);
+    SimOptions so;
+    so.clients = 6;
+    so.total_txns = 400;
+    so.seed = 321;
+    SimRunner runner(&db, &workload, so);
+    RunResult result = runner.Run();
+    Leopard verifier(ConfigForMiniDb(combo.first, combo.second));
+    for (const auto& t : result.MergedTraces()) verifier.Process(t);
+    verifier.Finish();
+    EXPECT_EQ(verifier.stats().TotalViolations(), 0u)
+        << ProtocolName(combo.first) << "/"
+        << IsolationLevelName(combo.second) << ": "
+        << (verifier.bugs().empty() ? std::string()
+                                    : verifier.bugs()[0].ToString());
+  }
+}
+
+TEST(LedgerIntegrationTest, CleanUnderWaitDie) {
+  Database::Options dbo;
+  dbo.lock_wait = LockWaitPolicy::kWaitDie;
+  Database db(dbo);
+  LedgerWorkload::Options wo;
+  wo.slots = 100;
+  LedgerWorkload workload(wo);
+  SimOptions so;
+  so.clients = 8;
+  so.total_txns = 500;
+  so.seed = 322;
+  SimRunner runner(&db, &workload, so);
+  RunResult result = runner.Run();
+  Leopard verifier(PgConfig());
+  for (const auto& t : result.MergedTraces()) verifier.Process(t);
+  verifier.Finish();
+  EXPECT_EQ(verifier.stats().TotalViolations(), 0u)
+      << (verifier.bugs().empty() ? std::string()
+                                  : verifier.bugs()[0].ToString());
+}
+
+TEST(LedgerFaultTest, ResurrectedDeletesCaught) {
+  Database::Options dbo;
+  dbo.faults.resurrect_deleted_prob = 0.5;
+  dbo.fault_seed = 7;
+  Database db(dbo);
+  LedgerWorkload::Options wo;
+  wo.slots = 60;
+  LedgerWorkload workload(wo);
+  SimOptions so;
+  so.clients = 8;
+  so.total_txns = 1200;
+  so.seed = 323;
+  SimRunner runner(&db, &workload, so);
+  RunResult result = runner.Run();
+  ASSERT_GT(db.injected_fault_count(), 0u);
+  Leopard verifier(PgConfig());
+  for (const auto& t : result.MergedTraces()) verifier.Process(t);
+  verifier.Finish();
+  EXPECT_GT(verifier.stats().cr_violations, 0u);
+}
+
+TEST(LedgerFaultTest, HiddenRowsCaught) {
+  Database::Options dbo;
+  dbo.faults.hide_row_prob = 0.3;
+  dbo.fault_seed = 8;
+  Database db(dbo);
+  LedgerWorkload::Options wo;
+  wo.slots = 60;
+  wo.preload_fraction = 1.0;  // scans hit populated rows
+  LedgerWorkload workload(wo);
+  SimOptions so;
+  so.clients = 8;
+  so.total_txns = 800;
+  so.seed = 324;
+  SimRunner runner(&db, &workload, so);
+  RunResult result = runner.Run();
+  ASSERT_GT(db.injected_fault_count(), 0u);
+  Leopard verifier(PgConfig());
+  for (const auto& t : result.MergedTraces()) verifier.Process(t);
+  verifier.Finish();
+  EXPECT_GT(verifier.stats().cr_violations, 0u);
+}
+
+TEST(LedgerFaultTest, DroppedForUpdateLocksCaught) {
+  // Bug 3 end-to-end: FOR UPDATE statements that forget their locks.
+  Database::Options dbo;
+  dbo.faults.drop_lock_prob = 0.3;
+  dbo.fault_seed = 9;
+  Database db(dbo);
+  LedgerWorkload::Options wo;
+  wo.slots = 40;
+  LedgerWorkload workload(wo);
+  SimOptions so;
+  so.clients = 8;
+  so.total_txns = 1000;
+  so.seed = 325;
+  SimRunner runner(&db, &workload, so);
+  RunResult result = runner.Run();
+  ASSERT_GT(db.injected_fault_count(), 0u);
+  Leopard verifier(PgConfig());
+  for (const auto& t : result.MergedTraces()) verifier.Process(t);
+  verifier.Finish();
+  EXPECT_GT(verifier.stats().me_violations, 0u);
+}
+
+}  // namespace
+}  // namespace leopard

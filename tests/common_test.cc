@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/interval.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace leopard {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::Aborted("lock conflict");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kAborted);
+  EXPECT_EQ(s.message(), "lock conflict");
+  EXPECT_EQ(s.ToString(), "ABORTED: lock conflict");
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::Ok(), Status());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value_or(-1), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::NotFound("missing"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(v.value_or(-1), -1);
+}
+
+TEST(IntervalTest, CertainlyBeforeIsStrict) {
+  TimeInterval a(0, 10), b(11, 20), c(10, 20);
+  EXPECT_TRUE(CertainlyBefore(a, b));
+  EXPECT_FALSE(CertainlyBefore(a, c));  // touching endpoints overlap
+  EXPECT_FALSE(CertainlyBefore(b, a));
+}
+
+TEST(IntervalTest, OverlapCases) {
+  // The three cases of Fig. 3: disjoint, partially overlapping, contained.
+  EXPECT_FALSE(Overlaps({0, 5}, {6, 10}));
+  EXPECT_TRUE(Overlaps({0, 7}, {5, 10}));
+  EXPECT_TRUE(Overlaps({0, 20}, {5, 10}));
+  EXPECT_TRUE(Overlaps({5, 10}, {0, 20}));
+}
+
+TEST(IntervalTest, PossiblyBefore) {
+  EXPECT_TRUE(PossiblyBefore({0, 10}, {5, 20}));
+  EXPECT_TRUE(PossiblyBefore({0, 10}, {15, 20}));
+  EXPECT_FALSE(PossiblyBefore({15, 20}, {0, 10}));
+  // Same interval: some point of one may precede some point of the other.
+  EXPECT_TRUE(PossiblyBefore({5, 10}, {5, 10}));
+}
+
+TEST(ClockTest, MonotonicStrictlyIncreasing) {
+  MonotonicClock clock;
+  Timestamp last = 0;
+  for (int i = 0; i < 1000; ++i) {
+    Timestamp t = clock.Now();
+    EXPECT_GT(t, last);
+    last = t;
+  }
+}
+
+TEST(ClockTest, MonotonicAcrossThreads) {
+  MonotonicClock clock;
+  constexpr int kPerThread = 2000;
+  std::vector<std::vector<Timestamp>> seen(4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&clock, &seen, t] {
+      for (int i = 0; i < kPerThread; ++i) seen[t].push_back(clock.Now());
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::set<Timestamp> all;
+  for (const auto& v : seen) all.insert(v.begin(), v.end());
+  EXPECT_EQ(all.size(), 4u * kPerThread);  // no duplicates ever handed out
+}
+
+TEST(ClockTest, VirtualClockAdvances) {
+  VirtualClock clock;
+  Timestamp a = clock.Now();
+  Timestamp b = clock.Now();
+  EXPECT_GT(b, a);
+  clock.AdvanceTo(1000);
+  EXPECT_GE(clock.Now(), 1000u);
+}
+
+TEST(ClockTest, SkewedClockShifts) {
+  VirtualClock base;
+  base.AdvanceTo(1000);
+  SkewedClock late(&base, 500);
+  SkewedClock early(&base, -500);
+  EXPECT_GE(late.Now(), 1500u);
+  EXPECT_LE(early.Now(), 600u);
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.UniformRange(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(ZipfianTest, UniformWhenThetaZero) {
+  ZipfianGenerator zipf(100, 0.0);
+  Rng rng(3);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.Next(rng)];
+  for (int c : counts) EXPECT_GT(c, 500);  // roughly uniform (expect ~1000)
+}
+
+TEST(ZipfianTest, SkewConcentratesMass) {
+  ZipfianGenerator zipf(1000, 0.9);
+  Rng rng(4);
+  std::vector<uint64_t> counts(1000, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Next(rng)];
+  std::sort(counts.rbegin(), counts.rend());
+  uint64_t top10 = 0;
+  for (int i = 0; i < 10; ++i) top10 += counts[i];
+  // Under theta=0.9, the hottest 1% of keys draw a large share of accesses.
+  EXPECT_GT(top10, kDraws / 4u);
+}
+
+TEST(ZipfianTest, AllKeysInRange) {
+  ZipfianGenerator zipf(50, 0.99);
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Next(rng), 50u);
+}
+
+}  // namespace
+}  // namespace leopard

@@ -1,0 +1,321 @@
+#include <gtest/gtest.h>
+
+#include "txn/database.h"
+
+namespace leopard {
+namespace {
+
+Database::Options Opts(Protocol p, IsolationLevel il) {
+  Database::Options o;
+  o.protocol = p;
+  o.isolation = il;
+  return o;
+}
+
+TEST(DatabaseTest, ReadYourOwnWrites) {
+  Database db(Opts(Protocol::kMvcc2plSsi, IsolationLevel::kSerializable));
+  db.Load({{1, 100}});
+  TxnId t = db.Begin(0);
+  EXPECT_EQ(*db.Read(t, 1), 100u);
+  ASSERT_TRUE(db.Write(t, 1, 111).ok());
+  EXPECT_EQ(*db.Read(t, 1), 111u);
+  ASSERT_TRUE(db.Commit(t).ok());
+  EXPECT_EQ(*db.DebugReadLatest(1), 111u);
+}
+
+TEST(DatabaseTest, AbortDiscardsWrites) {
+  Database db(Opts(Protocol::kMvcc2plSsi, IsolationLevel::kSerializable));
+  db.Load({{1, 100}});
+  TxnId t = db.Begin(0);
+  ASSERT_TRUE(db.Write(t, 1, 111).ok());
+  ASSERT_TRUE(db.Abort(t).ok());
+  EXPECT_EQ(*db.DebugReadLatest(1), 100u);
+  // Operations after abort fail.
+  EXPECT_FALSE(db.Read(t, 1).ok());
+  EXPECT_FALSE(db.Commit(t).ok());
+}
+
+TEST(DatabaseTest, SnapshotIsolationRepeatableReads) {
+  Database db(Opts(Protocol::kMvcc2plSsi, IsolationLevel::kSnapshotIsolation));
+  db.Load({{1, 100}});
+  TxnId reader = db.Begin(0);
+  EXPECT_EQ(*db.Read(reader, 1), 100u);
+  TxnId writer = db.Begin(1);
+  ASSERT_TRUE(db.Write(writer, 1, 200).ok());
+  ASSERT_TRUE(db.Commit(writer).ok());
+  // Transaction-level snapshot: still sees the old value.
+  EXPECT_EQ(*db.Read(reader, 1), 100u);
+  ASSERT_TRUE(db.Commit(reader).ok());
+}
+
+TEST(DatabaseTest, ReadCommittedSeesNewCommits) {
+  Database db(Opts(Protocol::kMvcc2plSsi, IsolationLevel::kReadCommitted));
+  db.Load({{1, 100}});
+  TxnId reader = db.Begin(0);
+  EXPECT_EQ(*db.Read(reader, 1), 100u);
+  TxnId writer = db.Begin(1);
+  ASSERT_TRUE(db.Write(writer, 1, 200).ok());
+  ASSERT_TRUE(db.Commit(writer).ok());
+  // Statement-level snapshot: the next read observes the commit.
+  EXPECT_EQ(*db.Read(reader, 1), 200u);
+  ASSERT_TRUE(db.Commit(reader).ok());
+}
+
+TEST(DatabaseTest, NoDirtyReads) {
+  Database db(Opts(Protocol::kMvcc2plSsi, IsolationLevel::kReadCommitted));
+  db.Load({{1, 100}});
+  TxnId writer = db.Begin(0);
+  ASSERT_TRUE(db.Write(writer, 1, 200).ok());
+  TxnId reader = db.Begin(1);
+  EXPECT_EQ(*db.Read(reader, 1), 100u);  // uncommitted write invisible
+  ASSERT_TRUE(db.Commit(writer).ok());
+  ASSERT_TRUE(db.Commit(reader).ok());
+}
+
+TEST(DatabaseTest, WriteConflictNoWaitAborts) {
+  Database db(Opts(Protocol::kMvcc2plSsi, IsolationLevel::kSerializable));
+  db.Load({{1, 100}});
+  TxnId a = db.Begin(0);
+  TxnId b = db.Begin(1);
+  ASSERT_TRUE(db.Write(a, 1, 111).ok());
+  Status s = db.Write(b, 1, 222);
+  EXPECT_EQ(s.code(), StatusCode::kAborted);
+  // b was aborted by the engine.
+  EXPECT_FALSE(db.Commit(b).ok());
+  EXPECT_TRUE(db.Commit(a).ok());
+}
+
+TEST(DatabaseTest, FirstUpdaterWinsUnderSi) {
+  Database db(Opts(Protocol::kMvcc2plSsi, IsolationLevel::kSnapshotIsolation));
+  db.Load({{1, 100}});
+  TxnId a = db.Begin(0);
+  TxnId b = db.Begin(1);
+  EXPECT_EQ(*db.Read(a, 1), 100u);  // take snapshots
+  EXPECT_EQ(*db.Read(b, 1), 100u);
+  ASSERT_TRUE(db.Write(a, 1, 111).ok());
+  ASSERT_TRUE(db.Commit(a).ok());
+  // b writes after concurrent a committed an update: first updater wins.
+  Status s = db.Write(b, 1, 222);
+  EXPECT_EQ(s.code(), StatusCode::kAborted);
+}
+
+TEST(DatabaseTest, InnoDbRepeatableReadAllowsLostUpdate) {
+  // MVCC+2PL repeatable read (InnoDB-style) has no first-updater-wins: the
+  // second writer silently overwrites — exactly the paper's motivating
+  // difference between InnoDB RR and PostgreSQL RR.
+  Database db(Opts(Protocol::kMvcc2pl, IsolationLevel::kRepeatableRead));
+  db.Load({{1, 100}});
+  TxnId a = db.Begin(0);
+  TxnId b = db.Begin(1);
+  EXPECT_EQ(*db.Read(a, 1), 100u);
+  EXPECT_EQ(*db.Read(b, 1), 100u);
+  ASSERT_TRUE(db.Write(a, 1, 111).ok());
+  ASSERT_TRUE(db.Commit(a).ok());
+  ASSERT_TRUE(db.Write(b, 1, 222).ok());  // no FUW abort
+  ASSERT_TRUE(db.Commit(b).ok());
+  EXPECT_EQ(*db.DebugReadLatest(1), 222u);
+}
+
+TEST(DatabaseTest, SsiPreventsWriteSkew) {
+  Database db(Opts(Protocol::kMvcc2plSsi, IsolationLevel::kSerializable));
+  db.Load({{1, 100}, {2, 200}});
+  TxnId a = db.Begin(0);
+  TxnId b = db.Begin(1);
+  // Classic write skew: each reads the other's key, then writes its own.
+  EXPECT_TRUE(db.Read(a, 2).ok());
+  EXPECT_TRUE(db.Read(b, 1).ok());
+  bool a_ok = db.Write(a, 1, 111).ok() && db.Commit(a).ok();
+  bool b_ok = db.Write(b, 2, 222).ok() && db.Commit(b).ok();
+  EXPECT_FALSE(a_ok && b_ok);  // at least one must abort
+}
+
+TEST(DatabaseTest, SiAllowsWriteSkew) {
+  Database db(Opts(Protocol::kMvcc2plSsi, IsolationLevel::kSnapshotIsolation));
+  db.Load({{1, 100}, {2, 200}});
+  TxnId a = db.Begin(0);
+  TxnId b = db.Begin(1);
+  EXPECT_TRUE(db.Read(a, 2).ok());
+  EXPECT_TRUE(db.Read(b, 1).ok());
+  EXPECT_TRUE(db.Write(a, 1, 111).ok());
+  EXPECT_TRUE(db.Commit(a).ok());
+  EXPECT_TRUE(db.Write(b, 2, 222).ok());
+  EXPECT_TRUE(db.Commit(b).ok());  // write skew admitted at SI
+}
+
+TEST(DatabaseTest, OccValidationAbortsStaleReader) {
+  Database db(Opts(Protocol::kMvccOcc, IsolationLevel::kSerializable));
+  db.Load({{1, 100}});
+  TxnId a = db.Begin(0);
+  EXPECT_EQ(*db.Read(a, 1), 100u);
+  TxnId b = db.Begin(1);
+  ASSERT_TRUE(db.Write(b, 1, 200).ok());
+  ASSERT_TRUE(db.Commit(b).ok());
+  ASSERT_TRUE(db.Write(a, 2, 300).ok());
+  // a read key 1 which changed since: backward validation fails.
+  EXPECT_EQ(db.Commit(a).code(), StatusCode::kAborted);
+}
+
+TEST(DatabaseTest, OccBlindWritesBothCommit) {
+  Database db(Opts(Protocol::kMvccOcc, IsolationLevel::kSerializable));
+  db.Load({{1, 100}});
+  TxnId a = db.Begin(0);
+  TxnId b = db.Begin(1);
+  ASSERT_TRUE(db.Write(a, 1, 111).ok());
+  ASSERT_TRUE(db.Write(b, 1, 222).ok());
+  EXPECT_TRUE(db.Commit(a).ok());
+  EXPECT_TRUE(db.Commit(b).ok());
+  EXPECT_EQ(*db.DebugReadLatest(1), 222u);
+}
+
+TEST(DatabaseTest, ToAbortsWriteTooLate) {
+  Database db(Opts(Protocol::kMvccTo, IsolationLevel::kSerializable));
+  db.Load({{1, 100}});
+  TxnId older = db.Begin(0);
+  TxnId newer = db.Begin(1);
+  EXPECT_EQ(*db.Read(newer, 1), 100u);  // newer timestamp reads key 1
+  ASSERT_TRUE(db.Write(older, 1, 111).ok());
+  // older's write would invalidate newer's read: timestamp ordering aborts.
+  EXPECT_EQ(db.Commit(older).code(), StatusCode::kAborted);
+  EXPECT_TRUE(db.Commit(newer).ok());
+}
+
+TEST(DatabaseTest, PercolatorFirstCommitterWins) {
+  Database db(Opts(Protocol::kPercolator,
+                   IsolationLevel::kSnapshotIsolation));
+  db.Load({{1, 100}});
+  TxnId a = db.Begin(0);
+  TxnId b = db.Begin(1);
+  EXPECT_EQ(*db.Read(a, 1), 100u);
+  EXPECT_EQ(*db.Read(b, 1), 100u);
+  ASSERT_TRUE(db.Write(a, 1, 111).ok());  // no locks: both writes buffer
+  ASSERT_TRUE(db.Write(b, 1, 222).ok());
+  EXPECT_TRUE(db.Commit(a).ok());  // first committer wins
+  EXPECT_EQ(db.Commit(b).code(), StatusCode::kAborted);
+  EXPECT_EQ(*db.DebugReadLatest(1), 111u);
+}
+
+TEST(DatabaseTest, PercolatorSnapshotReads) {
+  Database db(Opts(Protocol::kPercolator,
+                   IsolationLevel::kSnapshotIsolation));
+  db.Load({{1, 100}});
+  TxnId reader = db.Begin(0);
+  EXPECT_EQ(*db.Read(reader, 1), 100u);
+  TxnId writer = db.Begin(1);
+  ASSERT_TRUE(db.Write(writer, 1, 200).ok());
+  ASSERT_TRUE(db.Commit(writer).ok());
+  EXPECT_EQ(*db.Read(reader, 1), 100u);  // repeatable snapshot
+  EXPECT_TRUE(db.Commit(reader).ok());   // read-only: no conflict
+}
+
+TEST(DatabaseTest, Pure2plLockingReads) {
+  Database db(Opts(Protocol::k2pl, IsolationLevel::kSerializable));
+  db.Load({{1, 100}});
+  TxnId a = db.Begin(0);
+  EXPECT_EQ(*db.Read(a, 1), 100u);  // S lock taken
+  TxnId b = db.Begin(1);
+  EXPECT_EQ(db.Write(b, 1, 222).code(), StatusCode::kAborted);
+  ASSERT_TRUE(db.Commit(a).ok());
+}
+
+TEST(DatabaseTest, RangeReadSkipsMissing) {
+  Database db(Opts(Protocol::kMvcc2plSsi, IsolationLevel::kSerializable));
+  db.Load({{1, 100}, {3, 300}});
+  TxnId t = db.Begin(0);
+  auto rows = db.ReadRange(t, 0, 5);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0].key, 1u);
+  EXPECT_EQ((*rows)[1].key, 3u);
+}
+
+TEST(DatabaseTest, StatsCount) {
+  Database db(Opts(Protocol::kMvcc2plSsi, IsolationLevel::kSerializable));
+  db.Load({{1, 100}});
+  TxnId t = db.Begin(0);
+  (void)db.Read(t, 1);
+  (void)db.Write(t, 1, 5);
+  (void)db.Commit(t);
+  auto s = db.stats();
+  EXPECT_EQ(s.begins, 1u);
+  EXPECT_EQ(s.reads, 1u);
+  EXPECT_EQ(s.writes, 1u);
+  EXPECT_EQ(s.commits, 1u);
+  EXPECT_EQ(s.aborts, 0u);
+}
+
+TEST(DatabaseTest, WaitDieOlderWaitsYoungerDies) {
+  Database::Options o =
+      Opts(Protocol::kMvcc2plSsi, IsolationLevel::kSerializable);
+  o.lock_wait = LockWaitPolicy::kWaitDie;
+  Database db(o);
+  db.Load({{1, 100}, {2, 200}});
+  TxnId older = db.Begin(0);
+  TxnId younger = db.Begin(1);
+  // Younger holds key 2; older requests it: older waits (kBusy).
+  ASSERT_TRUE(db.Write(younger, 2, 222).ok());
+  Status wait = db.Write(older, 2, 111);
+  EXPECT_EQ(wait.code(), StatusCode::kBusy);
+  // Older holds key 1; younger requests it: younger dies (kAborted).
+  ASSERT_TRUE(db.Write(older, 1, 111).ok());
+  Status die = db.Write(younger, 1, 222);
+  EXPECT_EQ(die.code(), StatusCode::kAborted);
+  // After the younger died, the older's retry succeeds.
+  EXPECT_TRUE(db.Write(older, 2, 111).ok());
+  EXPECT_TRUE(db.Commit(older).ok());
+}
+
+TEST(DatabaseFaultTest, DropLockAllowsConcurrentWriters) {
+  Database::Options o =
+      Opts(Protocol::kMvcc2plSsi, IsolationLevel::kSerializable);
+  o.faults.drop_lock_prob = 1.0;
+  Database db(o);
+  db.Load({{1, 100}});
+  TxnId a = db.Begin(0);
+  TxnId b = db.Begin(1);
+  EXPECT_TRUE(db.Write(a, 1, 111).ok());
+  EXPECT_TRUE(db.Write(b, 1, 222).ok());  // lock dropped: no conflict abort
+  EXPECT_GT(db.injected_fault_count(), 0u);
+}
+
+TEST(DatabaseFaultTest, SkipFuwAllowsLostUpdate) {
+  Database::Options o =
+      Opts(Protocol::kMvcc2plSsi, IsolationLevel::kSnapshotIsolation);
+  o.faults.skip_fuw_prob = 1.0;
+  Database db(o);
+  db.Load({{1, 100}});
+  TxnId a = db.Begin(0);
+  TxnId b = db.Begin(1);
+  EXPECT_EQ(*db.Read(a, 1), 100u);
+  EXPECT_EQ(*db.Read(b, 1), 100u);
+  ASSERT_TRUE(db.Write(a, 1, 111).ok());
+  ASSERT_TRUE(db.Commit(a).ok());
+  EXPECT_TRUE(db.Write(b, 1, 222).ok());  // FUW check skipped
+  EXPECT_TRUE(db.Commit(b).ok());
+}
+
+TEST(DatabaseFaultTest, DirtyReadExposesUncommitted) {
+  Database::Options o =
+      Opts(Protocol::kMvcc2plSsi, IsolationLevel::kReadCommitted);
+  o.faults.dirty_read_prob = 1.0;
+  Database db(o);
+  db.Load({{1, 100}});
+  TxnId writer = db.Begin(0);
+  ASSERT_TRUE(db.Write(writer, 1, 666).ok());
+  TxnId reader = db.Begin(1);
+  EXPECT_EQ(*db.Read(reader, 1), 666u);  // sees uncommitted data
+}
+
+TEST(DatabaseFaultTest, LostWriteNeverInstalled) {
+  Database::Options o =
+      Opts(Protocol::kMvcc2plSsi, IsolationLevel::kSerializable);
+  o.faults.lost_write_prob = 1.0;
+  Database db(o);
+  db.Load({{1, 100}});
+  TxnId t = db.Begin(0);
+  ASSERT_TRUE(db.Write(t, 1, 999).ok());
+  ASSERT_TRUE(db.Commit(t).ok());
+  EXPECT_EQ(*db.DebugReadLatest(1), 100u);  // write silently dropped
+}
+
+}  // namespace
+}  // namespace leopard

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "verifier/dependency_graph.h"
+
+namespace leopard {
+namespace {
+
+DependencyGraph::NodeInfo Node(Timestamp first_bef, Timestamp first_aft,
+                               Timestamp end_bef, Timestamp end_aft) {
+  DependencyGraph::NodeInfo info;
+  info.first_op = {first_bef, first_aft};
+  info.end = {end_bef, end_aft};
+  return info;
+}
+
+DependencyGraph::NodeInfo SerialNode(Timestamp at) {
+  return Node(at, at + 1, at + 2, at + 3);
+}
+
+TEST(DependencyGraphTest, AcyclicInsertions) {
+  DependencyGraph g(CertifierMode::kCycle);
+  for (TxnId i = 1; i <= 5; ++i) g.AddNode(i, SerialNode(i * 10));
+  EXPECT_FALSE(g.AddEdge(1, 2, DepType::kWw).has_value());
+  EXPECT_FALSE(g.AddEdge(2, 3, DepType::kWr).has_value());
+  EXPECT_FALSE(g.AddEdge(1, 3, DepType::kRw).has_value());
+  EXPECT_FALSE(g.AddEdge(4, 5, DepType::kWw).has_value());
+  EXPECT_EQ(g.EdgeCount(), 4u);
+}
+
+TEST(DependencyGraphTest, DirectCycleDetected) {
+  DependencyGraph g(CertifierMode::kCycle);
+  g.AddNode(1, SerialNode(10));
+  g.AddNode(2, SerialNode(20));
+  EXPECT_FALSE(g.AddEdge(1, 2, DepType::kWw).has_value());
+  auto violation = g.AddEdge(2, 1, DepType::kWw);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("cycle"), std::string::npos);
+}
+
+TEST(DependencyGraphTest, LongCycleDetected) {
+  DependencyGraph g(CertifierMode::kCycle);
+  constexpr int kN = 50;
+  for (TxnId i = 1; i <= kN; ++i) g.AddNode(i, SerialNode(i * 10));
+  for (TxnId i = 1; i < kN; ++i) {
+    EXPECT_FALSE(g.AddEdge(i, i + 1, DepType::kWw).has_value());
+  }
+  EXPECT_TRUE(g.AddEdge(kN, 1, DepType::kRw).has_value());
+}
+
+TEST(DependencyGraphTest, BackEdgeInsertionsReorder) {
+  // Insert edges against the node-creation order: Pearce-Kelly must
+  // reorder rather than report a cycle.
+  DependencyGraph g(CertifierMode::kCycle);
+  for (TxnId i = 1; i <= 4; ++i) g.AddNode(i, SerialNode(i * 10));
+  EXPECT_FALSE(g.AddEdge(4, 3, DepType::kWw).has_value());
+  EXPECT_FALSE(g.AddEdge(3, 2, DepType::kWw).has_value());
+  EXPECT_FALSE(g.AddEdge(2, 1, DepType::kWw).has_value());
+  // Now 4 -> 3 -> 2 -> 1; closing 1 -> 4 is a cycle.
+  EXPECT_TRUE(g.AddEdge(1, 4, DepType::kWw).has_value());
+}
+
+TEST(DependencyGraphTest, DuplicateEdgesIgnored) {
+  DependencyGraph g(CertifierMode::kCycle);
+  g.AddNode(1, SerialNode(10));
+  g.AddNode(2, SerialNode(20));
+  EXPECT_FALSE(g.AddEdge(1, 2, DepType::kWw).has_value());
+  EXPECT_FALSE(g.AddEdge(1, 2, DepType::kWw).has_value());
+  EXPECT_EQ(g.EdgeCount(), 1u);
+  // Same pair, different type is a distinct edge.
+  EXPECT_FALSE(g.AddEdge(1, 2, DepType::kWr).has_value());
+  EXPECT_EQ(g.EdgeCount(), 2u);
+}
+
+TEST(DependencyGraphTest, SsiDangerousStructure) {
+  DependencyGraph g(CertifierMode::kSsi);
+  // Three pairwise concurrent transactions.
+  g.AddNode(1, Node(10, 12, 100, 102));
+  g.AddNode(2, Node(14, 16, 104, 106));
+  g.AddNode(3, Node(18, 20, 108, 110));
+  EXPECT_FALSE(g.AddEdge(1, 2, DepType::kRw).has_value());
+  auto violation = g.AddEdge(2, 3, DepType::kRw);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("dangerous structure"), std::string::npos);
+}
+
+TEST(DependencyGraphTest, SsiSerialRwPairsAllowed) {
+  DependencyGraph g(CertifierMode::kSsi);
+  // 1 ends before 2 begins; 2 ends before 3 begins: nothing concurrent.
+  g.AddNode(1, Node(10, 12, 20, 22));
+  g.AddNode(2, Node(30, 32, 40, 42));
+  g.AddNode(3, Node(50, 52, 60, 62));
+  EXPECT_FALSE(g.AddEdge(1, 2, DepType::kRw).has_value());
+  EXPECT_FALSE(g.AddEdge(2, 3, DepType::kRw).has_value());
+}
+
+TEST(DependencyGraphTest, SsiIgnoresNonRwEdges) {
+  DependencyGraph g(CertifierMode::kSsi);
+  g.AddNode(1, Node(10, 12, 100, 102));
+  g.AddNode(2, Node(14, 16, 104, 106));
+  g.AddNode(3, Node(18, 20, 108, 110));
+  EXPECT_FALSE(g.AddEdge(1, 2, DepType::kWw).has_value());
+  EXPECT_FALSE(g.AddEdge(2, 3, DepType::kWr).has_value());
+}
+
+TEST(DependencyGraphTest, CommitOrderCertifier) {
+  DependencyGraph g(CertifierMode::kCommitOrder);
+  g.AddNode(1, Node(10, 12, 20, 22));   // commits first
+  g.AddNode(2, Node(14, 16, 40, 42));   // commits later
+  // rw pointing forward in commit order: fine.
+  EXPECT_FALSE(g.AddEdge(1, 2, DepType::kRw).has_value());
+  // rw pointing backward in commit order: violation.
+  EXPECT_TRUE(g.AddEdge(2, 1, DepType::kRw).has_value());
+  // ww backward is not checked by this certifier.
+  EXPECT_FALSE(g.AddEdge(2, 1, DepType::kWw).has_value());
+}
+
+TEST(DependencyGraphTest, TsOrderCertifier) {
+  DependencyGraph g(CertifierMode::kTsOrder);
+  g.AddNode(1, Node(10, 12, 100, 102));  // began first
+  g.AddNode(2, Node(30, 32, 50, 52));    // began later
+  EXPECT_FALSE(g.AddEdge(1, 2, DepType::kWr).has_value());
+  EXPECT_TRUE(g.AddEdge(2, 1, DepType::kWr).has_value());
+}
+
+TEST(DependencyGraphTest, FullDfsFindsCycleAfterTheFact) {
+  DependencyGraph g(CertifierMode::kFullDfs);
+  g.AddNode(1, SerialNode(10));
+  g.AddNode(2, SerialNode(20));
+  EXPECT_FALSE(g.AddEdge(1, 2, DepType::kWw).has_value());
+  EXPECT_FALSE(g.AddEdge(2, 1, DepType::kWw).has_value());  // not checked yet
+  EXPECT_TRUE(g.FullCycleSearch().has_value());
+}
+
+TEST(DependencyGraphTest, PruneGarbageRemovesOldRoots) {
+  DependencyGraph g(CertifierMode::kCycle);
+  for (TxnId i = 1; i <= 4; ++i) g.AddNode(i, SerialNode(i * 10));
+  g.AddEdge(1, 2, DepType::kWw);
+  g.AddEdge(2, 3, DepType::kWw);
+  g.AddEdge(3, 4, DepType::kWw);
+  // safe_ts covers txns 1-2 (ends at 13 / 23); 1 has in-degree 0, and once
+  // removed 2 becomes eligible too.
+  size_t pruned = g.PruneGarbage(25);
+  EXPECT_EQ(pruned, 2u);
+  EXPECT_FALSE(g.HasNode(1));
+  EXPECT_FALSE(g.HasNode(2));
+  EXPECT_TRUE(g.HasNode(3));
+}
+
+TEST(DependencyGraphTest, PruneKeepsNodesWithInDegree) {
+  DependencyGraph g(CertifierMode::kCycle);
+  g.AddNode(1, SerialNode(10));
+  g.AddNode(2, SerialNode(20));
+  g.AddEdge(2, 1, DepType::kWw);  // 1 has in-degree 1
+  EXPECT_EQ(g.PruneGarbage(15), 0u);  // 1 not eligible; 2 ends at 23 > 15
+  EXPECT_TRUE(g.HasNode(1));
+}
+
+// Randomized cross-check of Pearce-Kelly against ground truth: edges drawn
+// forward along a hidden permutation are acyclic (PK must stay silent);
+// one extra backward edge closing a path must be reported.
+class PkFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PkFuzz, MatchesGroundTruth) {
+  Rng rng(GetParam());
+  constexpr int kN = 120;
+  // Hidden topological order: position[i] of node i+1.
+  std::vector<int> order(kN);
+  for (int i = 0; i < kN; ++i) order[i] = i;
+  for (int i = kN - 1; i > 0; --i) {
+    std::swap(order[i], order[rng.Uniform(i + 1)]);
+  }
+  DependencyGraph g(CertifierMode::kCycle);
+  for (TxnId i = 1; i <= kN; ++i) g.AddNode(i, SerialNode(i * 10));
+
+  // 400 random forward edges: never a cycle.
+  std::vector<std::pair<TxnId, TxnId>> edges;
+  for (int e = 0; e < 400; ++e) {
+    int a = static_cast<int>(rng.Uniform(kN));
+    int b = static_cast<int>(rng.Uniform(kN));
+    if (a == b) continue;
+    if (order[a] > order[b]) std::swap(a, b);
+    TxnId from = static_cast<TxnId>(a + 1);
+    TxnId to = static_cast<TxnId>(b + 1);
+    EXPECT_FALSE(g.AddEdge(from, to, DepType::kWw).has_value())
+        << from << "->" << to;
+    edges.emplace_back(from, to);
+  }
+  ASSERT_FALSE(edges.empty());
+  // Close a cycle: reverse one existing edge's direction via a new edge.
+  auto [from, to] = edges[rng.Uniform(edges.size())];
+  EXPECT_TRUE(g.AddEdge(to, from, DepType::kRw).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PkFuzz,
+                         ::testing::Values(101u, 102u, 103u, 104u, 105u));
+
+TEST(DependencyGraphTest, CycleDetectionStillWorksAfterPrune) {
+  DependencyGraph g(CertifierMode::kCycle);
+  for (TxnId i = 1; i <= 6; ++i) g.AddNode(i, SerialNode(i * 10));
+  g.AddEdge(1, 2, DepType::kWw);
+  g.AddEdge(2, 3, DepType::kWw);
+  g.PruneGarbage(35);  // drops 1..3 (all roots by cascade)
+  g.AddEdge(4, 5, DepType::kWw);
+  g.AddEdge(5, 6, DepType::kWw);
+  EXPECT_TRUE(g.AddEdge(6, 4, DepType::kWw).has_value());
+}
+
+}  // namespace
+}  // namespace leopard

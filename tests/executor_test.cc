@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "harness/executor.h"
+#include "txn/database.h"
+
+namespace leopard {
+namespace {
+
+Database::Options DefaultOpts() {
+  Database::Options o;
+  o.protocol = Protocol::kMvcc2plSsi;
+  o.isolation = IsolationLevel::kSerializable;
+  return o;
+}
+
+TEST(TxnExecutorTest, ExecutesSpecThenCommits) {
+  Database db(DefaultOpts());
+  db.Load({{1, 100}});
+  TxnExecutor exec(0, &db);
+  TxnSpec spec;
+  spec.ops.push_back(OpSpec::Read(1));
+  spec.ops.push_back(OpSpec::WriteUnique(1));
+  exec.BeginTxn(spec);
+
+  OpOutcome read = exec.ExecuteNextOp();
+  EXPECT_EQ(read.trace.op, OpType::kRead);
+  ASSERT_EQ(read.trace.read_set.size(), 1u);
+  EXPECT_EQ(read.trace.read_set[0].value, 100u);
+  EXPECT_FALSE(read.txn_finished);
+
+  OpOutcome write = exec.ExecuteNextOp();
+  EXPECT_EQ(write.trace.op, OpType::kWrite);
+  ASSERT_EQ(write.trace.write_set.size(), 1u);
+
+  OpOutcome commit = exec.ExecuteNextOp();
+  EXPECT_EQ(commit.trace.op, OpType::kCommit);
+  EXPECT_TRUE(commit.txn_finished);
+  EXPECT_TRUE(commit.committed);
+  EXPECT_FALSE(exec.InTxn());
+}
+
+TEST(TxnExecutorTest, UniqueValuesNeverRepeat) {
+  Database db(DefaultOpts());
+  db.Load({{1, 100}});
+  TxnExecutor exec(3, &db);
+  std::set<Value> seen;
+  for (int i = 0; i < 50; ++i) {
+    TxnSpec spec;
+    spec.ops.push_back(OpSpec::WriteUnique(1));
+    exec.BeginTxn(spec);
+    OpOutcome w = exec.ExecuteNextOp();
+    ASSERT_EQ(w.trace.write_set.size(), 1u);
+    EXPECT_TRUE(seen.insert(w.trace.write_set[0].value).second);
+    exec.ExecuteNextOp();  // commit
+  }
+}
+
+TEST(TxnExecutorTest, SumOfReadsRule) {
+  Database db(DefaultOpts());
+  db.Load({{1, 10}, {2, 20}});
+  TxnExecutor exec(0, &db);
+  TxnSpec spec;
+  spec.ops.push_back(OpSpec::Read(1));
+  spec.ops.push_back(OpSpec::Read(2));
+  spec.ops.push_back(OpSpec::WriteSumOfReads(1));
+  exec.BeginTxn(spec);
+  exec.ExecuteNextOp();
+  exec.ExecuteNextOp();
+  OpOutcome w = exec.ExecuteNextOp();
+  ASSERT_EQ(w.trace.write_set.size(), 1u);
+  EXPECT_EQ(w.trace.write_set[0].value, 30u);
+}
+
+TEST(TxnExecutorTest, LastReadPlusDeltaRule) {
+  Database db(DefaultOpts());
+  db.Load({{1, 10}, {2, 20}});
+  TxnExecutor exec(0, &db);
+  TxnSpec spec;
+  spec.ops.push_back(OpSpec::Read(1));
+  spec.ops.push_back(OpSpec::Read(2));
+  spec.ops.push_back(OpSpec::WriteLastReadPlus(2, -5));
+  spec.ops.push_back(OpSpec::WriteFirstReadPlus(1, 7));
+  exec.BeginTxn(spec);
+  exec.ExecuteNextOp();
+  exec.ExecuteNextOp();
+  OpOutcome w1 = exec.ExecuteNextOp();
+  EXPECT_EQ(w1.trace.write_set[0].value, 15u);  // 20 - 5
+  OpOutcome w2 = exec.ExecuteNextOp();
+  EXPECT_EQ(w2.trace.write_set[0].value, 17u);  // 10 + 7
+}
+
+TEST(TxnExecutorTest, ConstantRule) {
+  Database db(DefaultOpts());
+  db.Load({{1, 10}});
+  TxnExecutor exec(0, &db);
+  TxnSpec spec;
+  spec.ops.push_back(OpSpec::WriteConstant(1, 0));
+  exec.BeginTxn(spec);
+  OpOutcome w = exec.ExecuteNextOp();
+  EXPECT_EQ(w.trace.write_set[0].value, 0u);
+}
+
+TEST(TxnExecutorTest, AbortOutcomeOnConflict) {
+  Database db(DefaultOpts());  // NO-WAIT
+  db.Load({{1, 100}});
+  TxnExecutor a(0, &db), b(1, &db);
+  TxnSpec spec;
+  spec.ops.push_back(OpSpec::WriteUnique(1));
+  a.BeginTxn(spec);
+  b.BeginTxn(spec);
+  ASSERT_EQ(a.ExecuteNextOp().trace.op, OpType::kWrite);
+  OpOutcome conflict = b.ExecuteNextOp();
+  EXPECT_EQ(conflict.trace.op, OpType::kAbort);
+  EXPECT_TRUE(conflict.txn_finished);
+  EXPECT_FALSE(conflict.committed);
+  EXPECT_FALSE(b.InTxn());
+}
+
+TEST(TxnExecutorTest, RetryOutcomeUnderWaitDie) {
+  Database::Options o = DefaultOpts();
+  // InnoDB-style repeatable read: no first-updater-wins, so the waiter's
+  // write succeeds once the lock frees (at SI the retry would correctly
+  // abort with an FUW error instead).
+  o.protocol = Protocol::kMvcc2pl;
+  o.isolation = IsolationLevel::kRepeatableRead;
+  o.lock_wait = LockWaitPolicy::kWaitDie;
+  Database db(o);
+  db.Load({{1, 100}});
+  TxnExecutor older(0, &db), younger(1, &db);
+  TxnSpec spec;
+  spec.ops.push_back(OpSpec::WriteUnique(1));
+  older.BeginTxn(spec);   // smaller txn id
+  younger.BeginTxn(spec);
+  ASSERT_EQ(younger.ExecuteNextOp().trace.op, OpType::kWrite);
+  // The older transaction waits: retry outcome, still in txn.
+  OpOutcome wait = older.ExecuteNextOp();
+  EXPECT_TRUE(wait.retry);
+  EXPECT_TRUE(older.InTxn());
+  // Younger commits; the older's retry then succeeds.
+  EXPECT_TRUE(younger.ExecuteNextOp().committed);
+  OpOutcome granted = older.ExecuteNextOp();
+  EXPECT_FALSE(granted.retry);
+  EXPECT_EQ(granted.trace.op, OpType::kWrite);
+}
+
+TEST(TxnExecutorTest, AbortTxnForcesRollback) {
+  Database db(DefaultOpts());
+  db.Load({{1, 100}});
+  TxnExecutor exec(0, &db);
+  TxnSpec spec;
+  spec.ops.push_back(OpSpec::WriteUnique(1));
+  spec.ops.push_back(OpSpec::Read(1));
+  exec.BeginTxn(spec);
+  exec.ExecuteNextOp();
+  OpOutcome abort = exec.AbortTxn();
+  EXPECT_EQ(abort.trace.op, OpType::kAbort);
+  EXPECT_FALSE(exec.InTxn());
+  EXPECT_EQ(*db.DebugReadLatest(1), 100u);  // write rolled back
+}
+
+TEST(TxnExecutorTest, RangeWriteAndRangeDelete) {
+  Database db(DefaultOpts());
+  db.Load({{1, 100}, {2, 200}, {3, 300}});
+  TxnExecutor exec(0, &db);
+  TxnSpec spec;
+  spec.ops.push_back(OpSpec::RangeWriteUnique(1, 2));
+  spec.ops.push_back(OpSpec::RangeDelete(3, 1));
+  exec.BeginTxn(spec);
+  OpOutcome w = exec.ExecuteNextOp();
+  EXPECT_EQ(w.trace.op, OpType::kWrite);
+  ASSERT_EQ(w.trace.write_set.size(), 2u);
+  EXPECT_NE(w.trace.write_set[0].value, w.trace.write_set[1].value);
+  OpOutcome d = exec.ExecuteNextOp();
+  ASSERT_EQ(d.trace.write_set.size(), 1u);
+  EXPECT_EQ(d.trace.write_set[0].value, kTombstoneValue);
+  ASSERT_TRUE(exec.ExecuteNextOp().committed);
+  EXPECT_EQ(db.DebugReadLatest(3).value_or(0), kTombstoneValue);
+}
+
+TEST(TxnExecutorTest, DeleteThenAbsentRead) {
+  Database db(DefaultOpts());
+  db.Load({{1, 100}});
+  TxnExecutor exec(0, &db);
+  TxnSpec spec;
+  spec.ops.push_back(OpSpec::Delete(1));
+  spec.ops.push_back(OpSpec::Read(1));
+  exec.BeginTxn(spec);
+  exec.ExecuteNextOp();
+  OpOutcome r = exec.ExecuteNextOp();
+  EXPECT_TRUE(r.trace.read_set.empty());
+  ASSERT_EQ(r.trace.absent_reads.size(), 1u);
+  EXPECT_EQ(r.trace.absent_reads[0], 1u);
+}
+
+TEST(TxnExecutorTest, ReadForUpdateTracesFlag) {
+  Database db(DefaultOpts());
+  db.Load({{1, 100}});
+  TxnExecutor exec(0, &db);
+  TxnSpec spec;
+  spec.ops.push_back(OpSpec::ReadForUpdate(1));
+  exec.BeginTxn(spec);
+  OpOutcome r = exec.ExecuteNextOp();
+  EXPECT_TRUE(r.trace.for_update);
+  ASSERT_EQ(r.trace.read_set.size(), 1u);
+}
+
+TEST(TxnExecutorTest, RangeReadCollectsRows) {
+  Database db(DefaultOpts());
+  db.Load({{1, 100}, {2, 200}, {4, 400}});
+  TxnExecutor exec(0, &db);
+  TxnSpec spec;
+  spec.ops.push_back(OpSpec::RangeRead(1, 4));
+  spec.ops.push_back(OpSpec::WriteSumOfReads(9));
+  exec.BeginTxn(spec);
+  OpOutcome r = exec.ExecuteNextOp();
+  EXPECT_EQ(r.trace.read_set.size(), 3u);  // key 3 missing
+  OpOutcome w = exec.ExecuteNextOp();
+  EXPECT_EQ(w.trace.write_set[0].value, 700u);
+}
+
+}  // namespace
+}  // namespace leopard

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/sim_runner.h"
+#include "txn/database.h"
+#include "verifier/leopard.h"
+#include "verifier/mechanism_table.h"
+#include "workload/ycsb.h"
+
+namespace leopard {
+namespace {
+
+/// Runs YCSB on a fault-injected MiniDB and verifies the traces. The
+/// injected fault corrupts exactly one mechanism; the matching verifier
+/// must report at least one violation of that mechanism.
+struct FaultRun {
+  VerifierStats stats;
+  uint64_t injected = 0;
+};
+
+FaultRun RunWithFaults(const FaultPlan& plan, Protocol protocol,
+                       IsolationLevel isolation, uint64_t seed,
+                       uint64_t txns = 600, double theta = 0.7,
+                       uint64_t records = 60) {
+  Database::Options dbo;
+  dbo.protocol = protocol;
+  dbo.isolation = isolation;
+  dbo.faults = plan;
+  dbo.fault_seed = seed;
+  Database db(dbo);
+  YcsbWorkload::Options wo;
+  wo.record_count = records;
+  wo.theta = theta;
+  YcsbWorkload workload(wo);
+  SimOptions so;
+  so.clients = 8;
+  so.total_txns = txns;
+  so.seed = seed;
+  SimRunner runner(&db, &workload, so);
+  RunResult result = runner.Run();
+
+  Leopard verifier(ConfigForMiniDb(protocol, isolation));
+  for (const auto& t : result.MergedTraces()) verifier.Process(t);
+  verifier.Finish();
+  FaultRun out;
+  out.stats = verifier.stats();
+  out.injected = db.injected_fault_count();
+  return out;
+}
+
+TEST(FaultDetectionTest, DroppedLocksCaughtAsMeViolations) {
+  FaultPlan plan;
+  plan.drop_lock_prob = 0.2;
+  FaultRun run = RunWithFaults(plan, Protocol::kMvcc2plSsi,
+                               IsolationLevel::kSerializable, 11);
+  ASSERT_GT(run.injected, 0u);
+  EXPECT_GT(run.stats.me_violations, 0u);
+}
+
+TEST(FaultDetectionTest, StaleSnapshotsCaughtAsCrViolations) {
+  FaultPlan plan;
+  plan.stale_snapshot_prob = 0.3;
+  plan.stale_snapshot_lag = 8;
+  FaultRun run = RunWithFaults(plan, Protocol::kMvcc2plSsi,
+                               IsolationLevel::kReadCommitted, 12);
+  ASSERT_GT(run.injected, 0u);
+  EXPECT_GT(run.stats.cr_violations, 0u);
+}
+
+TEST(FaultDetectionTest, DirtyReadsCaughtAsCrViolations) {
+  FaultPlan plan;
+  plan.dirty_read_prob = 0.3;
+  FaultRun run = RunWithFaults(plan, Protocol::kMvcc2plSsi,
+                               IsolationLevel::kReadCommitted, 13);
+  ASSERT_GT(run.injected, 0u);
+  EXPECT_GT(run.stats.cr_violations, 0u);
+}
+
+TEST(FaultDetectionTest, FutureReadsCaughtAsCrViolations) {
+  FaultPlan plan;
+  plan.future_read_prob = 0.3;
+  FaultRun run = RunWithFaults(plan, Protocol::kMvcc2plSsi,
+                               IsolationLevel::kSnapshotIsolation, 14);
+  ASSERT_GT(run.injected, 0u);
+  EXPECT_GT(run.stats.cr_violations, 0u);
+}
+
+TEST(FaultDetectionTest, LostWritesCaughtAsCrViolations) {
+  FaultPlan plan;
+  plan.lost_write_prob = 0.2;
+  FaultRun run = RunWithFaults(plan, Protocol::kMvcc2plSsi,
+                               IsolationLevel::kSerializable, 15);
+  ASSERT_GT(run.injected, 0u);
+  EXPECT_GT(run.stats.cr_violations, 0u);
+}
+
+TEST(FaultDetectionTest, SkippedFuwCaughtAsFuwViolations) {
+  FaultPlan plan;
+  plan.skip_fuw_prob = 1.0;
+  FaultRun run = RunWithFaults(plan, Protocol::kMvcc2plSsi,
+                               IsolationLevel::kSnapshotIsolation, 16,
+                               /*txns=*/800, /*theta=*/0.9, /*records=*/20);
+  ASSERT_GT(run.injected, 0u);
+  EXPECT_GT(run.stats.fuw_violations, 0u);
+}
+
+TEST(FaultDetectionTest, SkippedCertifierCaughtAsScViolations) {
+  FaultPlan plan;
+  plan.skip_certifier_prob = 1.0;
+  FaultRun run = RunWithFaults(plan, Protocol::kMvccOcc,
+                               IsolationLevel::kSerializable, 17,
+                               /*txns=*/800, /*theta=*/0.9, /*records=*/20);
+  ASSERT_GT(run.injected, 0u);
+  EXPECT_GT(run.stats.sc_violations, 0u);
+}
+
+TEST(FaultDetectionTest, PercolatorSkippedValidationCaughtAsFuw) {
+  // TiDB-optimistic SI with its commit-time conflict check disabled: lost
+  // updates slip through and the FUW mirror reports them.
+  FaultPlan plan;
+  plan.skip_certifier_prob = 1.0;
+  FaultRun run = RunWithFaults(plan, Protocol::kPercolator,
+                               IsolationLevel::kSnapshotIsolation, 19,
+                               /*txns=*/800, /*theta=*/0.9, /*records=*/20);
+  ASSERT_GT(run.injected, 0u);
+  EXPECT_GT(run.stats.fuw_violations, 0u);
+}
+
+TEST(FaultDetectionTest, NoFaultsNoViolationsControl) {
+  FaultPlan plan;  // everything off
+  FaultRun run = RunWithFaults(plan, Protocol::kMvcc2plSsi,
+                               IsolationLevel::kSerializable, 18);
+  EXPECT_EQ(run.injected, 0u);
+  EXPECT_EQ(run.stats.TotalViolations(), 0u);
+}
+
+// Parameterized sweep: dropped locks must surface as ME violations across
+// every locking protocol, isolation level and seed.
+struct MeSweepCase {
+  Protocol protocol;
+  IsolationLevel isolation;
+  uint64_t seed;
+};
+
+class DroppedLockSweep : public ::testing::TestWithParam<MeSweepCase> {};
+
+TEST_P(DroppedLockSweep, Detected) {
+  const MeSweepCase& c = GetParam();
+  FaultPlan plan;
+  plan.drop_lock_prob = 0.25;
+  FaultRun run = RunWithFaults(plan, c.protocol, c.isolation, c.seed,
+                               /*txns=*/500, /*theta=*/0.8, /*records=*/30);
+  ASSERT_GT(run.injected, 0u);
+  EXPECT_GT(run.stats.me_violations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DroppedLockSweep,
+    ::testing::Values(
+        MeSweepCase{Protocol::kMvcc2plSsi, IsolationLevel::kSerializable,
+                    21},
+        MeSweepCase{Protocol::kMvcc2plSsi, IsolationLevel::kSerializable,
+                    22},
+        MeSweepCase{Protocol::kMvcc2plSsi,
+                    IsolationLevel::kSnapshotIsolation, 23},
+        MeSweepCase{Protocol::kMvcc2pl, IsolationLevel::kRepeatableRead,
+                    24},
+        MeSweepCase{Protocol::kMvcc2pl, IsolationLevel::kReadCommitted, 25},
+        MeSweepCase{Protocol::k2pl, IsolationLevel::kSerializable, 26}));
+
+// Stale snapshots must surface as CR violations at both snapshot scopes
+// and regardless of seed.
+class StaleSnapshotSweep
+    : public ::testing::TestWithParam<std::pair<IsolationLevel, uint64_t>> {
+};
+
+TEST_P(StaleSnapshotSweep, Detected) {
+  auto [isolation, seed] = GetParam();
+  FaultPlan plan;
+  plan.stale_snapshot_prob = 0.3;
+  plan.stale_snapshot_lag = 8;
+  FaultRun run = RunWithFaults(plan, Protocol::kMvcc2plSsi, isolation, seed,
+                               /*txns=*/600, /*theta=*/0.8, /*records=*/40);
+  ASSERT_GT(run.injected, 0u);
+  EXPECT_GT(run.stats.cr_violations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StaleSnapshotSweep,
+    ::testing::Values(
+        std::pair{IsolationLevel::kReadCommitted, 31ull},
+        std::pair{IsolationLevel::kReadCommitted, 32ull},
+        std::pair{IsolationLevel::kSnapshotIsolation, 33ull},
+        std::pair{IsolationLevel::kSerializable, 34ull}));
+
+// Detection must survive garbage collection and the wait-die lock policy.
+TEST(FaultDetectionTest, DetectionSurvivesGcAndBlocking) {
+  FaultPlan plan;
+  plan.drop_lock_prob = 0.2;
+  Database::Options dbo;
+  dbo.protocol = Protocol::kMvcc2plSsi;
+  dbo.isolation = IsolationLevel::kSerializable;
+  dbo.lock_wait = LockWaitPolicy::kWaitDie;
+  dbo.faults = plan;
+  dbo.fault_seed = 44;
+  Database db(dbo);
+  YcsbWorkload::Options wo;
+  wo.record_count = 40;
+  wo.theta = 0.8;
+  YcsbWorkload workload(wo);
+  SimOptions so;
+  so.clients = 8;
+  so.total_txns = 800;
+  so.seed = 44;
+  SimRunner runner(&db, &workload, so);
+  RunResult result = runner.Run();
+
+  VerifierConfig config = ConfigForMiniDb(Protocol::kMvcc2plSsi,
+                                          IsolationLevel::kSerializable);
+  config.gc_every = 64;  // aggressive pruning
+  Leopard verifier(config);
+  for (const auto& t : result.MergedTraces()) verifier.Process(t);
+  verifier.Finish();
+  ASSERT_GT(db.injected_fault_count(), 0u);
+  EXPECT_GT(verifier.stats().me_violations, 0u);
+  EXPECT_GT(verifier.stats().gc_sweeps, 0u);
+}
+
+}  // namespace
+}  // namespace leopard

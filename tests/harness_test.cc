@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "harness/sim_runner.h"
+#include "txn/database.h"
+#include "harness/thread_runner.h"
+#include "workload/blindw.h"
+#include "workload/ycsb.h"
+
+namespace leopard {
+namespace {
+
+Database::Options PgSerializable() {
+  Database::Options o;
+  o.protocol = Protocol::kMvcc2plSsi;
+  o.isolation = IsolationLevel::kSerializable;
+  return o;
+}
+
+TEST(SimRunnerTest, ProducesRequestedTransactions) {
+  Database db(PgSerializable());
+  YcsbWorkload::Options wo;
+  wo.record_count = 200;
+  YcsbWorkload workload(wo);
+  SimOptions so;
+  so.clients = 4;
+  so.total_txns = 100;
+  SimRunner runner(&db, &workload, so);
+  RunResult result = runner.Run();
+  EXPECT_GE(result.committed + result.aborted, 100u);
+  EXPECT_EQ(result.client_traces.size(), 4u);
+  EXPECT_GT(result.TotalTraces(), 0u);
+}
+
+TEST(SimRunnerTest, DeterministicGivenSeed) {
+  auto run_once = [] {
+    Database db(PgSerializable());
+    YcsbWorkload::Options wo;
+    wo.record_count = 100;
+    YcsbWorkload workload(wo);
+    SimOptions so;
+    so.clients = 3;
+    so.total_txns = 50;
+    so.seed = 99;
+    return SimRunner(&db, &workload, so).Run();
+  };
+  RunResult a = run_once();
+  RunResult b = run_once();
+  ASSERT_EQ(a.TotalTraces(), b.TotalTraces());
+  auto ta = a.MergedTraces();
+  auto tb = b.MergedTraces();
+  for (size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].ToString(), tb[i].ToString());
+  }
+}
+
+TEST(SimRunnerTest, PerClientTracesSortedByTsBef) {
+  Database db(PgSerializable());
+  BlindWWorkload::Options wo;
+  BlindWWorkload workload(wo);
+  SimOptions so;
+  so.clients = 6;
+  so.total_txns = 200;
+  SimRunner runner(&db, &workload, so);
+  RunResult result = runner.Run();
+  for (const auto& traces : result.client_traces) {
+    for (size_t i = 1; i < traces.size(); ++i) {
+      EXPECT_LE(traces[i - 1].ts_bef(), traces[i].ts_bef());
+    }
+  }
+}
+
+TEST(SimRunnerTest, EveryTxnEndsWithTerminalOp) {
+  Database db(PgSerializable());
+  YcsbWorkload::Options wo;
+  wo.record_count = 100;
+  YcsbWorkload workload(wo);
+  SimOptions so;
+  so.clients = 4;
+  so.total_txns = 80;
+  SimRunner runner(&db, &workload, so);
+  RunResult result = runner.Run();
+  std::unordered_set<TxnId> started, ended;
+  for (const auto& traces : result.client_traces) {
+    for (const auto& t : traces) {
+      started.insert(t.txn);
+      if (t.op == OpType::kCommit || t.op == OpType::kAbort) {
+        EXPECT_TRUE(ended.insert(t.txn).second)
+            << "txn " << t.txn << " ended twice";
+      }
+    }
+  }
+  EXPECT_EQ(started.size(), ended.size());
+}
+
+TEST(SimRunnerTest, LoadTracesPrepended) {
+  Database db(PgSerializable());
+  YcsbWorkload::Options wo;
+  wo.record_count = 42;
+  YcsbWorkload workload(wo);
+  SimOptions so;
+  so.clients = 2;
+  so.total_txns = 10;
+  SimRunner runner(&db, &workload, so);
+  RunResult result = runner.Run();
+  const auto& c0 = result.client_traces[0];
+  ASSERT_GE(c0.size(), 2u);
+  EXPECT_EQ(c0[0].txn, kLoadTxnId);
+  EXPECT_EQ(c0[0].op, OpType::kWrite);
+  EXPECT_EQ(c0[0].write_set.size(), 42u);
+  EXPECT_EQ(c0[1].op, OpType::kCommit);
+}
+
+TEST(SimRunnerTest, IntervalsOverlapAcrossClients) {
+  Database db(PgSerializable());
+  YcsbWorkload::Options wo;
+  wo.record_count = 10;  // tiny table: high contention
+  YcsbWorkload workload(wo);
+  SimOptions so;
+  so.clients = 8;
+  so.total_txns = 400;
+  so.think_max = 0;  // no think time: maximal overlap
+  SimRunner runner(&db, &workload, so);
+  RunResult result = runner.Run();
+  auto merged = result.MergedTraces();
+  bool any_overlap = false;
+  for (size_t i = 1; i < merged.size() && !any_overlap; ++i) {
+    if (merged[i - 1].client != merged[i].client &&
+        Overlaps(merged[i - 1].interval, merged[i].interval)) {
+      any_overlap = true;
+    }
+  }
+  EXPECT_TRUE(any_overlap);
+}
+
+TEST(SimRunnerTest, RetryAbortedReachesCommitTarget) {
+  Database db(PgSerializable());
+  YcsbWorkload::Options wo;
+  wo.record_count = 20;
+  wo.read_ratio = 0.0;  // all writes: plenty of conflicts
+  YcsbWorkload workload(wo);
+  SimOptions so;
+  so.clients = 8;
+  so.total_txns = 100;
+  so.retry_aborted = true;
+  SimRunner runner(&db, &workload, so);
+  RunResult result = runner.Run();
+  EXPECT_GE(result.committed, 100u);
+}
+
+TEST(ThreadRunnerTest, RunsAndTraces) {
+  Database db(PgSerializable());
+  YcsbWorkload::Options wo;
+  wo.record_count = 500;
+  YcsbWorkload workload(wo);
+  ThreadRunnerOptions to;
+  to.threads = 4;
+  to.total_txns = 200;
+  ThreadRunner runner(&db, &workload, to);
+  RunResult result = runner.Run();
+  EXPECT_GE(result.committed + result.aborted, 200u);
+  for (const auto& traces : result.client_traces) {
+    for (size_t i = 1; i < traces.size(); ++i) {
+      EXPECT_LE(traces[i - 1].ts_bef(), traces[i].ts_bef());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace leopard

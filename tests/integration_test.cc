@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/sim_runner.h"
+#include "txn/database.h"
+#include "pipeline/two_level_pipeline.h"
+#include "verifier/leopard.h"
+#include "verifier/mechanism_table.h"
+#include "workload/blindw.h"
+#include "workload/smallbank.h"
+#include "workload/tpcc.h"
+#include "workload/ycsb.h"
+
+namespace leopard {
+namespace {
+
+std::string FirstBugs(const Leopard& leopard, size_t n = 3) {
+  std::ostringstream os;
+  for (size_t i = 0; i < leopard.bugs().size() && i < n; ++i) {
+    os << leopard.bugs()[i].ToString() << "\n";
+  }
+  return os.str();
+}
+
+/// Runs `workload` on MiniDB under (protocol, isolation), pushes the traces
+/// through the two-level pipeline and verifies them with the mirrored
+/// config. Returns the verifier for inspection.
+std::unique_ptr<Leopard> RunAndVerify(
+    Protocol protocol, IsolationLevel isolation, Workload* workload,
+    uint64_t txns, uint32_t clients, uint64_t seed,
+    LockWaitPolicy lock_wait = LockWaitPolicy::kNoWait) {
+  Database::Options dbo;
+  dbo.protocol = protocol;
+  dbo.isolation = isolation;
+  dbo.lock_wait = lock_wait;
+  Database db(dbo);
+  SimOptions so;
+  so.clients = clients;
+  so.total_txns = txns;
+  so.seed = seed;
+  SimRunner runner(&db, workload, so);
+  RunResult result = runner.Run();
+
+  TwoLevelPipeline pipeline(clients);
+  auto verifier =
+      std::make_unique<Leopard>(ConfigForMiniDb(protocol, isolation));
+  for (ClientId c = 0; c < clients; ++c) {
+    for (const auto& t : result.client_traces[c]) {
+      pipeline.Push(c, Trace(t));
+    }
+    pipeline.Close(c);
+  }
+  while (auto t = pipeline.Dispatch()) verifier->Process(*t);
+  EXPECT_TRUE(pipeline.Exhausted());
+  verifier->Finish();
+  EXPECT_EQ(verifier->stats().traces_processed, result.TotalTraces());
+  return verifier;
+}
+
+struct ComboCase {
+  Protocol protocol;
+  IsolationLevel isolation;
+  const char* name;
+};
+
+class ProtocolComboTest : public ::testing::TestWithParam<ComboCase> {};
+
+TEST_P(ProtocolComboTest, YcsbRunVerifiesClean) {
+  const ComboCase& combo = GetParam();
+  YcsbWorkload::Options wo;
+  wo.record_count = 300;
+  wo.theta = 0.5;
+  YcsbWorkload workload(wo);
+  auto verifier = RunAndVerify(combo.protocol, combo.isolation, &workload,
+                               400, 6, 1234);
+  EXPECT_EQ(verifier->stats().TotalViolations(), 0u) << FirstBugs(*verifier);
+  EXPECT_GT(verifier->stats().deps_deduced, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, ProtocolComboTest,
+    ::testing::Values(
+        ComboCase{Protocol::kMvcc2plSsi, IsolationLevel::kSerializable,
+                  "pg_ser"},
+        ComboCase{Protocol::kMvcc2plSsi, IsolationLevel::kSnapshotIsolation,
+                  "pg_si"},
+        ComboCase{Protocol::kMvcc2plSsi, IsolationLevel::kRepeatableRead,
+                  "pg_rr"},
+        ComboCase{Protocol::kMvcc2plSsi, IsolationLevel::kReadCommitted,
+                  "pg_rc"},
+        ComboCase{Protocol::kMvcc2pl, IsolationLevel::kRepeatableRead,
+                  "innodb_rr"},
+        ComboCase{Protocol::kMvcc2pl, IsolationLevel::kReadCommitted,
+                  "innodb_rc"},
+        ComboCase{Protocol::kMvcc2pl, IsolationLevel::kSerializable,
+                  "innodb_ser"},
+        ComboCase{Protocol::kMvcc2pl, IsolationLevel::kSnapshotIsolation,
+                  "oracle_si"},
+        ComboCase{Protocol::kMvccOcc, IsolationLevel::kSerializable,
+                  "fdb_occ"},
+        ComboCase{Protocol::kMvccTo, IsolationLevel::kSerializable,
+                  "crdb_to"},
+        ComboCase{Protocol::kPercolator,
+                  IsolationLevel::kSnapshotIsolation, "tidb_percolator"},
+        ComboCase{Protocol::k2pl, IsolationLevel::kSerializable,
+                  "sqlite_2pl"}),
+    [](const ::testing::TestParamInfo<ComboCase>& info) {
+      return info.param.name;
+    });
+
+class YcsbMixTest : public ::testing::TestWithParam<YcsbMix> {};
+
+TEST_P(YcsbMixTest, VerifiesClean) {
+  YcsbWorkload::Options wo;
+  wo.record_count = 300;
+  wo.mix = GetParam();
+  YcsbWorkload workload(wo);
+  auto verifier = RunAndVerify(Protocol::kMvcc2plSsi,
+                               IsolationLevel::kSerializable, &workload,
+                               300, 6, 401);
+  EXPECT_EQ(verifier->stats().TotalViolations(), 0u) << FirstBugs(*verifier);
+}
+
+std::string YcsbMixName(const ::testing::TestParamInfo<YcsbMix>& info) {
+  switch (info.param) {
+    case YcsbMix::kA:
+      return "A";
+    case YcsbMix::kB:
+      return "B";
+    case YcsbMix::kC:
+      return "C";
+    case YcsbMix::kE:
+      return "E";
+    case YcsbMix::kF:
+      return "F";
+    case YcsbMix::kCustom:
+      return "Custom";
+  }
+  return "unknown";
+}
+
+INSTANTIATE_TEST_SUITE_P(Mixes, YcsbMixTest,
+                         ::testing::Values(YcsbMix::kA, YcsbMix::kB,
+                                           YcsbMix::kC, YcsbMix::kE,
+                                           YcsbMix::kF),
+                         YcsbMixName);
+
+TEST(IntegrationTest, BlindWWriteOnlyClean) {
+  BlindWWorkload::Options wo;
+  wo.variant = BlindWVariant::kWriteOnly;
+  wo.record_count = 200;
+  BlindWWorkload workload(wo);
+  auto verifier = RunAndVerify(Protocol::kMvcc2plSsi,
+                               IsolationLevel::kSerializable, &workload, 300,
+                               8, 77);
+  EXPECT_EQ(verifier->stats().TotalViolations(), 0u) << FirstBugs(*verifier);
+}
+
+TEST(IntegrationTest, BlindWRangeReadsClean) {
+  BlindWWorkload::Options wo;
+  wo.variant = BlindWVariant::kReadWriteRange;
+  wo.record_count = 400;
+  BlindWWorkload workload(wo);
+  auto verifier = RunAndVerify(Protocol::kMvcc2plSsi,
+                               IsolationLevel::kSerializable, &workload, 300,
+                               8, 78);
+  EXPECT_EQ(verifier->stats().TotalViolations(), 0u) << FirstBugs(*verifier);
+}
+
+TEST(IntegrationTest, SmallBankClean) {
+  SmallBankWorkload::Options wo;
+  wo.accounts_per_sf = 200;
+  SmallBankWorkload workload(wo);
+  auto verifier = RunAndVerify(Protocol::kMvcc2plSsi,
+                               IsolationLevel::kSerializable, &workload, 400,
+                               6, 79);
+  EXPECT_EQ(verifier->stats().TotalViolations(), 0u) << FirstBugs(*verifier);
+}
+
+TEST(IntegrationTest, TpccClean) {
+  TpccWorkload::Options wo;
+  wo.customers_per_district = 20;
+  wo.items = 200;
+  TpccWorkload workload(wo);
+  auto verifier = RunAndVerify(Protocol::kMvcc2plSsi,
+                               IsolationLevel::kSerializable, &workload, 300,
+                               6, 80);
+  EXPECT_EQ(verifier->stats().TotalViolations(), 0u) << FirstBugs(*verifier);
+}
+
+TEST(IntegrationTest, HighContentionStillClean) {
+  YcsbWorkload::Options wo;
+  wo.record_count = 20;  // extremely hot keys
+  wo.theta = 0.9;
+  YcsbWorkload workload(wo);
+  auto verifier = RunAndVerify(Protocol::kMvcc2plSsi,
+                               IsolationLevel::kSerializable, &workload, 500,
+                               8, 81);
+  EXPECT_EQ(verifier->stats().TotalViolations(), 0u) << FirstBugs(*verifier);
+  // High contention produces overlapped conflicting intervals...
+  EXPECT_GT(verifier->stats().OverlappedTotal(), 0u);
+  // ...most of which the mechanisms still resolve (Fig. 13).
+  EXPECT_GT(verifier->stats().DeducedOverlappedTotal(), 0u);
+}
+
+TEST(IntegrationTest, WaitDieBlockingStillClean) {
+  // Blocking locks stretch the waiter's operation interval over the
+  // holder's release — the overlapping-yet-deducible case of Theorem 3.
+  YcsbWorkload::Options wo;
+  wo.record_count = 30;
+  wo.theta = 0.8;
+  wo.read_ratio = 0.2;
+  YcsbWorkload workload(wo);
+  auto verifier = RunAndVerify(Protocol::kMvcc2plSsi,
+                               IsolationLevel::kSerializable, &workload, 600,
+                               8, 91, LockWaitPolicy::kWaitDie);
+  EXPECT_EQ(verifier->stats().TotalViolations(), 0u) << FirstBugs(*verifier);
+}
+
+TEST(IntegrationTest, WaitDieAllProtocolsClean) {
+  YcsbWorkload::Options wo;
+  wo.record_count = 60;
+  wo.theta = 0.7;
+  YcsbWorkload workload(wo);
+  for (auto combo : {std::pair{Protocol::kMvcc2pl,
+                               IsolationLevel::kRepeatableRead},
+                     std::pair{Protocol::kMvcc2plSsi,
+                               IsolationLevel::kSnapshotIsolation},
+                     std::pair{Protocol::k2pl,
+                               IsolationLevel::kSerializable}}) {
+    auto verifier =
+        RunAndVerify(combo.first, combo.second, &workload, 400, 8, 92,
+                     LockWaitPolicy::kWaitDie);
+    EXPECT_EQ(verifier->stats().TotalViolations(), 0u)
+        << ProtocolName(combo.first) << ": " << FirstBugs(*verifier);
+  }
+}
+
+TEST(IntegrationTest, GcKeepsMemoryBounded) {
+  YcsbWorkload::Options wo;
+  wo.record_count = 50;
+  YcsbWorkload workload(wo);
+
+  Database::Options dbo;
+  Database db(dbo);
+  SimOptions so;
+  so.clients = 4;
+  so.total_txns = 2000;
+  SimRunner runner(&db, &workload, so);
+  RunResult result = runner.Run();
+
+  VerifierConfig with_gc = ConfigForMiniDb(Protocol::kMvcc2plSsi,
+                                           IsolationLevel::kSerializable);
+  with_gc.gc_every = 128;
+  VerifierConfig no_gc = with_gc;
+  no_gc.enable_gc = false;
+
+  Leopard gc_verifier(with_gc);
+  Leopard plain_verifier(no_gc);
+  for (const auto& t : result.MergedTraces()) {
+    gc_verifier.Process(t);
+    plain_verifier.Process(t);
+  }
+  gc_verifier.Finish();
+  plain_verifier.Finish();
+  EXPECT_EQ(gc_verifier.stats().TotalViolations(), 0u);
+  EXPECT_EQ(plain_verifier.stats().TotalViolations(), 0u);
+  EXPECT_LT(gc_verifier.GraphNodeCount(), plain_verifier.GraphNodeCount());
+  EXPECT_LT(gc_verifier.ApproxMemoryBytes(),
+            plain_verifier.ApproxMemoryBytes());
+}
+
+TEST(IntegrationTest, RealTimeOrderCheckCleanOnCorrectEngine) {
+  // MiniDB is a single node: its histories are strictly serializable, so
+  // the real-time extension must stay silent.
+  YcsbWorkload::Options wo;
+  wo.record_count = 100;
+  wo.theta = 0.6;
+  YcsbWorkload workload(wo);
+  Database::Options dbo;
+  Database db(dbo);
+  SimOptions so;
+  so.clients = 8;
+  so.total_txns = 500;
+  so.seed = 93;
+  SimRunner runner(&db, &workload, so);
+  RunResult result = runner.Run();
+  VerifierConfig config = ConfigForMiniDb(Protocol::kMvcc2plSsi,
+                                          IsolationLevel::kSerializable);
+  config.check_real_time_order = true;
+  Leopard verifier(config);
+  for (const auto& t : result.MergedTraces()) verifier.Process(t);
+  verifier.Finish();
+  EXPECT_EQ(verifier.stats().TotalViolations(), 0u) << FirstBugs(verifier);
+}
+
+TEST(IntegrationTest, ClockSkewDoesNotCauseFalsePositives) {
+  YcsbWorkload::Options wo;
+  wo.record_count = 300;
+  YcsbWorkload workload(wo);
+
+  Database::Options dbo;
+  Database db(dbo);
+  SimOptions so;
+  so.clients = 6;
+  so.total_txns = 300;
+  so.max_clock_skew_ns = 2000;  // small skew, well under op latency
+  SimRunner runner(&db, &workload, so);
+  RunResult result = runner.Run();
+
+  Leopard verifier(ConfigForMiniDb(Protocol::kMvcc2plSsi,
+                                   IsolationLevel::kSerializable));
+  for (const auto& t : result.MergedTraces()) verifier.Process(t);
+  verifier.Finish();
+  EXPECT_EQ(verifier.stats().TotalViolations(), 0u) << FirstBugs(verifier);
+}
+
+}  // namespace
+}  // namespace leopard

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "txn/lock_manager.h"
+
+namespace leopard {
+namespace {
+
+TEST(LockManagerTest, ExclusiveConflicts) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 10, LockMode::kExclusive).ok());
+  EXPECT_FALSE(lm.Acquire(2, 10, LockMode::kExclusive).ok());
+  EXPECT_FALSE(lm.Acquire(2, 10, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(2, 11, LockMode::kExclusive).ok());
+}
+
+TEST(LockManagerTest, SharedCompatible) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 10, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(2, 10, LockMode::kShared).ok());
+  EXPECT_FALSE(lm.Acquire(3, 10, LockMode::kExclusive).ok());
+}
+
+TEST(LockManagerTest, Reentrant) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 10, LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(1, 10, LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(1, 10, LockMode::kShared).ok());  // weaker is no-op
+}
+
+TEST(LockManagerTest, UpgradeSoleHolder) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 10, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(1, 10, LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Holds(1, 10, LockMode::kExclusive));
+  EXPECT_FALSE(lm.Acquire(2, 10, LockMode::kShared).ok());
+}
+
+TEST(LockManagerTest, UpgradeBlockedByOtherSharer) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 10, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(2, 10, LockMode::kShared).ok());
+  EXPECT_FALSE(lm.Acquire(1, 10, LockMode::kExclusive).ok());
+}
+
+TEST(LockManagerTest, ReleaseAllFreesEverything) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 10, LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(1, 11, LockMode::kShared).ok());
+  EXPECT_EQ(lm.LockedKeyCount(), 2u);
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.LockedKeyCount(), 0u);
+  EXPECT_TRUE(lm.Acquire(2, 10, LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(2, 11, LockMode::kExclusive).ok());
+}
+
+TEST(LockManagerTest, ReleasePreservesOtherHolders) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 10, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(2, 10, LockMode::kShared).ok());
+  lm.ReleaseAll(1);
+  EXPECT_TRUE(lm.Holds(2, 10, LockMode::kShared));
+  EXPECT_FALSE(lm.Acquire(3, 10, LockMode::kExclusive).ok());
+}
+
+TEST(LockManagerTest, HoldsModeSemantics) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 10, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Holds(1, 10, LockMode::kShared));
+  EXPECT_FALSE(lm.Holds(1, 10, LockMode::kExclusive));
+  EXPECT_FALSE(lm.Holds(2, 10, LockMode::kShared));
+}
+
+}  // namespace
+}  // namespace leopard

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "verifier/lock_table.h"
+
+namespace leopard {
+namespace {
+
+TEST(PairOrderTest, DisjointIntervalsGiveUniqueOrder) {
+  // t0: acquire (10,12), release (20,22); t1: acquire (30,32), release
+  // (40,42). Only t0 -> t1 possible.
+  EXPECT_EQ(OrderTxnPair({10, 12}, {20, 22}, {30, 32}, {40, 42}),
+            PairOrder::kFirstThenSecond);
+  EXPECT_EQ(OrderTxnPair({30, 32}, {40, 42}, {10, 12}, {20, 22}),
+            PairOrder::kSecondThenFirst);
+}
+
+TEST(PairOrderTest, OverlappingButDeducible) {
+  // Fig. 7(b): overlapped intervals where exactly one order survives:
+  // t0 releases (20,35), t1 acquires (30,32): order t0->t1 possible
+  // (20 < 32); t1 releases (40,42) vs t0 acquires (10,12): t1->t0 needs
+  // 40 < 12 — impossible.
+  EXPECT_EQ(OrderTxnPair({10, 12}, {20, 35}, {30, 32}, {40, 42}),
+            PairOrder::kFirstThenSecond);
+}
+
+TEST(PairOrderTest, ViolationWhenNeitherOrderPossible) {
+  // Fig. 7(a): both acquires certainly precede both releases:
+  // t0 acquire (10,12) release (40,42); t1 acquire (14,16) release (44,46).
+  // t0->t1 needs release0.bef(40) < acquire1.aft(16): no.
+  // t1->t0 needs release1.bef(44) < acquire0.aft(12): no.
+  EXPECT_EQ(OrderTxnPair({10, 12}, {40, 42}, {14, 16}, {44, 46}),
+            PairOrder::kViolation);
+}
+
+TEST(PairOrderTest, UncertainRequiresPathologicalIntervals) {
+  // Theorem 3 proves both-orders-possible cannot arise when each release
+  // interval follows its acquire; with inverted bookkeeping (clock skew)
+  // OrderTxnPair degrades to kUncertain instead of guessing.
+  EXPECT_EQ(OrderTxnPair({10, 50}, {0, 60}, {20, 40}, {5, 45}),
+            PairOrder::kUncertain);
+}
+
+TEST(MirrorLockTableTest, AcquireAndRelease) {
+  MirrorLockTable lt;
+  lt.NoteAcquire(1, 10, /*exclusive=*/true, {5, 6});
+  lt.NoteAcquire(1, 20, /*exclusive=*/false, {7, 8});
+  auto* list = lt.Get(1);
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->size(), 2u);
+  EXPECT_TRUE((*list)[0].has_x);
+  EXPECT_FALSE((*list)[0].has_s);
+  EXPECT_TRUE((*list)[1].has_s);
+  EXPECT_FALSE((*list)[0].released);
+
+  lt.NoteRelease(10, {1}, {9, 10}, /*committed=*/true);
+  EXPECT_TRUE((*list)[0].released);
+  EXPECT_TRUE((*list)[0].committed);
+  EXPECT_EQ((*list)[0].release.bef, 9u);
+}
+
+TEST(MirrorLockTableTest, RepeatedAcquireKeepsFirstInterval) {
+  MirrorLockTable lt;
+  lt.NoteAcquire(1, 10, true, {5, 6});
+  lt.NoteAcquire(1, 10, true, {50, 60});
+  auto* list = lt.Get(1);
+  ASSERT_EQ(list->size(), 1u);
+  EXPECT_EQ((*list)[0].x_acquire.bef, 5u);
+}
+
+TEST(MirrorLockTableTest, SharedThenExclusiveUpgrades) {
+  MirrorLockTable lt;
+  lt.NoteAcquire(1, 10, false, {5, 6});
+  lt.NoteAcquire(1, 10, true, {7, 8});
+  auto* list = lt.Get(1);
+  ASSERT_EQ(list->size(), 1u);
+  EXPECT_TRUE((*list)[0].has_s);
+  EXPECT_TRUE((*list)[0].has_x);
+  EXPECT_EQ((*list)[0].s_acquire.bef, 5u);
+  EXPECT_EQ((*list)[0].x_acquire.bef, 7u);
+}
+
+TEST(MirrorLockTableTest, PruneDropsOldReleased) {
+  MirrorLockTable lt;
+  lt.NoteAcquire(1, 10, true, {5, 6});
+  lt.NoteRelease(10, {1}, {9, 10}, true);
+  lt.NoteAcquire(2, 20, true, {5, 6});
+  lt.NoteRelease(20, {2}, {200, 201}, true);
+  EXPECT_EQ(lt.Prune(100), 1u);  // key 1's record released long ago
+  EXPECT_EQ(lt.Get(1), nullptr);
+  ASSERT_NE(lt.Get(2), nullptr);
+}
+
+TEST(MirrorLockTableTest, PruneSparesKeysWithUnreleasedLocks) {
+  MirrorLockTable lt;
+  lt.NoteAcquire(1, 10, true, {5, 6});
+  lt.NoteRelease(10, {1}, {9, 10}, true);
+  lt.NoteAcquire(1, 30, true, {50, 51});  // still held
+  EXPECT_EQ(lt.Prune(100), 0u);
+  EXPECT_EQ(lt.Get(1)->size(), 2u);
+}
+
+TEST(MirrorLockTableTest, Counts) {
+  MirrorLockTable lt;
+  lt.NoteAcquire(1, 10, true, {5, 6});
+  lt.NoteAcquire(2, 10, true, {7, 8});
+  EXPECT_EQ(lt.KeyCount(), 2u);
+  EXPECT_EQ(lt.RecordCount(), 2u);
+  EXPECT_GT(lt.ApproxBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace leopard

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "verifier/mechanism_table.h"
+
+namespace leopard {
+namespace {
+
+TEST(MechanismTableTest, TableNonEmptyAndWellFormed) {
+  const auto& table = MechanismTable();
+  EXPECT_GT(table.size(), 20u);
+  for (const auto& row : table) {
+    EXPECT_FALSE(row.dbms.empty());
+    EXPECT_FALSE(row.concurrency_control.empty());
+    // Every isolation level is implemented by at least one mechanism.
+    EXPECT_TRUE(row.me || row.cr || row.fuw || row.sc);
+  }
+}
+
+TEST(MechanismTableTest, PostgresSerializableUsesAllFour) {
+  auto row = FindMechanismRow("PostgreSQL", IsolationLevel::kSerializable);
+  ASSERT_TRUE(row.has_value());
+  EXPECT_TRUE(row->me);
+  EXPECT_TRUE(row->cr);
+  EXPECT_TRUE(row->fuw);
+  EXPECT_TRUE(row->sc);
+  EXPECT_EQ(row->certifier, CertifierMode::kSsi);
+}
+
+TEST(MechanismTableTest, InnoDbRepeatableReadLacksFuw) {
+  auto row = FindMechanismRow("InnoDB", IsolationLevel::kRepeatableRead);
+  ASSERT_TRUE(row.has_value());
+  EXPECT_TRUE(row->me);
+  EXPECT_TRUE(row->cr);
+  EXPECT_FALSE(row->fuw);  // lost updates allowed — the paper's example
+}
+
+TEST(MechanismTableTest, SqliteIsPureLocking) {
+  auto row = FindMechanismRow("SQLite", IsolationLevel::kSerializable);
+  ASSERT_TRUE(row.has_value());
+  EXPECT_TRUE(row->me);
+  EXPECT_FALSE(row->cr);
+  EXPECT_FALSE(row->fuw);
+  EXPECT_FALSE(row->sc);
+}
+
+TEST(MechanismTableTest, CockroachUsesTsOrderCertifier) {
+  auto row = FindMechanismRow("CockroachDB", IsolationLevel::kSerializable);
+  ASSERT_TRUE(row.has_value());
+  EXPECT_FALSE(row->me);
+  EXPECT_TRUE(row->sc);
+  EXPECT_EQ(row->certifier, CertifierMode::kTsOrder);
+}
+
+TEST(MechanismTableTest, UnknownLookupsReturnNothing) {
+  EXPECT_FALSE(FindMechanismRow("NoSuchDB", IsolationLevel::kSerializable)
+                   .has_value());
+  EXPECT_FALSE(
+      FindMechanismRow("SQLite", IsolationLevel::kReadCommitted).has_value());
+}
+
+TEST(MechanismTableTest, ConfigFromRowMapsFields) {
+  auto row = FindMechanismRow("FoundationDB", IsolationLevel::kSerializable);
+  ASSERT_TRUE(row.has_value());
+  VerifierConfig config = ConfigFromRow(*row);
+  EXPECT_FALSE(config.check_me);
+  EXPECT_TRUE(config.check_cr);
+  EXPECT_TRUE(config.check_sc);
+  EXPECT_TRUE(config.install_at_commit);
+  EXPECT_EQ(config.certifier, CertifierMode::kCommitOrder);
+}
+
+TEST(MechanismTableTest, SqliteConfigShape) {
+  VerifierConfig config = ConfigForSqlite();
+  EXPECT_TRUE(config.check_cr);
+  EXPECT_FALSE(config.statement_level_cr);  // one DB state per txn
+  EXPECT_TRUE(config.check_me);
+  EXPECT_FALSE(config.locking_reads);  // readers exclude commits, not writes
+  EXPECT_FALSE(config.check_fuw);
+  EXPECT_TRUE(config.check_sc);
+}
+
+TEST(MechanismTableTest, PercolatorConfigShape) {
+  VerifierConfig config = ConfigForMiniDb(
+      Protocol::kPercolator, IsolationLevel::kSnapshotIsolation);
+  EXPECT_FALSE(config.check_me);
+  EXPECT_TRUE(config.check_cr);
+  EXPECT_TRUE(config.check_fuw);  // first-committer-wins
+  EXPECT_TRUE(config.install_at_commit);
+}
+
+TEST(MechanismTableTest, MiniDbConfigsMirrorProtocols) {
+  auto pg = ConfigForMiniDb(Protocol::kMvcc2plSsi,
+                            IsolationLevel::kSerializable);
+  EXPECT_TRUE(pg.check_me && pg.check_cr && pg.check_fuw && pg.check_sc);
+  EXPECT_EQ(pg.certifier, CertifierMode::kSsi);
+
+  auto innodb_rr = ConfigForMiniDb(Protocol::kMvcc2pl,
+                                   IsolationLevel::kRepeatableRead);
+  EXPECT_FALSE(innodb_rr.check_fuw);
+  EXPECT_FALSE(innodb_rr.check_sc);
+  EXPECT_FALSE(innodb_rr.statement_level_cr);
+
+  auto rc = ConfigForMiniDb(Protocol::kMvcc2plSsi,
+                            IsolationLevel::kReadCommitted);
+  EXPECT_TRUE(rc.statement_level_cr);
+
+  auto occ = ConfigForMiniDb(Protocol::kMvccOcc,
+                             IsolationLevel::kSerializable);
+  EXPECT_TRUE(occ.install_at_commit);
+  EXPECT_FALSE(occ.check_me);
+
+  auto to = ConfigForMiniDb(Protocol::kMvccTo,
+                            IsolationLevel::kSerializable);
+  EXPECT_TRUE(to.allow_stale_reads);
+
+  auto sqlite = ConfigForMiniDb(Protocol::k2pl,
+                                IsolationLevel::kSerializable);
+  EXPECT_TRUE(sqlite.locking_reads);
+}
+
+}  // namespace
+}  // namespace leopard

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "harness/sim_runner.h"
+#include "txn/database.h"
+#include "verifier/overlap_stats.h"
+#include "workload/ycsb.h"
+
+namespace leopard {
+namespace {
+
+Trace R(TxnId txn, Timestamp bef, Timestamp aft, Key key, Value value) {
+  return MakeReadTrace(txn, 0, {bef, aft}, {{key, value}});
+}
+Trace W(TxnId txn, Timestamp bef, Timestamp aft, Key key, Value value) {
+  return MakeWriteTrace(txn, 0, {bef, aft}, {{key, value}});
+}
+Trace C(TxnId txn, Timestamp bef, Timestamp aft) {
+  return MakeCommitTrace(txn, 0, {bef, aft});
+}
+
+TEST(OverlapStatsTest, DisjointPairsNotOverlapped) {
+  std::vector<Trace> traces = {
+      W(1, 10, 11, 1, 101), C(1, 12, 13),
+      R(2, 20, 21, 1, 101),  // wr pair, disjoint
+      W(2, 22, 23, 1, 102),  // ww pair + rw pair, disjoint
+      C(2, 24, 25),
+  };
+  OverlapReport report = AnalyzeOverlap(traces);
+  EXPECT_EQ(report.ww_pairs, 1u);
+  EXPECT_EQ(report.wr_pairs, 1u);
+  EXPECT_EQ(report.OverlappedPairs(), 0u);
+  EXPECT_DOUBLE_EQ(report.Beta(), 0.0);
+}
+
+TEST(OverlapStatsTest, OverlappingWwCounted) {
+  std::vector<Trace> traces = {
+      W(1, 10, 30, 1, 101), C(1, 40, 41),
+      W(2, 20, 35, 1, 102), C(2, 44, 45),
+  };
+  OverlapReport report = AnalyzeOverlap(traces);
+  EXPECT_EQ(report.ww_pairs, 1u);
+  EXPECT_EQ(report.overlapped_ww, 1u);
+  EXPECT_GT(report.Beta(), 0.0);
+}
+
+TEST(OverlapStatsTest, OverlappingWrCounted) {
+  std::vector<Trace> traces = {
+      W(1, 10, 30, 1, 101), C(1, 40, 41),
+      R(2, 25, 28, 1, 101), C(2, 50, 51),  // read inside the install window
+  };
+  OverlapReport report = AnalyzeOverlap(traces);
+  EXPECT_EQ(report.wr_pairs, 1u);
+  EXPECT_EQ(report.overlapped_wr, 1u);
+}
+
+TEST(OverlapStatsTest, AbortedTxnsExcluded) {
+  std::vector<Trace> traces = {
+      W(1, 10, 30, 1, 101),
+      MakeAbortTrace(1, 0, {40, 41}),
+      W(2, 20, 35, 1, 102), C(2, 44, 45),
+  };
+  OverlapReport report = AnalyzeOverlap(traces);
+  EXPECT_EQ(report.ww_pairs, 0u);  // only one committed writer
+}
+
+TEST(OverlapStatsTest, RwPairAgainstNextWrite) {
+  std::vector<Trace> traces = {
+      W(1, 10, 11, 1, 101), C(1, 12, 13),
+      R(2, 20, 40, 1, 101), C(2, 50, 51),
+      W(3, 30, 35, 1, 103), C(3, 60, 61),  // overlaps the read
+  };
+  OverlapReport report = AnalyzeOverlap(traces);
+  EXPECT_EQ(report.rw_pairs, 1u);
+  EXPECT_EQ(report.overlapped_rw, 1u);
+}
+
+TEST(OverlapStatsTest, SelfPairsSkipped) {
+  std::vector<Trace> traces = {
+      W(1, 10, 11, 1, 101),
+      R(1, 12, 13, 1, 101),   // own write: no wr pair
+      W(1, 14, 15, 1, 102),   // own predecessor: no ww pair
+      C(1, 16, 17),
+  };
+  OverlapReport report = AnalyzeOverlap(traces);
+  EXPECT_EQ(report.TotalPairs(), 0u);
+}
+
+TEST(OverlapStatsTest, MatchesContentionTrend) {
+  auto beta_for = [](uint32_t clients) {
+    Database::Options dbo;
+    dbo.lock_wait = LockWaitPolicy::kWaitDie;
+    Database db(dbo);
+    YcsbWorkload::Options wo;
+    wo.record_count = 200;
+    wo.theta = 0.7;
+    YcsbWorkload workload(wo);
+    SimOptions so;
+    so.clients = clients;
+    so.total_txns = 800;
+    so.seed = 9;
+    so.think_max = 0;
+    SimRunner runner(&db, &workload, so);
+    RunResult result = runner.Run();
+    return AnalyzeOverlap(result.MergedTraces()).Beta();
+  };
+  // More clients, more overlap among conflicting operations (Fig. 4 trend).
+  EXPECT_GE(beta_for(24), beta_for(2));
+}
+
+}  // namespace
+}  // namespace leopard

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "harness/sim_runner.h"
+#include "pipeline/two_level_pipeline.h"
+#include "txn/database.h"
+#include "workload/blindw.h"
+
+namespace leopard {
+namespace {
+
+Trace T(ClientId client, Timestamp bef, Timestamp aft) {
+  return MakeCommitTrace(/*txn=*/bef, client, {bef, aft});
+}
+
+TEST(PipelineTest, SingleClientPassThrough) {
+  TwoLevelPipeline p(1);
+  p.Push(0, T(0, 1, 2));
+  p.Push(0, T(0, 3, 4));
+  p.Close(0);
+  EXPECT_EQ(p.Dispatch()->ts_bef(), 1u);
+  EXPECT_EQ(p.Dispatch()->ts_bef(), 3u);
+  EXPECT_FALSE(p.Dispatch().has_value());
+  EXPECT_TRUE(p.Exhausted());
+}
+
+TEST(PipelineTest, MergesTwoClientsInOrder) {
+  TwoLevelPipeline p(2);
+  p.Push(0, T(0, 1, 2));
+  p.Push(0, T(0, 5, 6));
+  p.Push(1, T(1, 3, 4));
+  p.Push(1, T(1, 7, 8));
+  p.Close(0);
+  p.Close(1);
+  std::vector<Timestamp> order;
+  while (auto t = p.Dispatch()) order.push_back(t->ts_bef());
+  EXPECT_EQ(order, (std::vector<Timestamp>{1, 3, 5, 7}));
+}
+
+TEST(PipelineTest, StarvesOnOpenEmptyBuffer) {
+  TwoLevelPipeline p(2);
+  p.Push(0, T(0, 1, 2));
+  // Client 1 has produced nothing and is not closed: the watermark cannot
+  // advance, so nothing may be dispatched yet.
+  EXPECT_FALSE(p.Dispatch().has_value());
+  p.Push(1, T(1, 10, 11));
+  EXPECT_EQ(p.Dispatch()->ts_bef(), 1u);
+  // Trace 10 is the watermark holder; it dispatches only after closing.
+  EXPECT_FALSE(p.Dispatch().has_value());
+  p.Close(0);
+  p.Close(1);
+  EXPECT_EQ(p.Dispatch()->ts_bef(), 10u);
+  EXPECT_TRUE(p.Exhausted());
+}
+
+// The paper's Fig. 5 example: two clients with traces 1,2,5,6,9,10 and
+// 3,4,7,8,11,12 pushed round by round.
+TEST(PipelineTest, DispatchExampleFig5) {
+  TwoLevelPipeline p(2);
+  // Round 0: clients push 1,2 and 3,4.
+  p.Push(0, T(0, 1, 1));
+  p.Push(0, T(0, 2, 2));
+  p.Push(1, T(1, 3, 3));
+  p.Push(1, T(1, 4, 4));
+  // Round 1-2: traces 1 and 2 dispatch (both < watermark 3).
+  EXPECT_EQ(p.Dispatch()->ts_bef(), 1u);
+  EXPECT_EQ(p.Dispatch()->ts_bef(), 2u);
+  // Clients push the next batches.
+  p.Push(0, T(0, 5, 5));
+  p.Push(0, T(0, 6, 6));
+  p.Push(1, T(1, 7, 7));
+  p.Push(1, T(1, 8, 8));
+  std::vector<Timestamp> order;
+  while (auto t = p.Dispatch()) order.push_back(t->ts_bef());
+  // Everything up to the smallest buffered head (5) minus overlap rules:
+  // 3 and 4 certainly dispatch in order.
+  ASSERT_GE(order.size(), 2u);
+  EXPECT_EQ(order[0], 3u);
+  EXPECT_EQ(order[1], 4u);
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(order[i - 1], order[i]);
+  }
+}
+
+TEST(PipelineTest, MonotoneDispatchUnderRandomInterleaving) {
+  // Theorem 1: dispatch order is monotone in ts_bef whatever the push
+  // interleaving.
+  Rng rng(11);
+  TwoLevelPipeline p(4);
+  std::vector<Timestamp> next_ts(4, 1);
+  std::vector<uint64_t> remaining(4, 200);
+  std::vector<Timestamp> dispatched;
+  uint64_t open = 4;
+  while (open > 0 || !p.Exhausted()) {
+    ClientId c = static_cast<ClientId>(rng.Uniform(4));
+    if (remaining[c] > 0) {
+      Timestamp bef = next_ts[c];
+      next_ts[c] += 1 + rng.Uniform(5);
+      p.Push(c, T(c, bef, bef + 1));
+      if (--remaining[c] == 0) {
+        p.Close(c);
+        --open;
+      }
+    }
+    while (auto t = p.Dispatch()) dispatched.push_back(t->ts_bef());
+    if (open == 0) {
+      while (auto t = p.Dispatch()) dispatched.push_back(t->ts_bef());
+      break;
+    }
+  }
+  EXPECT_EQ(dispatched.size(), 800u);
+  for (size_t i = 1; i < dispatched.size(); ++i) {
+    EXPECT_LE(dispatched[i - 1], dispatched[i]);
+  }
+}
+
+TEST(PipelineTest, UnoptimizedFetchesEverything) {
+  TwoLevelPipeline::Options opts;
+  opts.optimized = false;
+  TwoLevelPipeline p(2, opts);
+  for (int i = 0; i < 100; ++i) {
+    p.Push(0, T(0, 2 * i + 1, 2 * i + 2));
+    p.Push(1, T(1, 1000 + i, 1000 + i + 1));
+  }
+  // One dispatch triggers a full fetch of both buffers into the heap.
+  ASSERT_TRUE(p.Dispatch().has_value());
+  EXPECT_GE(p.stats().max_global_heap, 199u);
+}
+
+TEST(PipelineTest, OptimizedKeepsHeapSmall) {
+  TwoLevelPipeline::Options opts;
+  opts.optimized = true;
+  opts.fetch_batch = 16;
+  TwoLevelPipeline p(2, opts);
+  for (int i = 0; i < 500; ++i) {
+    p.Push(0, T(0, 2 * i + 1, 2 * i + 2));
+    p.Push(1, T(1, 2 * i + 2, 2 * i + 3));
+  }
+  p.Close(0);
+  p.Close(1);
+  size_t n = 0;
+  while (p.Dispatch()) ++n;
+  EXPECT_EQ(n, 1000u);
+  EXPECT_LT(p.stats().max_global_heap, 200u);
+}
+
+TEST(PipelineTest, StatsCountDispatches) {
+  TwoLevelPipeline p(1);
+  for (int i = 0; i < 10; ++i) p.Push(0, T(0, i + 1, i + 2));
+  p.Close(0);
+  while (p.Dispatch()) {
+  }
+  EXPECT_EQ(p.stats().dispatched, 10u);
+  EXPECT_GT(p.stats().max_buffered_bytes, 0u);
+}
+
+TEST(NaiveSorterTest, SortsEverything) {
+  NaiveSorter sorter;
+  Rng rng(12);
+  for (int i = 0; i < 1000; ++i) {
+    Timestamp bef = rng.Uniform(100000);
+    sorter.Push(static_cast<ClientId>(rng.Uniform(4)), T(0, bef, bef + 1));
+  }
+  EXPECT_EQ(sorter.max_buffered(), 1000u);
+  auto sorted = sorter.DrainSorted();
+  ASSERT_EQ(sorted.size(), 1000u);
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    EXPECT_LE(sorted[i - 1].ts_bef(), sorted[i].ts_bef());
+  }
+}
+
+TEST(PipelineIntegrationTest, MatchesMergedTraceOrderFromRealRun) {
+  Database::Options dbo;
+  Database db(dbo);
+  BlindWWorkload::Options wo;
+  BlindWWorkload workload(wo);
+  SimOptions so;
+  so.clients = 4;
+  so.total_txns = 100;
+  SimRunner runner(&db, &workload, so);
+  RunResult result = runner.Run();
+
+  TwoLevelPipeline p(so.clients);
+  for (ClientId c = 0; c < so.clients; ++c) {
+    for (const auto& t : result.client_traces[c]) p.Push(c, Trace(t));
+    p.Close(c);
+  }
+  std::vector<Trace> dispatched;
+  while (auto t = p.Dispatch()) dispatched.push_back(*t);
+  EXPECT_EQ(dispatched.size(), result.TotalTraces());
+  for (size_t i = 1; i < dispatched.size(); ++i) {
+    EXPECT_LE(dispatched[i - 1].ts_bef(), dispatched[i].ts_bef());
+  }
+}
+
+}  // namespace
+}  // namespace leopard

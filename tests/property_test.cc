@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "harness/sim_runner.h"
+#include "txn/database.h"
+#include "pipeline/two_level_pipeline.h"
+#include "verifier/leopard.h"
+#include "verifier/mechanism_table.h"
+#include "workload/ycsb.h"
+
+namespace leopard {
+namespace {
+
+// Property 1: for any seed / client count / contention level, a fault-free
+// MiniDB run under the PostgreSQL-style protocol verifies clean, and the
+// pipeline preserves every trace in monotone order.
+class CleanRunProperty
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint32_t, double>> {
+};
+
+TEST_P(CleanRunProperty, NoViolationsAndMonotoneDispatch) {
+  auto [seed, clients, theta] = GetParam();
+  Database::Options dbo;
+  Database db(dbo);
+  YcsbWorkload::Options wo;
+  wo.record_count = 100;
+  wo.theta = theta;
+  YcsbWorkload workload(wo);
+  SimOptions so;
+  so.clients = clients;
+  so.total_txns = 250;
+  so.seed = seed;
+  SimRunner runner(&db, &workload, so);
+  RunResult result = runner.Run();
+
+  TwoLevelPipeline pipeline(clients);
+  for (ClientId c = 0; c < clients; ++c) {
+    for (const auto& t : result.client_traces[c]) pipeline.Push(c, Trace(t));
+    pipeline.Close(c);
+  }
+  Leopard verifier(ConfigForMiniDb(Protocol::kMvcc2plSsi,
+                                   IsolationLevel::kSerializable));
+  Timestamp last = 0;
+  uint64_t dispatched = 0;
+  while (auto t = pipeline.Dispatch()) {
+    EXPECT_GE(t->ts_bef(), last);  // Theorem 1
+    last = t->ts_bef();
+    verifier.Process(*t);
+    ++dispatched;
+  }
+  verifier.Finish();
+  EXPECT_EQ(dispatched, result.TotalTraces());
+  EXPECT_EQ(verifier.stats().TotalViolations(), 0u)
+      << (verifier.bugs().empty() ? std::string()
+                                  : verifier.bugs()[0].ToString());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CleanRunProperty,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u),
+                       ::testing::Values(2u, 8u, 16u),
+                       ::testing::Values(0.0, 0.6, 0.9)));
+
+// Property 2: garbage collection never changes the verification verdict —
+// with and without GC, a verifier sees the same violations on the same
+// trace stream (faulty or not).
+class GcEquivalenceProperty
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {};
+
+TEST_P(GcEquivalenceProperty, SameViolationCountsWithAndWithoutGc) {
+  auto [seed, drop_lock] = GetParam();
+  Database::Options dbo;
+  dbo.faults.drop_lock_prob = drop_lock;
+  dbo.fault_seed = seed;
+  Database db(dbo);
+  YcsbWorkload::Options wo;
+  wo.record_count = 40;
+  wo.theta = 0.8;
+  YcsbWorkload workload(wo);
+  SimOptions so;
+  so.clients = 8;
+  so.total_txns = 400;
+  so.seed = seed;
+  SimRunner runner(&db, &workload, so);
+  RunResult result = runner.Run();
+
+  VerifierConfig base = ConfigForMiniDb(Protocol::kMvcc2plSsi,
+                                        IsolationLevel::kSerializable);
+  VerifierConfig gc = base;
+  gc.gc_every = 64;
+  VerifierConfig no_gc = base;
+  no_gc.enable_gc = false;
+
+  Leopard a(gc), b(no_gc);
+  for (const auto& t : result.MergedTraces()) {
+    a.Process(t);
+    b.Process(t);
+  }
+  a.Finish();
+  b.Finish();
+  EXPECT_EQ(a.stats().me_violations, b.stats().me_violations);
+  EXPECT_EQ(a.stats().cr_violations, b.stats().cr_violations);
+  EXPECT_EQ(a.stats().fuw_violations, b.stats().fuw_violations);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GcEquivalenceProperty,
+                         ::testing::Combine(::testing::Values(10u, 20u, 30u),
+                                            ::testing::Values(0.0, 0.1)));
+
+// Property 3: the overlap ratio β grows with contention (more clients, no
+// think time, hotter keys) — the trend behind Fig. 4.
+TEST(OverlapProperty, BetaGrowsWithContention) {
+  auto beta_for = [](uint32_t clients, double theta) {
+    Database::Options dbo;
+    Database db(dbo);
+    YcsbWorkload::Options wo;
+    wo.record_count = 100;
+    wo.theta = theta;
+    YcsbWorkload workload(wo);
+    SimOptions so;
+    so.clients = clients;
+    so.total_txns = 600;
+    so.seed = 5;
+    so.think_max = 0;
+    SimRunner runner(&db, &workload, so);
+    RunResult result = runner.Run();
+    Leopard verifier(ConfigForMiniDb(Protocol::kMvcc2plSsi,
+                                     IsolationLevel::kSerializable));
+    for (const auto& t : result.MergedTraces()) verifier.Process(t);
+    verifier.Finish();
+    const auto& s = verifier.stats();
+    if (s.deps_total == 0) return 0.0;
+    return static_cast<double>(s.OverlappedTotal()) /
+           static_cast<double>(s.deps_total);
+  };
+  double low = beta_for(2, 0.0);
+  double high = beta_for(16, 0.9);
+  EXPECT_GT(high, low);
+}
+
+// Property 4: every committed transaction ends up as a graph node exactly
+// once, and (without GC) node count equals committed transactions.
+TEST(AccountingProperty, GraphNodesMatchCommits) {
+  Database::Options dbo;
+  Database db(dbo);
+  YcsbWorkload::Options wo;
+  wo.record_count = 200;
+  YcsbWorkload workload(wo);
+  SimOptions so;
+  so.clients = 4;
+  so.total_txns = 300;
+  SimRunner runner(&db, &workload, so);
+  RunResult result = runner.Run();
+
+  VerifierConfig config = ConfigForMiniDb(Protocol::kMvcc2plSsi,
+                                          IsolationLevel::kSerializable);
+  config.enable_gc = false;
+  Leopard verifier(config);
+  for (const auto& t : result.MergedTraces()) verifier.Process(t);
+  verifier.Finish();
+  EXPECT_EQ(verifier.GraphNodeCount(), result.committed + 1);  // + load txn
+}
+
+}  // namespace
+}  // namespace leopard

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "trace/trace_io.h"
+
+namespace leopard {
+namespace {
+
+std::vector<Trace> SampleTraces() {
+  Trace locking_read = MakeReadTrace(5, 1, {10, 20}, {{1, 100}});
+  locking_read.for_update = true;
+  Trace scan = MakeReadTrace(5, 1, {22, 25}, {{2, 200}});
+  scan.range_first = 2;
+  scan.range_count = 4;
+  Trace miss = MakeReadTrace(5, 1, {26, 27}, {});
+  miss.absent_reads = {7, 9};
+  return {
+      MakeWriteTrace(0, 0, {1, 2}, {{1, 100}, {2, 200}}),
+      MakeCommitTrace(0, 0, {3, 4}),
+      locking_read,
+      scan,
+      miss,
+      MakeWriteTrace(5, 1, {30, 33}, {{2, 777}, {3, kTombstoneValue}}),
+      MakeAbortTrace(5, 1, {40, 41}),
+  };
+}
+
+TEST(TraceIoTest, EncodeDecodeRoundTrip) {
+  auto traces = SampleTraces();
+  auto decoded = DecodeTraces(EncodeTraces(traces));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_EQ(decoded->size(), traces.size());
+  for (size_t i = 0; i < traces.size(); ++i) {
+    EXPECT_EQ((*decoded)[i].ToString(), traces[i].ToString());
+  }
+  // Extended fields survive the round trip.
+  EXPECT_TRUE((*decoded)[2].for_update);
+  EXPECT_EQ((*decoded)[3].range_first, 2u);
+  EXPECT_EQ((*decoded)[3].range_count, 4u);
+  EXPECT_EQ((*decoded)[4].absent_reads, (std::vector<Key>{7, 9}));
+  EXPECT_EQ((*decoded)[5].write_set[1].value, kTombstoneValue);
+}
+
+TEST(TraceIoTest, EmptyStreamRoundTrip) {
+  auto decoded = DecodeTraces(EncodeTraces({}));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(TraceIoTest, RejectsWrongMagic) {
+  EXPECT_FALSE(DecodeTraces("not a trace file").ok());
+  EXPECT_FALSE(DecodeTraces("").ok());
+}
+
+TEST(TraceIoTest, RejectsTruncated) {
+  std::string bytes = EncodeTraces(SampleTraces());
+  for (size_t cut : {bytes.size() - 1, bytes.size() - 7, size_t{12}}) {
+    EXPECT_FALSE(DecodeTraces(bytes.substr(0, cut)).ok())
+        << "cut at " << cut;
+  }
+}
+
+TEST(TraceIoTest, RejectsBadOpCode) {
+  std::string bytes = EncodeTraces({MakeCommitTrace(1, 0, {1, 2})});
+  bytes[8] = 9;  // corrupt the op byte after the magic
+  EXPECT_FALSE(DecodeTraces(bytes).ok());
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/leopard_trace_io_test.bin";
+  auto traces = SampleTraces();
+  ASSERT_TRUE(WriteTraceFile(path, traces).ok());
+  auto read = ReadTraceFile(path);
+  ASSERT_TRUE(read.ok()) << read.status();
+  ASSERT_EQ(read->size(), traces.size());
+  EXPECT_EQ((*read)[2].ToString(), traces[2].ToString());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, MissingFileIsNotFound) {
+  auto read = ReadTraceFile("/no/such/leopard/file");
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace leopard

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "trace/trace.h"
+#include "workload/workload.h"
+
+namespace leopard {
+namespace {
+
+TEST(TraceTest, MakeReadTrace) {
+  Trace t = MakeReadTrace(7, 2, {10, 20}, {{1, 100}, {2, 200}});
+  EXPECT_EQ(t.op, OpType::kRead);
+  EXPECT_EQ(t.txn, 7u);
+  EXPECT_EQ(t.client, 2u);
+  EXPECT_EQ(t.ts_bef(), 10u);
+  EXPECT_EQ(t.ts_aft(), 20u);
+  ASSERT_EQ(t.read_set.size(), 2u);
+  EXPECT_EQ(t.read_set[0].key, 1u);
+  EXPECT_EQ(t.read_set[1].value, 200u);
+  EXPECT_TRUE(t.write_set.empty());
+}
+
+TEST(TraceTest, MakeWriteTrace) {
+  Trace t = MakeWriteTrace(3, 1, {5, 6}, {{9, 99}});
+  EXPECT_EQ(t.op, OpType::kWrite);
+  ASSERT_EQ(t.write_set.size(), 1u);
+  EXPECT_EQ(t.write_set[0].key, 9u);
+  EXPECT_EQ(t.write_set[0].value, 99u);
+}
+
+TEST(TraceTest, TerminalTraces) {
+  Trace c = MakeCommitTrace(4, 0, {1, 2});
+  Trace a = MakeAbortTrace(5, 0, {3, 4});
+  EXPECT_EQ(c.op, OpType::kCommit);
+  EXPECT_EQ(a.op, OpType::kAbort);
+  EXPECT_TRUE(c.read_set.empty());
+  EXPECT_TRUE(c.write_set.empty());
+}
+
+TEST(TraceTest, ToStringMentionsSets) {
+  Trace t = MakeWriteTrace(3, 1, {5, 6}, {{9, 99}});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("WRITE"), std::string::npos);
+  EXPECT_NE(s.find("9:99"), std::string::npos);
+}
+
+TEST(TraceTest, ApproxBytesGrowsWithSets) {
+  Trace small = MakeReadTrace(1, 0, {0, 1}, {{1, 1}});
+  std::vector<ReadAccess> big_set(100, ReadAccess{1, 1});
+  Trace big = MakeReadTrace(1, 0, {0, 1}, big_set);
+  EXPECT_GT(big.ApproxBytes(), small.ApproxBytes());
+}
+
+TEST(TraceTest, OpTypeNames) {
+  EXPECT_STREQ(OpTypeName(OpType::kRead), "READ");
+  EXPECT_STREQ(OpTypeName(OpType::kWrite), "WRITE");
+  EXPECT_STREQ(OpTypeName(OpType::kCommit), "COMMIT");
+  EXPECT_STREQ(OpTypeName(OpType::kAbort), "ABORT");
+}
+
+TEST(TraceTest, LoadAndClientValuesDisjoint) {
+  // Load values have the top bit set; client values never do.
+  Value load = MakeLoadValue(12345);
+  Value client = MakeClientValue(1000, (1ULL << 40) - 1);
+  EXPECT_NE(load >> 63, 0u);
+  EXPECT_EQ(client >> 63, 0u);
+}
+
+}  // namespace
+}  // namespace leopard

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "verifier/version_order.h"
+
+namespace leopard {
+namespace {
+
+class VersionOrderTest : public ::testing::Test {
+ protected:
+  // Installs a committed version: install (at, at+width), commit interval
+  // immediately after the install unless overridden.
+  void Install(Key key, Value value, TxnId writer, Timestamp at,
+               Timestamp width = 2) {
+    InstallWithCommit(key, value, writer, at, width, at + width + 1,
+                      at + width + 2);
+  }
+  void InstallWithCommit(Key key, Value value, TxnId writer, Timestamp at,
+                         Timestamp width, Timestamp commit_bef,
+                         Timestamp commit_aft) {
+    index_.Install(key, value, writer, {at, at + width});
+    auto* list = index_.Get(key);
+    for (auto& v : *list) {
+      if (v.writer == writer && v.value == value) {
+        v.status = WriterStatus::kCommitted;
+        v.writer_snapshot = v.install;
+        v.writer_commit = {commit_bef, commit_aft};
+      }
+    }
+  }
+  void InstallUncommitted(Key key, Value value, TxnId writer, Timestamp at,
+                          Timestamp width = 2) {
+    index_.Install(key, value, writer, {at, at + width});
+  }
+  std::vector<Value> CandidateValues(Key key, TimeInterval snapshot) {
+    CandidateSet cand = index_.Candidates(key, snapshot);
+    std::vector<Value> values;
+    const auto* list = index_.Get(key);
+    for (size_t i : cand.indices) values.push_back((*list)[i].value);
+    std::sort(values.begin(), values.end());
+    return values;
+  }
+
+  VersionOrderIndex index_;
+};
+
+TEST_F(VersionOrderTest, InstallKeepsSortedByAft) {
+  Install(1, 100, 1, 10);
+  Install(1, 300, 3, 50);
+  Install(1, 200, 2, 30);
+  const auto* list = index_.Get(1);
+  ASSERT_EQ(list->size(), 3u);
+  EXPECT_EQ((*list)[0].value, 100u);
+  EXPECT_EQ((*list)[1].value, 200u);
+  EXPECT_EQ((*list)[2].value, 300u);
+}
+
+TEST_F(VersionOrderTest, CertainPrevReportedOnAppend) {
+  auto r1 = index_.Install(1, 100, 1, {10, 12});
+  EXPECT_EQ(r1.certain_prev, SIZE_MAX);
+  auto r2 = index_.Install(1, 200, 2, {20, 22});
+  EXPECT_EQ(r2.certain_prev, 0u);  // (10,12) certainly before (20,22)
+  auto r3 = index_.Install(1, 300, 3, {21, 30});
+  EXPECT_EQ(r3.certain_prev, SIZE_MAX);  // overlaps previous
+}
+
+TEST_F(VersionOrderTest, FiveCategories) {
+  // Snapshot (50, 55): garbage / pivot-overlap / pivot / overlap / future
+  // versions per §V-A, with commits right after each install.
+  Install(1, 1, 1, 10);        // commit (13,14): garbage (before pivot)
+  Install(1, 2, 2, 29, 4);     // install (29,33): overlaps pivot install
+  Install(1, 3, 3, 30, 10);    // install (30,40), commit (41,42): pivot
+  Install(1, 4, 4, 46, 4);     // commit (51,52): possibly visible
+  Install(1, 5, 5, 60);        // commit (63,64): future
+  EXPECT_EQ(CandidateValues(1, {50, 55}), (std::vector<Value>{2, 3, 4}));
+}
+
+TEST_F(VersionOrderTest, LongRunningWriterDoesNotShadowOldVersion) {
+  // Version B installs early but commits *after* the snapshot: it is not
+  // visible and must not make the older version A garbage.
+  Install(1, 1, 1, 10);                         // A: commit (13,14)
+  InstallWithCommit(1, 2, 2, 20, 2, 100, 101);  // B: commit (100,101)
+  EXPECT_EQ(CandidateValues(1, {50, 55}), (std::vector<Value>{1}));
+}
+
+TEST_F(VersionOrderTest, UncommittedVersionsInvisible) {
+  Install(1, 1, 1, 10);
+  InstallUncommitted(1, 2, 2, 20);
+  EXPECT_EQ(CandidateValues(1, {50, 55}), (std::vector<Value>{1}));
+}
+
+TEST_F(VersionOrderTest, NoPivotWhenNothingCertainlyVisible) {
+  InstallWithCommit(1, 1, 1, 48, 2, 51, 53);  // commit overlaps snapshot
+  CandidateSet cand = index_.Candidates(1, {50, 55});
+  EXPECT_FALSE(cand.has_pivot);
+  ASSERT_EQ(cand.indices.size(), 1u);
+}
+
+TEST_F(VersionOrderTest, OnlyPivotWhenHistoryIsOld) {
+  Install(1, 1, 1, 10);
+  Install(1, 2, 2, 20);
+  Install(1, 3, 3, 30);
+  // All certainly visible and mutually disjoint: only the youngest (the
+  // pivot) is a candidate; the rest are garbage.
+  EXPECT_EQ(CandidateValues(1, {100, 105}), (std::vector<Value>{3}));
+}
+
+TEST_F(VersionOrderTest, RelaxedCandidatesIncludeEverythingNonFuture) {
+  Install(1, 1, 1, 10);
+  Install(1, 2, 2, 20);
+  Install(1, 3, 3, 60);  // future w.r.t. (40, 50)
+  CandidateSet cand = index_.CandidatesRelaxed(1, {40, 50});
+  EXPECT_EQ(cand.indices.size(), 2u);  // old versions stay readable
+}
+
+TEST_F(VersionOrderTest, EmptyKeyHasNoCandidates) {
+  CandidateSet cand = index_.Candidates(99, {10, 20});
+  EXPECT_TRUE(cand.indices.empty());
+  EXPECT_FALSE(cand.has_pivot);
+}
+
+TEST_F(VersionOrderTest, RemoveAbortedReturnsDirtyReaders) {
+  Install(1, 100, 7, 10);
+  Install(1, 200, 8, 20);
+  auto* list = index_.Get(1);
+  (*list)[0].readers.push_back(42);  // someone read txn 7's version
+  (*list)[0].readers.push_back(7);   // the writer itself does not count
+  auto dirty = index_.RemoveAborted(1, 7);
+  ASSERT_EQ(dirty.size(), 1u);
+  EXPECT_EQ(dirty[0], 42u);
+  EXPECT_EQ(index_.Get(1)->size(), 1u);
+  EXPECT_EQ((*index_.Get(1))[0].value, 200u);
+}
+
+TEST_F(VersionOrderTest, PruneDropsOnlyOldCommitted) {
+  Install(1, 1, 1, 10);
+  Install(1, 2, 2, 20);
+  Install(1, 3, 3, 30);
+  // safe_ts = 100: pivot is version 3; versions 1 and 2 are garbage with
+  // old commits -> pruned.
+  EXPECT_EQ(index_.Prune(100), 2u);
+  ASSERT_EQ(index_.Get(1)->size(), 1u);
+  EXPECT_EQ((*index_.Get(1))[0].value, 3u);
+}
+
+TEST_F(VersionOrderTest, PruneKeepsUncommittedWriters) {
+  Install(1, 1, 1, 10);
+  InstallUncommitted(1, 2, 2, 20);
+  Install(1, 3, 3, 30);
+  // Version 2's writer is still unresolved: the erase prefix stops there,
+  // and version 1 (certainly before the pivot) goes.
+  EXPECT_EQ(index_.Prune(100), 1u);
+  EXPECT_EQ(index_.Get(1)->size(), 2u);
+}
+
+TEST_F(VersionOrderTest, PruneKeepsRecentCommits) {
+  Install(1, 1, 1, 10);
+  Install(1, 2, 2, 20);
+  InstallWithCommit(1, 3, 3, 30, 2, 200, 201);  // commits after safe_ts
+  // Pivot w.r.t. safe_ts=100 is version 2; only version 1 is prunable.
+  EXPECT_EQ(index_.Prune(100), 1u);
+  EXPECT_EQ(index_.Get(1)->size(), 2u);
+}
+
+TEST_F(VersionOrderTest, PruneRespectsInstallOverlapWithPivot) {
+  Install(1, 1, 1, 10);      // garbage
+  Install(1, 2, 2, 28, 4);   // install overlaps pivot's install: kept
+  Install(1, 3, 3, 30);      // pivot w.r.t. safe_ts 100
+  EXPECT_EQ(index_.Prune(100), 1u);  // only version 1
+  EXPECT_EQ(index_.Get(1)->size(), 2u);
+}
+
+TEST_F(VersionOrderTest, CountsAndBytes) {
+  Install(1, 1, 1, 10);
+  Install(2, 2, 2, 20);
+  EXPECT_EQ(index_.KeyCount(), 2u);
+  EXPECT_EQ(index_.VersionCount(), 2u);
+  EXPECT_GT(index_.ApproxBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace leopard

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "txn/version_store.h"
+
+namespace leopard {
+namespace {
+
+StoredVersion V(Value value, TxnId writer, Lsn ts) {
+  StoredVersion v;
+  v.value = value;
+  v.writer = writer;
+  v.commit_lsn = ts;
+  v.version_ts = ts;
+  return v;
+}
+
+TEST(VersionStoreTest, ReadAtSnapshotPicksLatestVisible) {
+  VersionStore vs;
+  vs.Install(1, V(100, 1, 10));
+  vs.Install(1, V(200, 2, 20));
+  vs.Install(1, V(300, 3, 30));
+  EXPECT_EQ(vs.ReadAtSnapshot(1, 25)->value, 200u);
+  EXPECT_EQ(vs.ReadAtSnapshot(1, 30)->value, 300u);
+  EXPECT_EQ(vs.ReadAtSnapshot(1, 1000)->value, 300u);
+  EXPECT_FALSE(vs.ReadAtSnapshot(1, 5).ok());
+  EXPECT_FALSE(vs.ReadAtSnapshot(2, 100).ok());
+}
+
+TEST(VersionStoreTest, OutOfOrderInstallKeepsSorted) {
+  VersionStore vs;
+  vs.Install(1, V(300, 3, 30));
+  vs.Install(1, V(100, 1, 10));
+  vs.Install(1, V(200, 2, 20));
+  EXPECT_EQ(vs.ReadAtSnapshot(1, 15)->value, 100u);
+  EXPECT_EQ(vs.ReadAtSnapshot(1, 25)->value, 200u);
+  EXPECT_EQ(vs.ReadLatest(1)->value, 300u);
+}
+
+TEST(VersionStoreTest, ReadStaleReturnsPredecessor) {
+  VersionStore vs;
+  vs.Install(1, V(100, 1, 10));
+  vs.Install(1, V(200, 2, 20));
+  EXPECT_EQ(vs.ReadStale(1, 25)->value, 100u);
+  EXPECT_FALSE(vs.ReadStale(1, 15).ok());  // only one visible version
+}
+
+TEST(VersionStoreTest, LatestTsQueries) {
+  VersionStore vs;
+  EXPECT_EQ(vs.LatestVersionTs(1), 0u);
+  vs.Install(1, V(100, 1, 10));
+  vs.Install(1, V(200, 2, 20));
+  EXPECT_EQ(vs.LatestVersionTs(1), 20u);
+  EXPECT_EQ(vs.LatestCommitLsn(1), 20u);
+}
+
+TEST(VersionStoreTest, MaxReadTs) {
+  VersionStore vs;
+  vs.Install(1, V(100, 1, 10));
+  EXPECT_EQ(vs.MaxReadTs(1), 0u);
+  vs.NoteReadTs(1, 42);
+  vs.NoteReadTs(1, 17);
+  EXPECT_EQ(vs.MaxReadTs(1), 42u);
+}
+
+TEST(VersionStoreTest, WritersAfter) {
+  VersionStore vs;
+  vs.Install(1, V(100, 11, 10));
+  vs.Install(1, V(200, 22, 20));
+  vs.Install(1, V(300, 33, 30));
+  auto writers = vs.WritersAfter(1, 15);
+  ASSERT_EQ(writers.size(), 2u);
+  EXPECT_EQ(writers[0], 33u);  // newest first
+  EXPECT_EQ(writers[1], 22u);
+  EXPECT_TRUE(vs.WritersAfter(1, 30).empty());
+}
+
+TEST(VersionStoreTest, Counts) {
+  VersionStore vs;
+  vs.Install(1, V(100, 1, 10));
+  vs.Install(1, V(200, 2, 20));
+  vs.Install(2, V(300, 3, 30));
+  EXPECT_EQ(vs.KeyCount(), 2u);
+  EXPECT_EQ(vs.VersionCount(), 3u);
+  EXPECT_TRUE(vs.Contains(1));
+  EXPECT_FALSE(vs.Contains(99));
+}
+
+}  // namespace
+}  // namespace leopard

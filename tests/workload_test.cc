@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/blindw.h"
+#include "workload/smallbank.h"
+#include "workload/tpcc.h"
+#include "workload/ycsb.h"
+
+namespace leopard {
+namespace {
+
+TEST(YcsbTest, InitialRowsCoverTable) {
+  YcsbWorkload::Options o;
+  o.record_count = 100;
+  YcsbWorkload w(o);
+  auto rows = w.InitialRows();
+  ASSERT_EQ(rows.size(), 100u);
+  std::set<Key> keys;
+  for (const auto& r : rows) keys.insert(r.key);
+  EXPECT_EQ(keys.size(), 100u);
+}
+
+TEST(YcsbTest, RespectsOpsPerTxnAndKeyRange) {
+  YcsbWorkload::Options o;
+  o.record_count = 50;
+  o.ops_per_txn = 6;
+  YcsbWorkload w(o);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    TxnSpec spec = w.NextTransaction(rng);
+    EXPECT_EQ(spec.ops.size(), 6u);
+    for (const auto& op : spec.ops) EXPECT_LT(op.key, 50u);
+  }
+}
+
+TEST(YcsbTest, ReadRatioRoughlyHolds) {
+  YcsbWorkload::Options o;
+  o.record_count = 1000;
+  o.read_ratio = 0.9;
+  o.ops_per_txn = 1;
+  YcsbWorkload w(o);
+  Rng rng(2);
+  int reads = 0, total = 0;
+  for (int i = 0; i < 5000; ++i) {
+    TxnSpec spec = w.NextTransaction(rng);
+    for (const auto& op : spec.ops) {
+      ++total;
+      if (op.kind == OpKind::kRead) ++reads;
+    }
+  }
+  double ratio = static_cast<double>(reads) / total;
+  EXPECT_NEAR(ratio, 0.9, 0.03);
+}
+
+TEST(YcsbTest, MixVariants) {
+  Rng rng(42);
+  {
+    YcsbWorkload::Options o;
+    o.record_count = 500;
+    o.mix = YcsbMix::kC;
+    YcsbWorkload w(o);
+    EXPECT_EQ(w.name(), "YCSB-C");
+    for (int i = 0; i < 50; ++i) {
+      for (const auto& op : w.NextTransaction(rng).ops) {
+        EXPECT_EQ(op.kind, OpKind::kRead);
+      }
+    }
+  }
+  {
+    YcsbWorkload::Options o;
+    o.record_count = 500;
+    o.mix = YcsbMix::kE;
+    YcsbWorkload w(o);
+    int scans = 0;
+    for (int i = 0; i < 200; ++i) {
+      for (const auto& op : w.NextTransaction(rng).ops) {
+        if (op.kind == OpKind::kRangeRead) {
+          ++scans;
+          EXPECT_LE(op.key + op.range_count, o.record_count);
+        }
+      }
+    }
+    EXPECT_GT(scans, 400);
+  }
+  {
+    YcsbWorkload::Options o;
+    o.record_count = 500;
+    o.mix = YcsbMix::kF;
+    YcsbWorkload w(o);
+    TxnSpec spec = w.NextTransaction(rng);
+    // Each logical op becomes a read-modify-write pair.
+    EXPECT_EQ(spec.ops.size(), o.ops_per_txn * 2);
+    EXPECT_EQ(spec.ops[0].kind, OpKind::kRead);
+    EXPECT_EQ(spec.ops[1].kind, OpKind::kWrite);
+    EXPECT_EQ(spec.ops[0].key, spec.ops[1].key);
+  }
+  {
+    YcsbWorkload::Options o;
+    o.record_count = 1000;
+    o.mix = YcsbMix::kB;
+    o.ops_per_txn = 1;
+    YcsbWorkload w(o);
+    int reads = 0, total = 0;
+    for (int i = 0; i < 4000; ++i) {
+      for (const auto& op : w.NextTransaction(rng).ops) {
+        ++total;
+        if (op.kind == OpKind::kRead) ++reads;
+      }
+    }
+    EXPECT_NEAR(static_cast<double>(reads) / total, 0.95, 0.02);
+  }
+}
+
+TEST(BlindWTest, WriteOnlyVariantIsAllWrites) {
+  BlindWWorkload::Options o;
+  o.variant = BlindWVariant::kWriteOnly;
+  BlindWWorkload w(o);
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    TxnSpec spec = w.NextTransaction(rng);
+    EXPECT_EQ(spec.ops.size(), 8u);
+    for (const auto& op : spec.ops) {
+      EXPECT_EQ(op.kind, OpKind::kWrite);
+      EXPECT_EQ(op.rule, ValueRule::kUnique);
+    }
+  }
+}
+
+TEST(BlindWTest, ReadWriteVariantMixesTxnTypes) {
+  BlindWWorkload::Options o;
+  o.variant = BlindWVariant::kReadWrite;
+  BlindWWorkload w(o);
+  Rng rng(4);
+  int read_txns = 0, write_txns = 0;
+  for (int i = 0; i < 400; ++i) {
+    TxnSpec spec = w.NextTransaction(rng);
+    bool has_write = false;
+    for (const auto& op : spec.ops) {
+      if (op.kind == OpKind::kWrite) has_write = true;
+    }
+    (has_write ? write_txns : read_txns)++;
+    // A transaction is pure-read or pure-blind-write, never mixed.
+    for (const auto& op : spec.ops) {
+      EXPECT_EQ(op.kind == OpKind::kWrite, has_write);
+    }
+  }
+  EXPECT_GT(read_txns, 100);
+  EXPECT_GT(write_txns, 100);
+}
+
+TEST(BlindWTest, RangeVariantEmitsRangeReads) {
+  BlindWWorkload::Options o;
+  o.variant = BlindWVariant::kReadWriteRange;
+  BlindWWorkload w(o);
+  Rng rng(5);
+  int ranges = 0;
+  for (int i = 0; i < 400; ++i) {
+    TxnSpec spec = w.NextTransaction(rng);
+    for (const auto& op : spec.ops) {
+      if (op.kind == OpKind::kRangeRead) {
+        ++ranges;
+        EXPECT_EQ(op.range_count, 10u);
+        EXPECT_LE(op.key + op.range_count, o.record_count);
+      }
+    }
+  }
+  EXPECT_GT(ranges, 100);
+}
+
+TEST(SmallBankTest, SchemaHasTwoRecordsPerAccount) {
+  SmallBankWorkload::Options o;
+  o.scale_factor = 1;
+  o.accounts_per_sf = 10;
+  SmallBankWorkload w(o);
+  EXPECT_EQ(w.account_count(), 10u);
+  EXPECT_EQ(w.InitialRows().size(), 20u);
+}
+
+TEST(SmallBankTest, AmalgamateWritesConstantZeros) {
+  SmallBankWorkload::Options o;
+  o.accounts_per_sf = 100;
+  SmallBankWorkload w(o);
+  Rng rng(6);
+  bool saw_amalgamate = false;
+  for (int i = 0; i < 500 && !saw_amalgamate; ++i) {
+    TxnSpec spec = w.NextTransaction(rng);
+    int zero_writes = 0;
+    for (const auto& op : spec.ops) {
+      if (op.kind == OpKind::kWrite && op.rule == ValueRule::kConstant &&
+          op.constant == 0) {
+        ++zero_writes;
+      }
+    }
+    if (zero_writes == 2) saw_amalgamate = true;
+  }
+  EXPECT_TRUE(saw_amalgamate);
+}
+
+TEST(SmallBankTest, AllKeysWithinSchema) {
+  SmallBankWorkload::Options o;
+  o.accounts_per_sf = 20;
+  SmallBankWorkload w(o);
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    TxnSpec spec = w.NextTransaction(rng);
+    for (const auto& op : spec.ops) {
+      EXPECT_LT(op.key, 40u);  // 20 accounts * 2 records
+    }
+  }
+}
+
+TEST(TpccTest, InitialRowsScaleWithWarehouses) {
+  TpccWorkload::Options o;
+  o.scale_factor = 2;
+  o.districts_per_warehouse = 3;
+  o.customers_per_district = 5;
+  o.items = 10;
+  TpccWorkload w(o);
+  // Per warehouse: 1 ytd + 3*(2 + 5*2) + 10 stock = 47; plus 10 items.
+  EXPECT_EQ(w.InitialRows().size(), 2u * 47 + 10);
+}
+
+TEST(TpccTest, NewOrderAdvancesOrderCounter) {
+  TpccWorkload::Options o;
+  TpccWorkload w(o);
+  Rng rng(8);
+  uint64_t before = w.orders_created();
+  for (int i = 0; i < 200; ++i) w.NextTransaction(rng);
+  EXPECT_GT(w.orders_created(), before);
+}
+
+TEST(TpccTest, KeyEncodingInjective) {
+  using T = TpccWorkload::Table;
+  std::set<Key> keys;
+  for (uint32_t w = 0; w < 3; ++w) {
+    for (uint32_t d = 0; d < 3; ++d) {
+      for (uint64_t id = 0; id < 10; ++id) {
+        keys.insert(TpccWorkload::Encode(T::kStock, w, d, id));
+        keys.insert(TpccWorkload::Encode(T::kCustomerBalance, w, d, id));
+      }
+    }
+  }
+  EXPECT_EQ(keys.size(), 3u * 3 * 10 * 2);
+}
+
+TEST(TpccTest, MixContainsAllFiveProfiles) {
+  TpccWorkload::Options o;
+  TpccWorkload w(o);
+  Rng rng(9);
+  int with_range = 0, with_write = 0, read_only = 0;
+  for (int i = 0; i < 1000; ++i) {
+    TxnSpec spec = w.NextTransaction(rng);
+    bool has_range = false, has_write = false;
+    for (const auto& op : spec.ops) {
+      has_range |= op.kind == OpKind::kRangeRead;
+      has_write |= op.kind == OpKind::kWrite;
+    }
+    if (has_range) ++with_range;
+    if (has_write) ++with_write;
+    if (!has_write && !has_range) ++read_only;
+  }
+  EXPECT_GT(with_range, 0);
+  EXPECT_GT(with_write, 500);
+}
+
+}  // namespace
+}  // namespace leopard

@@ -1,0 +1,394 @@
+// leopard — command-line front end for the tracer/verifier pipeline.
+//
+//   leopard run    --workload=ycsb --txns=2000 --clients=8 --out=/tmp/tr
+//       runs a workload on MiniDB and writes one trace file per client.
+//   leopard verify --in=/tmp/tr --clients=8 --protocol=pg --isolation=ser
+//       reads the trace files back and verifies the four mechanisms.
+//   leopard fuzz   --faults=drop_lock:0.2 ...
+//       runs with injected faults and verifies in one step (bug hunting).
+//
+// Flags (defaults in brackets):
+//   --workload=ycsb[-a,-b,-c,-e,-f]|blindw|blindw-w|blindw-rw+|smallbank|tpcc|ledger [ycsb]
+//   --protocol=pg|innodb|occ|to|2pl|percolator   [pg]    (concurrency control)
+//   --isolation=rc|rr|si|ser          [ser]
+//   --txns=N [2000]  --clients=N [8]  --seed=N [42]
+//   --lock-wait=nowait|waitdie        [waitdie]
+//   --out=DIR / --in=DIR              [/tmp]
+//   --faults=knob:prob[,knob:prob...] (drop_lock, stale_snapshot,
+//       dirty_read, future_read, lost_write, skip_fuw, skip_certifier,
+//       resurrect_deleted, hide_row)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/sim_runner.h"
+#include "pipeline/two_level_pipeline.h"
+#include "txn/database.h"
+#ifdef LEOPARD_HAVE_SQLITE
+#include "adapters/sqlite_db.h"
+#endif
+#include "trace/trace_io.h"
+#include "verifier/leopard.h"
+#include "verifier/mechanism_table.h"
+#include "workload/blindw.h"
+#include "workload/ledger.h"
+#include "workload/smallbank.h"
+#include "workload/tpcc.h"
+#include "workload/ycsb.h"
+
+namespace leopard {
+namespace {
+
+struct CliOptions {
+  std::string command;
+  std::string engine = "minidb";  // or "sqlite"
+  std::string workload = "ycsb";
+  std::string protocol = "pg";
+  std::string isolation = "ser";
+  std::string lock_wait = "waitdie";
+  std::string dir = "/tmp";
+  uint64_t txns = 2000;
+  uint32_t clients = 8;
+  uint64_t seed = 42;
+  FaultPlan faults;
+};
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: leopard <run|verify|fuzz|table> [--engine=minidb|sqlite] "
+               "[--workload=...] "
+               "[--protocol=pg|innodb|occ|to|2pl|percolator] [--isolation=rc|rr|si|ser]"
+               " [--txns=N] [--clients=N] [--seed=N] [--out=DIR|--in=DIR]"
+               " [--lock-wait=nowait|waitdie] [--faults=knob:prob,...]\n");
+}
+
+bool ParseFaults(const std::string& spec, FaultPlan& plan) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    std::string item = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    size_t colon = item.find(':');
+    if (colon == std::string::npos) return false;
+    std::string knob = item.substr(0, colon);
+    double prob = std::atof(item.c_str() + colon + 1);
+    if (knob == "drop_lock") {
+      plan.drop_lock_prob = prob;
+    } else if (knob == "stale_snapshot") {
+      plan.stale_snapshot_prob = prob;
+    } else if (knob == "dirty_read") {
+      plan.dirty_read_prob = prob;
+    } else if (knob == "future_read") {
+      plan.future_read_prob = prob;
+    } else if (knob == "lost_write") {
+      plan.lost_write_prob = prob;
+    } else if (knob == "skip_fuw") {
+      plan.skip_fuw_prob = prob;
+    } else if (knob == "skip_certifier") {
+      plan.skip_certifier_prob = prob;
+    } else if (knob == "resurrect_deleted") {
+      plan.resurrect_deleted_prob = prob;
+    } else if (knob == "hide_row") {
+      plan.hide_row_prob = prob;
+    } else {
+      return false;
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions& opts) {
+  if (argc < 2) return false;
+  opts.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto eat = [&arg](const char* prefix, std::string& out) {
+      size_t n = std::strlen(prefix);
+      if (arg.compare(0, n, prefix) != 0) return false;
+      out = arg.substr(n);
+      return true;
+    };
+    std::string value;
+    if (eat("--workload=", opts.workload) ||
+        eat("--engine=", opts.engine) ||
+        eat("--protocol=", opts.protocol) ||
+        eat("--isolation=", opts.isolation) ||
+        eat("--lock-wait=", opts.lock_wait) || eat("--out=", opts.dir) ||
+        eat("--in=", opts.dir)) {
+      continue;
+    }
+    if (eat("--txns=", value)) {
+      opts.txns = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (eat("--clients=", value)) {
+      opts.clients =
+          static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (eat("--seed=", value)) {
+      opts.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (eat("--faults=", value)) {
+      if (!ParseFaults(value, opts.faults)) return false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::unique_ptr<Workload> MakeWorkload(const CliOptions& opts) {
+  if (opts.workload == "ycsb" || opts.workload == "ycsb-a") {
+    YcsbWorkload::Options o;
+    o.record_count = 2000;
+    o.mix = YcsbMix::kA;
+    return std::make_unique<YcsbWorkload>(o);
+  }
+  if (opts.workload == "ycsb-b" || opts.workload == "ycsb-c" ||
+      opts.workload == "ycsb-e" || opts.workload == "ycsb-f") {
+    YcsbWorkload::Options o;
+    o.record_count = 2000;
+    switch (opts.workload.back()) {
+      case 'b':
+        o.mix = YcsbMix::kB;
+        break;
+      case 'c':
+        o.mix = YcsbMix::kC;
+        break;
+      case 'e':
+        o.mix = YcsbMix::kE;
+        break;
+      default:
+        o.mix = YcsbMix::kF;
+        break;
+    }
+    return std::make_unique<YcsbWorkload>(o);
+  }
+  if (opts.workload == "blindw" || opts.workload == "blindw-rw") {
+    BlindWWorkload::Options o;
+    return std::make_unique<BlindWWorkload>(o);
+  }
+  if (opts.workload == "blindw-w") {
+    BlindWWorkload::Options o;
+    o.variant = BlindWVariant::kWriteOnly;
+    return std::make_unique<BlindWWorkload>(o);
+  }
+  if (opts.workload == "blindw-rw+") {
+    BlindWWorkload::Options o;
+    o.variant = BlindWVariant::kReadWriteRange;
+    return std::make_unique<BlindWWorkload>(o);
+  }
+  if (opts.workload == "smallbank") {
+    SmallBankWorkload::Options o;
+    return std::make_unique<SmallBankWorkload>(o);
+  }
+  if (opts.workload == "tpcc") {
+    TpccWorkload::Options o;
+    o.customers_per_district = 50;
+    return std::make_unique<TpccWorkload>(o);
+  }
+  if (opts.workload == "ledger") {
+    LedgerWorkload::Options o;
+    return std::make_unique<LedgerWorkload>(o);
+  }
+  return nullptr;
+}
+
+bool ResolveEngine(const CliOptions& opts, Protocol& protocol,
+                   IsolationLevel& isolation) {
+  if (opts.protocol == "pg") {
+    protocol = Protocol::kMvcc2plSsi;
+  } else if (opts.protocol == "innodb") {
+    protocol = Protocol::kMvcc2pl;
+  } else if (opts.protocol == "occ") {
+    protocol = Protocol::kMvccOcc;
+  } else if (opts.protocol == "to") {
+    protocol = Protocol::kMvccTo;
+  } else if (opts.protocol == "percolator") {
+    protocol = Protocol::kPercolator;
+  } else if (opts.protocol == "2pl") {
+    protocol = Protocol::k2pl;
+  } else {
+    return false;
+  }
+  if (opts.isolation == "rc") {
+    isolation = IsolationLevel::kReadCommitted;
+  } else if (opts.isolation == "rr") {
+    isolation = IsolationLevel::kRepeatableRead;
+  } else if (opts.isolation == "si") {
+    isolation = IsolationLevel::kSnapshotIsolation;
+  } else if (opts.isolation == "ser") {
+    isolation = IsolationLevel::kSerializable;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string TraceFile(const CliOptions& opts, ClientId client) {
+  return opts.dir + "/leopard_client_" + std::to_string(client) + ".trc";
+}
+
+int RunWorkload(const CliOptions& opts, bool verify_inline) {
+  Protocol protocol;
+  IsolationLevel isolation;
+  if (!ResolveEngine(opts, protocol, isolation)) {
+    Usage();
+    return 2;
+  }
+  auto workload = MakeWorkload(opts);
+  if (workload == nullptr) {
+    Usage();
+    return 2;
+  }
+  std::unique_ptr<TransactionalKv> sqlite;
+  std::unique_ptr<Database> minidb;
+  VerifierConfig verifier_config = ConfigForMiniDb(protocol, isolation);
+  if (opts.engine == "sqlite") {
+#ifdef LEOPARD_HAVE_SQLITE
+    auto adapter = std::make_unique<SqliteDb>(
+        SqliteDb::Options{.path = "", .connections = opts.clients});
+    if (!adapter->ok()) {
+      std::fprintf(stderr, "sqlite initialization failed\n");
+      return 1;
+    }
+    sqlite = std::move(adapter);
+    verifier_config = ConfigForSqlite();
+#else
+    std::fprintf(stderr, "built without the SQLite adapter\n");
+    return 2;
+#endif
+  } else if (opts.engine == "minidb") {
+    Database::Options dbo;
+    dbo.protocol = protocol;
+    dbo.isolation = isolation;
+    dbo.lock_wait = opts.lock_wait == "nowait" ? LockWaitPolicy::kNoWait
+                                               : LockWaitPolicy::kWaitDie;
+    dbo.faults = opts.faults;
+    dbo.fault_seed = opts.seed;
+    minidb = std::make_unique<Database>(dbo);
+  } else {
+    Usage();
+    return 2;
+  }
+  TransactionalKv* db =
+      sqlite ? sqlite.get() : static_cast<TransactionalKv*>(minidb.get());
+  SimOptions so;
+  so.clients = opts.clients;
+  so.total_txns = opts.txns;
+  so.seed = opts.seed;
+  SimRunner runner(db, workload.get(), so);
+  RunResult run = runner.Run();
+  uint64_t injected = minidb ? minidb->injected_fault_count() : 0;
+  std::printf("ran %s on %s (%s/%s): %llu committed, %llu aborted, "
+              "%llu traces, %llu faults injected\n",
+              workload->name().c_str(), opts.engine.c_str(),
+              ProtocolName(protocol), IsolationLevelName(isolation),
+              static_cast<unsigned long long>(run.committed),
+              static_cast<unsigned long long>(run.aborted),
+              static_cast<unsigned long long>(run.TotalTraces()),
+              static_cast<unsigned long long>(injected));
+
+  if (!verify_inline) {
+    for (ClientId c = 0; c < opts.clients; ++c) {
+      Status s = WriteTraceFile(TraceFile(opts, c), run.client_traces[c]);
+      if (!s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
+    }
+    std::printf("wrote %u trace files under %s\n", opts.clients,
+                opts.dir.c_str());
+    return 0;
+  }
+
+  Leopard verifier(verifier_config);
+  for (const auto& t : run.MergedTraces()) verifier.Process(t);
+  verifier.Finish();
+  const auto& s = verifier.stats();
+  std::printf("violations: CR=%llu ME=%llu FUW=%llu SC=%llu\n",
+              static_cast<unsigned long long>(s.cr_violations),
+              static_cast<unsigned long long>(s.me_violations),
+              static_cast<unsigned long long>(s.fuw_violations),
+              static_cast<unsigned long long>(s.sc_violations));
+  size_t shown = 0;
+  for (const auto& bug : verifier.bugs()) {
+    std::printf("  %s\n", bug.ToString().c_str());
+    if (++shown == 10) break;
+  }
+  return s.TotalViolations() == 0 ? 0 : 1;
+}
+
+int VerifyFiles(const CliOptions& opts) {
+  Protocol protocol;
+  IsolationLevel isolation;
+  if (!ResolveEngine(opts, protocol, isolation)) {
+    Usage();
+    return 2;
+  }
+  VerifierConfig verifier_config = opts.engine == "sqlite"
+                                       ? ConfigForSqlite()
+                                       : ConfigForMiniDb(protocol, isolation);
+  TwoLevelPipeline pipeline(opts.clients);
+  uint64_t total = 0;
+  for (ClientId c = 0; c < opts.clients; ++c) {
+    auto traces = ReadTraceFile(TraceFile(opts, c));
+    if (!traces.ok()) {
+      std::fprintf(stderr, "%s\n", traces.status().ToString().c_str());
+      return 1;
+    }
+    total += traces->size();
+    for (auto& t : *traces) pipeline.Push(c, std::move(t));
+    pipeline.Close(c);
+  }
+  Leopard verifier(verifier_config);
+  while (auto t = pipeline.Dispatch()) verifier.Process(*t);
+  verifier.Finish();
+  const auto& s = verifier.stats();
+  std::printf("verified %llu traces: %llu dependencies deduced\n",
+              static_cast<unsigned long long>(total),
+              static_cast<unsigned long long>(s.deps_deduced));
+  std::printf("violations: CR=%llu ME=%llu FUW=%llu SC=%llu\n",
+              static_cast<unsigned long long>(s.cr_violations),
+              static_cast<unsigned long long>(s.me_violations),
+              static_cast<unsigned long long>(s.fuw_violations),
+              static_cast<unsigned long long>(s.sc_violations));
+  size_t shown = 0;
+  for (const auto& bug : verifier.bugs()) {
+    std::printf("  %s\n", bug.ToString().c_str());
+    if (++shown == 10) break;
+  }
+  return s.TotalViolations() == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace leopard
+
+int main(int argc, char** argv) {
+  leopard::CliOptions opts;
+  if (!leopard::ParseArgs(argc, argv, opts)) {
+    leopard::Usage();
+    return 2;
+  }
+  if (opts.command == "run") return leopard::RunWorkload(opts, false);
+  if (opts.command == "fuzz") return leopard::RunWorkload(opts, true);
+  if (opts.command == "verify") return leopard::VerifyFiles(opts);
+  if (opts.command == "table") {
+    // The Fig. 1 mechanism matrix that drives verifier configuration.
+    std::printf("%-14s %-14s %-20s %-3s %-3s %-4s %-3s\n", "DBMS", "CC",
+                "IsolationLevel", "ME", "CR", "FUW", "SC");
+    for (const auto& row : leopard::MechanismTable()) {
+      std::printf("%-14s %-14s %-20s %-3s %-3s %-4s %-3s\n",
+                  row.dbms.c_str(), row.concurrency_control.c_str(),
+                  leopard::IsolationLevelName(row.isolation),
+                  row.me ? "Y" : "-", row.cr ? "Y" : "-",
+                  row.fuw ? "Y" : "-", row.sc ? "Y" : "-");
+    }
+    return 0;
+  }
+  leopard::Usage();
+  return 2;
+}
