@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bugcases.dir/bench_bugcases.cc.o"
+  "CMakeFiles/bench_bugcases.dir/bench_bugcases.cc.o.d"
+  "bench_bugcases"
+  "bench_bugcases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bugcases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

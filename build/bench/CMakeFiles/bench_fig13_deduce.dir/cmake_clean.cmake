@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_deduce.dir/bench_fig13_deduce.cc.o"
+  "CMakeFiles/bench_fig13_deduce.dir/bench_fig13_deduce.cc.o.d"
+  "bench_fig13_deduce"
+  "bench_fig13_deduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_deduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

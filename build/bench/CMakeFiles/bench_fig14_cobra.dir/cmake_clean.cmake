@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_cobra.dir/bench_fig14_cobra.cc.o"
+  "CMakeFiles/bench_fig14_cobra.dir/bench_fig14_cobra.cc.o.d"
+  "bench_fig14_cobra"
+  "bench_fig14_cobra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_cobra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_checkers.dir/compare_checkers.cpp.o"
+  "CMakeFiles/compare_checkers.dir/compare_checkers.cpp.o.d"
+  "compare_checkers"
+  "compare_checkers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_checkers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_verify.dir/offline_verify.cpp.o"
+  "CMakeFiles/offline_verify.dir/offline_verify.cpp.o.d"
+  "offline_verify"
+  "offline_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

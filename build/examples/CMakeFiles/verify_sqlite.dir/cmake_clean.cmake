@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_sqlite.dir/verify_sqlite.cpp.o"
+  "CMakeFiles/verify_sqlite.dir/verify_sqlite.cpp.o.d"
+  "verify_sqlite"
+  "verify_sqlite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_sqlite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

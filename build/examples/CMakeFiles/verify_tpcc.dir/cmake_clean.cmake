@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_tpcc.dir/verify_tpcc.cpp.o"
+  "CMakeFiles/verify_tpcc.dir/verify_tpcc.cpp.o.d"
+  "verify_tpcc"
+  "verify_tpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

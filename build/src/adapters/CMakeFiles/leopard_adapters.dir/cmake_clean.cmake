@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leopard_adapters.dir/sqlite_db.cc.o"
+  "CMakeFiles/leopard_adapters.dir/sqlite_db.cc.o.d"
+  "libleopard_adapters.a"
+  "libleopard_adapters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leopard_adapters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

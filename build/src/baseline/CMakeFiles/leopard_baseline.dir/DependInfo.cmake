@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/cobra_verifier.cc" "src/baseline/CMakeFiles/leopard_baseline.dir/cobra_verifier.cc.o" "gcc" "src/baseline/CMakeFiles/leopard_baseline.dir/cobra_verifier.cc.o.d"
+  "/root/repo/src/baseline/elle_checker.cc" "src/baseline/CMakeFiles/leopard_baseline.dir/elle_checker.cc.o" "gcc" "src/baseline/CMakeFiles/leopard_baseline.dir/elle_checker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/verifier/CMakeFiles/leopard_verifier.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/leopard_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/leopard_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/leopard_txn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

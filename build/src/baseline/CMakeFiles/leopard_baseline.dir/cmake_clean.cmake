@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leopard_baseline.dir/cobra_verifier.cc.o"
+  "CMakeFiles/leopard_baseline.dir/cobra_verifier.cc.o.d"
+  "CMakeFiles/leopard_baseline.dir/elle_checker.cc.o"
+  "CMakeFiles/leopard_baseline.dir/elle_checker.cc.o.d"
+  "libleopard_baseline.a"
+  "libleopard_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leopard_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

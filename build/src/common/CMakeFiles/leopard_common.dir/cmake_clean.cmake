@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leopard_common.dir/clock.cc.o"
+  "CMakeFiles/leopard_common.dir/clock.cc.o.d"
+  "CMakeFiles/leopard_common.dir/rng.cc.o"
+  "CMakeFiles/leopard_common.dir/rng.cc.o.d"
+  "CMakeFiles/leopard_common.dir/status.cc.o"
+  "CMakeFiles/leopard_common.dir/status.cc.o.d"
+  "libleopard_common.a"
+  "libleopard_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leopard_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leopard_harness.dir/executor.cc.o"
+  "CMakeFiles/leopard_harness.dir/executor.cc.o.d"
+  "CMakeFiles/leopard_harness.dir/online_verifier.cc.o"
+  "CMakeFiles/leopard_harness.dir/online_verifier.cc.o.d"
+  "CMakeFiles/leopard_harness.dir/sim_runner.cc.o"
+  "CMakeFiles/leopard_harness.dir/sim_runner.cc.o.d"
+  "CMakeFiles/leopard_harness.dir/thread_runner.cc.o"
+  "CMakeFiles/leopard_harness.dir/thread_runner.cc.o.d"
+  "libleopard_harness.a"
+  "libleopard_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leopard_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

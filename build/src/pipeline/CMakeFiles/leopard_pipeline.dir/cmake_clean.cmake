@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leopard_pipeline.dir/two_level_pipeline.cc.o"
+  "CMakeFiles/leopard_pipeline.dir/two_level_pipeline.cc.o.d"
+  "libleopard_pipeline.a"
+  "libleopard_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leopard_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leopard_trace.dir/trace.cc.o"
+  "CMakeFiles/leopard_trace.dir/trace.cc.o.d"
+  "CMakeFiles/leopard_trace.dir/trace_io.cc.o"
+  "CMakeFiles/leopard_trace.dir/trace_io.cc.o.d"
+  "libleopard_trace.a"
+  "libleopard_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leopard_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

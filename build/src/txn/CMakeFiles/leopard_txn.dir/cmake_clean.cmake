@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leopard_txn.dir/database.cc.o"
+  "CMakeFiles/leopard_txn.dir/database.cc.o.d"
+  "CMakeFiles/leopard_txn.dir/lock_manager.cc.o"
+  "CMakeFiles/leopard_txn.dir/lock_manager.cc.o.d"
+  "CMakeFiles/leopard_txn.dir/version_store.cc.o"
+  "CMakeFiles/leopard_txn.dir/version_store.cc.o.d"
+  "libleopard_txn.a"
+  "libleopard_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leopard_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

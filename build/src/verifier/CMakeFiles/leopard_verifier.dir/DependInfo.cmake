@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verifier/bug.cc" "src/verifier/CMakeFiles/leopard_verifier.dir/bug.cc.o" "gcc" "src/verifier/CMakeFiles/leopard_verifier.dir/bug.cc.o.d"
+  "/root/repo/src/verifier/cr_procedure.cc" "src/verifier/CMakeFiles/leopard_verifier.dir/cr_procedure.cc.o" "gcc" "src/verifier/CMakeFiles/leopard_verifier.dir/cr_procedure.cc.o.d"
+  "/root/repo/src/verifier/dependency_graph.cc" "src/verifier/CMakeFiles/leopard_verifier.dir/dependency_graph.cc.o" "gcc" "src/verifier/CMakeFiles/leopard_verifier.dir/dependency_graph.cc.o.d"
+  "/root/repo/src/verifier/fuw_procedure.cc" "src/verifier/CMakeFiles/leopard_verifier.dir/fuw_procedure.cc.o" "gcc" "src/verifier/CMakeFiles/leopard_verifier.dir/fuw_procedure.cc.o.d"
+  "/root/repo/src/verifier/leopard.cc" "src/verifier/CMakeFiles/leopard_verifier.dir/leopard.cc.o" "gcc" "src/verifier/CMakeFiles/leopard_verifier.dir/leopard.cc.o.d"
+  "/root/repo/src/verifier/lock_table.cc" "src/verifier/CMakeFiles/leopard_verifier.dir/lock_table.cc.o" "gcc" "src/verifier/CMakeFiles/leopard_verifier.dir/lock_table.cc.o.d"
+  "/root/repo/src/verifier/me_procedure.cc" "src/verifier/CMakeFiles/leopard_verifier.dir/me_procedure.cc.o" "gcc" "src/verifier/CMakeFiles/leopard_verifier.dir/me_procedure.cc.o.d"
+  "/root/repo/src/verifier/mechanism_table.cc" "src/verifier/CMakeFiles/leopard_verifier.dir/mechanism_table.cc.o" "gcc" "src/verifier/CMakeFiles/leopard_verifier.dir/mechanism_table.cc.o.d"
+  "/root/repo/src/verifier/overlap_stats.cc" "src/verifier/CMakeFiles/leopard_verifier.dir/overlap_stats.cc.o" "gcc" "src/verifier/CMakeFiles/leopard_verifier.dir/overlap_stats.cc.o.d"
+  "/root/repo/src/verifier/version_order.cc" "src/verifier/CMakeFiles/leopard_verifier.dir/version_order.cc.o" "gcc" "src/verifier/CMakeFiles/leopard_verifier.dir/version_order.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/txn/CMakeFiles/leopard_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/leopard_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/leopard_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leopard_verifier.dir/bug.cc.o"
+  "CMakeFiles/leopard_verifier.dir/bug.cc.o.d"
+  "CMakeFiles/leopard_verifier.dir/cr_procedure.cc.o"
+  "CMakeFiles/leopard_verifier.dir/cr_procedure.cc.o.d"
+  "CMakeFiles/leopard_verifier.dir/dependency_graph.cc.o"
+  "CMakeFiles/leopard_verifier.dir/dependency_graph.cc.o.d"
+  "CMakeFiles/leopard_verifier.dir/fuw_procedure.cc.o"
+  "CMakeFiles/leopard_verifier.dir/fuw_procedure.cc.o.d"
+  "CMakeFiles/leopard_verifier.dir/leopard.cc.o"
+  "CMakeFiles/leopard_verifier.dir/leopard.cc.o.d"
+  "CMakeFiles/leopard_verifier.dir/lock_table.cc.o"
+  "CMakeFiles/leopard_verifier.dir/lock_table.cc.o.d"
+  "CMakeFiles/leopard_verifier.dir/me_procedure.cc.o"
+  "CMakeFiles/leopard_verifier.dir/me_procedure.cc.o.d"
+  "CMakeFiles/leopard_verifier.dir/mechanism_table.cc.o"
+  "CMakeFiles/leopard_verifier.dir/mechanism_table.cc.o.d"
+  "CMakeFiles/leopard_verifier.dir/overlap_stats.cc.o"
+  "CMakeFiles/leopard_verifier.dir/overlap_stats.cc.o.d"
+  "CMakeFiles/leopard_verifier.dir/version_order.cc.o"
+  "CMakeFiles/leopard_verifier.dir/version_order.cc.o.d"
+  "libleopard_verifier.a"
+  "libleopard_verifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leopard_verifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

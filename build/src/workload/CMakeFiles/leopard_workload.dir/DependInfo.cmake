@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/blindw.cc" "src/workload/CMakeFiles/leopard_workload.dir/blindw.cc.o" "gcc" "src/workload/CMakeFiles/leopard_workload.dir/blindw.cc.o.d"
+  "/root/repo/src/workload/ledger.cc" "src/workload/CMakeFiles/leopard_workload.dir/ledger.cc.o" "gcc" "src/workload/CMakeFiles/leopard_workload.dir/ledger.cc.o.d"
+  "/root/repo/src/workload/smallbank.cc" "src/workload/CMakeFiles/leopard_workload.dir/smallbank.cc.o" "gcc" "src/workload/CMakeFiles/leopard_workload.dir/smallbank.cc.o.d"
+  "/root/repo/src/workload/tpcc.cc" "src/workload/CMakeFiles/leopard_workload.dir/tpcc.cc.o" "gcc" "src/workload/CMakeFiles/leopard_workload.dir/tpcc.cc.o.d"
+  "/root/repo/src/workload/ycsb.cc" "src/workload/CMakeFiles/leopard_workload.dir/ycsb.cc.o" "gcc" "src/workload/CMakeFiles/leopard_workload.dir/ycsb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/leopard_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/leopard_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leopard_workload.dir/blindw.cc.o"
+  "CMakeFiles/leopard_workload.dir/blindw.cc.o.d"
+  "CMakeFiles/leopard_workload.dir/ledger.cc.o"
+  "CMakeFiles/leopard_workload.dir/ledger.cc.o.d"
+  "CMakeFiles/leopard_workload.dir/smallbank.cc.o"
+  "CMakeFiles/leopard_workload.dir/smallbank.cc.o.d"
+  "CMakeFiles/leopard_workload.dir/tpcc.cc.o"
+  "CMakeFiles/leopard_workload.dir/tpcc.cc.o.d"
+  "CMakeFiles/leopard_workload.dir/ycsb.cc.o"
+  "CMakeFiles/leopard_workload.dir/ycsb.cc.o.d"
+  "libleopard_workload.a"
+  "libleopard_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leopard_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

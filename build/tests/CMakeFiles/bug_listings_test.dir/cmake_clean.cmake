@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bug_listings_test.dir/bug_listings_test.cc.o"
+  "CMakeFiles/bug_listings_test.dir/bug_listings_test.cc.o.d"
+  "bug_listings_test"
+  "bug_listings_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bug_listings_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

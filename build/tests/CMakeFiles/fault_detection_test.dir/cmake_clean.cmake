@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_detection_test.dir/fault_detection_test.cc.o"
+  "CMakeFiles/fault_detection_test.dir/fault_detection_test.cc.o.d"
+  "fault_detection_test"
+  "fault_detection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_detection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_history_test.dir/fuzz_history_test.cc.o"
+  "CMakeFiles/fuzz_history_test.dir/fuzz_history_test.cc.o.d"
+  "fuzz_history_test"
+  "fuzz_history_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_history_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leopard_verifier_test.dir/leopard_verifier_test.cc.o"
+  "CMakeFiles/leopard_verifier_test.dir/leopard_verifier_test.cc.o.d"
+  "leopard_verifier_test"
+  "leopard_verifier_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leopard_verifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

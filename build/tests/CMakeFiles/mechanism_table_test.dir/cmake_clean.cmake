@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mechanism_table_test.dir/mechanism_table_test.cc.o"
+  "CMakeFiles/mechanism_table_test.dir/mechanism_table_test.cc.o.d"
+  "mechanism_table_test"
+  "mechanism_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mechanism_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

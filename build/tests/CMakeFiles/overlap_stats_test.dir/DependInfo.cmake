@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/overlap_stats_test.cc" "tests/CMakeFiles/overlap_stats_test.dir/overlap_stats_test.cc.o" "gcc" "tests/CMakeFiles/overlap_stats_test.dir/overlap_stats_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/leopard_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/verifier/CMakeFiles/leopard_verifier.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/leopard_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/leopard_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/leopard_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/leopard_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/leopard_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/leopard_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

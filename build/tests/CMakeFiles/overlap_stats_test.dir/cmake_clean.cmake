@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlap_stats_test.dir/overlap_stats_test.cc.o"
+  "CMakeFiles/overlap_stats_test.dir/overlap_stats_test.cc.o.d"
+  "overlap_stats_test"
+  "overlap_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlap_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlite_adapter_test.dir/sqlite_adapter_test.cc.o"
+  "CMakeFiles/sqlite_adapter_test.dir/sqlite_adapter_test.cc.o.d"
+  "sqlite_adapter_test"
+  "sqlite_adapter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlite_adapter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

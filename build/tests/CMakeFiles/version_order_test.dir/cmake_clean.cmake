@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/version_order_test.dir/version_order_test.cc.o"
+  "CMakeFiles/version_order_test.dir/version_order_test.cc.o.d"
+  "version_order_test"
+  "version_order_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/version_order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leopard_cli.dir/leopard_cli.cc.o"
+  "CMakeFiles/leopard_cli.dir/leopard_cli.cc.o.d"
+  "leopard"
+  "leopard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leopard_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
