@@ -124,5 +124,6 @@ int main() {
   AblationGc();
   AblationCertifier();
   AblationSkew();
+  DropBenchMetrics("bench_ablation");
   return 0;
 }

@@ -94,5 +94,6 @@ int main() {
   std::printf("\nPaper shape: Leopard linear in txn scale and length, "
               "decreasing with client scale (aborted txns verify for "
               "free); naive cycle search superlinear and far slower.\n");
+  DropBenchMetrics("bench_fig11_verification");
   return 0;
 }

@@ -74,5 +74,6 @@ int main() {
   std::printf("\nPaper shape: Leopard's verification throughput matches or "
               "exceeds the DBMS's transaction throughput, with the largest "
               "headroom on the complex TPC-C logic.\n");
+  DropBenchMetrics("bench_fig12_throughput");
   return 0;
 }

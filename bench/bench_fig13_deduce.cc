@@ -84,5 +84,6 @@ int main() {
   std::printf("\nPaper shape: beta is small everywhere; BlindW overlaps are "
               "fully deduced (unique values), while SmallBank (duplicate "
               "amalgamate zeros) keeps a residue of uncertain wr pairs.\n");
+  DropBenchMetrics("bench_fig13_deduce");
   return 0;
 }

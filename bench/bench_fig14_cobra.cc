@@ -89,5 +89,6 @@ int main() {
   std::printf("\nPaper shape: Leopard linear and fastest; Cobra w/o GC "
               "superlinear in time with history-sized memory; Cobra with "
               "fence GC trades even more time for lower memory.\n");
+  DropBenchMetrics("bench_fig14_cobra");
   return 0;
 }

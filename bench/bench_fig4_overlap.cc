@@ -85,5 +85,6 @@ int main() {
 
   std::printf("\nPaper shape: beta rises with skew and client scale, falls "
               "with read ratio, and stays small throughout.\n");
+  DropBenchMetrics("bench_fig4_overlap");
   return 0;
 }

@@ -47,9 +47,16 @@ OnlineRow RunOnce(Workload* workload, uint64_t txns) {
     Database::Options dbo;
     dbo.lock_wait = LockWaitPolicy::kWaitDie;
     Database db(dbo);
+    // Full instrumentation including background progress sampling (prints
+    // suppressed — the sampled series land in the bench metrics file).
+    OnlineVerifier::ObsOptions oo;
+    oo.metrics = BenchRegistry();
+    oo.progress_interval_ms = oo.metrics != nullptr ? 200 : 0;
+    oo.print_progress = false;
     OnlineVerifier online(to.threads,
                           ConfigForMiniDb(Protocol::kMvcc2plSsi,
-                                          IsolationLevel::kSerializable));
+                                          IsolationLevel::kSerializable),
+                          oo);
     to.on_trace = [&online](ClientId client, const Trace& trace) {
       online.Push(client, Trace(trace));
     };
@@ -100,5 +107,6 @@ int main() {
   std::printf("\nExpected: attaching the live verifier costs little "
               "workload throughput, and the residual drain after the last "
               "transaction is near zero — verification keeps pace.\n");
+  DropBenchMetrics("bench_online");
   return 0;
 }

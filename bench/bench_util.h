@@ -3,11 +3,14 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "harness/sim_runner.h"
+#include "obs/export.h"
+#include "obs/registry.h"
 #include "pipeline/two_level_pipeline.h"
 #include "trace/trace.h"
 #include "txn/database.h"
@@ -72,6 +75,37 @@ inline SimOptions ContendedSimOptions(uint32_t clients, uint64_t txns,
   return so;
 }
 
+/// Registry shared by all verification runs of one bench binary. Latency
+/// histograms and pipeline counters accumulate across configurations;
+/// mirrored verifier.* counters reflect the most recently synced verifier.
+/// Returns nullptr when the environment sets LEOPARD_BENCH_METRICS=0, so an
+/// A/B pair of runs quantifies the instrumentation overhead itself.
+inline obs::MetricsRegistry* BenchRegistry() {
+  static const bool disabled = [] {
+    const char* v = std::getenv("LEOPARD_BENCH_METRICS");
+    return v != nullptr && v[0] == '0';
+  }();
+  static obs::MetricsRegistry registry;
+  return disabled ? nullptr : &registry;
+}
+
+/// Exports the bench registry as leopard_metrics_<bench_name>.json in
+/// $LEOPARD_METRICS_DIR (default: working directory). Call at the end of a
+/// bench main(); no-op when metrics are disabled.
+inline void DropBenchMetrics(const std::string& bench_name) {
+  obs::MetricsRegistry* registry = BenchRegistry();
+  if (registry == nullptr) return;
+  const char* dir = std::getenv("LEOPARD_METRICS_DIR");
+  std::string path = std::string(dir != nullptr ? dir : ".") +
+                     "/leopard_metrics_" + bench_name + ".json";
+  Status s = obs::WriteMetricsFile(*registry, path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "metrics export failed: %s\n", s.ToString().c_str());
+    return;
+  }
+  std::printf("metrics: %s\n", path.c_str());
+}
+
 struct VerifyOutcome {
   double seconds = 0;
   size_t peak_memory = 0;
@@ -80,12 +114,18 @@ struct VerifyOutcome {
 };
 
 /// Feeds a run's traces through the two-level pipeline into `verifier`,
-/// measuring wall time and (sampled) peak verifier memory.
-inline VerifyOutcome VerifyWithLeopard(const RunResult& run,
-                                       const VerifierConfig& config) {
+/// measuring wall time and (sampled) peak verifier memory. Instrumented via
+/// the bench registry by default; pass nullptr to measure bare.
+inline VerifyOutcome VerifyWithLeopard(
+    const RunResult& run, const VerifierConfig& config,
+    obs::MetricsRegistry* metrics = BenchRegistry()) {
   Leopard verifier(config);
   TwoLevelPipeline pipeline(
       static_cast<uint32_t>(run.client_traces.size()));
+  if (metrics != nullptr) {
+    verifier.AttachMetrics(metrics);
+    pipeline.AttachMetrics(metrics);
+  }
   VerifyOutcome out;
   Stopwatch timer;
   for (ClientId c = 0; c < run.client_traces.size(); ++c) {

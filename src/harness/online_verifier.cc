@@ -4,11 +4,35 @@ namespace leopard {
 
 OnlineVerifier::OnlineVerifier(uint32_t n_clients,
                                const VerifierConfig& config)
+    : OnlineVerifier(n_clients, config, ObsOptions()) {}
+
+OnlineVerifier::OnlineVerifier(uint32_t n_clients,
+                               const VerifierConfig& config,
+                               const ObsOptions& obs_options)
     : pipeline_(n_clients),
       verifier_(config),
       n_clients_(n_clients),
       open_clients_(n_clients),
-      worker_([this] { Loop(); }) {}
+      metrics_(obs_options.metrics),
+      worker_([this] { Loop(); }) {
+  if (metrics_ != nullptr) {
+    {
+      // The worker thread is already running; attach under the lock so it
+      // never observes half-initialized metric handles.
+      std::lock_guard<std::mutex> lock(mu_);
+      pipeline_.AttachMetrics(metrics_, obs_options.span_sample_every);
+      verifier_.AttachMetrics(metrics_, obs_options.span_sample_every);
+    }
+    if (obs_options.progress_interval_ms > 0) {
+      obs::ProgressReporter::Options po;
+      po.interval_ms = obs_options.progress_interval_ms;
+      po.print = obs_options.print_progress;
+      po.registry = metrics_;
+      reporter_ = std::make_unique<obs::ProgressReporter>(
+          po, [this] { return SampleProgress(); });
+    }
+  }
+}
 
 OnlineVerifier::~OnlineVerifier() {
   {
@@ -21,6 +45,19 @@ OnlineVerifier::~OnlineVerifier() {
   producer_cv_.notify_one();
   Wait();
   worker_.join();
+  // Stop after the worker: the final reporter sample then reflects the
+  // fully-drained state.
+  if (reporter_ != nullptr) reporter_->Stop();
+}
+
+obs::ProgressSnapshot OnlineVerifier::SampleProgress() const {
+  // Everything here is an atomic read: verified_ directly, the rest via the
+  // registry counters the verifier thread mirrors its stats into. The
+  // verifier thread is never blocked by a progress tick.
+  obs::ProgressSnapshot s = obs::SnapshotFromRegistry(*metrics_);
+  // The stats mirror refreshes every few traces; our own atomic is exact.
+  s.verified = verified_.load(std::memory_order_relaxed);
+  return s;
 }
 
 void OnlineVerifier::Push(ClientId client, Trace trace) {
@@ -46,11 +83,6 @@ const Leopard& OnlineVerifier::Wait() {
   return verifier_;
 }
 
-uint64_t OnlineVerifier::verified_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return verified_;
-}
-
 void OnlineVerifier::Loop() {
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
@@ -59,7 +91,7 @@ void OnlineVerifier::Loop() {
     // contend for the short Push critical section.
     while (auto trace = pipeline_.Dispatch()) {
       verifier_.Process(*trace);
-      ++verified_;
+      verified_.fetch_add(1, std::memory_order_relaxed);
     }
     if (open_clients_ == 0 && pipeline_.Exhausted()) break;
     producer_cv_.wait(lock);

@@ -1,10 +1,14 @@
 #ifndef LEOPARD_HARNESS_ONLINE_VERIFIER_H_
 #define LEOPARD_HARNESS_ONLINE_VERIFIER_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <thread>
 
+#include "obs/progress.h"
+#include "obs/registry.h"
 #include "pipeline/two_level_pipeline.h"
 #include "verifier/leopard.h"
 
@@ -18,9 +22,29 @@ namespace leopard {
 /// Thread-safety: Push/Close may be called concurrently from any number of
 /// producer threads; the verifier thread owns Dispatch and the Leopard
 /// instance. Wait() blocks until every pushed trace has been verified.
+///
+/// With ObsOptions the verifier instruments itself into a MetricsRegistry
+/// (per-mechanism latency histograms, pipeline queue depth) and can run a
+/// background progress reporter emitting throughput, queue depth, the
+/// uncertain-dependency ratio β and violation counts at a configurable
+/// interval — all from atomics, never contending with the verifier thread.
 class OnlineVerifier {
  public:
+  struct ObsOptions {
+    /// Not owned; must outlive the OnlineVerifier. nullptr disables all
+    /// instrumentation.
+    obs::MetricsRegistry* metrics = nullptr;
+    /// 0 disables the background progress reporter.
+    uint64_t progress_interval_ms = 0;
+    /// Print a human-readable progress line on each reporter tick.
+    bool print_progress = true;
+    /// One trace in N pays for latency-span clock reads (1 = time all).
+    uint32_t span_sample_every = 16;
+  };
+
   OnlineVerifier(uint32_t n_clients, const VerifierConfig& config);
+  OnlineVerifier(uint32_t n_clients, const VerifierConfig& config,
+                 const ObsOptions& obs_options);
   ~OnlineVerifier();
   OnlineVerifier(const OnlineVerifier&) = delete;
   OnlineVerifier& operator=(const OnlineVerifier&) = delete;
@@ -35,22 +59,29 @@ class OnlineVerifier {
   /// been closed), then returns the final verifier.
   const Leopard& Wait();
 
-  /// Traces verified so far (approximate while running).
-  uint64_t verified_count() const;
+  /// Traces verified so far (approximate while running). Lock-free: safe to
+  /// poll at any rate without contending with the verifier thread.
+  uint64_t verified_count() const {
+    return verified_.load(std::memory_order_relaxed);
+  }
+  bool verified_count_is_lock_free() const { return verified_.is_lock_free(); }
 
  private:
   void Loop();
+  obs::ProgressSnapshot SampleProgress() const;
 
   mutable std::mutex mu_;
   std::condition_variable producer_cv_;  // signals: new input available
   std::condition_variable done_cv_;      // signals: verification finished
   TwoLevelPipeline pipeline_;
   Leopard verifier_;
-  uint64_t verified_ = 0;
+  std::atomic<uint64_t> verified_{0};
   uint32_t n_clients_;
   uint32_t open_clients_;
   bool finished_ = false;
+  obs::MetricsRegistry* metrics_ = nullptr;  // not owned
   std::thread worker_;
+  std::unique_ptr<obs::ProgressReporter> reporter_;
 };
 
 }  // namespace leopard

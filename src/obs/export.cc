@@ -1,0 +1,170 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace leopard {
+namespace obs {
+
+namespace {
+
+/// Metric names are dotted identifiers, but escape defensively so the
+/// output stays valid JSON whatever callers register.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonDouble(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsToJson(const MetricsRegistry& registry) {
+  std::ostringstream os;
+  os << "{\n";
+
+  os << "  \"counters\": {";
+  bool first = true;
+  registry.VisitCounters([&](const std::string& name, const Counter& c) {
+    os << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name)
+       << "\": " << c.Value();
+    first = false;
+  });
+  os << (first ? "" : "\n  ") << "},\n";
+
+  os << "  \"gauges\": {";
+  first = true;
+  registry.VisitGauges([&](const std::string& name, const Gauge& g) {
+    os << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name)
+       << "\": {\"value\": " << g.Value() << ", \"max\": " << g.Max() << "}";
+    first = false;
+  });
+  os << (first ? "" : "\n  ") << "},\n";
+
+  os << "  \"histograms\": {";
+  first = true;
+  registry.VisitHistograms([&](const std::string& name, const Histogram& h) {
+    Histogram::Snapshot s = h.Snap();
+    os << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name) << "\": {"
+       << "\"count\": " << s.count << ", \"sum_ns\": " << s.sum_ns
+       << ", \"min_ns\": " << s.min_ns << ", \"max_ns\": " << s.max_ns
+       << ", \"mean_ns\": " << JsonDouble(h.MeanNs())
+       << ", \"p50_ns\": " << JsonDouble(h.PercentileNs(50))
+       << ", \"p95_ns\": " << JsonDouble(h.PercentileNs(95))
+       << ", \"p99_ns\": " << JsonDouble(h.PercentileNs(99))
+       << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      if (s.buckets[i] == 0) continue;
+      if (!first_bucket) os << ", ";
+      os << "[" << Histogram::BucketLowerNs(i) << ", " << s.buckets[i] << "]";
+      first_bucket = false;
+    }
+    os << "]}";
+    first = false;
+  });
+  os << (first ? "" : "\n  ") << "},\n";
+
+  os << "  \"series\": {";
+  first = true;
+  registry.VisitSeries([&](const std::string& name, const Series& series) {
+    os << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name) << "\": [";
+    bool first_point = true;
+    for (const Series::Point& p : series.Snap()) {
+      if (!first_point) os << ", ";
+      os << "[" << p.t_ns << ", " << JsonDouble(p.value) << "]";
+      first_point = false;
+    }
+    os << "]";
+    first = false;
+  });
+  os << (first ? "" : "\n  ") << "}\n";
+
+  os << "}\n";
+  return os.str();
+}
+
+std::string MetricsToCsv(const MetricsRegistry& registry) {
+  std::ostringstream os;
+  os << "type,name,field,value\n";
+  registry.VisitCounters([&](const std::string& name, const Counter& c) {
+    os << "counter," << name << ",value," << c.Value() << "\n";
+  });
+  registry.VisitGauges([&](const std::string& name, const Gauge& g) {
+    os << "gauge," << name << ",value," << g.Value() << "\n";
+    os << "gauge," << name << ",max," << g.Max() << "\n";
+  });
+  registry.VisitHistograms([&](const std::string& name, const Histogram& h) {
+    Histogram::Snapshot s = h.Snap();
+    os << "histogram," << name << ",count," << s.count << "\n";
+    os << "histogram," << name << ",sum_ns," << s.sum_ns << "\n";
+    os << "histogram," << name << ",min_ns," << s.min_ns << "\n";
+    os << "histogram," << name << ",max_ns," << s.max_ns << "\n";
+    os << "histogram," << name << ",mean_ns," << JsonDouble(h.MeanNs())
+       << "\n";
+    os << "histogram," << name << ",p50_ns," << JsonDouble(h.PercentileNs(50))
+       << "\n";
+    os << "histogram," << name << ",p95_ns," << JsonDouble(h.PercentileNs(95))
+       << "\n";
+    os << "histogram," << name << ",p99_ns," << JsonDouble(h.PercentileNs(99))
+       << "\n";
+  });
+  registry.VisitSeries([&](const std::string& name, const Series& series) {
+    for (const Series::Point& p : series.Snap()) {
+      os << "series," << name << ",t" << p.t_ns << ","
+         << JsonDouble(p.value) << "\n";
+    }
+  });
+  return os.str();
+}
+
+Status WriteMetricsFile(const MetricsRegistry& registry,
+                        const std::string& path) {
+  bool csv = path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  std::string body = csv ? MetricsToCsv(registry) : MetricsToJson(registry);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open metrics file " + path);
+  }
+  size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  int rc = std::fclose(f);
+  if (written != body.size() || rc != 0) {
+    return Status::Internal("short write to metrics file " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace obs
+}  // namespace leopard

@@ -1,0 +1,40 @@
+#ifndef LEOPARD_OBS_EXPORT_H_
+#define LEOPARD_OBS_EXPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/registry.h"
+
+namespace leopard {
+namespace obs {
+
+/// Serializes the registry as a single JSON object:
+///
+///   {
+///     "counters":   { "<name>": <value>, ... },
+///     "gauges":     { "<name>": {"value": v, "max": m}, ... },
+///     "histograms": { "<name>": {"count":, "sum_ns":, "min_ns":, "max_ns":,
+///                                "mean_ns":, "p50_ns":, "p95_ns":, "p99_ns":,
+///                                "buckets": [[lower_ns, count], ...]}, ... },
+///     "series":     { "<name>": [[t_ns, value], ...], ... }
+///   }
+///
+/// Bucket lists contain only non-empty buckets, keyed by the bucket's
+/// inclusive lower bound in nanoseconds.
+std::string MetricsToJson(const MetricsRegistry& registry);
+
+/// Flat CSV with header `type,name,field,value` — one row per exported
+/// scalar (histograms expand to count/sum/min/max/mean/p50/p95/p99 rows,
+/// series to one row per sample with field "t<t_ns>").
+std::string MetricsToCsv(const MetricsRegistry& registry);
+
+/// Writes the registry to `path`: CSV when the path ends in ".csv",
+/// JSON otherwise.
+Status WriteMetricsFile(const MetricsRegistry& registry,
+                        const std::string& path);
+
+}  // namespace obs
+}  // namespace leopard
+
+#endif  // LEOPARD_OBS_EXPORT_H_

@@ -1,0 +1,80 @@
+#ifndef LEOPARD_OBS_PROGRESS_H_
+#define LEOPARD_OBS_PROGRESS_H_
+
+#include <condition_variable>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/registry.h"
+
+namespace leopard {
+namespace obs {
+
+/// What the live verifier looks like right now. Produced by a caller-supplied
+/// sampler at each reporting tick; every field must be safe to read
+/// concurrently with the verifier thread (atomics or registry metrics).
+struct ProgressSnapshot {
+  uint64_t verified = 0;     ///< traces verified so far
+  int64_t queue_depth = 0;   ///< traces buffered in the pipeline
+  uint64_t deps_total = 0;   ///< dependencies examined
+  uint64_t overlapped = 0;   ///< interval-overlapped dependencies (β num.)
+  uint64_t uncertain = 0;    ///< still-uncertain dependencies
+  uint64_t violations = 0;   ///< total violations across mechanisms
+};
+
+/// Builds a snapshot from the standard metric names every instrumented
+/// verifier maintains — "pipeline.queue_depth" plus the "verifier.*"
+/// counters mirrored by Leopard::SyncStatsToMetrics(). All reads are
+/// atomic; safe to call from any thread while verification runs.
+ProgressSnapshot SnapshotFromRegistry(MetricsRegistry& registry);
+
+/// Background progress reporter for online verification: every
+/// `interval_ms` it pulls a ProgressSnapshot, derives throughput from the
+/// verified-count delta, appends the sample to `progress.*` series in the
+/// registry (when one is attached), and optionally prints a one-line status
+/// to `out`. Stop() (idempotent, also run by the destructor) takes one final
+/// sample so even sub-interval runs export at least one point.
+class ProgressReporter {
+ public:
+  struct Options {
+    uint64_t interval_ms = 1000;
+    bool print = true;
+    std::FILE* out = stderr;                 ///< not owned
+    MetricsRegistry* registry = nullptr;     ///< not owned; may be null
+    std::string series_prefix = "progress";
+  };
+
+  ProgressReporter(Options options,
+                   std::function<ProgressSnapshot()> sampler);
+  ~ProgressReporter();
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+  void Stop();
+
+  uint64_t ticks() const { return ticks_.Value(); }
+
+ private:
+  void Loop();
+  void Tick();
+
+  Options options_;
+  std::function<ProgressSnapshot()> sampler_;
+  Counter ticks_;
+  uint64_t last_verified_ = 0;
+  uint64_t last_tick_ns_ = 0;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace leopard
+
+#endif  // LEOPARD_OBS_PROGRESS_H_

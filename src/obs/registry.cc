@@ -1,0 +1,48 @@
+#include "obs/registry.h"
+
+namespace leopard {
+namespace obs {
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  return GetOrCreate(counters_, name, mu_);
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  return GetOrCreate(gauges_, name, mu_);
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name) {
+  return GetOrCreate(histograms_, name, mu_);
+}
+
+Series* MetricsRegistry::series(std::string_view name) {
+  return GetOrCreate(series_, name, mu_);
+}
+
+void MetricsRegistry::VisitCounters(
+    const std::function<void(const std::string&, const Counter&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, m] : counters_) fn(name, *m);
+}
+
+void MetricsRegistry::VisitGauges(
+    const std::function<void(const std::string&, const Gauge&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, m] : gauges_) fn(name, *m);
+}
+
+void MetricsRegistry::VisitHistograms(
+    const std::function<void(const std::string&, const Histogram&)>& fn)
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, m] : histograms_) fn(name, *m);
+}
+
+void MetricsRegistry::VisitSeries(
+    const std::function<void(const std::string&, const Series&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, m] : series_) fn(name, *m);
+}
+
+}  // namespace obs
+}  // namespace leopard

@@ -1,0 +1,72 @@
+#ifndef LEOPARD_OBS_REGISTRY_H_
+#define LEOPARD_OBS_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace leopard {
+namespace obs {
+
+/// Owns every metric of one run. Deliberately global-free: components are
+/// handed a registry pointer (or none, in which case they skip all
+/// instrumentation) and cache the metric pointers they need, so the mutex is
+/// only taken at registration/export time — never on a hot path.
+///
+/// Lookup is create-on-first-use: the same name always yields the same
+/// object, letting independent components (pipeline + progress reporter,
+/// say) share a metric by agreeing on its name. Names use dotted paths,
+/// e.g. "verifier.cr.verify_ns"; see docs/OBSERVABILITY.md for the catalog.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the metric registered under `name`, creating it on first use.
+  /// The returned pointer is stable for the registry's lifetime.
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Histogram* histogram(std::string_view name);
+  Series* series(std::string_view name);
+
+  /// Sorted visitation for exporters. The registry lock is held during the
+  /// sweep; callbacks must not register new metrics.
+  void VisitCounters(
+      const std::function<void(const std::string&, const Counter&)>& fn) const;
+  void VisitGauges(
+      const std::function<void(const std::string&, const Gauge&)>& fn) const;
+  void VisitHistograms(
+      const std::function<void(const std::string&, const Histogram&)>& fn)
+      const;
+  void VisitSeries(
+      const std::function<void(const std::string&, const Series&)>& fn) const;
+
+ private:
+  template <typename T>
+  static T* GetOrCreate(std::map<std::string, std::unique_ptr<T>>& table,
+                        std::string_view name, std::mutex& mu) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = table.find(std::string(name));
+    if (it == table.end()) {
+      it = table.emplace(std::string(name), std::make_unique<T>()).first;
+    }
+    return it->second.get();
+  }
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Series>> series_;
+};
+
+}  // namespace obs
+}  // namespace leopard
+
+#endif  // LEOPARD_OBS_REGISTRY_H_

@@ -1,0 +1,34 @@
+#ifndef LEOPARD_OBS_SPAN_H_
+#define LEOPARD_OBS_SPAN_H_
+
+#include "obs/metrics.h"
+
+namespace leopard {
+namespace obs {
+
+/// RAII timer: records the scope's wall duration into a histogram on
+/// destruction. Null-safe — a ScopedSpan over a nullptr histogram costs one
+/// branch and no clock read, so uninstrumented components keep their spans
+/// in place at effectively zero cost.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(Histogram* hist)
+      : hist_(hist), start_ns_(hist ? NowNs() : 0) {}
+  ~ScopedSpan() {
+    if (hist_ != nullptr) hist_->Record(NowNs() - start_ns_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Detaches the span: nothing is recorded at destruction.
+  void Cancel() { hist_ = nullptr; }
+
+ private:
+  Histogram* hist_;
+  uint64_t start_ns_;
+};
+
+}  // namespace obs
+}  // namespace leopard
+
+#endif  // LEOPARD_OBS_SPAN_H_

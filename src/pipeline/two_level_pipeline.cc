@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/span.h"
+
 namespace leopard {
 
 TwoLevelPipeline::TwoLevelPipeline(uint32_t n_clients, Options options)
@@ -11,12 +13,31 @@ TwoLevelPipeline::TwoLevelPipeline(uint32_t n_clients, Options options)
       closed_(n_clients, false),
       last_pushed_(n_clients, 0) {}
 
+void TwoLevelPipeline::AttachMetrics(obs::MetricsRegistry* registry,
+                                     uint32_t span_sample_every) {
+  span_sample_every_ = std::max(span_sample_every, 1u);
+  span_tick_ = 0;
+  if (registry == nullptr) {
+    dispatch_ns_ = nullptr;
+    dispatched_ctr_ = nullptr;
+    depth_gauge_ = nullptr;
+    return;
+  }
+  dispatch_ns_ = registry->histogram("pipeline.dispatch_ns");
+  dispatched_ctr_ = registry->counter("pipeline.dispatched");
+  depth_gauge_ = registry->gauge("pipeline.queue_depth");
+  depth_gauge_->Set(static_cast<int64_t>(buffered_traces_));
+}
+
 void TwoLevelPipeline::NoteBuffered() {
   stats_.max_buffered = std::max(stats_.max_buffered, buffered_traces_);
   stats_.max_buffered_bytes =
       std::max(stats_.max_buffered_bytes, buffered_bytes_);
   stats_.max_global_heap = std::max(stats_.max_global_heap, global_.size());
   stats_.max_global_bytes = std::max(stats_.max_global_bytes, heap_bytes_);
+  if (depth_gauge_ != nullptr) {
+    depth_gauge_->Set(static_cast<int64_t>(buffered_traces_));
+  }
 }
 
 void TwoLevelPipeline::Push(ClientId client, Trace trace) {
@@ -87,6 +108,12 @@ bool TwoLevelPipeline::FetchRound() {
 }
 
 std::optional<Trace> TwoLevelPipeline::Dispatch() {
+  obs::Histogram* sampled = nullptr;
+  if (dispatch_ns_ != nullptr && ++span_tick_ >= span_sample_every_) {
+    span_tick_ = 0;
+    sampled = dispatch_ns_;
+  }
+  obs::ScopedSpan span(sampled);
   while (true) {
     UpdateWatermark();
     if (!global_.empty() && global_.top().ts_bef() <= watermark_) {
@@ -96,11 +123,19 @@ std::optional<Trace> TwoLevelPipeline::Dispatch() {
       buffered_bytes_ -= std::min(buffered_bytes_, t.ApproxBytes());
       heap_bytes_ -= std::min(heap_bytes_, t.ApproxBytes());
       ++stats_.dispatched;
+      if (dispatched_ctr_ != nullptr) {
+        dispatched_ctr_->Inc();
+        depth_gauge_->Set(static_cast<int64_t>(buffered_traces_));
+      }
       return t;
     }
     // Cannot dispatch: pull more input into the heap, or report starvation
-    // when every local buffer is already drained.
-    if (!FetchRound()) return std::nullopt;
+    // when every local buffer is already drained. Starved calls are not
+    // dispatches — keep them out of the latency histogram.
+    if (!FetchRound()) {
+      span.Cancel();
+      return std::nullopt;
+    }
     NoteBuffered();
   }
 }

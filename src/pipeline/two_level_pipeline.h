@@ -7,6 +7,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/registry.h"
 #include "trace/trace.h"
 
 namespace leopard {
@@ -68,6 +69,18 @@ class TwoLevelPipeline {
   const Stats& stats() const { return stats_; }
   Timestamp watermark() const { return watermark_; }
 
+  /// Attaches observability: a pipeline.dispatch_ns histogram (time per
+  /// successful Dispatch call, including fetch rounds), a
+  /// pipeline.dispatched counter, and a pipeline.queue_depth gauge tracking
+  /// buffered traces (heap + locals) with its high-water mark. The gauge is
+  /// atomic, so a progress reporter may read it while a verifier thread
+  /// drives the pipeline. Dispatch timing is sampled — one call in
+  /// `span_sample_every` reads the clock (pass 1 to time every call);
+  /// counter and gauge are always exact. The registry must outlive the
+  /// pipeline; nullptr detaches.
+  void AttachMetrics(obs::MetricsRegistry* registry,
+                     uint32_t span_sample_every = 16);
+
  private:
   struct ByTsBef {
     bool operator()(const Trace& a, const Trace& b) const {
@@ -96,6 +109,12 @@ class TwoLevelPipeline {
   size_t buffered_bytes_ = 0;
   size_t heap_bytes_ = 0;
   Stats stats_;
+
+  obs::Histogram* dispatch_ns_ = nullptr;
+  obs::Counter* dispatched_ctr_ = nullptr;
+  obs::Gauge* depth_gauge_ = nullptr;
+  uint32_t span_sample_every_ = 16;
+  uint32_t span_tick_ = 0;
 };
 
 /// Baseline for Fig. 10: one big global min-heap with no local buffering —

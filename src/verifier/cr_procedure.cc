@@ -8,6 +8,8 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "obs/span.h"
+
 namespace leopard {
 
 void Leopard::InstallVersion(Key key, Value value, TxnId writer,
@@ -157,6 +159,7 @@ void Leopard::VerifyAbsence(Key key, const PendingRead& read) {
 }
 
 void Leopard::VerifyRead(const PendingRead& read) {
+  obs::ScopedSpan span(span_.cr_ns);
   for (Key key : read.absent_items) VerifyAbsence(key, read);
   for (const auto& item : read.items) {
     ++stats_.reads_verified;

@@ -7,9 +7,12 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "obs/span.h"
+
 namespace leopard {
 
 void Leopard::VerifyFuwAtCommit(TxnState& t) {
+  obs::ScopedSpan span(span_.fuw_ns);
   for (Key key : t.write_keys) {
     auto* list = versions_.Get(key);
     if (list == nullptr) continue;

@@ -4,15 +4,73 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "obs/span.h"
+
 namespace leopard {
 
 namespace {
 constexpr size_t kMaxStoredBugs = 10000;
+/// Traces between refreshes of the registry's VerifierStats mirror. Small
+/// enough that the progress reporter never reads stale totals, large enough
+/// that the ~20 relaxed stores amortize to noise per trace.
+constexpr uint64_t kStatsSyncEvery = 64;
 }  // namespace
 
 Leopard::Leopard(const VerifierConfig& config)
     : config_(config),
       graph_(config.certifier, config.check_real_time_order) {}
+
+void Leopard::AttachMetrics(obs::MetricsRegistry* registry,
+                            uint32_t span_sample_every) {
+  metrics_ = registry;
+  obs_ = ObsHandles();
+  span_ = ObsHandles();
+  span_sample_every_ = std::max(span_sample_every, 1u);
+  span_tick_ = 0;
+  stat_mirror_.clear();
+  if (registry == nullptr) return;
+  obs_.trace_ns = registry->histogram("verifier.trace_ns");
+  obs_.cr_ns = registry->histogram("verifier.cr.verify_ns");
+  obs_.me_ns = registry->histogram("verifier.me.verify_ns");
+  obs_.fuw_ns = registry->histogram("verifier.fuw.verify_ns");
+  obs_.sc_ns = registry->histogram("verifier.sc.certify_ns");
+  obs_.gc_ns = registry->histogram("verifier.gc.sweep_ns");
+  obs_.live_txns = registry->gauge("verifier.live_txns");
+  obs_.graph_nodes = registry->gauge("verifier.graph_nodes");
+  auto mirror = [&](const char* name, const uint64_t& field) {
+    stat_mirror_.emplace_back(registry->counter(name), &field);
+  };
+  mirror("verifier.traces_processed", stats_.traces_processed);
+  mirror("verifier.reads_verified", stats_.reads_verified);
+  mirror("verifier.versions_tracked", stats_.versions_tracked);
+  mirror("verifier.out_of_order_traces", stats_.out_of_order_traces);
+  mirror("verifier.deps_total", stats_.deps_total);
+  mirror("verifier.deps_deduced", stats_.deps_deduced);
+  mirror("verifier.overlapped_ww", stats_.overlapped_ww);
+  mirror("verifier.overlapped_wr", stats_.overlapped_wr);
+  mirror("verifier.overlapped_rw", stats_.overlapped_rw);
+  mirror("verifier.deduced_overlapped_ww", stats_.deduced_overlapped_ww);
+  mirror("verifier.deduced_overlapped_wr", stats_.deduced_overlapped_wr);
+  mirror("verifier.deduced_overlapped_rw", stats_.deduced_overlapped_rw);
+  mirror("verifier.uncertain_ww", stats_.uncertain_ww);
+  mirror("verifier.uncertain_wr", stats_.uncertain_wr);
+  mirror("verifier.violations.cr", stats_.cr_violations);
+  mirror("verifier.violations.me", stats_.me_violations);
+  mirror("verifier.violations.fuw", stats_.fuw_violations);
+  mirror("verifier.violations.sc", stats_.sc_violations);
+  mirror("verifier.gc.sweeps", stats_.gc_sweeps);
+  mirror("verifier.gc.pruned_versions", stats_.pruned_versions);
+  mirror("verifier.gc.pruned_locks", stats_.pruned_locks);
+  mirror("verifier.gc.pruned_txns", stats_.pruned_txns);
+  SyncStatsToMetrics();
+}
+
+void Leopard::SyncStatsToMetrics() {
+  if (metrics_ == nullptr) return;
+  for (auto& [counter, field] : stat_mirror_) counter->Store(*field);
+  obs_.live_txns->Set(static_cast<int64_t>(txns_.size()));
+  obs_.graph_nodes->Set(static_cast<int64_t>(graph_.NodeCount()));
+}
 
 Leopard::TxnState& Leopard::GetTxn(TxnId id,
                                    const TimeInterval& op_interval) {
@@ -52,33 +110,56 @@ void Leopard::ReportBug(BugType type, Key key, std::vector<TxnId> txns,
 }
 
 void Leopard::Process(const Trace& trace) {
-  if (trace.ts_bef() < frontier_) ++stats_.out_of_order_traces;
-  frontier_ = std::max(frontier_, trace.ts_bef());
-  FlushPendingReads();
-  ++stats_.traces_processed;
-  switch (trace.op) {
-    case OpType::kRead:
-      ProcessRead(trace);
-      break;
-    case OpType::kWrite:
-      ProcessWrite(trace);
-      break;
-    case OpType::kCommit:
-      ProcessTerminal(trace, /*committed=*/true);
-      break;
-    case OpType::kAbort:
-      ProcessTerminal(trace, /*committed=*/false);
-      break;
+  if (metrics_ != nullptr) {
+    // Span sampling: every Nth trace carries live span handles and pays for
+    // clock reads; the rest leave span_ null and cost one branch per site.
+    if (++span_tick_ >= span_sample_every_) {
+      span_tick_ = 0;
+      span_ = obs_;
+    } else {
+      span_ = ObsHandles();
+    }
   }
+  {
+    obs::ScopedSpan span(span_.trace_ns);
+    if (trace.ts_bef() < frontier_) ++stats_.out_of_order_traces;
+    frontier_ = std::max(frontier_, trace.ts_bef());
+    FlushPendingReads();
+    ++stats_.traces_processed;
+    switch (trace.op) {
+      case OpType::kRead:
+        ProcessRead(trace);
+        break;
+      case OpType::kWrite:
+        ProcessWrite(trace);
+        break;
+      case OpType::kCommit:
+        ProcessTerminal(trace, /*committed=*/true);
+        break;
+      case OpType::kAbort:
+        ProcessTerminal(trace, /*committed=*/false);
+        break;
+    }
+  }
+  // GC runs outside the trace span: gc_every is a multiple of typical span
+  // sample rates, so sweeps would land on sampled traces systematically and
+  // bias the trace_ns tail. Sweeps have their own exact histogram.
   ++traces_since_gc_;
   if (config_.enable_gc && traces_since_gc_ >= config_.gc_every) {
     MaybeGc();
+  }
+  // Mirror bookkeeping stays outside the trace span: it is instrumentation
+  // cost, not verification cost.
+  if (metrics_ != nullptr && ++traces_since_sync_ >= kStatsSyncEvery) {
+    traces_since_sync_ = 0;
+    SyncStatsToMetrics();
   }
 }
 
 void Leopard::Finish() {
   frontier_ = kMaxTimestamp;
   FlushPendingReads();
+  SyncStatsToMetrics();
 }
 
 
@@ -125,6 +206,7 @@ void Leopard::ProcessTerminal(const Trace& trace, bool committed) {
     t.pending.clear();
     for (const auto& e : pending) EmitEdge(e.from, e.to, e.type);
     if (config_.check_sc && config_.certifier == CertifierMode::kFullDfs) {
+      obs::ScopedSpan sc_span(span_.sc_ns);
       auto violation = graph_.FullCycleSearch();
       if (violation) {
         ReportBug(BugType::kScViolation, 0, {trace.txn}, *violation);
@@ -200,6 +282,7 @@ void Leopard::Deduce(TxnId from, TxnId to, DepType type) {
 }
 
 void Leopard::EmitEdge(TxnId from, TxnId to, DepType type) {
+  obs::ScopedSpan span(span_.sc_ns);
   // Re-check the far endpoint: an edge parked on `from` may find `to`
   // still active (park again) or aborted (drop).
   if (!graph_.HasNode(from) || !graph_.HasNode(to)) {
@@ -228,6 +311,7 @@ Timestamp Leopard::SafeTs() const {
 }
 
 void Leopard::MaybeGc() {
+  obs::ScopedSpan span(obs_.gc_ns);
   traces_since_gc_ = 0;
   ++stats_.gc_sweeps;
   Timestamp safe = SafeTs();

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/registry.h"
 #include "trace/trace.h"
 #include "txn/types.h"
 #include "verifier/bug.h"
@@ -59,6 +60,25 @@ class Leopard {
   const std::vector<BugDescriptor>& bugs() const { return bugs_; }
   const VerifierStats& stats() const { return stats_; }
   const VerifierConfig& config() const { return config_; }
+
+  /// Attaches observability: per-mechanism latency histograms
+  /// (verifier.{cr,me,fuw,sc}.*_ns), a whole-trace span, a GC-sweep span,
+  /// and a mirror of every VerifierStats counter under verifier.* so
+  /// concurrent readers (progress reporter, exporters) see the totals
+  /// without touching this single-threaded class. The mirror is refreshed
+  /// every few traces and on Finish(). Call before the first Process();
+  /// passing nullptr detaches. The registry must outlive the verifier.
+  ///
+  /// Latency spans are *sampled*: only one trace in `span_sample_every`
+  /// pays for clock reads (GC sweeps are always timed — they are rare and
+  /// heavy). Histograms therefore hold an unbiased sample of the latency
+  /// distribution, not one entry per event; pass 1 to time every trace.
+  void AttachMetrics(obs::MetricsRegistry* registry,
+                     uint32_t span_sample_every = 16);
+
+  /// Pushes the current VerifierStats into the attached registry now
+  /// (no-op when detached). Process()/Finish() call this automatically.
+  void SyncStatsToMetrics();
 
   /// Approximate live memory of all mirrored structures (Figs. 10/14).
   size_t ApproxMemoryBytes() const;
@@ -122,6 +142,19 @@ class Leopard {
   Timestamp SafeTs() const;
   void MaybeGc();
 
+  /// Cached metric handles; all nullptr when no registry is attached, which
+  /// reduces every instrumentation site to a pointer test.
+  struct ObsHandles {
+    obs::Histogram* trace_ns = nullptr;  ///< whole Process() call
+    obs::Histogram* cr_ns = nullptr;     ///< consistent-read verification
+    obs::Histogram* me_ns = nullptr;     ///< mutual-exclusion verification
+    obs::Histogram* fuw_ns = nullptr;    ///< first-updater-wins verification
+    obs::Histogram* sc_ns = nullptr;     ///< certifier edge insertion/search
+    obs::Histogram* gc_ns = nullptr;     ///< one GC sweep
+    obs::Gauge* live_txns = nullptr;
+    obs::Gauge* graph_nodes = nullptr;
+  };
+
   VerifierConfig config_;
   VersionOrderIndex versions_;
   MirrorLockTable locks_;
@@ -134,6 +167,17 @@ class Leopard {
   uint64_t traces_since_gc_ = 0;
   std::vector<BugDescriptor> bugs_;
   VerifierStats stats_;
+
+  obs::MetricsRegistry* metrics_ = nullptr;  ///< not owned
+  ObsHandles obs_;    ///< full handle set (null when detached)
+  /// Per-trace live span handles: equal to obs_ on sampled traces, all-null
+  /// otherwise, so procedure span sites cost one pointer test off-sample.
+  ObsHandles span_;
+  uint32_t span_sample_every_ = 16;
+  uint32_t span_tick_ = 0;
+  /// (mirror counter, VerifierStats field) pairs driven by SyncStatsToMetrics.
+  std::vector<std::pair<obs::Counter*, const uint64_t*>> stat_mirror_;
+  uint64_t traces_since_sync_ = 0;
 };
 
 }  // namespace leopard

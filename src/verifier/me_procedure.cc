@@ -7,9 +7,12 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "obs/span.h"
+
 namespace leopard {
 
 void Leopard::VerifyMeAtRelease(TxnState& t) {
+  obs::ScopedSpan span(span_.me_ns);
   bool i_committed = t.status == TxnStatus::kCommitted;
   auto eval_pair = [&](Key key, const LockRec& mine, const LockRec& other) {
     // Pick the incompatible mode combination to compare.

@@ -587,5 +587,51 @@ TEST(LeopardMemoryTest, ApproxBytesNonZero) {
   EXPECT_GT(leopard.ApproxMemoryBytes(), 0u);
 }
 
+TEST(LeopardStatsTest, OutOfOrderFeedIsCounted) {
+  Leopard leopard(PgSerializableConfig());
+  // Feed deliberately unsorted: the second trace's ts_bef is below the
+  // dispatch frontier established by the first.
+  leopard.Process(W(1, 100, 101, 1, 10));
+  leopard.Process(W(2, 50, 51, 2, 20));
+  leopard.Finish();
+  EXPECT_EQ(leopard.stats().out_of_order_traces, 1u);
+}
+
+TEST(LeopardStatsTest, InOrderFeedHasNoOutOfOrderTraces) {
+  Leopard leopard(PgSerializableConfig());
+  auto traces = LoadTraces();
+  traces.push_back(R(1, 10, 11, 1, 100));
+  traces.push_back(C(1, 14, 15));
+  Feed(leopard, traces);
+  EXPECT_EQ(leopard.stats().out_of_order_traces, 0u);
+}
+
+TEST(LeopardMetricsTest, AttachedRegistryMirrorsStatsAndTimesProcedures) {
+  obs::MetricsRegistry registry;
+  Leopard leopard(PgSerializableConfig());
+  leopard.AttachMetrics(&registry, /*span_sample_every=*/1);
+  auto traces = LoadTraces();
+  traces.push_back(R(1, 10, 11, 1, 100));
+  traces.push_back(W(1, 12, 13, 1, 101));
+  traces.push_back(C(1, 14, 15));
+  traces.push_back(R(2, 20, 21, 1, 101));
+  traces.push_back(C(2, 22, 23));
+  Feed(leopard, traces);
+  const VerifierStats& s = leopard.stats();
+  // Finish() syncs the mirror, so exported counters equal the struct.
+  EXPECT_EQ(registry.counter("verifier.traces_processed")->Value(),
+            s.traces_processed);
+  EXPECT_EQ(registry.counter("verifier.deps_total")->Value(), s.deps_total);
+  EXPECT_EQ(registry.counter("verifier.deps_deduced")->Value(),
+            s.deps_deduced);
+  EXPECT_EQ(registry.counter("verifier.violations.cr")->Value(),
+            s.cr_violations);
+  // Every Process() call is timed; reads also hit the CR procedure.
+  EXPECT_EQ(registry.histogram("verifier.trace_ns")->Count(),
+            s.traces_processed);
+  EXPECT_GT(registry.histogram("verifier.cr.verify_ns")->Count(), 0u);
+  EXPECT_GT(registry.histogram("verifier.me.verify_ns")->Count(), 0u);
+}
+
 }  // namespace
 }  // namespace leopard

@@ -1,0 +1,297 @@
+// Tests for the observability layer: counter/gauge/histogram semantics,
+// percentile extraction, concurrent recording, the registry, spans, the
+// exporters and the background progress reporter.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/registry.h"
+#include "obs/span.h"
+
+namespace leopard {
+namespace obs {
+namespace {
+
+TEST(CounterTest, IncAndStore) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Inc();
+  c.Inc(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Store(7);
+  EXPECT_EQ(c.Value(), 7u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAllLand) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(GaugeTest, SetAddAndHighWaterMark) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-4);
+  EXPECT_EQ(g.Value(), 6);
+  EXPECT_EQ(g.Max(), 10);
+  g.Set(25);
+  g.Set(3);
+  EXPECT_EQ(g.Value(), 3);
+  EXPECT_EQ(g.Max(), 25);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3);
+  EXPECT_EQ(Histogram::BucketIndex(UINT64_MAX), Histogram::kBuckets - 1);
+  for (int i = 1; i < Histogram::kBuckets - 1; ++i) {
+    // Every bucket's bounds round-trip through BucketIndex.
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketLowerNs(i)), i);
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketUpperNs(i) - 1), i);
+  }
+}
+
+TEST(HistogramTest, CountSumMinMaxMean) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.MinNs(), 0u);  // empty histogram reports 0, not UINT64_MAX
+  h.Record(100);
+  h.Record(300);
+  h.Record(200);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_EQ(h.SumNs(), 600u);
+  EXPECT_EQ(h.MinNs(), 100u);
+  EXPECT_EQ(h.MaxNs(), 300u);
+  EXPECT_DOUBLE_EQ(h.MeanNs(), 200.0);
+}
+
+TEST(HistogramTest, SingleValueReportsExactPercentiles) {
+  Histogram h;
+  h.Record(12345);
+  // Interpolation clamps to observed min/max, so one value is exact
+  // at every percentile.
+  EXPECT_DOUBLE_EQ(h.PercentileNs(50), 12345.0);
+  EXPECT_DOUBLE_EQ(h.PercentileNs(99), 12345.0);
+  EXPECT_DOUBLE_EQ(h.PercentileNs(0), 12345.0);
+  EXPECT_DOUBLE_EQ(h.PercentileNs(100), 12345.0);
+}
+
+TEST(HistogramTest, PercentilesOrderedAndWithinBucketBounds) {
+  Histogram h;
+  // 1000 samples spread over several buckets.
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  double p50 = h.PercentileNs(50);
+  double p95 = h.PercentileNs(95);
+  double p99 = h.PercentileNs(99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p99, 1000.0);
+  // p50 of uniform [1,1000] must land in the bucket containing rank 500,
+  // i.e. [256, 512).
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LT(p50, 512.0);
+}
+
+TEST(HistogramTest, ConcurrentRecordingLosesNothing) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<uint64_t>(t) * 1000 + 1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.Count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  Histogram::Snapshot snap = h.Snap();
+  uint64_t bucket_total = 0;
+  for (uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, h.Count());
+}
+
+TEST(SeriesTest, AppendAndSnapshot) {
+  Series s;
+  s.Append(10, 1.5);
+  s.Append(20, 2.5);
+  auto points = s.Snap();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].t_ns, 10u);
+  EXPECT_DOUBLE_EQ(points[1].value, 2.5);
+}
+
+TEST(RegistryTest, SameNameSameObject) {
+  MetricsRegistry reg;
+  Counter* a = reg.counter("x");
+  Counter* b = reg.counter("x");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(reg.counter("y"), a);
+  // Same name in different metric families are distinct objects.
+  reg.gauge("x")->Set(3);
+  EXPECT_EQ(reg.counter("x")->Value(), 0u);
+}
+
+TEST(RegistryTest, VisitationIsSorted) {
+  MetricsRegistry reg;
+  reg.counter("b.second");
+  reg.counter("a.first");
+  std::vector<std::string> names;
+  reg.VisitCounters(
+      [&names](const std::string& name, const Counter&) {
+        names.push_back(name);
+      });
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a.first");
+  EXPECT_EQ(names[1], "b.second");
+}
+
+TEST(ScopedSpanTest, RecordsElapsedOnDestruction) {
+  Histogram h;
+  { ScopedSpan span(&h); }
+  EXPECT_EQ(h.Count(), 1u);
+}
+
+TEST(ScopedSpanTest, NullHistogramAndCancelAreNoops) {
+  { ScopedSpan span(nullptr); }  // must not crash
+  Histogram h;
+  {
+    ScopedSpan span(&h);
+    span.Cancel();
+  }
+  EXPECT_EQ(h.Count(), 0u);
+}
+
+TEST(ExportTest, JsonContainsEveryMetricFamily) {
+  MetricsRegistry reg;
+  reg.counter("c.one")->Inc(5);
+  reg.gauge("g.depth")->Set(7);
+  reg.histogram("h.lat")->Record(1000);
+  reg.series("s.samples")->Append(1, 2.0);
+  std::string json = MetricsToJson(reg);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"c.one\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"g.depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"s.samples\""), std::string::npos);
+  // Balanced braces/brackets — a cheap well-formedness proxy.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(ExportTest, CsvHasHeaderAndScalarRows) {
+  MetricsRegistry reg;
+  reg.counter("c.one")->Inc(5);
+  reg.histogram("h.lat")->Record(1000);
+  std::string csv = MetricsToCsv(reg);
+  EXPECT_EQ(csv.rfind("type,name,field,value", 0), 0u);
+  EXPECT_NE(csv.find("counter,c.one,value,5"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,h.lat,count,1"), std::string::npos);
+}
+
+TEST(ExportTest, FileExtensionSelectsFormat) {
+  MetricsRegistry reg;
+  reg.counter("c")->Inc();
+  std::string json_path = testing::TempDir() + "/obs_test_metrics.json";
+  std::string csv_path = testing::TempDir() + "/obs_test_metrics.csv";
+  ASSERT_TRUE(WriteMetricsFile(reg, json_path).ok());
+  ASSERT_TRUE(WriteMetricsFile(reg, csv_path).ok());
+  auto slurp = [](const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    char buf[4096];
+    size_t n = std::fread(buf, 1, sizeof(buf), f);
+    std::fclose(f);
+    return std::string(buf, n);
+  };
+  EXPECT_EQ(slurp(json_path).front(), '{');
+  EXPECT_EQ(slurp(csv_path).rfind("type,name,field,value", 0), 0u);
+}
+
+TEST(ProgressReporterTest, FinalSampleAlwaysExported) {
+  MetricsRegistry reg;
+  ProgressReporter::Options po;
+  po.interval_ms = 60000;  // never fires on its own within the test
+  po.print = false;
+  po.registry = &reg;
+  {
+    ProgressReporter reporter(po, [] {
+      ProgressSnapshot s;
+      s.verified = 123;
+      return s;
+    });
+  }  // destructor stops and takes the final sample
+  auto points = reg.series("progress.verified")->Snap();
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_DOUBLE_EQ(points[0].value, 123.0);
+}
+
+TEST(ProgressReporterTest, PeriodicTicksAppendSeries) {
+  MetricsRegistry reg;
+  ProgressReporter::Options po;
+  po.interval_ms = 5;
+  po.print = false;
+  po.registry = &reg;
+  Counter verified;
+  ProgressReporter reporter(po, [&verified] {
+    verified.Inc(10);
+    ProgressSnapshot s;
+    s.verified = verified.Value();
+    s.deps_total = 100;
+    s.overlapped = 25;
+    return s;
+  });
+  while (reporter.ticks() < 3) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  reporter.Stop();
+  EXPECT_GE(reg.series("progress.verified")->Size(), 3u);
+  auto beta = reg.series("progress.beta")->Snap();
+  ASSERT_FALSE(beta.empty());
+  EXPECT_DOUBLE_EQ(beta.back().value, 0.25);
+}
+
+TEST(ProgressReporterTest, SnapshotFromRegistryReadsStandardNames) {
+  MetricsRegistry reg;
+  reg.counter("verifier.traces_processed")->Store(500);
+  reg.gauge("pipeline.queue_depth")->Set(17);
+  reg.counter("verifier.deps_total")->Store(200);
+  reg.counter("verifier.overlapped_ww")->Store(3);
+  reg.counter("verifier.overlapped_wr")->Store(2);
+  reg.counter("verifier.overlapped_rw")->Store(1);
+  reg.counter("verifier.uncertain_ww")->Store(4);
+  reg.counter("verifier.violations.me")->Store(2);
+  ProgressSnapshot s = SnapshotFromRegistry(reg);
+  EXPECT_EQ(s.verified, 500u);
+  EXPECT_EQ(s.queue_depth, 17);
+  EXPECT_EQ(s.deps_total, 200u);
+  EXPECT_EQ(s.overlapped, 6u);
+  EXPECT_EQ(s.uncertain, 4u);
+  EXPECT_EQ(s.violations, 2u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace leopard

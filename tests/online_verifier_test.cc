@@ -2,6 +2,7 @@
 
 #include "harness/online_verifier.h"
 #include "harness/thread_runner.h"
+#include "obs/registry.h"
 #include "txn/database.h"
 #include "verifier/mechanism_table.h"
 #include "workload/ycsb.h"
@@ -105,6 +106,40 @@ TEST(OnlineVerifierTest, ConcurrentFaultyWorkloadFlaggedLive) {
   for (ClientId c = 0; c < 4; ++c) online.Close(c);
   ASSERT_GT(db.injected_fault_count(), 0u);
   EXPECT_GT(online.Wait().stats().me_violations, 0u);
+}
+
+TEST(OnlineVerifierTest, VerifiedCountIsLockFreePollable) {
+  OnlineVerifier online(1, PgConfig());
+  EXPECT_TRUE(online.verified_count_is_lock_free());
+  online.Push(0, MakeWriteTrace(kLoadTxnId, 0, {1, 2}, {{1, 100}}));
+  online.Push(0, MakeCommitTrace(kLoadTxnId, 0, {3, 4}));
+  online.Close(0);
+  online.Wait();
+  EXPECT_EQ(online.verified_count(), 2u);
+}
+
+TEST(OnlineVerifierTest, ObsOptionsExportMetricsAndProgressSeries) {
+  obs::MetricsRegistry registry;
+  OnlineVerifier::ObsOptions oo;
+  oo.metrics = &registry;
+  oo.progress_interval_ms = 5;
+  oo.print_progress = false;
+  oo.span_sample_every = 1;
+  {
+    OnlineVerifier online(1, PgConfig(), oo);
+    online.Push(0, MakeWriteTrace(kLoadTxnId, 0, {1, 2}, {{1, 100}}));
+    online.Push(0, MakeCommitTrace(kLoadTxnId, 0, {3, 4}));
+    online.Push(0, MakeReadTrace(1, 0, {10, 11}, {{1, 100}}));
+    online.Push(0, MakeCommitTrace(1, 0, {12, 13}));
+    online.Close(0);
+    const Leopard& verifier = online.Wait();
+    EXPECT_EQ(registry.counter("verifier.traces_processed")->Value(),
+              verifier.stats().traces_processed);
+    EXPECT_EQ(registry.histogram("verifier.trace_ns")->Count(), 4u);
+  }  // destructor stops the reporter, which takes the final sample
+  EXPECT_GE(registry.series("progress.verified")->Size(), 1u);
+  auto verified = registry.series("progress.verified")->Snap();
+  EXPECT_DOUBLE_EQ(verified.back().value, 4.0);
 }
 
 }  // namespace

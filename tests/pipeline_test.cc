@@ -2,6 +2,7 @@
 
 #include "harness/sim_runner.h"
 #include "pipeline/two_level_pipeline.h"
+#include "obs/registry.h"
 #include "txn/database.h"
 #include "workload/blindw.h"
 
@@ -190,6 +191,25 @@ TEST(PipelineIntegrationTest, MatchesMergedTraceOrderFromRealRun) {
   for (size_t i = 1; i < dispatched.size(); ++i) {
     EXPECT_LE(dispatched[i - 1].ts_bef(), dispatched[i].ts_bef());
   }
+}
+
+TEST(PipelineTest, AttachedMetricsTrackDispatchAndDepth) {
+  obs::MetricsRegistry registry;
+  TwoLevelPipeline p(2);
+  p.AttachMetrics(&registry, /*span_sample_every=*/1);
+  p.Push(0, T(0, 10, 11));
+  p.Push(0, T(0, 20, 21));
+  p.Push(1, T(1, 15, 16));
+  // Three traces buffered, none dispatched yet.
+  EXPECT_EQ(registry.gauge("pipeline.queue_depth")->Max(), 3);
+  p.Close(0);
+  p.Close(1);
+  int dispatched = 0;
+  while (p.Dispatch()) ++dispatched;
+  EXPECT_EQ(dispatched, 3);
+  EXPECT_EQ(registry.counter("pipeline.dispatched")->Value(), 3u);
+  EXPECT_EQ(registry.gauge("pipeline.queue_depth")->Value(), 0);
+  EXPECT_EQ(registry.histogram("pipeline.dispatch_ns")->Count(), 3u);
 }
 
 }  // namespace

@@ -26,6 +26,9 @@
 #include <vector>
 
 #include "harness/sim_runner.h"
+#include "obs/export.h"
+#include "obs/progress.h"
+#include "obs/registry.h"
 #include "pipeline/two_level_pipeline.h"
 #include "txn/database.h"
 #ifdef LEOPARD_HAVE_SQLITE
@@ -55,6 +58,11 @@ struct CliOptions {
   uint32_t clients = 8;
   uint64_t seed = 42;
   FaultPlan faults;
+  /// Export the metrics registry here after verification (CSV when the path
+  /// ends in ".csv", JSON otherwise). Empty = no export.
+  std::string metrics_out;
+  /// Print a live progress line every N ms while verifying (0 = off).
+  uint64_t progress_interval_ms = 0;
 };
 
 void Usage() {
@@ -63,7 +71,8 @@ void Usage() {
                "[--workload=...] "
                "[--protocol=pg|innodb|occ|to|2pl|percolator] [--isolation=rc|rr|si|ser]"
                " [--txns=N] [--clients=N] [--seed=N] [--out=DIR|--in=DIR]"
-               " [--lock-wait=nowait|waitdie] [--faults=knob:prob,...]\n");
+               " [--lock-wait=nowait|waitdie] [--faults=knob:prob,...]"
+               " [--metrics-out=FILE(.json|.csv)] [--progress-interval-ms=N]\n");
 }
 
 bool ParseFaults(const std::string& spec, FaultPlan& plan) {
@@ -120,7 +129,7 @@ bool ParseArgs(int argc, char** argv, CliOptions& opts) {
         eat("--protocol=", opts.protocol) ||
         eat("--isolation=", opts.isolation) ||
         eat("--lock-wait=", opts.lock_wait) || eat("--out=", opts.dir) ||
-        eat("--in=", opts.dir)) {
+        eat("--in=", opts.dir) || eat("--metrics-out=", opts.metrics_out)) {
       continue;
     }
     if (eat("--txns=", value)) {
@@ -130,6 +139,8 @@ bool ParseArgs(int argc, char** argv, CliOptions& opts) {
           static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
     } else if (eat("--seed=", value)) {
       opts.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (eat("--progress-interval-ms=", value)) {
+      opts.progress_interval_ms = std::strtoull(value.c_str(), nullptr, 10);
     } else if (eat("--faults=", value)) {
       if (!ParseFaults(value, opts.faults)) return false;
     } else {
@@ -232,6 +243,88 @@ std::string TraceFile(const CliOptions& opts, ClientId client) {
   return opts.dir + "/leopard_client_" + std::to_string(client) + ".trc";
 }
 
+/// Feeds per-client trace streams through the two-level pipeline into a
+/// fully instrumented verifier: per-mechanism latency histograms, queue
+/// depth, live progress (--progress-interval-ms), metrics export
+/// (--metrics-out) and the end-of-run summary line all hang off one
+/// MetricsRegistry scoped to this call.
+int VerifyClientTraces(const CliOptions& opts,
+                       const VerifierConfig& verifier_config,
+                       std::vector<std::vector<Trace>> client_traces) {
+  obs::MetricsRegistry registry;
+  auto clients = static_cast<uint32_t>(client_traces.size());
+  TwoLevelPipeline pipeline(clients);
+  pipeline.AttachMetrics(&registry);
+  uint64_t total = 0;
+  for (ClientId c = 0; c < clients; ++c) {
+    total += client_traces[c].size();
+    for (auto& t : client_traces[c]) pipeline.Push(c, std::move(t));
+    pipeline.Close(c);
+  }
+
+  Leopard verifier(verifier_config);
+  verifier.AttachMetrics(&registry);
+  std::unique_ptr<obs::ProgressReporter> reporter;
+  if (opts.progress_interval_ms > 0) {
+    obs::ProgressReporter::Options po;
+    po.interval_ms = opts.progress_interval_ms;
+    po.registry = &registry;
+    reporter = std::make_unique<obs::ProgressReporter>(
+        po, [&registry] { return obs::SnapshotFromRegistry(registry); });
+  }
+
+  obs::Gauge* depth_gauge = registry.gauge("pipeline.queue_depth");
+  obs::Series* depth_series = registry.series("pipeline.queue_depth_samples");
+  uint64_t start_ns = obs::NowNs();
+  depth_series->Append(start_ns, static_cast<double>(depth_gauge->Value()));
+  uint64_t dispatched = 0;
+  while (auto t = pipeline.Dispatch()) {
+    verifier.Process(*t);
+    // Offline dispatch is a tight loop: sample the drain curve sparsely
+    // instead of per trace.
+    if ((++dispatched & 2047) == 0) {
+      depth_series->Append(obs::NowNs(),
+                           static_cast<double>(depth_gauge->Value()));
+    }
+  }
+  verifier.Finish();
+  double wall_s = static_cast<double>(obs::NowNs() - start_ns) / 1e9;
+  depth_series->Append(obs::NowNs(), static_cast<double>(depth_gauge->Value()));
+  if (reporter != nullptr) reporter->Stop();
+
+  const VerifierStats& s = verifier.stats();
+  double beta = s.deps_total > 0 ? static_cast<double>(s.OverlappedTotal()) /
+                                       static_cast<double>(s.deps_total)
+                                 : 0.0;
+  double p99_us =
+      registry.histogram("verifier.trace_ns")->PercentileNs(99) / 1e3;
+  std::printf(
+      "[leopard] verified %llu traces in %.2fs (%.0f traces/s) | "
+      "violations cr=%llu me=%llu fuw=%llu sc=%llu | p99 verify=%.1fus | "
+      "beta=%.4f\n",
+      static_cast<unsigned long long>(total), wall_s,
+      wall_s > 0 ? static_cast<double>(total) / wall_s : 0.0,
+      static_cast<unsigned long long>(s.cr_violations),
+      static_cast<unsigned long long>(s.me_violations),
+      static_cast<unsigned long long>(s.fuw_violations),
+      static_cast<unsigned long long>(s.sc_violations), p99_us, beta);
+  size_t shown = 0;
+  for (const auto& bug : verifier.bugs()) {
+    std::printf("  %s\n", bug.ToString().c_str());
+    if (++shown == 10) break;
+  }
+
+  if (!opts.metrics_out.empty()) {
+    Status st = obs::WriteMetricsFile(registry, opts.metrics_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s\n", opts.metrics_out.c_str());
+  }
+  return s.TotalViolations() == 0 ? 0 : 1;
+}
+
 int RunWorkload(const CliOptions& opts, bool verify_inline) {
   Protocol protocol;
   IsolationLevel isolation;
@@ -305,21 +398,8 @@ int RunWorkload(const CliOptions& opts, bool verify_inline) {
     return 0;
   }
 
-  Leopard verifier(verifier_config);
-  for (const auto& t : run.MergedTraces()) verifier.Process(t);
-  verifier.Finish();
-  const auto& s = verifier.stats();
-  std::printf("violations: CR=%llu ME=%llu FUW=%llu SC=%llu\n",
-              static_cast<unsigned long long>(s.cr_violations),
-              static_cast<unsigned long long>(s.me_violations),
-              static_cast<unsigned long long>(s.fuw_violations),
-              static_cast<unsigned long long>(s.sc_violations));
-  size_t shown = 0;
-  for (const auto& bug : verifier.bugs()) {
-    std::printf("  %s\n", bug.ToString().c_str());
-    if (++shown == 10) break;
-  }
-  return s.TotalViolations() == 0 ? 0 : 1;
+  return VerifyClientTraces(opts, verifier_config,
+                            std::move(run.client_traces));
 }
 
 int VerifyFiles(const CliOptions& opts) {
@@ -332,36 +412,16 @@ int VerifyFiles(const CliOptions& opts) {
   VerifierConfig verifier_config = opts.engine == "sqlite"
                                        ? ConfigForSqlite()
                                        : ConfigForMiniDb(protocol, isolation);
-  TwoLevelPipeline pipeline(opts.clients);
-  uint64_t total = 0;
+  std::vector<std::vector<Trace>> client_traces(opts.clients);
   for (ClientId c = 0; c < opts.clients; ++c) {
     auto traces = ReadTraceFile(TraceFile(opts, c));
     if (!traces.ok()) {
       std::fprintf(stderr, "%s\n", traces.status().ToString().c_str());
       return 1;
     }
-    total += traces->size();
-    for (auto& t : *traces) pipeline.Push(c, std::move(t));
-    pipeline.Close(c);
+    client_traces[c] = std::move(*traces);
   }
-  Leopard verifier(verifier_config);
-  while (auto t = pipeline.Dispatch()) verifier.Process(*t);
-  verifier.Finish();
-  const auto& s = verifier.stats();
-  std::printf("verified %llu traces: %llu dependencies deduced\n",
-              static_cast<unsigned long long>(total),
-              static_cast<unsigned long long>(s.deps_deduced));
-  std::printf("violations: CR=%llu ME=%llu FUW=%llu SC=%llu\n",
-              static_cast<unsigned long long>(s.cr_violations),
-              static_cast<unsigned long long>(s.me_violations),
-              static_cast<unsigned long long>(s.fuw_violations),
-              static_cast<unsigned long long>(s.sc_violations));
-  size_t shown = 0;
-  for (const auto& bug : verifier.bugs()) {
-    std::printf("  %s\n", bug.ToString().c_str());
-    if (++shown == 10) break;
-  }
-  return s.TotalViolations() == 0 ? 0 : 1;
+  return VerifyClientTraces(opts, verifier_config, std::move(client_traces));
 }
 
 }  // namespace
