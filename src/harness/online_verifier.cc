@@ -1,32 +1,54 @@
 #include "harness/online_verifier.h"
 
+#include <cassert>
+#include <utility>
+
 namespace leopard {
+
+namespace {
+
+ShardedLeopard::Options EngineOptions(const OnlineVerifier::Options& options) {
+  ShardedLeopard::Options eo;
+  eo.n_shards = options.n_shards;
+  eo.metrics = options.obs.metrics;
+  eo.span_sample_every = options.obs.span_sample_every;
+  return eo;
+}
+
+}  // namespace
 
 OnlineVerifier::OnlineVerifier(uint32_t n_clients,
                                const VerifierConfig& config)
-    : OnlineVerifier(n_clients, config, ObsOptions()) {}
+    : OnlineVerifier(n_clients, config, Options()) {}
 
 OnlineVerifier::OnlineVerifier(uint32_t n_clients,
                                const VerifierConfig& config,
                                const ObsOptions& obs_options)
+    : OnlineVerifier(n_clients, config, Options{1, obs_options}) {}
+
+OnlineVerifier::OnlineVerifier(uint32_t n_clients,
+                               const VerifierConfig& config,
+                               const Options& options)
     : pipeline_(n_clients),
-      verifier_(config),
+      engine_(config, EngineOptions(options)),
       n_clients_(n_clients),
       open_clients_(n_clients),
-      metrics_(obs_options.metrics),
+      client_closed_(n_clients, 0),
+      metrics_(options.obs.metrics),
       worker_([this] { Loop(); }) {
   if (metrics_ != nullptr) {
     {
       // The worker thread is already running; attach under the lock so it
-      // never observes half-initialized metric handles.
+      // never observes half-initialized metric handles. (The engine's own
+      // metrics were attached in its constructor, before the worker
+      // existed.)
       std::lock_guard<std::mutex> lock(mu_);
-      pipeline_.AttachMetrics(metrics_, obs_options.span_sample_every);
-      verifier_.AttachMetrics(metrics_, obs_options.span_sample_every);
+      pipeline_.AttachMetrics(metrics_, options.obs.span_sample_every);
     }
-    if (obs_options.progress_interval_ms > 0) {
+    if (options.obs.progress_interval_ms > 0) {
       obs::ProgressReporter::Options po;
-      po.interval_ms = obs_options.progress_interval_ms;
-      po.print = obs_options.print_progress;
+      po.interval_ms = options.obs.progress_interval_ms;
+      po.print = options.obs.print_progress;
       po.registry = metrics_;
       reporter_ = std::make_unique<obs::ProgressReporter>(
           po, [this] { return SampleProgress(); });
@@ -35,15 +57,10 @@ OnlineVerifier::OnlineVerifier(uint32_t n_clients,
 }
 
 OnlineVerifier::~OnlineVerifier() {
-  {
-    // Force-close any stream the caller forgot, so the worker can drain
-    // and terminate (Close is idempotent).
-    std::lock_guard<std::mutex> lock(mu_);
-    for (ClientId c = 0; c < n_clients_; ++c) pipeline_.Close(c);
-    open_clients_ = 0;
-  }
-  producer_cv_.notify_one();
-  Wait();
+  // Force-close any stream the caller forgot, so the worker can drain and
+  // terminate (Close is idempotent per client).
+  for (ClientId c = 0; c < n_clients_; ++c) Close(c);
+  WaitFinished();
   worker_.join();
   // Stop after the worker: the final reporter sample then reflects the
   // fully-drained state.
@@ -71,32 +88,61 @@ void OnlineVerifier::Push(ClientId client, Trace trace) {
 void OnlineVerifier::Close(ClientId client) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (client >= n_clients_ || client_closed_[client]) return;
+    client_closed_[client] = 1;
     pipeline_.Close(client);
-    if (open_clients_ > 0) --open_clients_;
+    --open_clients_;
   }
   producer_cv_.notify_one();
 }
 
-const Leopard& OnlineVerifier::Wait() {
+void OnlineVerifier::WaitFinished() {
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [this] { return finished_; });
-  return verifier_;
+}
+
+const Leopard& OnlineVerifier::Wait() {
+  assert(engine_.n_shards() == 1 &&
+         "Wait() returns the single-threaded verifier; sharded runs must "
+         "use WaitReport()");
+  WaitFinished();
+  return engine_.single();
+}
+
+const VerifyReport& OnlineVerifier::WaitReport() {
+  WaitFinished();
+  return engine_.report();
 }
 
 void OnlineVerifier::Loop() {
+  std::vector<Trace> batch;
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
-    // Drain everything currently dispatchable. Process() runs under the
-    // lock: Leopard itself is single-threaded by design, and producers only
-    // contend for the short Push critical section.
+    // Drain everything currently dispatchable into a local batch, then
+    // release the lock before verifying: producers only ever contend with
+    // the short Dispatch drain, never with Process(). This is the online
+    // hot path — holding mu_ across verification would stall every Push()
+    // behind whole verification batches.
     while (auto trace = pipeline_.Dispatch()) {
-      verifier_.Process(*trace);
-      verified_.fetch_add(1, std::memory_order_relaxed);
+      batch.push_back(std::move(*trace));
+    }
+    if (!batch.empty()) {
+      lock.unlock();
+      for (Trace& trace : batch) {
+        engine_.Process(trace);
+        verified_.fetch_add(1, std::memory_order_relaxed);
+      }
+      batch.clear();
+      lock.lock();
+      continue;  // input may have arrived while we were verifying
     }
     if (open_clients_ == 0 && pipeline_.Exhausted()) break;
     producer_cv_.wait(lock);
   }
-  verifier_.Finish();
+  // Finish() may join shard worker threads — never run it under mu_.
+  lock.unlock();
+  engine_.Finish();
+  lock.lock();
   finished_ = true;
   done_cv_.notify_all();
 }

@@ -6,28 +6,39 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "obs/progress.h"
 #include "obs/registry.h"
 #include "pipeline/two_level_pipeline.h"
 #include "verifier/leopard.h"
+#include "verifier/sharded_leopard.h"
 
 namespace leopard {
 
 /// The paper's deployment mode: verification runs *while* the workload
 /// executes. Client threads push traces as they produce them; a dedicated
-/// verifier thread drains the two-level pipeline and feeds Leopard, so
-/// violations surface moments after the offending operations commit.
+/// dispatcher thread drains the two-level pipeline and feeds the
+/// verification engine, so violations surface moments after the offending
+/// operations commit.
+///
+/// The engine is a ShardedLeopard: with n_shards == 1 (the default) it is
+/// exactly the single-threaded Leopard; with more shards the dispatcher
+/// thread only routes traces while N shard workers and a certifier thread
+/// do the verification in parallel.
 ///
 /// Thread-safety: Push/Close may be called concurrently from any number of
-/// producer threads; the verifier thread owns Dispatch and the Leopard
-/// instance. Wait() blocks until every pushed trace has been verified.
+/// producer threads; Close is idempotent per client. The dispatcher thread
+/// owns Dispatch and the engine. Producers never wait on verification: the
+/// dispatcher drains dispatchable traces into a local batch and verifies
+/// them *outside* the producer mutex.
 ///
 /// With ObsOptions the verifier instruments itself into a MetricsRegistry
-/// (per-mechanism latency histograms, pipeline queue depth) and can run a
-/// background progress reporter emitting throughput, queue depth, the
-/// uncertain-dependency ratio β and violation counts at a configurable
-/// interval — all from atomics, never contending with the verifier thread.
+/// (per-mechanism latency histograms, pipeline queue depth, per-shard
+/// metrics when sharded) and can run a background progress reporter
+/// emitting throughput, queue depth, the uncertain-dependency ratio β and
+/// violation counts at a configurable interval — all from atomics, never
+/// contending with the verifier thread.
 class OnlineVerifier {
  public:
   struct ObsOptions {
@@ -42,9 +53,17 @@ class OnlineVerifier {
     uint32_t span_sample_every = 16;
   };
 
+  struct Options {
+    /// Verification shards (see ShardedLeopard). 1 = single-threaded engine.
+    uint32_t n_shards = 1;
+    ObsOptions obs;
+  };
+
   OnlineVerifier(uint32_t n_clients, const VerifierConfig& config);
   OnlineVerifier(uint32_t n_clients, const VerifierConfig& config,
                  const ObsOptions& obs_options);
+  OnlineVerifier(uint32_t n_clients, const VerifierConfig& config,
+                 const Options& options);
   ~OnlineVerifier();
   OnlineVerifier(const OnlineVerifier&) = delete;
   OnlineVerifier& operator=(const OnlineVerifier&) = delete;
@@ -52,15 +71,24 @@ class OnlineVerifier {
   /// Appends a trace from `client` (ts_bef non-decreasing per client).
   void Push(ClientId client, Trace trace);
 
-  /// Marks `client`'s stream as finished.
+  /// Marks `client`'s stream as finished. Idempotent: duplicate closes of
+  /// the same client are ignored, so a retried shutdown path cannot end the
+  /// run while another client is still open.
   void Close(ClientId client);
 
   /// Blocks until all pushed traces are verified (all clients must have
-  /// been closed), then returns the final verifier.
+  /// been closed), then returns the final verifier. Single-shard only —
+  /// sharded runs have no one Leopard to return; use WaitReport().
   const Leopard& Wait();
 
-  /// Traces verified so far (approximate while running). Lock-free: safe to
-  /// poll at any rate without contending with the verifier thread.
+  /// Blocks until all pushed traces are verified, then returns the
+  /// aggregated report (works for any shard count).
+  const VerifyReport& WaitReport();
+
+  /// Traces handed to the engine so far (approximate while running; in
+  /// sharded mode a routed trace may still be in flight to its shard).
+  /// Lock-free: safe to poll at any rate without contending with the
+  /// verifier thread.
   uint64_t verified_count() const {
     return verified_.load(std::memory_order_relaxed);
   }
@@ -68,16 +96,18 @@ class OnlineVerifier {
 
  private:
   void Loop();
+  void WaitFinished();
   obs::ProgressSnapshot SampleProgress() const;
 
   mutable std::mutex mu_;
   std::condition_variable producer_cv_;  // signals: new input available
   std::condition_variable done_cv_;      // signals: verification finished
   TwoLevelPipeline pipeline_;
-  Leopard verifier_;
+  ShardedLeopard engine_;
   std::atomic<uint64_t> verified_{0};
   uint32_t n_clients_;
   uint32_t open_clients_;
+  std::vector<uint8_t> client_closed_;  // guarded by mu_
   bool finished_ = false;
   obs::MetricsRegistry* metrics_ = nullptr;  // not owned
   std::thread worker_;

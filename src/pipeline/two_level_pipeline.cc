@@ -117,11 +117,19 @@ std::optional<Trace> TwoLevelPipeline::Dispatch() {
   while (true) {
     UpdateWatermark();
     if (!global_.empty() && global_.top().ts_bef() <= watermark_) {
-      Trace t = global_.top();
+      // The heap's top is never inspected again after pop() — move the trace
+      // out instead of deep-copying its access vectors. ApproxBytes() tracks
+      // vector *capacity*, which the move preserves, so the bytes removed
+      // here are exactly the bytes added at push/fetch time; an underflow
+      // means the accounting itself is broken and must fail loudly.
+      Trace t = std::move(const_cast<Trace&>(global_.top()));
       global_.pop();
       --buffered_traces_;
-      buffered_bytes_ -= std::min(buffered_bytes_, t.ApproxBytes());
-      heap_bytes_ -= std::min(heap_bytes_, t.ApproxBytes());
+      const size_t bytes = t.ApproxBytes();
+      assert(buffered_bytes_ >= bytes && "pipeline byte accounting underflow");
+      assert(heap_bytes_ >= bytes && "pipeline heap-byte accounting underflow");
+      buffered_bytes_ -= bytes;
+      heap_bytes_ -= bytes;
       ++stats_.dispatched;
       if (dispatched_ctr_ != nullptr) {
         dispatched_ctr_->Inc();

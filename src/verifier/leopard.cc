@@ -21,7 +21,8 @@ Leopard::Leopard(const VerifierConfig& config)
       graph_(config.certifier, config.check_real_time_order) {}
 
 void Leopard::AttachMetrics(obs::MetricsRegistry* registry,
-                            uint32_t span_sample_every) {
+                            uint32_t span_sample_every,
+                            const std::string& prefix) {
   metrics_ = registry;
   obs_ = ObsHandles();
   span_ = ObsHandles();
@@ -29,16 +30,17 @@ void Leopard::AttachMetrics(obs::MetricsRegistry* registry,
   span_tick_ = 0;
   stat_mirror_.clear();
   if (registry == nullptr) return;
-  obs_.trace_ns = registry->histogram("verifier.trace_ns");
-  obs_.cr_ns = registry->histogram("verifier.cr.verify_ns");
-  obs_.me_ns = registry->histogram("verifier.me.verify_ns");
-  obs_.fuw_ns = registry->histogram("verifier.fuw.verify_ns");
-  obs_.sc_ns = registry->histogram("verifier.sc.certify_ns");
-  obs_.gc_ns = registry->histogram("verifier.gc.sweep_ns");
-  obs_.live_txns = registry->gauge("verifier.live_txns");
-  obs_.graph_nodes = registry->gauge("verifier.graph_nodes");
-  auto mirror = [&](const char* name, const uint64_t& field) {
-    stat_mirror_.emplace_back(registry->counter(name), &field);
+  auto name = [&prefix](const char* suffix) { return prefix + suffix; };
+  obs_.trace_ns = registry->histogram(name("verifier.trace_ns"));
+  obs_.cr_ns = registry->histogram(name("verifier.cr.verify_ns"));
+  obs_.me_ns = registry->histogram(name("verifier.me.verify_ns"));
+  obs_.fuw_ns = registry->histogram(name("verifier.fuw.verify_ns"));
+  obs_.sc_ns = registry->histogram(name("verifier.sc.certify_ns"));
+  obs_.gc_ns = registry->histogram(name("verifier.gc.sweep_ns"));
+  obs_.live_txns = registry->gauge(name("verifier.live_txns"));
+  obs_.graph_nodes = registry->gauge(name("verifier.graph_nodes"));
+  auto mirror = [&](const char* suffix, const uint64_t& field) {
+    stat_mirror_.emplace_back(registry->counter(prefix + suffix), &field);
   };
   mirror("verifier.traces_processed", stats_.traces_processed);
   mirror("verifier.reads_verified", stats_.reads_verified);
@@ -70,6 +72,16 @@ void Leopard::SyncStatsToMetrics() {
   for (auto& [counter, field] : stat_mirror_) counter->Store(*field);
   obs_.live_txns->Set(static_cast<int64_t>(txns_.size()));
   obs_.graph_nodes->Set(static_cast<int64_t>(graph_.NodeCount()));
+}
+
+void Leopard::BeginTxnAt(TxnId txn, const TimeInterval& first_op) {
+  GetTxn(txn, first_op);
+}
+
+void Leopard::AdvanceFrontier(Timestamp ts) {
+  if (ts <= frontier_) return;
+  frontier_ = ts;
+  FlushPendingReads();
 }
 
 Leopard::TxnState& Leopard::GetTxn(TxnId id,
@@ -259,6 +271,14 @@ void Leopard::MarkVersionsCommitted(TxnState& t) {
 void Leopard::Deduce(TxnId from, TxnId to, DepType type) {
   if (from == to) return;
   ++stats_.deps_deduced;
+  if (edge_sink_) {
+    // Sharded mode: the edge flows to the external certifier, which owns
+    // commit/abort gating and the dependency graph. Edges involving aborted
+    // transactions are forwarded too — the certifier drops them, exactly as
+    // the local path below would.
+    edge_sink_(from, to, type);
+    return;
+  }
   if (!config_.check_sc) return;
 
   auto status_of = [this](TxnId id) -> TxnStatus {
@@ -301,7 +321,7 @@ void Leopard::EmitEdge(TxnId from, TxnId to, DepType type) {
 }
 
 Timestamp Leopard::SafeTs() const {
-  Timestamp safe = frontier_;
+  Timestamp safe = std::min(frontier_, safe_ts_bound_);
   for (const auto& [id, t] : txns_) {
     if (t.status == TxnStatus::kActive && t.has_first_op) {
       safe = std::min(safe, t.first_op.bef);

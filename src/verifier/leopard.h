@@ -2,6 +2,7 @@
 #define LEOPARD_VERIFIER_LEOPARD_H_
 
 #include <cstdint>
+#include <functional>
 #include <queue>
 #include <string>
 #include <unordered_map>
@@ -57,6 +58,42 @@ class Leopard {
   /// Flushes parked reads and finalizes verification of a finite run.
   void Finish();
 
+  /// Pre-registers `txn` with its true first-operation interval. Used by the
+  /// sharded engine: a shard may first encounter a transaction through a
+  /// later operation (its opening operation touched another shard's keys),
+  /// yet snapshot generation and FUW ordering depend on the global first op.
+  /// No-op when the transaction is already known.
+  void BeginTxnAt(TxnId txn, const TimeInterval& first_op);
+
+  /// Advances the dispatch frontier without feeding a trace and flushes any
+  /// pending reads that became verifiable. The sharded engine piggybacks the
+  /// router's global frontier on every shard message so a shard verifies
+  /// each read at exactly the same frontier as the single-threaded verifier
+  /// would — keys the shard never sees still advance its frontier.
+  void AdvanceFrontier(Timestamp ts);
+
+  /// Deduced-dependency sink. When set, every wr/ww/rw dependency deduced by
+  /// CR/ME/FUW is handed to the sink instead of the internal serialization
+  /// certifier — commit/abort gating and cycle checking become the sink
+  /// owner's job (the sharded engine's certifier thread). Set before the
+  /// first Process().
+  using EdgeSink = std::function<void(TxnId from, TxnId to, DepType type)>;
+  void SetEdgeSink(EdgeSink sink) { edge_sink_ = std::move(sink); }
+
+  /// S_e (Def. 4): earliest snapshot-generation timestamp any unverified
+  /// trace can still carry, bounded by the dispatch frontier and by active
+  /// transactions' snapshots. Drives GC here and safe-ts reports in the
+  /// sharded engine.
+  Timestamp SafeTs() const;
+
+  /// Caps SafeTs() with an externally-computed bound. A shard only knows
+  /// about transactions that touched its keys, so its local SafeTs could
+  /// run ahead of a transaction still active purely on other shards and GC
+  /// would prune versions that transaction's future reads still need. The
+  /// sharded router therefore piggybacks its global safe timestamp (over
+  /// *all* active transactions) and the shard installs it here.
+  void SetSafeTsBound(Timestamp bound) { safe_ts_bound_ = bound; }
+
   const std::vector<BugDescriptor>& bugs() const { return bugs_; }
   const VerifierStats& stats() const { return stats_; }
   const VerifierConfig& config() const { return config_; }
@@ -73,8 +110,14 @@ class Leopard {
   /// pays for clock reads (GC sweeps are always timed — they are rare and
   /// heavy). Histograms therefore hold an unbiased sample of the latency
   /// distribution, not one entry per event; pass 1 to time every trace.
+  ///
+  /// `prefix` is prepended to every metric name ("shard3." turns
+  /// verifier.trace_ns into shard3.verifier.trace_ns), letting several
+  /// verifier instances share one registry without clobbering each other's
+  /// mirrors.
   void AttachMetrics(obs::MetricsRegistry* registry,
-                     uint32_t span_sample_every = 16);
+                     uint32_t span_sample_every = 16,
+                     const std::string& prefix = "");
 
   /// Pushes the current VerifierStats into the attached registry now
   /// (no-op when detached). Process()/Finish() call this automatically.
@@ -136,10 +179,6 @@ class Leopard {
   void EmitEdge(TxnId from, TxnId to, DepType type);
   void ReportBug(BugType type, Key key, std::vector<TxnId> txns,
                  std::string detail);
-  /// S_e: earliest snapshot-generation timestamp any unverified trace can
-  /// still carry (Def. 4), bounded by the dispatch frontier and by active
-  /// transactions' snapshots.
-  Timestamp SafeTs() const;
   void MaybeGc();
 
   /// Cached metric handles; all nullptr when no registry is attached, which
@@ -164,6 +203,7 @@ class Leopard {
                       PendingReadLater>
       pending_reads_;
   Timestamp frontier_ = 0;
+  Timestamp safe_ts_bound_ = kMaxTimestamp;
   uint64_t traces_since_gc_ = 0;
   std::vector<BugDescriptor> bugs_;
   VerifierStats stats_;
@@ -178,6 +218,7 @@ class Leopard {
   /// (mirror counter, VerifierStats field) pairs driven by SyncStatsToMetrics.
   std::vector<std::pair<obs::Counter*, const uint64_t*>> stat_mirror_;
   uint64_t traces_since_sync_ = 0;
+  EdgeSink edge_sink_;  ///< when set, deduced edges bypass the local SC
 };
 
 }  // namespace leopard

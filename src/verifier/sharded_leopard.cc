@@ -1,0 +1,659 @@
+#include "verifier/sharded_leopard.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/spsc_queue.h"
+#include "verifier/dependency_graph.h"
+
+namespace leopard {
+namespace sharded_internal {
+
+/// Router → shard worker. One queue per shard, produced only by the
+/// Process() caller, consumed only by the shard thread.
+struct ShardMsg {
+  enum class Kind : uint8_t { kTrace, kFinish };
+  Kind kind = Kind::kTrace;
+  /// Projection of the routed trace onto this shard's keys (terminals are
+  /// broadcast whole — they carry no accesses).
+  Trace trace;
+  /// Router's global dispatch frontier after this trace: the shard advances
+  /// to it before processing, so pending reads flush at exactly the point
+  /// the single-threaded verifier would flush them.
+  Timestamp frontier = 0;
+  /// Router's global safe timestamp (Def. 4 over *all* active transactions);
+  /// caps the shard's local SafeTs so GC never outruns a transaction that is
+  /// active purely on other shards.
+  Timestamp safe_bound = 0;
+  /// Set on the first message this shard ever sees for trace.txn: the
+  /// transaction's true (global) first-operation interval, which snapshot
+  /// generation and FUW/SSI concurrency tests depend on.
+  bool has_txn_begin = false;
+  TimeInterval txn_begin;
+  /// Home-shard terminals only: after processing, forward the transaction's
+  /// fate to the certifier — FIFO behind every edge this shard deduced for
+  /// it, so the certifier's commit gating sees a consistent prefix.
+  bool emit_terminal = false;
+  TimeInterval txn_first_op;
+};
+
+/// Shard worker → certifier. One queue per shard, produced only by the
+/// shard thread (edge sink + terminal/safe-ts forwarding), consumed only by
+/// the certifier thread.
+struct EdgeMsg {
+  enum class Kind : uint8_t { kEdge, kCommit, kAbort, kSafeTs, kDone };
+  Kind kind = Kind::kEdge;
+  TxnId from = 0;  ///< kEdge: source; kCommit/kAbort: the transaction
+  TxnId to = 0;
+  DepType type = DepType::kWw;
+  TimeInterval first_op;  ///< kCommit: graph NodeInfo
+  TimeInterval end;       ///< kCommit: graph NodeInfo
+  Timestamp ts = 0;       ///< kSafeTs
+};
+
+struct Shard {
+  std::unique_ptr<Leopard> leopard;
+  SpscQueue<ShardMsg> in;
+  SpscQueue<EdgeMsg> edges;
+  std::thread thread;
+  uint64_t msgs_since_safe_ts = 0;
+
+  Shard(const VerifierConfig& config, size_t queue_capacity)
+      : leopard(std::make_unique<Leopard>(config)),
+        in(queue_capacity),
+        edges(queue_capacity) {}
+};
+
+}  // namespace sharded_internal
+
+using sharded_internal::EdgeMsg;
+using sharded_internal::Shard;
+using sharded_internal::ShardMsg;
+
+namespace {
+
+constexpr size_t kMaxCertifierBugs = 10000;
+constexpr uint64_t kRouterSafeEvery = 64;   ///< traces between safe recomputes
+constexpr uint64_t kGaugeSyncEvery = 64;    ///< router gauge refresh cadence
+
+void AccumulateStats(VerifierStats& into, const VerifierStats& from) {
+  into.traces_processed += from.traces_processed;
+  into.reads_verified += from.reads_verified;
+  into.versions_tracked += from.versions_tracked;
+  into.out_of_order_traces += from.out_of_order_traces;
+  into.deps_total += from.deps_total;
+  into.deps_deduced += from.deps_deduced;
+  into.overlapped_ww += from.overlapped_ww;
+  into.overlapped_wr += from.overlapped_wr;
+  into.overlapped_rw += from.overlapped_rw;
+  into.deduced_overlapped_ww += from.deduced_overlapped_ww;
+  into.deduced_overlapped_wr += from.deduced_overlapped_wr;
+  into.deduced_overlapped_rw += from.deduced_overlapped_rw;
+  into.uncertain_ww += from.uncertain_ww;
+  into.uncertain_wr += from.uncertain_wr;
+  into.cr_violations += from.cr_violations;
+  into.me_violations += from.me_violations;
+  into.fuw_violations += from.fuw_violations;
+  into.sc_violations += from.sc_violations;
+  into.gc_sweeps += from.gc_sweeps;
+  into.pruned_versions += from.pruned_versions;
+  into.pruned_locks += from.pruned_locks;
+  into.pruned_txns += from.pruned_txns;
+}
+
+}  // namespace
+
+struct ShardedLeopard::Impl {
+  /// Global dependency graph + commit/abort gating, owned by the certifier
+  /// thread while it runs and read by Finish() after the join. Mirrors the
+  /// gating of Leopard::Deduce/EmitEdge: an edge applies only once both
+  /// endpoints committed; edges touching aborted transactions drop; edges
+  /// arriving before an endpoint's commit park on the missing endpoint.
+  struct Certifier {
+    explicit Certifier(const VerifierConfig& config)
+        : config(config),
+          graph(config.certifier, config.check_real_time_order) {}
+
+    VerifierConfig config;
+    DependencyGraph graph;
+    /// Every transaction ever committed, *including* ones PruneGarbage has
+    /// already removed from the graph: an edge whose missing endpoint is
+    /// here is late against a pruned node and drops (Theorem 5 — a garbage
+    /// transaction cannot join any future cycle), while a genuinely unknown
+    /// endpoint parks. Neither this set nor `aborted` is pruned — a
+    /// documented memory-for-simplicity tradeoff (8–16 bytes per txn).
+    std::unordered_set<TxnId> committed;
+    std::unordered_set<TxnId> aborted;
+    std::unordered_map<TxnId, std::vector<EdgeMsg>> parked;
+    std::vector<Timestamp> shard_safe;
+    uint64_t sc_violations = 0;
+    uint64_t pruned_txns = 0;
+    uint64_t edges_applied = 0;
+    uint64_t edges_parked = 0;
+    uint64_t edges_dropped = 0;
+    std::vector<BugDescriptor> bugs;
+
+    void Report(std::vector<TxnId> txns, std::string detail) {
+      ++sc_violations;
+      if (bugs.size() >= kMaxCertifierBugs) return;
+      BugDescriptor bug;
+      bug.type = BugType::kScViolation;
+      bug.txns = std::move(txns);
+      bug.detail = std::move(detail);
+      bugs.push_back(std::move(bug));
+    }
+
+    void TryEdge(const EdgeMsg& e) {
+      if (aborted.contains(e.from) || aborted.contains(e.to)) {
+        ++edges_dropped;
+        return;
+      }
+      const bool have_from = graph.HasNode(e.from);
+      const bool have_to = graph.HasNode(e.to);
+      if (have_from && have_to) {
+        ++edges_applied;
+        auto violation = graph.AddEdge(e.from, e.to, e.type);
+        if (violation) {
+          Report({e.from, e.to},
+                 *violation + " (" + std::string(DepTypeName(e.type)) +
+                     " edge)");
+        }
+        return;
+      }
+      const TxnId missing = !have_from ? e.from : e.to;
+      if (committed.contains(missing)) {
+        // Committed but already pruned as garbage — verdict-neutral drop.
+        ++edges_dropped;
+        return;
+      }
+      ++edges_parked;
+      parked[missing].push_back(e);
+    }
+
+    void OnCommit(const EdgeMsg& e) {
+      if (!committed.insert(e.from).second) return;
+      graph.AddNode(e.from, {e.first_op, e.end});
+      auto it = parked.find(e.from);
+      if (it != parked.end()) {
+        std::vector<EdgeMsg> waiting = std::move(it->second);
+        parked.erase(it);
+        // May re-park on the other endpoint — same as Leopard::EmitEdge.
+        for (const EdgeMsg& w : waiting) TryEdge(w);
+      }
+      if (config.certifier == CertifierMode::kFullDfs) {
+        auto violation = graph.FullCycleSearch();
+        if (violation) Report({e.from}, *violation);
+      }
+    }
+
+    void OnAbort(TxnId txn) {
+      aborted.insert(txn);
+      parked.erase(txn);
+    }
+
+    void OnSafeTs(uint32_t shard, Timestamp ts) {
+      shard_safe[shard] = std::max(shard_safe[shard], ts);
+      if (!config.enable_gc) return;
+      Timestamp global = kMaxTimestamp;
+      for (Timestamp t : shard_safe) global = std::min(global, t);
+      pruned_txns += graph.PruneGarbage(global);
+    }
+  };
+
+  Impl(const VerifierConfig& config, const Options& options)
+      : config(config), opts(options) {
+    opts.n_shards = std::clamp<uint32_t>(opts.n_shards, 1, 64);
+    if (opts.n_shards == 1) {
+      single = std::make_unique<Leopard>(config);
+      if (opts.metrics != nullptr) {
+        single->AttachMetrics(opts.metrics, opts.span_sample_every);
+      }
+      return;
+    }
+
+    // Shard verifiers run CR/ME/FUW only; all deduced edges are exported to
+    // the certifier thread (when SC is checked at all).
+    VerifierConfig shard_config = config;
+    shard_config.check_sc = false;
+
+    scratch_reads.resize(opts.n_shards);
+    scratch_writes.resize(opts.n_shards);
+    scratch_absent.resize(opts.n_shards);
+    touched_flag.assign(opts.n_shards, 0);
+
+    shards.reserve(opts.n_shards);
+    for (uint32_t i = 0; i < opts.n_shards; ++i) {
+      shards.push_back(
+          std::make_unique<Shard>(shard_config, opts.queue_capacity));
+      if (opts.metrics != nullptr) {
+        shards[i]->leopard->AttachMetrics(
+            opts.metrics, opts.span_sample_every,
+            "shard" + std::to_string(i) + ".");
+        trace_depth_gauges.push_back(opts.metrics->gauge(
+            "sharded.shard" + std::to_string(i) + ".trace_queue_depth"));
+        edge_depth_gauges.push_back(opts.metrics->gauge(
+            "sharded.shard" + std::to_string(i) + ".edge_queue_depth"));
+      }
+      if (config.check_sc) {
+        SpscQueue<EdgeMsg>* out = &shards[i]->edges;
+        shards[i]->leopard->SetEdgeSink(
+            [out](TxnId from, TxnId to, DepType type) {
+              EdgeMsg e;
+              e.kind = EdgeMsg::Kind::kEdge;
+              e.from = from;
+              e.to = to;
+              e.type = type;
+              out->Push(e);
+            });
+      }
+    }
+
+    if (config.check_sc) {
+      certifier = std::make_unique<Certifier>(config);
+      certifier->shard_safe.assign(opts.n_shards, 0);
+      if (opts.metrics != nullptr) {
+        cert_applied = opts.metrics->counter("sharded.certifier.edges_applied");
+        cert_parked = opts.metrics->counter("sharded.certifier.edges_parked");
+        cert_dropped = opts.metrics->counter("sharded.certifier.edges_dropped");
+        cert_nodes = opts.metrics->gauge("sharded.certifier.graph_nodes");
+      }
+      certifier_thread = std::thread([this] { CertifierLoop(); });
+    }
+    for (uint32_t i = 0; i < opts.n_shards; ++i) {
+      Shard* shard = shards[i].get();
+      shards[i]->thread = std::thread([this, shard] { ShardLoop(*shard); });
+    }
+  }
+
+  ~Impl() { Finish(); }
+
+  // ---- Router (runs on the Process() caller's thread) ----
+
+  void Route(const Trace& trace) {
+    assert(!finished);
+    ++router_traces;
+    if (trace.ts_bef() < frontier) ++router_out_of_order;
+    frontier = std::max(frontier, trace.ts_bef());
+    if (++traces_since_safe >= kRouterSafeEvery) {
+      traces_since_safe = 0;
+      RecomputeRouterSafe();
+    }
+
+    auto [it, inserted] = txn_routes.try_emplace(trace.txn);
+    if (inserted) it->second.first_op = trace.interval;
+    TxnRoute& route = it->second;
+
+    switch (trace.op) {
+      case OpType::kRead:
+        RouteRead(trace, route);
+        break;
+      case OpType::kWrite:
+        RouteWrite(trace, route);
+        break;
+      case OpType::kCommit:
+      case OpType::kAbort:
+        RouteTerminal(trace, route);
+        txn_routes.erase(it);
+        break;
+    }
+
+    if (!trace_depth_gauges.empty() &&
+        ++traces_since_gauges >= kGaugeSyncEvery) {
+      traces_since_gauges = 0;
+      for (uint32_t i = 0; i < opts.n_shards; ++i) {
+        trace_depth_gauges[i]->Set(
+            static_cast<int64_t>(shards[i]->in.ApproxSize()));
+      }
+    }
+  }
+
+  struct TxnRoute {
+    TimeInterval first_op;
+    uint64_t seen_mask = 0;  ///< shards already introduced to this txn
+  };
+
+  void RecomputeRouterSafe() {
+    Timestamp safe = frontier;
+    for (const auto& [txn, route] : txn_routes) {
+      safe = std::min(safe, route.first_op.bef);
+    }
+    router_safe = safe;
+  }
+
+  void Send(uint32_t s, ShardMsg&& msg, TxnId txn, TxnRoute& route) {
+    msg.frontier = frontier;
+    msg.safe_bound = router_safe;
+    const uint64_t bit = 1ULL << s;
+    if ((route.seen_mask & bit) == 0) {
+      route.seen_mask |= bit;
+      msg.has_txn_begin = true;
+      msg.txn_begin = route.first_op;
+    }
+    (void)txn;
+    shards[s]->in.Push(std::move(msg));
+  }
+
+  void RouteWrite(const Trace& trace, TxnRoute& route) {
+    touched.clear();
+    for (const auto& w : trace.write_set) {
+      const uint32_t s = ShardOfKey(w.key, opts.n_shards);
+      if (!touched_flag[s]) {
+        touched_flag[s] = 1;
+        touched.push_back(s);
+        scratch_writes[s].clear();
+      }
+      scratch_writes[s].push_back(w);
+    }
+    for (uint32_t s : touched) {
+      touched_flag[s] = 0;
+      ShardMsg msg;
+      msg.trace.interval = trace.interval;
+      msg.trace.op = OpType::kWrite;
+      msg.trace.txn = trace.txn;
+      msg.trace.client = trace.client;
+      msg.trace.write_set = std::move(scratch_writes[s]);
+      scratch_writes[s] = {};
+      Send(s, std::move(msg), trace.txn, route);
+    }
+  }
+
+  void RouteRead(const Trace& trace, TxnRoute& route) {
+    // Expand range scans into per-key absences up front (exactly what
+    // Leopard::ProcessRead does) so the projection is purely per-key.
+    expanded_absent.assign(trace.absent_reads.begin(),
+                           trace.absent_reads.end());
+    if (trace.range_count > 0) {
+      returned_keys.clear();
+      for (const auto& r : trace.read_set) returned_keys.insert(r.key);
+      for (uint32_t i = 0; i < trace.range_count; ++i) {
+        const Key key = trace.range_first + i;
+        if (!returned_keys.contains(key)) expanded_absent.push_back(key);
+      }
+    }
+
+    touched.clear();
+    auto touch = [&](uint32_t s) {
+      if (!touched_flag[s]) {
+        touched_flag[s] = 1;
+        touched.push_back(s);
+        scratch_reads[s].clear();
+        scratch_absent[s].clear();
+      }
+    };
+    for (const auto& r : trace.read_set) {
+      const uint32_t s = ShardOfKey(r.key, opts.n_shards);
+      touch(s);
+      scratch_reads[s].push_back(r);
+    }
+    for (Key key : expanded_absent) {
+      const uint32_t s = ShardOfKey(key, opts.n_shards);
+      touch(s);
+      scratch_absent[s].push_back(key);
+    }
+    for (uint32_t s : touched) {
+      touched_flag[s] = 0;
+      ShardMsg msg;
+      msg.trace.interval = trace.interval;
+      msg.trace.op = OpType::kRead;
+      msg.trace.txn = trace.txn;
+      msg.trace.client = trace.client;
+      msg.trace.for_update = trace.for_update;
+      msg.trace.read_set = std::move(scratch_reads[s]);
+      msg.trace.absent_reads = std::move(scratch_absent[s]);
+      scratch_reads[s] = {};
+      scratch_absent[s] = {};
+      Send(s, std::move(msg), trace.txn, route);
+    }
+  }
+
+  void RouteTerminal(const Trace& trace, TxnRoute& route) {
+    // Every shard releases the locks / finalizes the versions it owns. The
+    // home shard additionally forwards the transaction's fate to the
+    // certifier, behind its own deduced edges in queue order.
+    const uint32_t home =
+        static_cast<uint32_t>(trace.txn % opts.n_shards);
+    for (uint32_t s = 0; s < opts.n_shards; ++s) {
+      ShardMsg msg;
+      msg.trace = trace;
+      if (s == home && certifier != nullptr) {
+        msg.emit_terminal = true;
+        msg.txn_first_op = route.first_op;
+      }
+      Send(s, std::move(msg), trace.txn, route);
+    }
+  }
+
+  // ---- Shard worker ----
+
+  void ShardLoop(Shard& shard) {
+    SpscQueue<EdgeMsg>* out = certifier != nullptr ? &shard.edges : nullptr;
+    for (;;) {
+      ShardMsg msg;
+      if (!shard.in.PopWait(msg, std::chrono::microseconds(200))) continue;
+      if (msg.kind == ShardMsg::Kind::kFinish) {
+        shard.leopard->Finish();
+        if (out != nullptr) {
+          EdgeMsg done;
+          done.kind = EdgeMsg::Kind::kDone;
+          out->Push(done);
+        }
+        return;
+      }
+      if (msg.has_txn_begin) {
+        shard.leopard->BeginTxnAt(msg.trace.txn, msg.txn_begin);
+      }
+      shard.leopard->SetSafeTsBound(msg.safe_bound);
+      shard.leopard->AdvanceFrontier(msg.frontier);
+      shard.leopard->Process(msg.trace);
+      if (msg.emit_terminal && out != nullptr) {
+        EdgeMsg e;
+        e.kind = msg.trace.op == OpType::kCommit ? EdgeMsg::Kind::kCommit
+                                                 : EdgeMsg::Kind::kAbort;
+        e.from = msg.trace.txn;
+        e.first_op = msg.txn_first_op;
+        e.end = msg.trace.interval;
+        out->Push(e);
+      }
+      if (out != nullptr && ++shard.msgs_since_safe_ts >= opts.safe_ts_every) {
+        shard.msgs_since_safe_ts = 0;
+        EdgeMsg e;
+        e.kind = EdgeMsg::Kind::kSafeTs;
+        e.ts = shard.leopard->SafeTs();
+        out->Push(e);
+      }
+    }
+  }
+
+  // ---- Certifier ----
+
+  void CertifierLoop() {
+    uint32_t done = 0;
+    uint64_t iters = 0;
+    while (done < opts.n_shards) {
+      bool any = false;
+      for (uint32_t i = 0; i < opts.n_shards; ++i) {
+        EdgeMsg e;
+        int budget = 256;  // round-robin fairness across shard queues
+        while (budget-- > 0 && shards[i]->edges.TryPop(e)) {
+          any = true;
+          switch (e.kind) {
+            case EdgeMsg::Kind::kEdge:
+              certifier->TryEdge(e);
+              break;
+            case EdgeMsg::Kind::kCommit:
+              certifier->OnCommit(e);
+              break;
+            case EdgeMsg::Kind::kAbort:
+              certifier->OnAbort(e.from);
+              break;
+            case EdgeMsg::Kind::kSafeTs:
+              certifier->OnSafeTs(i, e.ts);
+              break;
+            case EdgeMsg::Kind::kDone:
+              ++done;
+              budget = 0;
+              break;
+          }
+        }
+      }
+      if ((++iters & (kGaugeSyncEvery - 1)) == 0) SyncCertifierMetrics();
+      if (!any) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    }
+    // Edges still parked here reference transactions that never committed
+    // within the run — exactly the edges the single-threaded verifier also
+    // leaves unapplied at Finish().
+    SyncCertifierMetrics();
+  }
+
+  void SyncCertifierMetrics() {
+    if (cert_applied == nullptr) return;
+    cert_applied->Store(certifier->edges_applied);
+    cert_parked->Store(certifier->edges_parked);
+    cert_dropped->Store(certifier->edges_dropped);
+    cert_nodes->Set(static_cast<int64_t>(certifier->graph.NodeCount()));
+    for (uint32_t i = 0; i < opts.n_shards; ++i) {
+      edge_depth_gauges[i]->Set(
+          static_cast<int64_t>(shards[i]->edges.ApproxSize()));
+    }
+  }
+
+  // ---- Finish / aggregation ----
+
+  void Finish() {
+    if (finished) return;
+    finished = true;
+    if (single != nullptr) {
+      single->Finish();
+      report.stats = single->stats();
+      report.bugs = single->bugs();
+      return;
+    }
+    for (auto& shard : shards) {
+      ShardMsg msg;
+      msg.kind = ShardMsg::Kind::kFinish;
+      shard->in.Push(std::move(msg));
+    }
+    for (auto& shard : shards) shard->thread.join();
+    if (certifier_thread.joinable()) certifier_thread.join();
+
+    report.stats = VerifierStats{};
+    for (auto& shard : shards) {
+      AccumulateStats(report.stats, shard->leopard->stats());
+    }
+    // Per-trace counters belong to the router's view: each input trace was
+    // processed once logically, however many shard projections it produced.
+    report.stats.traces_processed = router_traces;
+    report.stats.out_of_order_traces = router_out_of_order;
+    if (certifier != nullptr) {
+      report.stats.sc_violations += certifier->sc_violations;
+      report.stats.pruned_txns += certifier->pruned_txns;
+    }
+    report.bugs.clear();
+    for (auto& shard : shards) {
+      const auto& shard_bugs = shard->leopard->bugs();
+      report.bugs.insert(report.bugs.end(), shard_bugs.begin(),
+                         shard_bugs.end());
+    }
+    if (certifier != nullptr) {
+      report.bugs.insert(report.bugs.end(), certifier->bugs.begin(),
+                         certifier->bugs.end());
+    }
+  }
+
+  VerifierConfig config;
+  Options opts;
+  bool finished = false;
+
+  // n_shards == 1: the inline reference verifier; everything below unused.
+  std::unique_ptr<Leopard> single;
+
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::unique_ptr<Certifier> certifier;
+  std::thread certifier_thread;
+
+  // Router state (Process() caller's thread only).
+  Timestamp frontier = 0;
+  Timestamp router_safe = 0;
+  uint64_t router_traces = 0;
+  uint64_t router_out_of_order = 0;
+  uint64_t traces_since_safe = 0;
+  uint64_t traces_since_gauges = 0;
+  std::unordered_map<TxnId, TxnRoute> txn_routes;
+  // Reused projection scratch, one slot per shard.
+  std::vector<std::vector<ReadAccess>> scratch_reads;
+  std::vector<std::vector<WriteAccess>> scratch_writes;
+  std::vector<std::vector<Key>> scratch_absent;
+  std::vector<uint8_t> touched_flag;
+  std::vector<uint32_t> touched;
+  std::vector<Key> expanded_absent;
+  std::unordered_set<Key> returned_keys;
+
+  // Observability (optional).
+  std::vector<obs::Gauge*> trace_depth_gauges;
+  std::vector<obs::Gauge*> edge_depth_gauges;
+  obs::Counter* cert_applied = nullptr;
+  obs::Counter* cert_parked = nullptr;
+  obs::Counter* cert_dropped = nullptr;
+  obs::Gauge* cert_nodes = nullptr;
+
+  VerifyReport report;
+};
+
+ShardedLeopard::ShardedLeopard(const VerifierConfig& config,
+                               const Options& options)
+    : impl_(std::make_unique<Impl>(config, options)) {}
+
+ShardedLeopard::~ShardedLeopard() = default;
+
+void ShardedLeopard::Process(const Trace& trace) {
+  if (impl_->single != nullptr) {
+    impl_->single->Process(trace);
+    return;
+  }
+  impl_->Route(trace);
+}
+
+void ShardedLeopard::Finish() { impl_->Finish(); }
+
+const VerifyReport& ShardedLeopard::report() const { return impl_->report; }
+
+const Leopard& ShardedLeopard::single() const {
+  assert(impl_->single != nullptr);
+  return *impl_->single;
+}
+
+uint32_t ShardedLeopard::n_shards() const { return impl_->opts.n_shards; }
+
+size_t ShardedLeopard::ApproxMemoryBytes() const {
+  if (impl_->single != nullptr) return impl_->single->ApproxMemoryBytes();
+  if (!impl_->finished) return 0;  // shard state is only stable post-join
+  size_t bytes = 0;
+  for (const auto& shard : impl_->shards) {
+    bytes += shard->leopard->ApproxMemoryBytes();
+  }
+  if (impl_->certifier != nullptr) {
+    bytes += impl_->certifier->graph.ApproxBytes();
+  }
+  return bytes;
+}
+
+uint32_t ShardedLeopard::ShardOfKey(Key key, uint32_t n_shards) {
+  if (n_shards <= 1) return 0;
+  // splitmix64 finalizer: cheap, and spreads dense key spaces uniformly.
+  uint64_t x = key + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<uint32_t>(x % n_shards);
+}
+
+}  // namespace leopard

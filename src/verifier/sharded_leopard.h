@@ -1,0 +1,115 @@
+#ifndef LEOPARD_VERIFIER_SHARDED_LEOPARD_H_
+#define LEOPARD_VERIFIER_SHARDED_LEOPARD_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/registry.h"
+#include "trace/trace.h"
+#include "verifier/bug.h"
+#include "verifier/config.h"
+#include "verifier/leopard.h"
+#include "verifier/stats.h"
+
+namespace leopard {
+
+/// Final outcome of a (possibly sharded) verification run: the aggregated
+/// counters plus every bug descriptor, shard bugs first (CR/ME/FUW, in
+/// shard order), serialization-certifier bugs last.
+struct VerifyReport {
+  VerifierStats stats;
+  std::vector<BugDescriptor> bugs;
+};
+
+/// Key-sharded parallel verification engine.
+///
+/// The single-threaded Leopard interleaves four procedures; three of them —
+/// CR, ME, FUW — touch only *per-record* mirrored state (ordered versions,
+/// lock records), so they partition cleanly by key. This engine hash-
+/// partitions the key space across `n_shards` worker threads, each owning
+/// its shard's version store + lock table and running an unmodified Leopard
+/// (with its serialization certifier disabled) over the traces projected
+/// onto its keys. Deduced wr/ww/rw dependencies flow over per-shard SPSC
+/// queues into a single *certifier thread* that owns the one structure that
+/// cannot be partitioned — the global dependency graph — and runs the
+/// commit/abort gating and cycle/invariant checks there.
+///
+/// Routing (done by the caller's thread inside Process):
+///  - read/write traces are split per shard: each shard receives a copy
+///    carrying only the accesses to keys it owns (range reads are expanded
+///    into per-key present/absent items first);
+///  - commit/abort traces are broadcast to every shard (each releases the
+///    locks and finalizes the versions it owns); the transaction's *home
+///    shard* additionally forwards the terminal to the certifier, FIFO
+///    behind any edges it deduced for that transaction;
+///  - every message piggybacks the router's global dispatch frontier, and
+///    the first message a shard sees for a transaction carries the
+///    transaction's true first-operation interval — together these make
+///    each shard verify every read at exactly the frontier the
+///    single-threaded verifier would have used, so per-key verdicts are
+///    bit-identical to Leopard's (the differential fuzz test enforces
+///    this).
+///
+/// With n_shards == 1 no threads or queues are created: Process() feeds an
+/// ordinary Leopard inline, byte-for-byte today's behavior.
+///
+/// Thread-safety: Process/Finish must be called from one thread (the
+/// pipeline dispatcher). report() is valid after Finish() returns.
+class ShardedLeopard {
+ public:
+  struct Options {
+    /// Worker shards. 1 = single-threaded reference behavior. Capped at 64.
+    uint32_t n_shards = 1;
+    /// Per-queue capacity (rounded up to a power of two). Full queues block
+    /// the producer — this bounds the engine's in-flight memory.
+    size_t queue_capacity = 8192;
+    /// Shard messages between safe-timestamp reports to the certifier
+    /// (drives garbage-collection of the dependency graph).
+    uint64_t safe_ts_every = 512;
+    /// Optional instrumentation: each shard attaches with a "shard<i>."
+    /// prefix (per-shard latency histograms + counter mirrors) and the
+    /// certifier maintains sharded.shard<i>.edge_queue_depth gauges plus
+    /// sharded.certifier.{edges_applied,edges_parked} counters.
+    obs::MetricsRegistry* metrics = nullptr;
+    uint32_t span_sample_every = 16;
+  };
+
+  ShardedLeopard(const VerifierConfig& config, const Options& options);
+  ~ShardedLeopard();
+  ShardedLeopard(const ShardedLeopard&) = delete;
+  ShardedLeopard& operator=(const ShardedLeopard&) = delete;
+
+  /// Routes the next trace (must arrive in non-decreasing ts_bef order, as
+  /// dispatched by the two-level pipeline). Never verifies inline when
+  /// sharded — cost is projection + queue pushes.
+  void Process(const Trace& trace);
+
+  /// Drains all shards and the certifier, joins the worker threads and
+  /// aggregates the report. Idempotent.
+  void Finish();
+
+  /// Aggregated stats + merged bug list. Valid after Finish().
+  const VerifyReport& report() const;
+
+  /// The inline verifier (n_shards == 1 only; asserts otherwise). Lets
+  /// existing single-threaded callers keep their Leopard-typed accessors.
+  const Leopard& single() const;
+
+  uint32_t n_shards() const;
+
+  /// Approximate mirrored-state memory across all shards. Only meaningful
+  /// when quiescent (n_shards == 1, or after Finish()).
+  size_t ApproxMemoryBytes() const;
+
+  /// Key → shard mapping (splitmix64 finalizer, uniform for dense keys).
+  static uint32_t ShardOfKey(Key key, uint32_t n_shards);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace leopard
+
+#endif  // LEOPARD_VERIFIER_SHARDED_LEOPARD_H_

@@ -1,0 +1,136 @@
+// Shared fuzz-history builder: constructs random *valid* serial histories
+// directly (no engine in the loop). Used by fuzz_history_test.cc for
+// mutation testing of the single-threaded verifier and by
+// sharded_leopard_test.cc as the input generator for the sharded-vs-
+// unsharded differential test.
+
+#ifndef LEOPARD_TESTS_FUZZ_HISTORY_UTIL_H_
+#define LEOPARD_TESTS_FUZZ_HISTORY_UTIL_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "trace/trace.h"
+#include "workload/workload.h"
+
+namespace leopard {
+namespace fuzzutil {
+
+constexpr Key kKeys = 20;
+
+struct BuiltTxn {
+  TxnId id = 0;
+  size_t first_trace = 0;  // indices into the history vector
+  size_t last_trace = 0;
+  bool committed = true;
+};
+
+struct History {
+  std::vector<Trace> traces;
+  std::vector<BuiltTxn> txns;
+  /// All committed versions per key in install order: (value, txn id,
+  /// trace index of the write).
+  struct VersionRef {
+    Value value;
+    TxnId txn;
+    size_t trace;
+  };
+  std::unordered_map<Key, std::vector<VersionRef>> versions;
+};
+
+/// Builds a serial history: transactions execute strictly one after
+/// another, every read observes the then-current value (or absence), every
+/// write installs a unique value, occasional deletes and aborts included.
+inline History BuildSerialHistory(uint64_t seed, size_t txn_count) {
+  Rng rng(seed);
+  History h;
+  Timestamp now = 10;
+  auto interval = [&now] {
+    TimeInterval iv(now, now + 3);
+    now += 10;
+    return iv;
+  };
+
+  // Load.
+  std::unordered_map<Key, std::optional<Value>> current;
+  std::vector<WriteAccess> rows;
+  for (Key k = 0; k < kKeys; ++k) {
+    rows.push_back(WriteAccess{k, MakeLoadValue(k)});
+    current[k] = MakeLoadValue(k);
+  }
+  h.traces.push_back(MakeWriteTrace(kLoadTxnId, 0, interval(), rows));
+  h.traces.push_back(MakeCommitTrace(kLoadTxnId, 0, interval()));
+  for (Key k = 0; k < kKeys; ++k) {
+    h.versions[k].push_back(
+        History::VersionRef{MakeLoadValue(k), kLoadTxnId, 0});
+  }
+
+  uint64_t value_counter = 1;
+  for (TxnId id = 1; id <= txn_count; ++id) {
+    BuiltTxn txn;
+    txn.id = id;
+    txn.first_trace = h.traces.size();
+    txn.committed = !rng.Chance(0.1);
+    ClientId client = static_cast<ClientId>(id % 6);
+    uint32_t ops = static_cast<uint32_t>(rng.UniformRange(2, 5));
+    std::unordered_map<Key, std::optional<Value>> local;  // own writes
+    struct PendingWrite {
+      Key key;
+      std::optional<Value> value;
+      size_t trace;
+    };
+    std::vector<PendingWrite> writes;
+    for (uint32_t i = 0; i < ops; ++i) {
+      Key key = rng.Uniform(kKeys);
+      auto visible = local.contains(key) ? local[key] : current[key];
+      switch (rng.Uniform(4)) {
+        case 0: {  // read
+          Trace t = MakeReadTrace(id, client, interval(), {});
+          if (visible.has_value()) {
+            t.read_set.push_back(ReadAccess{key, *visible});
+          } else {
+            t.absent_reads.push_back(key);
+          }
+          h.traces.push_back(std::move(t));
+          break;
+        }
+        case 1:
+        case 2: {  // write
+          Value value = MakeClientValue(client, value_counter++);
+          h.traces.push_back(
+              MakeWriteTrace(id, client, interval(), {{key, value}}));
+          local[key] = value;
+          writes.push_back({key, value, h.traces.size() - 1});
+          break;
+        }
+        default: {  // delete
+          h.traces.push_back(MakeWriteTrace(id, client, interval(),
+                                            {{key, kTombstoneValue}}));
+          local[key] = std::nullopt;
+          writes.push_back({key, std::nullopt, h.traces.size() - 1});
+          break;
+        }
+      }
+    }
+    txn.last_trace = h.traces.size();
+    if (txn.committed) {
+      h.traces.push_back(MakeCommitTrace(id, client, interval()));
+      for (auto& w : writes) {
+        current[w.key] = w.value;
+        h.versions[w.key].push_back(History::VersionRef{
+            w.value.value_or(kTombstoneValue), id, w.trace});
+      }
+    } else {
+      h.traces.push_back(MakeAbortTrace(id, client, interval()));
+    }
+    h.txns.push_back(txn);
+  }
+  return h;
+}
+
+}  // namespace fuzzutil
+}  // namespace leopard
+
+#endif  // LEOPARD_TESTS_FUZZ_HISTORY_UTIL_H_

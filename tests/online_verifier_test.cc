@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
 #include "harness/online_verifier.h"
 #include "harness/thread_runner.h"
 #include "obs/registry.h"
@@ -106,6 +111,123 @@ TEST(OnlineVerifierTest, ConcurrentFaultyWorkloadFlaggedLive) {
   for (ClientId c = 0; c < 4; ++c) online.Close(c);
   ASSERT_GT(db.injected_fault_count(), 0u);
   EXPECT_GT(online.Wait().stats().me_violations, 0u);
+}
+
+// Regression: a duplicate Close() used to decrement the open-client count
+// again, which could end the run while another client was still producing.
+TEST(OnlineVerifierTest, DuplicateCloseIsIdempotentPerClient) {
+  OnlineVerifier online(3, PgConfig());
+  online.Push(0, MakeWriteTrace(kLoadTxnId, 0, {1, 2}, {{1, 100}}));
+  online.Push(0, MakeCommitTrace(kLoadTxnId, 0, {3, 4}));
+  online.Close(0);
+  online.Close(0);  // duplicates must not count client 1 or 2 as closed
+  online.Close(0);
+  online.Close(1);
+  online.Close(1);
+  online.Close(99);  // out of range: ignored
+  // Client 2 is still open and only now produces its traces.
+  online.Push(2, MakeReadTrace(1, 2, {10, 11}, {{1, 100}}));
+  online.Push(2, MakeCommitTrace(1, 2, {12, 13}));
+  online.Close(2);
+  const Leopard& verifier = online.Wait();
+  EXPECT_EQ(verifier.stats().traces_processed, 4u);
+  EXPECT_EQ(verifier.stats().TotalViolations(), 0u);
+}
+
+// Many producers hammer Push while closing their own streams (some more
+// than once) in arbitrary interleavings; every pushed trace must still be
+// verified exactly once and nothing may deadlock. Each producer writes its
+// own key range, so the merged history is violation-free.
+TEST(OnlineVerifierTest, ConcurrentPushCloseStress) {
+  constexpr uint32_t kProducers = 8;
+  constexpr uint64_t kTxnsPerProducer = 200;
+  OnlineVerifier online(kProducers, PgConfig());
+  std::atomic<uint64_t> pushed{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (uint32_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&online, &pushed, p] {
+      Rng rng(1000 + p);
+      Timestamp now = 10;
+      for (uint64_t i = 0; i < kTxnsPerProducer; ++i) {
+        const TxnId txn = 1 + p * kTxnsPerProducer + i;
+        const Key key = 1000 * (p + 1) + i;  // disjoint per producer
+        online.Push(p, MakeWriteTrace(txn, p, {now, now + 3},
+                                      {{key, MakeClientValue(p, i)}}));
+        now += 10;
+        online.Push(p, MakeCommitTrace(txn, p, {now, now + 3}));
+        now += 10;
+        pushed.fetch_add(2, std::memory_order_relaxed);
+        // A client may only be closed once it stops producing, so duplicate
+        // mid-run closes target already-finished streams: harmless no-ops.
+        if (rng.Chance(0.05) && p > 0) online.Close(kProducers + p);
+      }
+      online.Close(p);
+      online.Close(p);  // duplicate close from the owner is a no-op
+    });
+  }
+  for (auto& t : producers) t.join();
+  const Leopard& verifier = online.Wait();
+  EXPECT_EQ(verifier.stats().traces_processed,
+            pushed.load(std::memory_order_relaxed));
+  EXPECT_EQ(verifier.stats().TotalViolations(), 0u);
+}
+
+TEST(OnlineVerifierTest, ShardedOnlineVerifiesConcurrentWorkload) {
+  Database::Options dbo;
+  dbo.protocol = Protocol::kMvcc2plSsi;
+  dbo.isolation = IsolationLevel::kSerializable;
+  Database db(dbo);
+  YcsbWorkload::Options wo;
+  wo.record_count = 300;
+  YcsbWorkload workload(wo);
+
+  OnlineVerifier::Options options;
+  options.n_shards = 4;
+  OnlineVerifier online(4, PgConfig(), options);
+  ThreadRunnerOptions to;
+  to.threads = 4;
+  to.total_txns = 300;
+  to.seed = 51;
+  to.on_trace = [&online](ClientId client, const Trace& trace) {
+    online.Push(client, Trace(trace));
+  };
+  ThreadRunner runner(&db, &workload, to);
+  RunResult result = runner.Run();
+  for (ClientId c = 0; c < 4; ++c) online.Close(c);
+
+  const VerifyReport& report = online.WaitReport();
+  EXPECT_EQ(report.stats.traces_processed, result.TotalTraces());
+  EXPECT_EQ(report.stats.TotalViolations(), 0u)
+      << (report.bugs.empty() ? std::string() : report.bugs[0].ToString());
+}
+
+TEST(OnlineVerifierTest, ShardedOnlineFlagsFaultyWorkload) {
+  Database::Options dbo;
+  dbo.faults.drop_lock_prob = 0.25;
+  dbo.fault_seed = 52;
+  Database db(dbo);
+  YcsbWorkload::Options wo;
+  wo.record_count = 30;
+  wo.theta = 0.8;
+  YcsbWorkload workload(wo);
+
+  OnlineVerifier::Options options;
+  options.n_shards = 4;
+  OnlineVerifier online(4, PgConfig(), options);
+  ThreadRunnerOptions to;
+  to.threads = 4;
+  to.total_txns = 600;
+  to.seed = 52;
+  to.op_delay_ns = 20000;
+  to.on_trace = [&online](ClientId client, const Trace& trace) {
+    online.Push(client, Trace(trace));
+  };
+  ThreadRunner runner(&db, &workload, to);
+  runner.Run();
+  for (ClientId c = 0; c < 4; ++c) online.Close(c);
+  ASSERT_GT(db.injected_fault_count(), 0u);
+  EXPECT_GT(online.WaitReport().stats.me_violations, 0u);
 }
 
 TEST(OnlineVerifierTest, VerifiedCountIsLockFreePollable) {

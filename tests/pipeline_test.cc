@@ -37,6 +37,23 @@ TEST(PipelineTest, MergesTwoClientsInOrder) {
   EXPECT_EQ(order, (std::vector<Timestamp>{1, 3, 5, 7}));
 }
 
+// Regression: dispatch uses `ts_bef <= watermark`, so a trace whose ts_bef
+// *equals* the watermark (two clients observed the very same tick) must
+// dispatch immediately rather than stall until one client advances.
+TEST(PipelineTest, EqualTsBefTieDispatchesAtWatermark) {
+  TwoLevelPipeline p(2);
+  p.Push(0, T(0, 5, 6));
+  p.Push(1, T(1, 5, 7));
+  // Both clients are open with last_pushed == 5, so the watermark is 5 and
+  // both ties are dispatchable right now.
+  EXPECT_EQ(p.Dispatch()->ts_bef(), 5u);
+  EXPECT_EQ(p.Dispatch()->ts_bef(), 5u);
+  EXPECT_FALSE(p.Dispatch().has_value());  // drained, clients still open
+  p.Close(0);
+  p.Close(1);
+  EXPECT_TRUE(p.Exhausted());
+}
+
 TEST(PipelineTest, StarvesOnOpenEmptyBuffer) {
   TwoLevelPipeline p(2);
   p.Push(0, T(0, 1, 2));

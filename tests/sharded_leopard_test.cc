@@ -1,0 +1,301 @@
+// Differential tests for the sharded verification engine: the single-
+// threaded Leopard is the oracle, and ShardedLeopard must produce the same
+// verdicts on identical inputs — clean fuzzed histories verify clean with
+// identical deduction counters, mutated histories produce the exact same
+// CR/ME/FUW bug multiset, and serialization violations are detected by both
+// (SC cycle *attribution* may differ with edge arrival order, so it is
+// compared by presence, not by string).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "fuzz_history_util.h"
+#include "verifier/mechanism_table.h"
+#include "verifier/sharded_leopard.h"
+#include "workload/workload.h"
+
+namespace leopard {
+namespace {
+
+using fuzzutil::BuildSerialHistory;
+using fuzzutil::BuiltTxn;
+using fuzzutil::History;
+
+VerifierConfig PgSer() {
+  return ConfigForMiniDb(Protocol::kMvcc2plSsi,
+                         IsolationLevel::kSerializable);
+}
+
+VerifyReport RunEngine(const VerifierConfig& config,
+                 const std::vector<Trace>& traces, uint32_t n_shards) {
+  ShardedLeopard::Options options;
+  options.n_shards = n_shards;
+  options.queue_capacity = 1024;
+  options.safe_ts_every = 64;
+  ShardedLeopard engine(config, options);
+  for (const Trace& t : traces) engine.Process(t);
+  engine.Finish();
+  return engine.report();
+}
+
+/// Sorted multiset of every non-SC bug, rendered to strings: CR/ME/FUW
+/// verdicts are per-key and must match the oracle *exactly*.
+std::vector<std::string> NonScBugStrings(const VerifyReport& report) {
+  std::vector<std::string> out;
+  for (const BugDescriptor& bug : report.bugs) {
+    if (bug.type != BugType::kScViolation) out.push_back(bug.ToString());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void ExpectSameVerdicts(const VerifyReport& oracle,
+                        const VerifyReport& sharded, uint32_t n_shards,
+                        uint64_t seed) {
+  SCOPED_TRACE("n_shards=" + std::to_string(n_shards) + " seed " +
+               std::to_string(seed));
+  EXPECT_EQ(oracle.stats.cr_violations, sharded.stats.cr_violations);
+  EXPECT_EQ(oracle.stats.me_violations, sharded.stats.me_violations);
+  EXPECT_EQ(oracle.stats.fuw_violations, sharded.stats.fuw_violations);
+  EXPECT_EQ(oracle.stats.sc_violations > 0, sharded.stats.sc_violations > 0);
+  EXPECT_EQ(NonScBugStrings(oracle), NonScBugStrings(sharded));
+}
+
+TEST(ShardOfKey, CoversAllShardsAndIsStable) {
+  EXPECT_EQ(ShardedLeopard::ShardOfKey(123, 1), 0u);
+  std::set<uint32_t> seen;
+  for (Key k = 0; k < 2000; ++k) {
+    const uint32_t s = ShardedLeopard::ShardOfKey(k, 4);
+    ASSERT_LT(s, 4u);
+    EXPECT_EQ(s, ShardedLeopard::ShardOfKey(k, 4));  // deterministic
+    seen.insert(s);
+  }
+  EXPECT_EQ(seen.size(), 4u) << "2000 dense keys must hit every shard";
+}
+
+TEST(ShardedLeopard, SingleShardIsExactlyTheInlineLeopard) {
+  History h = BuildSerialHistory(7, 150);
+  // Mutate one read so the run carries a real bug through both paths.
+  for (Trace& t : h.traces) {
+    if (t.op == OpType::kRead && t.read_set.size() == 1) {
+      t.read_set[0].value ^= 0x5a5a;  // value nobody ever wrote
+      break;
+    }
+  }
+  Leopard oracle(PgSer());
+  for (const Trace& t : h.traces) oracle.Process(t);
+  oracle.Finish();
+
+  ShardedLeopard engine(PgSer(), ShardedLeopard::Options{});
+  ASSERT_EQ(engine.n_shards(), 1u);
+  for (const Trace& t : h.traces) engine.Process(t);
+  engine.Finish();
+  // n_shards == 1 exposes the inline verifier directly…
+  EXPECT_EQ(&engine.single().config(), &engine.single().config());
+  // …and the report is a verbatim copy of its stats and bugs.
+  EXPECT_EQ(engine.report().stats.traces_processed,
+            oracle.stats().traces_processed);
+  EXPECT_EQ(engine.report().stats.cr_violations,
+            oracle.stats().cr_violations);
+  ASSERT_EQ(engine.report().bugs.size(), oracle.bugs().size());
+  for (size_t i = 0; i < oracle.bugs().size(); ++i) {
+    EXPECT_EQ(engine.report().bugs[i].ToString(),
+              oracle.bugs()[i].ToString());
+  }
+}
+
+class ShardedDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ShardedDifferential, CleanHistoriesVerifyCleanWithEqualCounters) {
+  const uint64_t seed = GetParam();
+  History h = BuildSerialHistory(seed, 300);
+  // GC on: verdicts must be clean for every shard count (pruning cadence
+  // differs per shard — each sees ~1/N of the messages — but pruning is
+  // verdict-neutral, Theorem 5).
+  const VerifyReport oracle = RunEngine(PgSer(), h.traces, 1);
+  ASSERT_EQ(oracle.stats.TotalViolations(), 0u);
+  // GC off: deduction is fully deterministic, so the counters — not just
+  // the verdicts — must agree exactly. (With GC on, later pruning lets a
+  // shard re-deduce edges against mirrored locks/readers the oracle
+  // already retired: duplicate edges the graph ignores, but the counters
+  // see.)
+  VerifierConfig no_gc = PgSer();
+  no_gc.enable_gc = false;
+  const VerifyReport oracle_nogc = RunEngine(no_gc, h.traces, 1);
+  for (uint32_t n_shards : {2u, 4u, 7u}) {
+    SCOPED_TRACE("n_shards=" + std::to_string(n_shards));
+    const VerifyReport sharded = RunEngine(PgSer(), h.traces, n_shards);
+    EXPECT_EQ(sharded.stats.TotalViolations(), 0u);
+    EXPECT_EQ(oracle.stats.traces_processed, sharded.stats.traces_processed);
+    EXPECT_EQ(oracle.stats.reads_verified, sharded.stats.reads_verified);
+    EXPECT_EQ(oracle.stats.versions_tracked,
+              sharded.stats.versions_tracked);
+    EXPECT_EQ(oracle.stats.out_of_order_traces,
+              sharded.stats.out_of_order_traces);
+
+    const VerifyReport sharded_nogc = RunEngine(no_gc, h.traces, n_shards);
+    EXPECT_EQ(sharded_nogc.stats.TotalViolations(), 0u);
+    EXPECT_EQ(oracle_nogc.stats.deps_total, sharded_nogc.stats.deps_total);
+    EXPECT_EQ(oracle_nogc.stats.deps_deduced,
+              sharded_nogc.stats.deps_deduced);
+    EXPECT_EQ(oracle_nogc.stats.reads_verified,
+              sharded_nogc.stats.reads_verified);
+  }
+}
+
+TEST_P(ShardedDifferential, StaleReadMutationFlaggedIdentically) {
+  const uint64_t seed = GetParam();
+  History h = BuildSerialHistory(seed, 300);
+  Rng rng(seed ^ 0xabc);
+  bool mutated = false;
+  for (int attempt = 0; attempt < 500 && !mutated; ++attempt) {
+    size_t i = rng.Uniform(h.traces.size());
+    Trace& t = h.traces[i];
+    if (t.op != OpType::kRead || t.read_set.size() != 1) continue;
+    Key key = t.read_set[0].key;
+    const auto& versions = h.versions[key];
+    for (size_t v = 1; v < versions.size(); ++v) {
+      if (versions[v].value == t.read_set[0].value &&
+          versions[v - 1].value != kTombstoneValue &&
+          versions[v - 1].value != versions[v].value) {
+        t.read_set[0].value = versions[v - 1].value;
+        mutated = true;
+        break;
+      }
+    }
+  }
+  if (!mutated) GTEST_SKIP() << "no mutable read found for this seed";
+  const VerifyReport oracle = RunEngine(PgSer(), h.traces, 1);
+  ASSERT_GE(oracle.stats.cr_violations, 1u);
+  for (uint32_t n_shards : {2u, 4u}) {
+    ExpectSameVerdicts(oracle, RunEngine(PgSer(), h.traces, n_shards), n_shards,
+                       seed);
+  }
+}
+
+TEST_P(ShardedDifferential, DroppedCommitMutationFlaggedIdentically) {
+  const uint64_t seed = GetParam();
+  History h = BuildSerialHistory(seed, 300);
+  bool mutated = false;
+  for (const BuiltTxn& txn : h.txns) {
+    if (!txn.committed) continue;
+    std::vector<Value> values;
+    for (size_t i = txn.first_trace; i < txn.last_trace; ++i) {
+      for (const auto& w : h.traces[i].write_set) values.push_back(w.value);
+    }
+    bool observed = false;
+    for (size_t i = txn.last_trace + 1; i < h.traces.size() && !observed;
+         ++i) {
+      for (const auto& r : h.traces[i].read_set) {
+        if (std::find(values.begin(), values.end(), r.value) !=
+            values.end()) {
+          observed = true;
+        }
+      }
+    }
+    if (!observed) continue;
+    Trace& terminal = h.traces[txn.last_trace];
+    terminal = MakeAbortTrace(txn.id, terminal.client, terminal.interval);
+    mutated = true;
+    break;
+  }
+  if (!mutated) GTEST_SKIP() << "no observed committed txn for this seed";
+  const VerifyReport oracle = RunEngine(PgSer(), h.traces, 1);
+  ASSERT_GE(oracle.stats.cr_violations, 1u);
+  for (uint32_t n_shards : {2u, 4u}) {
+    ExpectSameVerdicts(oracle, RunEngine(PgSer(), h.traces, n_shards), n_shards,
+                       seed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardedDifferential,
+                         ::testing::Range<uint64_t>(1, 9));
+
+// A write-skew cycle whose two rw antidependencies are deduced on
+// *different* shards: only the certifier thread, which owns the global
+// graph, can close it. Both engines must flag it.
+TEST(ShardedLeopard, CrossShardCycleDetectedByCertifier) {
+  VerifierConfig config = PgSer();
+  config.certifier = CertifierMode::kCycle;
+
+  // Pick two keys that land on different shards at n_shards = 4.
+  const Key x = 0;
+  Key y = 1;
+  while (ShardedLeopard::ShardOfKey(y, 4) == ShardedLeopard::ShardOfKey(x, 4)) {
+    ++y;
+  }
+  const Value x0 = MakeLoadValue(x), y0 = MakeLoadValue(y);
+  const Value y1 = MakeClientValue(1, 1), x2 = MakeClientValue(2, 2);
+
+  std::vector<Trace> traces;
+  traces.push_back(MakeWriteTrace(kLoadTxnId, 0, {10, 13},
+                                  {{x, x0}, {y, y0}}));
+  traces.push_back(MakeCommitTrace(kLoadTxnId, 0, {20, 23}));
+  // Write skew: T1 reads x, writes y; T2 reads y, writes x; both commit.
+  traces.push_back(MakeReadTrace(1, 1, {30, 33}, {{x, x0}}));
+  traces.push_back(MakeReadTrace(2, 2, {40, 43}, {{y, y0}}));
+  traces.push_back(MakeWriteTrace(1, 1, {50, 53}, {{y, y1}}));
+  traces.push_back(MakeWriteTrace(2, 2, {60, 63}, {{x, x2}}));
+  traces.push_back(MakeCommitTrace(1, 1, {70, 73}));
+  traces.push_back(MakeCommitTrace(2, 2, {80, 83}));
+
+  const VerifyReport oracle = RunEngine(config, traces, 1);
+  EXPECT_GE(oracle.stats.sc_violations, 1u);
+  EXPECT_EQ(oracle.stats.cr_violations, 0u);
+  EXPECT_EQ(oracle.stats.me_violations, 0u);
+  EXPECT_EQ(oracle.stats.fuw_violations, 0u);
+
+  const VerifyReport sharded = RunEngine(config, traces, 4);
+  EXPECT_GE(sharded.stats.sc_violations, 1u);
+  EXPECT_EQ(sharded.stats.cr_violations, 0u);
+  EXPECT_EQ(sharded.stats.me_violations, 0u);
+  EXPECT_EQ(sharded.stats.fuw_violations, 0u);
+}
+
+// Range reads are expanded by the router before projection; the per-key
+// absences must verify exactly as in the single-threaded path.
+TEST(ShardedLeopard, RangeReadsVerifyIdenticallyWhenSharded) {
+  std::vector<Trace> traces;
+  std::vector<WriteAccess> rows;
+  for (Key k = 0; k < 10; ++k) rows.push_back({k, MakeLoadValue(k)});
+  traces.push_back(MakeWriteTrace(kLoadTxnId, 0, {10, 13}, rows));
+  traces.push_back(MakeCommitTrace(kLoadTxnId, 0, {20, 23}));
+  // Delete key 5.
+  traces.push_back(MakeWriteTrace(1, 1, {30, 33}, {{5, kTombstoneValue}}));
+  traces.push_back(MakeCommitTrace(1, 1, {40, 43}));
+  // Range-scan [0, 12): rows 0..9 except the deleted 5; 10, 11 never
+  // existed. A correct execution — and, mutated below, a broken one.
+  Trace scan = MakeReadTrace(2, 2, {50, 53}, {});
+  for (Key k = 0; k < 10; ++k) {
+    if (k != 5) scan.read_set.push_back({k, MakeLoadValue(k)});
+  }
+  scan.range_first = 0;
+  scan.range_count = 12;
+  traces.push_back(scan);
+  traces.push_back(MakeCommitTrace(2, 2, {60, 63}));
+
+  const VerifyReport oracle = RunEngine(PgSer(), traces, 1);
+  const VerifyReport sharded = RunEngine(PgSer(), traces, 4);
+  EXPECT_EQ(oracle.stats.TotalViolations(), 0u);
+  EXPECT_EQ(sharded.stats.TotalViolations(), 0u);
+  EXPECT_EQ(oracle.stats.reads_verified, sharded.stats.reads_verified);
+
+  // Now the broken variant: the scan also skips key 3 (phantom-hidden row).
+  Trace& broken = traces[4];
+  broken.read_set.erase(
+      std::remove_if(broken.read_set.begin(), broken.read_set.end(),
+                     [](const ReadAccess& r) { return r.key == 3; }),
+      broken.read_set.end());
+  const VerifyReport oracle2 = RunEngine(PgSer(), traces, 1);
+  const VerifyReport sharded2 = RunEngine(PgSer(), traces, 4);
+  EXPECT_GE(oracle2.stats.cr_violations, 1u);
+  EXPECT_EQ(NonScBugStrings(oracle2), NonScBugStrings(sharded2));
+}
+
+}  // namespace
+}  // namespace leopard
