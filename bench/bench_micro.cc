@@ -5,6 +5,8 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "common/flat_hash_map.h"
+#include "common/slab_map.h"
 #include "verifier/dependency_graph.h"
 #include "verifier/version_order.h"
 #include "workload/blindw.h"
@@ -81,6 +83,114 @@ void BM_PkEdgeInsert(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
 }
 BENCHMARK(BM_PkEdgeInsert)->Arg(1000)->Arg(10000);
+
+// Regression guard for the kFullDfs scratch reuse: repeated from-scratch
+// cycle searches over a static graph must not allocate per-search colour
+// maps — the per-search cost is the traversal alone.
+void BM_FullDfsSearch(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  DependencyGraph graph(CertifierMode::kFullDfs);
+  for (TxnId i = 1; i <= static_cast<TxnId>(n); ++i) {
+    DependencyGraph::NodeInfo info;
+    info.first_op = {static_cast<Timestamp>(i * 10),
+                     static_cast<Timestamp>(i * 10 + 1)};
+    info.end = {static_cast<Timestamp>(i * 10 + 2),
+                static_cast<Timestamp>(i * 10 + 3)};
+    graph.AddNode(i, info);
+    if (i > 1) graph.AddEdge(i - 1, i, DepType::kWw);
+    if (i > 4 && i % 4 == 0) graph.AddEdge(i - 4, i, DepType::kRw);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph.FullCycleSearch());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_FullDfsSearch)->Arg(500)->Arg(2000);
+
+// PruneGarbage watermark early-out: every call but the sweeps themselves
+// must return without touching a node, because safe_ts sits below the
+// min-end watermark of the surviving nodes.
+void BM_PruneGarbageEarlyOut(benchmark::State& state) {
+  DependencyGraph graph(CertifierMode::kCycle);
+  for (TxnId i = 1; i <= 4096; ++i) {
+    DependencyGraph::NodeInfo info;
+    info.first_op = {static_cast<Timestamp>(i * 10),
+                     static_cast<Timestamp>(i * 10 + 1)};
+    info.end = {static_cast<Timestamp>(i * 10 + 2),
+                static_cast<Timestamp>(i * 10 + 3)};
+    graph.AddNode(i, info);
+    if (i > 1) graph.AddEdge(i - 1, i, DepType::kWw);
+  }
+  for (auto _ : state) {
+    // Below every node's end.aft: the watermark rejects it in O(1).
+    benchmark::DoNotOptimize(graph.PruneGarbage(5));
+  }
+}
+BENCHMARK(BM_PruneGarbageEarlyOut);
+
+// Mixed insert/find/erase churn on the open-addressing table, the access
+// pattern of the mirrored-state maps (keys are splitmix-hashed, so
+// sequential ids don't cluster).
+void BM_FlatHashMapChurn(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  for (auto _ : state) {
+    FlatHashMap<uint64_t, uint64_t> map;
+    for (int64_t i = 0; i < n; ++i) {
+      map[static_cast<uint64_t>(i)] = static_cast<uint64_t>(i * 3);
+      if (i >= 64) map.erase(static_cast<uint64_t>(i - 64));
+    }
+    uint64_t sum = 0;
+    for (const auto& slot : map) sum += slot.second;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_FlatHashMapChurn)->Arg(4096)->Arg(65536);
+
+// The same churn through a SlabMap with a deliberately large value type:
+// displacement and rehash shuffle 12-byte index entries, never the values.
+void BM_SlabMapChurn(benchmark::State& state) {
+  struct Big {
+    uint64_t payload[32] = {0};
+  };
+  const int64_t n = state.range(0);
+  for (auto _ : state) {
+    SlabMap<uint64_t, Big> map;
+    for (int64_t i = 0; i < n; ++i) {
+      map[static_cast<uint64_t>(i)].payload[0] = static_cast<uint64_t>(i);
+      if (i >= 64) map.erase(static_cast<uint64_t>(i - 64));
+    }
+    benchmark::DoNotOptimize(map.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_SlabMapChurn)->Arg(4096)->Arg(65536);
+
+// Install/prune cycle of the version index under a skewed multi-version
+// key set: exercises the multi-version candidate set that keeps Prune
+// O(contended keys).
+void BM_VersionIndexInstallPrune(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  for (auto _ : state) {
+    VersionOrderIndex index;
+    for (int64_t i = 0; i < n; ++i) {
+      Key key = static_cast<Key>(i % 512);
+      Timestamp at = static_cast<Timestamp>(10 + i * 4);
+      auto res = index.Install(key, static_cast<Value>(i),
+                               static_cast<TxnId>(i + 1), {at, at + 2});
+      auto* list = index.Get(key);
+      (*list)[res.index].status = WriterStatus::kCommitted;
+      (*list)[res.index].writer_commit = {at + 1, at + 3};
+      if (i > 0 && i % 2048 == 0) {
+        benchmark::DoNotOptimize(
+            index.Prune(static_cast<Timestamp>(i * 4 - 4000)));
+      }
+    }
+    benchmark::DoNotOptimize(index.VersionCount());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_VersionIndexInstallPrune)->Arg(32768);
 
 void BM_CandidateSet(benchmark::State& state) {
   VersionOrderIndex index;

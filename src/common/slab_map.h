@@ -1,0 +1,152 @@
+#ifndef LEOPARD_COMMON_SLAB_MAP_H_
+#define LEOPARD_COMMON_SLAB_MAP_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/flat_hash_map.h"
+
+namespace leopard {
+
+/// Hash map for *large* mapped values (the dependency graph's Node, the
+/// live-transaction TxnState): a FlatHashMap of (key -> uint32 slab index)
+/// fronts a slab vector that owns the values.
+///
+/// A plain FlatHashMap<K, BigV> would swap whole values through robin-hood
+/// displacement chains and move them again on every rehash and backward
+///-shift erase — for a ~300-byte Node that dominates insertion cost. Here
+/// the hash table only ever shuffles 12-byte entries; values move solely on
+/// amortized slab growth. Erased slots are reset to V() (releasing owned
+/// memory) and recycled through a free list.
+///
+/// Reference contract: pointers/references to mapped values survive erase
+/// and hash-table rehash but are invalidated when an *insert* grows the
+/// slab (same rule as FlatHashMap, weaker than std::unordered_map).
+/// Iteration order is unspecified; iterating visits the index table (small,
+/// cache-resident) and dereferences the slab per live entry.
+template <typename K, typename V>
+class SlabMap {
+  struct Cell {
+    K key{};
+    V value{};
+  };
+  using Index = FlatHashMap<K, uint32_t>;
+
+ public:
+  /// Pair-like view of one entry; supports `it->second`, `(*it).first` and
+  /// structured bindings (`for (const auto& [k, v] : map)`).
+  template <bool Const>
+  struct RefPair {
+    using Value = std::conditional_t<Const, const V, V>;
+    const K& first;
+    Value& second;
+  };
+
+  template <bool Const>
+  class Iter {
+    using IndexIter = std::conditional_t<Const, typename Index::const_iterator,
+                                         typename Index::iterator>;
+    using MapT = std::conditional_t<Const, const SlabMap, SlabMap>;
+
+   public:
+    Iter(MapT* map, IndexIter it) : map_(map), it_(it) {}
+    RefPair<Const> operator*() const {
+      return {it_->first, map_->slab_[it_->second].value};
+    }
+    struct Arrow {
+      RefPair<Const> pair;
+      RefPair<Const>* operator->() { return &pair; }
+    };
+    Arrow operator->() const { return Arrow{**this}; }
+    Iter& operator++() {
+      ++it_;
+      return *this;
+    }
+    bool operator==(const Iter& o) const { return it_ == o.it_; }
+    bool operator!=(const Iter& o) const { return it_ != o.it_; }
+
+   private:
+    MapT* map_;
+    IndexIter it_;
+  };
+  using iterator = Iter<false>;
+  using const_iterator = Iter<true>;
+
+  size_t size() const { return index_.size(); }
+  bool empty() const { return index_.empty(); }
+  uint64_t rehash_count() const { return index_.rehash_count(); }
+
+  iterator begin() { return iterator(this, index_.begin()); }
+  iterator end() { return iterator(this, index_.end()); }
+  const_iterator begin() const { return const_iterator(this, index_.begin()); }
+  const_iterator end() const { return const_iterator(this, index_.end()); }
+
+  bool contains(const K& key) const { return index_.contains(key); }
+
+  iterator find(const K& key) { return iterator(this, index_.find(key)); }
+  const_iterator find(const K& key) const {
+    return const_iterator(this, index_.find(key));
+  }
+
+  std::pair<iterator, bool> try_emplace(const K& key) {
+    auto [it, inserted] = index_.try_emplace(key);
+    if (inserted) {
+      if (!free_.empty()) {
+        it->second = free_.back();
+        free_.pop_back();
+        slab_[it->second].key = key;
+      } else {
+        it->second = static_cast<uint32_t>(slab_.size());
+        slab_.emplace_back();
+        slab_.back().key = key;
+      }
+    }
+    return {iterator(this, it), inserted};
+  }
+
+  V& operator[](const K& key) { return try_emplace(key).first->second; }
+
+  /// Direct pointer lookup — nullptr when absent. Cheaper than find() when
+  /// the caller only needs the value.
+  V* Lookup(const K& key) {
+    auto it = index_.find(key);
+    return it == index_.end() ? nullptr : &slab_[it->second].value;
+  }
+  const V* Lookup(const K& key) const {
+    auto it = index_.find(key);
+    return it == index_.end() ? nullptr : &slab_[it->second].value;
+  }
+
+  size_t erase(const K& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return 0;
+    uint32_t slot = it->second;
+    slab_[slot].value = V();  // release owned memory now
+    free_.push_back(slot);
+    index_.erase(key);
+    return 1;
+  }
+
+  void clear() {
+    index_.clear();
+    slab_.clear();
+    free_.clear();
+  }
+
+  /// Bytes owned by the index table and the slab array (values' own heap
+  /// allocations are the caller's to count).
+  size_t MemoryBytes() const {
+    return index_.MemoryBytes() + slab_.capacity() * sizeof(Cell) +
+           free_.capacity() * sizeof(uint32_t);
+  }
+
+ private:
+  Index index_;
+  std::vector<Cell> slab_;
+  std::vector<uint32_t> free_;
+};
+
+}  // namespace leopard
+
+#endif  // LEOPARD_COMMON_SLAB_MAP_H_

@@ -1,0 +1,195 @@
+#ifndef LEOPARD_COMMON_SMALL_VECTOR_H_
+#define LEOPARD_COMMON_SMALL_VECTOR_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace leopard {
+
+/// Vector with N elements of inline storage, for the verifier's short
+/// per-entity lists: graph adjacency, version readers, per-transaction key
+/// sets. These are 1–4 elements in the overwhelming majority of cases, so
+/// keeping them inline removes one heap allocation per list and one cache
+/// miss per traversal; only outliers spill to the heap.
+///
+/// Deliberately minimal: grows by push_back/emplace_back, shrinks by
+/// pop_back/erase/clear, no insert-in-middle. Elements must be movable.
+/// Unlike std::vector, moving a SmallVector moves the elements when they
+/// are inline (pointers into the vector are never stable across moves).
+template <typename T, size_t N>
+class SmallVector {
+ public:
+  SmallVector() = default;
+
+  SmallVector(const SmallVector& o) { CopyFrom(o); }
+  SmallVector& operator=(const SmallVector& o) {
+    if (this != &o) {
+      DestroyAll();
+      CopyFrom(o);
+    }
+    return *this;
+  }
+
+  SmallVector(SmallVector&& o) noexcept { MoveFrom(std::move(o)); }
+  SmallVector& operator=(SmallVector&& o) noexcept {
+    if (this != &o) {
+      DestroyAll();
+      MoveFrom(std::move(o));
+    }
+    return *this;
+  }
+
+  ~SmallVector() { DestroyAll(); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+  bool is_inline() const { return capacity_ <= N; }
+
+  T* data() { return is_inline() ? InlineData() : heap_; }
+  const T* data() const { return is_inline() ? InlineData() : heap_; }
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+  T& operator[](size_t i) { return data()[i]; }
+  const T& operator[](size_t i) const { return data()[i]; }
+  T& back() { return data()[size_ - 1]; }
+  const T& back() const { return data()[size_ - 1]; }
+  T& front() { return data()[0]; }
+  const T& front() const { return data()[0]; }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) Grow(capacity_ * 2);
+    T* slot = data() + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    assert(size_ > 0);
+    --size_;
+    data()[size_].~T();
+  }
+
+  /// Erases [first, last), preserving order.
+  T* erase(T* first, T* last) {
+    T* e = end();
+    T* out = std::move(last, e, first);
+    while (e != out) {
+      --e;
+      e->~T();
+      --size_;
+    }
+    return first;
+  }
+  T* erase(T* pos) { return erase(pos, pos + 1); }
+
+  void clear() {
+    T* d = data();
+    for (size_t i = 0; i < size_; ++i) d[i].~T();
+    size_ = 0;
+  }
+
+  void reserve(size_t n) {
+    if (n > capacity_) Grow(n);
+  }
+
+  /// Heap bytes owned (0 while inline) — for ApproxBytes accounting, where
+  /// the inline storage is already counted in the enclosing object's size.
+  size_t HeapBytes() const {
+    return is_inline() ? 0 : capacity_ * sizeof(T);
+  }
+
+ private:
+  T* InlineData() {
+    return std::launder(reinterpret_cast<T*>(inline_storage_));
+  }
+  const T* InlineData() const {
+    return std::launder(reinterpret_cast<const T*>(inline_storage_));
+  }
+
+  void Grow(size_t min_cap) {
+    size_t new_cap = std::max(min_cap, capacity_ * 2);
+    if (new_cap < N + N) new_cap = N + N;
+    T* mem = static_cast<T*>(
+        ::operator new(new_cap * sizeof(T), std::align_val_t(alignof(T))));
+    T* src = data();
+    for (size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(mem + i)) T(std::move(src[i]));
+      src[i].~T();
+    }
+    ReleaseHeap();
+    heap_ = mem;
+    capacity_ = new_cap;
+  }
+
+  void ReleaseHeap() {
+    if (!is_inline()) {
+      ::operator delete(heap_, std::align_val_t(alignof(T)));
+    }
+  }
+
+  void DestroyAll() {
+    clear();
+    ReleaseHeap();
+    capacity_ = N;
+  }
+
+  void CopyFrom(const SmallVector& o) {
+    size_ = 0;
+    capacity_ = N;
+    heap_ = nullptr;
+    if (o.size_ > N) Grow(o.size_);
+    T* d = data();
+    for (size_t i = 0; i < o.size_; ++i) {
+      ::new (static_cast<void*>(d + i)) T(o.data()[i]);
+    }
+    size_ = o.size_;
+  }
+
+  void MoveFrom(SmallVector&& o) {
+    if (!o.is_inline()) {
+      // Steal the heap allocation wholesale.
+      heap_ = o.heap_;
+      size_ = o.size_;
+      capacity_ = o.capacity_;
+      o.heap_ = nullptr;
+      o.size_ = 0;
+      o.capacity_ = N;
+      return;
+    }
+    size_ = 0;
+    capacity_ = N;
+    T* d = InlineData();
+    T* src = o.InlineData();
+    for (size_t i = 0; i < o.size_; ++i) {
+      ::new (static_cast<void*>(d + i)) T(std::move(src[i]));
+      src[i].~T();
+    }
+    size_ = o.size_;
+    o.size_ = 0;
+  }
+
+  size_t size_ = 0;
+  size_t capacity_ = N;
+  union {
+    T* heap_ = nullptr;
+    alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+  };
+};
+
+}  // namespace leopard
+
+#endif  // LEOPARD_COMMON_SMALL_VECTOR_H_

@@ -6,7 +6,6 @@
 
 #include <algorithm>
 #include <sstream>
-#include <unordered_set>
 
 #include "obs/span.h"
 
@@ -36,7 +35,13 @@ void Leopard::ProcessRead(const Trace& trace) {
     return;
   }
 
+  // Reuse a retired PendingRead shell so its item vectors stay warm.
   PendingRead pending;
+  if (!read_pool_.empty()) {
+    pending = std::move(read_pool_.back());
+    read_pool_.pop_back();
+    pending.Reset();
+  }
   pending.txn = trace.txn;
   pending.op_interval = trace.interval;
   // FOR UPDATE is a *current* read whatever the isolation level: its
@@ -92,26 +97,40 @@ void Leopard::ProcessRead(const Trace& trace) {
   };
   for (Key key : trace.absent_reads) note_absent(key);
   if (trace.range_count > 0) {
-    std::unordered_set<Key> returned;
-    for (const auto& r : trace.read_set) returned.insert(r.key);
+    // Gap check directly against the (small) returned-row set; scanning it
+    // per range key beats building a hash set per range read.
     for (uint32_t i = 0; i < trace.range_count; ++i) {
       Key key = trace.range_first + i;
-      if (!returned.contains(key)) note_absent(key);
+      bool returned = false;
+      for (const auto& r : trace.read_set) {
+        if (r.key == key) {
+          returned = true;
+          break;
+        }
+      }
+      if (!returned) note_absent(key);
     }
   }
 
   if ((!pending.items.empty() || !pending.absent_items.empty()) &&
       config_.check_cr) {
     pending_reads_.push(std::move(pending));
+  } else if (read_pool_.size() < 64) {
+    read_pool_.push_back(std::move(pending));
   }
 }
 
 void Leopard::FlushPendingReads() {
   while (!pending_reads_.empty() &&
          pending_reads_.top().snapshot.aft < frontier_) {
-    PendingRead read = pending_reads_.top();
+    // Move the top element out instead of copying its item vectors; pop()
+    // only destroys the moved-from shell (same idiom as the pipeline's
+    // ready queue). The shell then retires to the pool for reuse.
+    PendingRead read =
+        std::move(const_cast<PendingRead&>(pending_reads_.top()));
     pending_reads_.pop();
     VerifyRead(read);
+    if (read_pool_.size() < 64) read_pool_.push_back(std::move(read));
   }
 }
 

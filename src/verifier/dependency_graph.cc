@@ -1,9 +1,7 @@
 #include "verifier/dependency_graph.h"
 
 #include <algorithm>
-#include <deque>
 #include <sstream>
-#include <unordered_set>
 
 namespace leopard {
 
@@ -40,16 +38,28 @@ void DependencyGraph::AddNode(TxnId id, const NodeInfo& info) {
   if (!inserted) return;
   it->second.info = info;
   it->second.ord = next_ord_++;
+  min_end_aft_ = std::min(min_end_aft_, info.end.aft);
 }
 
 DependencyGraph::Node* DependencyGraph::Find(TxnId id) {
-  auto it = nodes_.find(id);
-  return it == nodes_.end() ? nullptr : &it->second;
+  return nodes_.Lookup(id);
 }
 
 const DependencyGraph::Node* DependencyGraph::Find(TxnId id) const {
-  auto it = nodes_.find(id);
-  return it == nodes_.end() ? nullptr : &it->second;
+  return nodes_.Lookup(id);
+}
+
+uint64_t DependencyGraph::BumpEpoch() {
+  ++epoch_bumps_;
+  // Every search owns two mark values (epoch_, epoch_ + 1); see header.
+  epoch_ += 2;
+  if (epoch_ == 0 || epoch_ + 1 == 0) {
+    // Wrapped (practically unreachable): stale marks could alias the new
+    // epoch, so clear them all once and restart the clock.
+    for (auto&& slot : nodes_) slot.second.mark = 0;
+    epoch_ = 2;
+  }
+  return epoch_;
 }
 
 bool DependencyGraph::Concurrent(const Node& a, const Node& b) const {
@@ -98,10 +108,29 @@ std::optional<std::string> DependencyGraph::AddEdge(TxnId from, TxnId to,
   Node* f = Find(from);
   Node* t = Find(to);
   if (f == nullptr || t == nullptr) return std::nullopt;
-  for (const auto& [peer, ptype] : f->out) {
-    if (peer == to && ptype == type) return std::nullopt;  // duplicate
+
+  // Duplicate detection: high-degree nodes keep a (peer -> type mask) hash
+  // set so the check is O(1) instead of O(out-degree).
+  const uint8_t type_bit = static_cast<uint8_t>(1u << static_cast<int>(type));
+  if (f->out_seen != nullptr) {
+    uint8_t& mask = (*f->out_seen)[to];
+    if (mask & type_bit) return std::nullopt;  // duplicate
+    mask |= type_bit;
+  } else {
+    for (const Edge& e : f->out) {
+      if (e.to == to && e.type == type) return std::nullopt;  // duplicate
+    }
+    if (f->out.size() + 1 >= kDupSetThreshold) {
+      auto seen = std::make_unique<FlatHashMap<TxnId, uint8_t>>();
+      for (const Edge& e : f->out) {
+        (*seen)[e.to] |=
+            static_cast<uint8_t>(1u << static_cast<int>(e.type));
+      }
+      (*seen)[to] |= type_bit;
+      f->out_seen = std::move(seen);
+    }
   }
-  f->out.emplace_back(to, type);
+  f->out.push_back(Edge{to, type});
   t->in.push_back(from);
   ++t->in_degree;
   ++edge_count_;
@@ -148,114 +177,125 @@ std::optional<std::string> DependencyGraph::AddEdge(TxnId from, TxnId to,
       return std::nullopt;
     }
     case CertifierMode::kCycle:
-      return PkInsert(from, to);
+      return PkInsert(from, f, to, t);
     case CertifierMode::kFullDfs:
       return std::nullopt;  // caller runs FullCycleSearch per commit
   }
   return std::nullopt;
 }
 
-bool DependencyGraph::PkForward(TxnId id, int64_t upper_ord, TxnId target,
-                                std::vector<TxnId>& reached) {
-  // Iterative DFS over nodes with ord <= upper_ord. Returns true when
-  // `target` is reachable (a cycle).
-  std::unordered_set<TxnId> seen;
-  std::vector<TxnId> stack{id};
-  seen.insert(id);
-  while (!stack.empty()) {
-    TxnId cur = stack.back();
-    stack.pop_back();
-    if (cur == target) return true;
-    reached.push_back(cur);
-    Node* n = Find(cur);
-    if (n == nullptr) continue;
-    for (const auto& [next, type] : n->out) {
-      Node* nn = Find(next);
+bool DependencyGraph::PkForward(Node* start, int64_t upper_ord,
+                                const Node* target,
+                                std::vector<Node*>& reached) {
+  // Iterative DFS over nodes with ord <= upper_ord (node pointers are
+  // stable for the whole search: nothing inserts into the slab). Returns
+  // true when `target` is reachable (a cycle). Visited state is the epoch
+  // mark, so the search allocates nothing and resolves each traversed edge
+  // with exactly one hash lookup.
+  const uint64_t epoch = BumpEpoch();
+  scratch_stack_.clear();
+  scratch_stack_.push_back(start);
+  start->mark = epoch;
+  while (!scratch_stack_.empty()) {
+    Node* n = scratch_stack_.back();
+    scratch_stack_.pop_back();
+    if (n == target) return true;
+    reached.push_back(n);
+    for (const Edge& e : n->out) {
+      Node* nn = Find(e.to);
       if (nn == nullptr || nn->ord > upper_ord) continue;
-      if (seen.insert(next).second) stack.push_back(next);
+      if (nn->mark < epoch) {
+        nn->mark = epoch;
+        scratch_stack_.push_back(nn);
+      }
     }
   }
   return false;
 }
 
-void DependencyGraph::PkBackward(TxnId id, int64_t lower_ord,
-                                 std::vector<TxnId>& reached) {
-  std::unordered_set<TxnId> seen;
-  std::vector<TxnId> stack{id};
-  seen.insert(id);
-  while (!stack.empty()) {
-    TxnId cur = stack.back();
-    stack.pop_back();
-    reached.push_back(cur);
-    Node* n = Find(cur);
-    if (n == nullptr) continue;
+void DependencyGraph::PkBackward(Node* start, int64_t lower_ord,
+                                 std::vector<Node*>& reached) {
+  const uint64_t epoch = BumpEpoch();
+  scratch_stack_.clear();
+  scratch_stack_.push_back(start);
+  start->mark = epoch;
+  while (!scratch_stack_.empty()) {
+    Node* n = scratch_stack_.back();
+    scratch_stack_.pop_back();
+    reached.push_back(n);
     for (TxnId prev : n->in) {
       Node* pn = Find(prev);
       if (pn == nullptr || pn->ord < lower_ord) continue;
-      if (seen.insert(prev).second) stack.push_back(prev);
+      if (pn->mark < epoch) {
+        pn->mark = epoch;
+        scratch_stack_.push_back(pn);
+      }
     }
   }
 }
 
-std::optional<std::string> DependencyGraph::PkInsert(TxnId from, TxnId to) {
-  Node* f = Find(from);
-  Node* t = Find(to);
+std::optional<std::string> DependencyGraph::PkInsert(TxnId from, Node* f,
+                                                     TxnId to, Node* t) {
   if (t->ord > f->ord) return std::nullopt;  // already topologically sorted
 
   // Affected region: nodes reachable forward from `to` with ord <= ord[from]
   // and nodes reaching `from` backward with ord >= ord[to].
-  std::vector<TxnId> forward, backward;
-  if (PkForward(to, f->ord, from, forward)) {
+  scratch_forward_.clear();
+  scratch_backward_.clear();
+  if (PkForward(t, f->ord, f, scratch_forward_)) {
     std::ostringstream os;
     os << "dependency cycle through " << from << " -> " << to;
     return os.str();
   }
-  PkBackward(from, t->ord, backward);
+  PkBackward(f, t->ord, scratch_backward_);
 
   // Reassign the union's topological indices: backward set first (keeping
   // relative order), then forward set.
-  auto by_ord = [this](TxnId a, TxnId b) {
-    return Find(a)->ord < Find(b)->ord;
-  };
-  std::sort(forward.begin(), forward.end(), by_ord);
-  std::sort(backward.begin(), backward.end(), by_ord);
-  std::vector<int64_t> slots;
-  slots.reserve(forward.size() + backward.size());
-  for (TxnId id : backward) slots.push_back(Find(id)->ord);
-  for (TxnId id : forward) slots.push_back(Find(id)->ord);
-  std::sort(slots.begin(), slots.end());
+  auto by_ord = [](const Node* a, const Node* b) { return a->ord < b->ord; };
+  std::sort(scratch_forward_.begin(), scratch_forward_.end(), by_ord);
+  std::sort(scratch_backward_.begin(), scratch_backward_.end(), by_ord);
+  scratch_slots_.clear();
+  scratch_slots_.reserve(scratch_forward_.size() + scratch_backward_.size());
+  for (Node* n : scratch_backward_) scratch_slots_.push_back(n->ord);
+  for (Node* n : scratch_forward_) scratch_slots_.push_back(n->ord);
+  std::sort(scratch_slots_.begin(), scratch_slots_.end());
   size_t i = 0;
-  for (TxnId id : backward) Find(id)->ord = slots[i++];
-  for (TxnId id : forward) Find(id)->ord = slots[i++];
+  for (Node* n : scratch_backward_) n->ord = scratch_slots_[i++];
+  for (Node* n : scratch_forward_) n->ord = scratch_slots_[i++];
   return std::nullopt;
 }
 
 std::optional<std::string> DependencyGraph::FullCycleSearch() {
-  // Iterative three-colour DFS over the whole graph.
-  std::unordered_map<TxnId, int> colour;  // 0 white, 1 grey, 2 black
-  for (const auto& [start, node] : nodes_) {
-    if (colour[start] != 0) continue;
-    std::vector<std::pair<TxnId, size_t>> stack{{start, 0}};
-    colour[start] = 1;
-    while (!stack.empty()) {
-      auto& [cur, idx] = stack.back();
-      Node* n = Find(cur);
-      if (n == nullptr || idx >= n->out.size()) {
-        colour[cur] = 2;
-        stack.pop_back();
+  // Iterative three-colour DFS over the whole graph. Colours live in the
+  // node marks: < epoch white, == epoch grey, == epoch + 1 black — so the
+  // per-commit call of kFullDfs mode reuses one scratch stack and never
+  // rebuilds a colour map.
+  const uint64_t epoch = BumpEpoch();
+  const uint64_t grey = epoch;
+  const uint64_t black = epoch + 1;
+  for (auto&& start_slot : nodes_) {
+    if (start_slot.second.mark >= epoch) continue;  // already finished
+    dfs_stack_.clear();
+    dfs_stack_.emplace_back(&start_slot.second, 0);
+    start_slot.second.mark = grey;
+    while (!dfs_stack_.empty()) {
+      auto& [n, idx] = dfs_stack_.back();
+      if (idx >= n->out.size()) {
+        n->mark = black;
+        dfs_stack_.pop_back();
         continue;
       }
-      TxnId next = n->out[idx++].first;
-      if (!nodes_.contains(next)) continue;
-      int c = colour[next];
-      if (c == 1) {
+      TxnId next = n->out[idx++].to;
+      Node* nn = Find(next);
+      if (nn == nullptr) continue;
+      if (nn->mark == grey) {
         std::ostringstream os;
         os << "dependency cycle through " << next;
         return os.str();
       }
-      if (c == 0) {
-        colour[next] = 1;
-        stack.emplace_back(next, 0);
+      if (nn->mark < epoch) {
+        nn->mark = grey;
+        dfs_stack_.emplace_back(nn, 0);
       }
     }
   }
@@ -263,38 +303,50 @@ std::optional<std::string> DependencyGraph::FullCycleSearch() {
 }
 
 size_t DependencyGraph::PruneGarbage(Timestamp safe_ts) {
+  // Watermark early-out: no live node has end.aft below min_end_aft_, so a
+  // sweep below it cannot seed the queue — skip the full-table scan.
+  if (safe_ts < min_end_aft_) return 0;
   size_t pruned = 0;
-  std::deque<TxnId> queue;
-  for (const auto& [id, node] : nodes_) {
+  prune_queue_.clear();
+  Timestamp new_watermark = kMaxTimestamp;
+  for (auto&& slot : nodes_) {
+    Node& node = slot.second;
     if (node.in_degree == 0 && node.info.end.aft <= safe_ts) {
-      queue.push_back(id);
+      prune_queue_.emplace_back(slot.first, &node);
+    } else {
+      // Survivor (unless cascaded below, which only makes this bound
+      // conservative): contributes to the refreshed watermark.
+      new_watermark = std::min(new_watermark, node.info.end.aft);
     }
   }
-  while (!queue.empty()) {
-    TxnId id = queue.front();
-    queue.pop_front();
-    Node* n = Find(id);
-    if (n == nullptr) continue;
-    for (const auto& [next, type] : n->out) {
-      Node* nn = Find(next);
+  // Node pointers stay valid throughout: erase only resets slab cells, it
+  // never moves them.
+  for (size_t qi = 0; qi < prune_queue_.size(); ++qi) {
+    auto [id, n] = prune_queue_[qi];
+    for (const Edge& e : n->out) {
+      Node* nn = Find(e.to);
       if (nn == nullptr) continue;
       if (--nn->in_degree == 0 && nn->info.end.aft <= safe_ts) {
-        queue.push_back(next);
+        prune_queue_.emplace_back(e.to, nn);
       }
     }
     edge_count_ -= n->out.size();
     nodes_.erase(id);
     ++pruned;
   }
+  min_end_aft_ = new_watermark;
   return pruned;
 }
 
 size_t DependencyGraph::ApproxBytes() const {
-  size_t bytes = nodes_.size() * (sizeof(TxnId) + sizeof(Node));
-  for (const auto& [id, node] : nodes_) {
-    bytes += node.out.capacity() * sizeof(std::pair<TxnId, DepType>);
-    bytes += node.in.capacity() * sizeof(TxnId);
-    bytes += (node.rw_in.capacity() + node.rw_out.capacity()) * sizeof(TxnId);
+  size_t bytes = nodes_.MemoryBytes();
+  for (const auto& slot : nodes_) {
+    const Node& node = slot.second;
+    bytes += node.out.HeapBytes() + node.in.HeapBytes() +
+             node.rw_in.HeapBytes() + node.rw_out.HeapBytes();
+    if (node.out_seen != nullptr) {
+      bytes += sizeof(*node.out_seen) + node.out_seen->MemoryBytes();
+    }
   }
   return bytes;
 }

@@ -2,12 +2,15 @@
 #define LEOPARD_VERIFIER_DEPENDENCY_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash_map.h"
 #include "common/interval.h"
+#include "common/slab_map.h"
+#include "common/small_vector.h"
 #include "trace/trace.h"
 #include "verifier/config.h"
 #include "verifier/stats.h"
@@ -28,6 +31,14 @@ namespace leopard {
 /// Garbage transactions (Def. 4: in-degree zero and ended before the
 /// earliest unverified snapshot) are pruned by PruneGarbage; Theorem 5
 /// guarantees they cannot join any future cycle.
+///
+/// Memory layer: nodes live in a SlabMap (open-addressing index over a
+/// value slab, so inserting never shuffles whole Nodes) and adjacency lists
+/// are SmallVectors (inline up to 4 neighbours), so the per-edge work is
+/// pointer-chase-free in the common case. All graph searches
+/// (Pearce–Kelly forward/backward, the full DFS) mark visited nodes with a
+/// monotonically bumped epoch stored in the node itself and reuse
+/// preallocated stacks — no per-edge unordered_set or colour map.
 class DependencyGraph {
  public:
   struct NodeInfo {
@@ -52,25 +63,48 @@ class DependencyGraph {
   std::optional<std::string> AddEdge(TxnId from, TxnId to, DepType type);
 
   /// kFullDfs only: run the from-scratch cycle search (call per commit).
+  /// Reuses the epoch-marked scratch state across calls.
   std::optional<std::string> FullCycleSearch();
 
   /// Prunes garbage transactions: in-degree 0 and end.aft <= safe_ts.
-  /// Returns the number of nodes removed.
+  /// Early-outs without touching any node when the min end.aft watermark
+  /// proves nothing is prunable. Returns the number of nodes removed.
   size_t PruneGarbage(Timestamp safe_ts);
 
   size_t NodeCount() const { return nodes_.size(); }
   size_t EdgeCount() const { return edge_count_; }
   size_t ApproxBytes() const;
 
+  /// Memory-layer observability: node-table growths and epoch bumps (one
+  /// per search that would previously have allocated fresh scratch).
+  uint64_t RehashCount() const { return nodes_.rehash_count(); }
+  uint64_t ScratchEpochBumps() const { return epoch_bumps_; }
+  /// O(1) footprint of the node-table arrays (adjacency heap excluded).
+  size_t TableBytes() const { return nodes_.MemoryBytes(); }
+
  private:
+  struct Edge {
+    TxnId to = 0;
+    DepType type = DepType::kWw;
+  };
+
+  /// Out-degree at which AddEdge's duplicate check switches from a linear
+  /// scan of `out` to a per-node hash set of (peer, type-mask).
+  static constexpr size_t kDupSetThreshold = 16;
+
   struct Node {
     NodeInfo info;
-    std::vector<std::pair<TxnId, DepType>> out;
-    std::vector<TxnId> in;
+    SmallVector<Edge, 4> out;
+    SmallVector<TxnId, 4> in;
     uint32_t in_degree = 0;
     int64_t ord = 0;  // Pearce–Kelly topological index
-    std::vector<TxnId> rw_in;   // SSI mirror bookkeeping
-    std::vector<TxnId> rw_out;
+    uint64_t mark = 0;  ///< last search epoch that visited this node
+    SmallVector<TxnId, 2> rw_in;   // SSI mirror bookkeeping
+    SmallVector<TxnId, 2> rw_out;
+    /// Lazily built once out-degree crosses kDupSetThreshold: peer ->
+    /// bitmask of DepTypes already present, for O(1) duplicate detection on
+    /// high-degree nodes.
+    std::unique_ptr<FlatHashMap<TxnId, uint8_t>> out_seen;
   };
 
   Node* Find(TxnId id);
@@ -79,16 +113,36 @@ class DependencyGraph {
   std::optional<std::string> CheckSsi(TxnId from, Node& f, TxnId to, Node& t);
   /// Pearce–Kelly: restore topological order after inserting from->to;
   /// returns a description when a cycle is found.
-  std::optional<std::string> PkInsert(TxnId from, TxnId to);
-  bool PkForward(TxnId id, int64_t upper_ord, TxnId target,
-                 std::vector<TxnId>& reached);
-  void PkBackward(TxnId id, int64_t lower_ord, std::vector<TxnId>& reached);
+  std::optional<std::string> PkInsert(TxnId from, Node* f, TxnId to,
+                                      Node* t);
+  bool PkForward(Node* start, int64_t upper_ord, const Node* target,
+                 std::vector<Node*>& reached);
+  void PkBackward(Node* start, int64_t lower_ord, std::vector<Node*>& reached);
+  /// Starts a new search epoch (all marks become stale at once).
+  uint64_t BumpEpoch();
 
   CertifierMode mode_;
   bool check_real_time_order_;
-  std::unordered_map<TxnId, Node> nodes_;
+  SlabMap<TxnId, Node> nodes_;
   size_t edge_count_ = 0;
   int64_t next_ord_ = 0;
+
+  /// Search scratch, reused across AddEdge/FullCycleSearch calls. A node is
+  /// "seen" in the current search iff node.mark >= epoch_; FullCycleSearch
+  /// additionally uses mark == epoch_ for grey and epoch_ + 1 for black, so
+  /// every search advances epoch_ by 2.
+  uint64_t epoch_ = 0;
+  uint64_t epoch_bumps_ = 0;
+  std::vector<Node*> scratch_stack_;
+  std::vector<Node*> scratch_forward_;
+  std::vector<Node*> scratch_backward_;
+  std::vector<int64_t> scratch_slots_;
+  std::vector<std::pair<Node*, uint32_t>> dfs_stack_;
+  std::vector<std::pair<TxnId, Node*>> prune_queue_;
+
+  /// Lower bound on min(end.aft) over live nodes; PruneGarbage returns
+  /// immediately when safe_ts is below it.
+  Timestamp min_end_aft_ = kMaxTimestamp;
 };
 
 }  // namespace leopard

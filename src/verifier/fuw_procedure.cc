@@ -5,7 +5,6 @@
 
 #include <algorithm>
 #include <sstream>
-#include <unordered_set>
 
 #include "obs/span.h"
 

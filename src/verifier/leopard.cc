@@ -39,6 +39,10 @@ void Leopard::AttachMetrics(obs::MetricsRegistry* registry,
   obs_.gc_ns = registry->histogram(name("verifier.gc.sweep_ns"));
   obs_.live_txns = registry->gauge(name("verifier.live_txns"));
   obs_.graph_nodes = registry->gauge(name("verifier.graph_nodes"));
+  obs_.mem_table_bytes = registry->gauge(name("verifier.mem.table_bytes"));
+  obs_.mem_rehashes = registry->gauge(name("verifier.mem.rehashes"));
+  obs_.mem_scratch_resets =
+      registry->gauge(name("verifier.mem.scratch_epoch_resets"));
   auto mirror = [&](const char* suffix, const uint64_t& field) {
     stat_mirror_.emplace_back(registry->counter(prefix + suffix), &field);
   };
@@ -72,6 +76,14 @@ void Leopard::SyncStatsToMetrics() {
   for (auto& [counter, field] : stat_mirror_) counter->Store(*field);
   obs_.live_txns->Set(static_cast<int64_t>(txns_.size()));
   obs_.graph_nodes->Set(static_cast<int64_t>(graph_.NodeCount()));
+  obs_.mem_table_bytes->Set(static_cast<int64_t>(
+      versions_.TableBytes() + locks_.TableBytes() + graph_.TableBytes() +
+      txns_.MemoryBytes()));
+  obs_.mem_rehashes->Set(static_cast<int64_t>(
+      versions_.RehashCount() + locks_.RehashCount() + graph_.RehashCount() +
+      txns_.rehash_count()));
+  obs_.mem_scratch_resets->Set(
+      static_cast<int64_t>(graph_.ScratchEpochBumps()));
 }
 
 void Leopard::BeginTxnAt(TxnId txn, const TimeInterval& first_op) {
@@ -178,7 +190,8 @@ void Leopard::Finish() {
 void Leopard::ProcessWrite(const Trace& trace) {
   TxnState& t = GetTxn(trace.txn, trace.interval);
   for (const auto& w : trace.write_set) {
-    auto [it, first_write] = t.own_writes.insert_or_assign(w.key, w.value);
+    auto [it, first_write] = t.own_writes.try_emplace(w.key);
+    it->second = w.value;
     if (first_write) t.write_keys.push_back(w.key);
     if (!config_.install_at_commit) {
       InstallVersion(w.key, w.value, trace.txn, trace.interval);
@@ -200,10 +213,13 @@ void Leopard::ProcessTerminal(const Trace& trace, bool committed) {
   t.status = committed ? TxnStatus::kCommitted : TxnStatus::kAborted;
 
   if (config_.check_me) {
-    std::vector<Key> lock_keys = t.write_keys;
-    lock_keys.insert(lock_keys.end(), t.read_keys.begin(),
-                     t.read_keys.end());
-    locks_.NoteRelease(trace.txn, lock_keys, trace.interval, committed);
+    lock_keys_scratch_.clear();
+    lock_keys_scratch_.insert(lock_keys_scratch_.end(),
+                              t.write_keys.begin(), t.write_keys.end());
+    lock_keys_scratch_.insert(lock_keys_scratch_.end(),
+                              t.read_keys.begin(), t.read_keys.end());
+    locks_.NoteRelease(trace.txn, lock_keys_scratch_.data(),
+                       lock_keys_scratch_.size(), trace.interval, committed);
     VerifyMeAtRelease(t);
   }
 
@@ -349,11 +365,11 @@ void Leopard::MaybeGc() {
 size_t Leopard::ApproxMemoryBytes() const {
   size_t bytes = versions_.ApproxBytes() + locks_.ApproxBytes() +
                  graph_.ApproxBytes();
-  bytes += txns_.size() * (sizeof(TxnId) + sizeof(TxnState));
+  bytes += txns_.MemoryBytes();
   for (const auto& [id, t] : txns_) {
-    bytes += t.write_keys.capacity() * sizeof(Key);
-    bytes += t.read_keys.capacity() * sizeof(Key);
-    bytes += t.own_writes.size() * (sizeof(Key) + sizeof(Value) + 16);
+    bytes += t.write_keys.HeapBytes();
+    bytes += t.read_keys.HeapBytes();
+    bytes += t.own_writes.MemoryBytes();
     bytes += t.pending.capacity() * sizeof(PendingEdge);
   }
   bytes += pending_reads_.size() * sizeof(PendingRead);

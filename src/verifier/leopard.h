@@ -5,9 +5,11 @@
 #include <functional>
 #include <queue>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash_map.h"
+#include "common/slab_map.h"
+#include "common/small_vector.h"
 #include "obs/registry.h"
 #include "trace/trace.h"
 #include "txn/types.h"
@@ -142,9 +144,11 @@ class Leopard {
     bool has_first_op = false;
     TimeInterval first_op;
     TimeInterval end;
-    std::vector<Key> write_keys;
-    std::vector<Key> read_keys;
-    std::unordered_map<Key, Value> own_writes;
+    /// Key lists are inline up to 4 entries: most transactions touch a
+    /// handful of keys, so tracking them allocates nothing.
+    SmallVector<Key, 4> write_keys;
+    SmallVector<Key, 4> read_keys;
+    FlatHashMap<Key, Value> own_writes;
     std::vector<PendingEdge> pending;  ///< edges waiting for this txn's fate
   };
 
@@ -156,6 +160,11 @@ class Leopard {
     /// Keys the statement reported as having no row: verified like reads,
     /// except the expectation is a tombstone (or nothing) being visible.
     std::vector<Key> absent_items;
+
+    void Reset() {
+      items.clear();
+      absent_items.clear();
+    }
   };
   struct PendingReadLater {
     bool operator()(const PendingRead& a, const PendingRead& b) const {
@@ -192,16 +201,26 @@ class Leopard {
     obs::Histogram* gc_ns = nullptr;     ///< one GC sweep
     obs::Gauge* live_txns = nullptr;
     obs::Gauge* graph_nodes = nullptr;
+    /// Memory-layer gauges (verifier.mem.*): flat-table array bytes (cheap
+    /// O(1) sum — per-entry heap is excluded so the sync stays off the hot
+    /// path), cumulative table rehashes, and graph scratch-epoch resets.
+    obs::Gauge* mem_table_bytes = nullptr;
+    obs::Gauge* mem_rehashes = nullptr;
+    obs::Gauge* mem_scratch_resets = nullptr;
   };
 
   VerifierConfig config_;
   VersionOrderIndex versions_;
   MirrorLockTable locks_;
   DependencyGraph graph_;
-  std::unordered_map<TxnId, TxnState> txns_;
+  SlabMap<TxnId, TxnState> txns_;
   std::priority_queue<PendingRead, std::vector<PendingRead>,
                       PendingReadLater>
       pending_reads_;
+  /// Retired PendingRead shells (vectors kept warm); ProcessRead refills
+  /// from here so the parked-read path stops allocating per statement.
+  std::vector<PendingRead> read_pool_;
+  std::vector<Key> lock_keys_scratch_;  ///< ProcessTerminal release list
   Timestamp frontier_ = 0;
   Timestamp safe_ts_bound_ = kMaxTimestamp;
   uint64_t traces_since_gc_ = 0;

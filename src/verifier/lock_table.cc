@@ -27,19 +27,22 @@ void MirrorLockTable::NoteAcquire(Key key, TxnId txn, bool exclusive,
     rec.has_s = true;
     rec.s_acquire = acquire;
   }
+  size_t cap_before = list.capacity();
   list.push_back(rec);
+  list_heap_bytes_ += (list.capacity() - cap_before) * sizeof(LockRec);
 }
 
-void MirrorLockTable::NoteRelease(TxnId txn, const std::vector<Key>& keys,
+void MirrorLockTable::NoteRelease(TxnId txn, const Key* keys, size_t n,
                                   TimeInterval release, bool committed) {
-  for (Key key : keys) {
-    auto it = map_.find(key);
+  for (size_t i = 0; i < n; ++i) {
+    auto it = map_.find(keys[i]);
     if (it == map_.end()) continue;
     for (auto& rec : it->second) {
       if (rec.txn == txn) {
         rec.released = true;
         rec.committed = committed;
         rec.release = release;
+        released_keys_.try_emplace(keys[i]);
         break;
       }
     }
@@ -53,7 +56,17 @@ std::vector<LockRec>* MirrorLockTable::Get(Key key) {
 
 size_t MirrorLockTable::Prune(Timestamp safe_ts) {
   size_t removed = 0;
-  for (auto mit = map_.begin(); mit != map_.end();) {
+  // Sweep only keys that saw a release since their last settling — a key
+  // whose records are all unreleased cannot have prunable history yet.
+  // See VersionOrderIndex::Prune for the collect-then-erase discipline on
+  // the open-addressing tables.
+  prune_scratch_.clear();
+  for (const auto& cand : released_keys_) {
+    auto mit = map_.find(cand.first);
+    if (mit == map_.end()) {
+      prune_scratch_.push_back(cand.first);
+      continue;
+    }
     auto& list = mit->second;
     bool has_unreleased = false;
     for (const auto& rec : list) {
@@ -72,10 +85,16 @@ size_t MirrorLockTable::Prune(Timestamp safe_ts) {
         }
       }
     }
-    if (list.empty()) {
-      mit = map_.erase(mit);
-    } else {
-      ++mit;
+    // Settled: nothing released remains to prune later. An unreleased
+    // holder will re-register the key when its release arrives.
+    if (list.empty() || has_unreleased) prune_scratch_.push_back(cand.first);
+  }
+  for (Key settled : prune_scratch_) {
+    released_keys_.erase(settled);
+    auto mit = map_.find(settled);
+    if (mit != map_.end() && mit->second.empty()) {
+      list_heap_bytes_ -= mit->second.capacity() * sizeof(LockRec);
+      map_.erase(settled);
     }
   }
   return removed;
@@ -88,11 +107,9 @@ size_t MirrorLockTable::RecordCount() const {
 }
 
 size_t MirrorLockTable::ApproxBytes() const {
-  size_t bytes = map_.size() * (sizeof(Key) + sizeof(void*) * 2);
-  for (const auto& [k, list] : map_) {
-    bytes += list.capacity() * sizeof(LockRec);
-  }
-  return bytes;
+  // O(1): see VersionOrderIndex::ApproxBytes for why this is incremental.
+  return map_.MemoryBytes() + released_keys_.MemoryBytes() +
+         list_heap_bytes_;
 }
 
 }  // namespace leopard

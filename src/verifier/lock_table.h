@@ -1,10 +1,11 @@
 #ifndef LEOPARD_VERIFIER_LOCK_TABLE_H_
 #define LEOPARD_VERIFIER_LOCK_TABLE_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash_map.h"
 #include "common/interval.h"
 #include "trace/trace.h"
 
@@ -64,8 +65,12 @@ class MirrorLockTable {
   void NoteAcquire(Key key, TxnId txn, bool exclusive, TimeInterval acquire);
 
   /// Marks `txn`'s locks on `keys` released at `release`.
+  void NoteRelease(TxnId txn, const Key* keys, size_t n, TimeInterval release,
+                   bool committed);
   void NoteRelease(TxnId txn, const std::vector<Key>& keys,
-                   TimeInterval release, bool committed);
+                   TimeInterval release, bool committed) {
+    NoteRelease(txn, keys.data(), keys.size(), release, committed);
+  }
 
   std::vector<LockRec>* Get(Key key);
 
@@ -77,9 +82,23 @@ class MirrorLockTable {
   size_t KeyCount() const { return map_.size(); }
   size_t RecordCount() const;
   size_t ApproxBytes() const;
+  /// Memory-layer observability: growths of the per-key table.
+  uint64_t RehashCount() const { return map_.rehash_count(); }
+  /// O(1) footprint of the table arrays (entries' own heap excluded).
+  size_t TableBytes() const { return map_.MemoryBytes(); }
 
  private:
-  std::unordered_map<Key, std::vector<LockRec>> map_;
+  FlatHashMap<Key, std::vector<LockRec>> map_;
+  /// Prune candidates: keys with at least one released record since the
+  /// last sweep. Only a release can create prunable history, so Prune walks
+  /// this set instead of the whole table; a key whose remaining records are
+  /// all unreleased (or that emptied) leaves the set and re-enters on its
+  /// next NoteRelease.
+  FlatHashMap<Key, uint8_t> released_keys_;
+  std::vector<Key> prune_scratch_;  ///< settled keys collected during Prune
+  /// Running sum of the lock lists' heap capacities (maintained on
+  /// NoteAcquire growth and Prune key erasure) so ApproxBytes is O(1).
+  size_t list_heap_bytes_ = 0;
 };
 
 }  // namespace leopard

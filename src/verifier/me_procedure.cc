@@ -5,7 +5,6 @@
 
 #include <algorithm>
 #include <sstream>
-#include <unordered_set>
 
 #include "obs/span.h"
 
@@ -74,7 +73,7 @@ void Leopard::VerifyMeAtRelease(TxnState& t) {
     }
   };
 
-  auto visit = [&](const std::vector<Key>& keys) {
+  auto visit = [&](const auto& keys) {
     for (Key key : keys) {
       auto* list = locks_.Get(key);
       if (list == nullptr) continue;

@@ -2,10 +2,11 @@
 #define LEOPARD_VERIFIER_VERSION_ORDER_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash_map.h"
 #include "common/interval.h"
+#include "common/small_vector.h"
 #include "trace/trace.h"
 
 namespace leopard {
@@ -24,16 +25,17 @@ struct VersionEntry {
   TimeInterval writer_snapshot;  ///< writer's snapshot generation interval
   TimeInterval writer_commit;    ///< writer's commit interval
   /// Transactions whose reads matched this version uniquely (for rw
-  /// antidependency deduction, Fig. 9).
-  std::vector<TxnId> readers;
+  /// antidependency deduction, Fig. 9). Inline for the common 0–2 readers.
+  SmallVector<TxnId, 2> readers;
 };
 
 /// The candidate version set of a read (§V-A): every version possibly
 /// visible under the snapshot generation interval, minimized per Theorem 2
 /// to overlap versions, the pivot version and pivot-overlap versions.
 struct CandidateSet {
-  /// Indices into the key's ordered version list.
-  std::vector<size_t> indices;
+  /// Indices into the key's ordered version list. Inline storage: the
+  /// minimized set (Theorem 2) is tiny, so computing it allocates nothing.
+  SmallVector<uint32_t, 8> indices;
   /// True when a pivot exists (some version certainly precedes the
   /// snapshot). When false and indices is empty the record had no version
   /// yet — a read of it cannot be CR-checked.
@@ -78,9 +80,26 @@ class VersionOrderIndex {
   size_t KeyCount() const { return map_.size(); }
   size_t VersionCount() const;
   size_t ApproxBytes() const;
+  /// Memory-layer observability: growths of the per-key table.
+  uint64_t RehashCount() const { return map_.rehash_count(); }
+  /// O(1) footprint of the table arrays (entries' own heap excluded).
+  size_t TableBytes() const { return map_.MemoryBytes(); }
 
  private:
-  std::unordered_map<Key, std::vector<VersionEntry>> map_;
+  FlatHashMap<Key, std::vector<VersionEntry>> map_;
+  /// Prune candidates: keys whose list reached two or more versions. A
+  /// single-version key can never be pruned (the pivot always survives), and
+  /// read-mostly workloads keep most keys at one version forever — sweeping
+  /// only this set makes Prune O(contended keys), not O(all keys). Keys
+  /// leave the set when a sweep finds them back at <= 1 version and re-enter
+  /// on the next 1 -> 2 install.
+  FlatHashMap<Key, uint8_t> multi_version_;
+  std::vector<Key> prune_scratch_;  ///< settled keys collected during Prune
+  /// Running sum of the version lists' heap capacities, maintained at the
+  /// two sites where a list's allocation can change (Install growth,
+  /// RemoveAborted emptying a key) so ApproxBytes is O(1) instead of a
+  /// full-table walk per memory sample.
+  size_t list_heap_bytes_ = 0;
 };
 
 }  // namespace leopard

@@ -210,5 +210,64 @@ TEST(DependencyGraphTest, CycleDetectionStillWorksAfterPrune) {
   EXPECT_TRUE(g.AddEdge(6, 4, DepType::kWw).has_value());
 }
 
+TEST(DependencyGraphTest, DuplicateEdgesIgnoredPastDupSetThreshold) {
+  // Out-degree beyond the linear-scan threshold switches duplicate
+  // detection to the per-node hash set; duplicates of both old and new
+  // edges must still be ignored, and distinct DepTypes on the same peer
+  // must still count as distinct edges.
+  DependencyGraph g(CertifierMode::kCycle);
+  constexpr TxnId kFanOut = 40;  // well past kDupSetThreshold (16)
+  g.AddNode(1, SerialNode(10));
+  for (TxnId i = 2; i <= kFanOut + 1; ++i) {
+    g.AddNode(i, SerialNode(i * 10));
+    EXPECT_FALSE(g.AddEdge(1, i, DepType::kWw).has_value());
+  }
+  EXPECT_EQ(g.EdgeCount(), kFanOut);
+  for (TxnId i = 2; i <= kFanOut + 1; ++i) {
+    EXPECT_FALSE(g.AddEdge(1, i, DepType::kWw).has_value());  // duplicate
+  }
+  EXPECT_EQ(g.EdgeCount(), kFanOut);
+  // Same peer, different type: a real new edge.
+  EXPECT_FALSE(g.AddEdge(1, 2, DepType::kRw).has_value());
+  EXPECT_EQ(g.EdgeCount(), kFanOut + 1);
+  EXPECT_FALSE(g.AddEdge(1, 2, DepType::kRw).has_value());
+  EXPECT_EQ(g.EdgeCount(), kFanOut + 1);
+}
+
+TEST(DependencyGraphTest, RepeatedFullDfsReusesScratchState) {
+  // The kFullDfs certifier runs a from-scratch search per commit; the
+  // epoch-marked visited state must give every search a clean slate (a
+  // stale mark would hide the cycle; a leaked grey mark would fabricate
+  // one).
+  DependencyGraph g(CertifierMode::kFullDfs);
+  for (TxnId i = 1; i <= 50; ++i) {
+    g.AddNode(i, SerialNode(i * 10));
+    if (i > 1) g.AddEdge(i - 1, i, DepType::kWw);
+    EXPECT_FALSE(g.FullCycleSearch().has_value()) << "after node " << i;
+  }
+  uint64_t bumps_before = g.ScratchEpochBumps();
+  EXPECT_GT(bumps_before, 0u);
+  g.AddEdge(50, 1, DepType::kRw);  // close the loop
+  EXPECT_TRUE(g.FullCycleSearch().has_value());
+  EXPECT_GT(g.ScratchEpochBumps(), bumps_before);
+}
+
+TEST(DependencyGraphTest, PruneEarlyOutBelowWatermark) {
+  DependencyGraph g(CertifierMode::kCycle);
+  for (TxnId i = 1; i <= 8; ++i) g.AddNode(i, SerialNode(i * 10));
+  // Every node ends at i*10+3 >= 13: safe_ts below the minimum cannot
+  // prune anything (and must not, repeatedly).
+  EXPECT_EQ(g.PruneGarbage(5), 0u);
+  EXPECT_EQ(g.PruneGarbage(12), 0u);  // just below the watermark
+  EXPECT_EQ(g.NodeCount(), 8u);
+  // end.aft <= safe_ts is inclusive: exactly hitting the watermark sweeps.
+  EXPECT_EQ(g.PruneGarbage(13), 1u);
+  EXPECT_EQ(g.NodeCount(), 7u);
+  // The watermark advances to the survivors' minimum (node 2 ends at 23).
+  EXPECT_EQ(g.PruneGarbage(33), 2u);  // nodes 2 and 3
+  EXPECT_EQ(g.NodeCount(), 5u);
+  EXPECT_EQ(g.PruneGarbage(33), 0u);  // re-ask: early-out again
+}
+
 }  // namespace
 }  // namespace leopard

@@ -171,6 +171,81 @@ TEST_F(VersionOrderTest, PruneRespectsInstallOverlapWithPivot) {
   EXPECT_EQ(index_.Get(1)->size(), 2u);
 }
 
+TEST_F(VersionOrderTest, PruneKeepsReadersOfSurvivingVersions) {
+  // A prune that drops the garbage prefix shifts the survivors' indices;
+  // the reader bookkeeping pinned on surviving versions must ride along
+  // untouched (rw deduction for still-pending reads depends on it).
+  Install(1, 1, 1, 10);
+  Install(1, 2, 2, 20);
+  Install(1, 3, 3, 30);
+  auto* list = index_.Get(1);
+  (*list)[1].readers.push_back(77);  // pending reader of version 2
+  (*list)[2].readers.push_back(88);
+  EXPECT_EQ(index_.Prune(100), 2u);  // versions 1 and 2 are garbage
+  list = index_.Get(1);
+  ASSERT_EQ(list->size(), 1u);
+  ASSERT_EQ((*list)[0].readers.size(), 1u);
+  EXPECT_EQ((*list)[0].readers[0], 88u);
+}
+
+TEST_F(VersionOrderTest, RemoveAbortedDropsEveryVersionOfTheWriter) {
+  // One aborted transaction wrote the key twice; both versions vanish and
+  // the dirty readers of both are reported once each.
+  Install(1, 100, 9, 10);
+  index_.Install(1, 101, 9, {20, 22});  // second (uncommitted) write
+  Install(1, 200, 5, 30);
+  auto* list = index_.Get(1);
+  ASSERT_EQ(list->size(), 3u);
+  (*list)[0].readers.push_back(41);
+  (*list)[1].readers.push_back(42);
+  auto dirty = index_.RemoveAborted(1, 9);
+  std::sort(dirty.begin(), dirty.end());
+  EXPECT_EQ(dirty, (std::vector<TxnId>{41, 42}));
+  list = index_.Get(1);
+  ASSERT_EQ(list->size(), 1u);
+  EXPECT_EQ((*list)[0].value, 200u);
+}
+
+TEST_F(VersionOrderTest, RemoveAbortedLastVersionDropsTheKey) {
+  InstallUncommitted(1, 100, 9, 10);
+  EXPECT_EQ(index_.KeyCount(), 1u);
+  auto dirty = index_.RemoveAborted(1, 9);
+  EXPECT_TRUE(dirty.empty());
+  EXPECT_EQ(index_.Get(1), nullptr);
+  EXPECT_EQ(index_.KeyCount(), 0u);
+  // The settled key must not confuse a later sweep.
+  EXPECT_EQ(index_.Prune(1000), 0u);
+}
+
+TEST_F(VersionOrderTest, PruneExactSafeTsBoundaryIsKept) {
+  // Prunability requires writer_commit.aft strictly below safe_ts: a
+  // version whose commit interval *ends at* safe_ts may still matter to a
+  // snapshot generated at exactly that instant.
+  InstallWithCommit(1, 1, 1, 10, 2, 48, 50);  // commit.aft == safe_ts
+  InstallWithCommit(1, 2, 2, 20, 2, 58, 60);
+  InstallWithCommit(1, 3, 3, 30, 2, 68, 70);
+  EXPECT_EQ(index_.Prune(50), 0u);  // boundary: nothing certain yet
+  EXPECT_EQ(index_.Prune(51), 0u);  // version 1 is now old, but it is the
+                                    // pivot for safe_ts=51 -> survives
+  EXPECT_EQ(index_.Prune(71), 2u);  // pivot advances to version 3
+  EXPECT_EQ(index_.Get(1)->size(), 1u);
+}
+
+TEST_F(VersionOrderTest, KeyReentersPruneCandidatesAfterSettling) {
+  // Regression for the multi-version candidate set: a key swept down to one
+  // version leaves the set; a later install must re-register it or the new
+  // garbage would never be collected.
+  Install(1, 1, 1, 10);
+  Install(1, 2, 2, 20);
+  EXPECT_EQ(index_.Prune(100), 1u);  // settles to the single pivot
+  ASSERT_EQ(index_.Get(1)->size(), 1u);
+  Install(1, 3, 3, 200);
+  Install(1, 4, 4, 300);
+  EXPECT_EQ(index_.Prune(1000), 2u);  // versions 2 and 3 go
+  ASSERT_EQ(index_.Get(1)->size(), 1u);
+  EXPECT_EQ((*index_.Get(1))[0].value, 4u);
+}
+
 TEST_F(VersionOrderTest, CountsAndBytes) {
   Install(1, 1, 1, 10);
   Install(2, 2, 2, 20);
