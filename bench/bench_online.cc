@@ -3,13 +3,24 @@
 // workload. Reports the workload's throughput with and without the live
 // verifier attached (the tracing overhead the paper argues is negligible)
 // and the drain lag once the workload stops.
+//
+// --net adds a loopback comparison: the same trace streams pushed into an
+// in-process OnlineVerifier vs shipped through leopard's wire protocol to
+// a VerifierServer on 127.0.0.1, quantifying the network ingestion tax.
+// --out-dir=DIR overrides where the metrics JSON lands (see bench_util.h).
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_util.h"
 #include "harness/online_verifier.h"
 #include "harness/thread_runner.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "workload/smallbank.h"
 #include "workload/ycsb.h"
 
@@ -74,9 +85,133 @@ OnlineRow RunOnce(Workload* workload, uint64_t txns) {
   return row;
 }
 
+struct NetRow {
+  double inproc_tps = 0;   // traces/s, in-process OnlineVerifier
+  double net_tps = 0;      // traces/s, loopback server + wire client
+  uint64_t traces = 0;
+};
+
+/// Pushes one collected run through (a) an in-process OnlineVerifier and
+/// (b) a loopback VerifierServer via the wire protocol, timing push-to-
+/// report for each. Streams are interleaved in global ts_bef order both
+/// times so the pipeline merge behaves identically.
+NetRow RunNetComparison(const RunResult& run, uint32_t shards) {
+  const VerifierConfig config = ConfigForMiniDb(
+      Protocol::kMvcc2plSsi, IsolationLevel::kSerializable);
+  const uint32_t clients = static_cast<uint32_t>(run.client_traces.size());
+  NetRow row;
+  for (const auto& ct : run.client_traces) row.traces += ct.size();
+
+  // Merge order shared by both sides.
+  auto merged_push = [&](auto&& push) {
+    std::vector<size_t> next(clients, 0);
+    while (true) {
+      uint32_t pick = clients;
+      for (uint32_t c = 0; c < clients; ++c) {
+        if (next[c] >= run.client_traces[c].size()) continue;
+        if (pick == clients ||
+            run.client_traces[c][next[c]].ts_bef() <
+                run.client_traces[pick][next[pick]].ts_bef()) {
+          pick = c;
+        }
+      }
+      if (pick == clients) break;
+      push(pick, Trace(run.client_traces[pick][next[pick]++]));
+    }
+  };
+
+  {
+    OnlineVerifier::Options oo;
+    oo.n_shards = shards;
+    OnlineVerifier online(clients, config, oo);
+    Stopwatch timer;
+    merged_push([&](uint32_t c, Trace t) { online.Push(c, std::move(t)); });
+    for (ClientId c = 0; c < clients; ++c) online.Close(c);
+    online.WaitReport();
+    row.inproc_tps = static_cast<double>(row.traces) / timer.Seconds();
+  }
+  {
+    net::VerifierServer::Options so;
+    so.n_shards = shards;
+    so.expected_sessions = 1;
+    so.metrics = BenchRegistry();
+    net::VerifierServer server(config, so);
+    Status st = server.Start();
+    if (!st.ok()) {
+      std::fprintf(stderr, "loopback server: %s\n", st.ToString().c_str());
+      return row;
+    }
+    std::thread drain([&server] { server.WaitReport(); });
+    net::VerifierClient::Options co;
+    co.n_streams = clients;
+    auto client = net::VerifierClient::Connect(
+        "127.0.0.1:" + std::to_string(server.port()), co);
+    if (!client.ok()) {
+      std::fprintf(stderr, "loopback connect: %s\n",
+                   client.status().ToString().c_str());
+      server.Shutdown();
+      drain.join();
+      return row;
+    }
+    Stopwatch timer;
+    merged_push([&](uint32_t c, Trace t) {
+      Status s = (*client)->Push(c, std::move(t));
+      if (!s.ok()) std::fprintf(stderr, "push: %s\n", s.ToString().c_str());
+    });
+    auto bye = (*client)->Finish();
+    if (!bye.ok()) {
+      std::fprintf(stderr, "finish: %s\n", bye.status().ToString().c_str());
+    }
+    drain.join();
+    row.net_tps = static_cast<double>(row.traces) / timer.Seconds();
+  }
+  return row;
+}
+
+void RunNetMode() {
+  PrintHeader("Network ingestion: in-process push vs loopback wire "
+              "protocol (verification throughput, traces/s)");
+  std::printf("%-10s %-8s %-7s %12s %12s %8s\n", "workload", "txns",
+              "shards", "inproc-tps", "net-tps", "ratio");
+  for (uint32_t shards : {1u, 4u}) {
+    for (uint64_t txns : {5000ull, 10000ull}) {
+      SmallBankWorkload::Options wo;
+      SmallBankWorkload workload(wo);
+      const RunResult& run =
+          CachedCollectTraces(&workload, Protocol::kMvcc2plSsi,
+                              IsolationLevel::kSerializable, txns, 8, txns);
+      NetRow row = RunNetComparison(run, shards);
+      std::printf("%-10s %-8llu %-7u %12.0f %12.0f %7.2f%%\n", "SmallBank",
+                  static_cast<unsigned long long>(txns), shards,
+                  row.inproc_tps, row.net_tps,
+                  row.inproc_tps > 0 ? 100.0 * row.net_tps / row.inproc_tps
+                                     : 0.0);
+    }
+  }
+  std::printf("\nExpected: the wire protocol costs little — framing and a "
+              "loopback hop, no extra copies on the verification path.\n");
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool net_mode = false;
+  std::string out_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--net") == 0) {
+      net_mode = true;
+    } else if (std::strncmp(argv[i], "--out-dir=", 10) == 0) {
+      out_dir = argv[i] + 10;
+    } else {
+      std::fprintf(stderr, "usage: bench_online [--net] [--out-dir=DIR]\n");
+      return 2;
+    }
+  }
+  if (net_mode) {
+    RunNetMode();
+    DropBenchMetrics("bench_online_net", out_dir);
+    return 0;
+  }
   PrintHeader("Online verification: workload tps alone vs with live "
               "verifier, and drain lag at workload end");
   std::printf("%-10s %-8s %12s %12s %10s %10s %6s\n", "workload", "txns",
@@ -107,6 +242,6 @@ int main() {
   std::printf("\nExpected: attaching the live verifier costs little "
               "workload throughput, and the residual drain after the last "
               "transaction is near zero — verification keeps pace.\n");
-  DropBenchMetrics("bench_online");
+  DropBenchMetrics("bench_online", out_dir);
   return 0;
 }

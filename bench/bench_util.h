@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
@@ -116,15 +117,33 @@ inline obs::MetricsRegistry* BenchRegistry() {
   return disabled ? nullptr : &registry;
 }
 
-/// Exports the bench registry as leopard_metrics_<bench_name>.json in
-/// $LEOPARD_METRICS_DIR (default: working directory). Call at the end of a
-/// bench main(); no-op when metrics are disabled.
-inline void DropBenchMetrics(const std::string& bench_name) {
+/// Where bench metrics files land, so they never clutter the source tree:
+/// an explicit `--out-dir` flag wins, then $LEOPARD_BENCH_OUT, then
+/// $LEOPARD_METRICS_DIR (the historical knob), then the build tree's
+/// bench_out/ directory (LEOPARD_BENCH_DEFAULT_OUT, baked in by CMake).
+inline std::string BenchOutputDir(const std::string& flag_dir = "") {
+  if (!flag_dir.empty()) return flag_dir;
+  if (const char* env = std::getenv("LEOPARD_BENCH_OUT")) return env;
+  if (const char* env = std::getenv("LEOPARD_METRICS_DIR")) return env;
+#ifdef LEOPARD_BENCH_DEFAULT_OUT
+  return LEOPARD_BENCH_DEFAULT_OUT;
+#else
+  return ".";
+#endif
+}
+
+/// Exports the bench registry as leopard_metrics_<bench_name>.json under
+/// BenchOutputDir() (created if missing). Call at the end of a bench
+/// main(); no-op when metrics are disabled. `out_dir` forwards a parsed
+/// `--out-dir` flag, overriding the environment.
+inline void DropBenchMetrics(const std::string& bench_name,
+                             const std::string& out_dir = "") {
   obs::MetricsRegistry* registry = BenchRegistry();
   if (registry == nullptr) return;
-  const char* dir = std::getenv("LEOPARD_METRICS_DIR");
-  std::string path = std::string(dir != nullptr ? dir : ".") +
-                     "/leopard_metrics_" + bench_name + ".json";
+  const std::string dir = BenchOutputDir(out_dir);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best effort; write reports
+  std::string path = dir + "/leopard_metrics_" + bench_name + ".json";
   Status s = obs::WriteMetricsFile(*registry, path);
   if (!s.ok()) {
     std::fprintf(stderr, "metrics export failed: %s\n", s.ToString().c_str());

@@ -24,7 +24,11 @@ OnlineVerifier::OnlineVerifier(uint32_t n_clients,
 OnlineVerifier::OnlineVerifier(uint32_t n_clients,
                                const VerifierConfig& config,
                                const ObsOptions& obs_options)
-    : OnlineVerifier(n_clients, config, Options{1, obs_options}) {}
+    : OnlineVerifier(n_clients, config, [&obs_options] {
+        Options o;
+        o.obs = obs_options;
+        return o;
+      }()) {}
 
 OnlineVerifier::OnlineVerifier(uint32_t n_clients,
                                const VerifierConfig& config,
@@ -34,6 +38,8 @@ OnlineVerifier::OnlineVerifier(uint32_t n_clients,
       n_clients_(n_clients),
       open_clients_(n_clients),
       client_closed_(n_clients, 0),
+      sealed_(!options.dynamic_clients),
+      on_bug_(options.on_bug),
       metrics_(options.obs.metrics),
       worker_([this] { Loop(); }) {
   if (metrics_ != nullptr) {
@@ -58,8 +64,15 @@ OnlineVerifier::OnlineVerifier(uint32_t n_clients,
 
 OnlineVerifier::~OnlineVerifier() {
   // Force-close any stream the caller forgot, so the worker can drain and
-  // terminate (Close is idempotent per client).
-  for (ClientId c = 0; c < n_clients_; ++c) Close(c);
+  // terminate (Close is idempotent per client; SealClients stops a dynamic
+  // run from waiting for sessions that will never come).
+  SealClients();
+  uint32_t n;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    n = n_clients_;
+  }
+  for (ClientId c = 0; c < n; ++c) Close(c);
   WaitFinished();
   worker_.join();
   // Stop after the worker: the final reporter sample then reflects the
@@ -92,6 +105,30 @@ void OnlineVerifier::Close(ClientId client) {
     client_closed_[client] = 1;
     pipeline_.Close(client);
     --open_clients_;
+  }
+  producer_cv_.notify_one();
+}
+
+OnlineVerifier::AddedClient OnlineVerifier::AddClient() {
+  AddedClient added;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    assert(!sealed_ && "AddClient() requires Options::dynamic_clients and "
+                       "must precede SealClients()");
+    added.id = pipeline_.AddClient();
+    added.floor = pipeline_.dispatch_floor();
+    client_closed_.push_back(0);
+    n_clients_ = static_cast<uint32_t>(client_closed_.size());
+    ++open_clients_;
+  }
+  producer_cv_.notify_one();
+  return added;
+}
+
+void OnlineVerifier::SealClients() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sealed_ = true;
   }
   producer_cv_.notify_one();
 }
@@ -129,22 +166,37 @@ void OnlineVerifier::Loop() {
     if (!batch.empty()) {
       lock.unlock();
       for (Trace& trace : batch) {
+        const uint64_t bytes = trace.ApproxBytes();
         engine_.Process(trace);
         verified_.fetch_add(1, std::memory_order_relaxed);
+        verified_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+      }
+      // Single-shard verification happens inline in Process, so any bug it
+      // found is visible now — stream it while the producers still run.
+      if (on_bug_ && engine_.n_shards() == 1) {
+        DeliverNewBugs(engine_.single().bugs());
       }
       batch.clear();
       lock.lock();
       continue;  // input may have arrived while we were verifying
     }
-    if (open_clients_ == 0 && pipeline_.Exhausted()) break;
+    if (sealed_ && open_clients_ == 0 && pipeline_.Exhausted()) break;
     producer_cv_.wait(lock);
   }
   // Finish() may join shard worker threads — never run it under mu_.
   lock.unlock();
   engine_.Finish();
+  // Sharded workers and the certifier only surface their bugs in the
+  // aggregated report; deliver the remainder exactly once, before anyone
+  // blocked in WaitReport() wakes up.
+  if (on_bug_) DeliverNewBugs(engine_.report().bugs);
   lock.lock();
   finished_ = true;
   done_cv_.notify_all();
+}
+
+void OnlineVerifier::DeliverNewBugs(const std::vector<BugDescriptor>& bugs) {
+  while (bugs_delivered_ < bugs.size()) on_bug_(bugs[bugs_delivered_++]);
 }
 
 }  // namespace leopard

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -57,6 +58,18 @@ class OnlineVerifier {
     /// Verification shards (see ShardedLeopard). 1 = single-threaded engine.
     uint32_t n_shards = 1;
     ObsOptions obs;
+    /// Allow AddClient() after construction (online ingestion: sessions
+    /// join while verification runs). The run then finishes only after
+    /// SealClients() — otherwise a moment with zero open clients (one
+    /// session gone, the next not yet connected) would end it prematurely.
+    bool dynamic_clients = false;
+    /// Invoked from the dispatcher thread as violations surface: after each
+    /// verified batch with a single-shard engine (so reports trail the
+    /// offending trace by at most one batch), and during the final drain
+    /// for bugs that only aggregate at Finish (sharded workers, certifier).
+    /// Every bug is delivered exactly once, always before WaitReport()
+    /// returns. Must not call back into this OnlineVerifier.
+    std::function<void(const BugDescriptor&)> on_bug;
   };
 
   OnlineVerifier(uint32_t n_clients, const VerifierConfig& config);
@@ -76,6 +89,23 @@ class OnlineVerifier {
   /// run while another client is still open.
   void Close(ClientId client);
 
+  /// A client stream registered mid-run (Options::dynamic_clients only).
+  /// `floor` is the dispatch floor it was admitted at: its traces must
+  /// carry ts_bef >= floor, a bound the caller must enforce on untrusted
+  /// streams before Push (the pipeline asserts it in debug builds).
+  struct AddedClient {
+    ClientId id = 0;
+    Timestamp floor = 0;
+  };
+
+  /// Registers a new client stream while verification runs. Thread-safe.
+  AddedClient AddClient();
+
+  /// Declares that no further AddClient() calls will come, letting the run
+  /// finish once every registered client is closed and drained. Idempotent;
+  /// implicit for non-dynamic verifiers.
+  void SealClients();
+
   /// Blocks until all pushed traces are verified (all clients must have
   /// been closed), then returns the final verifier. Single-shard only —
   /// sharded runs have no one Leopard to return; use WaitReport().
@@ -94,9 +124,18 @@ class OnlineVerifier {
   }
   bool verified_count_is_lock_free() const { return verified_.is_lock_free(); }
 
+  /// Approximate bytes of trace payload handed to the engine so far (the
+  /// ApproxBytes() sum of verified traces). Producers pushing decoded
+  /// network frames use pushed-bytes minus this as the in-flight bound for
+  /// backpressure. Lock-free.
+  uint64_t verified_bytes() const {
+    return verified_bytes_.load(std::memory_order_relaxed);
+  }
+
  private:
   void Loop();
   void WaitFinished();
+  void DeliverNewBugs(const std::vector<BugDescriptor>& bugs);
   obs::ProgressSnapshot SampleProgress() const;
 
   mutable std::mutex mu_;
@@ -105,10 +144,14 @@ class OnlineVerifier {
   TwoLevelPipeline pipeline_;
   ShardedLeopard engine_;
   std::atomic<uint64_t> verified_{0};
+  std::atomic<uint64_t> verified_bytes_{0};
   uint32_t n_clients_;
   uint32_t open_clients_;
   std::vector<uint8_t> client_closed_;  // guarded by mu_
+  bool sealed_ = true;                  // guarded by mu_
   bool finished_ = false;
+  std::function<void(const BugDescriptor&)> on_bug_;  // dispatcher thread only
+  size_t bugs_delivered_ = 0;                         // dispatcher thread only
   obs::MetricsRegistry* metrics_ = nullptr;  // not owned
   std::thread worker_;
   std::unique_ptr<obs::ProgressReporter> reporter_;

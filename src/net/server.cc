@@ -1,0 +1,489 @@
+#include "net/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace leopard {
+namespace net {
+
+namespace {
+constexpr uint64_t kPollMs = 200;      // recv/accept poll quantum
+constexpr uint64_t kSendTimeoutMs = 5000;
+constexpr size_t kRecvChunk = 64 * 1024;
+}  // namespace
+
+VerifierServer::VerifierServer(const VerifierConfig& config,
+                               const Options& options)
+    : config_(config), opts_(options), metrics_(options.metrics) {
+  if (metrics_ != nullptr) {
+    m_connections_ = metrics_->counter("net.connections");
+    m_sessions_done_ = metrics_->counter("net.sessions_completed");
+    m_disconnects_ = metrics_->counter("net.disconnects");
+    m_frames_in_ = metrics_->counter("net.frames_in");
+    m_bytes_in_ = metrics_->counter("net.bytes_in");
+    m_traces_in_ = metrics_->counter("net.traces_in");
+    m_decode_errors_ = metrics_->counter("net.decode_errors");
+    m_stalls_ = metrics_->counter("net.backpressure_stalls");
+    m_stall_ns_ = metrics_->counter("net.backpressure_stall_ns");
+    m_overrides_ = metrics_->counter("net.backpressure_overrides");
+    m_violations_sent_ = metrics_->counter("net.violations_sent");
+    m_violations_unroutable_ = metrics_->counter("net.violations_unroutable");
+    m_report_send_errors_ = metrics_->counter("net.report_send_errors");
+    m_active_ = metrics_->gauge("net.active_connections");
+    m_inflight_ = metrics_->gauge("net.inflight_bytes");
+    m_report_latency_ = metrics_->histogram("net.violation_report_ns");
+  }
+}
+
+VerifierServer::~VerifierServer() {
+  Shutdown();
+  WaitReport();
+}
+
+Status VerifierServer::Start() {
+  auto listener = Listener::Listen(opts_.port);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(*listener);
+  port_ = listener_.port();
+
+  OnlineVerifier::Options vo;
+  vo.n_shards = opts_.n_shards;
+  vo.dynamic_clients = true;
+  vo.obs.metrics = metrics_;
+  vo.obs.progress_interval_ms = opts_.progress_interval_ms;
+  vo.obs.print_progress = opts_.print_progress;
+  vo.on_bug = [this](const BugDescriptor& bug) { OnBug(bug); };
+  // Client 0 is the server's gate stream: held open (and empty) it pins the
+  // pipeline watermark at 0 so nothing dispatches before all expected
+  // sessions joined — concurrently-connecting replay clients with
+  // overlapping virtual timestamps then merge in correct global order.
+  online_ = std::make_unique<OnlineVerifier>(1, config_, vo);
+  gate_client_ = 0;
+  if (opts_.expected_sessions == 0) {
+    // Run-until-shutdown service: no join barrier; sessions are admitted
+    // at the live dispatch floor instead.
+    online_->Close(gate_client_);
+    gate_closed_ = true;
+  }
+  accepting_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void VerifierServer::AcceptLoop() {
+  while (accepting_.load(std::memory_order_acquire)) {
+    auto sock = listener_.Accept(kPollMs);
+    if (!sock.ok()) {
+      if (sock.status().code() == StatusCode::kBusy) continue;
+      break;  // listener closed (shutdown) or fatal
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_.load(std::memory_order_relaxed)) break;
+    auto session = std::make_unique<Session>();
+    session->id = static_cast<uint32_t>(sessions_.size());
+    session->sock = std::move(*sock);
+    Session* raw = session.get();
+    sessions_.push_back(std::move(session));
+    if (m_connections_ != nullptr) m_connections_->Inc();
+    if (m_active_ != nullptr) m_active_->Add(1);
+    raw->reader = std::thread([this, raw] { ReaderLoop(*raw); });
+  }
+}
+
+void VerifierServer::ReaderLoop(Session& session) {
+  session.sock.SetRecvTimeoutMs(kPollMs);
+  session.sock.SetSendTimeoutMs(kSendTimeoutMs);
+  FrameDecoder decoder(opts_.max_frame_bytes);
+  char buf[kRecvChunk];
+  uint64_t idle_since_ns = obs::NowNs();
+  bool alive = true;
+  while (alive) {
+    auto got = session.sock.Recv(buf, sizeof(buf));
+    if (!got.ok()) {
+      if (got.status().code() != StatusCode::kBusy) break;  // peer gone
+      // Timeout tick: enforce the idle budget, but only on sessions that
+      // still owe us stream data — a drained session legitimately sits
+      // idle waiting for the server-wide report.
+      bool all_closed =
+          session.n_streams > 0 &&
+          std::all_of(session.stream_closed.begin(),
+                      session.stream_closed.end(),
+                      [](uint8_t c) { return c != 0; });
+      if (!all_closed &&
+          obs::NowNs() - idle_since_ns > opts_.idle_timeout_ms * 1000000ull) {
+        FailSession(session, "idle timeout");
+        break;
+      }
+      if (session.defunct.load(std::memory_order_relaxed)) break;
+      continue;
+    }
+    if (*got == 0) break;  // orderly EOF
+    idle_since_ns = obs::NowNs();
+    if (m_bytes_in_ != nullptr) m_bytes_in_->Inc(*got);
+    decoder.Feed(buf, *got);
+    while (alive) {
+      Frame frame;
+      Status s = decoder.Poll(frame);
+      if (s.code() == StatusCode::kBusy) break;
+      if (!s.ok()) {
+        if (m_decode_errors_ != nullptr) m_decode_errors_->Inc();
+        FailSession(session, s.message());
+        alive = false;
+        break;
+      }
+      if (!HandleFrame(session, std::move(frame))) alive = false;
+    }
+  }
+  FinishSession(session);
+}
+
+bool VerifierServer::HandleFrame(Session& session, Frame frame) {
+  session.last_frame_ns.store(obs::NowNs(), std::memory_order_relaxed);
+  if (m_frames_in_ != nullptr) m_frames_in_->Inc();
+  switch (frame.type) {
+    case FrameType::kHello:
+      return HandleHello(session, frame);
+    case FrameType::kBatch:
+      return HandleBatch(session, frame);
+    case FrameType::kCloseStream: {
+      auto msg = DecodeCloseStream(frame.payload);
+      if (!msg.ok() || session.n_streams == 0 ||
+          msg->stream >= session.n_streams) {
+        if (m_decode_errors_ != nullptr) m_decode_errors_->Inc();
+        FailSession(session, "bad CLOSE_STREAM");
+        return false;
+      }
+      if (!session.stream_closed[msg->stream]) {
+        session.stream_closed[msg->stream] = 1;
+        online_->Close(session.base_client + msg->stream);
+        bool all_closed = std::all_of(session.stream_closed.begin(),
+                                      session.stream_closed.end(),
+                                      [](uint8_t c) { return c != 0; });
+        if (all_closed && !session.counted_complete.exchange(true)) {
+          sessions_completed_.fetch_add(1, std::memory_order_relaxed);
+          if (m_sessions_done_ != nullptr) m_sessions_done_->Inc();
+          drain_cv_.notify_all();
+        }
+      }
+      return true;
+    }
+    case FrameType::kError:
+      // The peer gave up; its explanation is advisory. End the session.
+      return false;
+    default:
+      if (m_decode_errors_ != nullptr) m_decode_errors_->Inc();
+      FailSession(session, std::string("unexpected frame ") +
+                               FrameTypeName(frame.type));
+      return false;
+  }
+}
+
+bool VerifierServer::HandleHello(Session& session, const Frame& frame) {
+  auto hello = DecodeHello(frame.payload);
+  if (!hello.ok()) {
+    if (m_decode_errors_ != nullptr) m_decode_errors_->Inc();
+    FailSession(session, "bad HELLO");
+    return false;
+  }
+  if (session.n_streams != 0) {
+    FailSession(session, "duplicate HELLO");
+    return false;
+  }
+  if (hello->version != kWireVersion) {
+    FailSession(session, "wire version mismatch: client " +
+                             std::to_string(hello->version) + ", server " +
+                             std::to_string(kWireVersion));
+    return false;
+  }
+  if (hello->n_streams == 0 || hello->n_streams > opts_.max_streams) {
+    FailSession(session, "invalid stream count");
+    return false;
+  }
+  HelloAckMsg ack;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      FailSession(session, "server draining");
+      return false;
+    }
+    if (next_stream_slot_ + hello->n_streams > opts_.max_streams) {
+      FailSession(session, "server at stream capacity");
+      return false;
+    }
+    // All AddClient calls happen under mu_, so one session's streams get
+    // contiguous verifier client ids.
+    session.floor.resize(hello->n_streams);
+    session.last_ts.assign(hello->n_streams, 0);
+    session.stream_closed.assign(hello->n_streams, 0);
+    for (uint32_t i = 0; i < hello->n_streams; ++i) {
+      OnlineVerifier::AddedClient added = online_->AddClient();
+      if (i == 0) session.base_client = added.id;
+      session.floor[i] = added.floor;
+    }
+    next_stream_slot_ += hello->n_streams;
+    session.n_streams = hello->n_streams;
+    ++sessions_handshaken_;
+    if (!gate_closed_ && opts_.expected_sessions > 0 &&
+        sessions_handshaken_ >= opts_.expected_sessions) {
+      // The join barrier: every expected session is registered, dispatch
+      // may begin.
+      online_->Close(gate_client_);
+      gate_closed_ = true;
+    }
+    ack.base_client = session.base_client;
+  }
+  SendToSession(session, EncodeFrame(FrameType::kHelloAck,
+                                     EncodeHelloAck(ack)));
+  return true;
+}
+
+bool VerifierServer::HandleBatch(Session& session, const Frame& frame) {
+  if (session.n_streams == 0) {
+    FailSession(session, "BATCH before HELLO");
+    return false;
+  }
+  auto batch = DecodeBatch(frame.payload);
+  if (!batch.ok()) {
+    if (m_decode_errors_ != nullptr) m_decode_errors_->Inc();
+    FailSession(session, batch.status().message());
+    return false;
+  }
+  if (batch->stream >= session.n_streams ||
+      session.stream_closed[batch->stream]) {
+    FailSession(session, "BATCH for invalid or closed stream");
+    return false;
+  }
+  const ClientId client = session.base_client + batch->stream;
+  Timestamp& last_ts = session.last_ts[batch->stream];
+  const Timestamp floor = session.floor[batch->stream];
+  size_t batch_bytes = 0;
+  for (const Trace& t : batch->traces) {
+    if (t.ts_bef() > t.ts_aft()) {
+      FailSession(session, "trace with inverted interval");
+      return false;
+    }
+    if (t.ts_bef() < floor || t.ts_bef() < last_ts) {
+      // Either the stream violated its own non-decreasing ts_bef contract,
+      // or a late-joining session replayed traces older than what the
+      // verifier already dispatched past (admission floor).
+      FailSession(session, "trace below stream order floor");
+      return false;
+    }
+    last_ts = t.ts_bef();
+    batch_bytes += t.ApproxBytes();
+  }
+  Backpressure(batch_bytes);
+  {
+    // Record txn -> session before Push: a single-shard engine can surface
+    // the violation (and route it) the moment the batch is verified.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Trace& t : batch->traces) {
+      txn_session_.emplace(t.txn, &session);
+    }
+  }
+  const uint64_t n = batch->traces.size();
+  for (Trace& t : batch->traces) {
+    t.client = client;
+    online_->Push(client, std::move(t));
+  }
+  pushed_bytes_.fetch_add(batch_bytes, std::memory_order_relaxed);
+  traces_received_.fetch_add(n, std::memory_order_relaxed);
+  const uint64_t session_total =
+      session.traces_received.fetch_add(n, std::memory_order_relaxed) + n;
+  if (m_traces_in_ != nullptr) m_traces_in_->Inc(n);
+  SendToSession(session,
+                EncodeFrame(FrameType::kBatchAck,
+                            EncodeBatchAck(BatchAckMsg{session_total})));
+  return !session.defunct.load(std::memory_order_relaxed);
+}
+
+void VerifierServer::Backpressure(size_t incoming_bytes) {
+  auto inflight = [this] {
+    uint64_t pushed = pushed_bytes_.load(std::memory_order_relaxed);
+    uint64_t verified = online_->verified_bytes();
+    return pushed > verified ? pushed - verified : 0;
+  };
+  uint64_t cur = inflight();
+  if (m_inflight_ != nullptr) m_inflight_->Set(static_cast<int64_t>(cur));
+  if (cur + incoming_bytes <= opts_.max_inflight_bytes) return;
+  if (m_stalls_ != nullptr) m_stalls_->Inc();
+  const uint64_t start_ns = obs::NowNs();
+  uint64_t last_progress_ns = start_ns;
+  uint64_t last_verified = online_->verified_bytes();
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    cur = inflight();
+    if (cur + incoming_bytes <= opts_.max_inflight_bytes) break;
+    uint64_t verified = online_->verified_bytes();
+    if (verified != last_verified) {
+      last_verified = verified;
+      last_progress_ns = obs::NowNs();
+      continue;
+    }
+    if (obs::NowNs() - last_progress_ns >
+        opts_.stall_override_ms * 1000000ull) {
+      // Dispatch is starved on another stream's watermark, not on us;
+      // blocking here would deadlock the very stream it waits for. Admit
+      // the frame and account the override.
+      if (m_overrides_ != nullptr) m_overrides_->Inc();
+      break;
+    }
+  }
+  if (m_stall_ns_ != nullptr) m_stall_ns_->Inc(obs::NowNs() - start_ns);
+  if (m_inflight_ != nullptr) {
+    m_inflight_->Set(static_cast<int64_t>(inflight()));
+  }
+}
+
+void VerifierServer::SendToSession(Session& session,
+                                   const std::string& frame) {
+  if (session.defunct.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(session.write_mu);
+  Status s = session.sock.SendAll(frame.data(), frame.size());
+  if (!s.ok()) session.defunct.store(true, std::memory_order_relaxed);
+}
+
+void VerifierServer::FailSession(Session& session,
+                                 const std::string& message) {
+  if (session.defunct.exchange(true)) return;
+  std::lock_guard<std::mutex> lock(session.write_mu);
+  std::string frame = EncodeFrame(FrameType::kError, EncodeError(message));
+  session.sock.SendAll(frame.data(), frame.size());  // best effort
+  session.sock.ShutdownBoth();
+}
+
+void VerifierServer::FinishSession(Session& session) {
+  bool had_open = false;
+  if (session.n_streams > 0) {
+    for (uint32_t i = 0; i < session.n_streams; ++i) {
+      if (!session.stream_closed[i]) {
+        session.stream_closed[i] = 1;
+        online_->Close(session.base_client + i);
+        had_open = true;
+      }
+    }
+    if (!session.counted_complete.exchange(true)) {
+      sessions_completed_.fetch_add(1, std::memory_order_relaxed);
+      if (m_sessions_done_ != nullptr) m_sessions_done_->Inc();
+      drain_cv_.notify_all();
+    }
+  }
+  if (had_open && m_disconnects_ != nullptr) m_disconnects_->Inc();
+  if (m_active_ != nullptr) m_active_->Add(-1);
+}
+
+void VerifierServer::OnBug(const BugDescriptor& bug) {
+  // Dispatcher thread. Route to every session owning one of the involved
+  // transactions; the offending client learns about its violation even
+  // when an innocent reader's transaction is also implicated.
+  std::vector<Session*> targets;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (TxnId txn : bug.txns) {
+      auto it = txn_session_.find(txn);
+      if (it == txn_session_.end()) continue;
+      if (std::find(targets.begin(), targets.end(), it->second) ==
+          targets.end()) {
+        targets.push_back(it->second);
+      }
+    }
+  }
+  if (targets.empty()) {
+    if (m_violations_unroutable_ != nullptr) m_violations_unroutable_->Inc();
+    return;
+  }
+  const std::string frame =
+      EncodeFrame(FrameType::kViolation, EncodeViolation(bug));
+  const uint64_t now_ns = obs::NowNs();
+  for (Session* s : targets) {
+    if (s->defunct.load(std::memory_order_relaxed)) {
+      if (m_report_send_errors_ != nullptr) m_report_send_errors_->Inc();
+      continue;
+    }
+    SendToSession(*s, frame);
+    if (s->defunct.load(std::memory_order_relaxed)) {
+      if (m_report_send_errors_ != nullptr) m_report_send_errors_->Inc();
+      continue;
+    }
+    s->violations_sent.fetch_add(1, std::memory_order_relaxed);
+    if (m_violations_sent_ != nullptr) m_violations_sent_->Inc();
+    if (m_report_latency_ != nullptr) {
+      uint64_t arrival = s->last_frame_ns.load(std::memory_order_relaxed);
+      if (arrival != 0 && now_ns > arrival) {
+        m_report_latency_->Record(now_ns - arrival);
+      }
+    }
+  }
+}
+
+void VerifierServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_.store(true, std::memory_order_relaxed);
+  }
+  accepting_.store(false, std::memory_order_release);
+  drain_cv_.notify_all();
+}
+
+const VerifyReport& VerifierServer::WaitReport() {
+  if (online_ == nullptr) return report_;  // Start() never ran
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (drained_) return report_;
+    drain_cv_.wait(lock, [this] {
+      return stopping_.load(std::memory_order_relaxed) ||
+             (opts_.expected_sessions > 0 &&
+              sessions_completed_.load(std::memory_order_relaxed) >=
+                  opts_.expected_sessions);
+    });
+    stopping_.store(true, std::memory_order_relaxed);
+  }
+  // Stop accepting and collect the session set (stable: entries are never
+  // erased, and no new ones can appear once accepting_ is false). Join
+  // before closing the fd — the accept poll rechecks accepting_ within
+  // kPollMs, and Close while Accept reads the fd would race.
+  accepting_.store(false, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+  std::vector<Session*> sessions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& s : sessions_) sessions.push_back(s.get());
+  }
+  // Sessions still owing stream data (shutdown before they finished, or
+  // surplus beyond expected_sessions) would stall the drain forever: force
+  // their readers out now; FinishSession closes their streams.
+  for (Session* s : sessions) {
+    if (!s->counted_complete.load(std::memory_order_relaxed)) {
+      s->sock.ShutdownBoth();
+      if (s->reader.joinable()) s->reader.join();
+    }
+  }
+  online_->SealClients();
+  online_->Close(gate_client_);  // idempotent
+  report_ = online_->WaitReport();  // streams remaining violations via OnBug
+  // Completed sessions kept their connection for the report; hand each its
+  // BYE and release them.
+  const uint64_t verified = online_->verified_count();
+  for (Session* s : sessions) {
+    ByeMsg bye;
+    bye.traces_verified = verified;
+    bye.violations_sent = s->violations_sent.load(std::memory_order_relaxed);
+    SendToSession(*s, EncodeFrame(FrameType::kBye, EncodeBye(bye)));
+    s->sock.ShutdownBoth();
+  }
+  for (Session* s : sessions) {
+    if (s->reader.joinable()) s->reader.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    drained_ = true;
+  }
+  return report_;
+}
+
+}  // namespace net
+}  // namespace leopard

@@ -1,0 +1,190 @@
+#ifndef LEOPARD_NET_SERVER_H_
+#define LEOPARD_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "harness/online_verifier.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "obs/registry.h"
+
+namespace leopard {
+namespace net {
+
+/// TCP ingestion front-end for online verification: accepts N concurrent
+/// client connections speaking the wire protocol (wire.h), decodes their
+/// trace batches and pushes them into one OnlineVerifier, so key-sharded
+/// parallel verification (--shards=N) works unchanged behind the network
+/// boundary. Violations stream back to the session(s) whose transactions
+/// are involved.
+///
+/// Threading: one accept thread plus one reader thread per connection.
+/// Sessions register their streams dynamically (OnlineVerifier::AddClient);
+/// a "gate" stream held open by the server keeps the pipeline watermark at
+/// zero until all `expected_sessions` have completed their handshake, so
+/// concurrently-connecting replay clients with overlapping virtual
+/// timestamps merge correctly. With expected_sessions == 0 the gate drops
+/// immediately and late joiners are admitted at the current dispatch floor
+/// (the realtime-clock deployment), which the server enforces per stream.
+///
+/// Backpressure: a session whose decoded-but-unverified bytes exceed
+/// max_inflight_bytes stalls its reader thread (so TCP flow control blocks
+/// the producer at the socket) instead of buffering without bound — but
+/// only while the verifier is making progress; when dispatch is starved
+/// on *another* stream's watermark the frame is admitted anyway, trading
+/// bounded overshoot for liveness (net.backpressure_overrides counts it).
+class VerifierServer {
+ public:
+  struct Options {
+    /// TCP port to listen on; 0 = kernel-assigned (read back via port()).
+    uint16_t port = 0;
+    /// Verification shards, forwarded to OnlineVerifier/ShardedLeopard.
+    uint32_t n_shards = 1;
+    /// Sessions to serve before draining and reporting. 0 = keep serving
+    /// until Shutdown() is called.
+    uint32_t expected_sessions = 0;
+    /// Hard cap on concurrently-registered client streams across all
+    /// sessions (a handshake requesting more is rejected).
+    uint32_t max_streams = 256;
+    /// Close a session that sends nothing for this long.
+    uint64_t idle_timeout_ms = 30000;
+    /// Backpressure threshold on decoded-but-unverified trace bytes.
+    size_t max_inflight_bytes = 64u << 20;
+    /// Give up on a backpressure stall with no verifier progress after this
+    /// long and admit the frame (watermark starvation, see class comment).
+    uint64_t stall_override_ms = 500;
+    /// Per-frame payload limit handed to the decoder.
+    size_t max_frame_bytes = kMaxFramePayload;
+    /// Optional instrumentation: net.* counters/gauges/histograms (see
+    /// docs/OBSERVABILITY.md) plus everything OnlineVerifier exports.
+    obs::MetricsRegistry* metrics = nullptr;
+    uint64_t progress_interval_ms = 0;
+    bool print_progress = false;
+  };
+
+  VerifierServer(const VerifierConfig& config, const Options& options);
+  ~VerifierServer();
+  VerifierServer(const VerifierServer&) = delete;
+  VerifierServer& operator=(const VerifierServer&) = delete;
+
+  /// Binds the listener and starts accepting. Call once.
+  Status Start();
+
+  /// Port actually bound (valid after Start()).
+  uint16_t port() const { return port_; }
+
+  /// Blocks until `expected_sessions` sessions have ended (or Shutdown()
+  /// was called), drains the verifier, streams the remaining violations
+  /// and BYEs to connected sessions, and returns the aggregated report.
+  /// Idempotent.
+  const VerifyReport& WaitReport();
+
+  /// Stops accepting and unblocks WaitReport() even before
+  /// expected_sessions completed. Safe from any thread (including a signal
+  /// watchdog). Streams still open are force-closed at their current point.
+  void Shutdown();
+
+  /// Traces accepted from the network so far.
+  uint64_t traces_received() const {
+    return traces_received_.load(std::memory_order_relaxed);
+  }
+  /// Sessions that finished (cleanly or by disconnect).
+  uint32_t sessions_completed() const {
+    return sessions_completed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Session {
+    uint32_t id = 0;
+    Socket sock;
+    std::thread reader;
+    std::mutex write_mu;          // serializes acks/violations/bye/error
+    uint32_t n_streams = 0;       // 0 until the handshake succeeded
+    uint32_t base_client = 0;     // first OnlineVerifier client id
+    std::vector<Timestamp> floor;          // admission floor per stream
+    std::vector<Timestamp> last_ts;        // per-stream order enforcement
+    std::vector<uint8_t> stream_closed;    // reader thread only
+    std::atomic<uint64_t> traces_received{0};
+    std::atomic<uint64_t> last_frame_ns{0};
+    std::atomic<uint32_t> violations_sent{0};
+    /// Session counted towards sessions_completed (exactly once).
+    std::atomic<bool> counted_complete{false};
+    /// Write side dead (error sent or peer gone); skip further sends.
+    std::atomic<bool> defunct{false};
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(Session& session);
+  /// Dispatches one decoded frame; returns false to end the session.
+  bool HandleFrame(Session& session, Frame frame);
+  bool HandleHello(Session& session, const Frame& frame);
+  bool HandleBatch(Session& session, const Frame& frame);
+  /// Sends kError and marks the session defunct.
+  void FailSession(Session& session, const std::string& message);
+  /// Closes every still-open stream of the session and, if it completed
+  /// the handshake, counts the session as finished.
+  void FinishSession(Session& session);
+  void SendToSession(Session& session, const std::string& frame);
+  /// Routes one bug to the sessions owning its transactions (dispatcher
+  /// thread, via OnlineVerifier's on_bug).
+  void OnBug(const BugDescriptor& bug);
+  /// Blocks while the in-flight byte budget is exhausted; see class
+  /// comment for the starvation escape.
+  void Backpressure(size_t incoming_bytes);
+
+  VerifierConfig config_;
+  Options opts_;
+  obs::MetricsRegistry* metrics_;  // not owned; may be nullptr
+
+  Listener listener_;
+  uint16_t port_ = 0;
+  std::unique_ptr<OnlineVerifier> online_;
+  ClientId gate_client_ = 0;
+
+  std::mutex mu_;  // sessions_, txn_session_, allocation, lifecycle flags
+  std::condition_variable drain_cv_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::unordered_map<TxnId, Session*> txn_session_;
+  uint32_t next_stream_slot_ = 0;  // streams allocated (excluding the gate)
+  uint32_t sessions_handshaken_ = 0;
+  bool gate_closed_ = false;
+  bool drained_ = false;
+  std::atomic<bool> stopping_{false};  // set by Shutdown(), any thread
+  std::atomic<bool> accepting_{false};
+  std::atomic<uint64_t> traces_received_{0};
+  std::atomic<uint64_t> pushed_bytes_{0};
+  std::atomic<uint32_t> sessions_completed_{0};
+  std::thread accept_thread_;
+  VerifyReport report_;
+
+  // Cached metric handles (nullptr when metrics_ == nullptr).
+  obs::Counter* m_connections_ = nullptr;
+  obs::Counter* m_sessions_done_ = nullptr;
+  obs::Counter* m_disconnects_ = nullptr;
+  obs::Counter* m_frames_in_ = nullptr;
+  obs::Counter* m_bytes_in_ = nullptr;
+  obs::Counter* m_traces_in_ = nullptr;
+  obs::Counter* m_decode_errors_ = nullptr;
+  obs::Counter* m_stalls_ = nullptr;
+  obs::Counter* m_stall_ns_ = nullptr;
+  obs::Counter* m_overrides_ = nullptr;
+  obs::Counter* m_violations_sent_ = nullptr;
+  obs::Counter* m_violations_unroutable_ = nullptr;
+  obs::Counter* m_report_send_errors_ = nullptr;
+  obs::Gauge* m_active_ = nullptr;
+  obs::Gauge* m_inflight_ = nullptr;
+  obs::Histogram* m_report_latency_ = nullptr;
+};
+
+}  // namespace net
+}  // namespace leopard
+
+#endif  // LEOPARD_NET_SERVER_H_

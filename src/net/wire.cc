@@ -1,0 +1,314 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "trace/trace_io.h"
+
+namespace leopard {
+namespace net {
+
+namespace {
+
+void PutU8(std::string& out, uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+void PutU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+void PutU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::string& bytes) : bytes_(bytes) {}
+
+  bool GetU8(uint8_t& v) {
+    if (pos_ + 1 > bytes_.size()) return false;
+    v = static_cast<uint8_t>(bytes_[pos_++]);
+    return true;
+  }
+  bool GetU32(uint32_t& v) {
+    if (pos_ + 4 > bytes_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[pos_++]))
+           << (8 * i);
+    }
+    return true;
+  }
+  bool GetU64(uint64_t& v) {
+    if (pos_ + 8 > bytes_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_++]))
+           << (8 * i);
+    }
+    return true;
+  }
+  bool GetString(std::string& out, uint32_t len) {
+    if (static_cast<uint64_t>(len) > bytes_.size() - pos_) return false;
+    out.assign(bytes_, pos_, len);
+    pos_ += len;
+    return true;
+  }
+  size_t pos() const { return pos_; }
+  bool Done() const { return pos_ == bytes_.size(); }
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  const std::string& bytes_;
+  size_t pos_ = 0;
+};
+
+Status Malformed(const char* what) {
+  return Status::InvalidArgument(std::string("malformed ") + what +
+                                 " payload");
+}
+
+}  // namespace
+
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kHello:
+      return "HELLO";
+    case FrameType::kHelloAck:
+      return "HELLO_ACK";
+    case FrameType::kBatch:
+      return "BATCH";
+    case FrameType::kBatchAck:
+      return "BATCH_ACK";
+    case FrameType::kCloseStream:
+      return "CLOSE_STREAM";
+    case FrameType::kViolation:
+      return "VIOLATION";
+    case FrameType::kBye:
+      return "BYE";
+    case FrameType::kError:
+      return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  PutU8(out, static_cast<uint8_t>(type));
+  out.append(payload);
+  return out;
+}
+
+void FrameDecoder::Feed(const char* data, size_t n) {
+  // Compact the consumed prefix before it dominates the buffer, so a
+  // long-lived connection does not grow its buffer without bound.
+  if (pos_ > 4096 && pos_ > buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data, n);
+}
+
+Status FrameDecoder::Poll(Frame& out) {
+  if (poisoned_) return Status::InvalidArgument("frame stream corrupt");
+  if (buf_.size() - pos_ < kFrameHeaderBytes) {
+    return Status::Busy("need more bytes");
+  }
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(static_cast<uint8_t>(buf_[pos_ + i]))
+           << (8 * i);
+  }
+  const uint8_t type = static_cast<uint8_t>(buf_[pos_ + 4]);
+  if (len > max_payload_) {
+    poisoned_ = true;
+    return Status::InvalidArgument("frame payload length " +
+                                   std::to_string(len) + " exceeds limit");
+  }
+  if (type < static_cast<uint8_t>(FrameType::kHello) ||
+      type > static_cast<uint8_t>(FrameType::kError)) {
+    poisoned_ = true;
+    return Status::InvalidArgument("unknown frame type " +
+                                   std::to_string(type));
+  }
+  if (buf_.size() - pos_ < kFrameHeaderBytes + len) {
+    return Status::Busy("need more bytes");
+  }
+  out.type = static_cast<FrameType>(type);
+  out.payload.assign(buf_, pos_ + kFrameHeaderBytes, len);
+  pos_ += kFrameHeaderBytes + len;
+  return Status::Ok();
+}
+
+std::string EncodeHello(const HelloMsg& m) {
+  std::string out;
+  PutU32(out, m.version);
+  PutU32(out, m.n_streams);
+  return out;
+}
+
+StatusOr<HelloMsg> DecodeHello(const std::string& payload) {
+  Reader r(payload);
+  HelloMsg m;
+  if (!r.GetU32(m.version) || !r.GetU32(m.n_streams) || !r.Done()) {
+    return Malformed("HELLO");
+  }
+  return m;
+}
+
+std::string EncodeHelloAck(const HelloAckMsg& m) {
+  std::string out;
+  PutU32(out, m.version);
+  PutU32(out, m.base_client);
+  return out;
+}
+
+StatusOr<HelloAckMsg> DecodeHelloAck(const std::string& payload) {
+  Reader r(payload);
+  HelloAckMsg m;
+  if (!r.GetU32(m.version) || !r.GetU32(m.base_client) || !r.Done()) {
+    return Malformed("HELLO_ACK");
+  }
+  return m;
+}
+
+std::string EncodeBatch(uint32_t stream, const std::vector<Trace>& traces) {
+  std::string out;
+  PutU32(out, stream);
+  PutU32(out, static_cast<uint32_t>(traces.size()));
+  for (const Trace& t : traces) AppendTraceRecord(out, t);
+  return out;
+}
+
+StatusOr<BatchMsg> DecodeBatch(const std::string& payload) {
+  Reader r(payload);
+  BatchMsg m;
+  uint32_t count = 0;
+  if (!r.GetU32(m.stream) || !r.GetU32(count)) return Malformed("BATCH");
+  // Each record is at least 54 bytes (empty sets); reject counts the
+  // payload can't hold before reserving.
+  if (static_cast<uint64_t>(count) * 54 > r.remaining()) {
+    return Status::InvalidArgument("BATCH trace count exceeds payload");
+  }
+  m.traces.reserve(count);
+  size_t pos = r.pos();
+  for (uint32_t i = 0; i < count; ++i) {
+    Trace t;
+    Status s = DecodeTraceRecord(payload, pos, t);
+    if (!s.ok()) return s;
+    m.traces.push_back(std::move(t));
+  }
+  if (pos != payload.size()) {
+    return Status::InvalidArgument("trailing bytes after BATCH traces");
+  }
+  return m;
+}
+
+std::string EncodeBatchAck(const BatchAckMsg& m) {
+  std::string out;
+  PutU64(out, m.traces_received);
+  return out;
+}
+
+StatusOr<BatchAckMsg> DecodeBatchAck(const std::string& payload) {
+  Reader r(payload);
+  BatchAckMsg m;
+  if (!r.GetU64(m.traces_received) || !r.Done()) {
+    return Malformed("BATCH_ACK");
+  }
+  return m;
+}
+
+std::string EncodeCloseStream(const CloseStreamMsg& m) {
+  std::string out;
+  PutU32(out, m.stream);
+  return out;
+}
+
+StatusOr<CloseStreamMsg> DecodeCloseStream(const std::string& payload) {
+  Reader r(payload);
+  CloseStreamMsg m;
+  if (!r.GetU32(m.stream) || !r.Done()) return Malformed("CLOSE_STREAM");
+  return m;
+}
+
+std::string EncodeViolation(const BugDescriptor& bug) {
+  std::string out;
+  PutU8(out, static_cast<uint8_t>(bug.type));
+  PutU64(out, bug.key);
+  PutU32(out, static_cast<uint32_t>(bug.txns.size()));
+  for (TxnId id : bug.txns) PutU64(out, id);
+  PutU32(out, static_cast<uint32_t>(bug.detail.size()));
+  out.append(bug.detail);
+  return out;
+}
+
+StatusOr<ViolationMsg> DecodeViolation(const std::string& payload) {
+  Reader r(payload);
+  ViolationMsg m;
+  uint8_t type = 0;
+  uint32_t n = 0;
+  if (!r.GetU8(type) || !r.GetU64(m.bug.key) || !r.GetU32(n)) {
+    return Malformed("VIOLATION");
+  }
+  if (type > static_cast<uint8_t>(BugType::kScViolation)) {
+    return Status::InvalidArgument("invalid VIOLATION bug type");
+  }
+  m.bug.type = static_cast<BugType>(type);
+  if (static_cast<uint64_t>(n) * 8 > r.remaining()) {
+    return Status::InvalidArgument("VIOLATION txn count exceeds payload");
+  }
+  m.bug.txns.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    TxnId id = 0;
+    if (!r.GetU64(id)) return Malformed("VIOLATION");
+    m.bug.txns.push_back(id);
+  }
+  uint32_t detail_len = 0;
+  if (!r.GetU32(detail_len) || !r.GetString(m.bug.detail, detail_len) ||
+      !r.Done()) {
+    return Malformed("VIOLATION");
+  }
+  return m;
+}
+
+std::string EncodeBye(const ByeMsg& m) {
+  std::string out;
+  PutU64(out, m.traces_verified);
+  PutU32(out, m.violations_sent);
+  return out;
+}
+
+StatusOr<ByeMsg> DecodeBye(const std::string& payload) {
+  Reader r(payload);
+  ByeMsg m;
+  if (!r.GetU64(m.traces_verified) || !r.GetU32(m.violations_sent) ||
+      !r.Done()) {
+    return Malformed("BYE");
+  }
+  return m;
+}
+
+std::string EncodeError(std::string_view message) {
+  std::string out;
+  PutU32(out, static_cast<uint32_t>(message.size()));
+  out.append(message);
+  return out;
+}
+
+StatusOr<std::string> DecodeError(const std::string& payload) {
+  Reader r(payload);
+  uint32_t len = 0;
+  std::string msg;
+  if (!r.GetU32(len) || !r.GetString(msg, len) || !r.Done()) {
+    return Malformed("ERROR");
+  }
+  return msg;
+}
+
+}  // namespace net
+}  // namespace leopard

@@ -43,8 +43,8 @@ void TwoLevelPipeline::NoteBuffered() {
 void TwoLevelPipeline::Push(ClientId client, Trace trace) {
   assert(client < locals_.size());
   assert(!closed_[client]);
-  assert(locals_[client].empty() ||
-         locals_[client].back().ts_bef() <= trace.ts_bef());
+  assert(trace.ts_bef() >= last_pushed_[client] &&
+         "per-client ts_bef order (or mid-run admission floor) violated");
   ++buffered_traces_;
   buffered_bytes_ += trace.ApproxBytes();
   last_pushed_[client] = trace.ts_bef();
@@ -55,6 +55,18 @@ void TwoLevelPipeline::Push(ClientId client, Trace trace) {
 void TwoLevelPipeline::Close(ClientId client) {
   assert(client < locals_.size());
   closed_[client] = true;
+}
+
+ClientId TwoLevelPipeline::AddClient() {
+  ClientId id = static_cast<ClientId>(locals_.size());
+  locals_.emplace_back();
+  closed_.push_back(false);
+  // Seed the new client's "last push" with the dispatch floor: an empty
+  // buffer then holds the watermark exactly at the oldest trace the client
+  // may still legally produce, so joining neither rewinds dispatch order
+  // nor lets it run ahead of the newcomer.
+  last_pushed_.push_back(max_dispatched_);
+  return id;
 }
 
 void TwoLevelPipeline::UpdateWatermark() {
@@ -130,6 +142,7 @@ std::optional<Trace> TwoLevelPipeline::Dispatch() {
       assert(heap_bytes_ >= bytes && "pipeline heap-byte accounting underflow");
       buffered_bytes_ -= bytes;
       heap_bytes_ -= bytes;
+      max_dispatched_ = t.ts_bef();  // Dispatch order is non-decreasing.
       ++stats_.dispatched;
       if (dispatched_ctr_ != nullptr) {
         dispatched_ctr_->Inc();

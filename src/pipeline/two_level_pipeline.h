@@ -52,12 +52,26 @@ class TwoLevelPipeline {
   TwoLevelPipeline(uint32_t n_clients, Options options);
 
   /// Appends a trace from `client`. Traces from one client must arrive in
-  /// non-decreasing ts_bef order.
+  /// non-decreasing ts_bef order (and, for clients registered mid-run with
+  /// AddClient, never below the dispatch floor they were admitted at).
   void Push(ClientId client, Trace trace);
 
   /// Marks `client`'s stream as ended; its emptiness no longer stalls the
   /// watermark.
   void Close(ClientId client);
+
+  /// Registers a new client stream while the pipeline is running — the
+  /// online-ingestion case where sessions join after dispatch has started.
+  /// The new client is admitted at the current dispatch floor: its traces
+  /// must carry ts_bef >= dispatch_floor() as observed at registration,
+  /// otherwise monotonic dispatch order (Theorem 1) could not be preserved.
+  /// Callers admitting untrusted streams must validate that bound
+  /// themselves before Push.
+  ClientId AddClient();
+
+  /// Largest ts_bef handed out by Dispatch() so far — the lower bound on
+  /// what a client registered now may still push.
+  Timestamp dispatch_floor() const { return max_dispatched_; }
 
   /// Next trace in global ts_bef order, or nullopt when starved. After all
   /// clients are closed, drains everything.
@@ -105,6 +119,7 @@ class TwoLevelPipeline {
   std::vector<Timestamp> last_pushed_;
   std::priority_queue<Trace, std::vector<Trace>, ByTsBef> global_;
   Timestamp watermark_ = 0;
+  Timestamp max_dispatched_ = 0;
   size_t buffered_traces_ = 0;
   size_t buffered_bytes_ = 0;
   size_t heap_bytes_ = 0;

@@ -9,6 +9,11 @@ namespace {
 
 constexpr char kMagic[8] = {'L', 'E', 'O', 'T', 'R', 'C', '0', '2'};
 
+/// Hard ceiling on read/write/absent set sizes. Every entry costs at least
+/// 8 bytes on the wire, so any count beyond this is a corrupt or hostile
+/// length field, not a real trace.
+constexpr uint32_t kMaxSetEntries = 1u << 24;
+
 void PutU8(std::string& out, uint8_t v) {
   out.push_back(static_cast<char>(v));
 }
@@ -51,6 +56,14 @@ class Reader {
     }
     return true;
   }
+  /// True when a count field claiming `n` entries of `entry_bytes` each can
+  /// still fit in the remaining input — checked *before* reserving, so an
+  /// absurd length cannot trigger a huge allocation.
+  bool CountFits(uint32_t n, size_t entry_bytes) const {
+    return n <= kMaxSetEntries &&
+           static_cast<uint64_t>(n) * entry_bytes <= bytes_.size() - pos_;
+  }
+  size_t pos() const { return pos_; }
   bool Done() const { return pos_ == bytes_.size(); }
 
  private:
@@ -60,30 +73,100 @@ class Reader {
 
 }  // namespace
 
+void AppendTraceRecord(std::string& out, const Trace& t) {
+  PutU8(out, static_cast<uint8_t>(t.op));
+  PutU32(out, t.client);
+  PutU64(out, t.txn);
+  PutU64(out, t.ts_bef());
+  PutU64(out, t.ts_aft());
+  PutU32(out, static_cast<uint32_t>(t.read_set.size()));
+  for (const auto& r : t.read_set) {
+    PutU64(out, r.key);
+    PutU64(out, r.value);
+  }
+  PutU32(out, static_cast<uint32_t>(t.write_set.size()));
+  for (const auto& w : t.write_set) {
+    PutU64(out, w.key);
+    PutU64(out, w.value);
+  }
+  PutU32(out, static_cast<uint32_t>(t.absent_reads.size()));
+  for (Key k : t.absent_reads) PutU64(out, k);
+  PutU8(out, t.for_update ? 1 : 0);
+  PutU64(out, t.range_first);
+  PutU32(out, t.range_count);
+}
+
+Status DecodeTraceRecord(const std::string& bytes, size_t& pos, Trace& out) {
+  Reader reader(bytes, pos);
+  Trace t;
+  uint8_t op = 0;
+  uint32_t client = 0;
+  uint64_t txn = 0, bef = 0, aft = 0;
+  uint32_t n = 0;
+  if (!reader.GetU8(op) || !reader.GetU32(client) || !reader.GetU64(txn) ||
+      !reader.GetU64(bef) || !reader.GetU64(aft)) {
+    return Status::InvalidArgument("truncated trace header");
+  }
+  if (op > 3) return Status::InvalidArgument("invalid op code");
+  t.op = static_cast<OpType>(op);
+  t.client = client;
+  t.txn = txn;
+  t.interval = {bef, aft};
+  if (!reader.GetU32(n)) return Status::InvalidArgument("truncated reads");
+  if (!reader.CountFits(n, 16)) {
+    return Status::InvalidArgument("absurd read-set length");
+  }
+  t.read_set.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    ReadAccess r;
+    if (!reader.GetU64(r.key) || !reader.GetU64(r.value)) {
+      return Status::InvalidArgument("truncated read entry");
+    }
+    t.read_set.push_back(r);
+  }
+  if (!reader.GetU32(n)) {
+    return Status::InvalidArgument("truncated writes");
+  }
+  if (!reader.CountFits(n, 16)) {
+    return Status::InvalidArgument("absurd write-set length");
+  }
+  t.write_set.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    WriteAccess w;
+    if (!reader.GetU64(w.key) || !reader.GetU64(w.value)) {
+      return Status::InvalidArgument("truncated write entry");
+    }
+    t.write_set.push_back(w);
+  }
+  if (!reader.GetU32(n)) {
+    return Status::InvalidArgument("truncated absent reads");
+  }
+  if (!reader.CountFits(n, 8)) {
+    return Status::InvalidArgument("absurd absent-read length");
+  }
+  t.absent_reads.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Key k = 0;
+    if (!reader.GetU64(k)) {
+      return Status::InvalidArgument("truncated absent key");
+    }
+    t.absent_reads.push_back(k);
+  }
+  uint8_t for_update = 0;
+  if (!reader.GetU8(for_update) || !reader.GetU64(t.range_first) ||
+      !reader.GetU32(t.range_count)) {
+    return Status::InvalidArgument("truncated trace footer");
+  }
+  if (for_update > 1) return Status::InvalidArgument("invalid for_update flag");
+  t.for_update = for_update != 0;
+  pos = reader.pos();
+  out = std::move(t);
+  return Status::Ok();
+}
+
 std::string EncodeTraces(const std::vector<Trace>& traces) {
   std::string out(kMagic, sizeof(kMagic));
-  for (const Trace& t : traces) {
-    PutU8(out, static_cast<uint8_t>(t.op));
-    PutU32(out, t.client);
-    PutU64(out, t.txn);
-    PutU64(out, t.ts_bef());
-    PutU64(out, t.ts_aft());
-    PutU32(out, static_cast<uint32_t>(t.read_set.size()));
-    for (const auto& r : t.read_set) {
-      PutU64(out, r.key);
-      PutU64(out, r.value);
-    }
-    PutU32(out, static_cast<uint32_t>(t.write_set.size()));
-    for (const auto& w : t.write_set) {
-      PutU64(out, w.key);
-      PutU64(out, w.value);
-    }
-    PutU32(out, static_cast<uint32_t>(t.absent_reads.size()));
-    for (Key k : t.absent_reads) PutU64(out, k);
-    PutU8(out, t.for_update ? 1 : 0);
-    PutU64(out, t.range_first);
-    PutU32(out, t.range_count);
-  }
+  for (const Trace& t : traces) AppendTraceRecord(out, t);
   return out;
 }
 
@@ -92,59 +175,16 @@ StatusOr<std::vector<Trace>> DecodeTraces(const std::string& bytes) {
       std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
     return Status::InvalidArgument("not a leopard trace file");
   }
-  Reader reader(bytes, sizeof(kMagic));
+  size_t pos = sizeof(kMagic);
   std::vector<Trace> out;
-  while (!reader.Done()) {
+  while (pos < bytes.size()) {
     Trace t;
-    uint8_t op = 0;
-    uint32_t client = 0;
-    uint64_t txn = 0, bef = 0, aft = 0;
-    uint32_t n = 0;
-    if (!reader.GetU8(op) || op > 3 || !reader.GetU32(client) ||
-        !reader.GetU64(txn) || !reader.GetU64(bef) || !reader.GetU64(aft)) {
-      return Status::InvalidArgument("truncated trace header");
+    Status s = DecodeTraceRecord(bytes, pos, t);
+    if (!s.ok()) {
+      return Status::InvalidArgument(
+          s.message() + " (record " + std::to_string(out.size()) +
+          " at byte " + std::to_string(pos) + ")");
     }
-    t.op = static_cast<OpType>(op);
-    t.client = client;
-    t.txn = txn;
-    t.interval = {bef, aft};
-    if (!reader.GetU32(n)) return Status::InvalidArgument("truncated reads");
-    t.read_set.reserve(n);
-    for (uint32_t i = 0; i < n; ++i) {
-      ReadAccess r;
-      if (!reader.GetU64(r.key) || !reader.GetU64(r.value)) {
-        return Status::InvalidArgument("truncated read entry");
-      }
-      t.read_set.push_back(r);
-    }
-    if (!reader.GetU32(n)) {
-      return Status::InvalidArgument("truncated writes");
-    }
-    t.write_set.reserve(n);
-    for (uint32_t i = 0; i < n; ++i) {
-      WriteAccess w;
-      if (!reader.GetU64(w.key) || !reader.GetU64(w.value)) {
-        return Status::InvalidArgument("truncated write entry");
-      }
-      t.write_set.push_back(w);
-    }
-    if (!reader.GetU32(n)) {
-      return Status::InvalidArgument("truncated absent reads");
-    }
-    t.absent_reads.reserve(n);
-    for (uint32_t i = 0; i < n; ++i) {
-      Key k = 0;
-      if (!reader.GetU64(k)) {
-        return Status::InvalidArgument("truncated absent key");
-      }
-      t.absent_reads.push_back(k);
-    }
-    uint8_t for_update = 0;
-    if (!reader.GetU8(for_update) || for_update > 1 ||
-        !reader.GetU64(t.range_first) || !reader.GetU32(t.range_count)) {
-      return Status::InvalidArgument("truncated trace footer");
-    }
-    t.for_update = for_update != 0;
     out.push_back(std::move(t));
   }
   return out;
@@ -162,10 +202,15 @@ Status WriteTraceFile(const std::string& path,
 
 StatusOr<std::vector<Trace>> ReadTraceFile(const std::string& path) {
   std::ifstream file(path, std::ios::binary);
-  if (!file) return Status::NotFound("cannot open " + path);
+  if (!file) return Status::NotFound(path + ": cannot open");
   std::string bytes((std::istreambuf_iterator<char>(file)),
                     std::istreambuf_iterator<char>());
-  return DecodeTraces(bytes);
+  auto traces = DecodeTraces(bytes);
+  if (!traces.ok()) {
+    return Status(traces.status().code(),
+                  path + ": " + traces.status().message());
+  }
+  return traces;
 }
 
 }  // namespace leopard

@@ -32,6 +32,16 @@ StatusOr<std::vector<Trace>> ReadTraceFile(const std::string& path);
 std::string EncodeTraces(const std::vector<Trace>& traces);
 StatusOr<std::vector<Trace>> DecodeTraces(const std::string& bytes);
 
+/// Record-level codec shared by the file format above and the network wire
+/// protocol (src/net/wire): one trace record, no file header.
+void AppendTraceRecord(std::string& out, const Trace& t);
+
+/// Decodes one record from `bytes` starting at `pos`, advancing `pos` past
+/// the record on success. Validates the op code, flags and set sizes
+/// against the remaining bytes, so a corrupt length fails cleanly instead
+/// of allocating gigabytes or yielding a partially-parsed trace.
+Status DecodeTraceRecord(const std::string& bytes, size_t& pos, Trace& out);
+
 }  // namespace leopard
 
 #endif  // LEOPARD_TRACE_TRACE_IO_H_

@@ -1,0 +1,429 @@
+// Network ingestion tests: wire-protocol round trips, decoder hardening,
+// and loopback stress against a live VerifierServer — concurrent sessions
+// with overlapping virtual timestamps, an abrupt mid-frame disconnect, a
+// fault-injected session whose violation must come back over the wire, and
+// the backpressure liveness escape.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "fuzz_history_util.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "obs/registry.h"
+#include "verifier/mechanism_table.h"
+#include "workload/workload.h"
+
+namespace leopard {
+namespace net {
+namespace {
+
+using fuzzutil::BuildSerialHistory;
+using fuzzutil::History;
+using fuzzutil::kKeys;
+
+VerifierConfig PgSer() {
+  return ConfigForMiniDb(Protocol::kMvcc2plSsi,
+                         IsolationLevel::kSerializable);
+}
+
+/// Rebases a serial history into a disjoint universe so several of them can
+/// verify concurrently as independent sessions: keys shift by
+/// `session * 100` (histories use kKeys = 20) and every transaction id —
+/// including the load transaction — shifts by `(session + 1) * 1'000'000`,
+/// so bug routing by transaction id is unambiguous. Timestamps are left
+/// untouched on purpose: sessions overlap in virtual time, exercising the
+/// server-side watermark merge.
+void RebaseHistory(History& h, uint32_t session) {
+  const Key key_off = static_cast<Key>(session) * 100;
+  const TxnId txn_off = static_cast<TxnId>(session + 1) * 1'000'000;
+  for (Trace& t : h.traces) {
+    t.txn += txn_off;
+    for (auto& r : t.read_set) r.key += key_off;
+    for (auto& w : t.write_set) w.key += key_off;
+    for (auto& k : t.absent_reads) k += key_off;
+  }
+}
+
+/// Applies the stale-read mutation from fuzz_history_test: one read is
+/// rewritten to observe an overwritten value. Returns false when the seed
+/// offers no mutable read.
+bool PlantStaleRead(History& h, uint64_t seed) {
+  Rng rng(seed ^ 0xabc);
+  for (int attempt = 0; attempt < 500; ++attempt) {
+    size_t i = rng.Uniform(h.traces.size());
+    Trace& t = h.traces[i];
+    if (t.op != OpType::kRead || t.read_set.size() != 1) continue;
+    Key key = t.read_set[0].key;
+    const auto& versions = h.versions[key];
+    for (size_t v = 1; v < versions.size(); ++v) {
+      if (versions[v].value == t.read_set[0].value &&
+          versions[v - 1].value != kTombstoneValue &&
+          versions[v - 1].value != versions[v].value) {
+        t.read_set[0].value = versions[v - 1].value;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// Streams a full history over one connection / one stream and finishes.
+/// Returns the violations the server attributed to this session.
+std::vector<BugDescriptor> RunSession(uint16_t port, History h,
+                                      size_t batch_traces = 64) {
+  VerifierClient::Options co;
+  co.batch_traces = batch_traces;
+  auto client =
+      VerifierClient::Connect("127.0.0.1:" + std::to_string(port), co);
+  EXPECT_TRUE(client.ok()) << client.status();
+  if (!client.ok()) return {};
+  for (Trace& t : h.traces) {
+    Status s = (*client)->Push(0, std::move(t));
+    EXPECT_TRUE(s.ok()) << s;
+    if (!s.ok()) return {};
+  }
+  auto bye = (*client)->Finish();
+  EXPECT_TRUE(bye.ok()) << bye.status();
+  return (*client)->violations();
+}
+
+/// Receives frames on a raw socket until `want` arrives (or fails the
+/// test).
+bool ReadFrameOfType(Socket& sock, FrameDecoder& decoder, FrameType want,
+                     Frame& out) {
+  char buf[4096];
+  for (int i = 0; i < 1000; ++i) {
+    Status s = decoder.Poll(out);
+    if (s.ok()) {
+      if (out.type == want) return true;
+      continue;  // skip acks etc.
+    }
+    if (s.code() != StatusCode::kBusy) return false;
+    auto got = sock.Recv(buf, sizeof(buf));
+    if (!got.ok() || *got == 0) return false;
+    decoder.Feed(buf, *got);
+  }
+  return false;
+}
+
+TEST(WireTest, FrameRoundTripByteByByte) {
+  HelloMsg hello{kWireVersion, 7};
+  std::string frame = EncodeFrame(FrameType::kHello, EncodeHello(hello));
+  FrameDecoder decoder;
+  Frame out;
+  // Feed one byte at a time: the decoder must be Busy until the last one.
+  for (size_t i = 0; i + 1 < frame.size(); ++i) {
+    decoder.Feed(frame.data() + i, 1);
+    EXPECT_EQ(decoder.Poll(out).code(), StatusCode::kBusy);
+  }
+  decoder.Feed(frame.data() + frame.size() - 1, 1);
+  ASSERT_TRUE(decoder.Poll(out).ok());
+  EXPECT_EQ(out.type, FrameType::kHello);
+  auto decoded = DecodeHello(out.payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->version, kWireVersion);
+  EXPECT_EQ(decoded->n_streams, 7u);
+  EXPECT_EQ(decoder.Poll(out).code(), StatusCode::kBusy);
+}
+
+TEST(WireTest, AllMessageTypesRoundTrip) {
+  auto ack = DecodeHelloAck(EncodeHelloAck(HelloAckMsg{kWireVersion, 42}));
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(ack->base_client, 42u);
+
+  std::vector<Trace> traces;
+  traces.push_back(MakeReadTrace(9, 2, TimeInterval(100, 105),
+                                 {ReadAccess{3, 77}}));
+  traces.push_back(MakeWriteTrace(9, 2, TimeInterval(110, 115),
+                                  {WriteAccess{3, 78}}));
+  traces.push_back(MakeCommitTrace(9, 2, TimeInterval(120, 125)));
+  auto batch = DecodeBatch(EncodeBatch(5, traces));
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->stream, 5u);
+  ASSERT_EQ(batch->traces.size(), 3u);
+  EXPECT_EQ(batch->traces[0].read_set[0].value, 77u);
+  EXPECT_EQ(batch->traces[2].op, OpType::kCommit);
+
+  auto back = DecodeBatchAck(EncodeBatchAck(BatchAckMsg{12345}));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->traces_received, 12345u);
+
+  auto close = DecodeCloseStream(EncodeCloseStream(CloseStreamMsg{3}));
+  ASSERT_TRUE(close.ok());
+  EXPECT_EQ(close->stream, 3u);
+
+  BugDescriptor bug;
+  bug.type = BugType::kFuwViolation;
+  bug.key = 17;
+  bug.txns = {4, 9};
+  bug.detail = "lost update";
+  auto violation = DecodeViolation(EncodeViolation(bug));
+  ASSERT_TRUE(violation.ok());
+  EXPECT_EQ(violation->bug.type, BugType::kFuwViolation);
+  EXPECT_EQ(violation->bug.key, 17u);
+  EXPECT_EQ(violation->bug.txns, (std::vector<TxnId>{4, 9}));
+  EXPECT_EQ(violation->bug.detail, "lost update");
+
+  auto bye = DecodeBye(EncodeBye(ByeMsg{999, 3}));
+  ASSERT_TRUE(bye.ok());
+  EXPECT_EQ(bye->traces_verified, 999u);
+  EXPECT_EQ(bye->violations_sent, 3u);
+
+  auto error = DecodeError(EncodeError("boom"));
+  ASSERT_TRUE(error.ok());
+  EXPECT_EQ(*error, "boom");
+}
+
+TEST(WireTest, DecoderPoisonsOnOversizedLength) {
+  FrameDecoder decoder(1024);
+  std::string bad;
+  for (int i = 0; i < 4; ++i) bad.push_back(static_cast<char>(0xff));
+  bad.push_back(static_cast<char>(FrameType::kBatch));
+  decoder.Feed(bad.data(), bad.size());
+  Frame out;
+  EXPECT_EQ(decoder.Poll(out).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(decoder.poisoned());
+  // Poisoning is permanent — even a valid frame afterwards stays rejected.
+  std::string good = EncodeFrame(FrameType::kHello, EncodeHello(HelloMsg{}));
+  decoder.Feed(good.data(), good.size());
+  EXPECT_EQ(decoder.Poll(out).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireTest, DecoderPoisonsOnUnknownType) {
+  FrameDecoder decoder;
+  std::string bad;
+  for (int i = 0; i < 4; ++i) bad.push_back(0);
+  bad.push_back(static_cast<char>(0x9e));
+  decoder.Feed(bad.data(), bad.size());
+  Frame out;
+  EXPECT_EQ(decoder.Poll(out).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(decoder.poisoned());
+}
+
+TEST(WireTest, BatchRejectsCorruptTraceCount) {
+  // A count far beyond what the payload can hold must fail cleanly (and
+  // before any allocation sized from it).
+  std::string payload;
+  for (int i = 0; i < 4; ++i) payload.push_back(0);  // stream 0
+  for (int i = 0; i < 4; ++i) payload.push_back(static_cast<char>(0xff));
+  auto batch = DecodeBatch(payload);
+  EXPECT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NetLoopbackTest, SingleSessionVerifiesClean) {
+  obs::MetricsRegistry registry;
+  VerifierServer::Options so;
+  so.expected_sessions = 1;
+  so.metrics = &registry;
+  VerifierServer server(PgSer(), so);
+  ASSERT_TRUE(server.Start().ok());
+  // The server drains (and sends BYE) inside WaitReport, so it must run
+  // concurrently with the session — same shape as leopard_serve's main.
+  std::thread drain([&server] { server.WaitReport(); });
+
+  History h = BuildSerialHistory(7, 120);
+  const size_t total = h.traces.size();
+  auto violations = RunSession(server.port(), std::move(h));
+  EXPECT_TRUE(violations.empty());
+
+  drain.join();
+  const VerifyReport& report = server.WaitReport();  // cached after drain
+  EXPECT_EQ(report.stats.TotalViolations(), 0u);
+  EXPECT_EQ(server.traces_received(), total);
+  EXPECT_EQ(registry.counter("net.traces_in")->Value(), total);
+  EXPECT_GE(registry.counter("net.frames_in")->Value(), 3u);
+  EXPECT_EQ(registry.counter("net.decode_errors")->Value(), 0u);
+}
+
+TEST(NetLoopbackTest, ConcurrentSessionsFaultAndDisconnect) {
+  // Six expected sessions against a 4-shard server: four clean, one with a
+  // planted stale read (its violation must come back over its own
+  // connection), and one that handshakes, sends half a frame header, and
+  // vanishes.
+  constexpr uint32_t kClean = 4;
+  obs::MetricsRegistry registry;
+  VerifierServer::Options so;
+  so.n_shards = 4;
+  so.expected_sessions = kClean + 2;
+  so.metrics = &registry;
+  VerifierServer server(PgSer(), so);
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t port = server.port();
+  std::thread drain([&server] { server.WaitReport(); });
+
+  std::vector<std::thread> threads;
+  std::atomic<size_t> clean_violations{0};
+  for (uint32_t s = 0; s < kClean; ++s) {
+    threads.emplace_back([&, s] {
+      History h = BuildSerialHistory(100 + s, 150);
+      RebaseHistory(h, s);
+      clean_violations += RunSession(port, std::move(h)).size();
+    });
+  }
+
+  std::atomic<size_t> faulty_violations{0};
+  std::atomic<bool> faulty_got_cr{false};
+  threads.emplace_back([&] {
+    History h = BuildSerialHistory(4242, 150);
+    ASSERT_TRUE(PlantStaleRead(h, 4242));
+    RebaseHistory(h, kClean);
+    auto violations = RunSession(port, std::move(h));
+    faulty_violations = violations.size();
+    for (const auto& bug : violations) {
+      if (bug.type == BugType::kCrViolation) faulty_got_cr = true;
+    }
+  });
+
+  threads.emplace_back([&] {
+    auto sock = TcpConnect("127.0.0.1", port);
+    ASSERT_TRUE(sock.ok());
+    std::string hello = EncodeFrame(FrameType::kHello, EncodeHello(HelloMsg{}));
+    ASSERT_TRUE(sock->SendAll(hello.data(), hello.size()).ok());
+    FrameDecoder decoder;
+    Frame ack;
+    ASSERT_TRUE(ReadFrameOfType(*sock, decoder, FrameType::kHelloAck, ack));
+    // Half a BATCH frame header, then gone.
+    std::string partial = EncodeFrame(FrameType::kBatch, "xxxx");
+    sock->SendAll(partial.data(), 3);
+    sock->Close();
+  });
+
+  for (auto& t : threads) t.join();
+  drain.join();
+
+  const VerifyReport& report = server.WaitReport();
+  EXPECT_EQ(clean_violations.load(), 0u);
+  EXPECT_GE(faulty_violations.load(), 1u);
+  EXPECT_TRUE(faulty_got_cr.load());
+  EXPECT_GE(report.stats.cr_violations, 1u);
+  EXPECT_EQ(server.sessions_completed(), kClean + 2);
+  EXPECT_GE(registry.counter("net.disconnects")->Value(), 1u);
+  EXPECT_GE(registry.counter("net.violations_sent")->Value(), 1u);
+  EXPECT_GE(registry.histogram("net.violation_report_ns")->Count(), 1u);
+}
+
+TEST(NetLoopbackTest, BackpressureStallsButStaysLive) {
+  // An absurdly small in-flight budget forces the stall path on every
+  // batch; the override escape must keep the session moving and the run
+  // must still verify everything correctly.
+  obs::MetricsRegistry registry;
+  VerifierServer::Options so;
+  so.expected_sessions = 1;
+  so.max_inflight_bytes = 1;
+  so.stall_override_ms = 5;
+  so.metrics = &registry;
+  VerifierServer server(PgSer(), so);
+  ASSERT_TRUE(server.Start().ok());
+  std::thread drain([&server] { server.WaitReport(); });
+
+  History h = BuildSerialHistory(11, 60);
+  const size_t total = h.traces.size();
+  auto violations = RunSession(server.port(), std::move(h), 32);
+  EXPECT_TRUE(violations.empty());
+
+  drain.join();
+  const VerifyReport& report = server.WaitReport();
+  EXPECT_EQ(report.stats.TotalViolations(), 0u);
+  EXPECT_EQ(server.traces_received(), total);
+  EXPECT_GE(registry.counter("net.backpressure_stalls")->Value(), 1u);
+  EXPECT_GE(registry.counter("net.backpressure_overrides")->Value(), 1u);
+}
+
+TEST(NetLoopbackTest, MalformedFrameGetsErrorAndSessionDies) {
+  obs::MetricsRegistry registry;
+  VerifierServer::Options so;
+  so.expected_sessions = 1;
+  so.metrics = &registry;
+  VerifierServer server(PgSer(), so);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto sock = TcpConnect("127.0.0.1", server.port());
+  ASSERT_TRUE(sock.ok());
+  std::string hello = EncodeFrame(FrameType::kHello, EncodeHello(HelloMsg{}));
+  ASSERT_TRUE(sock->SendAll(hello.data(), hello.size()).ok());
+  FrameDecoder decoder;
+  Frame frame;
+  ASSERT_TRUE(ReadFrameOfType(*sock, decoder, FrameType::kHelloAck, frame));
+
+  // A structurally corrupt stream: unknown frame type byte.
+  std::string garbage;
+  for (int i = 0; i < 4; ++i) garbage.push_back(0);
+  garbage.push_back(static_cast<char>(0x7f));
+  ASSERT_TRUE(sock->SendAll(garbage.data(), garbage.size()).ok());
+
+  ASSERT_TRUE(ReadFrameOfType(*sock, decoder, FrameType::kError, frame));
+  auto message = DecodeError(frame.payload);
+  ASSERT_TRUE(message.ok());
+  EXPECT_FALSE(message->empty());
+
+  // The failed session still counts as completed, so the drain finishes.
+  server.WaitReport();
+  EXPECT_GE(registry.counter("net.decode_errors")->Value(), 1u);
+}
+
+TEST(NetLoopbackTest, BatchBeforeHelloIsRejected) {
+  VerifierServer::Options so;
+  so.expected_sessions = 1;
+  VerifierServer server(PgSer(), so);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto sock = TcpConnect("127.0.0.1", server.port());
+  ASSERT_TRUE(sock.ok());
+  std::string batch = EncodeFrame(FrameType::kBatch, EncodeBatch(0, {}));
+  ASSERT_TRUE(sock->SendAll(batch.data(), batch.size()).ok());
+  FrameDecoder decoder;
+  Frame frame;
+  EXPECT_TRUE(ReadFrameOfType(*sock, decoder, FrameType::kError, frame));
+  // The session never completed its handshake, so it does not count
+  // towards expected_sessions — end the run explicitly.
+  server.Shutdown();
+  server.WaitReport();
+}
+
+TEST(NetLoopbackTest, MultiStreamSessionMergesCorrectly) {
+  // One connection, four logical streams fed in global ts_bef order —
+  // exactly how leopard_cli --connect replays per-client trace files.
+  VerifierServer::Options so;
+  so.expected_sessions = 1;
+  so.n_shards = 2;
+  VerifierServer server(PgSer(), so);
+  ASSERT_TRUE(server.Start().ok());
+  std::thread drain([&server] { server.WaitReport(); });
+
+  History h = BuildSerialHistory(21, 150);
+  const size_t total = h.traces.size();
+  VerifierClient::Options co;
+  co.n_streams = 4;
+  auto client = VerifierClient::Connect(
+      "127.0.0.1:" + std::to_string(server.port()), co);
+  ASSERT_TRUE(client.ok()) << client.status();
+  // The history's traces carry client = txn % 6; route them to stream
+  // client % 4 in history order, which is globally ts_bef-sorted, so every
+  // stream individually stays non-decreasing.
+  for (Trace& t : h.traces) {
+    uint32_t stream = t.client % 4;
+    ASSERT_TRUE((*client)->Push(stream, std::move(t)).ok());
+  }
+  auto bye = (*client)->Finish();
+  ASSERT_TRUE(bye.ok()) << bye.status();
+  EXPECT_EQ(bye->traces_verified, total);
+  EXPECT_TRUE((*client)->violations().empty());
+
+  drain.join();
+  const VerifyReport& report = server.WaitReport();
+  EXPECT_EQ(report.stats.TotalViolations(), 0u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace leopard

@@ -67,6 +67,64 @@ TEST(TraceIoTest, RejectsBadOpCode) {
   EXPECT_FALSE(DecodeTraces(bytes).ok());
 }
 
+// The fixed-size record header is 29 bytes (op u8, client u32, txn u64,
+// ts_bef u64, ts_aft u64), so the first record's read-set count lives at
+// bytes 37..40 of the encoded stream (after the 8-byte magic).
+constexpr size_t kFirstReadCountOffset = 8 + 29;
+
+TEST(TraceIoTest, RejectsAbsurdSetLength) {
+  // A count field of 0xFFFFFFFF must fail cleanly — and before any
+  // allocation sized from it (a naive reserve would ask for 64 GiB).
+  std::string bytes = EncodeTraces({MakeReadTrace(1, 0, {1, 2}, {{1, 7}})});
+  for (size_t i = 0; i < 4; ++i) {
+    bytes[kFirstReadCountOffset + i] = static_cast<char>(0xff);
+  }
+  auto decoded = DecodeTraces(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(decoded.status().message().find("absurd"), std::string::npos)
+      << decoded.status();
+}
+
+TEST(TraceIoTest, RejectsCountBeyondRemainingBytes) {
+  // A plausible-looking count that the remaining bytes cannot hold (65536
+  // entries = 1 MiB claimed, a few bytes present) is rejected up front.
+  std::string bytes = EncodeTraces({MakeReadTrace(1, 0, {1, 2}, {{1, 7}})});
+  bytes[kFirstReadCountOffset] = 0;
+  bytes[kFirstReadCountOffset + 1] = 0;
+  bytes[kFirstReadCountOffset + 2] = 1;  // little-endian 0x00010000
+  bytes[kFirstReadCountOffset + 3] = 0;
+  auto decoded = DecodeTraces(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TraceIoTest, DecodeErrorsCarryRecordContext) {
+  auto traces = SampleTraces();
+  std::string bytes = EncodeTraces(traces);
+  auto decoded = DecodeTraces(bytes.substr(0, bytes.size() - 3));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("record "), std::string::npos)
+      << decoded.status();
+}
+
+TEST(TraceIoTest, CorruptFileErrorsNameThePath) {
+  std::string path = ::testing::TempDir() + "/leopard_trace_io_corrupt.bin";
+  std::string bytes = EncodeTraces(SampleTraces());
+  bytes.resize(bytes.size() - 5);  // truncate mid-record
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+  }
+  auto read = ReadTraceFile(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_NE(read.status().message().find(path), std::string::npos)
+      << read.status();
+  std::remove(path.c_str());
+}
+
 TEST(TraceIoTest, FileRoundTrip) {
   std::string path = ::testing::TempDir() + "/leopard_trace_io_test.bin";
   auto traces = SampleTraces();

@@ -6,6 +6,9 @@
 //       reads the trace files back and verifies the four mechanisms.
 //   leopard fuzz   --faults=drop_lock:0.2 ...
 //       runs with injected faults and verifies in one step (bug hunting).
+//   leopard verify --connect=host:port ... / leopard fuzz --connect=...
+//       same, but ships the traces to a remote leopard_serve over the wire
+//       protocol instead of verifying in-process; violations stream back.
 //
 // Flags (defaults in brackets):
 //   --workload=ycsb[-a,-b,-c,-e,-f]|blindw|blindw-w|blindw-rw+|smallbank|tpcc|ledger [ycsb]
@@ -18,6 +21,7 @@
 //       dirty_read, future_read, lost_write, skip_fuw, skip_certifier,
 //       resurrect_deleted, hide_row)
 //   --shards=N [1]  (key-sharded parallel verification; 1 = single thread)
+//   --connect=host:port  (stream traces to a remote leopard_serve)
 
 #include <algorithm>
 #include <cstdio>
@@ -28,6 +32,7 @@
 #include <vector>
 
 #include "harness/sim_runner.h"
+#include "net/client.h"
 #include "obs/export.h"
 #include "obs/progress.h"
 #include "obs/registry.h"
@@ -70,6 +75,9 @@ struct CliOptions {
   /// mechanisms (CR/ME/FUW) plus one serialization-certifier thread.
   /// 1 = the classic single-threaded engine.
   uint32_t shards = 1;
+  /// Stream traces to a remote leopard_serve ("host:port") instead of
+  /// verifying in-process. Violations stream back over the connection.
+  std::string connect;
 };
 
 void Usage() {
@@ -80,7 +88,7 @@ void Usage() {
                " [--txns=N] [--clients=N] [--seed=N] [--out=DIR|--in=DIR]"
                " [--lock-wait=nowait|waitdie] [--faults=knob:prob,...]"
                " [--metrics-out=FILE(.json|.csv)] [--progress-interval-ms=N]"
-               " [--shards=N]\n");
+               " [--shards=N] [--connect=host:port]\n");
 }
 
 bool ParseFaults(const std::string& spec, FaultPlan& plan) {
@@ -137,7 +145,8 @@ bool ParseArgs(int argc, char** argv, CliOptions& opts) {
         eat("--protocol=", opts.protocol) ||
         eat("--isolation=", opts.isolation) ||
         eat("--lock-wait=", opts.lock_wait) || eat("--out=", opts.dir) ||
-        eat("--in=", opts.dir) || eat("--metrics-out=", opts.metrics_out)) {
+        eat("--in=", opts.dir) || eat("--metrics-out=", opts.metrics_out) ||
+        eat("--connect=", opts.connect)) {
       continue;
     }
     if (eat("--txns=", value)) {
@@ -351,6 +360,64 @@ int VerifyClientTraces(const CliOptions& opts,
   return s.TotalViolations() == 0 ? 0 : 1;
 }
 
+/// Ships per-client trace streams to a remote leopard_serve over one
+/// connection (one wire stream per client) and prints whatever violations
+/// the server attributes to this session. The streams are interleaved in
+/// global ts_bef order (k-way merge) so the server-side watermark always
+/// advances — pushing the files one after another would stall the merge on
+/// every stream but the first.
+int StreamToServer(const CliOptions& opts,
+                   std::vector<std::vector<Trace>> client_traces) {
+  const uint32_t n = static_cast<uint32_t>(client_traces.size());
+  net::VerifierClient::Options co;
+  co.n_streams = n;
+  auto client = net::VerifierClient::Connect(opts.connect, co);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect to %s failed: %s\n", opts.connect.c_str(),
+                 client.status().ToString().c_str());
+    return 1;
+  }
+  uint64_t total = 0;
+  std::vector<size_t> next(n, 0);
+  while (true) {
+    uint32_t pick = n;
+    for (uint32_t c = 0; c < n; ++c) {
+      if (next[c] >= client_traces[c].size()) continue;
+      if (pick == n || client_traces[c][next[c]].ts_bef() <
+                           client_traces[pick][next[pick]].ts_bef()) {
+        pick = c;
+      }
+    }
+    if (pick == n) break;
+    Status s =
+        (*client)->Push(pick, std::move(client_traces[pick][next[pick]++]));
+    if (!s.ok()) {
+      std::fprintf(stderr, "stream to server failed: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    ++total;
+  }
+  auto bye = (*client)->Finish();
+  if (!bye.ok()) {
+    std::fprintf(stderr, "server session failed: %s\n",
+                 bye.status().ToString().c_str());
+    return 1;
+  }
+  const auto& violations = (*client)->violations();
+  std::printf("[leopard] streamed %llu traces to %s | server verified %llu "
+              "total | %zu violation(s) reported to this session\n",
+              static_cast<unsigned long long>(total), opts.connect.c_str(),
+              static_cast<unsigned long long>(bye->traces_verified),
+              violations.size());
+  size_t shown = 0;
+  for (const auto& bug : violations) {
+    std::printf("  %s\n", bug.ToString().c_str());
+    if (++shown == 10) break;
+  }
+  return violations.empty() ? 0 : 1;
+}
+
 int RunWorkload(const CliOptions& opts, bool verify_inline) {
   Protocol protocol;
   IsolationLevel isolation;
@@ -424,6 +491,9 @@ int RunWorkload(const CliOptions& opts, bool verify_inline) {
     return 0;
   }
 
+  if (!opts.connect.empty()) {
+    return StreamToServer(opts, std::move(run.client_traces));
+  }
   return VerifyClientTraces(opts, verifier_config,
                             std::move(run.client_traces));
 }
@@ -446,6 +516,9 @@ int VerifyFiles(const CliOptions& opts) {
       return 1;
     }
     client_traces[c] = std::move(*traces);
+  }
+  if (!opts.connect.empty()) {
+    return StreamToServer(opts, std::move(client_traces));
   }
   return VerifyClientTraces(opts, verifier_config, std::move(client_traces));
 }

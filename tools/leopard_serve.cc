@@ -1,0 +1,245 @@
+// leopard_serve — network verification service (DESIGN.md §8).
+//
+//   leopard_serve --port=7411 --shards=4 --expect-clients=2
+//                 --protocol=pg --isolation=ser
+//
+// Accepts wire-protocol connections (see src/net/wire.h), feeds every
+// session's trace streams into one online verifier, streams violations back
+// to the sessions that produced them, and prints the aggregated report once
+// all expected clients finished (or on SIGINT/SIGTERM).
+//
+// Flags (defaults in brackets):
+//   --port=N              [0 = kernel-assigned; see --port-file]
+//   --port-file=FILE      write the bound port (for scripts using --port=0)
+//   --shards=N            [1]   key-sharded parallel verification
+//   --expect-clients=N    [0]   sessions to serve before reporting;
+//                               0 = run until SIGINT
+//   --max-streams=N       [256] stream capacity across all sessions
+//   --protocol=pg|innodb|occ|to|2pl|percolator   [pg]
+//   --isolation=rc|rr|si|ser                     [ser]
+//   --idle-timeout-ms=N   [30000]
+//   --max-inflight-mb=N   [64]  backpressure threshold
+//   --metrics-out=FILE(.json|.csv)
+//   --progress-interval-ms=N    [0 = off]
+//
+// Exit status: 0 = no violations, 1 = violations found, 2 = bad usage.
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "net/server.h"
+#include "obs/export.h"
+#include "obs/registry.h"
+#include "verifier/leopard.h"
+#include "verifier/mechanism_table.h"
+
+namespace leopard {
+namespace {
+
+struct ServeOptions {
+  uint16_t port = 0;
+  std::string port_file;
+  uint32_t shards = 1;
+  uint32_t expect_clients = 0;
+  uint32_t max_streams = 256;
+  std::string protocol = "pg";
+  std::string isolation = "ser";
+  uint64_t idle_timeout_ms = 30000;
+  size_t max_inflight_mb = 64;
+  std::string metrics_out;
+  uint64_t progress_interval_ms = 0;
+};
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: leopard_serve [--port=N] [--port-file=FILE] [--shards=N]"
+      " [--expect-clients=N] [--max-streams=N]"
+      " [--protocol=pg|innodb|occ|to|2pl|percolator]"
+      " [--isolation=rc|rr|si|ser] [--idle-timeout-ms=N]"
+      " [--max-inflight-mb=N] [--metrics-out=FILE(.json|.csv)]"
+      " [--progress-interval-ms=N]\n");
+}
+
+bool ParseArgs(int argc, char** argv, ServeOptions& opts) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto eat = [&arg](const char* prefix, std::string& out) {
+      size_t n = std::strlen(prefix);
+      if (arg.compare(0, n, prefix) != 0) return false;
+      out = arg.substr(n);
+      return true;
+    };
+    std::string value;
+    if (eat("--port-file=", opts.port_file) ||
+        eat("--protocol=", opts.protocol) ||
+        eat("--isolation=", opts.isolation) ||
+        eat("--metrics-out=", opts.metrics_out)) {
+      continue;
+    }
+    if (eat("--port=", value)) {
+      opts.port = static_cast<uint16_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (eat("--shards=", value)) {
+      opts.shards =
+          static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+      if (opts.shards == 0) opts.shards = 1;
+    } else if (eat("--expect-clients=", value)) {
+      opts.expect_clients =
+          static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (eat("--max-streams=", value)) {
+      opts.max_streams =
+          static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (eat("--idle-timeout-ms=", value)) {
+      opts.idle_timeout_ms = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (eat("--max-inflight-mb=", value)) {
+      opts.max_inflight_mb = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (eat("--progress-interval-ms=", value)) {
+      opts.progress_interval_ms = std::strtoull(value.c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ResolveConfig(const ServeOptions& opts, VerifierConfig& config) {
+  Protocol protocol;
+  IsolationLevel isolation;
+  if (opts.protocol == "pg") {
+    protocol = Protocol::kMvcc2plSsi;
+  } else if (opts.protocol == "innodb") {
+    protocol = Protocol::kMvcc2pl;
+  } else if (opts.protocol == "occ") {
+    protocol = Protocol::kMvccOcc;
+  } else if (opts.protocol == "to") {
+    protocol = Protocol::kMvccTo;
+  } else if (opts.protocol == "percolator") {
+    protocol = Protocol::kPercolator;
+  } else if (opts.protocol == "2pl") {
+    protocol = Protocol::k2pl;
+  } else {
+    return false;
+  }
+  if (opts.isolation == "rc") {
+    isolation = IsolationLevel::kReadCommitted;
+  } else if (opts.isolation == "rr") {
+    isolation = IsolationLevel::kRepeatableRead;
+  } else if (opts.isolation == "si") {
+    isolation = IsolationLevel::kSnapshotIsolation;
+  } else if (opts.isolation == "ser") {
+    isolation = IsolationLevel::kSerializable;
+  } else {
+    return false;
+  }
+  config = ConfigForMiniDb(protocol, isolation);
+  return true;
+}
+
+// Lock-free atomic: async-signal-safe in the handler AND race-free
+// against the watchdog thread (volatile sig_atomic_t covers only the
+// former).
+std::atomic<int> g_stop{0};
+static_assert(std::atomic<int>::is_always_lock_free);
+
+void OnSignal(int) { g_stop.store(1, std::memory_order_relaxed); }
+
+}  // namespace
+}  // namespace leopard
+
+int main(int argc, char** argv) {
+  using namespace leopard;
+  ServeOptions opts;
+  if (!ParseArgs(argc, argv, opts)) {
+    Usage();
+    return 2;
+  }
+  VerifierConfig config;
+  if (!ResolveConfig(opts, config)) {
+    Usage();
+    return 2;
+  }
+
+  obs::MetricsRegistry registry;
+  net::VerifierServer::Options so;
+  so.port = opts.port;
+  so.n_shards = opts.shards;
+  so.expected_sessions = opts.expect_clients;
+  so.max_streams = opts.max_streams;
+  so.idle_timeout_ms = opts.idle_timeout_ms;
+  so.max_inflight_bytes = opts.max_inflight_mb << 20;
+  so.metrics = &registry;
+  so.progress_interval_ms = opts.progress_interval_ms;
+  so.print_progress = opts.progress_interval_ms > 0;
+
+  net::VerifierServer server(config, so);
+  Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "leopard_serve: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("[leopard_serve] listening on port %u (shards=%u, "
+              "expect-clients=%u, %s/%s)\n",
+              server.port(), opts.shards, opts.expect_clients,
+              opts.protocol.c_str(), opts.isolation.c_str());
+  std::fflush(stdout);
+  if (!opts.port_file.empty()) {
+    std::FILE* f = std::fopen(opts.port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "leopard_serve: cannot write %s\n",
+                   opts.port_file.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%u\n", server.port());
+    std::fclose(f);
+  }
+
+  // Signal handlers only set a flag; a watchdog thread turns it into a
+  // graceful drain (Shutdown is safe from any thread, handlers are not a
+  // place to take locks).
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  std::thread watchdog([&server] {
+    while (g_stop.load(std::memory_order_relaxed) == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    server.Shutdown();
+  });
+
+  const VerifyReport& report = server.WaitReport();
+  g_stop.store(1, std::memory_order_relaxed);  // stop the watchdog even on
+                                               // a natural drain
+  watchdog.join();
+
+  const VerifierStats& s = report.stats;
+  std::printf(
+      "[leopard_serve] %llu traces from %u sessions | "
+      "violations cr=%llu me=%llu fuw=%llu sc=%llu\n",
+      static_cast<unsigned long long>(server.traces_received()),
+      server.sessions_completed(),
+      static_cast<unsigned long long>(s.cr_violations),
+      static_cast<unsigned long long>(s.me_violations),
+      static_cast<unsigned long long>(s.fuw_violations),
+      static_cast<unsigned long long>(s.sc_violations));
+  size_t shown = 0;
+  for (const auto& bug : report.bugs) {
+    std::printf("  %s\n", bug.ToString().c_str());
+    if (++shown == 10) break;
+  }
+
+  if (!opts.metrics_out.empty()) {
+    Status w = obs::WriteMetricsFile(registry, opts.metrics_out);
+    if (!w.ok()) {
+      std::fprintf(stderr, "%s\n", w.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s\n", opts.metrics_out.c_str());
+  }
+  return s.TotalViolations() == 0 ? 0 : 1;
+}
