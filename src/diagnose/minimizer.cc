@@ -1,0 +1,171 @@
+#include "diagnose/minimizer.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "verifier/leopard.h"
+
+namespace leopard::diagnose {
+
+namespace {
+
+/// Stable ts_bef order: the dispatch order a single verifier (and the CLI
+/// replay path) feeds traces in.
+void SortByTsBef(std::vector<Trace>& traces) {
+  std::stable_sort(traces.begin(), traces.end(),
+                   [](const Trace& a, const Trace& b) {
+                     return a.ts_bef() < b.ts_bef();
+                   });
+}
+
+std::vector<Trace> FilterTxns(const std::vector<Trace>& traces,
+                              const std::unordered_set<TxnId>& keep) {
+  std::vector<Trace> out;
+  out.reserve(traces.size());
+  for (const Trace& t : traces) {
+    if (t.txn == kLoadTxnId || keep.contains(t.txn)) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool MatchesTarget(const BugDescriptor& bug, const BugDescriptor& target) {
+  return bug.type == target.type && bug.key == target.key;
+}
+
+uint64_t CountTxns(const std::vector<Trace>& traces) {
+  std::unordered_set<TxnId> ids;
+  for (const Trace& t : traces) {
+    if (t.txn != kLoadTxnId) ids.insert(t.txn);
+  }
+  return ids.size();
+}
+
+TraceMinimizer::TraceMinimizer(const VerifierConfig& config,
+                               MinimizeOptions opts)
+    : config_(config), opts_(opts) {}
+
+bool TraceMinimizer::OracleFails(const std::vector<Trace>& traces,
+                                 const BugDescriptor& target,
+                                 BugDescriptor* match,
+                                 MinimizeResult& result) {
+  ++result.oracle_runs;
+  Leopard oracle(config_);
+  for (const Trace& t : traces) oracle.Process(t);
+  oracle.Finish();
+  for (const BugDescriptor& bug : oracle.bugs()) {
+    if (MatchesTarget(bug, target)) {
+      if (match != nullptr) *match = bug;
+      return true;
+    }
+  }
+  return false;
+}
+
+StatusOr<MinimizeResult> TraceMinimizer::Minimize(std::vector<Trace> traces,
+                                                  const BugDescriptor& target) {
+  MinimizeResult result;
+  SortByTsBef(traces);
+  if (!OracleFails(traces, target, &result.bug, result)) {
+    return Status::FailedPrecondition(
+        "trace does not reproduce the target violation (" +
+        std::string(BugTypeName(target.type)) + " on key " +
+        std::to_string(target.key) + ")");
+  }
+
+  // Transaction ids in first-appearance order (ddmin chunks are then
+  // roughly chronological, which shrinks fastest for planted faults).
+  std::vector<TxnId> kept;
+  {
+    std::unordered_set<TxnId> seen;
+    for (const Trace& t : traces) {
+      if (t.txn != kLoadTxnId && seen.insert(t.txn).second) {
+        kept.push_back(t.txn);
+      }
+    }
+  }
+
+  auto out_of_budget = [&]() {
+    return result.oracle_runs >= opts_.max_oracle_runs;
+  };
+
+  // --- ddmin at transaction granularity -----------------------------------
+  // Classic delta debugging over the complement sets: try dropping each of
+  // n chunks; on success restart with the reduced set, otherwise double the
+  // granularity until chunks are single transactions.
+  size_t n = 2;
+  while (kept.size() >= 2 && !out_of_budget()) {
+    n = std::min(n, kept.size());
+    const size_t chunk = (kept.size() + n - 1) / n;
+    bool reduced = false;
+    for (size_t start = 0; start < kept.size() && !out_of_budget();
+         start += chunk) {
+      const size_t end = std::min(start + chunk, kept.size());
+      std::unordered_set<TxnId> keep_set(kept.begin(), kept.end());
+      for (size_t i = start; i < end; ++i) keep_set.erase(kept[i]);
+      if (keep_set.empty()) continue;  // dropping everything never fails
+      std::vector<Trace> candidate = FilterTxns(traces, keep_set);
+      BugDescriptor match;
+      if (OracleFails(candidate, target, &match, result)) {
+        result.txns_removed += end - start;
+        result.bug = std::move(match);
+        kept.erase(kept.begin() + static_cast<ptrdiff_t>(start),
+                   kept.begin() + static_cast<ptrdiff_t>(end));
+        traces = std::move(candidate);
+        n = std::max<size_t>(n - 1, 2);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (n >= kept.size()) break;  // 1-minimal at txn granularity
+      n = std::min(kept.size(), n * 2);
+    }
+  }
+
+  // --- greedy operation-granularity pass ----------------------------------
+  // Drop individual read/write statements of the survivors (terminals and
+  // the initial load stay: removing a terminal is removing the txn, which
+  // ddmin already ruled out). Repeat to a fixpoint: a removal can unlock
+  // further removals.
+  if (opts_.minimize_ops) {
+    bool changed = true;
+    while (changed && !out_of_budget()) {
+      changed = false;
+      for (size_t i = 0; i < traces.size() && !out_of_budget(); ++i) {
+        const Trace& t = traces[i];
+        if (t.txn == kLoadTxnId ||
+            (t.op != OpType::kRead && t.op != OpType::kWrite)) {
+          continue;
+        }
+        std::vector<Trace> candidate;
+        candidate.reserve(traces.size() - 1);
+        candidate.insert(candidate.end(), traces.begin(),
+                         traces.begin() + static_cast<ptrdiff_t>(i));
+        candidate.insert(candidate.end(),
+                         traces.begin() + static_cast<ptrdiff_t>(i) + 1,
+                         traces.end());
+        BugDescriptor match;
+        if (OracleFails(candidate, target, &match, result)) {
+          ++result.ops_removed;
+          result.bug = std::move(match);
+          traces = std::move(candidate);
+          changed = true;
+          --i;  // the next trace shifted into slot i
+        }
+      }
+    }
+  }
+
+  result.budget_exhausted = out_of_budget();
+  result.traces = std::move(traces);
+  if (opts_.metrics != nullptr) {
+    opts_.metrics->counter("diagnose.oracle_runs")->Inc(result.oracle_runs);
+    opts_.metrics->counter("diagnose.txns_removed")->Inc(result.txns_removed);
+    opts_.metrics->counter("diagnose.ops_removed")->Inc(result.ops_removed);
+  }
+  return result;
+}
+
+}  // namespace leopard::diagnose

@@ -1,0 +1,79 @@
+#ifndef LEOPARD_DIAGNOSE_MINIMIZER_H_
+#define LEOPARD_DIAGNOSE_MINIMIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/registry.h"
+#include "trace/trace.h"
+#include "verifier/bug.h"
+#include "verifier/config.h"
+
+namespace leopard::diagnose {
+
+/// Tuning for TraceMinimizer. Every candidate subset costs one full
+/// single-shard verification of the (shrinking) trace, so the budget bounds
+/// total work; when it runs out the smallest failing trace found so far is
+/// returned with `budget_exhausted` set.
+struct MinimizeOptions {
+  uint64_t max_oracle_runs = 512;
+  /// After transaction-granularity ddmin, greedily drop individual
+  /// operations (read/write statements) of the surviving transactions.
+  bool minimize_ops = true;
+  /// When set, diagnose.oracle_runs / diagnose.txns_removed /
+  /// diagnose.ops_removed counters are bumped. Must outlive the minimizer.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+struct MinimizeResult {
+  /// The minimized failing trace, in global ts_bef order (a valid single
+  /// client stream for replay).
+  std::vector<Trace> traces;
+  /// The violation the minimized trace reproduces (same BugType and key as
+  /// the minimization target), with its structured ops/edges witness.
+  BugDescriptor bug;
+  uint64_t oracle_runs = 0;
+  uint64_t txns_removed = 0;
+  uint64_t ops_removed = 0;
+  bool budget_exhausted = false;
+};
+
+/// True when `bug` reproduces `target`: same mechanism and same record.
+/// Transaction ids are deliberately not compared — a subset trace may
+/// surface the same anomaly through a different (smaller) participant set.
+bool MatchesTarget(const BugDescriptor& bug, const BugDescriptor& target);
+
+/// Distinct transaction count of a trace (the initial-load pseudo-txn is
+/// not counted).
+uint64_t CountTxns(const std::vector<Trace>& traces);
+
+/// Delta-debugging minimizer (ddmin): shrinks a failing trace at
+/// transaction granularity — always keeping the initial-load pseudo-txn —
+/// then at operation granularity within the survivors. The oracle is a
+/// fresh single-shard Leopard run over the candidate subset; a candidate
+/// "fails" when it still produces a violation with the target's BugType and
+/// key. On completion (within budget) the result is 1-minimal: removing any
+/// single remaining transaction makes the trace verify clean.
+class TraceMinimizer {
+ public:
+  TraceMinimizer(const VerifierConfig& config, MinimizeOptions opts = {});
+
+  /// `traces` need not be sorted; they are put in ts_bef order first.
+  /// Fails with kFailedPrecondition when the input does not reproduce
+  /// `target` at all.
+  StatusOr<MinimizeResult> Minimize(std::vector<Trace> traces,
+                                    const BugDescriptor& target);
+
+ private:
+  bool OracleFails(const std::vector<Trace>& traces,
+                   const BugDescriptor& target, BugDescriptor* match,
+                   MinimizeResult& result);
+
+  VerifierConfig config_;
+  MinimizeOptions opts_;
+};
+
+}  // namespace leopard::diagnose
+
+#endif  // LEOPARD_DIAGNOSE_MINIMIZER_H_

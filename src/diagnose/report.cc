@@ -1,0 +1,168 @@
+#include "diagnose/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <vector>
+
+#include "trace/trace_io.h"
+#include "verifier/dependency_graph.h"
+
+namespace leopard::diagnose {
+
+namespace {
+
+void AppendJsonString(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string DiagnosisToJson(const Diagnosis& d) {
+  std::ostringstream os;
+  const BugDescriptor& bug = d.bug;
+  os << "{\n  \"bug\": {\n";
+  os << "    \"type\": \"" << BugTypeName(bug.type) << "\",\n";
+  os << "    \"key\": " << bug.key << ",\n";
+  os << "    \"ts\": " << bug.ts << ",\n";
+  os << "    \"txns\": [";
+  for (size_t i = 0; i < bug.txns.size(); ++i) {
+    if (i) os << ", ";
+    os << bug.txns[i];
+  }
+  os << "],\n    \"detail\": ";
+  AppendJsonString(os, bug.detail);
+  os << ",\n    \"ops\": [";
+  for (size_t i = 0; i < bug.ops.size(); ++i) {
+    const BugOp& op = bug.ops[i];
+    os << (i ? "," : "") << "\n      {\"txn\": " << op.txn << ", \"role\": ";
+    AppendJsonString(os, op.role);
+    os << ", \"key\": " << op.key;
+    if (op.has_value) os << ", \"value\": " << op.value;
+    os << ", \"ts_bef\": " << op.interval.bef
+       << ", \"ts_aft\": " << op.interval.aft
+       << ", \"committed\": " << (op.committed ? "true" : "false") << "}";
+  }
+  os << (bug.ops.empty() ? "]" : "\n    ]") << ",\n    \"edges\": [";
+  for (size_t i = 0; i < bug.edges.size(); ++i) {
+    const BugEdge& e = bug.edges[i];
+    os << (i ? "," : "") << "\n      {\"from\": " << e.from
+       << ", \"to\": " << e.to << ", \"type\": \"" << DepTypeName(e.type)
+       << "\"}";
+  }
+  os << (bug.edges.empty() ? "]" : "\n    ]") << "\n  },\n";
+  os << "  \"minimize\": {\n";
+  os << "    \"original_traces\": " << d.original_traces << ",\n";
+  os << "    \"original_txns\": " << d.original_txns << ",\n";
+  os << "    \"minimized_traces\": " << d.minimized.size() << ",\n";
+  os << "    \"minimized_txns\": " << d.minimized_txns << ",\n";
+  os << "    \"oracle_runs\": " << d.oracle_runs << ",\n";
+  os << "    \"txns_removed\": " << d.txns_removed << ",\n";
+  os << "    \"ops_removed\": " << d.ops_removed << ",\n";
+  os << "    \"budget_exhausted\": "
+     << (d.budget_exhausted ? "true" : "false") << "\n  },\n";
+  os << "  \"explanation\": ";
+  AppendJsonString(os, d.explanation);
+  os << "\n}\n";
+  return os.str();
+}
+
+std::string DiagnosisToDot(const Diagnosis& d) {
+  const BugDescriptor& bug = d.bug;
+  std::ostringstream os;
+  os << "digraph conflict {\n";
+  os << "  label=\"" << BugTypeName(bug.type) << " key=" << bug.key
+     << "\";\n  node [shape=box];\n";
+  // One node per involved transaction; its label lists the ops the witness
+  // attributes to it, with their interval endpoints.
+  for (TxnId txn : bug.txns) {
+    os << "  t" << txn << " [label=\"t" << txn;
+    for (const BugOp& op : bug.ops) {
+      if (op.txn != txn) continue;
+      os << "\\n" << op.role;
+      if (op.has_value) os << " k" << op.key << "=" << op.value;
+      os << " [" << op.interval.bef << "," << op.interval.aft << "]";
+    }
+    os << "\"];\n";
+  }
+  if (!bug.edges.empty()) {
+    for (const BugEdge& e : bug.edges) {
+      os << "  t" << e.from << " -> t" << e.to << " [label=\""
+         << DepTypeName(e.type) << "\"];\n";
+    }
+  } else {
+    // CR/ME/FUW: no dependency cycle — render the interval conflict as a
+    // dashed undirected edge between the conflicting transactions.
+    for (size_t i = 0; i + 1 < bug.txns.size(); ++i) {
+      os << "  t" << bug.txns[i] << " -> t" << bug.txns[i + 1]
+         << " [dir=none, style=dashed, label=\"conflict key " << bug.key
+         << "\"];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+StatusOr<ArtifactPaths> WriteDiagnosisArtifacts(const Diagnosis& d,
+                                                const std::string& out_dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create " + out_dir + ": " + ec.message());
+  }
+  ArtifactPaths paths;
+  paths.json_path = out_dir + "/diagnosis.json";
+  paths.dot_path = out_dir + "/conflict.dot";
+  paths.trace_path = out_dir + "/leopard_client_0.trc";
+
+  auto write_text = [](const std::string& path,
+                       const std::string& body) -> Status {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return Status::Internal("cannot write " + path);
+    const size_t n = std::fwrite(body.data(), 1, body.size(), f);
+    const bool ok = n == body.size() && std::fclose(f) == 0;
+    if (!ok) return Status::Internal("short write to " + path);
+    return Status::Ok();
+  };
+  if (Status s = write_text(paths.json_path, DiagnosisToJson(d)); !s.ok()) {
+    return s;
+  }
+  if (Status s = write_text(paths.dot_path, DiagnosisToDot(d)); !s.ok()) {
+    return s;
+  }
+  if (Status s = WriteTraceFile(paths.trace_path, d.minimized); !s.ok()) {
+    return s;
+  }
+  return paths;
+}
+
+}  // namespace leopard::diagnose

@@ -1,0 +1,37 @@
+#ifndef LEOPARD_DIAGNOSE_REPORT_H_
+#define LEOPARD_DIAGNOSE_REPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "diagnose/witness.h"
+
+namespace leopard::diagnose {
+
+/// JSON rendering of a Diagnosis: the structured bug (type, key, txns, ops
+/// with interval endpoints, edges), minimization provenance, and the
+/// explanation text. Self-contained — no external JSON library.
+std::string DiagnosisToJson(const Diagnosis& d);
+
+/// Graphviz DOT rendering of the conflict subgraph: one node per involved
+/// transaction (labelled with its interval endpoints), the deduced
+/// dependency edges for SC violations, and dashed conflict edges between
+/// the interval-conflicting pair for CR/ME/FUW.
+std::string DiagnosisToDot(const Diagnosis& d);
+
+struct ArtifactPaths {
+  std::string json_path;   ///< <out_dir>/diagnosis.json
+  std::string dot_path;    ///< <out_dir>/conflict.dot
+  std::string trace_path;  ///< <out_dir>/leopard_client_0.trc
+};
+
+/// Writes the three repro artifacts under `out_dir` (created when missing).
+/// The minimized trace uses the trace_io codec and the CLI's single-client
+/// file name, so `leopard verify --in=<out_dir> --clients=1` replays it
+/// directly.
+StatusOr<ArtifactPaths> WriteDiagnosisArtifacts(const Diagnosis& d,
+                                                const std::string& out_dir);
+
+}  // namespace leopard::diagnose
+
+#endif  // LEOPARD_DIAGNOSE_REPORT_H_

@@ -1,0 +1,120 @@
+#include "diagnose/witness.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "verifier/leopard.h"
+
+namespace leopard::diagnose {
+
+namespace {
+
+void AppendOpLine(std::ostringstream& os, const BugOp& op) {
+  os << "  t" << op.txn << " " << op.role;
+  if (op.has_value) os << " key=" << op.key << " value=" << op.value;
+  os << " over [" << op.interval.bef << ", " << op.interval.aft << "] ("
+     << (op.committed ? "committed" : "not committed") << ")\n";
+}
+
+}  // namespace
+
+std::string BuildExplanation(const BugDescriptor& bug) {
+  std::ostringstream os;
+  switch (bug.type) {
+    case BugType::kCrViolation:
+      os << "Consistent-read violation on key " << bug.key
+         << ": the observed value is compatible with no candidate version "
+            "of the reader's snapshot interval.\n";
+      break;
+    case BugType::kMeViolation:
+      os << "Mutual-exclusion violation on key " << bug.key
+         << ": two incompatible lock holds overlap in every possible "
+            "ordering of their acquire/release intervals.\n";
+      break;
+    case BugType::kFuwViolation:
+      os << "First-updater-wins violation on key " << bug.key
+         << ": two committed updates were concurrent (each snapshot "
+            "interval overlaps the other's commit), so one update was "
+            "lost.\n";
+      break;
+    case BugType::kScViolation:
+      os << "Serialization-certifier violation: the deduced dependencies "
+            "admit no serial order.\n";
+      break;
+  }
+  os << bug.detail << "\n";
+  if (!bug.ops.empty()) {
+    os << "Involved operations:\n";
+    for (const BugOp& op : bug.ops) AppendOpLine(os, op);
+  }
+  if (!bug.edges.empty()) {
+    os << "Dependency edges:\n";
+    for (const BugEdge& e : bug.edges) {
+      os << "  t" << e.from << " --" << DepTypeName(e.type) << "--> t"
+         << e.to << "\n";
+    }
+  }
+  return os.str();
+}
+
+StatusOr<Diagnosis> Explain(const VerifierConfig& config,
+                            std::vector<Trace> minimized,
+                            const BugDescriptor& target) {
+  std::stable_sort(minimized.begin(), minimized.end(),
+                   [](const Trace& a, const Trace& b) {
+                     return a.ts_bef() < b.ts_bef();
+                   });
+  Leopard verifier(config);
+  for (const Trace& t : minimized) verifier.Process(t);
+  verifier.Finish();
+  const BugDescriptor* match = nullptr;
+  for (const BugDescriptor& bug : verifier.bugs()) {
+    if (MatchesTarget(bug, target)) {
+      match = &bug;
+      break;
+    }
+  }
+  if (match == nullptr) {
+    return Status::FailedPrecondition(
+        "trace does not reproduce the target violation (" +
+        std::string(BugTypeName(target.type)) + " on key " +
+        std::to_string(target.key) + ")");
+  }
+  Diagnosis d;
+  d.bug = *match;
+  d.config = config;
+  d.original_traces = minimized.size();
+  d.original_txns = d.minimized_txns = CountTxns(minimized);
+  d.minimized = std::move(minimized);
+  d.explanation = BuildExplanation(d.bug);
+  return d;
+}
+
+StatusOr<Diagnosis> Diagnose(const VerifierConfig& config,
+                             std::vector<Trace> traces,
+                             const BugDescriptor& target,
+                             const MinimizeOptions& opts) {
+  const uint64_t original_traces = traces.size();
+  const uint64_t original_txns = CountTxns(traces);
+  TraceMinimizer minimizer(config, opts);
+  StatusOr<MinimizeResult> minimized =
+      minimizer.Minimize(std::move(traces), target);
+  if (!minimized.ok()) return minimized.status();
+  MinimizeResult& r = *minimized;
+
+  Diagnosis d;
+  d.bug = std::move(r.bug);
+  d.config = config;
+  d.minimized = std::move(r.traces);
+  d.original_traces = original_traces;
+  d.original_txns = original_txns;
+  d.minimized_txns = CountTxns(d.minimized);
+  d.oracle_runs = r.oracle_runs;
+  d.txns_removed = r.txns_removed;
+  d.ops_removed = r.ops_removed;
+  d.budget_exhausted = r.budget_exhausted;
+  d.explanation = BuildExplanation(d.bug);
+  return d;
+}
+
+}  // namespace leopard::diagnose

@@ -1,0 +1,61 @@
+#ifndef LEOPARD_DIAGNOSE_WITNESS_H_
+#define LEOPARD_DIAGNOSE_WITNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "diagnose/minimizer.h"
+#include "trace/trace.h"
+#include "verifier/bug.h"
+#include "verifier/config.h"
+
+namespace leopard::diagnose {
+
+/// The canonical diagnosis record: a minimized, replayable trace plus the
+/// structured witness of why it violates the mechanism — the SC dependency
+/// cycle with its deduced wr/ww/rw edge kinds, or the CR/ME/FUW interval
+/// conflict with the `[ts_bef, ts_aft]` endpoints that admit no compatible
+/// ordering. This record (not the free-text `detail`) is what the artifact
+/// exporters and the v2 wire payload serialize.
+struct Diagnosis {
+  BugDescriptor bug;             ///< structured witness (ops + edges)
+  std::vector<Trace> minimized;  ///< ts_bef-sorted, replayable via trace_io
+  VerifierConfig config;         ///< the configuration that flags the bug
+
+  // Minimization provenance.
+  uint64_t original_traces = 0;
+  uint64_t original_txns = 0;
+  uint64_t minimized_txns = 0;
+  uint64_t oracle_runs = 0;
+  uint64_t txns_removed = 0;
+  uint64_t ops_removed = 0;
+  bool budget_exhausted = false;
+
+  /// Multi-line human explanation derived from the structured witness.
+  std::string explanation;
+};
+
+/// Renders the mechanism-specific explanation of a structured bug: which
+/// operations conflict, their interval endpoints, and (for SC) the cycle.
+std::string BuildExplanation(const BugDescriptor& bug);
+
+/// Re-runs `minimized` through a fresh single-shard verifier, captures the
+/// structured BugDescriptor matching `target`, and wraps it into a
+/// Diagnosis (no minimization — use this when the trace is already small).
+StatusOr<Diagnosis> Explain(const VerifierConfig& config,
+                            std::vector<Trace> minimized,
+                            const BugDescriptor& target);
+
+/// End-to-end: minimize `traces` against `target` (ddmin, see
+/// TraceMinimizer), then explain the survivor. The returned Diagnosis
+/// carries both the witness and the minimization provenance.
+StatusOr<Diagnosis> Diagnose(const VerifierConfig& config,
+                             std::vector<Trace> traces,
+                             const BugDescriptor& target,
+                             const MinimizeOptions& opts = {});
+
+}  // namespace leopard::diagnose
+
+#endif  // LEOPARD_DIAGNOSE_WITNESS_H_

@@ -36,10 +36,14 @@ StatusOr<std::unique_ptr<VerifierClient>> VerifierClient::Connect(
   if (!s.ok()) return s;
   auto msg = DecodeHelloAck(ack.payload);
   if (!msg.ok()) return msg.status();
-  if (msg->version != kWireVersion) {
+  // The server acks the negotiated version: ours, or lower when it is an
+  // older build (its violation payloads are then v1, which DecodeViolation
+  // accepts transparently).
+  if (msg->version < kMinWireVersion || msg->version > kWireVersion) {
     return Status::InvalidArgument("server speaks wire version " +
                                    std::to_string(msg->version));
   }
+  client->version_ = msg->version;
   client->base_client_ = msg->base_client;
   return client;
 }

@@ -83,6 +83,10 @@ class VerifierClient {
   /// First verifier client id of this session (stream s = base + s).
   uint32_t base_client() const { return base_client_; }
 
+  /// Wire version negotiated with the server (see wire.h). Violations from
+  /// a v2 session carry the structured witness (ops + edges).
+  uint32_t wire_version() const { return version_; }
+
   /// The server's kError message, when the session died on one.
   const std::string& server_error() const { return server_error_; }
 
@@ -101,6 +105,7 @@ class VerifierClient {
   Options opts_;
   FrameDecoder decoder_;
   uint32_t base_client_ = 0;
+  uint32_t version_ = kWireVersion;  // negotiated in Connect()
   std::vector<std::vector<Trace>> pending_;    // per stream
   std::vector<uint8_t> stream_closed_;
   std::vector<BugDescriptor> violations_;

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "diagnose/report.h"
 #include "obs/metrics.h"
 
 namespace leopard {
@@ -70,6 +71,9 @@ Status VerifierServer::Start() {
   }
   accepting_.store(true, std::memory_order_release);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  if (opts_.diagnose) {
+    diag_thread_ = std::thread([this] { DiagnoseLoop(); });
+  }
   return Status::Ok();
 }
 
@@ -192,17 +196,22 @@ bool VerifierServer::HandleHello(Session& session, const Frame& frame) {
     FailSession(session, "duplicate HELLO");
     return false;
   }
-  if (hello->version != kWireVersion) {
+  if (hello->version < kMinWireVersion) {
     FailSession(session, "wire version mismatch: client " +
                              std::to_string(hello->version) + ", server " +
-                             std::to_string(kWireVersion));
+                             std::to_string(kWireVersion) + " (min " +
+                             std::to_string(kMinWireVersion) + ")");
     return false;
   }
+  // Negotiate down: a newer client is served at our version, an older one
+  // at its own (it then receives v1 violation payloads).
+  session.version = std::min(hello->version, kWireVersion);
   if (hello->n_streams == 0 || hello->n_streams > opts_.max_streams) {
     FailSession(session, "invalid stream count");
     return false;
   }
   HelloAckMsg ack;
+  ack.version = session.version;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_.load(std::memory_order_relaxed)) {
@@ -283,6 +292,14 @@ bool VerifierServer::HandleBatch(Session& session, const Frame& frame) {
     for (const Trace& t : batch->traces) {
       txn_session_.emplace(t.txn, &session);
     }
+  }
+  if (opts_.diagnose) {
+    // Keep the history for the minimizer. A violation's offending traces
+    // always precede it, so a snapshot taken when the bug surfaces is a
+    // reproducing superset.
+    std::lock_guard<std::mutex> lock(diag_mu_);
+    recorded_.insert(recorded_.end(), batch->traces.begin(),
+                     batch->traces.end());
   }
   const uint64_t n = batch->traces.size();
   for (Trace& t : batch->traces) {
@@ -376,9 +393,33 @@ void VerifierServer::FinishSession(Session& session) {
 }
 
 void VerifierServer::OnBug(const BugDescriptor& bug) {
-  // Dispatcher thread. Route to every session owning one of the involved
-  // transactions; the offending client learns about its violation even
-  // when an innocent reader's transaction is also implicated.
+  // Dispatcher thread. Minimization is far too slow for this thread: hand
+  // the bug to the background worker (one diagnosis per distinct
+  // (type, key), bounded by max_diagnoses).
+  if (opts_.diagnose) {
+    std::lock_guard<std::mutex> lock(diag_mu_);
+    bool seen = false;
+    for (const BugDescriptor& q : diag_queue_) {
+      if (q.type == bug.type && q.key == bug.key) {
+        seen = true;
+        break;
+      }
+    }
+    for (const diagnose::Diagnosis& d : diagnoses_) {
+      if (d.bug.type == bug.type && d.bug.key == bug.key) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen && diagnoses_enqueued_ < opts_.max_diagnoses) {
+      ++diagnoses_enqueued_;
+      diag_queue_.push_back(bug);
+      diag_cv_.notify_one();
+    }
+  }
+  // Route to every session owning one of the involved transactions; the
+  // offending client learns about its violation even when an innocent
+  // reader's transaction is also implicated.
   std::vector<Session*> targets;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -395,13 +436,19 @@ void VerifierServer::OnBug(const BugDescriptor& bug) {
     if (m_violations_unroutable_ != nullptr) m_violations_unroutable_->Inc();
     return;
   }
-  const std::string frame =
-      EncodeFrame(FrameType::kViolation, EncodeViolation(bug));
+  // Frames are encoded lazily per negotiated wire version: v1 sessions get
+  // the legacy payload, v2 sessions the structured witness.
+  std::string frame_by_version[2];
   const uint64_t now_ns = obs::NowNs();
   for (Session* s : targets) {
     if (s->defunct.load(std::memory_order_relaxed)) {
       if (m_report_send_errors_ != nullptr) m_report_send_errors_->Inc();
       continue;
+    }
+    const uint32_t v = std::min<uint32_t>(std::max<uint32_t>(s->version, 1), 2);
+    std::string& frame = frame_by_version[v - 1];
+    if (frame.empty()) {
+      frame = EncodeFrame(FrameType::kViolation, EncodeViolation(bug, v));
     }
     SendToSession(*s, frame);
     if (s->defunct.load(std::memory_order_relaxed)) {
@@ -417,6 +464,47 @@ void VerifierServer::OnBug(const BugDescriptor& bug) {
       }
     }
   }
+}
+
+void VerifierServer::DiagnoseLoop() {
+  while (true) {
+    BugDescriptor target;
+    std::vector<Trace> snapshot;
+    {
+      std::unique_lock<std::mutex> lock(diag_mu_);
+      diag_cv_.wait(lock, [this] { return diag_stop_ || !diag_queue_.empty(); });
+      if (diag_queue_.empty()) return;  // stop requested, queue drained
+      target = std::move(diag_queue_.front());
+      diag_queue_.pop_front();
+      snapshot = recorded_;  // reproducing superset of the violation
+    }
+    diagnose::MinimizeOptions mo;
+    mo.max_oracle_runs = opts_.diagnose_max_oracle_runs;
+    mo.metrics = metrics_;
+    auto d = diagnose::Diagnose(config_, std::move(snapshot), target, mo);
+    if (!d.ok()) continue;  // e.g. a cross-stream race the oracle can't see
+    if (!opts_.diagnose_out_dir.empty()) {
+      size_t index = 0;
+      {
+        std::lock_guard<std::mutex> lock(diag_mu_);
+        index = diagnoses_.size();
+      }
+      diagnose::WriteDiagnosisArtifacts(
+          *d, opts_.diagnose_out_dir + "/diag_" + std::to_string(index));
+    }
+    std::lock_guard<std::mutex> lock(diag_mu_);
+    diagnoses_.push_back(std::move(*d));
+  }
+}
+
+void VerifierServer::StopDiagnoseWorker() {
+  if (!diag_thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(diag_mu_);
+    diag_stop_ = true;
+  }
+  diag_cv_.notify_all();
+  diag_thread_.join();
 }
 
 void VerifierServer::Shutdown() {
@@ -478,6 +566,9 @@ const VerifyReport& VerifierServer::WaitReport() {
   for (Session* s : sessions) {
     if (s->reader.joinable()) s->reader.join();
   }
+  // Every violation has been routed through OnBug by now; let the worker
+  // drain its queue so diagnoses() is complete and stable.
+  StopDiagnoseWorker();
   {
     std::lock_guard<std::mutex> lock(mu_);
     drained_ = true;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -11,6 +12,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "diagnose/witness.h"
 #include "harness/online_verifier.h"
 #include "net/socket.h"
 #include "net/wire.h"
@@ -68,6 +70,19 @@ class VerifierServer {
     obs::MetricsRegistry* metrics = nullptr;
     uint64_t progress_interval_ms = 0;
     bool print_progress = false;
+    /// Record every received trace and, when a violation surfaces, run the
+    /// delta-debugging minimizer (src/diagnose) on a background worker —
+    /// never on a reader or the dispatcher thread. Results via diagnoses().
+    bool diagnose = false;
+    /// When diagnosing, also write repro artifacts (diagnosis.json,
+    /// conflict.dot, minimized trace) under `<dir>/diag_<n>`. Empty = keep
+    /// the Diagnosis records in memory only.
+    std::string diagnose_out_dir;
+    /// Verifier re-runs the minimizer may spend per diagnosis.
+    uint64_t diagnose_max_oracle_runs = 512;
+    /// Distinct (bug type, key) diagnoses to run before ignoring further
+    /// violations (bounds worker time on pathological histories).
+    uint32_t max_diagnoses = 4;
   };
 
   VerifierServer(const VerifierConfig& config, const Options& options);
@@ -101,6 +116,12 @@ class VerifierServer {
     return sessions_completed_.load(std::memory_order_relaxed);
   }
 
+  /// Diagnoses produced by the background minimizer (Options::diagnose).
+  /// Stable only after WaitReport() returned — the worker is joined there.
+  const std::vector<diagnose::Diagnosis>& diagnoses() const {
+    return diagnoses_;
+  }
+
  private:
   struct Session {
     uint32_t id = 0;
@@ -109,6 +130,9 @@ class VerifierServer {
     std::mutex write_mu;          // serializes acks/violations/bye/error
     uint32_t n_streams = 0;       // 0 until the handshake succeeded
     uint32_t base_client = 0;     // first OnlineVerifier client id
+    /// Negotiated wire version: min(client, server). Selects the violation
+    /// payload layout this session receives.
+    uint32_t version = kWireVersion;
     std::vector<Timestamp> floor;          // admission floor per stream
     std::vector<Timestamp> last_ts;        // per-stream order enforcement
     std::vector<uint8_t> stream_closed;    // reader thread only
@@ -139,6 +163,11 @@ class VerifierServer {
   /// Blocks while the in-flight byte budget is exhausted; see class
   /// comment for the starvation escape.
   void Backpressure(size_t incoming_bytes);
+  /// Background diagnosis worker: pops queued violations and delta-debugs
+  /// the recorded history (Options::diagnose).
+  void DiagnoseLoop();
+  /// Joins the diagnosis worker after draining its queue.
+  void StopDiagnoseWorker();
 
   VerifierConfig config_;
   Options opts_;
@@ -164,6 +193,16 @@ class VerifierServer {
   std::atomic<uint32_t> sessions_completed_{0};
   std::thread accept_thread_;
   VerifyReport report_;
+
+  // Background diagnosis (Options::diagnose).
+  std::mutex diag_mu_;  // recorded_, diag_queue_, diagnoses_, diag_stop_
+  std::condition_variable diag_cv_;
+  std::vector<Trace> recorded_;               // every accepted trace
+  std::deque<BugDescriptor> diag_queue_;      // violations awaiting a worker
+  std::vector<diagnose::Diagnosis> diagnoses_;
+  uint32_t diagnoses_enqueued_ = 0;
+  bool diag_stop_ = false;
+  std::thread diag_thread_;
 
   // Cached metric handles (nullptr when metrics_ == nullptr).
   obs::Counter* m_connections_ = nullptr;

@@ -236,7 +236,7 @@ StatusOr<CloseStreamMsg> DecodeCloseStream(const std::string& payload) {
   return m;
 }
 
-std::string EncodeViolation(const BugDescriptor& bug) {
+std::string EncodeViolation(const BugDescriptor& bug, uint32_t version) {
   std::string out;
   PutU8(out, static_cast<uint8_t>(bug.type));
   PutU64(out, bug.key);
@@ -244,6 +244,27 @@ std::string EncodeViolation(const BugDescriptor& bug) {
   for (TxnId id : bug.txns) PutU64(out, id);
   PutU32(out, static_cast<uint32_t>(bug.detail.size()));
   out.append(bug.detail);
+  if (version < 2) return out;  // legacy sessions get the v1 payload
+  // v2 structured-witness extension: anchor ts, ops, edges.
+  PutU64(out, bug.ts);
+  PutU32(out, static_cast<uint32_t>(bug.ops.size()));
+  for (const BugOp& op : bug.ops) {
+    PutU64(out, op.txn);
+    PutU32(out, static_cast<uint32_t>(op.role.size()));
+    out.append(op.role);
+    PutU64(out, op.key);
+    PutU64(out, op.value);
+    PutU64(out, op.interval.bef);
+    PutU64(out, op.interval.aft);
+    PutU8(out, static_cast<uint8_t>((op.committed ? 1 : 0) |
+                                    (op.has_value ? 2 : 0)));
+  }
+  PutU32(out, static_cast<uint32_t>(bug.edges.size()));
+  for (const BugEdge& e : bug.edges) {
+    PutU64(out, e.from);
+    PutU64(out, e.to);
+    PutU8(out, static_cast<uint8_t>(e.type));
+  }
   return out;
 }
 
@@ -269,10 +290,51 @@ StatusOr<ViolationMsg> DecodeViolation(const std::string& payload) {
     m.bug.txns.push_back(id);
   }
   uint32_t detail_len = 0;
-  if (!r.GetU32(detail_len) || !r.GetString(m.bug.detail, detail_len) ||
-      !r.Done()) {
+  if (!r.GetU32(detail_len) || !r.GetString(m.bug.detail, detail_len)) {
     return Malformed("VIOLATION");
   }
+  if (r.Done()) return m;  // v1 payload: no structured witness
+  // v2 structured-witness extension.
+  uint32_t n_ops = 0;
+  if (!r.GetU64(m.bug.ts) || !r.GetU32(n_ops)) return Malformed("VIOLATION");
+  // Each op is at least 45 bytes (empty role).
+  if (static_cast<uint64_t>(n_ops) * 45 > r.remaining()) {
+    return Status::InvalidArgument("VIOLATION op count exceeds payload");
+  }
+  m.bug.ops.reserve(n_ops);
+  for (uint32_t i = 0; i < n_ops; ++i) {
+    BugOp op;
+    uint32_t role_len = 0;
+    uint8_t flags = 0;
+    if (!r.GetU64(op.txn) || !r.GetU32(role_len) ||
+        !r.GetString(op.role, role_len) || !r.GetU64(op.key) ||
+        !r.GetU64(op.value) || !r.GetU64(op.interval.bef) ||
+        !r.GetU64(op.interval.aft) || !r.GetU8(flags)) {
+      return Malformed("VIOLATION");
+    }
+    op.committed = (flags & 1) != 0;
+    op.has_value = (flags & 2) != 0;
+    m.bug.ops.push_back(std::move(op));
+  }
+  uint32_t n_edges = 0;
+  if (!r.GetU32(n_edges)) return Malformed("VIOLATION");
+  if (static_cast<uint64_t>(n_edges) * 17 > r.remaining()) {
+    return Status::InvalidArgument("VIOLATION edge count exceeds payload");
+  }
+  m.bug.edges.reserve(n_edges);
+  for (uint32_t i = 0; i < n_edges; ++i) {
+    BugEdge e;
+    uint8_t dep = 0;
+    if (!r.GetU64(e.from) || !r.GetU64(e.to) || !r.GetU8(dep)) {
+      return Malformed("VIOLATION");
+    }
+    if (dep > static_cast<uint8_t>(DepType::kRw)) {
+      return Status::InvalidArgument("invalid VIOLATION edge type");
+    }
+    e.type = static_cast<DepType>(dep);
+    m.bug.edges.push_back(e);
+  }
+  if (!r.Done()) return Malformed("VIOLATION");
   return m;
 }
 

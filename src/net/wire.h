@@ -32,7 +32,14 @@ namespace net {
 /// (either direction) reports a protocol failure, after which the sender
 /// closes the connection.
 
-constexpr uint32_t kWireVersion = 1;
+/// Current protocol version. v2 extends the kViolation payload with the
+/// structured witness (anchor timestamp, ops with `[ts_bef, ts_aft]`
+/// endpoints, dependency edges); everything else is unchanged. The version
+/// is negotiated down per session: a v1 client still gets v1 violation
+/// frames from a v2 server.
+constexpr uint32_t kWireVersion = 2;
+/// Oldest version this build still speaks.
+constexpr uint32_t kMinWireVersion = 1;
 constexpr size_t kFrameHeaderBytes = 5;  // u32 payload length + u8 type
 /// Upper bound on one frame's payload; a header declaring more poisons the
 /// decoder (malformed or hostile stream).
@@ -137,7 +144,11 @@ StatusOr<BatchAckMsg> DecodeBatchAck(const std::string& payload);
 std::string EncodeCloseStream(const CloseStreamMsg& m);
 StatusOr<CloseStreamMsg> DecodeCloseStream(const std::string& payload);
 
-std::string EncodeViolation(const BugDescriptor& bug);
+/// `version` selects the payload layout: 1 = legacy (type/key/txns/detail),
+/// 2 = legacy + structured witness extension. The decoder accepts both (the
+/// extension's presence is self-describing).
+std::string EncodeViolation(const BugDescriptor& bug,
+                            uint32_t version = kWireVersion);
 StatusOr<ViolationMsg> DecodeViolation(const std::string& payload);
 
 std::string EncodeBye(const ByeMsg& m);

@@ -1,5 +1,7 @@
 #include "trace/trace_io.h"
 
+#include <array>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 
@@ -8,6 +10,10 @@ namespace leopard {
 namespace {
 
 constexpr char kMagic[8] = {'L', 'E', 'O', 'T', 'R', 'C', '0', '2'};
+
+/// Footer sentinel: 0xFF can never start a record (op codes are <= 3).
+constexpr char kCrcSentinel[4] = {'\xff', 'C', 'R', 'C'};
+constexpr size_t kCrcFooterBytes = 8;  // sentinel + u32 checksum
 
 /// Hard ceiling on read/write/absent set sizes. Every entry costs at least
 /// 8 bytes on the wire, so any count beyond this is a corrupt or hostile
@@ -72,6 +78,25 @@ class Reader {
 };
 
 }  // namespace
+
+uint32_t Crc32(const char* data, size_t n) {
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ static_cast<uint8_t>(data[i])) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
 
 void AppendTraceRecord(std::string& out, const Trace& t) {
   PutU8(out, static_cast<uint8_t>(t.op));
@@ -167,10 +192,15 @@ Status DecodeTraceRecord(const std::string& bytes, size_t& pos, Trace& out) {
 std::string EncodeTraces(const std::vector<Trace>& traces) {
   std::string out(kMagic, sizeof(kMagic));
   for (const Trace& t : traces) AppendTraceRecord(out, t);
+  const uint32_t crc = Crc32(out.data(), out.size());
+  out.append(kCrcSentinel, sizeof(kCrcSentinel));
+  PutU32(out, crc);
   return out;
 }
 
-StatusOr<std::vector<Trace>> DecodeTraces(const std::string& bytes) {
+StatusOr<std::vector<Trace>> DecodeTraces(const std::string& bytes,
+                                          bool* had_crc) {
+  if (had_crc != nullptr) *had_crc = false;
   if (bytes.size() < sizeof(kMagic) ||
       std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
     return Status::InvalidArgument("not a leopard trace file");
@@ -178,6 +208,22 @@ StatusOr<std::vector<Trace>> DecodeTraces(const std::string& bytes) {
   size_t pos = sizeof(kMagic);
   std::vector<Trace> out;
   while (pos < bytes.size()) {
+    if (bytes.size() - pos == kCrcFooterBytes &&
+        std::memcmp(bytes.data() + pos, kCrcSentinel,
+                    sizeof(kCrcSentinel)) == 0) {
+      uint32_t stored = 0;
+      for (int i = 0; i < 4; ++i) {
+        stored |= static_cast<uint32_t>(static_cast<uint8_t>(
+                      bytes[pos + sizeof(kCrcSentinel) + i]))
+                  << (8 * i);
+      }
+      const uint32_t computed = Crc32(bytes.data(), pos);
+      if (stored != computed) {
+        return Status::InvalidArgument("trace file checksum mismatch");
+      }
+      if (had_crc != nullptr) *had_crc = true;
+      return out;
+    }
     Trace t;
     Status s = DecodeTraceRecord(bytes, pos, t);
     if (!s.ok()) {
@@ -187,7 +233,7 @@ StatusOr<std::vector<Trace>> DecodeTraces(const std::string& bytes) {
     }
     out.push_back(std::move(t));
   }
-  return out;
+  return out;  // legacy file: no footer, nothing to verify
 }
 
 Status WriteTraceFile(const std::string& path,
@@ -205,10 +251,17 @@ StatusOr<std::vector<Trace>> ReadTraceFile(const std::string& path) {
   if (!file) return Status::NotFound(path + ": cannot open");
   std::string bytes((std::istreambuf_iterator<char>(file)),
                     std::istreambuf_iterator<char>());
-  auto traces = DecodeTraces(bytes);
+  bool had_crc = false;
+  auto traces = DecodeTraces(bytes, &had_crc);
   if (!traces.ok()) {
     return Status(traces.status().code(),
                   path + ": " + traces.status().message());
+  }
+  if (!had_crc) {
+    std::fprintf(stderr,
+                 "[trace_io] warning: %s has no integrity footer "
+                 "(pre-CRC writer); skipping checksum verification\n",
+                 path.c_str());
   }
   return traces;
 }

@@ -16,7 +16,13 @@ namespace leopard {
 ///   u8 op | u32 client | u64 txn | u64 ts_bef | u64 ts_aft |
 ///   u32 n_reads  { u64 key | u64 value } *
 ///   u32 n_writes { u64 key | u64 value } *
-/// All integers little-endian.
+/// followed by an 8-byte integrity footer:
+///   0xFF 'C' 'R' 'C' | u32 crc32
+/// where crc32 (reflected, poly 0xEDB88320) covers every preceding byte.
+/// The 0xFF sentinel cannot begin a record (op codes are <= 3), so the
+/// footer is unambiguous. Files written before the footer existed decode
+/// fine — the reader warns and skips verification. A present-but-wrong
+/// checksum is a hard error. All integers little-endian.
 ///
 /// Writers append traces of ONE client stream per file (ts_bef
 /// non-decreasing), matching how the tracer collects them.
@@ -29,8 +35,14 @@ Status WriteTraceFile(const std::string& path,
 StatusOr<std::vector<Trace>> ReadTraceFile(const std::string& path);
 
 /// In-memory encode/decode used by the file functions (and tests).
+/// EncodeTraces appends the CRC32 footer; DecodeTraces verifies it when
+/// present (sets *had_crc accordingly) and fails on a mismatch.
 std::string EncodeTraces(const std::vector<Trace>& traces);
-StatusOr<std::vector<Trace>> DecodeTraces(const std::string& bytes);
+StatusOr<std::vector<Trace>> DecodeTraces(const std::string& bytes,
+                                          bool* had_crc = nullptr);
+
+/// CRC32 (reflected, poly 0xEDB88320) used by the trace-file footer.
+uint32_t Crc32(const char* data, size_t n);
 
 /// Record-level codec shared by the file format above and the network wire
 /// protocol (src/net/wire): one trace record, no file header.

@@ -26,6 +26,21 @@ std::string BugDescriptor::ToString() const {
     os << txns[i];
   }
   os << "] " << detail;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    os << (i == 0 ? " ops{" : "; ");
+    const BugOp& op = ops[i];
+    os << "t" << op.txn << " " << op.role;
+    if (op.has_value) os << " key=" << op.key << " val=" << op.value;
+    os << " [" << op.interval.bef << "," << op.interval.aft << "] "
+       << (op.committed ? "committed" : "uncommitted");
+    if (i + 1 == ops.size()) os << "}";
+  }
+  for (size_t i = 0; i < edges.size(); ++i) {
+    os << (i == 0 ? " edges{" : ", ");
+    os << "t" << edges[i].from << "-" << DepTypeName(edges[i].type) << "->t"
+       << edges[i].to;
+    if (i + 1 == edges.size()) os << "}";
+  }
   return os.str();
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "trace/trace.h"
+#include "verifier/stats.h"
 
 namespace leopard {
 
@@ -19,17 +20,54 @@ enum class BugType : uint8_t {
 
 const char* BugTypeName(BugType type);
 
+/// One operation (or derived event) that participates in a violation: the
+/// transaction it belongs to, its role in the conflict ("read", "version",
+/// "lock-acquire", "snapshot", "commit", …), and the trace interval
+/// `[ts_bef, ts_aft]` whose ordering constraints admit no compatible
+/// mechanism behaviour.
+struct BugOp {
+  TxnId txn = 0;
+  std::string role;
+  Key key = 0;
+  Value value = 0;
+  TimeInterval interval{0, 0};
+  bool committed = false;   ///< owning txn had committed (or the op is the
+                            ///< terminal itself and it committed)
+  bool has_value = false;   ///< `value` is meaningful for this role
+
+  friend bool operator==(const BugOp&, const BugOp&) = default;
+};
+
+/// One dependency edge of an SC conflict cycle, with its deduced Adya kind.
+struct BugEdge {
+  TxnId from = 0;
+  TxnId to = 0;
+  DepType type = DepType::kWw;
+
+  friend bool operator==(const BugEdge&, const BugEdge&) = default;
+};
+
 /// A violation report ("bug descriptor" in the paper): the mechanism that
 /// failed, the transactions and record involved, and a human-readable
 /// explanation of why no ordering of the trace intervals is compatible with
-/// the mechanism.
+/// the mechanism. `ops` and `edges` carry the same conflict in structured
+/// form — they are the canonical payload consumed by the diagnosis
+/// subsystem (src/diagnose/) and the v2 wire protocol; `detail` remains the
+/// one-line rendering for logs.
 struct BugDescriptor {
   BugType type = BugType::kCrViolation;
   std::vector<TxnId> txns;
   Key key = 0;
+  /// Earliest `ts_bef` among the involved ops (0 when unknown): the stable
+  /// chronological anchor used for deterministic report ordering.
+  Timestamp ts = 0;
   std::string detail;
+  std::vector<BugOp> ops;
+  std::vector<BugEdge> edges;
 
   std::string ToString() const;
+
+  friend bool operator==(const BugDescriptor&, const BugDescriptor&) = default;
 };
 
 }  // namespace leopard

@@ -74,7 +74,16 @@ void Leopard::ProcessRead(const Trace& trace) {
         std::ostringstream os;
         os << "read " << r.value << " instead of own uncommitted write "
            << own->second;
-        ReportBug(BugType::kCrViolation, r.key, {trace.txn}, os.str());
+        BugDescriptor bug;
+        bug.type = BugType::kCrViolation;
+        bug.key = r.key;
+        bug.txns = {trace.txn};
+        bug.detail = os.str();
+        bug.ops.push_back(BugOp{trace.txn, "read", r.key, r.value,
+                                trace.interval, false, true});
+        bug.ops.push_back(BugOp{trace.txn, "own-write", r.key, own->second,
+                                trace.interval, false, true});
+        ReportBug(std::move(bug));
       }
       continue;
     }
@@ -89,7 +98,16 @@ void Leopard::ProcessRead(const Trace& trace) {
         std::ostringstream os;
         os << "row reported absent despite own uncommitted write "
            << own->second;
-        ReportBug(BugType::kCrViolation, key, {trace.txn}, os.str());
+        BugDescriptor bug;
+        bug.type = BugType::kCrViolation;
+        bug.key = key;
+        bug.txns = {trace.txn};
+        bug.detail = os.str();
+        bug.ops.push_back(BugOp{trace.txn, "absent-read", key, 0,
+                                trace.interval, false, false});
+        bug.ops.push_back(BugOp{trace.txn, "own-write", key, own->second,
+                                trace.interval, false, true});
+        ReportBug(std::move(bug));
       }
       return;
     }
@@ -160,7 +178,25 @@ void Leopard::VerifyAbsence(Key key, const PendingRead& read) {
       os << "row reported absent although a committed version was "
             "certainly visible ("
          << cand.indices.size() << " candidates)";
-      ReportBug(BugType::kCrViolation, key, {read.txn}, os.str());
+      BugDescriptor bug;
+      bug.type = BugType::kCrViolation;
+      bug.key = key;
+      bug.txns = {read.txn};
+      bug.detail = os.str();
+      bug.ops.push_back(BugOp{read.txn, "absent-read", key, 0,
+                              read.op_interval, false, false});
+      bug.ops.push_back(
+          BugOp{read.txn, "snapshot", key, 0, read.snapshot, false, false});
+      for (size_t i = 0; i < cand.indices.size() && i < 4; ++i) {
+        const VersionEntry& v = (*list)[cand.indices[i]];
+        bug.ops.push_back(BugOp{v.writer, "version", key, v.value, v.install,
+                                v.status == WriterStatus::kCommitted, true});
+        if (std::find(bug.txns.begin(), bug.txns.end(), v.writer) ==
+            bug.txns.end()) {
+          bug.txns.push_back(v.writer);
+        }
+      }
+      ReportBug(std::move(bug));
     }
     return;
   }
@@ -200,7 +236,28 @@ void Leopard::VerifyRead(const PendingRead& read) {
       std::ostringstream os;
       os << "value " << item.value << " not in the candidate version set ("
          << cand.indices.size() << " candidates)";
-      ReportBug(BugType::kCrViolation, item.key, {read.txn}, os.str());
+      BugDescriptor bug;
+      bug.type = BugType::kCrViolation;
+      bug.key = item.key;
+      bug.txns = {read.txn};
+      bug.detail = os.str();
+      bug.ops.push_back(BugOp{read.txn, "read", item.key, item.value,
+                              read.op_interval, false, true});
+      bug.ops.push_back(BugOp{read.txn, "snapshot", item.key, 0,
+                              read.snapshot, false, false});
+      // Name the candidate versions the snapshot admits (capped): the read
+      // value matches none of their values.
+      for (size_t i = 0; i < cand.indices.size() && i < 4; ++i) {
+        const VersionEntry& v = (*list)[cand.indices[i]];
+        bug.ops.push_back(BugOp{v.writer, "version", item.key, v.value,
+                                v.install,
+                                v.status == WriterStatus::kCommitted, true});
+        if (std::find(bug.txns.begin(), bug.txns.end(), v.writer) ==
+            bug.txns.end()) {
+          bug.txns.push_back(v.writer);
+        }
+      }
+      ReportBug(std::move(bug));
       continue;
     }
     if (match_count > 1) {

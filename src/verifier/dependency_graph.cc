@@ -36,6 +36,7 @@ const char* CertifierModeName(CertifierMode mode) {
 void DependencyGraph::AddNode(TxnId id, const NodeInfo& info) {
   auto [it, inserted] = nodes_.try_emplace(id);
   if (!inserted) return;
+  it->second.id = id;
   it->second.info = info;
   it->second.ord = next_ord_++;
   min_end_aft_ = std::min(min_end_aft_, info.end.aft);
@@ -47,6 +48,11 @@ DependencyGraph::Node* DependencyGraph::Find(TxnId id) {
 
 const DependencyGraph::Node* DependencyGraph::Find(TxnId id) const {
   return nodes_.Lookup(id);
+}
+
+const DependencyGraph::NodeInfo* DependencyGraph::InfoOf(TxnId id) const {
+  const Node* n = Find(id);
+  return n == nullptr ? nullptr : &n->info;
 }
 
 uint64_t DependencyGraph::BumpEpoch() {
@@ -71,8 +77,8 @@ bool DependencyGraph::Concurrent(const Node& a, const Node& b) const {
          CertainlyBefore(b.info.first_op, a.info.end);
 }
 
-std::optional<std::string> DependencyGraph::CheckSsi(TxnId from, Node& f,
-                                                     TxnId to, Node& t) {
+std::optional<GraphViolation> DependencyGraph::CheckSsi(TxnId from, Node& f,
+                                                        TxnId to, Node& t) {
   // The new rw edge from->to may complete a dangerous structure
   // a -rw-> pivot -rw-> b with the pivot concurrent with both neighbours.
   // Case 1: `from` is the pivot (some a -rw-> from exists).
@@ -84,7 +90,9 @@ std::optional<std::string> DependencyGraph::CheckSsi(TxnId from, Node& f,
         std::ostringstream os;
         os << "SSI dangerous structure: " << a << " -rw-> " << from
            << " -rw-> " << to << " among concurrent committed transactions";
-        return os.str();
+        return GraphViolation{os.str(),
+                              {BugEdge{a, from, DepType::kRw},
+                               BugEdge{from, to, DepType::kRw}}};
       }
     }
     // Case 2: `to` is the pivot (some to -rw-> b exists).
@@ -95,15 +103,17 @@ std::optional<std::string> DependencyGraph::CheckSsi(TxnId from, Node& f,
         std::ostringstream os;
         os << "SSI dangerous structure: " << from << " -rw-> " << to
            << " -rw-> " << b << " among concurrent committed transactions";
-        return os.str();
+        return GraphViolation{os.str(),
+                              {BugEdge{from, to, DepType::kRw},
+                               BugEdge{to, b, DepType::kRw}}};
       }
     }
   }
   return std::nullopt;
 }
 
-std::optional<std::string> DependencyGraph::AddEdge(TxnId from, TxnId to,
-                                                    DepType type) {
+std::optional<GraphViolation> DependencyGraph::AddEdge(TxnId from, TxnId to,
+                                                       DepType type) {
   if (from == to) return std::nullopt;
   Node* f = Find(from);
   Node* t = Find(to);
@@ -142,7 +152,7 @@ std::optional<std::string> DependencyGraph::AddEdge(TxnId from, TxnId to,
     std::ostringstream os;
     os << "strict serializability: " << DepTypeName(type) << " edge "
        << from << " -> " << to << " points backwards in real time";
-    return os.str();
+    return GraphViolation{os.str(), {BugEdge{from, to, type}}};
   }
 
   switch (mode_) {
@@ -161,7 +171,7 @@ std::optional<std::string> DependencyGraph::AddEdge(TxnId from, TxnId to,
         std::ostringstream os;
         os << "commit-order certifier: rw edge " << from << " -> " << to
            << " points backwards in commit order";
-        return os.str();
+        return GraphViolation{os.str(), {BugEdge{from, to, type}}};
       }
       return std::nullopt;
     }
@@ -172,12 +182,12 @@ std::optional<std::string> DependencyGraph::AddEdge(TxnId from, TxnId to,
         std::ostringstream os;
         os << "ts-order certifier: " << DepTypeName(type) << " edge " << from
            << " -> " << to << " points backwards in timestamp order";
-        return os.str();
+        return GraphViolation{os.str(), {BugEdge{from, to, type}}};
       }
       return std::nullopt;
     }
     case CertifierMode::kCycle:
-      return PkInsert(from, f, to, t);
+      return PkInsert(from, f, to, t, type);
     case CertifierMode::kFullDfs:
       return std::nullopt;  // caller runs FullCycleSearch per commit
   }
@@ -234,8 +244,41 @@ void DependencyGraph::PkBackward(Node* start, int64_t lower_ord,
   }
 }
 
-std::optional<std::string> DependencyGraph::PkInsert(TxnId from, Node* f,
-                                                     TxnId to, Node* t) {
+std::vector<BugEdge> DependencyGraph::FindPath(Node* src, Node* dst) {
+  // Witness extraction, run only once a violation is certain (so the
+  // allocations are off the hot path): iterative DFS keeping the explicit
+  // edge path from `src` to the current node.
+  const uint64_t epoch = BumpEpoch();
+  std::vector<std::pair<Node*, uint32_t>> stack;
+  std::vector<BugEdge> path;  // path[i] leads from stack[i] to stack[i+1]
+  stack.emplace_back(src, 0);
+  src->mark = epoch;
+  while (!stack.empty()) {
+    auto& [n, idx] = stack.back();
+    if (idx >= n->out.size()) {
+      stack.pop_back();
+      if (!path.empty()) path.pop_back();
+      continue;
+    }
+    const Edge& e = n->out[idx++];
+    Node* nn = Find(e.to);
+    if (nn == nullptr) continue;
+    if (nn == dst) {
+      path.push_back(BugEdge{n->id, e.to, e.type});
+      return path;
+    }
+    if (nn->mark < epoch) {
+      nn->mark = epoch;
+      path.push_back(BugEdge{n->id, e.to, e.type});
+      stack.emplace_back(nn, 0);
+    }
+  }
+  return {};
+}
+
+std::optional<GraphViolation> DependencyGraph::PkInsert(TxnId from, Node* f,
+                                                        TxnId to, Node* t,
+                                                        DepType type) {
   if (t->ord > f->ord) return std::nullopt;  // already topologically sorted
 
   // Affected region: nodes reachable forward from `to` with ord <= ord[from]
@@ -243,9 +286,17 @@ std::optional<std::string> DependencyGraph::PkInsert(TxnId from, Node* f,
   scratch_forward_.clear();
   scratch_backward_.clear();
   if (PkForward(t, f->ord, f, scratch_forward_)) {
+    GraphViolation v;
     std::ostringstream os;
     os << "dependency cycle through " << from << " -> " << to;
-    return os.str();
+    v.detail = os.str();
+    // Close the witness cycle: the inserted edge plus the pre-existing path
+    // back from `to` to `from`. The inserted edge is already in f->out but
+    // cannot appear on a to->...->from path (the search stops at `from`).
+    v.edges.push_back(BugEdge{from, to, type});
+    std::vector<BugEdge> back_path = FindPath(t, f);
+    v.edges.insert(v.edges.end(), back_path.begin(), back_path.end());
+    return v;
   }
   PkBackward(f, t->ord, scratch_backward_);
 
@@ -265,7 +316,7 @@ std::optional<std::string> DependencyGraph::PkInsert(TxnId from, Node* f,
   return std::nullopt;
 }
 
-std::optional<std::string> DependencyGraph::FullCycleSearch() {
+std::optional<GraphViolation> DependencyGraph::FullCycleSearch() {
   // Iterative three-colour DFS over the whole graph. Colours live in the
   // node marks: < epoch white, == epoch grey, == epoch + 1 black — so the
   // per-commit call of kFullDfs mode reuses one scratch stack and never
@@ -289,9 +340,22 @@ std::optional<std::string> DependencyGraph::FullCycleSearch() {
       Node* nn = Find(next);
       if (nn == nullptr) continue;
       if (nn->mark == grey) {
+        GraphViolation v;
         std::ostringstream os;
         os << "dependency cycle through " << next;
-        return os.str();
+        v.detail = os.str();
+        // The grey node is on the active DFS path; the witness cycle is the
+        // dfs_stack_ suffix from it to the top (each entry's idx - 1 edge
+        // leads to the next entry) plus the just-examined closing edge.
+        size_t pos = 0;
+        while (pos < dfs_stack_.size() && dfs_stack_[pos].first != nn) ++pos;
+        for (size_t i = pos; i + 1 < dfs_stack_.size(); ++i) {
+          Node* a = dfs_stack_[i].first;
+          const Edge& e = a->out[dfs_stack_[i].second - 1];
+          v.edges.push_back(BugEdge{a->id, e.to, e.type});
+        }
+        v.edges.push_back(BugEdge{n->id, next, n->out[idx - 1].type});
+        return v;
       }
       if (nn->mark < epoch) {
         nn->mark = grey;

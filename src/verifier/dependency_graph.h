@@ -12,10 +12,20 @@
 #include "common/slab_map.h"
 #include "common/small_vector.h"
 #include "trace/trace.h"
+#include "verifier/bug.h"
 #include "verifier/config.h"
 #include "verifier/stats.h"
 
 namespace leopard {
+
+/// A certifier violation with its structured witness: the dependency edges
+/// that close the prohibited structure (full cycle path for kCycle/kFullDfs,
+/// the rw pair for SSI dangerous structures, the single backwards edge for
+/// the order-mirror modes). `detail` is the one-line log rendering.
+struct GraphViolation {
+  std::string detail;
+  std::vector<BugEdge> edges;
+};
 
 /// The serialization-certifier state (§V-D): a dependency graph over
 /// committed transactions, checked with the invariant of whichever certifier
@@ -58,13 +68,19 @@ class DependencyGraph {
   bool HasNode(TxnId id) const { return nodes_.contains(id); }
 
   /// Adds a dependency edge (`to` depends on `from`, i.e. `from` precedes
-  /// `to` in any serial order). Returns a violation description when the
-  /// certifier's invariant breaks. Duplicate edges are ignored.
-  std::optional<std::string> AddEdge(TxnId from, TxnId to, DepType type);
+  /// `to` in any serial order). Returns a violation — description plus the
+  /// witness edges — when the certifier's invariant breaks. Duplicate edges
+  /// are ignored.
+  std::optional<GraphViolation> AddEdge(TxnId from, TxnId to, DepType type);
 
   /// kFullDfs only: run the from-scratch cycle search (call per commit).
   /// Reuses the epoch-marked scratch state across calls.
-  std::optional<std::string> FullCycleSearch();
+  std::optional<GraphViolation> FullCycleSearch();
+
+  /// Activity span of a registered transaction (nullptr when unknown or
+  /// pruned); lets callers attach `[ts_bef, ts_aft]` endpoints to the
+  /// transactions named in a GraphViolation.
+  const NodeInfo* InfoOf(TxnId id) const;
 
   /// Prunes garbage transactions: in-degree 0 and end.aft <= safe_ts.
   /// Early-outs without touching any node when the min end.aft watermark
@@ -93,6 +109,7 @@ class DependencyGraph {
   static constexpr size_t kDupSetThreshold = 16;
 
   struct Node {
+    TxnId id = 0;  ///< back-pointer for witness-path extraction
     NodeInfo info;
     SmallVector<Edge, 4> out;
     SmallVector<TxnId, 4> in;
@@ -110,11 +127,15 @@ class DependencyGraph {
   Node* Find(TxnId id);
   const Node* Find(TxnId id) const;
   bool Concurrent(const Node& a, const Node& b) const;
-  std::optional<std::string> CheckSsi(TxnId from, Node& f, TxnId to, Node& t);
+  std::optional<GraphViolation> CheckSsi(TxnId from, Node& f, TxnId to,
+                                         Node& t);
   /// Pearce–Kelly: restore topological order after inserting from->to;
-  /// returns a description when a cycle is found.
-  std::optional<std::string> PkInsert(TxnId from, Node* f, TxnId to,
-                                      Node* t);
+  /// returns a violation (with the full cycle path) when a cycle is found.
+  std::optional<GraphViolation> PkInsert(TxnId from, Node* f, TxnId to,
+                                         Node* t, DepType type);
+  /// Slow-path witness extraction, called only once a violation is certain:
+  /// DFS from `src` to `dst` recording the edge path.
+  std::vector<BugEdge> FindPath(Node* src, Node* dst);
   bool PkForward(Node* start, int64_t upper_ord, const Node* target,
                  std::vector<Node*>& reached);
   void PkBackward(Node* start, int64_t lower_ord, std::vector<Node*>& reached);

@@ -37,8 +37,23 @@ void Leopard::VerifyFuwAtCommit(TxnState& t) {
           os << "lost update: concurrent committed updates (snapshots "
              << entry.writer_snapshot << " / " << t.first_op << ", commits "
              << entry.writer_commit << " / " << t.end << ")";
-          ReportBug(BugType::kFuwViolation, key, {entry.writer, t.id},
-                    os.str());
+          BugDescriptor bug;
+          bug.type = BugType::kFuwViolation;
+          bug.key = key;
+          bug.txns = {entry.writer, t.id};
+          bug.detail = os.str();
+          bug.ops.push_back(BugOp{entry.writer, "snapshot", key, entry.value,
+                                  entry.writer_snapshot, true, true});
+          bug.ops.push_back(BugOp{entry.writer, "commit", key, entry.value,
+                                  entry.writer_commit, true, true});
+          auto own = t.own_writes.find(key);
+          const Value my_value =
+              own != t.own_writes.end() ? own->second : 0;
+          bug.ops.push_back(BugOp{t.id, "snapshot", key, my_value,
+                                  t.first_op, true, own != t.own_writes.end()});
+          bug.ops.push_back(BugOp{t.id, "commit", key, my_value, t.end, true,
+                                  own != t.own_writes.end()});
+          ReportBug(std::move(bug));
           break;
         }
         case PairOrder::kFirstThenSecond:

@@ -110,7 +110,16 @@ Leopard::TxnState& Leopard::GetTxn(TxnId id,
 
 void Leopard::ReportBug(BugType type, Key key, std::vector<TxnId> txns,
                         std::string detail) {
-  switch (type) {
+  BugDescriptor bug;
+  bug.type = type;
+  bug.key = key;
+  bug.txns = std::move(txns);
+  bug.detail = std::move(detail);
+  ReportBug(std::move(bug));
+}
+
+void Leopard::ReportBug(BugDescriptor bug) {
+  switch (bug.type) {
     case BugType::kCrViolation:
       ++stats_.cr_violations;
       break;
@@ -125,12 +134,37 @@ void Leopard::ReportBug(BugType type, Key key, std::vector<TxnId> txns,
       break;
   }
   if (bugs_.size() >= kMaxStoredBugs) return;
-  BugDescriptor bug;
-  bug.type = type;
-  bug.key = key;
-  bug.txns = std::move(txns);
-  bug.detail = std::move(detail);
+  if (bug.ts == 0) {
+    for (const BugOp& op : bug.ops) {
+      if (bug.ts == 0 || op.interval.bef < bug.ts) bug.ts = op.interval.bef;
+    }
+  }
   bugs_.push_back(std::move(bug));
+}
+
+BugDescriptor Leopard::MakeScBug(const GraphViolation& violation,
+                                 std::string detail_suffix) {
+  BugDescriptor bug;
+  bug.type = BugType::kScViolation;
+  bug.detail = violation.detail + detail_suffix;
+  bug.edges = violation.edges;
+  for (const BugEdge& e : violation.edges) {
+    for (TxnId id : {e.from, e.to}) {
+      if (std::find(bug.txns.begin(), bug.txns.end(), id) != bug.txns.end()) {
+        continue;
+      }
+      bug.txns.push_back(id);
+      BugOp op;
+      op.txn = id;
+      op.role = "txn-span";
+      op.committed = true;  // only committed txns enter the graph
+      if (const auto* info = graph_.InfoOf(id)) {
+        op.interval = TimeInterval{info->first_op.bef, info->end.aft};
+      }
+      bug.ops.push_back(std::move(op));
+    }
+  }
+  return bug;
 }
 
 void Leopard::Process(const Trace& trace) {
@@ -237,7 +271,9 @@ void Leopard::ProcessTerminal(const Trace& trace, bool committed) {
       obs::ScopedSpan sc_span(span_.sc_ns);
       auto violation = graph_.FullCycleSearch();
       if (violation) {
-        ReportBug(BugType::kScViolation, 0, {trace.txn}, *violation);
+        BugDescriptor bug = MakeScBug(*violation, "");
+        if (bug.txns.empty()) bug.txns.push_back(trace.txn);
+        ReportBug(std::move(bug));
       }
     }
   } else {
@@ -250,8 +286,33 @@ void Leopard::ProcessTerminal(const Trace& trace, bool committed) {
           std::ostringstream os;
           os << "read a version written by aborted transaction "
              << trace.txn;
-          ReportBug(BugType::kCrViolation, key, {reader, trace.txn},
-                    os.str());
+          BugDescriptor bug;
+          bug.type = BugType::kCrViolation;
+          bug.key = key;
+          bug.txns = {reader, trace.txn};
+          bug.detail = os.str();
+          BugOp writer_op;
+          writer_op.txn = trace.txn;
+          writer_op.role = "abort";
+          writer_op.key = key;
+          if (auto wit = t.own_writes.find(key); wit != t.own_writes.end()) {
+            writer_op.value = wit->second;
+            writer_op.has_value = true;
+          }
+          writer_op.interval = trace.interval;
+          bug.ops.push_back(std::move(writer_op));
+          if (auto rit = txns_.find(reader); rit != txns_.end() &&
+                                             rit->second.has_first_op) {
+            BugOp reader_op;
+            reader_op.txn = reader;
+            reader_op.role = "dirty-reader";
+            reader_op.key = key;
+            reader_op.interval = rit->second.first_op;
+            reader_op.committed =
+                rit->second.status == TxnStatus::kCommitted;
+            bug.ops.push_back(std::move(reader_op));
+          }
+          ReportBug(std::move(bug));
         }
       }
     }
@@ -331,8 +392,11 @@ void Leopard::EmitEdge(TxnId from, TxnId to, DepType type) {
   }
   auto violation = graph_.AddEdge(from, to, type);
   if (violation) {
-    ReportBug(BugType::kScViolation, 0, {from, to},
-              *violation + " (" + DepTypeName(type) + " edge)");
+    BugDescriptor bug =
+        MakeScBug(*violation,
+                  std::string(" (") + DepTypeName(type) + " edge)");
+    if (bug.txns.empty()) bug.txns = {from, to};
+    ReportBug(std::move(bug));
   }
 }
 

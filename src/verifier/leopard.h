@@ -188,6 +188,13 @@ class Leopard {
   void EmitEdge(TxnId from, TxnId to, DepType type);
   void ReportBug(BugType type, Key key, std::vector<TxnId> txns,
                  std::string detail);
+  /// Structured overload: `bug.ts` is derived from the ops when left 0.
+  void ReportBug(BugDescriptor bug);
+  /// Builds the structured SC descriptor for a certifier violation: one op
+  /// per transaction named in the witness edges (activity span from the
+  /// dependency graph) plus the edges themselves.
+  BugDescriptor MakeScBug(const GraphViolation& violation,
+                          std::string detail_suffix);
   void MaybeGc();
 
   /// Cached metric handles; all nullptr when no registry is attached, which

@@ -40,7 +40,23 @@ void Leopard::VerifyMeAtRelease(TxnState& t) {
               "ordering (acquires "
            << other_acq << " / " << my_acq << ", releases " << other.release
            << " / " << mine.release << ")";
-        ReportBug(BugType::kMeViolation, key, {other.txn, t.id}, os.str());
+        BugDescriptor bug;
+        bug.type = BugType::kMeViolation;
+        bug.key = key;
+        bug.txns = {other.txn, t.id};
+        bug.detail = os.str();
+        const char* other_role =
+            other.has_x ? "lock-acquire-x" : "lock-acquire-s";
+        const char* my_role = mine.has_x ? "lock-acquire-x" : "lock-acquire-s";
+        bug.ops.push_back(BugOp{other.txn, other_role, key, 0, other_acq,
+                                other.committed, false});
+        bug.ops.push_back(BugOp{other.txn, "lock-release", key, 0,
+                                other.release, other.committed, false});
+        bug.ops.push_back(
+            BugOp{t.id, my_role, key, 0, my_acq, i_committed, false});
+        bug.ops.push_back(BugOp{t.id, "lock-release", key, 0, mine.release,
+                                i_committed, false});
+        ReportBug(std::move(bug));
         return;
       }
       case PairOrder::kUncertain:

@@ -6,6 +6,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -140,13 +141,35 @@ struct ShardedLeopard::Impl {
     uint64_t edges_dropped = 0;
     std::vector<BugDescriptor> bugs;
 
-    void Report(std::vector<TxnId> txns, std::string detail) {
+    void Report(const GraphViolation& violation, std::string detail_suffix,
+                TxnId fallback_txn) {
       ++sc_violations;
       if (bugs.size() >= kMaxCertifierBugs) return;
       BugDescriptor bug;
       bug.type = BugType::kScViolation;
-      bug.txns = std::move(txns);
-      bug.detail = std::move(detail);
+      bug.detail = violation.detail + std::move(detail_suffix);
+      bug.edges = violation.edges;
+      for (const BugEdge& e : violation.edges) {
+        for (TxnId id : {e.from, e.to}) {
+          if (std::find(bug.txns.begin(), bug.txns.end(), id) !=
+              bug.txns.end()) {
+            continue;
+          }
+          bug.txns.push_back(id);
+          BugOp op;
+          op.txn = id;
+          op.role = "txn-span";
+          op.committed = true;
+          if (const auto* info = graph.InfoOf(id)) {
+            op.interval = TimeInterval{info->first_op.bef, info->end.aft};
+          }
+          bug.ops.push_back(std::move(op));
+        }
+      }
+      if (bug.txns.empty()) bug.txns.push_back(fallback_txn);
+      for (const BugOp& op : bug.ops) {
+        if (bug.ts == 0 || op.interval.bef < bug.ts) bug.ts = op.interval.bef;
+      }
       bugs.push_back(std::move(bug));
     }
 
@@ -161,9 +184,8 @@ struct ShardedLeopard::Impl {
         ++edges_applied;
         auto violation = graph.AddEdge(e.from, e.to, e.type);
         if (violation) {
-          Report({e.from, e.to},
-                 *violation + " (" + std::string(DepTypeName(e.type)) +
-                     " edge)");
+          Report(*violation,
+                 " (" + std::string(DepTypeName(e.type)) + " edge)", e.from);
         }
         return;
       }
@@ -189,7 +211,7 @@ struct ShardedLeopard::Impl {
       }
       if (config.certifier == CertifierMode::kFullDfs) {
         auto violation = graph.FullCycleSearch();
-        if (violation) Report({e.from}, *violation);
+        if (violation) Report(*violation, "", e.from);
       }
     }
 
@@ -567,6 +589,18 @@ struct ShardedLeopard::Impl {
       report.bugs.insert(report.bugs.end(), certifier->bugs.begin(),
                          certifier->bugs.end());
     }
+    // Deterministic report order: shard progress (and certifier edge
+    // arrival) is timing-dependent, so sort by (ts, txns, type, key,
+    // detail) and drop exact duplicates — diffs and CI logs stay stable
+    // across runs whatever the thread interleaving was.
+    std::sort(report.bugs.begin(), report.bugs.end(),
+              [](const BugDescriptor& a, const BugDescriptor& b) {
+                return std::tie(a.ts, a.txns, a.type, a.key, a.detail) <
+                       std::tie(b.ts, b.txns, b.type, b.key, b.detail);
+              });
+    report.bugs.erase(
+        std::unique(report.bugs.begin(), report.bugs.end()),
+        report.bugs.end());
   }
 
   VerifierConfig config;

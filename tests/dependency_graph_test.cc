@@ -39,7 +39,14 @@ TEST(DependencyGraphTest, DirectCycleDetected) {
   EXPECT_FALSE(g.AddEdge(1, 2, DepType::kWw).has_value());
   auto violation = g.AddEdge(2, 1, DepType::kWw);
   ASSERT_TRUE(violation.has_value());
-  EXPECT_NE(violation->find("cycle"), std::string::npos);
+  EXPECT_NE(violation->detail.find("cycle"), std::string::npos);
+  // The witness names the full cycle: the inserted 2 -> 1 edge plus the
+  // pre-existing 1 -> 2 edge.
+  ASSERT_EQ(violation->edges.size(), 2u);
+  EXPECT_EQ(violation->edges[0].from, 2u);
+  EXPECT_EQ(violation->edges[0].to, 1u);
+  EXPECT_EQ(violation->edges[1].from, 1u);
+  EXPECT_EQ(violation->edges[1].to, 2u);
 }
 
 TEST(DependencyGraphTest, LongCycleDetected) {
@@ -85,7 +92,10 @@ TEST(DependencyGraphTest, SsiDangerousStructure) {
   EXPECT_FALSE(g.AddEdge(1, 2, DepType::kRw).has_value());
   auto violation = g.AddEdge(2, 3, DepType::kRw);
   ASSERT_TRUE(violation.has_value());
-  EXPECT_NE(violation->find("dangerous structure"), std::string::npos);
+  EXPECT_NE(violation->detail.find("dangerous structure"), std::string::npos);
+  ASSERT_EQ(violation->edges.size(), 2u);
+  EXPECT_EQ(violation->edges[0].type, DepType::kRw);
+  EXPECT_EQ(violation->edges[1].type, DepType::kRw);
 }
 
 TEST(DependencyGraphTest, SsiSerialRwPairsAllowed) {

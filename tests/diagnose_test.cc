@@ -1,0 +1,317 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unordered_set>
+
+#include "diagnose/minimizer.h"
+#include "diagnose/report.h"
+#include "diagnose/witness.h"
+#include "harness/sim_runner.h"
+#include "obs/registry.h"
+#include "trace/trace_io.h"
+#include "txn/database.h"
+#include "verifier/leopard.h"
+#include "verifier/mechanism_table.h"
+#include "workload/ycsb.h"
+
+namespace leopard {
+namespace diagnose {
+namespace {
+
+struct FaultyHistory {
+  std::vector<Trace> traces;
+  std::vector<BugDescriptor> bugs;
+  VerifierConfig config;
+  uint64_t injected = 0;
+};
+
+/// Runs YCSB on a fault-injected MiniDB and verifies the merged history
+/// once, returning both the traces and the violations the verifier found.
+FaultyHistory RunWithFaults(const FaultPlan& plan, Protocol protocol,
+                            IsolationLevel isolation, uint64_t seed,
+                            uint64_t txns = 600, double theta = 0.7,
+                            uint64_t records = 60) {
+  Database::Options dbo;
+  dbo.protocol = protocol;
+  dbo.isolation = isolation;
+  dbo.faults = plan;
+  dbo.fault_seed = seed;
+  Database db(dbo);
+  YcsbWorkload::Options wo;
+  wo.record_count = records;
+  wo.theta = theta;
+  YcsbWorkload workload(wo);
+  SimOptions so;
+  so.clients = 8;
+  so.total_txns = txns;
+  so.seed = seed;
+  SimRunner runner(&db, &workload, so);
+  RunResult result = runner.Run();
+
+  FaultyHistory out;
+  out.config = ConfigForMiniDb(protocol, isolation);
+  out.traces = result.MergedTraces();
+  Leopard verifier(out.config);
+  for (const auto& t : out.traces) verifier.Process(t);
+  verifier.Finish();
+  out.bugs = verifier.bugs();
+  out.injected = db.injected_fault_count();
+  return out;
+}
+
+const BugDescriptor* FirstOfType(const std::vector<BugDescriptor>& bugs,
+                                 BugType type) {
+  for (const BugDescriptor& b : bugs) {
+    if (b.type == type) return &b;
+  }
+  return nullptr;
+}
+
+/// Golden matrix entry: inject one fault class, expect one mechanism to
+/// fire, and require the diagnosis pipeline to reproduce that BugType from
+/// a minimized history.
+struct GoldenCase {
+  const char* name;
+  FaultPlan plan;
+  Protocol protocol;
+  IsolationLevel isolation;
+  uint64_t seed;
+  BugType expected;
+  uint64_t txns = 600;
+  double theta = 0.7;
+  uint64_t records = 60;
+};
+
+std::vector<GoldenCase> GoldenMatrix() {
+  std::vector<GoldenCase> cases;
+  {
+    GoldenCase c{"dropped_lock", {}, Protocol::kMvcc2plSsi,
+                 IsolationLevel::kSerializable, 11, BugType::kMeViolation};
+    c.plan.drop_lock_prob = 0.2;
+    cases.push_back(c);
+  }
+  {
+    GoldenCase c{"stale_snapshot", {}, Protocol::kMvcc2plSsi,
+                 IsolationLevel::kReadCommitted, 12, BugType::kCrViolation};
+    c.plan.stale_snapshot_prob = 0.3;
+    c.plan.stale_snapshot_lag = 8;
+    cases.push_back(c);
+  }
+  {
+    GoldenCase c{"dirty_read", {}, Protocol::kMvcc2plSsi,
+                 IsolationLevel::kReadCommitted, 13, BugType::kCrViolation};
+    c.plan.dirty_read_prob = 0.3;
+    cases.push_back(c);
+  }
+  {
+    GoldenCase c{"lost_write", {}, Protocol::kMvcc2plSsi,
+                 IsolationLevel::kSerializable, 15, BugType::kCrViolation};
+    c.plan.lost_write_prob = 0.2;
+    cases.push_back(c);
+  }
+  {
+    GoldenCase c{"skip_fuw", {}, Protocol::kMvcc2plSsi,
+                 IsolationLevel::kSnapshotIsolation, 16,
+                 BugType::kFuwViolation, 800, 0.9, 20};
+    c.plan.skip_fuw_prob = 1.0;
+    cases.push_back(c);
+  }
+  {
+    GoldenCase c{"skip_certifier", {}, Protocol::kMvccOcc,
+                 IsolationLevel::kSerializable, 17, BugType::kScViolation,
+                 800, 0.9, 20};
+    c.plan.skip_certifier_prob = 1.0;
+    cases.push_back(c);
+  }
+  return cases;
+}
+
+TEST(DiagnoseGoldenTest, FaultMatrixDiagnosesToExpectedBugType) {
+  for (const GoldenCase& c : GoldenMatrix()) {
+    SCOPED_TRACE(c.name);
+    FaultyHistory h = RunWithFaults(c.plan, c.protocol, c.isolation, c.seed,
+                                    c.txns, c.theta, c.records);
+    ASSERT_GT(h.injected, 0u);
+    const BugDescriptor* target = FirstOfType(h.bugs, c.expected);
+    ASSERT_NE(target, nullptr)
+        << "expected " << BugTypeName(c.expected) << " among "
+        << h.bugs.size() << " bug(s)";
+
+    auto d = Diagnose(h.config, h.traces, *target);
+    ASSERT_TRUE(d.ok()) << d.status();
+    EXPECT_EQ(d->bug.type, c.expected);
+    EXPECT_EQ(d->bug.key, target->key);
+    EXPECT_LE(d->minimized_txns, 10u) << "minimizer left too many txns";
+    EXPECT_LT(d->minimized_txns, d->original_txns);
+    // The structured witness must name concrete interval endpoints.
+    ASSERT_FALSE(d->bug.ops.empty());
+    bool has_interval = false;
+    for (const BugOp& op : d->bug.ops) {
+      if (op.interval.aft != 0) has_interval = true;
+    }
+    EXPECT_TRUE(has_interval);
+    if (c.expected == BugType::kScViolation) {
+      EXPECT_FALSE(d->bug.edges.empty()) << "SC witness must carry the cycle";
+    }
+    EXPECT_NE(d->explanation.find("Involved operations"), std::string::npos);
+  }
+}
+
+TEST(DiagnoseMinimizerTest, FuzzedHistoriesShrinkToSmallCores) {
+  // Acceptance sweep: fuzzed ~200-txn histories with one planted fault
+  // class each. Every history that exhibits a violation must minimize to a
+  // small core that still reproduces the same BugType — and the survivor
+  // must be 1-minimal at transaction granularity.
+  int diagnosed = 0;
+  for (uint64_t seed = 1; seed <= 24; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    FaultPlan plan;
+    plan.drop_lock_prob = 0.08;
+    FaultyHistory h =
+        RunWithFaults(plan, Protocol::kMvcc2plSsi,
+                      IsolationLevel::kSerializable, seed, /*txns=*/200);
+    if (h.bugs.empty()) continue;  // fault injected but masked — skip
+    const BugDescriptor& target = h.bugs.front();
+
+    TraceMinimizer minimizer(h.config);
+    auto r = minimizer.Minimize(h.traces, target);
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_TRUE(MatchesTarget(r->bug, target));
+    EXPECT_EQ(r->bug.type, target.type);
+    EXPECT_LE(CountTxns(r->traces), 10u);
+    EXPECT_FALSE(r->budget_exhausted);
+
+    // 1-minimality: dropping any single surviving transaction must make
+    // the violation disappear.
+    std::unordered_set<TxnId> survivors;
+    for (const Trace& t : r->traces) {
+      if (t.txn != kLoadTxnId) survivors.insert(t.txn);
+    }
+    for (TxnId drop : survivors) {
+      std::vector<Trace> without;
+      for (const Trace& t : r->traces) {
+        if (t.txn != drop) without.push_back(t);
+      }
+      Leopard oracle(h.config);
+      for (const Trace& t : without) oracle.Process(t);
+      oracle.Finish();
+      EXPECT_EQ(FirstOfType(oracle.bugs(), target.type), nullptr)
+          << "dropping t" << drop << " should break the repro";
+    }
+    ++diagnosed;
+  }
+  // The sweep is only meaningful if a healthy majority of seeds produced a
+  // diagnosable violation.
+  EXPECT_GE(diagnosed, 20);
+}
+
+TEST(DiagnoseMinimizerTest, CleanHistoryIsAFailedPrecondition) {
+  FaultyHistory h = RunWithFaults({}, Protocol::kMvcc2plSsi,
+                                  IsolationLevel::kSerializable, 42);
+  ASSERT_TRUE(h.bugs.empty());
+  BugDescriptor fabricated;
+  fabricated.type = BugType::kMeViolation;
+  fabricated.key = 1;
+  TraceMinimizer minimizer(h.config);
+  auto r = minimizer.Minimize(h.traces, fabricated);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DiagnoseMinimizerTest, BudgetExhaustionIsReportedNotFatal) {
+  FaultPlan plan;
+  plan.drop_lock_prob = 0.2;
+  FaultyHistory h = RunWithFaults(plan, Protocol::kMvcc2plSsi,
+                                  IsolationLevel::kSerializable, 11);
+  ASSERT_FALSE(h.bugs.empty());
+  MinimizeOptions opts;
+  opts.max_oracle_runs = 3;  // enough for the initial check + one round
+  TraceMinimizer minimizer(h.config, opts);
+  auto r = minimizer.Minimize(h.traces, h.bugs.front());
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->budget_exhausted);
+  EXPECT_LE(r->oracle_runs, 4u);  // one in-flight oracle may finish the round
+  // Whatever survived still reproduces.
+  EXPECT_TRUE(MatchesTarget(r->bug, h.bugs.front()));
+}
+
+TEST(DiagnoseMinimizerTest, MetricsCountOracleRunsAndRemovals) {
+  FaultPlan plan;
+  plan.drop_lock_prob = 0.2;
+  FaultyHistory h = RunWithFaults(plan, Protocol::kMvcc2plSsi,
+                                  IsolationLevel::kSerializable, 11);
+  ASSERT_FALSE(h.bugs.empty());
+  obs::MetricsRegistry registry;
+  MinimizeOptions opts;
+  opts.metrics = &registry;
+  TraceMinimizer minimizer(h.config, opts);
+  auto r = minimizer.Minimize(h.traces, h.bugs.front());
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(registry.counter("diagnose.oracle_runs")->Value(),
+            r->oracle_runs);
+  EXPECT_EQ(registry.counter("diagnose.txns_removed")->Value(),
+            r->txns_removed);
+  EXPECT_GT(r->txns_removed, 0u);
+}
+
+TEST(DiagnoseReportTest, ArtifactsRoundTripThroughTraceCodec) {
+  FaultPlan plan;
+  plan.drop_lock_prob = 0.2;
+  FaultyHistory h = RunWithFaults(plan, Protocol::kMvcc2plSsi,
+                                  IsolationLevel::kSerializable, 11);
+  ASSERT_FALSE(h.bugs.empty());
+  auto d = Diagnose(h.config, h.traces, h.bugs.front());
+  ASSERT_TRUE(d.ok()) << d.status();
+
+  const std::string out_dir =
+      ::testing::TempDir() + "/leopard_diagnose_artifacts";
+  std::filesystem::remove_all(out_dir);
+  auto paths = WriteDiagnosisArtifacts(*d, out_dir);
+  ASSERT_TRUE(paths.ok()) << paths.status();
+
+  // The minimized trace replays through the standard codec and still
+  // exhibits the same violation.
+  auto replay = ReadTraceFile(paths->trace_path);
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  Leopard oracle(h.config);
+  for (const Trace& t : *replay) oracle.Process(t);
+  oracle.Finish();
+  EXPECT_NE(FirstOfType(oracle.bugs(), d->bug.type), nullptr);
+
+  // JSON names the bug type, provenance and interval endpoints; DOT names
+  // the involved transactions.
+  const std::string json = DiagnosisToJson(*d);
+  EXPECT_NE(json.find(BugTypeName(d->bug.type)), std::string::npos);
+  EXPECT_NE(json.find("\"oracle_runs\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts_bef\""), std::string::npos);
+  const std::string dot = DiagnosisToDot(*d);
+  EXPECT_NE(dot.find("digraph conflict"), std::string::npos);
+  for (TxnId txn : d->bug.txns) {
+    EXPECT_NE(dot.find("t" + std::to_string(txn)), std::string::npos);
+  }
+  std::filesystem::remove_all(out_dir);
+}
+
+TEST(DiagnoseWitnessTest, ExplanationNamesEdgesForScViolations) {
+  FaultPlan plan;
+  plan.skip_certifier_prob = 1.0;
+  FaultyHistory h =
+      RunWithFaults(plan, Protocol::kMvccOcc, IsolationLevel::kSerializable,
+                    17, /*txns=*/800, /*theta=*/0.9, /*records=*/20);
+  const BugDescriptor* target = FirstOfType(h.bugs, BugType::kScViolation);
+  ASSERT_NE(target, nullptr);
+  auto d = Diagnose(h.config, h.traces, *target);
+  ASSERT_TRUE(d.ok()) << d.status();
+  ASSERT_FALSE(d->bug.edges.empty());
+  EXPECT_NE(d->explanation.find("Dependency edges"), std::string::npos);
+  // Every edge kind prints as one of the deduced dependency names.
+  for (const BugEdge& e : d->bug.edges) {
+    const std::string needle = std::string("--") + DepTypeName(e.type) +
+                               "--> t" + std::to_string(e.to);
+    EXPECT_NE(d->explanation.find(needle), std::string::npos) << needle;
+  }
+}
+
+}  // namespace
+}  // namespace diagnose
+}  // namespace leopard

@@ -183,6 +183,48 @@ TEST(WireTest, AllMessageTypesRoundTrip) {
   EXPECT_EQ(*error, "boom");
 }
 
+TEST(WireTest, ViolationRoundTripsStructuredWitnessAtV2) {
+  BugDescriptor bug;
+  bug.type = BugType::kScViolation;
+  bug.key = 5;
+  bug.ts = 1000;
+  bug.txns = {4, 9};
+  bug.detail = "dependency cycle";
+  bug.ops.push_back(BugOp{4, "txn-span", 5, 81, TimeInterval(1000, 1200),
+                          true, true});
+  bug.ops.push_back(BugOp{9, "txn-span", 5, 0, TimeInterval(1100, 1300),
+                          false, false});
+  bug.edges.push_back(BugEdge{4, 9, DepType::kWr});
+  bug.edges.push_back(BugEdge{9, 4, DepType::kRw});
+
+  auto v2 = DecodeViolation(EncodeViolation(bug, 2));
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v2->bug, bug);
+
+  // A v1 payload carries no witness but stays decodable (old client talking
+  // to a new server, or vice versa).
+  auto v1 = DecodeViolation(EncodeViolation(bug, 1));
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1->bug.type, bug.type);
+  EXPECT_EQ(v1->bug.key, bug.key);
+  EXPECT_EQ(v1->bug.txns, bug.txns);
+  EXPECT_EQ(v1->bug.detail, bug.detail);
+  EXPECT_TRUE(v1->bug.ops.empty());
+  EXPECT_TRUE(v1->bug.edges.empty());
+}
+
+TEST(WireTest, HelloVersionNegotiatesDown) {
+  // An old (v1) client hello still decodes; the ack mirrors the lower
+  // version back.
+  auto hello = DecodeHello(EncodeHello(HelloMsg{1, 4}));
+  ASSERT_TRUE(hello.ok());
+  EXPECT_EQ(hello->version, 1u);
+  auto ack = DecodeHelloAck(EncodeHelloAck(HelloAckMsg{1, 8}));
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(ack->version, 1u);
+  EXPECT_EQ(ack->base_client, 8u);
+}
+
 TEST(WireTest, DecoderPoisonsOnOversizedLength) {
   FrameDecoder decoder(1024);
   std::string bad;

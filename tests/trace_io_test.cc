@@ -136,6 +136,38 @@ TEST(TraceIoTest, FileRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(TraceIoTest, CrcFooterIsWrittenAndVerified) {
+  std::string bytes = EncodeTraces(SampleTraces());
+  bool had_crc = false;
+  auto decoded = DecodeTraces(bytes, &had_crc);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(had_crc);
+  EXPECT_EQ(decoded->size(), SampleTraces().size());
+}
+
+TEST(TraceIoTest, CrcMismatchIsAHardError) {
+  std::string bytes = EncodeTraces(SampleTraces());
+  // Flip one payload bit: every record still parses, the checksum must not.
+  bytes[20] = static_cast<char>(bytes[20] ^ 0x01);
+  auto decoded = DecodeTraces(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("checksum"), std::string::npos)
+      << decoded.status();
+}
+
+TEST(TraceIoTest, LegacyFileWithoutFooterStillDecodes) {
+  auto traces = SampleTraces();
+  // Reconstruct the pre-footer layout: magic + records, no trailer.
+  std::string bytes = EncodeTraces(traces);
+  bytes.resize(bytes.size() - 8);
+  bool had_crc = true;
+  auto decoded = DecodeTraces(bytes, &had_crc);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_FALSE(had_crc);
+  ASSERT_EQ(decoded->size(), traces.size());
+  EXPECT_EQ((*decoded)[0].ToString(), traces[0].ToString());
+}
+
 TEST(TraceIoTest, MissingFileIsNotFound) {
   auto read = ReadTraceFile("/no/such/leopard/file");
   EXPECT_EQ(read.status().code(), StatusCode::kNotFound);

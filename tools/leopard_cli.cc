@@ -31,6 +31,8 @@
 #include <string>
 #include <vector>
 
+#include "diagnose/report.h"
+#include "diagnose/witness.h"
 #include "harness/sim_runner.h"
 #include "net/client.h"
 #include "obs/export.h"
@@ -78,6 +80,11 @@ struct CliOptions {
   /// Stream traces to a remote leopard_serve ("host:port") instead of
   /// verifying in-process. Violations stream back over the connection.
   std::string connect;
+  /// On a violation, delta-debug the history to a minimal failing core and
+  /// write repro artifacts (diagnosis.json, conflict.dot, minimized trace)
+  /// under `diagnose_out`.
+  bool diagnose = false;
+  std::string diagnose_out = "/tmp/leopard_diagnosis";
 };
 
 void Usage() {
@@ -88,7 +95,8 @@ void Usage() {
                " [--txns=N] [--clients=N] [--seed=N] [--out=DIR|--in=DIR]"
                " [--lock-wait=nowait|waitdie] [--faults=knob:prob,...]"
                " [--metrics-out=FILE(.json|.csv)] [--progress-interval-ms=N]"
-               " [--shards=N] [--connect=host:port]\n");
+               " [--shards=N] [--connect=host:port]"
+               " [--diagnose] [--diagnose-out=DIR]\n");
 }
 
 bool ParseFaults(const std::string& spec, FaultPlan& plan) {
@@ -146,7 +154,12 @@ bool ParseArgs(int argc, char** argv, CliOptions& opts) {
         eat("--isolation=", opts.isolation) ||
         eat("--lock-wait=", opts.lock_wait) || eat("--out=", opts.dir) ||
         eat("--in=", opts.dir) || eat("--metrics-out=", opts.metrics_out) ||
-        eat("--connect=", opts.connect)) {
+        eat("--connect=", opts.connect) ||
+        eat("--diagnose-out=", opts.diagnose_out)) {
+      continue;
+    }
+    if (arg == "--diagnose") {
+      opts.diagnose = true;
       continue;
     }
     if (eat("--txns=", value)) {
@@ -277,8 +290,15 @@ int VerifyClientTraces(const CliOptions& opts,
   TwoLevelPipeline pipeline(clients);
   pipeline.AttachMetrics(&registry);
   uint64_t total = 0;
+  // --diagnose needs the history again after verification: keep a flat copy
+  // before the pipeline consumes the per-client streams.
+  std::vector<Trace> diagnose_copy;
   for (ClientId c = 0; c < clients; ++c) {
     total += client_traces[c].size();
+    if (opts.diagnose) {
+      diagnose_copy.insert(diagnose_copy.end(), client_traces[c].begin(),
+                           client_traces[c].end());
+    }
     for (auto& t : client_traces[c]) pipeline.Push(c, std::move(t));
     pipeline.Close(c);
   }
@@ -347,6 +367,30 @@ int VerifyClientTraces(const CliOptions& opts,
   for (const auto& bug : report.bugs) {
     std::printf("  %s\n", bug.ToString().c_str());
     if (++shown == 10) break;
+  }
+
+  if (opts.diagnose && !report.bugs.empty()) {
+    diagnose::MinimizeOptions mo;
+    mo.metrics = &registry;
+    auto d = diagnose::Diagnose(verifier_config, std::move(diagnose_copy),
+                                report.bugs.front(), mo);
+    if (!d.ok()) {
+      std::fprintf(stderr, "diagnosis failed: %s\n",
+                   d.status().ToString().c_str());
+    } else if (auto paths =
+                   diagnose::WriteDiagnosisArtifacts(*d, opts.diagnose_out);
+               !paths.ok()) {
+      std::fprintf(stderr, "diagnosis failed: %s\n",
+                   paths.status().ToString().c_str());
+    } else {
+      std::printf(
+          "[diagnose] minimized %llu txns -> %llu (%llu oracle runs) | "
+          "artifacts under %s | replay: leopard verify --in=%s --clients=1\n",
+          static_cast<unsigned long long>(d->original_txns),
+          static_cast<unsigned long long>(d->minimized_txns),
+          static_cast<unsigned long long>(d->oracle_runs),
+          opts.diagnose_out.c_str(), opts.diagnose_out.c_str());
+    }
   }
 
   if (!opts.metrics_out.empty()) {

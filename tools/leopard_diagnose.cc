@@ -1,0 +1,232 @@
+// leopard_diagnose — offline violation diagnosis.
+//
+//   leopard_diagnose --in=/tmp/tr --out-dir=/tmp/diag --protocol=pg
+//
+// Reads the recorded trace files, verifies them once to find a violation,
+// then delta-debugs the history down to a minimal failing core and writes
+// three artifacts under --out-dir:
+//   diagnosis.json          structured witness + minimization provenance
+//   conflict.dot            Graphviz conflict subgraph
+//   leopard_client_0.trc    minimized trace; replay with
+//                           `leopard verify --in=<out-dir> --clients=1`
+//
+// Flags:
+//   --in=PATH        trace directory (leopard_client_<c>.trc) or one .trc file
+//   --out-dir=DIR    artifact directory (created when missing)   [required]
+//   --clients=N      trace files to read when --in is a directory [auto]
+//   --protocol=pg|innodb|occ|to|2pl|percolator   [pg]
+//   --isolation=rc|rr|si|ser                     [ser]
+//   --engine=minidb|sqlite                       [minidb]
+//   --max-oracle-runs=N   verifier re-runs the minimizer may spend [512]
+//   --bug=N          diagnose the N-th reported violation (0-based) [0]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "diagnose/report.h"
+#include "diagnose/witness.h"
+#include "obs/registry.h"
+#include "trace/trace_io.h"
+#include "verifier/leopard.h"
+#include "verifier/mechanism_table.h"
+
+namespace leopard {
+namespace {
+
+struct DiagnoseOptions {
+  std::string in;
+  std::string out_dir;
+  std::string engine = "minidb";
+  std::string protocol = "pg";
+  std::string isolation = "ser";
+  uint32_t clients = 0;  // 0 = autodetect
+  uint64_t max_oracle_runs = 512;
+  size_t bug_index = 0;
+};
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: leopard_diagnose --in=PATH --out-dir=DIR"
+               " [--clients=N] [--protocol=pg|innodb|occ|to|2pl|percolator]"
+               " [--isolation=rc|rr|si|ser] [--engine=minidb|sqlite]"
+               " [--max-oracle-runs=N] [--bug=N]\n");
+}
+
+bool ParseArgs(int argc, char** argv, DiagnoseOptions& opts) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto eat = [&arg](const char* prefix, std::string& out) {
+      size_t n = std::strlen(prefix);
+      if (arg.compare(0, n, prefix) != 0) return false;
+      out = arg.substr(n);
+      return true;
+    };
+    std::string value;
+    if (eat("--in=", opts.in) || eat("--out-dir=", opts.out_dir) ||
+        eat("--engine=", opts.engine) || eat("--protocol=", opts.protocol) ||
+        eat("--isolation=", opts.isolation)) {
+      continue;
+    }
+    if (eat("--clients=", value)) {
+      opts.clients =
+          static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (eat("--max-oracle-runs=", value)) {
+      opts.max_oracle_runs = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (eat("--bug=", value)) {
+      opts.bug_index = std::strtoull(value.c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return !opts.in.empty() && !opts.out_dir.empty();
+}
+
+bool ResolveConfig(const DiagnoseOptions& opts, VerifierConfig& config) {
+  if (opts.engine == "sqlite") {
+    config = ConfigForSqlite();
+    return true;
+  }
+  Protocol protocol;
+  if (opts.protocol == "pg") {
+    protocol = Protocol::kMvcc2plSsi;
+  } else if (opts.protocol == "innodb") {
+    protocol = Protocol::kMvcc2pl;
+  } else if (opts.protocol == "occ") {
+    protocol = Protocol::kMvccOcc;
+  } else if (opts.protocol == "to") {
+    protocol = Protocol::kMvccTo;
+  } else if (opts.protocol == "percolator") {
+    protocol = Protocol::kPercolator;
+  } else if (opts.protocol == "2pl") {
+    protocol = Protocol::k2pl;
+  } else {
+    return false;
+  }
+  IsolationLevel isolation;
+  if (opts.isolation == "rc") {
+    isolation = IsolationLevel::kReadCommitted;
+  } else if (opts.isolation == "rr") {
+    isolation = IsolationLevel::kRepeatableRead;
+  } else if (opts.isolation == "si") {
+    isolation = IsolationLevel::kSnapshotIsolation;
+  } else if (opts.isolation == "ser") {
+    isolation = IsolationLevel::kSerializable;
+  } else {
+    return false;
+  }
+  config = ConfigForMiniDb(protocol, isolation);
+  return true;
+}
+
+/// Loads --in: a single .trc file, or a directory of leopard_client_<c>.trc
+/// files (c = 0..clients-1, or every consecutive file when --clients=0).
+StatusOr<std::vector<Trace>> LoadTraces(const DiagnoseOptions& opts) {
+  std::vector<Trace> all;
+  if (!std::filesystem::is_directory(opts.in)) {
+    return ReadTraceFile(opts.in);
+  }
+  for (uint32_t c = 0;; ++c) {
+    if (opts.clients > 0 && c >= opts.clients) break;
+    const std::string path =
+        opts.in + "/leopard_client_" + std::to_string(c) + ".trc";
+    if (opts.clients == 0 && !std::filesystem::exists(path)) break;
+    auto traces = ReadTraceFile(path);
+    if (!traces.ok()) return traces.status();
+    all.insert(all.end(), std::make_move_iterator(traces->begin()),
+               std::make_move_iterator(traces->end()));
+  }
+  if (all.empty()) {
+    return Status::InvalidArgument("no traces found under " + opts.in);
+  }
+  // Global ts_bef order: the dispatch order the online pipeline (and the
+  // minimizer's oracle) uses. Concatenated per-client files are only sorted
+  // within each client.
+  std::stable_sort(all.begin(), all.end(), [](const Trace& a, const Trace& b) {
+    return a.ts_bef() < b.ts_bef();
+  });
+  return all;
+}
+
+int Run(const DiagnoseOptions& opts) {
+  VerifierConfig config;
+  if (!ResolveConfig(opts, config)) {
+    Usage();
+    return 2;
+  }
+  auto traces = LoadTraces(opts);
+  if (!traces.ok()) {
+    std::fprintf(stderr, "%s\n", traces.status().ToString().c_str());
+    return 1;
+  }
+
+  // One full verification pass to pick the target violation.
+  Leopard verifier(config);
+  for (const Trace& t : *traces) verifier.Process(t);
+  verifier.Finish();
+  const auto& bugs = verifier.bugs();
+  if (bugs.empty()) {
+    std::printf("[diagnose] %zu traces verified clean — nothing to minimize\n",
+                traces->size());
+    return 0;
+  }
+  if (opts.bug_index >= bugs.size()) {
+    std::fprintf(stderr, "--bug=%zu out of range (%zu violation(s) found)\n",
+                 opts.bug_index, bugs.size());
+    return 1;
+  }
+  const BugDescriptor& target = bugs[opts.bug_index];
+  std::printf("[diagnose] target: %s\n", target.ToString().c_str());
+
+  obs::MetricsRegistry registry;
+  diagnose::MinimizeOptions mo;
+  mo.max_oracle_runs = opts.max_oracle_runs;
+  mo.metrics = &registry;
+  auto d = diagnose::Diagnose(config, std::move(*traces), target, mo);
+  if (!d.ok()) {
+    std::fprintf(stderr, "%s\n", d.status().ToString().c_str());
+    return 1;
+  }
+  auto paths = diagnose::WriteDiagnosisArtifacts(*d, opts.out_dir);
+  if (!paths.ok()) {
+    std::fprintf(stderr, "%s\n", paths.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "[diagnose] minimized %llu txns -> %llu (%llu oracle runs, "
+      "%llu txns + %llu ops removed%s)\n",
+      static_cast<unsigned long long>(d->original_txns),
+      static_cast<unsigned long long>(d->minimized_txns),
+      static_cast<unsigned long long>(d->oracle_runs),
+      static_cast<unsigned long long>(d->txns_removed),
+      static_cast<unsigned long long>(d->ops_removed),
+      d->budget_exhausted ? ", budget exhausted" : "");
+  std::printf("%s", d->explanation.c_str());
+  std::printf("[diagnose] artifacts:\n  %s\n  %s\n  %s\n",
+              paths->json_path.c_str(), paths->dot_path.c_str(),
+              paths->trace_path.c_str());
+  const std::string replay_flags =
+      opts.engine == "sqlite" ? std::string(" --engine=sqlite")
+                              : " --protocol=" + opts.protocol +
+                                    " --isolation=" + opts.isolation;
+  std::printf("[diagnose] replay: leopard verify --in=%s --clients=1%s\n",
+              opts.out_dir.c_str(), replay_flags.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace leopard
+
+int main(int argc, char** argv) {
+  leopard::DiagnoseOptions opts;
+  if (!leopard::ParseArgs(argc, argv, opts)) {
+    leopard::Usage();
+    return 2;
+  }
+  return leopard::Run(opts);
+}

@@ -21,6 +21,11 @@
 //   --max-inflight-mb=N   [64]  backpressure threshold
 //   --metrics-out=FILE(.json|.csv)
 //   --progress-interval-ms=N    [0 = off]
+//   --diagnose                  record traces; on a violation, delta-debug
+//                               the history on a background worker
+//   --diagnose-out=DIR          write repro artifacts per diagnosis
+//                               (<DIR>/diag_<n>/{diagnosis.json,conflict.dot,
+//                               leopard_client_0.trc})
 //
 // Exit status: 0 = no violations, 1 = violations found, 2 = bad usage.
 
@@ -54,6 +59,8 @@ struct ServeOptions {
   size_t max_inflight_mb = 64;
   std::string metrics_out;
   uint64_t progress_interval_ms = 0;
+  bool diagnose = false;
+  std::string diagnose_out;
 };
 
 void Usage() {
@@ -64,7 +71,7 @@ void Usage() {
       " [--protocol=pg|innodb|occ|to|2pl|percolator]"
       " [--isolation=rc|rr|si|ser] [--idle-timeout-ms=N]"
       " [--max-inflight-mb=N] [--metrics-out=FILE(.json|.csv)]"
-      " [--progress-interval-ms=N]\n");
+      " [--progress-interval-ms=N] [--diagnose] [--diagnose-out=DIR]\n");
 }
 
 bool ParseArgs(int argc, char** argv, ServeOptions& opts) {
@@ -80,7 +87,12 @@ bool ParseArgs(int argc, char** argv, ServeOptions& opts) {
     if (eat("--port-file=", opts.port_file) ||
         eat("--protocol=", opts.protocol) ||
         eat("--isolation=", opts.isolation) ||
-        eat("--metrics-out=", opts.metrics_out)) {
+        eat("--metrics-out=", opts.metrics_out) ||
+        eat("--diagnose-out=", opts.diagnose_out)) {
+      continue;
+    }
+    if (arg == "--diagnose") {
+      opts.diagnose = true;
       continue;
     }
     if (eat("--port=", value)) {
@@ -177,6 +189,8 @@ int main(int argc, char** argv) {
   so.metrics = &registry;
   so.progress_interval_ms = opts.progress_interval_ms;
   so.print_progress = opts.progress_interval_ms > 0;
+  so.diagnose = opts.diagnose || !opts.diagnose_out.empty();
+  so.diagnose_out_dir = opts.diagnose_out;
 
   net::VerifierServer server(config, so);
   Status st = server.Start();
@@ -231,6 +245,15 @@ int main(int argc, char** argv) {
   for (const auto& bug : report.bugs) {
     std::printf("  %s\n", bug.ToString().c_str());
     if (++shown == 10) break;
+  }
+
+  for (const auto& d : server.diagnoses()) {
+    std::printf("[diagnose] %s: %llu txns -> %llu (%llu oracle runs)%s\n",
+                BugTypeName(d.bug.type),
+                static_cast<unsigned long long>(d.original_txns),
+                static_cast<unsigned long long>(d.minimized_txns),
+                static_cast<unsigned long long>(d.oracle_runs),
+                opts.diagnose_out.empty() ? "" : " | artifacts written");
   }
 
   if (!opts.metrics_out.empty()) {
