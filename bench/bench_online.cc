@@ -7,8 +7,12 @@
 // --net adds a loopback comparison: the same trace streams pushed into an
 // in-process OnlineVerifier vs shipped through leopard's wire protocol to
 // a VerifierServer on 127.0.0.1, quantifying the network ingestion tax.
+// --http extends --net with a third run that also serves GET /metrics and
+// scrapes it continuously, quantifying the introspection overhead.
 // --out-dir=DIR overrides where the metrics JSON lands (see bench_util.h).
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -21,6 +25,9 @@
 #include "harness/thread_runner.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/events.h"
+#include "obs/http_endpoint.h"
+#include "obs/watchdog.h"
 #include "workload/smallbank.h"
 #include "workload/ycsb.h"
 
@@ -89,13 +96,36 @@ struct NetRow {
   double inproc_tps = 0;   // traces/s, in-process OnlineVerifier
   double net_tps = 0;      // traces/s, loopback server + wire client
   uint64_t traces = 0;
+  uint64_t scrapes = 0;    // successful /metrics fetches (with_http only)
 };
+
+/// One blocking GET against the loopback introspection endpoint; returns
+/// the raw response (headers + body), empty on any failure.
+std::string HttpGet(uint16_t port, const std::string& path) {
+  auto sock = net::TcpConnect("127.0.0.1", port);
+  if (!sock.ok()) return "";
+  const std::string req =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  if (!sock->SendAll(req.data(), req.size()).ok()) return "";
+  std::string out;
+  char buf[16384];
+  while (true) {
+    auto got = sock->Recv(buf, sizeof(buf));
+    if (!got.ok() || *got == 0) break;
+    out.append(buf, *got);
+  }
+  return out;
+}
 
 /// Pushes one collected run through (a) an in-process OnlineVerifier and
 /// (b) a loopback VerifierServer via the wire protocol, timing push-to-
 /// report for each. Streams are interleaved in global ts_bef order both
-/// times so the pipeline merge behaves identically.
-NetRow RunNetComparison(const RunResult& run, uint32_t shards) {
+/// times so the pipeline merge behaves identically. With `with_http` the
+/// server side also runs the HTTP introspection endpoint plus a scraper
+/// thread hammering GET /metrics, so net_tps then measures verification
+/// under live scraping.
+NetRow RunNetComparison(const RunResult& run, uint32_t shards,
+                        bool with_http) {
   const VerifierConfig config = ConfigForMiniDb(
       Protocol::kMvcc2plSsi, IsolationLevel::kSerializable);
   const uint32_t clients = static_cast<uint32_t>(run.client_traces.size());
@@ -131,15 +161,51 @@ NetRow RunNetComparison(const RunResult& run, uint32_t shards) {
     row.inproc_tps = static_cast<double>(row.traces) / timer.Seconds();
   }
   {
+    obs::EventJournal journal(256);
+    obs::Watchdog::Options wo;
+    wo.metrics = BenchRegistry();
+    wo.events = &journal;
+    obs::Watchdog watchdog(wo);
     net::VerifierServer::Options so;
     so.n_shards = shards;
     so.expected_sessions = 1;
     so.metrics = BenchRegistry();
+    if (with_http) {
+      so.events = &journal;
+      so.watchdog = &watchdog;
+    }
     net::VerifierServer server(config, so);
     Status st = server.Start();
     if (!st.ok()) {
       std::fprintf(stderr, "loopback server: %s\n", st.ToString().c_str());
       return row;
+    }
+    std::unique_ptr<obs::HttpEndpoint> http;
+    std::atomic<bool> scrape_stop{false};
+    std::thread scraper;
+    std::atomic<uint64_t> scrapes{0};
+    if (with_http) {
+      obs::HttpEndpoint::Options ho;
+      ho.registry = BenchRegistry();
+      ho.events = &journal;
+      ho.watchdog = &watchdog;
+      ho.build_info = "bench_online";
+      http = std::make_unique<obs::HttpEndpoint>(ho);
+      Status hs = http->Start();
+      if (!hs.ok()) {
+        std::fprintf(stderr, "http endpoint: %s\n", hs.ToString().c_str());
+        return row;
+      }
+      const uint16_t hport = http->port();
+      scraper = std::thread([hport, &scrape_stop, &scrapes] {
+        while (!scrape_stop.load(std::memory_order_relaxed)) {
+          std::string resp = HttpGet(hport, "/metrics");
+          if (resp.find("200 OK") != std::string::npos) {
+            scrapes.fetch_add(1, std::memory_order_relaxed);
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+      });
     }
     std::thread drain([&server] { server.WaitReport(); });
     net::VerifierClient::Options co;
@@ -151,6 +217,10 @@ NetRow RunNetComparison(const RunResult& run, uint32_t shards) {
                    client.status().ToString().c_str());
       server.Shutdown();
       drain.join();
+      if (scraper.joinable()) {
+        scrape_stop.store(true, std::memory_order_relaxed);
+        scraper.join();
+      }
       return row;
     }
     Stopwatch timer;
@@ -164,11 +234,18 @@ NetRow RunNetComparison(const RunResult& run, uint32_t shards) {
     }
     drain.join();
     row.net_tps = static_cast<double>(row.traces) / timer.Seconds();
+    if (scraper.joinable()) {
+      scrape_stop.store(true, std::memory_order_relaxed);
+      scraper.join();
+      row.scrapes = scrapes.load(std::memory_order_relaxed);
+    }
+    if (http != nullptr) http->Stop();
+    watchdog.Stop();
   }
   return row;
 }
 
-void RunNetMode() {
+void RunNetMode(bool with_http) {
   PrintHeader("Network ingestion: in-process push vs loopback wire "
               "protocol (verification throughput, traces/s)");
   std::printf("%-10s %-8s %-7s %12s %12s %8s\n", "workload", "txns",
@@ -180,35 +257,54 @@ void RunNetMode() {
       const RunResult& run =
           CachedCollectTraces(&workload, Protocol::kMvcc2plSsi,
                               IsolationLevel::kSerializable, txns, 8, txns);
-      NetRow row = RunNetComparison(run, shards);
+      NetRow row = RunNetComparison(run, shards, /*with_http=*/false);
       std::printf("%-10s %-8llu %-7u %12.0f %12.0f %7.2f%%\n", "SmallBank",
                   static_cast<unsigned long long>(txns), shards,
                   row.inproc_tps, row.net_tps,
                   row.inproc_tps > 0 ? 100.0 * row.net_tps / row.inproc_tps
                                      : 0.0);
+      if (with_http) {
+        NetRow hrow = RunNetComparison(run, shards, /*with_http=*/true);
+        std::printf("%-10s %-8llu %-7u %12s %12.0f %7.2f%%  "
+                    "(+http, %llu scrapes)\n",
+                    "SmallBank", static_cast<unsigned long long>(txns),
+                    shards, "-", hrow.net_tps,
+                    row.net_tps > 0 ? 100.0 * hrow.net_tps / row.net_tps
+                                    : 0.0,
+                    static_cast<unsigned long long>(hrow.scrapes));
+      }
     }
   }
   std::printf("\nExpected: the wire protocol costs little — framing and a "
               "loopback hop, no extra copies on the verification path.\n");
+  if (with_http) {
+    std::printf("The +http rows re-run the loopback side with GET /metrics "
+                "scraped every 20ms; the ratio is http-on vs http-off "
+                "net-tps (expected within ~2%% of 100%%).\n");
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool net_mode = false;
+  bool with_http = false;
   std::string out_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--net") == 0) {
       net_mode = true;
+    } else if (std::strcmp(argv[i], "--http") == 0) {
+      with_http = true;
     } else if (std::strncmp(argv[i], "--out-dir=", 10) == 0) {
       out_dir = argv[i] + 10;
     } else {
-      std::fprintf(stderr, "usage: bench_online [--net] [--out-dir=DIR]\n");
+      std::fprintf(stderr,
+                   "usage: bench_online [--net] [--http] [--out-dir=DIR]\n");
       return 2;
     }
   }
   if (net_mode) {
-    RunNetMode();
+    RunNetMode(with_http);
     DropBenchMetrics("bench_online_net", out_dir);
     return 0;
   }

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/watchdog.h"
+
 namespace leopard {
 
 namespace {
@@ -12,6 +14,8 @@ ShardedLeopard::Options EngineOptions(const OnlineVerifier::Options& options) {
   eo.n_shards = options.n_shards;
   eo.metrics = options.obs.metrics;
   eo.span_sample_every = options.obs.span_sample_every;
+  eo.events = options.obs.events;
+  eo.watchdog = options.obs.watchdog;
   return eo;
 }
 
@@ -41,6 +45,7 @@ OnlineVerifier::OnlineVerifier(uint32_t n_clients,
       sealed_(!options.dynamic_clients),
       on_bug_(options.on_bug),
       metrics_(options.obs.metrics),
+      watchdog_(options.obs.watchdog),
       worker_([this] { Loop(); }) {
   if (metrics_ != nullptr) {
     {
@@ -152,9 +157,12 @@ const VerifyReport& OnlineVerifier::WaitReport() {
 }
 
 void OnlineVerifier::Loop() {
+  obs::Watchdog::Slot* wd =
+      watchdog_ != nullptr ? watchdog_->Register("dispatcher") : nullptr;
   std::vector<Trace> batch;
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
+    if (wd != nullptr) wd->Beat();
     // Drain everything currently dispatchable into a local batch, then
     // release the lock before verifying: producers only ever contend with
     // the short Dispatch drain, never with Process(). This is the online
@@ -181,9 +189,16 @@ void OnlineVerifier::Loop() {
       continue;  // input may have arrived while we were verifying
     }
     if (sealed_ && open_clients_ == 0 && pipeline_.Exhausted()) break;
+    // The wait is unbounded by design (producers may legitimately pause for
+    // hours); tell the watchdog this is idleness, not a wedge.
+    if (wd != nullptr) wd->Suspend();
     producer_cv_.wait(lock);
+    if (wd != nullptr) wd->Resume();
   }
-  // Finish() may join shard worker threads — never run it under mu_.
+  // Finish() may join shard worker threads — never run it under mu_. The
+  // join can outlast the stall threshold on a deep final drain; the shard
+  // workers keep their own heartbeats, so suspend the dispatcher's.
+  if (wd != nullptr) wd->Suspend();
   lock.unlock();
   engine_.Finish();
   // Sharded workers and the certifier only surface their bugs in the
@@ -192,6 +207,7 @@ void OnlineVerifier::Loop() {
   if (on_bug_) DeliverNewBugs(engine_.report().bugs);
   lock.lock();
   finished_ = true;
+  if (watchdog_ != nullptr) watchdog_->Retire(wd);
   done_cv_.notify_all();
 }
 

@@ -52,6 +52,12 @@ class OnlineVerifier {
     bool print_progress = true;
     /// One trace in N pays for latency-span clock reads (1 = time all).
     uint32_t span_sample_every = 16;
+    /// Optional state-transition journal, forwarded to the engine.
+    obs::EventJournal* events = nullptr;
+    /// Optional heartbeat watchdog: the dispatcher registers as
+    /// "dispatcher"; shard workers and the certifier register via the
+    /// engine (see ShardedLeopard::Options).
+    obs::Watchdog* watchdog = nullptr;
   };
 
   struct Options {
@@ -153,6 +159,7 @@ class OnlineVerifier {
   std::function<void(const BugDescriptor&)> on_bug_;  // dispatcher thread only
   size_t bugs_delivered_ = 0;                         // dispatcher thread only
   obs::MetricsRegistry* metrics_ = nullptr;  // not owned
+  obs::Watchdog* watchdog_ = nullptr;        // not owned
   std::thread worker_;
   std::unique_ptr<obs::ProgressReporter> reporter_;
 };

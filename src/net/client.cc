@@ -27,6 +27,7 @@ StatusOr<std::unique_ptr<VerifierClient>> VerifierClient::Connect(
       new VerifierClient(std::move(*sock), options));
 
   HelloMsg hello;
+  hello.version = options.wire_version;
   hello.n_streams = options.n_streams;
   const std::string frame = EncodeFrame(FrameType::kHello, EncodeHello(hello));
   Status s = client->sock_.SendAll(frame.data(), frame.size());
@@ -39,7 +40,7 @@ StatusOr<std::unique_ptr<VerifierClient>> VerifierClient::Connect(
   // The server acks the negotiated version: ours, or lower when it is an
   // older build (its violation payloads are then v1, which DecodeViolation
   // accepts transparently).
-  if (msg->version < kMinWireVersion || msg->version > kWireVersion) {
+  if (msg->version < kMinWireVersion || msg->version > options.wire_version) {
     return Status::InvalidArgument("server speaks wire version " +
                                    std::to_string(msg->version));
   }
@@ -93,8 +94,11 @@ Status VerifierClient::SendBatch(uint32_t stream) {
   if (dead_) {
     return Status::FailedPrecondition("session dead: " + server_error_);
   }
-  std::string frame = EncodeFrame(FrameType::kBatch,
-                                  EncodeBatch(stream, pending_[stream]));
+  // v3 sessions stamp the batch with the push-time steady clock so the
+  // server can attribute wire + queueing latency to the ingest stage.
+  const uint64_t ingest_ns = version_ >= 3 ? obs::NowNs() : 0;
+  std::string frame = EncodeFrame(
+      FrameType::kBatch, EncodeBatch(stream, pending_[stream], ingest_ns));
   const size_t n = pending_[stream].size();
   pending_[stream].clear();
   Status s = sock_.SendAll(frame.data(), frame.size());

@@ -48,6 +48,11 @@ class VerifierClient {
     uint64_t recv_timeout_ms = 30000;
     /// Optional instrumentation: net.client.* counters.
     obs::MetricsRegistry* metrics = nullptr;
+    /// Version declared in the HELLO — lets tests and cautious deployments
+    /// pin an older protocol; the server negotiates down to min(ours,
+    /// theirs). Batches carry the v3 ingest timestamp only when the
+    /// negotiated version is >= 3.
+    uint32_t wire_version = kWireVersion;
   };
 
   /// Connects and performs the handshake. `host_port` is "host:port";

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <thread>
 
 #include "diagnose/report.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
+#include "obs/watchdog.h"
 
 namespace leopard {
 namespace net {
@@ -36,6 +39,8 @@ VerifierServer::VerifierServer(const VerifierConfig& config,
     m_active_ = metrics_->gauge("net.active_connections");
     m_inflight_ = metrics_->gauge("net.inflight_bytes");
     m_report_latency_ = metrics_->histogram("net.violation_report_ns");
+    m_stage_ingest_ = metrics_->histogram("stage.ingest_to_read_ns");
+    m_stage_report_ = metrics_->histogram("stage.read_to_report_ns");
   }
 }
 
@@ -56,6 +61,8 @@ Status VerifierServer::Start() {
   vo.obs.metrics = metrics_;
   vo.obs.progress_interval_ms = opts_.progress_interval_ms;
   vo.obs.print_progress = opts_.print_progress;
+  vo.obs.events = opts_.events;
+  vo.obs.watchdog = opts_.watchdog;
   vo.on_bug = [this](const BugDescriptor& bug) { OnBug(bug); };
   // Client 0 is the server's gate stream: held open (and empty) it pins the
   // pipeline watermark at 0 so nothing dispatches before all expected
@@ -74,11 +81,23 @@ Status VerifierServer::Start() {
   if (opts_.diagnose) {
     diag_thread_ = std::thread([this] { DiagnoseLoop(); });
   }
+  if (opts_.events != nullptr) {
+    opts_.events->Recordf(obs::EventSeverity::kInfo, "net.server",
+                          "listening on port %u (%u shards)",
+                          static_cast<unsigned>(port_),
+                          static_cast<unsigned>(opts_.n_shards));
+  }
   return Status::Ok();
 }
 
 void VerifierServer::AcceptLoop() {
+  obs::Watchdog::Slot* wd = opts_.watchdog != nullptr
+                                ? opts_.watchdog->Register("net.acceptor")
+                                : nullptr;
   while (accepting_.load(std::memory_order_acquire)) {
+    // Accept polls at kPollMs, so one beat per iteration keeps the slot
+    // fresh regardless of traffic.
+    if (wd != nullptr) wd->Beat();
     auto sock = listener_.Accept(kPollMs);
     if (!sock.ok()) {
       if (sock.status().code() == StatusCode::kBusy) continue;
@@ -93,11 +112,21 @@ void VerifierServer::AcceptLoop() {
     sessions_.push_back(std::move(session));
     if (m_connections_ != nullptr) m_connections_->Inc();
     if (m_active_ != nullptr) m_active_->Add(1);
+    if (opts_.events != nullptr) {
+      opts_.events->Recordf(obs::EventSeverity::kInfo, "net.server",
+                            "session %u accepted", raw->id);
+    }
     raw->reader = std::thread([this, raw] { ReaderLoop(*raw); });
   }
+  if (opts_.watchdog != nullptr) opts_.watchdog->Retire(wd);
 }
 
 void VerifierServer::ReaderLoop(Session& session) {
+  if (opts_.watchdog != nullptr) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "net.session%u.reader", session.id);
+    session.wd_slot = opts_.watchdog->Register(name);
+  }
   session.sock.SetRecvTimeoutMs(kPollMs);
   session.sock.SetSendTimeoutMs(kSendTimeoutMs);
   FrameDecoder decoder(opts_.max_frame_bytes);
@@ -105,6 +134,9 @@ void VerifierServer::ReaderLoop(Session& session) {
   uint64_t idle_since_ns = obs::NowNs();
   bool alive = true;
   while (alive) {
+    // Recv polls at kPollMs; a beat per iteration covers both the idle and
+    // the busy path.
+    if (session.wd_slot != nullptr) session.wd_slot->Beat();
     auto got = session.sock.Recv(buf, sizeof(buf));
     if (!got.ok()) {
       if (got.status().code() != StatusCode::kBusy) break;  // peer gone
@@ -142,6 +174,7 @@ void VerifierServer::ReaderLoop(Session& session) {
     }
   }
   FinishSession(session);
+  if (opts_.watchdog != nullptr) opts_.watchdog->Retire(session.wd_slot);
 }
 
 bool VerifierServer::HandleFrame(Session& session, Frame frame) {
@@ -246,6 +279,11 @@ bool VerifierServer::HandleHello(Session& session, const Frame& frame) {
   }
   SendToSession(session, EncodeFrame(FrameType::kHelloAck,
                                      EncodeHelloAck(ack)));
+  if (opts_.events != nullptr) {
+    opts_.events->Recordf(obs::EventSeverity::kInfo, "net.server",
+                          "session %u handshake: %u streams, wire v%u",
+                          session.id, session.n_streams, session.version);
+  }
   return true;
 }
 
@@ -284,7 +322,16 @@ bool VerifierServer::HandleBatch(Session& session, const Frame& frame) {
     last_ts = t.ts_bef();
     batch_bytes += t.ApproxBytes();
   }
-  Backpressure(batch_bytes);
+  const uint64_t read_ns = obs::NowNs();
+  if (batch->ingest_ns != 0 && m_stage_ingest_ != nullptr &&
+      read_ns > batch->ingest_ns) {
+    // v3 sessions stamp the batch at push time. Both stamps are steady-clock
+    // reads, comparable only when client and server share a machine
+    // (loopback deployments); cross-host skew shows up as negative deltas,
+    // which the > guard drops.
+    m_stage_ingest_->Record(read_ns - batch->ingest_ns);
+  }
+  Backpressure(session, batch_bytes);
   {
     // Record txn -> session before Push: a single-shard engine can surface
     // the violation (and route it) the moment the batch is verified.
@@ -304,6 +351,10 @@ bool VerifierServer::HandleBatch(Session& session, const Frame& frame) {
   const uint64_t n = batch->traces.size();
   for (Trace& t : batch->traces) {
     t.client = client;
+    // Re-stamp with the server's read time: downstream stage histograms
+    // (read->verify, read->certify, read->report) attribute latency *inside*
+    // the verifier, independent of how long the client sat on the batch.
+    t.ingest_ns = read_ns;
     online_->Push(client, std::move(t));
   }
   pushed_bytes_.fetch_add(batch_bytes, std::memory_order_relaxed);
@@ -317,7 +368,7 @@ bool VerifierServer::HandleBatch(Session& session, const Frame& frame) {
   return !session.defunct.load(std::memory_order_relaxed);
 }
 
-void VerifierServer::Backpressure(size_t incoming_bytes) {
+void VerifierServer::Backpressure(Session& session, size_t incoming_bytes) {
   auto inflight = [this] {
     uint64_t pushed = pushed_bytes_.load(std::memory_order_relaxed);
     uint64_t verified = online_->verified_bytes();
@@ -327,10 +378,20 @@ void VerifierServer::Backpressure(size_t incoming_bytes) {
   if (m_inflight_ != nullptr) m_inflight_->Set(static_cast<int64_t>(cur));
   if (cur + incoming_bytes <= opts_.max_inflight_bytes) return;
   if (m_stalls_ != nullptr) m_stalls_->Inc();
+  if (opts_.events != nullptr) {
+    opts_.events->Recordf(
+        obs::EventSeverity::kWarn, "net.server",
+        "backpressure engaged on session %u: %llu MiB in flight", session.id,
+        static_cast<unsigned long long>(cur >> 20));
+  }
   const uint64_t start_ns = obs::NowNs();
   uint64_t last_progress_ns = start_ns;
   uint64_t last_verified = online_->verified_bytes();
+  bool overrode = false;
   while (!stopping_.load(std::memory_order_relaxed)) {
+    // A backpressured reader is TCP flow control doing its job, not a
+    // wedged thread; keep its heartbeat alive for the duration.
+    if (session.wd_slot != nullptr) session.wd_slot->Beat();
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
     cur = inflight();
     if (cur + incoming_bytes <= opts_.max_inflight_bytes) break;
@@ -346,10 +407,19 @@ void VerifierServer::Backpressure(size_t incoming_bytes) {
       // blocking here would deadlock the very stream it waits for. Admit
       // the frame and account the override.
       if (m_overrides_ != nullptr) m_overrides_->Inc();
+      overrode = true;
       break;
     }
   }
-  if (m_stall_ns_ != nullptr) m_stall_ns_->Inc(obs::NowNs() - start_ns);
+  const uint64_t stalled_ns = obs::NowNs() - start_ns;
+  if (m_stall_ns_ != nullptr) m_stall_ns_->Inc(stalled_ns);
+  if (opts_.events != nullptr) {
+    opts_.events->Recordf(
+        obs::EventSeverity::kInfo, "net.server",
+        "backpressure released on session %u after %llu ms%s", session.id,
+        static_cast<unsigned long long>(stalled_ns / 1000000ull),
+        overrode ? " (starvation override)" : "");
+  }
   if (m_inflight_ != nullptr) {
     m_inflight_->Set(static_cast<int64_t>(inflight()));
   }
@@ -366,6 +436,11 @@ void VerifierServer::SendToSession(Session& session,
 void VerifierServer::FailSession(Session& session,
                                  const std::string& message) {
   if (session.defunct.exchange(true)) return;
+  if (opts_.events != nullptr) {
+    opts_.events->Recordf(obs::EventSeverity::kError, "net.server",
+                          "session %u failed: %s", session.id,
+                          message.c_str());
+  }
   std::lock_guard<std::mutex> lock(session.write_mu);
   std::string frame = EncodeFrame(FrameType::kError, EncodeError(message));
   session.sock.SendAll(frame.data(), frame.size());  // best effort
@@ -390,9 +465,22 @@ void VerifierServer::FinishSession(Session& session) {
   }
   if (had_open && m_disconnects_ != nullptr) m_disconnects_->Inc();
   if (m_active_ != nullptr) m_active_->Add(-1);
+  if (opts_.events != nullptr) {
+    opts_.events->Recordf(
+        obs::EventSeverity::kInfo, "net.server",
+        "session %u closed (%llu traces%s)", session.id,
+        static_cast<unsigned long long>(
+            session.traces_received.load(std::memory_order_relaxed)),
+        had_open ? ", streams force-closed" : "");
+  }
 }
 
 void VerifierServer::OnBug(const BugDescriptor& bug) {
+  if (opts_.events != nullptr) {
+    opts_.events->Recordf(obs::EventSeverity::kError, "verifier",
+                          "violation: %s on key %llu", BugTypeName(bug.type),
+                          static_cast<unsigned long long>(bug.key));
+  }
   // Dispatcher thread. Minimization is far too slow for this thread: hand
   // the bug to the background worker (one diagnosis per distinct
   // (type, key), bounded by max_diagnoses).
@@ -461,27 +549,58 @@ void VerifierServer::OnBug(const BugDescriptor& bug) {
       uint64_t arrival = s->last_frame_ns.load(std::memory_order_relaxed);
       if (arrival != 0 && now_ns > arrival) {
         m_report_latency_->Record(now_ns - arrival);
+        // Final pipeline stage: server read of the (latest) offending frame
+        // to the violation report leaving for the client.
+        if (m_stage_report_ != nullptr) {
+          m_stage_report_->Record(now_ns - arrival);
+        }
       }
     }
   }
 }
 
 void VerifierServer::DiagnoseLoop() {
+  obs::Watchdog::Slot* wd = opts_.watchdog != nullptr
+                                ? opts_.watchdog->Register("diagnose.worker")
+                                : nullptr;
   while (true) {
     BugDescriptor target;
     std::vector<Trace> snapshot;
     {
       std::unique_lock<std::mutex> lock(diag_mu_);
+      // Unbounded idle wait between violations — suspend, don't stall.
+      if (wd != nullptr) wd->Suspend();
       diag_cv_.wait(lock, [this] { return diag_stop_ || !diag_queue_.empty(); });
-      if (diag_queue_.empty()) return;  // stop requested, queue drained
+      if (wd != nullptr) wd->Resume();
+      if (diag_queue_.empty()) break;  // stop requested, queue drained
       target = std::move(diag_queue_.front());
       diag_queue_.pop_front();
       snapshot = recorded_;  // reproducing superset of the violation
     }
+    if (opts_.events != nullptr) {
+      opts_.events->Recordf(
+          obs::EventSeverity::kInfo, "diagnose",
+          "diagnosis started: %s on key %llu (%llu traces)",
+          BugTypeName(target.type),
+          static_cast<unsigned long long>(target.key),
+          static_cast<unsigned long long>(snapshot.size()));
+    }
     diagnose::MinimizeOptions mo;
     mo.max_oracle_runs = opts_.diagnose_max_oracle_runs;
     mo.metrics = metrics_;
+    // A single minimization legitimately runs minutes on big histories; its
+    // oracle re-runs never heartbeat, so tell the watchdog we're busy, not
+    // wedged.
+    if (wd != nullptr) wd->Suspend();
     auto d = diagnose::Diagnose(config_, std::move(snapshot), target, mo);
+    if (wd != nullptr) wd->Resume();
+    if (opts_.events != nullptr) {
+      opts_.events->Recordf(obs::EventSeverity::kInfo, "diagnose",
+                            "diagnosis %s for %s on key %llu",
+                            d.ok() ? "done" : "inconclusive",
+                            BugTypeName(target.type),
+                            static_cast<unsigned long long>(target.key));
+    }
     if (!d.ok()) continue;  // e.g. a cross-stream race the oracle can't see
     if (!opts_.diagnose_out_dir.empty()) {
       size_t index = 0;
@@ -495,6 +614,7 @@ void VerifierServer::DiagnoseLoop() {
     std::lock_guard<std::mutex> lock(diag_mu_);
     diagnoses_.push_back(std::move(*d));
   }
+  if (opts_.watchdog != nullptr) opts_.watchdog->Retire(wd);
 }
 
 void VerifierServer::StopDiagnoseWorker() {
@@ -514,6 +634,32 @@ void VerifierServer::Shutdown() {
   }
   accepting_.store(false, std::memory_order_release);
   drain_cv_.notify_all();
+}
+
+VerifierServer::StatusSnapshot VerifierServer::GetStatus() const {
+  StatusSnapshot s;
+  s.traces_received = traces_received_.load(std::memory_order_relaxed);
+  s.sessions_completed = sessions_completed_.load(std::memory_order_relaxed);
+  s.draining = stopping_.load(std::memory_order_relaxed);
+  const uint64_t pushed = pushed_bytes_.load(std::memory_order_relaxed);
+  const uint64_t verified =
+      online_ != nullptr ? online_->verified_bytes() : pushed;
+  s.inflight_bytes = pushed > verified ? pushed - verified : 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.sessions_handshaken = sessions_handshaken_;
+    for (const auto& sess : sessions_) {
+      if (!sess->counted_complete.load(std::memory_order_relaxed)) {
+        ++s.sessions_active;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(diag_mu_);
+    s.diagnoses_done = static_cast<uint32_t>(diagnoses_.size());
+    s.diagnoses_queued = static_cast<uint32_t>(diag_queue_.size());
+  }
+  return s;
 }
 
 const VerifyReport& VerifierServer::WaitReport() {

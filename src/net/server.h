@@ -17,8 +17,14 @@
 #include "net/socket.h"
 #include "net/wire.h"
 #include "obs/registry.h"
+#include "obs/watchdog.h"
 
 namespace leopard {
+
+namespace obs {
+class EventJournal;
+}  // namespace obs
+
 namespace net {
 
 /// TCP ingestion front-end for online verification: accepts N concurrent
@@ -70,6 +76,14 @@ class VerifierServer {
     obs::MetricsRegistry* metrics = nullptr;
     uint64_t progress_interval_ms = 0;
     bool print_progress = false;
+    /// Optional state-transition journal (session open/close, backpressure
+    /// engage/release, violations, diagnosis lifecycle) shared with the
+    /// verification engine.
+    obs::EventJournal* events = nullptr;
+    /// Optional heartbeat watchdog: reader threads register as
+    /// "net.session<id>.reader", the diagnosis worker as "diagnose.worker",
+    /// the engine threads via OnlineVerifier/ShardedLeopard.
+    obs::Watchdog* watchdog = nullptr;
     /// Record every received trace and, when a violation surfaces, run the
     /// delta-debugging minimizer (src/diagnose) on a background worker —
     /// never on a reader or the dispatcher thread. Results via diagnoses().
@@ -122,6 +136,20 @@ class VerifierServer {
     return diagnoses_;
   }
 
+  /// Point-in-time operational snapshot for /statusz. Thread-safe; cheap
+  /// enough to call per scrape.
+  struct StatusSnapshot {
+    uint32_t sessions_active = 0;      // accepted, not yet finished
+    uint32_t sessions_handshaken = 0;  // completed the HELLO exchange
+    uint32_t sessions_completed = 0;
+    uint64_t traces_received = 0;
+    uint64_t inflight_bytes = 0;  // decoded but not yet verified
+    uint32_t diagnoses_queued = 0;
+    uint32_t diagnoses_done = 0;
+    bool draining = false;
+  };
+  StatusSnapshot GetStatus() const;
+
  private:
   struct Session {
     uint32_t id = 0;
@@ -143,6 +171,8 @@ class VerifierServer {
     std::atomic<bool> counted_complete{false};
     /// Write side dead (error sent or peer gone); skip further sends.
     std::atomic<bool> defunct{false};
+    /// Reader thread's heartbeat slot (nullptr without Options::watchdog).
+    obs::Watchdog::Slot* wd_slot = nullptr;
   };
 
   void AcceptLoop();
@@ -161,8 +191,9 @@ class VerifierServer {
   /// thread, via OnlineVerifier's on_bug).
   void OnBug(const BugDescriptor& bug);
   /// Blocks while the in-flight byte budget is exhausted; see class
-  /// comment for the starvation escape.
-  void Backpressure(size_t incoming_bytes);
+  /// comment for the starvation escape. Beats the session's watchdog slot
+  /// while stalled (a stalled reader is flow control, not a wedge).
+  void Backpressure(Session& session, size_t incoming_bytes);
   /// Background diagnosis worker: pops queued violations and delta-debugs
   /// the recorded history (Options::diagnose).
   void DiagnoseLoop();
@@ -178,7 +209,7 @@ class VerifierServer {
   std::unique_ptr<OnlineVerifier> online_;
   ClientId gate_client_ = 0;
 
-  std::mutex mu_;  // sessions_, txn_session_, allocation, lifecycle flags
+  mutable std::mutex mu_;  // sessions_, txn_session_, allocation, lifecycle
   std::condition_variable drain_cv_;
   std::vector<std::unique_ptr<Session>> sessions_;
   std::unordered_map<TxnId, Session*> txn_session_;
@@ -195,7 +226,7 @@ class VerifierServer {
   VerifyReport report_;
 
   // Background diagnosis (Options::diagnose).
-  std::mutex diag_mu_;  // recorded_, diag_queue_, diagnoses_, diag_stop_
+  mutable std::mutex diag_mu_;  // recorded_, diag_queue_, diagnoses_, diag_stop_
   std::condition_variable diag_cv_;
   std::vector<Trace> recorded_;               // every accepted trace
   std::deque<BugDescriptor> diag_queue_;      // violations awaiting a worker
@@ -221,6 +252,8 @@ class VerifierServer {
   obs::Gauge* m_active_ = nullptr;
   obs::Gauge* m_inflight_ = nullptr;
   obs::Histogram* m_report_latency_ = nullptr;
+  obs::Histogram* m_stage_ingest_ = nullptr;  // client stamp -> server read
+  obs::Histogram* m_stage_report_ = nullptr;  // server read -> bug reported
 };
 
 }  // namespace net

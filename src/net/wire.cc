@@ -176,11 +176,13 @@ StatusOr<HelloAckMsg> DecodeHelloAck(const std::string& payload) {
   return m;
 }
 
-std::string EncodeBatch(uint32_t stream, const std::vector<Trace>& traces) {
+std::string EncodeBatch(uint32_t stream, const std::vector<Trace>& traces,
+                        uint64_t ingest_ns) {
   std::string out;
   PutU32(out, stream);
   PutU32(out, static_cast<uint32_t>(traces.size()));
   for (const Trace& t : traces) AppendTraceRecord(out, t);
+  if (ingest_ns != 0) PutU64(out, ingest_ns);  // v3 ingest-timestamp tail
   return out;
 }
 
@@ -203,7 +205,16 @@ StatusOr<BatchMsg> DecodeBatch(const std::string& payload) {
     m.traces.push_back(std::move(t));
   }
   if (pos != payload.size()) {
-    return Status::InvalidArgument("trailing bytes after BATCH traces");
+    // v3 ingest-timestamp tail: exactly 8 trailing bytes, self-describing
+    // by length (v1/v2 batches end at the last trace record).
+    if (payload.size() - pos != 8) {
+      return Status::InvalidArgument("trailing bytes after BATCH traces");
+    }
+    for (int i = 0; i < 8; ++i) {
+      m.ingest_ns |= static_cast<uint64_t>(static_cast<uint8_t>(payload[pos]))
+                     << (8 * i);
+      ++pos;
+    }
   }
   return m;
 }

@@ -34,10 +34,14 @@ namespace net {
 
 /// Current protocol version. v2 extends the kViolation payload with the
 /// structured witness (anchor timestamp, ops with `[ts_bef, ts_aft]`
-/// endpoints, dependency edges); everything else is unchanged. The version
-/// is negotiated down per session: a v1 client still gets v1 violation
-/// frames from a v2 server.
-constexpr uint32_t kWireVersion = 2;
+/// endpoints, dependency edges); v3 extends the kBatch payload with an
+/// optional trailing 8-byte client ingest timestamp (steady-clock ns at
+/// client push) used for end-to-end stage-latency attribution. Both
+/// extensions are self-describing (presence detected from the payload
+/// length), and the version is negotiated down per session: a v1 client
+/// still gets v1 violation frames from a v3 server, and a v3 client never
+/// sends the ingest tail to a v1/v2 server.
+constexpr uint32_t kWireVersion = 3;
 /// Oldest version this build still speaks.
 constexpr uint32_t kMinWireVersion = 1;
 constexpr size_t kFrameHeaderBytes = 5;  // u32 payload length + u8 type
@@ -109,6 +113,11 @@ struct HelloAckMsg {
 struct BatchMsg {
   uint32_t stream = 0;
   std::vector<Trace> traces;
+  /// v3: steady-clock ns on the client at the moment the batch was pushed
+  /// onto the wire; 0 when absent (v1/v2 peer). Comparable with the
+  /// server's obs::NowNs() only when both ends share a machine (loopback) —
+  /// consumers must treat negative deltas as clock skew and skip them.
+  uint64_t ingest_ns = 0;
 };
 
 struct BatchAckMsg {
@@ -135,7 +144,10 @@ StatusOr<HelloMsg> DecodeHello(const std::string& payload);
 std::string EncodeHelloAck(const HelloAckMsg& m);
 StatusOr<HelloAckMsg> DecodeHelloAck(const std::string& payload);
 
-std::string EncodeBatch(uint32_t stream, const std::vector<Trace>& traces);
+/// `ingest_ns != 0` appends the v3 ingest-timestamp tail; callers must only
+/// pass it on sessions that negotiated version >= 3.
+std::string EncodeBatch(uint32_t stream, const std::vector<Trace>& traces,
+                        uint64_t ingest_ns = 0);
 StatusOr<BatchMsg> DecodeBatch(const std::string& payload);
 
 std::string EncodeBatchAck(const BatchAckMsg& m);

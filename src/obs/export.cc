@@ -8,8 +8,6 @@
 namespace leopard {
 namespace obs {
 
-namespace {
-
 /// Metric names are dotted identifiers, but escape defensively so the
 /// output stays valid JSON whatever callers register.
 std::string JsonEscape(const std::string& s) {
@@ -48,8 +46,6 @@ std::string JsonDouble(double v) {
   std::snprintf(buf, sizeof(buf), "%.6g", v);
   return buf;
 }
-
-}  // namespace
 
 std::string MetricsToJson(const MetricsRegistry& registry) {
   std::ostringstream os;

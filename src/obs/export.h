@@ -9,6 +9,14 @@
 namespace leopard {
 namespace obs {
 
+/// Escapes `s` for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters). Shared by the metrics exporters, the
+/// event journal and the /statusz endpoint.
+std::string JsonEscape(const std::string& s);
+
+/// Formats a double for JSON: "%.6g", non-finite values become 0.
+std::string JsonDouble(double v);
+
 /// Serializes the registry as a single JSON object:
 ///
 ///   {

@@ -7,13 +7,20 @@ namespace obs {
 
 Histogram::Snapshot Histogram::Snap() const {
   Snapshot s;
-  s.count = Count();
+  // Read the buckets FIRST and derive the count from their sum. Record()
+  // increments the bucket before the count, so a snapshot that read count_
+  // directly could observe count < sum(buckets) under concurrent writers —
+  // which would make the Prometheus `+Inf` bucket (== count) fall below the
+  // last finite cumulative bucket, violating histogram monotonicity.
+  // Deriving count from the buckets keeps `count == sum(buckets)` an
+  // invariant of every snapshot, torn or not.
   s.sum_ns = SumNs();
-  s.min_ns = MinNs();
-  s.max_ns = MaxNs();
   for (int i = 0; i < kBuckets; ++i) {
     s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    s.count += s.buckets[i];
   }
+  s.min_ns = MinNs();
+  s.max_ns = MaxNs();
   return s;
 }
 

@@ -39,6 +39,13 @@ class Counter {
 
 /// Instantaneous level (queue depth, live transactions, bytes). Tracks a
 /// high-water mark alongside the current value.
+///
+/// Ordering contract: all operations are relaxed. Set() racing with Add()
+/// can lose the delta (last store wins) — metrics use either Set (mirroring
+/// an authoritative value) or Add (owning the level), never both on the same
+/// gauge. Value() and Max() are read independently, so a reader can observe
+/// Value() > Max() transiently while UpdateMax's CAS is in flight; exporters
+/// tolerate this (both reads are individually valid recent values).
 class Gauge {
  public:
   void Set(int64_t value) {
@@ -70,6 +77,15 @@ class Gauge {
 /// maintenance); percentile extraction interpolates linearly inside the
 /// winning bucket and clamps to the observed min/max, so a histogram holding
 /// a single value reports that exact value at every percentile.
+///
+/// Ordering contract: Record() updates bucket, then count, then sum, then
+/// min/max — all relaxed, so a concurrent Snap() can observe any prefix of
+/// an in-flight Record. Snap() therefore reads the buckets first and derives
+/// `count` from their sum, guaranteeing `count == sum(buckets)` in every
+/// snapshot (the invariant cumulative-bucket consumers like the Prometheus
+/// exporter need). `sum_ns`/`min_ns`/`max_ns` may lag the buckets by the
+/// in-flight records; mean/percentiles are approximate under concurrency
+/// and exact once writers quiesce.
 class Histogram {
  public:
   static constexpr int kBuckets = 64;

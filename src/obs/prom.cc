@@ -1,0 +1,102 @@
+#include "obs/prom.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace leopard {
+namespace obs {
+
+namespace {
+
+std::string PromDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string PromSanitizeName(const std::string& name) {
+  std::string out = "leopard_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string PromEscapeLabel(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string MetricsToPrometheus(const MetricsRegistry& registry) {
+  std::ostringstream os;
+
+  registry.VisitCounters([&](const std::string& name, const Counter& c) {
+    std::string n = PromSanitizeName(name);
+    os << "# TYPE " << n << " counter\n";
+    os << n << " " << c.Value() << "\n";
+  });
+
+  registry.VisitGauges([&](const std::string& name, const Gauge& g) {
+    std::string n = PromSanitizeName(name);
+    os << "# TYPE " << n << " gauge\n";
+    os << n << " " << g.Value() << "\n";
+    os << "# TYPE " << n << "_max gauge\n";
+    os << n << "_max " << g.Max() << "\n";
+  });
+
+  registry.VisitHistograms([&](const std::string& name, const Histogram& h) {
+    std::string n = PromSanitizeName(name);
+    Histogram::Snapshot s = h.Snap();
+    os << "# TYPE " << n << " histogram\n";
+    uint64_t cumulative = 0;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      if (s.buckets[i] == 0) continue;
+      cumulative += s.buckets[i];
+      // The last bucket's upper bound is UINT64_MAX, which in the le-label
+      // would duplicate +Inf's role with a misleading finite number; fold it
+      // into +Inf instead.
+      if (i >= Histogram::kBuckets - 1) break;
+      os << n << "_bucket{le=\"" << Histogram::BucketUpperNs(i) << "\"} "
+         << cumulative << "\n";
+    }
+    os << n << "_bucket{le=\"+Inf\"} " << s.count << "\n";
+    os << n << "_sum " << s.sum_ns << "\n";
+    os << n << "_count " << s.count << "\n";
+    // Derived quantiles as plain gauges: cheaper for dashboards than
+    // recomputing from log2 buckets, and identical to the JSON/CSV export.
+    os << "# TYPE " << n << "_p50_ns gauge\n";
+    os << n << "_p50_ns " << PromDouble(h.PercentileNs(50)) << "\n";
+    os << "# TYPE " << n << "_p95_ns gauge\n";
+    os << n << "_p95_ns " << PromDouble(h.PercentileNs(95)) << "\n";
+    os << "# TYPE " << n << "_p99_ns gauge\n";
+    os << n << "_p99_ns " << PromDouble(h.PercentileNs(99)) << "\n";
+  });
+
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace leopard

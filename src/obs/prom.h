@@ -1,0 +1,40 @@
+#ifndef LEOPARD_OBS_PROM_H_
+#define LEOPARD_OBS_PROM_H_
+
+#include <string>
+
+#include "obs/registry.h"
+
+namespace leopard {
+namespace obs {
+
+/// Renders the registry in the Prometheus text exposition format (0.0.4):
+///
+///   - counters  -> `leopard_<name>` counter
+///   - gauges    -> `leopard_<name>` gauge plus `leopard_<name>_max` gauge
+///                  (the high-water mark)
+///   - histograms-> `leopard_<name>_bucket{le="<upper_ns>"}` cumulative
+///                  buckets over the log2-ns layout (only non-empty buckets
+///                  plus the mandatory `le="+Inf"`), `_sum`, `_count`, and
+///                  derived `_p50_ns`/`_p95_ns`/`_p99_ns` gauges sharing
+///                  Histogram::PercentileNs with the JSON/CSV exporters
+///   - series    -> skipped (time series are an offline export shape; a
+///                  scraper builds its own history)
+///
+/// Dotted metric names are sanitized to the Prometheus charset
+/// ([a-zA-Z0-9_:], dots become underscores).
+std::string MetricsToPrometheus(const MetricsRegistry& registry);
+
+/// Maps an internal metric name onto [a-zA-Z0-9_:] with a `leopard_` prefix;
+/// '.' becomes '_', other illegal characters become '_', and a leading digit
+/// gains a '_' prefix. Exposed for the endpoint tests.
+std::string PromSanitizeName(const std::string& name);
+
+/// Escapes a label value per the exposition format: backslash, double quote
+/// and newline are escaped. Exposed for the endpoint tests.
+std::string PromEscapeLabel(const std::string& value);
+
+}  // namespace obs
+}  // namespace leopard
+
+#endif  // LEOPARD_OBS_PROM_H_

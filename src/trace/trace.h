@@ -84,6 +84,12 @@ struct Trace {
   Key range_first = 0;
   uint32_t range_count = 0;
 
+  /// Runtime-only stage-latency anchor: obs::NowNs() when the verifier
+  /// first saw this trace (server read for networked sessions, push for
+  /// in-process ones). 0 = unstamped. Not part of the trace file format;
+  /// never serialized by trace_io.
+  uint64_t ingest_ns = 0;
+
   Timestamp ts_bef() const { return interval.bef; }
   Timestamp ts_aft() const { return interval.aft; }
 

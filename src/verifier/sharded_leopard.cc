@@ -1,6 +1,7 @@
 #include "verifier/sharded_leopard.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <chrono>
 #include <optional>
@@ -12,6 +13,9 @@
 #include <utility>
 
 #include "common/spsc_queue.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "obs/watchdog.h"
 #include "verifier/dependency_graph.h"
 
 namespace leopard {
@@ -57,6 +61,9 @@ struct EdgeMsg {
   TimeInterval first_op;  ///< kCommit: graph NodeInfo
   TimeInterval end;       ///< kCommit: graph NodeInfo
   Timestamp ts = 0;       ///< kSafeTs
+  /// kCommit: the terminal trace's runtime ingest stamp (Trace::ingest_ns),
+  /// carried through so the certifier can attribute read→certify latency.
+  uint64_t ingest_ns = 0;
 };
 
 struct Shard {
@@ -232,6 +239,10 @@ struct ShardedLeopard::Impl {
   Impl(const VerifierConfig& config, const Options& options)
       : config(config), opts(options) {
     opts.n_shards = std::clamp<uint32_t>(opts.n_shards, 1, 64);
+    if (opts.metrics != nullptr) {
+      stage_verify = opts.metrics->histogram("stage.read_to_verify_ns");
+      gc_safe_gauge = opts.metrics->gauge("verifier.gc.safe_ts");
+    }
     if (opts.n_shards == 1) {
       single = std::make_unique<Leopard>(config);
       if (opts.metrics != nullptr) {
@@ -281,6 +292,7 @@ struct ShardedLeopard::Impl {
       certifier = std::make_unique<Certifier>(config);
       certifier->shard_safe.assign(opts.n_shards, 0);
       if (opts.metrics != nullptr) {
+        stage_certify = opts.metrics->histogram("stage.read_to_certify_ns");
         cert_applied = opts.metrics->counter("sharded.certifier.edges_applied");
         cert_parked = opts.metrics->counter("sharded.certifier.edges_parked");
         cert_dropped = opts.metrics->counter("sharded.certifier.edges_dropped");
@@ -290,7 +302,8 @@ struct ShardedLeopard::Impl {
     }
     for (uint32_t i = 0; i < opts.n_shards; ++i) {
       Shard* shard = shards[i].get();
-      shards[i]->thread = std::thread([this, shard] { ShardLoop(*shard); });
+      shards[i]->thread =
+          std::thread([this, shard, i] { ShardLoop(*shard, i); });
     }
   }
 
@@ -347,6 +360,21 @@ struct ShardedLeopard::Impl {
       safe = std::min(safe, route.first_op.bef);
     }
     router_safe = safe;
+    if (gc_safe_gauge != nullptr) {
+      gc_safe_gauge->Set(static_cast<int64_t>(safe));
+    }
+    if (opts.events != nullptr && safe > last_gc_event_safe) {
+      // GC-advance events are throttled to ~1/s wall time: the watermark
+      // moves every few hundred traces and would otherwise drown the ring.
+      const uint64_t now = obs::NowNs();
+      if (now - last_gc_event_ns >= 1000000000ull) {
+        last_gc_event_ns = now;
+        last_gc_event_safe = safe;
+        opts.events->Recordf(obs::EventSeverity::kInfo, "verifier.gc",
+                             "safe timestamp advanced to %llu",
+                             static_cast<unsigned long long>(safe));
+      }
+    }
   }
 
   void Send(uint32_t s, ShardMsg&& msg, TxnId txn, TxnRoute& route) {
@@ -359,7 +387,20 @@ struct ShardedLeopard::Impl {
       msg.txn_begin = route.first_op;
     }
     (void)txn;
-    shards[s]->in.Push(std::move(msg));
+    SpscQueue<ShardMsg>& q = shards[s]->in;
+    if (opts.events != nullptr && q.ApproxSize() >= q.capacity()) {
+      // The push below will stall the router until the shard drains.
+      // Throttled like the GC events — a wedged shard would fire this on
+      // every trace.
+      const uint64_t now = obs::NowNs();
+      if (now - last_stall_event_ns >= 1000000000ull) {
+        last_stall_event_ns = now;
+        opts.events->Recordf(obs::EventSeverity::kWarn, "router",
+                             "shard %u trace queue full; router stalling",
+                             static_cast<unsigned>(s));
+      }
+    }
+    q.Push(std::move(msg));
   }
 
   void RouteWrite(const Trace& trace, TxnRoute& route) {
@@ -380,6 +421,7 @@ struct ShardedLeopard::Impl {
       msg.trace.op = OpType::kWrite;
       msg.trace.txn = trace.txn;
       msg.trace.client = trace.client;
+      msg.trace.ingest_ns = trace.ingest_ns;
       msg.trace.write_set = std::move(scratch_writes[s]);
       scratch_writes[s] = {};
       Send(s, std::move(msg), trace.txn, route);
@@ -426,6 +468,7 @@ struct ShardedLeopard::Impl {
       msg.trace.op = OpType::kRead;
       msg.trace.txn = trace.txn;
       msg.trace.client = trace.client;
+      msg.trace.ingest_ns = trace.ingest_ns;
       msg.trace.for_update = trace.for_update;
       msg.trace.read_set = std::move(scratch_reads[s]);
       msg.trace.absent_reads = std::move(scratch_absent[s]);
@@ -454,9 +497,15 @@ struct ShardedLeopard::Impl {
 
   // ---- Shard worker ----
 
-  void ShardLoop(Shard& shard) {
+  void ShardLoop(Shard& shard, uint32_t index) {
+    obs::Watchdog::Slot* wd =
+        opts.watchdog != nullptr
+            ? opts.watchdog->Register("shard" + std::to_string(index) +
+                                      ".worker")
+            : nullptr;
     SpscQueue<EdgeMsg>* out = certifier != nullptr ? &shard.edges : nullptr;
     for (;;) {
+      if (wd != nullptr) wd->Beat();
       ShardMsg msg;
       if (!shard.in.PopWait(msg, std::chrono::microseconds(200))) continue;
       if (msg.kind == ShardMsg::Kind::kFinish) {
@@ -466,8 +515,10 @@ struct ShardedLeopard::Impl {
           done.kind = EdgeMsg::Kind::kDone;
           out->Push(done);
         }
+        if (opts.watchdog != nullptr) opts.watchdog->Retire(wd);
         return;
       }
+      RecordStageVerify(msg.trace.ingest_ns);
       if (msg.has_txn_begin) {
         shard.leopard->BeginTxnAt(msg.trace.txn, msg.txn_begin);
       }
@@ -481,6 +532,7 @@ struct ShardedLeopard::Impl {
         e.from = msg.trace.txn;
         e.first_op = msg.txn_first_op;
         e.end = msg.trace.interval;
+        e.ingest_ns = msg.trace.ingest_ns;
         out->Push(e);
       }
       if (out != nullptr && ++shard.msgs_since_safe_ts >= opts.safe_ts_every) {
@@ -496,9 +548,14 @@ struct ShardedLeopard::Impl {
   // ---- Certifier ----
 
   void CertifierLoop() {
+    obs::Watchdog::Slot* wd = opts.watchdog != nullptr
+                                  ? opts.watchdog->Register("sc.certifier")
+                                  : nullptr;
     uint32_t done = 0;
     uint64_t iters = 0;
+    uint64_t commit_samples = 0;
     while (done < opts.n_shards) {
+      if (wd != nullptr) wd->Beat();
       bool any = false;
       for (uint32_t i = 0; i < opts.n_shards; ++i) {
         EdgeMsg e;
@@ -510,6 +567,11 @@ struct ShardedLeopard::Impl {
               certifier->TryEdge(e);
               break;
             case EdgeMsg::Kind::kCommit:
+              if (stage_certify != nullptr && e.ingest_ns != 0 &&
+                  (++commit_samples & 0xf) == 0) {
+                const uint64_t now = obs::NowNs();
+                if (now > e.ingest_ns) stage_certify->Record(now - e.ingest_ns);
+              }
               certifier->OnCommit(e);
               break;
             case EdgeMsg::Kind::kAbort:
@@ -534,6 +596,7 @@ struct ShardedLeopard::Impl {
     // within the run — exactly the edges the single-threaded verifier also
     // leaves unapplied at Finish().
     SyncCertifierMetrics();
+    if (opts.watchdog != nullptr) opts.watchdog->Retire(wd);
   }
 
   void SyncCertifierMetrics() {
@@ -631,6 +694,19 @@ struct ShardedLeopard::Impl {
   std::vector<Key> expanded_absent;
   std::unordered_set<Key> returned_keys;
 
+  /// Stage-latency attribution: read stamp -> shard verify, sampled 1-in-16
+  /// because NowNs() on every projected message would show up on the hot
+  /// path. The sample counter is shared by all shard workers (and the
+  /// single-shard router), hence atomic.
+  void RecordStageVerify(uint64_t ingest_ns) {
+    if (stage_verify == nullptr || ingest_ns == 0) return;
+    if ((stage_samples.fetch_add(1, std::memory_order_relaxed) & 0xf) != 0) {
+      return;
+    }
+    const uint64_t now = obs::NowNs();
+    if (now > ingest_ns) stage_verify->Record(now - ingest_ns);
+  }
+
   // Observability (optional).
   std::vector<obs::Gauge*> trace_depth_gauges;
   std::vector<obs::Gauge*> edge_depth_gauges;
@@ -638,6 +714,14 @@ struct ShardedLeopard::Impl {
   obs::Counter* cert_parked = nullptr;
   obs::Counter* cert_dropped = nullptr;
   obs::Gauge* cert_nodes = nullptr;
+  obs::Histogram* stage_verify = nullptr;
+  obs::Histogram* stage_certify = nullptr;
+  obs::Gauge* gc_safe_gauge = nullptr;
+  std::atomic<uint64_t> stage_samples{0};
+  uint64_t last_gc_event_ns = 0;
+  Timestamp last_gc_event_safe = 0;
+  uint64_t last_stall_event_ns = 0;
+  uint64_t single_traces = 0;  // GC-gauge cadence for the inline verifier
 
   VerifyReport report;
 };
@@ -650,7 +734,13 @@ ShardedLeopard::~ShardedLeopard() = default;
 
 void ShardedLeopard::Process(const Trace& trace) {
   if (impl_->single != nullptr) {
+    impl_->RecordStageVerify(trace.ingest_ns);
     impl_->single->Process(trace);
+    if (impl_->gc_safe_gauge != nullptr &&
+        (++impl_->single_traces & (kRouterSafeEvery - 1)) == 0) {
+      impl_->gc_safe_gauge->Set(
+          static_cast<int64_t>(impl_->single->SafeTs()));
+    }
     return;
   }
   impl_->Route(trace);

@@ -14,6 +14,11 @@
 
 namespace leopard {
 
+namespace obs {
+class EventJournal;
+class Watchdog;
+}  // namespace obs
+
 /// Final outcome of a (possibly sharded) verification run: the aggregated
 /// counters plus every bug descriptor, shard bugs first (CR/ME/FUW, in
 /// shard order), serialization-certifier bugs last.
@@ -73,6 +78,12 @@ class ShardedLeopard {
     /// sharded.certifier.{edges_applied,edges_parked} counters.
     obs::MetricsRegistry* metrics = nullptr;
     uint32_t span_sample_every = 16;
+    /// Optional journal for state-transition events (shard queue stall, GC
+    /// advance); see src/obs/events.h.
+    obs::EventJournal* events = nullptr;
+    /// Optional heartbeat watchdog: shard workers register as
+    /// "shard<i>.worker" and the certifier as "sc.certifier".
+    obs::Watchdog* watchdog = nullptr;
   };
 
   ShardedLeopard(const VerifierConfig& config, const Options& options);

@@ -210,18 +210,27 @@ void AppendScore(std::ostringstream& os, const char* name, const Score& s,
 /// Minimal extraction of `"key": <number>` from a JSON blob. When the blob
 /// contains an "after" trajectory entry (BENCH_PR*.json), only the text
 /// after it is searched, so the committed post-PR snapshot is the baseline.
-double ExtractNumber(const std::string& text, const std::string& key) {
+/// With a non-empty `section`, the search starts at `"section"` so per-
+/// metric scores (all named "per_sec") resolve to the right object.
+double ExtractNumber(const std::string& text, const std::string& section,
+                     const std::string& key) {
   std::string body = text;
   size_t after = text.find("\"after\"");
   if (after != std::string::npos) body = text.substr(after);
-  size_t pos = body.find("\"" + key + "\"");
+  size_t start = 0;
+  if (!section.empty()) {
+    start = body.find("\"" + section + "\"");
+    if (start == std::string::npos) return -1;
+  }
+  size_t pos = body.find("\"" + key + "\"", start);
   if (pos == std::string::npos) return -1;
   pos = body.find(':', pos);
   if (pos == std::string::npos) return -1;
   return std::strtod(body.c_str() + pos + 1, nullptr);
 }
 
-int Compare(const Options& opt, double calib, const Score& verify) {
+int Compare(const Options& opt, double calib, const Score& verify,
+            const Score& pk, const Score& dfs, const Score& vindex) {
   std::ifstream in(opt.compare);
   if (!in) {
     std::fprintf(stderr, "cannot read baseline %s\n", opt.compare.c_str());
@@ -230,15 +239,41 @@ int Compare(const Options& opt, double calib, const Score& verify) {
   std::stringstream buf;
   buf << in.rdbuf();
   const std::string text = buf.str();
-  double base_tps = ExtractNumber(text, "per_sec");
-  double base_calib = ExtractNumber(text, "calib_mops");
+  double base_tps = ExtractNumber(text, "verify", "per_sec");
+  double base_calib = ExtractNumber(text, "", "calib_mops");
   if (base_tps <= 0) {
     std::fprintf(stderr, "baseline %s has no verify per_sec\n",
                  opt.compare.c_str());
     return 2;
   }
-  // Normalize both sides by their calibration score when available, so a
-  // slower CI machine is not misread as a code regression.
+  // Per-metric delta table, calibration-normalized on both sides (so a
+  // slower CI machine is not misread as a code regression). Only the verify
+  // row gates — the micro-benches are diagnostic context for a verify
+  // regression, too noisy to fail on individually.
+  struct Row {
+    const char* name;
+    double current;
+  };
+  const Row rows[] = {{"verify", verify.per_sec},
+                      {"pk_insert", pk.per_sec},
+                      {"full_dfs", dfs.per_sec},
+                      {"version_index", vindex.per_sec}};
+  std::printf("compare vs %s (calib: baseline %.1f, current %.1f)\n",
+              opt.compare.c_str(), base_calib, calib);
+  std::printf("  %-14s %14s %14s %9s\n", "metric", "baseline/s", "current/s",
+              "delta");
+  for (const Row& row : rows) {
+    double base = ExtractNumber(text, row.name, "per_sec");
+    if (base <= 0) {
+      std::printf("  %-14s %14s %14.0f %9s\n", row.name, "-", row.current,
+                  "-");
+      continue;
+    }
+    double bn = base_calib > 0 ? base / base_calib : base;
+    double cn = base_calib > 0 ? row.current / calib : row.current;
+    std::printf("  %-14s %14.0f %14.0f %+8.1f%%\n", row.name, base,
+                row.current, (cn / bn - 1.0) * 100.0);
+  }
   double base_norm = base_calib > 0 ? base_tps / base_calib : base_tps;
   double cur_norm = base_calib > 0 ? verify.per_sec / calib : verify.per_sec;
   double ratio = cur_norm / base_norm;
@@ -317,6 +352,6 @@ int main(int argc, char** argv) {
     f << os.str();
     std::printf("wrote %s\n", opt.out.c_str());
   }
-  if (!opt.compare.empty()) return Compare(opt, calib, verify);
+  if (!opt.compare.empty()) return Compare(opt, calib, verify, pk, dfs, vindex);
   return 0;
 }

@@ -341,28 +341,34 @@ int VerifyClientTraces(const CliOptions& opts,
                                        static_cast<double>(s.deps_total)
                                  : 0.0;
   // Single-shard runs export the classic unprefixed histogram; sharded runs
-  // export one per worker, so report the slowest shard's p99.
-  double p99_us = 0.0;
+  // export one per worker, so report the slowest shard at each percentile.
+  double p50_us = 0.0, p95_us = 0.0, p99_us = 0.0;
   if (verifier.n_shards() == 1) {
-    p99_us = registry.histogram("verifier.trace_ns")->PercentileNs(99) / 1e3;
+    const obs::Histogram* h = registry.histogram("verifier.trace_ns");
+    p50_us = h->PercentileNs(50) / 1e3;
+    p95_us = h->PercentileNs(95) / 1e3;
+    p99_us = h->PercentileNs(99) / 1e3;
   } else {
     for (uint32_t i = 0; i < verifier.n_shards(); ++i) {
       const std::string name =
           "shard" + std::to_string(i) + ".verifier.trace_ns";
-      p99_us = std::max(
-          p99_us, registry.histogram(name)->PercentileNs(99) / 1e3);
+      const obs::Histogram* h = registry.histogram(name);
+      p50_us = std::max(p50_us, h->PercentileNs(50) / 1e3);
+      p95_us = std::max(p95_us, h->PercentileNs(95) / 1e3);
+      p99_us = std::max(p99_us, h->PercentileNs(99) / 1e3);
     }
   }
   std::printf(
       "[leopard] verified %llu traces in %.2fs (%.0f traces/s) | "
-      "violations cr=%llu me=%llu fuw=%llu sc=%llu | p99 verify=%.1fus | "
-      "beta=%.4f\n",
+      "violations cr=%llu me=%llu fuw=%llu sc=%llu | "
+      "verify p50=%.1fus p95=%.1fus p99=%.1fus | beta=%.4f\n",
       static_cast<unsigned long long>(total), wall_s,
       wall_s > 0 ? static_cast<double>(total) / wall_s : 0.0,
       static_cast<unsigned long long>(s.cr_violations),
       static_cast<unsigned long long>(s.me_violations),
       static_cast<unsigned long long>(s.fuw_violations),
-      static_cast<unsigned long long>(s.sc_violations), p99_us, beta);
+      static_cast<unsigned long long>(s.sc_violations), p50_us, p95_us, p99_us,
+      beta);
   size_t shown = 0;
   for (const auto& bug : report.bugs) {
     std::printf("  %s\n", bug.ToString().c_str());

@@ -21,6 +21,10 @@
 //   --max-inflight-mb=N   [64]  backpressure threshold
 //   --metrics-out=FILE(.json|.csv)
 //   --progress-interval-ms=N    [0 = off]
+//   --http-port=N               serve GET /metrics (Prometheus), /healthz,
+//                               /statusz on this port (0 = kernel-assigned;
+//                               see --http-port-file). Omit = no HTTP.
+//   --http-port-file=FILE       write the bound HTTP port
 //   --diagnose                  record traces; on a violation, delta-debug
 //                               the history on a background worker
 //   --diagnose-out=DIR          write repro artifacts per diagnosis
@@ -35,12 +39,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "net/server.h"
+#include "obs/events.h"
 #include "obs/export.h"
+#include "obs/http_endpoint.h"
 #include "obs/registry.h"
+#include "obs/watchdog.h"
 #include "verifier/leopard.h"
 #include "verifier/mechanism_table.h"
 
@@ -61,6 +69,9 @@ struct ServeOptions {
   uint64_t progress_interval_ms = 0;
   bool diagnose = false;
   std::string diagnose_out;
+  bool http = false;  // --http-port given (0 still enables, kernel-assigned)
+  uint16_t http_port = 0;
+  std::string http_port_file;
 };
 
 void Usage() {
@@ -71,7 +82,8 @@ void Usage() {
       " [--protocol=pg|innodb|occ|to|2pl|percolator]"
       " [--isolation=rc|rr|si|ser] [--idle-timeout-ms=N]"
       " [--max-inflight-mb=N] [--metrics-out=FILE(.json|.csv)]"
-      " [--progress-interval-ms=N] [--diagnose] [--diagnose-out=DIR]\n");
+      " [--progress-interval-ms=N] [--diagnose] [--diagnose-out=DIR]"
+      " [--http-port=N] [--http-port-file=FILE]\n");
 }
 
 bool ParseArgs(int argc, char** argv, ServeOptions& opts) {
@@ -88,7 +100,14 @@ bool ParseArgs(int argc, char** argv, ServeOptions& opts) {
         eat("--protocol=", opts.protocol) ||
         eat("--isolation=", opts.isolation) ||
         eat("--metrics-out=", opts.metrics_out) ||
-        eat("--diagnose-out=", opts.diagnose_out)) {
+        eat("--diagnose-out=", opts.diagnose_out) ||
+        eat("--http-port-file=", opts.http_port_file)) {
+      continue;
+    }
+    if (eat("--http-port=", value)) {
+      opts.http = true;
+      opts.http_port =
+          static_cast<uint16_t>(std::strtoul(value.c_str(), nullptr, 10));
       continue;
     }
     if (arg == "--diagnose") {
@@ -179,6 +198,13 @@ int main(int argc, char** argv) {
   }
 
   obs::MetricsRegistry registry;
+  obs::EventJournal journal(1024);
+  obs::EventJournal::InstallFatalDump(&journal, "events.json");
+  obs::Watchdog::Options wo;
+  wo.metrics = &registry;
+  wo.events = &journal;
+  obs::Watchdog watchdog(wo);
+
   net::VerifierServer::Options so;
   so.port = opts.port;
   so.n_shards = opts.shards;
@@ -191,12 +217,92 @@ int main(int argc, char** argv) {
   so.print_progress = opts.progress_interval_ms > 0;
   so.diagnose = opts.diagnose || !opts.diagnose_out.empty();
   so.diagnose_out_dir = opts.diagnose_out;
+  so.events = &journal;
+  so.watchdog = &watchdog;
 
   net::VerifierServer server(config, so);
   Status st = server.Start();
   if (!st.ok()) {
     std::fprintf(stderr, "leopard_serve: %s\n", st.ToString().c_str());
     return 1;
+  }
+
+  // Live introspection: GET /metrics (Prometheus), /healthz, /statusz.
+  std::unique_ptr<obs::HttpEndpoint> http;
+  if (opts.http) {
+    obs::HttpEndpoint::Options ho;
+    ho.port = opts.http_port;
+    ho.registry = &registry;
+    ho.events = &journal;
+    ho.watchdog = &watchdog;
+    ho.build_info = std::string("leopard_serve shards=") +
+                    std::to_string(opts.shards) + " " + opts.protocol + "/" +
+                    opts.isolation;
+    ho.statusz_fields = [&server, &registry] {
+      net::VerifierServer::StatusSnapshot s = server.GetStatus();
+      std::string out;
+      out += "\"sessions\":{\"active\":";
+      out += std::to_string(s.sessions_active);
+      out += ",\"handshaken\":";
+      out += std::to_string(s.sessions_handshaken);
+      out += ",\"completed\":";
+      out += std::to_string(s.sessions_completed);
+      out += "},\"traces_received\":";
+      out += std::to_string(s.traces_received);
+      out += ",\"inflight_bytes\":";
+      out += std::to_string(s.inflight_bytes);
+      out += ",\"draining\":";
+      out += s.draining ? "true" : "false";
+      out += ",\"diagnoses\":{\"queued\":";
+      out += std::to_string(s.diagnoses_queued);
+      out += ",\"done\":";
+      out += std::to_string(s.diagnoses_done);
+      out += "}";
+      // Engine-side depth gauges: per-shard edge queues, certifier backlog,
+      // the GC watermark. Collected by prefix so the shard count needn't be
+      // threaded through.
+      std::string shard_depths;
+      int64_t gc_safe = -1;
+      registry.VisitGauges([&](const std::string& name,
+                               const obs::Gauge& g) {
+        const std::string kDepth = ".edge_queue_depth";
+        if (name.size() > kDepth.size() &&
+            name.compare(name.size() - kDepth.size(), kDepth.size(), kDepth) ==
+                0) {
+          if (!shard_depths.empty()) shard_depths += ",";
+          shard_depths += std::to_string(g.Value());
+        } else if (name == "verifier.gc.safe_ts") {
+          gc_safe = g.Value();
+        }
+      });
+      out += ",\"shard_edge_queue_depths\":[";
+      out += shard_depths;
+      out += "]";
+      if (gc_safe >= 0) {
+        out += ",\"gc_safe_ts\":";
+        out += std::to_string(gc_safe);
+      }
+      return out;
+    };
+    http = std::make_unique<obs::HttpEndpoint>(ho);
+    Status hs = http->Start();
+    if (!hs.ok()) {
+      std::fprintf(stderr, "leopard_serve: http: %s\n", hs.ToString().c_str());
+      return 1;
+    }
+    std::printf("[leopard_serve] http introspection on port %u\n",
+                http->port());
+    std::fflush(stdout);
+    if (!opts.http_port_file.empty()) {
+      std::FILE* f = std::fopen(opts.http_port_file.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "leopard_serve: cannot write %s\n",
+                     opts.http_port_file.c_str());
+        return 1;
+      }
+      std::fprintf(f, "%u\n", http->port());
+      std::fclose(f);
+    }
   }
   std::printf("[leopard_serve] listening on port %u (shards=%u, "
               "expect-clients=%u, %s/%s)\n",
@@ -214,22 +320,28 @@ int main(int argc, char** argv) {
     std::fclose(f);
   }
 
-  // Signal handlers only set a flag; a watchdog thread turns it into a
+  // Signal handlers only set a flag; a stopper thread turns it into a
   // graceful drain (Shutdown is safe from any thread, handlers are not a
   // place to take locks).
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
-  std::thread watchdog([&server] {
+  std::thread stopper([&server, &journal] {
     while (g_stop.load(std::memory_order_relaxed) == 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(100));
     }
+    journal.Record(obs::EventSeverity::kInfo, "serve",
+                   "shutdown requested; draining");
     server.Shutdown();
   });
 
   const VerifyReport& report = server.WaitReport();
-  g_stop.store(1, std::memory_order_relaxed);  // stop the watchdog even on
+  g_stop.store(1, std::memory_order_relaxed);  // stop the stopper even on
                                                // a natural drain
-  watchdog.join();
+  stopper.join();
+  // The endpoint reads the registry/journal/watchdog; stop it (and the
+  // watchdog monitor) before any of them can go out of scope.
+  if (http != nullptr) http->Stop();
+  watchdog.Stop();
 
   const VerifierStats& s = report.stats;
   std::printf(
