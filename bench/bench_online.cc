@@ -7,14 +7,17 @@
 // --net adds a loopback comparison: the same trace streams pushed into an
 // in-process OnlineVerifier vs shipped through leopard's wire protocol to
 // a VerifierServer on 127.0.0.1, quantifying the network ingestion tax.
-// --http extends --net with a third run that also serves GET /metrics and
-// scrapes it continuously, quantifying the introspection overhead.
+// Each loopback row is then re-run with --state-dir durability (WAL append
+// + fflush per batch, checkpoints mid-run) to price the durable mode.
+// --http extends --net with a further run that also serves GET /metrics
+// and scrapes it continuously, quantifying the introspection overhead.
 // --out-dir=DIR overrides where the metrics JSON lands (see bench_util.h).
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -123,9 +126,11 @@ std::string HttpGet(uint16_t port, const std::string& path) {
 /// times so the pipeline merge behaves identically. With `with_http` the
 /// server side also runs the HTTP introspection endpoint plus a scraper
 /// thread hammering GET /metrics, so net_tps then measures verification
-/// under live scraping.
+/// under live scraping. A non-empty `state_dir` enables the durability
+/// layer on the loopback server (per-batch WAL fsync-to-page-cache plus
+/// checkpoints firing mid-run), so net_tps then prices durable mode.
 NetRow RunNetComparison(const RunResult& run, uint32_t shards,
-                        bool with_http) {
+                        bool with_http, const std::string& state_dir = "") {
   const VerifierConfig config = ConfigForMiniDb(
       Protocol::kMvcc2plSsi, IsolationLevel::kSerializable);
   const uint32_t clients = static_cast<uint32_t>(run.client_traces.size());
@@ -170,6 +175,15 @@ NetRow RunNetComparison(const RunResult& run, uint32_t shards,
     so.n_shards = shards;
     so.expected_sessions = 1;
     so.metrics = BenchRegistry();
+    if (!state_dir.empty()) {
+      so.state_dir = state_dir;
+      // The loopback runs finish in well under the default 10s cadence;
+      // trip checkpoints by trace count so several land mid-run and the
+      // measured cost includes quiesce + serialize + WAL GC, not just the
+      // per-batch WAL appends.
+      so.checkpoint_interval_ms = 500;
+      so.checkpoint_every_traces = 10000;
+    }
     if (with_http) {
       so.events = &journal;
       so.watchdog = &watchdog;
@@ -263,6 +277,20 @@ void RunNetMode(bool with_http) {
                   row.inproc_tps, row.net_tps,
                   row.inproc_tps > 0 ? 100.0 * row.net_tps / row.inproc_tps
                                      : 0.0);
+      {
+        const std::string state_dir =
+            "bench_online_state_" + std::to_string(shards) + "_" +
+            std::to_string(txns);
+        std::filesystem::remove_all(state_dir);
+        NetRow drow =
+            RunNetComparison(run, shards, /*with_http=*/false, state_dir);
+        std::printf("%-10s %-8llu %-7u %12s %12.0f %7.2f%%  (+durable)\n",
+                    "SmallBank", static_cast<unsigned long long>(txns),
+                    shards, "-", drow.net_tps,
+                    row.net_tps > 0 ? 100.0 * drow.net_tps / row.net_tps
+                                    : 0.0);
+        std::filesystem::remove_all(state_dir);
+      }
       if (with_http) {
         NetRow hrow = RunNetComparison(run, shards, /*with_http=*/true);
         std::printf("%-10s %-8llu %-7u %12s %12.0f %7.2f%%  "
@@ -277,6 +305,9 @@ void RunNetMode(bool with_http) {
   }
   std::printf("\nExpected: the wire protocol costs little — framing and a "
               "loopback hop, no extra copies on the verification path.\n");
+  std::printf("The +durable rows re-run the loopback side with --state-dir "
+              "durability (WAL + mid-run checkpoints); the ratio is "
+              "durable-on vs durable-off net-tps (expected >95%%).\n");
   if (with_http) {
     std::printf("The +http rows re-run the loopback side with GET /metrics "
                 "scraped every 20ms; the ratio is http-on vs http-off "

@@ -18,7 +18,11 @@ namespace leopard {
 ///
 /// Contract: exactly one thread calls Push, exactly one thread calls
 /// TryPop/PopWait. Push blocks (spin, then yield) when the ring is full —
-/// that back-pressure is what bounds the sharded verifier's memory.
+/// that back-pressure is what bounds the sharded verifier's memory. A dead
+/// or wedged consumer would otherwise trap the producer in that spin
+/// forever; Poison() is the shutdown escape — any thread may call it, after
+/// which a full-ring Push gives up and returns false instead of waiting for
+/// space that will never come.
 template <typename T>
 class SpscQueue {
  public:
@@ -32,15 +36,19 @@ class SpscQueue {
   SpscQueue(const SpscQueue&) = delete;
   SpscQueue& operator=(const SpscQueue&) = delete;
 
-  /// Producer side. Blocks while the ring is full.
-  void Push(T item) {
+  /// Producer side. Blocks while the ring is full; returns false (dropping
+  /// `item`) if the queue was poisoned before a slot freed up. A push that
+  /// finds space proceeds even when poisoned — the element is already
+  /// bought and the consumer may still drain.
+  bool Push(T item) {
     const size_t tail = tail_.load(std::memory_order_relaxed);
     // Full when tail catches up to head + capacity; spin-then-yield until
-    // the consumer frees a slot.
+    // the consumer frees a slot or someone poisons the queue.
     size_t spins = 0;
     while (tail - head_cache_ > mask_) {
       head_cache_ = head_.load(std::memory_order_acquire);
       if (tail - head_cache_ > mask_) {
+        if (poisoned_.load(std::memory_order_acquire)) return false;
         if (++spins < 64) {
           // brief busy wait
         } else {
@@ -54,7 +62,20 @@ class SpscQueue {
       std::lock_guard<std::mutex> lock(park_mu_);
       park_cv_.notify_one();
     }
+    return true;
   }
+
+  /// Shutdown escape: unblocks a producer stuck in Push on a full ring
+  /// (future full-ring pushes fail fast too) and wakes a parked consumer so
+  /// it can observe termination. Elements already in the ring stay
+  /// poppable. Safe from any thread; irreversible.
+  void Poison() {
+    poisoned_.store(true, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(park_mu_);
+    park_cv_.notify_one();
+  }
+
+  bool poisoned() const { return poisoned_.load(std::memory_order_acquire); }
 
   /// Consumer side. Returns false when the ring is empty.
   bool TryPop(T& out) {
@@ -115,6 +136,7 @@ class SpscQueue {
   size_t mask_ = 0;
 
   std::atomic<bool> consumer_parked_{false};
+  std::atomic<bool> poisoned_{false};
   std::mutex park_mu_;
   std::condition_variable park_cv_;
 };

@@ -1,0 +1,135 @@
+#ifndef LEOPARD_COMMON_STATE_CODEC_H_
+#define LEOPARD_COMMON_STATE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace leopard {
+
+/// Little-endian primitive codec shared by every Save/Load hook in the
+/// durability layer (checkpoint sections, WAL entry headers, the manifest).
+/// StateWriter appends to a caller-owned string; StateReader is strictly
+/// bounds-checked so a truncated or corrupt state file fails cleanly with a
+/// Status instead of reading past the buffer. Integrity (CRC32) is layered
+/// on top by the file formats in src/durable — the codec itself is plain
+/// bytes.
+class StateWriter {
+ public:
+  explicit StateWriter(std::string& out) : out_(out) {}
+  StateWriter(const StateWriter&) = delete;
+  StateWriter& operator=(const StateWriter&) = delete;
+
+  void PutU8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+  void PutU32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+  void PutU64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  /// Length-prefixed byte string (u32 length).
+  void PutBytes(const std::string& bytes) {
+    PutU32(static_cast<uint32_t>(bytes.size()));
+    out_.append(bytes);
+  }
+
+  size_t size() const { return out_.size(); }
+  /// Underlying buffer, for sections that interleave foreign encoders
+  /// (e.g. trace records via AppendTraceRecord).
+  std::string& raw() { return out_; }
+
+ private:
+  std::string& out_;
+};
+
+class StateReader {
+ public:
+  StateReader(const std::string& bytes, size_t start = 0)
+      : bytes_(bytes), pos_(start) {}
+  StateReader(const StateReader&) = delete;
+  StateReader& operator=(const StateReader&) = delete;
+
+  Status GetU8(uint8_t& v) {
+    if (remaining() < 1) return Truncated("u8");
+    v = static_cast<uint8_t>(bytes_[pos_++]);
+    return Status::Ok();
+  }
+  Status GetBool(bool& v) {
+    uint8_t b = 0;
+    Status s = GetU8(b);
+    if (!s.ok()) return s;
+    if (b > 1) return Status::InvalidArgument("state codec: bad bool");
+    v = b != 0;
+    return Status::Ok();
+  }
+  Status GetU32(uint32_t& v) {
+    if (remaining() < 4) return Truncated("u32");
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[pos_++]))
+           << (8 * i);
+    }
+    return Status::Ok();
+  }
+  Status GetU64(uint64_t& v) {
+    if (remaining() < 8) return Truncated("u64");
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_++]))
+           << (8 * i);
+    }
+    return Status::Ok();
+  }
+  Status GetI64(int64_t& v) {
+    uint64_t u = 0;
+    Status s = GetU64(u);
+    if (!s.ok()) return s;
+    v = static_cast<int64_t>(u);
+    return Status::Ok();
+  }
+  Status GetBytes(std::string& out) {
+    uint32_t n = 0;
+    Status s = GetU32(n);
+    if (!s.ok()) return s;
+    if (remaining() < n) return Truncated("bytes");
+    out.assign(bytes_, pos_, n);
+    pos_ += n;
+    return Status::Ok();
+  }
+
+  /// Guard for count fields read before a reserve(): true when `n` entries
+  /// of at least `entry_bytes` each can still fit in the remaining input,
+  /// so corrupt lengths fail instead of triggering huge allocations.
+  bool CountFits(uint64_t n, size_t entry_bytes) const {
+    return entry_bytes == 0 || n <= remaining() / entry_bytes;
+  }
+
+  size_t pos() const { return pos_; }
+  /// Jump to an absolute offset — for sections decoded by a foreign decoder
+  /// (e.g. DecodeTraceRecord) that reports how far it advanced.
+  void set_pos(size_t pos) { pos_ = pos < bytes_.size() ? pos : bytes_.size(); }
+  /// Underlying buffer, for foreign decoders that take (bytes, pos).
+  const std::string& raw() const { return bytes_; }
+  size_t remaining() const { return bytes_.size() - pos_; }
+  bool Done() const { return pos_ == bytes_.size(); }
+
+ private:
+  static Status Truncated(const char* what) {
+    return Status::InvalidArgument(std::string("state codec: truncated ") +
+                                   what);
+  }
+
+  const std::string& bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace leopard
+
+#endif  // LEOPARD_COMMON_STATE_CODEC_H_

@@ -1,0 +1,70 @@
+#ifndef LEOPARD_DURABLE_FS_H_
+#define LEOPARD_DURABLE_FS_H_
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <system_error>
+
+#include "common/status.h"
+
+namespace leopard {
+namespace durable {
+
+/// Tiny filesystem helpers shared by the WAL and checkpoint stores. All
+/// paths are plain std::string; errors come back as Status (the library is
+/// exception-free, so std::filesystem is always called with an error_code).
+
+inline Status EnsureDir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create directory " + dir + ": " +
+                            ec.message());
+  }
+  return Status::Ok();
+}
+
+inline StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  std::string out;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) return Status::Internal("read error on " + path);
+  return out;
+}
+
+/// Writes `bytes` to `path` via a sibling temp file + rename, so a crash
+/// mid-write never leaves a half-written file under the final name.
+inline Status WriteFileAtomic(const std::string& path,
+                              const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::Internal("cannot create " + tmp);
+  const bool wrote =
+      bytes.empty() || std::fwrite(bytes.data(), 1, bytes.size(), f) ==
+                           bytes.size();
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (!wrote || !flushed) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    return Status::Internal("write error on " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::Internal("cannot rename " + tmp + " -> " + path + ": " +
+                            ec.message());
+  }
+  return Status::Ok();
+}
+
+}  // namespace durable
+}  // namespace leopard
+
+#endif  // LEOPARD_DURABLE_FS_H_

@@ -114,12 +114,15 @@ void OnlineVerifier::Close(ClientId client) {
   producer_cv_.notify_one();
 }
 
-OnlineVerifier::AddedClient OnlineVerifier::AddClient() {
+StatusOr<OnlineVerifier::AddedClient> OnlineVerifier::AddClient() {
   AddedClient added;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    assert(!sealed_ && "AddClient() requires Options::dynamic_clients and "
-                       "must precede SealClients()");
+    if (sealed_) {
+      return Status::FailedPrecondition(
+          "AddClient() requires Options::dynamic_clients and must precede "
+          "SealClients()");
+    }
     added.id = pipeline_.AddClient();
     added.floor = pipeline_.dispatch_floor();
     client_closed_.push_back(0);
@@ -163,6 +166,17 @@ void OnlineVerifier::Loop() {
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     if (wd != nullptr) wd->Beat();
+    if (ckpt_requested_) {
+      // Checkpoint safepoint: every trace dispatched so far is verified and
+      // the batch is empty (this is the loop top) — park here until the
+      // checkpointer serializes and releases us. Idleness, not a wedge.
+      ckpt_parked_ = true;
+      ckpt_cv_.notify_all();
+      if (wd != nullptr) wd->Suspend();
+      producer_cv_.wait(lock, [this] { return !ckpt_requested_; });
+      if (wd != nullptr) wd->Resume();
+      ckpt_parked_ = false;
+    }
     // Drain everything currently dispatchable into a local batch, then
     // release the lock before verifying: producers only ever contend with
     // the short Dispatch drain, never with Process(). This is the online
@@ -198,6 +212,10 @@ void OnlineVerifier::Loop() {
   // Finish() may join shard worker threads — never run it under mu_. The
   // join can outlast the stall threshold on a deep final drain; the shard
   // workers keep their own heartbeats, so suspend the dispatcher's.
+  // draining_ tells a checkpointer racing this exit that its safepoint will
+  // never be reached — SaveState fails instead of hanging.
+  draining_ = true;
+  ckpt_cv_.notify_all();
   if (wd != nullptr) wd->Suspend();
   lock.unlock();
   engine_.Finish();
@@ -213,6 +231,106 @@ void OnlineVerifier::Loop() {
 
 void OnlineVerifier::DeliverNewBugs(const std::vector<BugDescriptor>& bugs) {
   while (bugs_delivered_ < bugs.size()) on_bug_(bugs[bugs_delivered_++]);
+}
+
+uint64_t OnlineVerifier::ApproxBufferedBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pipeline_.buffered_bytes();
+}
+
+uint32_t OnlineVerifier::client_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return n_clients_;
+}
+
+Status OnlineVerifier::SaveState(StateWriter& w) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (finished_ || draining_) {
+    return Status::FailedPrecondition(
+        "verifier already draining; the final report supersedes checkpoints");
+  }
+  ckpt_requested_ = true;
+  producer_cv_.notify_all();
+  ckpt_cv_.wait(lock,
+                [this] { return ckpt_parked_ || draining_ || finished_; });
+  if (!ckpt_parked_) {
+    // The dispatcher slipped into its final drain before parking.
+    ckpt_requested_ = false;
+    return Status::FailedPrecondition(
+        "verifier drained before reaching the checkpoint safepoint");
+  }
+  // Safepoint reached: the dispatcher is parked with an empty batch, so the
+  // engine has applied every dispatched trace. Quiesce flushes the sharded
+  // engine's queues; producers block on mu_ for the duration.
+  engine_.Quiesce();
+  w.PutU32(n_clients_);
+  for (uint8_t closed : client_closed_) w.PutBool(closed != 0);
+  w.PutBool(sealed_);
+  w.PutU64(verified_.load(std::memory_order_relaxed));
+  w.PutU64(verified_bytes_.load(std::memory_order_relaxed));
+  w.PutU64(static_cast<uint64_t>(bugs_delivered_));
+  pipeline_.SaveState(w);
+  engine_.SaveState(w);
+  engine_.ResumeFromQuiesce();
+  ckpt_requested_ = false;
+  lock.unlock();
+  producer_cv_.notify_all();
+  return Status::Ok();
+}
+
+Status OnlineVerifier::LoadState(StateReader& r) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (finished_ || draining_) {
+    return Status::FailedPrecondition("verifier already draining");
+  }
+  ckpt_requested_ = true;
+  producer_cv_.notify_all();
+  ckpt_cv_.wait(lock,
+                [this] { return ckpt_parked_ || draining_ || finished_; });
+  if (!ckpt_parked_) {
+    ckpt_requested_ = false;
+    return Status::FailedPrecondition(
+        "verifier drained before state could be restored");
+  }
+  engine_.Quiesce();
+  Status s;
+  uint32_t n_clients = 0;
+  if ((s = r.GetU32(n_clients)).ok()) {
+    if (!r.CountFits(n_clients, 1)) {
+      s = Status::InvalidArgument("verifier state: absurd client count");
+    }
+  }
+  if (s.ok()) {
+    client_closed_.assign(n_clients, 0);
+    for (uint32_t i = 0; i < n_clients && s.ok(); ++i) {
+      bool closed = false;
+      if ((s = r.GetBool(closed)).ok()) client_closed_[i] = closed ? 1 : 0;
+    }
+  }
+  uint64_t verified = 0;
+  uint64_t verified_bytes = 0;
+  uint64_t delivered = 0;
+  if (s.ok()) s = r.GetBool(sealed_);
+  if (s.ok()) s = r.GetU64(verified);
+  if (s.ok()) s = r.GetU64(verified_bytes);
+  if (s.ok()) s = r.GetU64(delivered);
+  if (s.ok()) s = pipeline_.LoadState(r);
+  if (s.ok()) s = engine_.LoadState(r);
+  if (s.ok()) {
+    n_clients_ = n_clients;
+    verified_.store(verified, std::memory_order_relaxed);
+    verified_bytes_.store(verified_bytes, std::memory_order_relaxed);
+    bugs_delivered_ = static_cast<size_t>(delivered);
+    open_clients_ = 0;
+    for (uint8_t closed : client_closed_) {
+      if (!closed) ++open_clients_;
+    }
+  }
+  engine_.ResumeFromQuiesce();
+  ckpt_requested_ = false;
+  lock.unlock();
+  producer_cv_.notify_all();
+  return s;
 }
 
 }  // namespace leopard

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
 #include "obs/progress.h"
 #include "obs/registry.h"
 #include "pipeline/two_level_pipeline.h"
@@ -105,7 +106,12 @@ class OnlineVerifier {
   };
 
   /// Registers a new client stream while verification runs. Thread-safe.
-  AddedClient AddClient();
+  /// Fails with FailedPrecondition when the verifier is not dynamic or has
+  /// already been sealed — a late registration after SealClients() must be
+  /// rejected (the run may already be draining), never applied: in release
+  /// builds it would silently mutate pipeline state mid-finish. Callers
+  /// (VerifierServer) surface the failure to the session as a kError frame.
+  StatusOr<AddedClient> AddClient();
 
   /// Declares that no further AddClient() calls will come, letting the run
   /// finish once every registered client is closed and drained. Idempotent;
@@ -138,6 +144,31 @@ class OnlineVerifier {
     return verified_bytes_.load(std::memory_order_relaxed);
   }
 
+  /// Approximate bytes of traces pushed but not yet verified (buffered in
+  /// the pipeline). The durable server re-seeds its backpressure accounting
+  /// from verified_bytes() + this after a resume.
+  uint64_t ApproxBufferedBytes() const;
+
+  /// Registered client streams so far, closed ones included. Thread-safe.
+  /// WAL replay uses this as the idempotence base: a logged registration
+  /// below it is already part of the restored checkpoint.
+  uint32_t client_count() const;
+
+  /// Checkpoint hooks (src/durable). SaveState parks the dispatcher at a
+  /// quiescent point — every dispatched trace fully verified, nothing in
+  /// flight between pipeline and engine — quiesces the sharded engine, and
+  /// serializes client state, the pipeline's buffered traces and the full
+  /// engine state. Producers calling Push() concurrently simply block on
+  /// the internal mutex for the duration. Fails with FailedPrecondition
+  /// when the run is already draining or finished (there is nothing left
+  /// worth checkpointing — the final report is authoritative).
+  ///
+  /// LoadState uses the same handshake and replaces the verifier's state
+  /// wholesale; call it before any traffic, on a verifier constructed with
+  /// the same VerifierConfig and shard count as the saver.
+  Status SaveState(StateWriter& w);
+  Status LoadState(StateReader& r);
+
  private:
   void Loop();
   void WaitFinished();
@@ -156,6 +187,15 @@ class OnlineVerifier {
   std::vector<uint8_t> client_closed_;  // guarded by mu_
   bool sealed_ = true;                  // guarded by mu_
   bool finished_ = false;
+  /// Checkpoint safepoint handshake (all guarded by mu_): SaveState sets
+  /// ckpt_requested_ and waits on ckpt_cv_; the dispatcher parks at its
+  /// loop top (ckpt_parked_) until the request clears. draining_ marks the
+  /// window where the dispatcher has committed to the final drain (between
+  /// its loop exit and finished_) — a checkpoint can no longer be taken.
+  bool ckpt_requested_ = false;
+  bool ckpt_parked_ = false;
+  bool draining_ = false;
+  std::condition_variable ckpt_cv_;
   std::function<void(const BugDescriptor&)> on_bug_;  // dispatcher thread only
   size_t bugs_delivered_ = 0;                         // dispatcher thread only
   obs::MetricsRegistry* metrics_ = nullptr;  // not owned

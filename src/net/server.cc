@@ -5,10 +5,12 @@
 #include <cstdio>
 #include <thread>
 
+#include "common/state_codec.h"
 #include "diagnose/report.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/watchdog.h"
+#include "verifier/state_serde.h"
 
 namespace leopard {
 namespace net {
@@ -38,9 +40,19 @@ VerifierServer::VerifierServer(const VerifierConfig& config,
     m_report_send_errors_ = metrics_->counter("net.report_send_errors");
     m_active_ = metrics_->gauge("net.active_connections");
     m_inflight_ = metrics_->gauge("net.inflight_bytes");
+    m_clock_skew_ = metrics_->counter("net.ingest_clock_skew");
     m_report_latency_ = metrics_->histogram("net.violation_report_ns");
     m_stage_ingest_ = metrics_->histogram("stage.ingest_to_read_ns");
     m_stage_report_ = metrics_->histogram("stage.read_to_report_ns");
+    if (!opts_.state_dir.empty()) {
+      m_wal_appends_ = metrics_->counter("durable.wal.appends");
+      m_wal_bytes_ = metrics_->counter("durable.wal.bytes");
+      m_wal_errors_ = metrics_->counter("durable.wal.errors");
+      m_checkpoints_ = metrics_->counter("durable.checkpoints");
+      m_checkpoint_errors_ = metrics_->counter("durable.checkpoint_errors");
+      m_wal_segments_g_ = metrics_->gauge("durable.wal.segments");
+      m_ckpt_ns_ = metrics_->histogram("durable.checkpoint_ns");
+    }
   }
 }
 
@@ -68,16 +80,26 @@ Status VerifierServer::Start() {
   // pipeline watermark at 0 so nothing dispatches before all expected
   // sessions joined — concurrently-connecting replay clients with
   // overlapping virtual timestamps then merge in correct global order.
-  online_ = std::make_unique<OnlineVerifier>(1, config_, vo);
   gate_client_ = 0;
-  if (opts_.expected_sessions == 0) {
-    // Run-until-shutdown service: no join barrier; sessions are admitted
-    // at the live dispatch floor instead.
-    online_->Close(gate_client_);
-    gate_closed_ = true;
+  durable_ = !opts_.state_dir.empty();
+  if (durable_) {
+    Status s = ckpts_.Init(opts_.state_dir);
+    if (s.ok()) s = RecoverState(vo);
+    if (!s.ok()) return s;
+  } else {
+    online_ = std::make_unique<OnlineVerifier>(1, config_, vo);
+    if (opts_.expected_sessions == 0) {
+      // Run-until-shutdown service: no join barrier; sessions are admitted
+      // at the live dispatch floor instead.
+      online_->Close(gate_client_);
+      gate_closed_ = true;
+    }
   }
   accepting_.store(true, std::memory_order_release);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  if (durable_ && opts_.checkpoint_interval_ms > 0) {
+    ckpt_thread_ = std::thread([this] { CheckpointLoop(); });
+  }
   if (opts_.diagnose) {
     diag_thread_ = std::thread([this] { DiagnoseLoop(); });
   }
@@ -261,9 +283,17 @@ bool VerifierServer::HandleHello(Session& session, const Frame& frame) {
     session.last_ts.assign(hello->n_streams, 0);
     session.stream_closed.assign(hello->n_streams, 0);
     for (uint32_t i = 0; i < hello->n_streams; ++i) {
-      OnlineVerifier::AddedClient added = online_->AddClient();
-      if (i == 0) session.base_client = added.id;
-      session.floor[i] = added.floor;
+      auto added = online_->AddClient();
+      if (!added.ok()) {
+        // The verifier was sealed (drain already under way) between our
+        // stopping_ check and here; reject the session instead of letting a
+        // late registration corrupt a draining pipeline.
+        FailSession(session, "server draining: " + added.status().message());
+        return false;
+      }
+      if (i == 0) session.base_client = added->id;
+      session.floor[i] = added->floor;
+      client_session_[added->id] = &session;
     }
     next_stream_slot_ += hello->n_streams;
     session.n_streams = hello->n_streams;
@@ -276,6 +306,12 @@ bool VerifierServer::HandleHello(Session& session, const Frame& frame) {
       gate_closed_ = true;
     }
     ack.base_client = session.base_client;
+  }
+  // WAL registrations go outside mu_ (durable_mu_ nests before mu_, never
+  // after). Replay is idempotent by id, so an id both checkpointed and
+  // logged here is skipped on recovery.
+  for (uint32_t i = 0; i < session.n_streams; ++i) {
+    WalAddClient(session.base_client + i);
   }
   SendToSession(session, EncodeFrame(FrameType::kHelloAck,
                                      EncodeHelloAck(ack)));
@@ -323,22 +359,28 @@ bool VerifierServer::HandleBatch(Session& session, const Frame& frame) {
     batch_bytes += t.ApproxBytes();
   }
   const uint64_t read_ns = obs::NowNs();
-  if (batch->ingest_ns != 0 && m_stage_ingest_ != nullptr &&
-      read_ns > batch->ingest_ns) {
+  if (batch->ingest_ns != 0 && m_stage_ingest_ != nullptr) {
     // v3 sessions stamp the batch at push time. Both stamps are steady-clock
     // reads, comparable only when client and server share a machine
-    // (loopback deployments); cross-host skew shows up as negative deltas,
-    // which the > guard drops.
-    m_stage_ingest_->Record(read_ns - batch->ingest_ns);
+    // (loopback deployments); cross-host skew shows up as negative deltas.
+    // Those still count as a sample — dropping them would make this
+    // histogram's count diverge from the other stage histograms' — they are
+    // just clamped to zero and tallied separately.
+    if (read_ns > batch->ingest_ns) {
+      m_stage_ingest_->Record(read_ns - batch->ingest_ns);
+    } else {
+      m_stage_ingest_->Record(0);
+      if (m_clock_skew_ != nullptr) m_clock_skew_->Inc();
+    }
   }
   Backpressure(session, batch_bytes);
-  {
-    // Record txn -> session before Push: a single-shard engine can surface
-    // the violation (and route it) the moment the batch is verified.
-    std::lock_guard<std::mutex> lock(mu_);
-    for (const Trace& t : batch->traces) {
-      txn_session_.emplace(t.txn, &session);
-    }
+  for (Trace& t : batch->traces) {
+    t.client = client;
+    // Re-stamp with the server's read time: downstream stage histograms
+    // (read->verify, read->certify, read->report) attribute latency *inside*
+    // the verifier, independent of how long the client sat on the batch.
+    // Stamped before the WAL append so replayed traces carry their client.
+    t.ingest_ns = read_ns;
   }
   if (opts_.diagnose) {
     // Keep the history for the minimizer. A violation's offending traces
@@ -349,16 +391,65 @@ bool VerifierServer::HandleBatch(Session& session, const Frame& frame) {
                      batch->traces.end());
   }
   const uint64_t n = batch->traces.size();
-  for (Trace& t : batch->traces) {
-    t.client = client;
-    // Re-stamp with the server's read time: downstream stage histograms
-    // (read->verify, read->certify, read->report) attribute latency *inside*
-    // the verifier, independent of how long the client sat on the batch.
-    t.ingest_ns = read_ns;
-    online_->Push(client, std::move(t));
+  {
+    // Durable ordering: the WAL append, the routing-map update and the push
+    // happen under durable_mu_, so a checkpoint cut (which also holds
+    // durable_mu_) cleanly partitions every trace into "in the checkpoint"
+    // or "in the log past the cut" — never both, never neither.
+    std::unique_lock<std::mutex> durable_lock(durable_mu_, std::defer_lock);
+    if (durable_) {
+      durable_lock.lock();
+      Status ws;
+      for (const Trace& t : batch->traces) {
+        ws = wal_.AppendTrace(t);
+        if (!ws.ok()) break;
+      }
+      if (ws.ok()) ws = wal_.Sync();
+      if (!ws.ok()) {
+        // Lost durability is a failed session, not a poisoned verifier: the
+        // client gets the error and can reconnect/retry once the disk
+        // recovers; admitting the batch unlogged would silently break the
+        // resume-with-identical-verdicts contract.
+        if (m_wal_errors_ != nullptr) m_wal_errors_->Inc();
+        if (opts_.events != nullptr) {
+          opts_.events->Recordf(obs::EventSeverity::kError, "durable",
+                                "WAL append failed: %s", ws.message().c_str());
+        }
+        durable_lock.unlock();
+        FailSession(session, "WAL append failed: " + ws.message());
+        return false;
+      }
+      wal_next_seq_.store(wal_.next_seq(), std::memory_order_relaxed);
+      wal_segments_.store(wal_.segment_count(), std::memory_order_relaxed);
+      if (m_wal_appends_ != nullptr) m_wal_appends_->Inc(n);
+      if (m_wal_bytes_ != nullptr) m_wal_bytes_->Inc(batch_bytes);
+      if (m_wal_segments_g_ != nullptr) {
+        m_wal_segments_g_->Set(static_cast<int64_t>(wal_.segment_count()));
+      }
+    }
+    {
+      // Record txn -> client before Push: a single-shard engine can surface
+      // the violation (and route it) the moment the batch is verified.
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const Trace& t : batch->traces) {
+        txn_client_.emplace(t.txn, client);
+      }
+    }
+    for (Trace& t : batch->traces) {
+      online_->Push(client, std::move(t));
+    }
+    // Counted inside the durable scope so a checkpoint's saved totals agree
+    // exactly with its cut (no batch half-counted across the boundary).
+    pushed_bytes_.fetch_add(batch_bytes, std::memory_order_relaxed);
+    traces_received_.fetch_add(n, std::memory_order_relaxed);
   }
-  pushed_bytes_.fetch_add(batch_bytes, std::memory_order_relaxed);
-  traces_received_.fetch_add(n, std::memory_order_relaxed);
+  const uint64_t total_received =
+      traces_received_.load(std::memory_order_relaxed);
+  if (durable_ && opts_.checkpoint_every_traces > 0 &&
+      total_received - traces_at_last_ckpt_.load(std::memory_order_relaxed) >=
+          opts_.checkpoint_every_traces) {
+    ckpt_thread_cv_.notify_one();
+  }
   const uint64_t session_total =
       session.traces_received.fetch_add(n, std::memory_order_relaxed) + n;
   if (m_traces_in_ != nullptr) m_traces_in_->Inc(n);
@@ -512,11 +603,15 @@ void VerifierServer::OnBug(const BugDescriptor& bug) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (TxnId txn : bug.txns) {
-      auto it = txn_session_.find(txn);
-      if (it == txn_session_.end()) continue;
-      if (std::find(targets.begin(), targets.end(), it->second) ==
+      auto it = txn_client_.find(txn);
+      if (it == txn_client_.end()) continue;
+      // A restored transaction's session died with the previous process;
+      // its client id then has no live session and the bug is unroutable.
+      auto sit = client_session_.find(it->second);
+      if (sit == client_session_.end()) continue;
+      if (std::find(targets.begin(), targets.end(), sit->second) ==
           targets.end()) {
-        targets.push_back(it->second);
+        targets.push_back(sit->second);
       }
     }
   }
@@ -627,6 +722,322 @@ void VerifierServer::StopDiagnoseWorker() {
   diag_thread_.join();
 }
 
+void VerifierServer::WalAddClient(ClientId client) {
+  if (!durable_) return;
+  std::lock_guard<std::mutex> lock(durable_mu_);
+  Status s = wal_.AppendAddClient(client);
+  if (s.ok()) s = wal_.Sync();
+  if (!s.ok()) {
+    if (m_wal_errors_ != nullptr) m_wal_errors_->Inc();
+    if (opts_.events != nullptr) {
+      opts_.events->Recordf(obs::EventSeverity::kError, "durable",
+                            "WAL client registration failed: %s",
+                            s.message().c_str());
+    }
+    return;
+  }
+  wal_next_seq_.store(wal_.next_seq(), std::memory_order_relaxed);
+  wal_segments_.store(wal_.segment_count(), std::memory_order_relaxed);
+  if (m_wal_appends_ != nullptr) m_wal_appends_->Inc();
+}
+
+Status VerifierServer::RecoverState(const OnlineVerifier::Options& vo) {
+  const uint64_t fingerprint = serde::ConfigFingerprint(config_);
+  uint64_t cut = 0;
+  uint32_t saved_slot = 0;
+  uint64_t saved_traces = 0;
+  std::unordered_map<TxnId, ClientId> saved_routes;
+  bool restored = false;
+
+  // Newest checkpoint first, older ones as fallback. Each attempt gets a
+  // fresh verifier: a LoadState that fails midway leaves its target
+  // half-overwritten, never to be reused.
+  auto candidates = ckpts_.List();
+  for (auto it = candidates.rbegin(); it != candidates.rend() && !restored;
+       ++it) {
+    auto loaded = durable::CheckpointStore::ReadCheckpoint(it->second);
+    if (!loaded.ok()) {
+      if (opts_.events != nullptr) {
+        opts_.events->Recordf(obs::EventSeverity::kWarn, "durable",
+                              "skipping checkpoint: %s",
+                              loaded.status().message().c_str());
+      }
+      continue;
+    }
+    // Config and shard-count mismatches are operator errors, not corruption:
+    // falling back to an older file would just fail the same way, and
+    // silently verifying under a different config would change verdicts.
+    if (loaded->meta.config_fingerprint != fingerprint) {
+      return Status::FailedPrecondition(
+          "checkpoint " + loaded->path +
+          " was written under a different verifier configuration");
+    }
+    if (loaded->meta.n_shards != opts_.n_shards) {
+      return Status::FailedPrecondition(
+          "checkpoint " + loaded->path + " was written with --shards=" +
+          std::to_string(loaded->meta.n_shards) + ", server is running " +
+          std::to_string(opts_.n_shards));
+    }
+    auto fresh = std::make_unique<OnlineVerifier>(1, config_, vo);
+    StateReader r(loaded->payload);
+    Status s;
+    uint32_t slot = 0;
+    uint64_t traces = 0;
+    uint32_t n_routes = 0;
+    std::unordered_map<TxnId, ClientId> routes;
+    if ((s = r.GetU32(slot)).ok() && (s = r.GetU64(traces)).ok() &&
+        (s = r.GetU32(n_routes)).ok()) {
+      if (!r.CountFits(n_routes, 12)) {
+        s = Status::InvalidArgument("server state: absurd route count");
+      }
+      routes.reserve(n_routes);
+      for (uint32_t i = 0; i < n_routes && s.ok(); ++i) {
+        uint64_t txn = 0;
+        uint32_t cl = 0;
+        if ((s = r.GetU64(txn)).ok() && (s = r.GetU32(cl)).ok()) {
+          routes.emplace(txn, cl);
+        }
+      }
+    }
+    if (s.ok()) s = fresh->LoadState(r);
+    if (!s.ok()) {
+      if (opts_.events != nullptr) {
+        opts_.events->Recordf(obs::EventSeverity::kWarn, "durable",
+                              "checkpoint %s unusable: %s",
+                              loaded->path.c_str(), s.message().c_str());
+      }
+      continue;  // the half-loaded verifier is discarded with `fresh`
+    }
+    online_ = std::move(fresh);
+    cut = loaded->meta.cut;
+    saved_slot = slot;
+    saved_traces = traces;
+    saved_routes = std::move(routes);
+    restored = true;
+  }
+  if (!restored) {
+    if (!candidates.empty() && opts_.events != nullptr) {
+      // Every checkpoint was unusable; the WAL-start guard below decides
+      // whether the surviving log still covers the whole history.
+      opts_.events->Recordf(obs::EventSeverity::kWarn, "durable",
+                            "no usable checkpoint; replaying the full WAL");
+    }
+    online_ = std::make_unique<OnlineVerifier>(1, config_, vo);
+    cut = 0;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    txn_client_ = std::move(saved_routes);
+  }
+
+  // Replay the log past the cut into the restored verifier. Registrations
+  // below the checkpoint's client count are already part of the restored
+  // state (the WAL write happens outside mu_, so an id can legitimately be
+  // in both); fresh ones must come back with exactly the logged id.
+  const uint32_t base = online_->client_count();
+  uint64_t replayed_traces = 0;
+  durable::WalReplayStats stats;
+  Status s = durable::WalReplay(
+      opts_.state_dir, cut,
+      [&](const durable::WalEntry& entry) -> Status {
+        if (entry.kind == durable::WalEntry::Kind::kAddClient) {
+          if (entry.client < base) return Status::Ok();
+          auto added = online_->AddClient();
+          if (!added.ok()) return added.status();
+          if (added->id != entry.client) {
+            return Status::Internal(
+                "WAL replay client id mismatch: log says " +
+                std::to_string(entry.client) + ", verifier assigned " +
+                std::to_string(added->id));
+          }
+          return Status::Ok();
+        }
+        online_->Push(entry.trace.client, entry.trace);
+        ++replayed_traces;
+        return Status::Ok();
+      },
+      &stats);
+  if (!s.ok()) return s;
+
+  recovery_.resumed = restored || stats.segments_read > 0;
+  recovery_.checkpoint_cut = cut;
+  recovery_.entries_replayed = stats.entries_replayed;
+  recovery_.entries_skipped = stats.entries_skipped;
+  recovery_.torn_bytes = stats.torn_bytes;
+
+  if (recovery_.resumed) {
+    // Every restored client belonged to a session that died with the old
+    // process; close them all (the gate included) so the run can finish.
+    // New sessions register fresh streams — the verifier stays dynamic.
+    const uint32_t total = online_->client_count();
+    for (ClientId c = 0; c < total; ++c) online_->Close(c);
+    gate_closed_ = true;
+    next_stream_slot_ = std::max(total > 0 ? total - 1 : 0, saved_slot);
+    traces_received_.store(saved_traces + replayed_traces,
+                           std::memory_order_relaxed);
+    // Re-seed backpressure accounting: in-flight = pushed - verified must
+    // equal what the pipeline actually buffers after the replay.
+    pushed_bytes_.store(
+        online_->verified_bytes() + online_->ApproxBufferedBytes(),
+        std::memory_order_relaxed);
+  } else if (opts_.expected_sessions == 0) {
+    online_->Close(gate_client_);
+    gate_closed_ = true;
+  }
+
+  durable::WalWriter::Options wo;
+  wo.segment_bytes = opts_.wal_segment_bytes;
+  s = wal_.Open(opts_.state_dir, stats.next_seq, wo);
+  if (!s.ok()) return s;
+  last_ckpt_cut_ = cut;
+  traces_at_last_ckpt_.store(traces_received_.load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+  wal_next_seq_.store(wal_.next_seq(), std::memory_order_relaxed);
+  wal_segments_.store(wal_.segment_count(), std::memory_order_relaxed);
+  if (m_wal_segments_g_ != nullptr) {
+    m_wal_segments_g_->Set(static_cast<int64_t>(wal_.segment_count()));
+  }
+  if (opts_.events != nullptr && recovery_.resumed) {
+    opts_.events->Recordf(
+        obs::EventSeverity::kInfo, "durable",
+        "resumed from %s cut %llu: %llu WAL entries replayed, %llu skipped, "
+        "%llu torn bytes truncated",
+        restored ? "checkpoint" : "empty state (WAL only),",
+        static_cast<unsigned long long>(cut),
+        static_cast<unsigned long long>(stats.entries_replayed),
+        static_cast<unsigned long long>(stats.entries_skipped),
+        static_cast<unsigned long long>(stats.torn_bytes));
+  }
+  return Status::Ok();
+}
+
+Status VerifierServer::TriggerCheckpoint() {
+  if (!durable_) {
+    return Status::FailedPrecondition("server has no state dir");
+  }
+  return DoCheckpoint();
+}
+
+Status VerifierServer::DoCheckpoint() {
+  std::lock_guard<std::mutex> durable_lock(durable_mu_);
+  const uint64_t start_ns = obs::NowNs();
+  // Rotate first: the cut then sits on a segment boundary, so every fully
+  // pre-cut segment is garbage-collectable the moment the checkpoint lands.
+  Status s = wal_.Rotate();
+  if (!s.ok()) {
+    if (m_checkpoint_errors_ != nullptr) m_checkpoint_errors_->Inc();
+    return s;
+  }
+  const uint64_t cut = wal_.next_seq();
+  if (checkpoints_written_.load(std::memory_order_relaxed) > 0 &&
+      cut == last_ckpt_cut_) {
+    return Status::Ok();  // nothing accepted since the last checkpoint
+  }
+  std::string payload;
+  StateWriter w(payload);
+  uint64_t traces_at_cut = 0;
+  {
+    // Server section first. durable_mu_ -> mu_ is the sanctioned order;
+    // released before SaveState, which must be free to wait on a dispatcher
+    // that may itself be blocked on mu_ inside OnBug.
+    std::lock_guard<std::mutex> lock(mu_);
+    traces_at_cut = traces_received_.load(std::memory_order_relaxed);
+    w.PutU32(next_stream_slot_);
+    w.PutU64(traces_at_cut);
+    w.PutU32(static_cast<uint32_t>(txn_client_.size()));
+    for (const auto& [txn, cl] : txn_client_) {
+      w.PutU64(txn);
+      w.PutU32(cl);
+    }
+  }
+  s = online_->SaveState(w);
+  if (!s.ok()) {
+    if (m_checkpoint_errors_ != nullptr) m_checkpoint_errors_->Inc();
+    return s;
+  }
+  durable::CheckpointStore::Meta meta;
+  meta.cut = cut;
+  meta.config_fingerprint = serde::ConfigFingerprint(config_);
+  meta.n_shards = opts_.n_shards;
+  s = ckpts_.Write(meta, payload);
+  if (!s.ok()) {
+    if (m_checkpoint_errors_ != nullptr) m_checkpoint_errors_->Inc();
+    if (opts_.events != nullptr) {
+      opts_.events->Recordf(obs::EventSeverity::kError, "durable",
+                            "checkpoint write failed: %s",
+                            s.message().c_str());
+    }
+    return s;
+  }
+  // GC below the *previous* cut, not this one: the store retains two
+  // checkpoints, and falling back to the older needs the WAL from its cut
+  // forward. Segments below the previous cut predate every retained
+  // checkpoint and are truly dead.
+  wal_.RemoveSegmentsBelow(last_ckpt_cut_);
+  last_ckpt_cut_ = cut;
+  last_ckpt_ns_.store(obs::NowNs(), std::memory_order_relaxed);
+  traces_at_last_ckpt_.store(traces_at_cut, std::memory_order_relaxed);
+  checkpoints_written_.fetch_add(1, std::memory_order_relaxed);
+  wal_segments_.store(wal_.segment_count(), std::memory_order_relaxed);
+  wal_next_seq_.store(wal_.next_seq(), std::memory_order_relaxed);
+  if (m_checkpoints_ != nullptr) m_checkpoints_->Inc();
+  if (m_wal_segments_g_ != nullptr) {
+    m_wal_segments_g_->Set(static_cast<int64_t>(wal_.segment_count()));
+  }
+  if (m_ckpt_ns_ != nullptr) m_ckpt_ns_->Record(obs::NowNs() - start_ns);
+  if (opts_.events != nullptr) {
+    opts_.events->Recordf(
+        obs::EventSeverity::kInfo, "durable",
+        "checkpoint at cut %llu (%llu bytes, %llu ms)",
+        static_cast<unsigned long long>(cut),
+        static_cast<unsigned long long>(payload.size()),
+        static_cast<unsigned long long>((obs::NowNs() - start_ns) /
+                                        1000000ull));
+  }
+  return Status::Ok();
+}
+
+void VerifierServer::CheckpointLoop() {
+  obs::Watchdog::Slot* wd =
+      opts_.watchdog != nullptr ? opts_.watchdog->Register("durable.checkpointer")
+                                : nullptr;
+  std::unique_lock<std::mutex> lock(ckpt_thread_mu_);
+  while (!ckpt_stop_) {
+    if (wd != nullptr) wd->Suspend();
+    ckpt_thread_cv_.wait_for(
+        lock, std::chrono::milliseconds(opts_.checkpoint_interval_ms),
+        [this] {
+          return ckpt_stop_ ||
+                 (opts_.checkpoint_every_traces > 0 &&
+                  traces_received_.load(std::memory_order_relaxed) -
+                          traces_at_last_ckpt_.load(
+                              std::memory_order_relaxed) >=
+                      opts_.checkpoint_every_traces);
+        });
+    if (wd != nullptr) wd->Resume();
+    if (ckpt_stop_) break;
+    lock.unlock();
+    if (wd != nullptr) wd->Beat();
+    Status s = DoCheckpoint();
+    // FailedPrecondition means the verifier is already draining — the final
+    // report supersedes any further checkpoint; everything else is logged
+    // inside DoCheckpoint and retried next tick.
+    (void)s;
+    lock.lock();
+  }
+  if (opts_.watchdog != nullptr) opts_.watchdog->Retire(wd);
+}
+
+void VerifierServer::StopCheckpointWorker() {
+  if (!ckpt_thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(ckpt_thread_mu_);
+    ckpt_stop_ = true;
+  }
+  ckpt_thread_cv_.notify_all();
+  ckpt_thread_.join();
+}
+
 void VerifierServer::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -645,6 +1056,14 @@ VerifierServer::StatusSnapshot VerifierServer::GetStatus() const {
   const uint64_t verified =
       online_ != nullptr ? online_->verified_bytes() : pushed;
   s.inflight_bytes = pushed > verified ? pushed - verified : 0;
+  s.durable = durable_;
+  if (durable_) {
+    s.checkpoints_written = checkpoints_written_.load(std::memory_order_relaxed);
+    const uint64_t last = last_ckpt_ns_.load(std::memory_order_relaxed);
+    s.checkpoint_age_ms = last != 0 ? (obs::NowNs() - last) / 1000000ull : 0;
+    s.wal_segments = wal_segments_.load(std::memory_order_relaxed);
+    s.wal_next_seq = wal_next_seq_.load(std::memory_order_relaxed);
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     s.sessions_handshaken = sessions_handshaken_;
@@ -682,6 +1101,9 @@ const VerifyReport& VerifierServer::WaitReport() {
   accepting_.store(false, std::memory_order_release);
   if (accept_thread_.joinable()) accept_thread_.join();
   listener_.Close();
+  // Stop checkpointing before the final drain: from here on the verifier
+  // heads for its report, which supersedes any checkpoint.
+  StopCheckpointWorker();
   std::vector<Session*> sessions;
   {
     std::lock_guard<std::mutex> lock(mu_);

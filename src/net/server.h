@@ -13,6 +13,8 @@
 
 #include "common/status.h"
 #include "diagnose/witness.h"
+#include "durable/checkpoint.h"
+#include "durable/wal.h"
 #include "harness/online_verifier.h"
 #include "net/socket.h"
 #include "net/wire.h"
@@ -97,6 +99,21 @@ class VerifierServer {
     /// Distinct (bug type, key) diagnoses to run before ignoring further
     /// violations (bounds worker time on pathological histories).
     uint32_t max_diagnoses = 4;
+    /// Durable state directory (src/durable). Non-empty enables the
+    /// write-ahead trace log + periodic checkpoints: every accepted batch
+    /// is logged before it reaches the verifier, and on restart the server
+    /// loads the newest checkpoint, replays the log past its cut and
+    /// resumes with identical verdicts. Empty = in-memory only (a crash
+    /// loses the run), exactly the pre-durability behavior.
+    std::string state_dir;
+    /// Checkpoint cadence; 0 disables the periodic checkpointer (WAL-only
+    /// durability — recovery then replays the whole log).
+    uint64_t checkpoint_interval_ms = 10000;
+    /// Also checkpoint after this many newly accepted traces (0 = only the
+    /// timer). Whichever fires first wins; the other resets.
+    uint64_t checkpoint_every_traces = 0;
+    /// WAL segment size before seal + rotate.
+    size_t wal_segment_bytes = 64u << 20;
   };
 
   VerifierServer(const VerifierConfig& config, const Options& options);
@@ -147,8 +164,30 @@ class VerifierServer {
     uint32_t diagnoses_queued = 0;
     uint32_t diagnoses_done = 0;
     bool draining = false;
+    // Durability (all zero without Options::state_dir).
+    bool durable = false;
+    uint64_t checkpoints_written = 0;
+    uint64_t checkpoint_age_ms = 0;  // since the last checkpoint; 0 = never
+    uint64_t wal_segments = 0;
+    uint64_t wal_next_seq = 0;
   };
   StatusSnapshot GetStatus() const;
+
+  /// Takes a checkpoint now (durable mode only): rotates the WAL so the cut
+  /// lands on a segment boundary, serializes the full verifier state at a
+  /// quiescent point and garbage-collects fully-covered WAL segments.
+  /// Also what the periodic checkpointer calls. Safe from any thread.
+  Status TriggerCheckpoint();
+
+  /// Recovery outcome of Start() (durable mode; zeros on a fresh dir).
+  struct RecoveryInfo {
+    bool resumed = false;           // a checkpoint or WAL entries were found
+    uint64_t checkpoint_cut = 0;    // 0 = no checkpoint, full-log replay
+    uint64_t entries_replayed = 0;  // WAL entries applied past the cut
+    uint64_t entries_skipped = 0;   // WAL entries already in the checkpoint
+    uint64_t torn_bytes = 0;        // truncated torn tail, if any
+  };
+  const RecoveryInfo& recovery() const { return recovery_; }
 
  private:
   struct Session {
@@ -199,6 +238,18 @@ class VerifierServer {
   void DiagnoseLoop();
   /// Joins the diagnosis worker after draining its queue.
   void StopDiagnoseWorker();
+  /// Durable mode (Options::state_dir). RecoverState rebuilds the verifier
+  /// from the newest loadable checkpoint + WAL replay and opens the log for
+  /// appending; called from Start() before any session is accepted.
+  Status RecoverState(const OnlineVerifier::Options& vo);
+  /// Appends a client registration to the WAL (no-op when not durable).
+  /// Takes durable_mu_ — never call with mu_ held.
+  void WalAddClient(ClientId client);
+  /// The checkpoint implementation behind TriggerCheckpoint().
+  Status DoCheckpoint();
+  /// Periodic checkpointer thread (durable mode with a nonzero interval).
+  void CheckpointLoop();
+  void StopCheckpointWorker();
 
   VerifierConfig config_;
   Options opts_;
@@ -209,10 +260,16 @@ class VerifierServer {
   std::unique_ptr<OnlineVerifier> online_;
   ClientId gate_client_ = 0;
 
-  mutable std::mutex mu_;  // sessions_, txn_session_, allocation, lifecycle
+  mutable std::mutex mu_;  // sessions_, routing maps, allocation, lifecycle
   std::condition_variable drain_cv_;
   std::vector<std::unique_ptr<Session>> sessions_;
-  std::unordered_map<TxnId, Session*> txn_session_;
+  /// Violation routing, split so it survives a restart: txn -> verifier
+  /// client id is durable (checkpointed and rebuilt by WAL replay), while
+  /// client id -> live session is ephemeral and rebuilt per handshake. A
+  /// restored txn whose session died with the old process simply has no
+  /// client_session_ entry (counted net.violations_unroutable).
+  std::unordered_map<TxnId, ClientId> txn_client_;
+  std::unordered_map<ClientId, Session*> client_session_;
   uint32_t next_stream_slot_ = 0;  // streams allocated (excluding the gate)
   uint32_t sessions_handshaken_ = 0;
   bool gate_closed_ = false;
@@ -224,6 +281,26 @@ class VerifierServer {
   std::atomic<uint32_t> sessions_completed_{0};
   std::thread accept_thread_;
   VerifyReport report_;
+
+  // Durability (Options::state_dir). durable_mu_ orders WAL appends against
+  // checkpoint cuts: HandleBatch holds it across {append, sync, push}, the
+  // checkpointer across {rotate, read cut, serialize}. Lock order is
+  // durable_mu_ -> mu_; no path may take durable_mu_ while holding mu_.
+  bool durable_ = false;  // set once in Start(), before any thread
+  mutable std::mutex durable_mu_;
+  durable::WalWriter wal_;             // guarded by durable_mu_
+  durable::CheckpointStore ckpts_;     // written under durable_mu_
+  RecoveryInfo recovery_;              // written once in Start()
+  uint64_t last_ckpt_cut_ = 0;         // guarded by durable_mu_
+  std::atomic<uint64_t> last_ckpt_ns_{0};
+  std::atomic<uint64_t> checkpoints_written_{0};
+  std::atomic<uint64_t> wal_segments_{0};  // mirror for /statusz
+  std::atomic<uint64_t> wal_next_seq_{0};  // mirror for /statusz
+  std::atomic<uint64_t> traces_at_last_ckpt_{0};
+  std::mutex ckpt_thread_mu_;
+  std::condition_variable ckpt_thread_cv_;
+  bool ckpt_stop_ = false;  // guarded by ckpt_thread_mu_
+  std::thread ckpt_thread_;
 
   // Background diagnosis (Options::diagnose).
   mutable std::mutex diag_mu_;  // recorded_, diag_queue_, diagnoses_, diag_stop_
@@ -249,11 +326,19 @@ class VerifierServer {
   obs::Counter* m_violations_sent_ = nullptr;
   obs::Counter* m_violations_unroutable_ = nullptr;
   obs::Counter* m_report_send_errors_ = nullptr;
+  obs::Counter* m_clock_skew_ = nullptr;
+  obs::Counter* m_wal_appends_ = nullptr;
+  obs::Counter* m_wal_bytes_ = nullptr;
+  obs::Counter* m_wal_errors_ = nullptr;
+  obs::Counter* m_checkpoints_ = nullptr;
+  obs::Counter* m_checkpoint_errors_ = nullptr;
+  obs::Gauge* m_wal_segments_g_ = nullptr;
   obs::Gauge* m_active_ = nullptr;
   obs::Gauge* m_inflight_ = nullptr;
   obs::Histogram* m_report_latency_ = nullptr;
   obs::Histogram* m_stage_ingest_ = nullptr;  // client stamp -> server read
   obs::Histogram* m_stage_report_ = nullptr;  // server read -> bug reported
+  obs::Histogram* m_ckpt_ns_ = nullptr;       // checkpoint wall time
 };
 
 }  // namespace net

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "obs/span.h"
+#include "trace/trace_io.h"
 
 namespace leopard {
 
@@ -159,6 +160,90 @@ std::optional<Trace> TwoLevelPipeline::Dispatch() {
     }
     NoteBuffered();
   }
+}
+
+void TwoLevelPipeline::SaveState(StateWriter& w) const {
+  w.PutU64(watermark_);
+  w.PutU64(max_dispatched_);
+  w.PutU64(stats_.dispatched);
+  w.PutU64(stats_.rounds);
+  w.PutU64(stats_.max_global_heap);
+  w.PutU64(stats_.max_global_bytes);
+  w.PutU64(stats_.max_buffered);
+  w.PutU64(stats_.max_buffered_bytes);
+  w.PutU32(static_cast<uint32_t>(locals_.size()));
+  for (size_t i = 0; i < locals_.size(); ++i) {
+    w.PutBool(closed_[i]);
+    w.PutU64(last_pushed_[i]);
+    w.PutU32(static_cast<uint32_t>(locals_[i].size()));
+    for (const Trace& t : locals_[i]) AppendTraceRecord(w.raw(), t);
+  }
+  auto heap = global_;  // priority_queue hides its container: drain a copy
+  w.PutU32(static_cast<uint32_t>(heap.size()));
+  while (!heap.empty()) {
+    AppendTraceRecord(w.raw(), heap.top());
+    heap.pop();
+  }
+}
+
+Status TwoLevelPipeline::LoadState(StateReader& r) {
+  Status s;
+  if (!(s = r.GetU64(watermark_)).ok()) return s;
+  if (!(s = r.GetU64(max_dispatched_)).ok()) return s;
+  uint64_t u = 0;
+  for (uint64_t* f :
+       {&stats_.dispatched, &stats_.rounds}) {
+    if (!(s = r.GetU64(*f)).ok()) return s;
+  }
+  for (size_t* f : {&stats_.max_global_heap, &stats_.max_global_bytes,
+                    &stats_.max_buffered, &stats_.max_buffered_bytes}) {
+    if (!(s = r.GetU64(u)).ok()) return s;
+    *f = static_cast<size_t>(u);
+  }
+  uint32_t n_clients = 0;
+  if (!(s = r.GetU32(n_clients)).ok()) return s;
+  if (!r.CountFits(n_clients, 1 + 8 + 4)) {
+    return Status::InvalidArgument("pipeline state: absurd client count");
+  }
+  locals_.assign(n_clients, {});
+  closed_.assign(n_clients, false);
+  last_pushed_.assign(n_clients, 0);
+  while (!global_.empty()) global_.pop();
+  buffered_traces_ = 0;
+  buffered_bytes_ = 0;
+  heap_bytes_ = 0;
+  for (uint32_t i = 0; i < n_clients; ++i) {
+    bool closed = false;
+    if (!(s = r.GetBool(closed)).ok()) return s;
+    closed_[i] = closed;
+    if (!(s = r.GetU64(last_pushed_[i])).ok()) return s;
+    uint32_t n = 0;
+    if (!(s = r.GetU32(n)).ok()) return s;
+    for (uint32_t j = 0; j < n; ++j) {
+      Trace t;
+      size_t pos = r.pos();
+      if (!(s = DecodeTraceRecord(r.raw(), pos, t)).ok()) return s;
+      r.set_pos(pos);
+      ++buffered_traces_;
+      buffered_bytes_ += t.ApproxBytes();
+      locals_[i].push_back(std::move(t));
+    }
+  }
+  uint32_t n_heap = 0;
+  if (!(s = r.GetU32(n_heap)).ok()) return s;
+  for (uint32_t j = 0; j < n_heap; ++j) {
+    Trace t;
+    size_t pos = r.pos();
+    if (!(s = DecodeTraceRecord(r.raw(), pos, t)).ok()) return s;
+    r.set_pos(pos);
+    ++buffered_traces_;
+    const size_t bytes = t.ApproxBytes();
+    buffered_bytes_ += bytes;
+    heap_bytes_ += bytes;
+    global_.push(std::move(t));
+  }
+  NoteBuffered();
+  return Status::Ok();
 }
 
 bool TwoLevelPipeline::Exhausted() const {

@@ -7,6 +7,7 @@
 #include <queue>
 #include <vector>
 
+#include "common/state_codec.h"
 #include "obs/registry.h"
 #include "trace/trace.h"
 
@@ -82,6 +83,17 @@ class TwoLevelPipeline {
 
   const Stats& stats() const { return stats_; }
   Timestamp watermark() const { return watermark_; }
+  /// Approximate bytes of all buffered (undispatched) traces, heap + locals.
+  /// The durable server uses it to re-seed ingress backpressure accounting
+  /// after a resume.
+  size_t buffered_bytes() const { return buffered_bytes_; }
+
+  /// Checkpoint hooks (src/durable): serialize / restore the whole buffer
+  /// state — local queues, closed flags, per-client floors, the global heap
+  /// and the watermark/floor/byte accounting. Buffered traces are encoded
+  /// with the trace_io record codec, same as the WAL.
+  void SaveState(StateWriter& w) const;
+  Status LoadState(StateReader& r);
 
   /// Attaches observability: a pipeline.dispatch_ns histogram (time per
   /// successful Dispatch call, including fetch rounds), a

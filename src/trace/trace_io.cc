@@ -200,6 +200,12 @@ std::string EncodeTraces(const std::vector<Trace>& traces) {
 
 StatusOr<std::vector<Trace>> DecodeTraces(const std::string& bytes,
                                           bool* had_crc) {
+  return DecodeTraces(bytes, DecodeOptions{}, had_crc);
+}
+
+StatusOr<std::vector<Trace>> DecodeTraces(const std::string& bytes,
+                                          const DecodeOptions& options,
+                                          bool* had_crc) {
   if (had_crc != nullptr) *had_crc = false;
   if (bytes.size() < sizeof(kMagic) ||
       std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
@@ -208,9 +214,21 @@ StatusOr<std::vector<Trace>> DecodeTraces(const std::string& bytes,
   size_t pos = sizeof(kMagic);
   std::vector<Trace> out;
   while (pos < bytes.size()) {
-    if (bytes.size() - pos == kCrcFooterBytes &&
-        std::memcmp(bytes.data() + pos, kCrcSentinel,
-                    sizeof(kCrcSentinel)) == 0) {
+    const size_t left = bytes.size() - pos;
+    if (static_cast<uint8_t>(bytes[pos]) == 0xFF) {
+      // 0xFF can only start the footer sentinel (op codes are <= 3), so
+      // anything other than a complete, matching footer here is a file cut
+      // mid-footer — integrity is unverifiable, never "legacy".
+      if (left < kCrcFooterBytes ||
+          std::memcmp(bytes.data() + pos, kCrcSentinel,
+                      sizeof(kCrcSentinel)) != 0) {
+        return Status::InvalidArgument(
+            "truncated integrity footer (partial CRC sentinel at byte " +
+            std::to_string(pos) + ")");
+      }
+      if (left > kCrcFooterBytes) {
+        return Status::InvalidArgument("bytes after integrity footer");
+      }
       uint32_t stored = 0;
       for (int i = 0; i < 4; ++i) {
         stored |= static_cast<uint32_t>(static_cast<uint8_t>(
@@ -232,6 +250,12 @@ StatusOr<std::vector<Trace>> DecodeTraces(const std::string& bytes,
           " at byte " + std::to_string(pos) + ")");
     }
     out.push_back(std::move(t));
+  }
+  if (options.require_crc) {
+    // A WAL/checkpoint stream always ends in a footer; its absence means
+    // the tail was sliced off exactly at a record boundary.
+    return Status::InvalidArgument(
+        "missing integrity footer (file truncated at a record boundary?)");
   }
   return out;  // legacy file: no footer, nothing to verify
 }

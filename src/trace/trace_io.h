@@ -38,7 +38,19 @@ StatusOr<std::vector<Trace>> ReadTraceFile(const std::string& path);
 /// EncodeTraces appends the CRC32 footer; DecodeTraces verifies it when
 /// present (sets *had_crc accordingly) and fails on a mismatch.
 std::string EncodeTraces(const std::vector<Trace>& traces);
+
+struct DecodeOptions {
+  /// Reject a stream with no (or a truncated) CRC32 footer instead of
+  /// treating it as a pre-CRC legacy file. Durable readers (WAL segments,
+  /// checkpoint sections) set this: for them a missing footer means the
+  /// file was truncated past a record boundary, not written by an old tool.
+  bool require_crc = false;
+};
+
 StatusOr<std::vector<Trace>> DecodeTraces(const std::string& bytes,
+                                          bool* had_crc = nullptr);
+StatusOr<std::vector<Trace>> DecodeTraces(const std::string& bytes,
+                                          const DecodeOptions& options,
                                           bool* had_crc = nullptr);
 
 /// CRC32 (reflected, poly 0xEDB88320) used by the trace-file footer.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "verifier/state_serde.h"
+
 namespace leopard {
 
 const char* DepTypeName(DepType type) {
@@ -400,6 +402,90 @@ size_t DependencyGraph::PruneGarbage(Timestamp safe_ts) {
   }
   min_end_aft_ = new_watermark;
   return pruned;
+}
+
+void DependencyGraph::SaveState(StateWriter& w) const {
+  w.PutU64(static_cast<uint64_t>(edge_count_));
+  w.PutI64(next_ord_);
+  w.PutU64(min_end_aft_);
+  w.PutU32(static_cast<uint32_t>(nodes_.size()));
+  for (const auto& slot : nodes_) {
+    const Node& node = slot.second;
+    w.PutU64(node.id);
+    serde::SaveInterval(w, node.info.first_op);
+    serde::SaveInterval(w, node.info.end);
+    w.PutU32(static_cast<uint32_t>(node.out.size()));
+    for (const Edge& e : node.out) {
+      w.PutU64(e.to);
+      w.PutU8(static_cast<uint8_t>(e.type));
+    }
+    serde::SaveIdVector(w, node.in);
+    w.PutU32(node.in_degree);
+    w.PutI64(node.ord);
+    serde::SaveIdVector(w, node.rw_in);
+    serde::SaveIdVector(w, node.rw_out);
+  }
+}
+
+Status DependencyGraph::LoadState(StateReader& r) {
+  nodes_.clear();
+  edge_count_ = 0;
+  next_ord_ = 0;
+  epoch_ = 0;
+  min_end_aft_ = kMaxTimestamp;
+  uint64_t edge_count = 0;
+  Status s = r.GetU64(edge_count);
+  if (!s.ok()) return s;
+  if (!(s = r.GetI64(next_ord_)).ok()) return s;
+  if (!(s = r.GetU64(min_end_aft_)).ok()) return s;
+  uint32_t n_nodes = 0;
+  if (!(s = r.GetU32(n_nodes)).ok()) return s;
+  if (!r.CountFits(n_nodes, 8 + 16 + 16 + 4 + 4 + 4 + 8 + 4 + 4)) {
+    return Status::InvalidArgument("dependency graph: absurd node count");
+  }
+  for (uint32_t i = 0; i < n_nodes; ++i) {
+    TxnId id = 0;
+    if (!(s = r.GetU64(id)).ok()) return s;
+    auto [it, inserted] = nodes_.try_emplace(id);
+    if (!inserted) {
+      return Status::InvalidArgument("dependency graph: duplicate node");
+    }
+    Node& node = it->second;
+    node.id = id;
+    if (!(s = serde::LoadInterval(r, node.info.first_op)).ok()) return s;
+    if (!(s = serde::LoadInterval(r, node.info.end)).ok()) return s;
+    uint32_t n_out = 0;
+    if (!(s = r.GetU32(n_out)).ok()) return s;
+    if (!r.CountFits(n_out, 9)) {
+      return Status::InvalidArgument("dependency graph: absurd out-degree");
+    }
+    node.out.reserve(n_out);
+    for (uint32_t e = 0; e < n_out; ++e) {
+      Edge edge;
+      uint8_t dep = 0;
+      if (!(s = r.GetU64(edge.to)).ok()) return s;
+      if (!(s = r.GetU8(dep)).ok()) return s;
+      edge.type = static_cast<DepType>(dep);
+      node.out.push_back(edge);
+    }
+    if (!(s = serde::LoadIdVector(r, node.in)).ok()) return s;
+    if (!(s = r.GetU32(node.in_degree)).ok()) return s;
+    if (!(s = r.GetI64(node.ord)).ok()) return s;
+    if (!(s = serde::LoadIdVector(r, node.rw_in)).ok()) return s;
+    if (!(s = serde::LoadIdVector(r, node.rw_out)).ok()) return s;
+    node.mark = 0;
+    // Rebuild the lazy duplicate-detection set for nodes past the threshold,
+    // exactly as AddEdge would have.
+    if (node.out.size() >= kDupSetThreshold) {
+      auto seen = std::make_unique<FlatHashMap<TxnId, uint8_t>>();
+      for (const Edge& e : node.out) {
+        (*seen)[e.to] |= static_cast<uint8_t>(1u << static_cast<int>(e.type));
+      }
+      node.out_seen = std::move(seen);
+    }
+  }
+  edge_count_ = static_cast<size_t>(edge_count);
+  return Status::Ok();
 }
 
 size_t DependencyGraph::ApproxBytes() const {

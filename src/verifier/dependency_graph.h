@@ -11,6 +11,7 @@
 #include "common/interval.h"
 #include "common/slab_map.h"
 #include "common/small_vector.h"
+#include "common/state_codec.h"
 #include "trace/trace.h"
 #include "verifier/bug.h"
 #include "verifier/config.h"
@@ -86,6 +87,14 @@ class DependencyGraph {
   /// Early-outs without touching any node when the min end.aft watermark
   /// proves nothing is prunable. Returns the number of nodes removed.
   size_t PruneGarbage(Timestamp safe_ts);
+
+  /// Checkpoint hooks (src/durable): serializes every node with its
+  /// adjacency, in-degree and Pearce–Kelly `ord`, plus the edge count and
+  /// the ord/min-end watermarks. Search scratch (epoch marks, stacks) is
+  /// deliberately not persisted — LoadState resets it, and the lazy
+  /// duplicate-detection sets are rebuilt for high-degree nodes.
+  void SaveState(StateWriter& w) const;
+  Status LoadState(StateReader& r);
 
   size_t NodeCount() const { return nodes_.size(); }
   size_t EdgeCount() const { return edge_count_; }

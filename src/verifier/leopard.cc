@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "obs/span.h"
+#include "verifier/state_serde.h"
 
 namespace leopard {
 
@@ -424,6 +425,178 @@ void Leopard::MaybeGc() {
   if (config_.check_sc) {
     stats_.pruned_txns += graph_.PruneGarbage(safe);
   }
+}
+
+void Leopard::SaveState(StateWriter& w) const {
+  w.PutU64(frontier_);
+  w.PutU64(safe_ts_bound_);
+  w.PutU64(traces_since_gc_);
+  versions_.SaveState(w);
+  locks_.SaveState(w);
+  graph_.SaveState(w);
+
+  w.PutU32(static_cast<uint32_t>(txns_.size()));
+  for (const auto& [id, t] : txns_) {
+    w.PutU64(id);
+    w.PutU8(static_cast<uint8_t>(t.status));
+    w.PutBool(t.has_first_op);
+    serde::SaveInterval(w, t.first_op);
+    serde::SaveInterval(w, t.end);
+    serde::SaveIdVector(w, t.write_keys);
+    serde::SaveIdVector(w, t.read_keys);
+    w.PutU32(static_cast<uint32_t>(t.own_writes.size()));
+    for (const auto& [k, v] : t.own_writes) {
+      w.PutU64(k);
+      w.PutU64(v);
+    }
+    w.PutU32(static_cast<uint32_t>(t.pending.size()));
+    for (const PendingEdge& e : t.pending) {
+      w.PutU64(e.from);
+      w.PutU64(e.to);
+      w.PutU8(static_cast<uint8_t>(e.type));
+    }
+  }
+
+  // priority_queue hides its container: drain a copy. Heap order is a valid
+  // serialization order — LoadState re-pushes and rebuilds the same heap.
+  auto parked = pending_reads_;
+  w.PutU32(static_cast<uint32_t>(parked.size()));
+  while (!parked.empty()) {
+    const PendingRead& pr = parked.top();
+    w.PutU64(pr.txn);
+    serde::SaveInterval(w, pr.snapshot);
+    serde::SaveInterval(w, pr.op_interval);
+    w.PutU32(static_cast<uint32_t>(pr.items.size()));
+    for (const ReadAccess& a : pr.items) {
+      w.PutU64(a.key);
+      w.PutU64(a.value);
+    }
+    w.PutU32(static_cast<uint32_t>(pr.absent_items.size()));
+    for (Key k : pr.absent_items) w.PutU64(k);
+    parked.pop();
+  }
+
+  w.PutU32(static_cast<uint32_t>(bugs_.size()));
+  for (const BugDescriptor& bug : bugs_) serde::SaveBug(w, bug);
+  serde::SaveStats(w, stats_);
+}
+
+Status Leopard::LoadState(StateReader& r) {
+  Status s;
+  if (!(s = r.GetU64(frontier_)).ok()) return s;
+  if (!(s = r.GetU64(safe_ts_bound_)).ok()) return s;
+  if (!(s = r.GetU64(traces_since_gc_)).ok()) return s;
+  if (!(s = versions_.LoadState(r)).ok()) return s;
+  if (!(s = locks_.LoadState(r)).ok()) return s;
+  if (!(s = graph_.LoadState(r)).ok()) return s;
+
+  txns_.clear();
+  uint32_t n_txns = 0;
+  if (!(s = r.GetU32(n_txns)).ok()) return s;
+  if (!r.CountFits(n_txns, 8 + 1 + 1 + 16 + 16 + 4 + 4 + 4 + 4)) {
+    return Status::InvalidArgument("leopard state: absurd txn count");
+  }
+  for (uint32_t i = 0; i < n_txns; ++i) {
+    TxnId id = 0;
+    if (!(s = r.GetU64(id)).ok()) return s;
+    auto [it, inserted] = txns_.try_emplace(id);
+    if (!inserted) {
+      return Status::InvalidArgument("leopard state: duplicate txn");
+    }
+    TxnState& t = it->second;
+    t.id = id;
+    uint8_t status = 0;
+    if (!(s = r.GetU8(status)).ok()) return s;
+    if (status > static_cast<uint8_t>(TxnStatus::kAborted)) {
+      return Status::InvalidArgument("leopard state: bad txn status");
+    }
+    t.status = static_cast<TxnStatus>(status);
+    if (!(s = r.GetBool(t.has_first_op)).ok()) return s;
+    if (!(s = serde::LoadInterval(r, t.first_op)).ok()) return s;
+    if (!(s = serde::LoadInterval(r, t.end)).ok()) return s;
+    if (!(s = serde::LoadIdVector(r, t.write_keys)).ok()) return s;
+    if (!(s = serde::LoadIdVector(r, t.read_keys)).ok()) return s;
+    uint32_t n = 0;
+    if (!(s = r.GetU32(n)).ok()) return s;
+    if (!r.CountFits(n, 16)) {
+      return Status::InvalidArgument("leopard state: absurd own-write count");
+    }
+    t.own_writes.reserve(n);
+    for (uint32_t j = 0; j < n; ++j) {
+      Key k = 0;
+      Value v = 0;
+      if (!(s = r.GetU64(k)).ok()) return s;
+      if (!(s = r.GetU64(v)).ok()) return s;
+      t.own_writes[k] = v;
+    }
+    if (!(s = r.GetU32(n)).ok()) return s;
+    if (!r.CountFits(n, 17)) {
+      return Status::InvalidArgument("leopard state: absurd parked-edge count");
+    }
+    t.pending.clear();
+    t.pending.reserve(n);
+    for (uint32_t j = 0; j < n; ++j) {
+      PendingEdge e;
+      uint8_t dep = 0;
+      if (!(s = r.GetU64(e.from)).ok()) return s;
+      if (!(s = r.GetU64(e.to)).ok()) return s;
+      if (!(s = r.GetU8(dep)).ok()) return s;
+      e.type = static_cast<DepType>(dep);
+      t.pending.push_back(e);
+    }
+  }
+
+  while (!pending_reads_.empty()) pending_reads_.pop();
+  uint32_t n_parked = 0;
+  if (!(s = r.GetU32(n_parked)).ok()) return s;
+  if (!r.CountFits(n_parked, 8 + 16 + 16 + 4 + 4)) {
+    return Status::InvalidArgument("leopard state: absurd parked-read count");
+  }
+  for (uint32_t i = 0; i < n_parked; ++i) {
+    PendingRead pr;
+    if (!(s = r.GetU64(pr.txn)).ok()) return s;
+    if (!(s = serde::LoadInterval(r, pr.snapshot)).ok()) return s;
+    if (!(s = serde::LoadInterval(r, pr.op_interval)).ok()) return s;
+    uint32_t n = 0;
+    if (!(s = r.GetU32(n)).ok()) return s;
+    if (!r.CountFits(n, 16)) {
+      return Status::InvalidArgument("leopard state: absurd read-item count");
+    }
+    pr.items.reserve(n);
+    for (uint32_t j = 0; j < n; ++j) {
+      ReadAccess a;
+      if (!(s = r.GetU64(a.key)).ok()) return s;
+      if (!(s = r.GetU64(a.value)).ok()) return s;
+      pr.items.push_back(a);
+    }
+    if (!(s = r.GetU32(n)).ok()) return s;
+    if (!r.CountFits(n, 8)) {
+      return Status::InvalidArgument("leopard state: absurd absent-item count");
+    }
+    pr.absent_items.reserve(n);
+    for (uint32_t j = 0; j < n; ++j) {
+      Key k = 0;
+      if (!(s = r.GetU64(k)).ok()) return s;
+      pr.absent_items.push_back(k);
+    }
+    pending_reads_.push(std::move(pr));
+  }
+
+  uint32_t n_bugs = 0;
+  if (!(s = r.GetU32(n_bugs)).ok()) return s;
+  if (!r.CountFits(n_bugs, 1 + 4 + 8 + 8 + 4 + 4 + 4)) {
+    return Status::InvalidArgument("leopard state: absurd bug count");
+  }
+  bugs_.clear();
+  bugs_.reserve(n_bugs);
+  for (uint32_t i = 0; i < n_bugs; ++i) {
+    BugDescriptor bug;
+    if (!(s = serde::LoadBug(r, bug)).ok()) return s;
+    bugs_.push_back(std::move(bug));
+  }
+  if (!(s = serde::LoadStats(r, stats_)).ok()) return s;
+  SyncStatsToMetrics();
+  return Status::Ok();
 }
 
 size_t Leopard::ApproxMemoryBytes() const {

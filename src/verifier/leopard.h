@@ -125,6 +125,16 @@ class Leopard {
   /// (no-op when detached). Process()/Finish() call this automatically.
   void SyncStatsToMetrics();
 
+  /// Checkpoint hooks (src/durable): serialize / restore the full mirrored
+  /// state — version order, lock table, dependency graph, live transactions
+  /// (including parked dependency edges), parked reads, frontier and GC
+  /// watermarks, accumulated bugs and stats. Call only at a quiescent point
+  /// (between Process() calls). LoadState requires an identically-configured
+  /// verifier (enforced one level up via serde::ConfigFingerprint) and does
+  /// not restore the edge sink or metric attachments — re-attach after.
+  void SaveState(StateWriter& w) const;
+  Status LoadState(StateReader& r);
+
   /// Approximate live memory of all mirrored structures (Figs. 10/14).
   size_t ApproxMemoryBytes() const;
 

@@ -1,5 +1,7 @@
 #include "verifier/lock_table.h"
 
+#include "verifier/state_serde.h"
+
 namespace leopard {
 
 void MirrorLockTable::NoteAcquire(Key key, TxnId txn, bool exclusive,
@@ -98,6 +100,67 @@ size_t MirrorLockTable::Prune(Timestamp safe_ts) {
     }
   }
   return removed;
+}
+
+void MirrorLockTable::SaveState(StateWriter& w) const {
+  w.PutU32(static_cast<uint32_t>(map_.size()));
+  for (const auto& [key, list] : map_) {
+    w.PutU64(key);
+    w.PutU32(static_cast<uint32_t>(list.size()));
+    for (const LockRec& rec : list) {
+      w.PutU64(rec.txn);
+      w.PutBool(rec.has_s);
+      w.PutBool(rec.has_x);
+      serde::SaveInterval(w, rec.s_acquire);
+      serde::SaveInterval(w, rec.x_acquire);
+      w.PutBool(rec.released);
+      w.PutBool(rec.committed);
+      serde::SaveInterval(w, rec.release);
+    }
+  }
+}
+
+Status MirrorLockTable::LoadState(StateReader& r) {
+  map_.clear();
+  released_keys_.clear();
+  list_heap_bytes_ = 0;
+  uint32_t n_keys = 0;
+  Status s = r.GetU32(n_keys);
+  if (!s.ok()) return s;
+  if (!r.CountFits(n_keys, 12)) {
+    return Status::InvalidArgument("lock table: absurd key count");
+  }
+  map_.reserve(n_keys);
+  for (uint32_t k = 0; k < n_keys; ++k) {
+    Key key = 0;
+    uint32_t n_recs = 0;
+    if (!(s = r.GetU64(key)).ok()) return s;
+    if (!(s = r.GetU32(n_recs)).ok()) return s;
+    if (!r.CountFits(n_recs, 8 + 2 + 16 + 16 + 2 + 16)) {
+      return Status::InvalidArgument("lock table: absurd record count");
+    }
+    auto& list = map_[key];
+    list.reserve(n_recs);
+    bool any_released = false;
+    for (uint32_t i = 0; i < n_recs; ++i) {
+      LockRec rec;
+      if (!(s = r.GetU64(rec.txn)).ok()) return s;
+      if (!(s = r.GetBool(rec.has_s)).ok()) return s;
+      if (!(s = r.GetBool(rec.has_x)).ok()) return s;
+      if (!(s = serde::LoadInterval(r, rec.s_acquire)).ok()) return s;
+      if (!(s = serde::LoadInterval(r, rec.x_acquire)).ok()) return s;
+      if (!(s = r.GetBool(rec.released)).ok()) return s;
+      if (!(s = r.GetBool(rec.committed)).ok()) return s;
+      if (!(s = serde::LoadInterval(r, rec.release)).ok()) return s;
+      any_released |= rec.released;
+      list.push_back(rec);
+    }
+    list_heap_bytes_ += list.capacity() * sizeof(LockRec);
+    // Conservative: any released record re-registers the key as a prune
+    // candidate; the next sweep settles it exactly as NoteRelease would.
+    if (any_released) released_keys_.try_emplace(key);
+  }
+  return Status::Ok();
 }
 
 size_t MirrorLockTable::RecordCount() const {

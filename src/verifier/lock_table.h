@@ -7,6 +7,7 @@
 
 #include "common/flat_hash_map.h"
 #include "common/interval.h"
+#include "common/state_codec.h"
 #include "trace/trace.h"
 
 namespace leopard {
@@ -78,6 +79,12 @@ class MirrorLockTable {
   /// still has an unreleased record keeps its whole history (a pending pair
   /// evaluation may need it). Returns records removed.
   size_t Prune(Timestamp safe_ts);
+
+  /// Checkpoint hooks (src/durable): serializes every lock list in full.
+  /// LoadState replaces the table's contents and rebuilds the derived state
+  /// (released-key set, heap-byte accounting) from the loaded lists.
+  void SaveState(StateWriter& w) const;
+  Status LoadState(StateReader& r);
 
   size_t KeyCount() const { return map_.size(); }
   size_t RecordCount() const;

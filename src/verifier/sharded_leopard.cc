@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cassert>
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -17,6 +19,7 @@
 #include "obs/metrics.h"
 #include "obs/watchdog.h"
 #include "verifier/dependency_graph.h"
+#include "verifier/state_serde.h"
 
 namespace leopard {
 namespace sharded_internal {
@@ -24,7 +27,7 @@ namespace sharded_internal {
 /// Router → shard worker. One queue per shard, produced only by the
 /// Process() caller, consumed only by the shard thread.
 struct ShardMsg {
-  enum class Kind : uint8_t { kTrace, kFinish };
+  enum class Kind : uint8_t { kTrace, kFinish, kBarrier };
   Kind kind = Kind::kTrace;
   /// Projection of the routed trace onto this shard's keys (terminals are
   /// broadcast whole — they carry no accesses).
@@ -53,7 +56,8 @@ struct ShardMsg {
 /// shard thread (edge sink + terminal/safe-ts forwarding), consumed only by
 /// the certifier thread.
 struct EdgeMsg {
-  enum class Kind : uint8_t { kEdge, kCommit, kAbort, kSafeTs, kDone };
+  enum class Kind : uint8_t { kEdge, kCommit, kAbort, kSafeTs, kDone,
+                              kBarrier };
   Kind kind = Kind::kEdge;
   TxnId from = 0;  ///< kEdge: source; kCommit/kAbort: the transaction
   TxnId to = 0;
@@ -283,7 +287,10 @@ struct ShardedLeopard::Impl {
               e.from = from;
               e.to = to;
               e.type = type;
-              out->Push(e);
+              // A failed push means the certifier poisoned the queue on its
+              // way out (error shutdown) — the edge is lost, but so is the
+              // run; never spin against a dead consumer.
+              (void)out->Push(e);
             });
       }
     }
@@ -400,7 +407,9 @@ struct ShardedLeopard::Impl {
                              static_cast<unsigned>(s));
       }
     }
-    q.Push(std::move(msg));
+    // false = the shard worker exited and poisoned its queue; the engine is
+    // shutting down and the message is moot.
+    (void)q.Push(std::move(msg));
   }
 
   void RouteWrite(const Trace& trace, TxnRoute& route) {
@@ -513,10 +522,28 @@ struct ShardedLeopard::Impl {
         if (out != nullptr) {
           EdgeMsg done;
           done.kind = EdgeMsg::Kind::kDone;
-          out->Push(done);
+          (void)out->Push(done);
         }
+        // Unblock a router that races a push against this exit.
+        shard.in.Poison();
         if (opts.watchdog != nullptr) opts.watchdog->Retire(wd);
         return;
+      }
+      if (msg.kind == ShardMsg::Kind::kBarrier) {
+        // Forward the barrier to the certifier *before* acking: once every
+        // shard has acked and the certifier has swallowed all n barriers,
+        // everything routed before the barrier has been fully applied.
+        if (out != nullptr) {
+          EdgeMsg b;
+          b.kind = EdgeMsg::Kind::kBarrier;
+          (void)out->Push(b);
+        }
+        {
+          std::lock_guard<std::mutex> lock(qz_mu);
+          ++qz_shard_acks;
+        }
+        qz_cv.notify_all();
+        continue;
       }
       RecordStageVerify(msg.trace.ingest_ns);
       if (msg.has_txn_begin) {
@@ -533,14 +560,14 @@ struct ShardedLeopard::Impl {
         e.first_op = msg.txn_first_op;
         e.end = msg.trace.interval;
         e.ingest_ns = msg.trace.ingest_ns;
-        out->Push(e);
+        (void)out->Push(e);
       }
       if (out != nullptr && ++shard.msgs_since_safe_ts >= opts.safe_ts_every) {
         shard.msgs_since_safe_ts = 0;
         EdgeMsg e;
         e.kind = EdgeMsg::Kind::kSafeTs;
         e.ts = shard.leopard->SafeTs();
-        out->Push(e);
+        (void)out->Push(e);
       }
     }
   }
@@ -552,6 +579,7 @@ struct ShardedLeopard::Impl {
                                   ? opts.watchdog->Register("sc.certifier")
                                   : nullptr;
     uint32_t done = 0;
+    uint32_t barriers = 0;
     uint64_t iters = 0;
     uint64_t commit_samples = 0;
     while (done < opts.n_shards) {
@@ -584,6 +612,21 @@ struct ShardedLeopard::Impl {
               ++done;
               budget = 0;
               break;
+            case EdgeMsg::Kind::kBarrier:
+              if (++barriers >= opts.n_shards) {
+                // Every shard's pre-barrier traffic is applied: park until
+                // the checkpointer releases the quiescent point.
+                barriers = 0;
+                std::unique_lock<std::mutex> lock(qz_mu);
+                qz_cert_paused = true;
+                qz_cv.notify_all();
+                if (wd != nullptr) wd->Suspend();
+                qz_cv.wait(lock, [this] { return !qz_active; });
+                if (wd != nullptr) wd->Resume();
+                qz_cert_paused = false;
+              }
+              budget = 0;
+              break;
           }
         }
       }
@@ -596,6 +639,9 @@ struct ShardedLeopard::Impl {
     // within the run — exactly the edges the single-threaded verifier also
     // leaves unapplied at Finish().
     SyncCertifierMetrics();
+    // Unblock any shard still pushing edges (it will observe the poison and
+    // drop instead of spinning against a consumer that is gone).
+    for (auto& shard : shards) shard->edges.Poison();
     if (opts.watchdog != nullptr) opts.watchdog->Retire(wd);
   }
 
@@ -609,6 +655,219 @@ struct ShardedLeopard::Impl {
       edge_depth_gauges[i]->Set(
           static_cast<int64_t>(shards[i]->edges.ApproxSize()));
     }
+  }
+
+  // ---- Quiesce (durable checkpoint safepoint) ----
+
+  void Quiesce() {
+    if (single != nullptr || finished) return;
+    {
+      std::lock_guard<std::mutex> lock(qz_mu);
+      qz_active = true;
+      qz_shard_acks = 0;
+    }
+    for (auto& shard : shards) {
+      ShardMsg msg;
+      msg.kind = ShardMsg::Kind::kBarrier;
+      (void)shard->in.Push(std::move(msg));
+    }
+    std::unique_lock<std::mutex> lock(qz_mu);
+    qz_cv.wait(lock, [this] {
+      return qz_shard_acks >= opts.n_shards &&
+             (certifier == nullptr || qz_cert_paused);
+    });
+    // The lock handoff from each worker's ack (and the certifier's pause)
+    // publishes their verifier state to this thread: safe to SaveState now.
+  }
+
+  void ResumeFromQuiesce() {
+    if (single != nullptr || finished) return;
+    {
+      std::lock_guard<std::mutex> lock(qz_mu);
+      qz_active = false;
+    }
+    qz_cv.notify_all();
+  }
+
+  // ---- Checkpoint serialization (caller quiesced) ----
+
+  void SaveState(StateWriter& w) const {
+    w.PutU32(opts.n_shards);
+    if (single != nullptr) {
+      single->SaveState(w);
+      return;
+    }
+    for (const auto& shard : shards) {
+      shard->leopard->SaveState(w);
+      w.PutU64(shard->msgs_since_safe_ts);
+    }
+    w.PutU64(frontier);
+    w.PutU64(router_safe);
+    w.PutU64(router_traces);
+    w.PutU64(router_out_of_order);
+    w.PutU64(traces_since_safe);
+    w.PutU32(static_cast<uint32_t>(txn_routes.size()));
+    for (const auto& [txn, route] : txn_routes) {
+      w.PutU64(txn);
+      serde::SaveInterval(w, route.first_op);
+      w.PutU64(route.seen_mask);
+    }
+    w.PutBool(certifier != nullptr);
+    if (certifier == nullptr) return;
+    certifier->graph.SaveState(w);
+    auto save_txn_set = [&w](const std::unordered_set<TxnId>& set) {
+      w.PutU32(static_cast<uint32_t>(set.size()));
+      for (TxnId t : set) w.PutU64(t);
+    };
+    save_txn_set(certifier->committed);
+    save_txn_set(certifier->aborted);
+    w.PutU32(static_cast<uint32_t>(certifier->parked.size()));
+    for (const auto& [txn, msgs] : certifier->parked) {
+      w.PutU64(txn);
+      w.PutU32(static_cast<uint32_t>(msgs.size()));
+      for (const EdgeMsg& e : msgs) {
+        w.PutU8(static_cast<uint8_t>(e.kind));
+        w.PutU64(e.from);
+        w.PutU64(e.to);
+        w.PutU8(static_cast<uint8_t>(e.type));
+        serde::SaveInterval(w, e.first_op);
+        serde::SaveInterval(w, e.end);
+        w.PutU64(e.ts);
+        w.PutU64(e.ingest_ns);
+      }
+    }
+    w.PutU32(static_cast<uint32_t>(certifier->shard_safe.size()));
+    for (Timestamp t : certifier->shard_safe) w.PutU64(t);
+    w.PutU64(certifier->sc_violations);
+    w.PutU64(certifier->pruned_txns);
+    w.PutU64(certifier->edges_applied);
+    w.PutU64(certifier->edges_parked);
+    w.PutU64(certifier->edges_dropped);
+    w.PutU32(static_cast<uint32_t>(certifier->bugs.size()));
+    for (const BugDescriptor& bug : certifier->bugs) serde::SaveBug(w, bug);
+  }
+
+  Status LoadState(StateReader& r) {
+    uint32_t n_shards = 0;
+    Status s = r.GetU32(n_shards);
+    if (!s.ok()) return s;
+    if (n_shards != opts.n_shards) {
+      return Status::FailedPrecondition(
+          "checkpoint was written with --shards=" + std::to_string(n_shards) +
+          ", engine is running " + std::to_string(opts.n_shards));
+    }
+    if (single != nullptr) return single->LoadState(r);
+    for (auto& shard : shards) {
+      if (!(s = shard->leopard->LoadState(r)).ok()) return s;
+      if (!(s = r.GetU64(shard->msgs_since_safe_ts)).ok()) return s;
+    }
+    if (!(s = r.GetU64(frontier)).ok()) return s;
+    if (!(s = r.GetU64(router_safe)).ok()) return s;
+    if (!(s = r.GetU64(router_traces)).ok()) return s;
+    if (!(s = r.GetU64(router_out_of_order)).ok()) return s;
+    if (!(s = r.GetU64(traces_since_safe)).ok()) return s;
+    uint32_t n = 0;
+    if (!(s = r.GetU32(n)).ok()) return s;
+    if (!r.CountFits(n, 8 + 16 + 8)) {
+      return Status::InvalidArgument("sharded state: absurd route count");
+    }
+    txn_routes.clear();
+    txn_routes.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      TxnId txn = 0;
+      if (!(s = r.GetU64(txn)).ok()) return s;
+      TxnRoute route;
+      if (!(s = serde::LoadInterval(r, route.first_op)).ok()) return s;
+      if (!(s = r.GetU64(route.seen_mask)).ok()) return s;
+      txn_routes.emplace(txn, route);
+    }
+    bool has_certifier = false;
+    if (!(s = r.GetBool(has_certifier)).ok()) return s;
+    if (has_certifier != (certifier != nullptr)) {
+      return Status::FailedPrecondition(
+          "checkpoint certifier presence does not match engine config");
+    }
+    if (certifier == nullptr) return Status::Ok();
+    if (!(s = certifier->graph.LoadState(r)).ok()) return s;
+    auto load_txn_set = [&r](std::unordered_set<TxnId>& set) -> Status {
+      uint32_t count = 0;
+      Status st = r.GetU32(count);
+      if (!st.ok()) return st;
+      if (!r.CountFits(count, 8)) {
+        return Status::InvalidArgument("sharded state: absurd txn-set size");
+      }
+      set.clear();
+      set.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        TxnId t = 0;
+        if (!(st = r.GetU64(t)).ok()) return st;
+        set.insert(t);
+      }
+      return Status::Ok();
+    };
+    if (!(s = load_txn_set(certifier->committed)).ok()) return s;
+    if (!(s = load_txn_set(certifier->aborted)).ok()) return s;
+    if (!(s = r.GetU32(n)).ok()) return s;
+    if (!r.CountFits(n, 8 + 4)) {
+      return Status::InvalidArgument("sharded state: absurd parked count");
+    }
+    certifier->parked.clear();
+    for (uint32_t i = 0; i < n; ++i) {
+      TxnId txn = 0;
+      uint32_t n_msgs = 0;
+      if (!(s = r.GetU64(txn)).ok()) return s;
+      if (!(s = r.GetU32(n_msgs)).ok()) return s;
+      if (!r.CountFits(n_msgs, 1 + 8 + 8 + 1 + 16 + 16 + 8 + 8)) {
+        return Status::InvalidArgument(
+            "sharded state: absurd parked-edge count");
+      }
+      auto& msgs = certifier->parked[txn];
+      msgs.reserve(n_msgs);
+      for (uint32_t j = 0; j < n_msgs; ++j) {
+        EdgeMsg e;
+        uint8_t kind = 0;
+        uint8_t type = 0;
+        if (!(s = r.GetU8(kind)).ok()) return s;
+        if (kind > static_cast<uint8_t>(EdgeMsg::Kind::kBarrier)) {
+          return Status::InvalidArgument("sharded state: bad edge kind");
+        }
+        e.kind = static_cast<EdgeMsg::Kind>(kind);
+        if (!(s = r.GetU64(e.from)).ok()) return s;
+        if (!(s = r.GetU64(e.to)).ok()) return s;
+        if (!(s = r.GetU8(type)).ok()) return s;
+        e.type = static_cast<DepType>(type);
+        if (!(s = serde::LoadInterval(r, e.first_op)).ok()) return s;
+        if (!(s = serde::LoadInterval(r, e.end)).ok()) return s;
+        if (!(s = r.GetU64(e.ts)).ok()) return s;
+        if (!(s = r.GetU64(e.ingest_ns)).ok()) return s;
+        msgs.push_back(e);
+      }
+    }
+    if (!(s = r.GetU32(n)).ok()) return s;
+    if (n != opts.n_shards || !r.CountFits(n, 8)) {
+      return Status::InvalidArgument("sharded state: bad shard-safe vector");
+    }
+    certifier->shard_safe.assign(n, 0);
+    for (uint32_t i = 0; i < n; ++i) {
+      if (!(s = r.GetU64(certifier->shard_safe[i])).ok()) return s;
+    }
+    if (!(s = r.GetU64(certifier->sc_violations)).ok()) return s;
+    if (!(s = r.GetU64(certifier->pruned_txns)).ok()) return s;
+    if (!(s = r.GetU64(certifier->edges_applied)).ok()) return s;
+    if (!(s = r.GetU64(certifier->edges_parked)).ok()) return s;
+    if (!(s = r.GetU64(certifier->edges_dropped)).ok()) return s;
+    if (!(s = r.GetU32(n)).ok()) return s;
+    if (!r.CountFits(n, 1 + 4 + 8 + 8 + 4 + 4 + 4)) {
+      return Status::InvalidArgument("sharded state: absurd bug count");
+    }
+    certifier->bugs.clear();
+    certifier->bugs.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      BugDescriptor bug;
+      if (!(s = serde::LoadBug(r, bug)).ok()) return s;
+      certifier->bugs.push_back(std::move(bug));
+    }
+    return Status::Ok();
   }
 
   // ---- Finish / aggregation ----
@@ -625,7 +884,7 @@ struct ShardedLeopard::Impl {
     for (auto& shard : shards) {
       ShardMsg msg;
       msg.kind = ShardMsg::Kind::kFinish;
-      shard->in.Push(std::move(msg));
+      (void)shard->in.Push(std::move(msg));
     }
     for (auto& shard : shards) shard->thread.join();
     if (certifier_thread.joinable()) certifier_thread.join();
@@ -676,6 +935,15 @@ struct ShardedLeopard::Impl {
   std::vector<std::unique_ptr<Shard>> shards;
   std::unique_ptr<Certifier> certifier;
   std::thread certifier_thread;
+
+  // Quiescent-point handshake (Quiesce/ResumeFromQuiesce vs the shard and
+  // certifier loops). qz_active gates the certifier's park; acks count
+  // shards that drained up to their barrier.
+  std::mutex qz_mu;
+  std::condition_variable qz_cv;
+  uint32_t qz_shard_acks = 0;
+  bool qz_cert_paused = false;
+  bool qz_active = false;
 
   // Router state (Process() caller's thread only).
   Timestamp frontier = 0;
@@ -747,6 +1015,16 @@ void ShardedLeopard::Process(const Trace& trace) {
 }
 
 void ShardedLeopard::Finish() { impl_->Finish(); }
+
+void ShardedLeopard::Quiesce() { impl_->Quiesce(); }
+
+void ShardedLeopard::ResumeFromQuiesce() { impl_->ResumeFromQuiesce(); }
+
+void ShardedLeopard::SaveState(StateWriter& w) const { impl_->SaveState(w); }
+
+Status ShardedLeopard::LoadState(StateReader& r) {
+  return impl_->LoadState(r);
+}
 
 const VerifyReport& ShardedLeopard::report() const { return impl_->report; }
 

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/state_codec.h"
 #include "obs/registry.h"
 #include "trace/trace.h"
 #include "verifier/bug.h"
@@ -102,6 +103,24 @@ class ShardedLeopard {
 
   /// Aggregated stats + merged bug list. Valid after Finish().
   const VerifyReport& report() const;
+
+  /// Drains the engine to a barrier: every in-flight message routed before
+  /// this call is fully processed (shards idle, certifier parked) when it
+  /// returns. Must be called from the Process() thread with no concurrent
+  /// Process(); pair with ResumeFromQuiesce(). No-op when n_shards == 1 or
+  /// after Finish(). The durable checkpointer uses this to serialize at an
+  /// exact trace boundary.
+  void Quiesce();
+  void ResumeFromQuiesce();
+
+  /// Checkpoint hooks (src/durable): serialize / restore the engine — every
+  /// shard verifier, the router's frontier/safe-ts/routing state, and the
+  /// certifier (graph, commit/abort sets, parked edges). Call only while
+  /// quiescent (between Quiesce() and ResumeFromQuiesce(), or before any
+  /// Process()). LoadState requires the same n_shards and config as the
+  /// saving engine.
+  void SaveState(StateWriter& w) const;
+  Status LoadState(StateReader& r);
 
   /// The inline verifier (n_shards == 1 only; asserts otherwise). Lets
   /// existing single-threaded callers keep their Leopard-typed accessors.

@@ -1,0 +1,206 @@
+#ifndef LEOPARD_VERIFIER_STATE_SERDE_H_
+#define LEOPARD_VERIFIER_STATE_SERDE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/small_vector.h"
+#include "common/state_codec.h"
+#include "verifier/bug.h"
+#include "verifier/config.h"
+#include "verifier/stats.h"
+
+namespace leopard {
+namespace serde {
+
+/// Shared (de)serializers for the verifier value types that appear in more
+/// than one Save/Load hook: time intervals, bug descriptors, the stats
+/// block, and the small key/txn vectors of the mirrored structures. Keeping
+/// them here means a checkpoint written by the single-threaded verifier and
+/// one written by a shard agree byte-for-byte on these sections.
+
+inline void SaveInterval(StateWriter& w, const TimeInterval& iv) {
+  w.PutU64(iv.bef);
+  w.PutU64(iv.aft);
+}
+
+inline Status LoadInterval(StateReader& r, TimeInterval& iv) {
+  Status s = r.GetU64(iv.bef);
+  if (!s.ok()) return s;
+  return r.GetU64(iv.aft);
+}
+
+template <typename T, size_t N>
+void SaveIdVector(StateWriter& w, const SmallVector<T, N>& v) {
+  w.PutU32(static_cast<uint32_t>(v.size()));
+  for (const T& x : v) w.PutU64(static_cast<uint64_t>(x));
+}
+
+template <typename T, size_t N>
+Status LoadIdVector(StateReader& r, SmallVector<T, N>& v) {
+  uint32_t n = 0;
+  Status s = r.GetU32(n);
+  if (!s.ok()) return s;
+  if (!r.CountFits(n, 8)) return Status::InvalidArgument("absurd id count");
+  v.clear();
+  v.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t x = 0;
+    s = r.GetU64(x);
+    if (!s.ok()) return s;
+    v.push_back(static_cast<T>(x));
+  }
+  return Status::Ok();
+}
+
+inline void SaveBug(StateWriter& w, const BugDescriptor& bug) {
+  w.PutU8(static_cast<uint8_t>(bug.type));
+  w.PutU32(static_cast<uint32_t>(bug.txns.size()));
+  for (TxnId t : bug.txns) w.PutU64(t);
+  w.PutU64(bug.key);
+  w.PutU64(bug.ts);
+  w.PutBytes(bug.detail);
+  w.PutU32(static_cast<uint32_t>(bug.ops.size()));
+  for (const BugOp& op : bug.ops) {
+    w.PutU64(op.txn);
+    w.PutBytes(op.role);
+    w.PutU64(op.key);
+    w.PutU64(op.value);
+    SaveInterval(w, op.interval);
+    w.PutBool(op.committed);
+    w.PutBool(op.has_value);
+  }
+  w.PutU32(static_cast<uint32_t>(bug.edges.size()));
+  for (const BugEdge& e : bug.edges) {
+    w.PutU64(e.from);
+    w.PutU64(e.to);
+    w.PutU8(static_cast<uint8_t>(e.type));
+  }
+}
+
+inline Status LoadBug(StateReader& r, BugDescriptor& bug) {
+  uint8_t type = 0;
+  Status s = r.GetU8(type);
+  if (!s.ok()) return s;
+  if (type > static_cast<uint8_t>(BugType::kScViolation)) {
+    return Status::InvalidArgument("bad bug type");
+  }
+  bug.type = static_cast<BugType>(type);
+  uint32_t n = 0;
+  if (!(s = r.GetU32(n)).ok()) return s;
+  if (!r.CountFits(n, 8)) return Status::InvalidArgument("absurd txn count");
+  bug.txns.clear();
+  bug.txns.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t t = 0;
+    if (!(s = r.GetU64(t)).ok()) return s;
+    bug.txns.push_back(t);
+  }
+  if (!(s = r.GetU64(bug.key)).ok()) return s;
+  if (!(s = r.GetU64(bug.ts)).ok()) return s;
+  if (!(s = r.GetBytes(bug.detail)).ok()) return s;
+  if (!(s = r.GetU32(n)).ok()) return s;
+  if (!r.CountFits(n, 8 + 4 + 8 + 8 + 16 + 2)) {
+    return Status::InvalidArgument("absurd bug-op count");
+  }
+  bug.ops.clear();
+  bug.ops.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    BugOp op;
+    if (!(s = r.GetU64(op.txn)).ok()) return s;
+    if (!(s = r.GetBytes(op.role)).ok()) return s;
+    if (!(s = r.GetU64(op.key)).ok()) return s;
+    if (!(s = r.GetU64(op.value)).ok()) return s;
+    if (!(s = LoadInterval(r, op.interval)).ok()) return s;
+    if (!(s = r.GetBool(op.committed)).ok()) return s;
+    if (!(s = r.GetBool(op.has_value)).ok()) return s;
+    bug.ops.push_back(std::move(op));
+  }
+  if (!(s = r.GetU32(n)).ok()) return s;
+  if (!r.CountFits(n, 17)) {
+    return Status::InvalidArgument("absurd bug-edge count");
+  }
+  bug.edges.clear();
+  bug.edges.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    BugEdge e;
+    uint8_t dep = 0;
+    if (!(s = r.GetU64(e.from)).ok()) return s;
+    if (!(s = r.GetU64(e.to)).ok()) return s;
+    if (!(s = r.GetU8(dep)).ok()) return s;
+    e.type = static_cast<DepType>(dep);
+    bug.edges.push_back(e);
+  }
+  return Status::Ok();
+}
+
+inline void SaveStats(StateWriter& w, const VerifierStats& st) {
+  w.PutU64(st.traces_processed);
+  w.PutU64(st.reads_verified);
+  w.PutU64(st.versions_tracked);
+  w.PutU64(st.out_of_order_traces);
+  w.PutU64(st.deps_total);
+  w.PutU64(st.deps_deduced);
+  w.PutU64(st.overlapped_ww);
+  w.PutU64(st.overlapped_wr);
+  w.PutU64(st.overlapped_rw);
+  w.PutU64(st.deduced_overlapped_ww);
+  w.PutU64(st.deduced_overlapped_wr);
+  w.PutU64(st.deduced_overlapped_rw);
+  w.PutU64(st.uncertain_ww);
+  w.PutU64(st.uncertain_wr);
+  w.PutU64(st.cr_violations);
+  w.PutU64(st.me_violations);
+  w.PutU64(st.fuw_violations);
+  w.PutU64(st.sc_violations);
+  w.PutU64(st.gc_sweeps);
+  w.PutU64(st.pruned_versions);
+  w.PutU64(st.pruned_locks);
+  w.PutU64(st.pruned_txns);
+}
+
+inline Status LoadStats(StateReader& r, VerifierStats& st) {
+  Status s;
+  for (uint64_t* f :
+       {&st.traces_processed, &st.reads_verified, &st.versions_tracked,
+        &st.out_of_order_traces, &st.deps_total, &st.deps_deduced,
+        &st.overlapped_ww, &st.overlapped_wr, &st.overlapped_rw,
+        &st.deduced_overlapped_ww, &st.deduced_overlapped_wr,
+        &st.deduced_overlapped_rw, &st.uncertain_ww, &st.uncertain_wr,
+        &st.cr_violations, &st.me_violations, &st.fuw_violations,
+        &st.sc_violations, &st.gc_sweeps, &st.pruned_versions,
+        &st.pruned_locks, &st.pruned_txns}) {
+    if (!(s = r.GetU64(*f)).ok()) return s;
+  }
+  return Status::Ok();
+}
+
+/// Stable 64-bit fingerprint of a VerifierConfig (FNV-1a over its fields):
+/// a checkpoint is only resumable into a verifier configured identically —
+/// mirrored state depends on every one of these switches.
+inline uint64_t ConfigFingerprint(const VerifierConfig& c) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  mix(c.check_cr);
+  mix(c.check_me);
+  mix(c.check_fuw);
+  mix(c.check_sc);
+  mix(c.statement_level_cr);
+  mix(c.locking_reads);
+  mix(static_cast<uint64_t>(c.certifier));
+  mix(c.install_at_commit);
+  mix(c.allow_stale_reads);
+  mix(c.check_real_time_order);
+  mix(c.enable_gc);
+  mix(c.gc_every);
+  return h;
+}
+
+}  // namespace serde
+}  // namespace leopard
+
+#endif  // LEOPARD_VERIFIER_STATE_SERDE_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "verifier/state_serde.h"
+
 namespace leopard {
 
 VersionOrderIndex::InstallResult VersionOrderIndex::Install(
@@ -167,6 +169,66 @@ size_t VersionOrderIndex::Prune(Timestamp safe_ts) {
   }
   for (Key settled : prune_scratch_) multi_version_.erase(settled);
   return removed;
+}
+
+void VersionOrderIndex::SaveState(StateWriter& w) const {
+  w.PutU32(static_cast<uint32_t>(map_.size()));
+  for (const auto& [key, list] : map_) {
+    w.PutU64(key);
+    w.PutU32(static_cast<uint32_t>(list.size()));
+    for (const VersionEntry& v : list) {
+      w.PutU64(v.value);
+      w.PutU64(v.writer);
+      serde::SaveInterval(w, v.install);
+      w.PutU8(static_cast<uint8_t>(v.status));
+      serde::SaveInterval(w, v.writer_snapshot);
+      serde::SaveInterval(w, v.writer_commit);
+      serde::SaveIdVector(w, v.readers);
+    }
+  }
+}
+
+Status VersionOrderIndex::LoadState(StateReader& r) {
+  map_.clear();
+  multi_version_.clear();
+  list_heap_bytes_ = 0;
+  uint32_t n_keys = 0;
+  Status s = r.GetU32(n_keys);
+  if (!s.ok()) return s;
+  if (!r.CountFits(n_keys, 12)) {
+    return Status::InvalidArgument("version order: absurd key count");
+  }
+  map_.reserve(n_keys);
+  for (uint32_t k = 0; k < n_keys; ++k) {
+    Key key = 0;
+    uint32_t n_versions = 0;
+    if (!(s = r.GetU64(key)).ok()) return s;
+    if (!(s = r.GetU32(n_versions)).ok()) return s;
+    if (!r.CountFits(n_versions, 8 + 8 + 16 + 1 + 16 + 16 + 4)) {
+      return Status::InvalidArgument("version order: absurd version count");
+    }
+    auto& list = map_[key];
+    list.reserve(n_versions);
+    for (uint32_t i = 0; i < n_versions; ++i) {
+      VersionEntry v;
+      uint8_t status = 0;
+      if (!(s = r.GetU64(v.value)).ok()) return s;
+      if (!(s = r.GetU64(v.writer)).ok()) return s;
+      if (!(s = serde::LoadInterval(r, v.install)).ok()) return s;
+      if (!(s = r.GetU8(status)).ok()) return s;
+      if (status > static_cast<uint8_t>(WriterStatus::kAborted)) {
+        return Status::InvalidArgument("version order: bad writer status");
+      }
+      v.status = static_cast<WriterStatus>(status);
+      if (!(s = serde::LoadInterval(r, v.writer_snapshot)).ok()) return s;
+      if (!(s = serde::LoadInterval(r, v.writer_commit)).ok()) return s;
+      if (!(s = serde::LoadIdVector(r, v.readers)).ok()) return s;
+      list.push_back(std::move(v));
+    }
+    list_heap_bytes_ += list.capacity() * sizeof(VersionEntry);
+    if (list.size() >= 2) multi_version_.try_emplace(key);
+  }
+  return Status::Ok();
 }
 
 size_t VersionOrderIndex::VersionCount() const {

@@ -7,6 +7,7 @@
 #include "common/flat_hash_map.h"
 #include "common/interval.h"
 #include "common/small_vector.h"
+#include "common/state_codec.h"
 #include "trace/trace.h"
 
 namespace leopard {
@@ -76,6 +77,12 @@ class VersionOrderIndex {
   /// with bef >= safe_ts, provided their writers committed with
   /// writer_commit.aft < safe_ts. Returns versions removed.
   size_t Prune(Timestamp safe_ts);
+
+  /// Checkpoint hooks (src/durable): serializes every version list in full.
+  /// LoadState replaces the index's contents and rebuilds the derived state
+  /// (prune-candidate set, heap-byte accounting) from the loaded lists.
+  void SaveState(StateWriter& w) const;
+  Status LoadState(StateReader& r);
 
   size_t KeyCount() const { return map_.size(); }
   size_t VersionCount() const;

@@ -102,9 +102,22 @@ TEST(TraceIoTest, RejectsCountBeyondRemainingBytes) {
 TEST(TraceIoTest, DecodeErrorsCarryRecordContext) {
   auto traces = SampleTraces();
   std::string bytes = EncodeTraces(traces);
-  auto decoded = DecodeTraces(bytes.substr(0, bytes.size() - 3));
+  // Cut past the 8-byte integrity footer and into the last record, so the
+  // failure is a genuine mid-record truncation.
+  auto decoded = DecodeTraces(bytes.substr(0, bytes.size() - 11));
   ASSERT_FALSE(decoded.ok());
   EXPECT_NE(decoded.status().message().find("record "), std::string::npos)
+      << decoded.status();
+}
+
+TEST(TraceIoTest, TruncationInsideFooterIsAPartialSentinel) {
+  // A cut inside the footer itself is not a record error: the sentinel was
+  // reached, so integrity was promised but cannot be verified.
+  std::string bytes = EncodeTraces(SampleTraces());
+  auto decoded = DecodeTraces(bytes.substr(0, bytes.size() - 3));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("partial CRC sentinel"),
+            std::string::npos)
       << decoded.status();
 }
 

@@ -30,6 +30,14 @@
 //   --diagnose-out=DIR          write repro artifacts per diagnosis
 //                               (<DIR>/diag_<n>/{diagnosis.json,conflict.dot,
 //                               leopard_client_0.trc})
+//   --state-dir=DIR             durable mode: write-ahead-log every accepted
+//                               batch and checkpoint the verifier state into
+//                               DIR; on restart, resume from the newest
+//                               checkpoint + log replay with identical
+//                               verdicts (kill -9 safe)
+//   --checkpoint-interval-ms=N  [10000] checkpoint cadence (0 = WAL only)
+//   --checkpoint-every-traces=N [0 = off] also checkpoint every N traces
+//   --wal-segment-mb=N          [64]  WAL segment size before seal+rotate
 //
 // Exit status: 0 = no violations, 1 = violations found, 2 = bad usage.
 
@@ -72,6 +80,10 @@ struct ServeOptions {
   bool http = false;  // --http-port given (0 still enables, kernel-assigned)
   uint16_t http_port = 0;
   std::string http_port_file;
+  std::string state_dir;
+  uint64_t checkpoint_interval_ms = 10000;
+  uint64_t checkpoint_every_traces = 0;
+  size_t wal_segment_mb = 64;
 };
 
 void Usage() {
@@ -83,7 +95,9 @@ void Usage() {
       " [--isolation=rc|rr|si|ser] [--idle-timeout-ms=N]"
       " [--max-inflight-mb=N] [--metrics-out=FILE(.json|.csv)]"
       " [--progress-interval-ms=N] [--diagnose] [--diagnose-out=DIR]"
-      " [--http-port=N] [--http-port-file=FILE]\n");
+      " [--http-port=N] [--http-port-file=FILE] [--state-dir=DIR]"
+      " [--checkpoint-interval-ms=N] [--checkpoint-every-traces=N]"
+      " [--wal-segment-mb=N]\n");
 }
 
 bool ParseArgs(int argc, char** argv, ServeOptions& opts) {
@@ -101,7 +115,8 @@ bool ParseArgs(int argc, char** argv, ServeOptions& opts) {
         eat("--isolation=", opts.isolation) ||
         eat("--metrics-out=", opts.metrics_out) ||
         eat("--diagnose-out=", opts.diagnose_out) ||
-        eat("--http-port-file=", opts.http_port_file)) {
+        eat("--http-port-file=", opts.http_port_file) ||
+        eat("--state-dir=", opts.state_dir)) {
       continue;
     }
     if (eat("--http-port=", value)) {
@@ -132,6 +147,13 @@ bool ParseArgs(int argc, char** argv, ServeOptions& opts) {
       opts.max_inflight_mb = std::strtoull(value.c_str(), nullptr, 10);
     } else if (eat("--progress-interval-ms=", value)) {
       opts.progress_interval_ms = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (eat("--checkpoint-interval-ms=", value)) {
+      opts.checkpoint_interval_ms = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (eat("--checkpoint-every-traces=", value)) {
+      opts.checkpoint_every_traces = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (eat("--wal-segment-mb=", value)) {
+      opts.wal_segment_mb = std::strtoull(value.c_str(), nullptr, 10);
+      if (opts.wal_segment_mb == 0) opts.wal_segment_mb = 1;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -219,12 +241,27 @@ int main(int argc, char** argv) {
   so.diagnose_out_dir = opts.diagnose_out;
   so.events = &journal;
   so.watchdog = &watchdog;
+  so.state_dir = opts.state_dir;
+  so.checkpoint_interval_ms = opts.checkpoint_interval_ms;
+  so.checkpoint_every_traces = opts.checkpoint_every_traces;
+  so.wal_segment_bytes = opts.wal_segment_mb << 20;
 
   net::VerifierServer server(config, so);
   Status st = server.Start();
   if (!st.ok()) {
     std::fprintf(stderr, "leopard_serve: %s\n", st.ToString().c_str());
     return 1;
+  }
+  if (!opts.state_dir.empty() && server.recovery().resumed) {
+    const auto& rec = server.recovery();
+    std::printf(
+        "[leopard_serve] resumed from %s: checkpoint cut %llu, "
+        "%llu WAL entries replayed (%llu already checkpointed)\n",
+        opts.state_dir.c_str(),
+        static_cast<unsigned long long>(rec.checkpoint_cut),
+        static_cast<unsigned long long>(rec.entries_replayed),
+        static_cast<unsigned long long>(rec.entries_skipped));
+    std::fflush(stdout);
   }
 
   // Live introspection: GET /metrics (Prometheus), /healthz, /statusz.
@@ -258,6 +295,17 @@ int main(int argc, char** argv) {
       out += ",\"done\":";
       out += std::to_string(s.diagnoses_done);
       out += "}";
+      if (s.durable) {
+        out += ",\"durable\":{\"checkpoints\":";
+        out += std::to_string(s.checkpoints_written);
+        out += ",\"checkpoint_age_ms\":";
+        out += std::to_string(s.checkpoint_age_ms);
+        out += ",\"wal_segments\":";
+        out += std::to_string(s.wal_segments);
+        out += ",\"wal_next_seq\":";
+        out += std::to_string(s.wal_next_seq);
+        out += "}";
+      }
       // Engine-side depth gauges: per-shard edge queues, certifier backlog,
       // the GC watermark. Collected by prefix so the shard count needn't be
       // threaded through.

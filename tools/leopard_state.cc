@@ -1,0 +1,138 @@
+// leopard_state — inspect a leopard_serve --state-dir (DESIGN.md §11).
+//
+//   leopard_state <state-dir>
+//
+// Read-only: dumps the checkpoint manifest, every checkpoint file's
+// metadata (cut, config fingerprint, shard count, payload size, CRC
+// verdict) and the WAL segment chain (entry counts per kind, sealed vs.
+// active, torn-tail bytes). Never truncates or repairs anything — recovery
+// belongs to leopard_serve.
+//
+// Exit status: 0 = state dir is recoverable, 1 = it is not (no usable
+// checkpoint AND the WAL cannot replay), 2 = bad usage.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "durable/checkpoint.h"
+#include "durable/wal.h"
+
+int main(int argc, char** argv) {
+  using namespace leopard;
+  if (argc != 2 || std::strncmp(argv[1], "--", 2) == 0) {
+    std::fprintf(stderr, "usage: leopard_state <state-dir>\n");
+    return 2;
+  }
+  const std::string dir = argv[1];
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec) || ec) {
+    std::fprintf(stderr, "leopard_state: %s is not a directory\n",
+                 dir.c_str());
+    return 2;
+  }
+
+  durable::CheckpointStore store;
+  Status s = store.Init(dir);
+  if (!s.ok()) {
+    std::fprintf(stderr, "leopard_state: %s\n", s.ToString().c_str());
+    return 2;
+  }
+
+  std::printf("state dir: %s\n\n", dir.c_str());
+
+  bool have_checkpoint = false;
+  uint64_t newest_cut = 0;
+  auto newest = store.LoadNewest();
+  if (newest.ok()) {
+    have_checkpoint = true;
+    newest_cut = newest->meta.cut;
+  }
+
+  auto checkpoints = store.List();
+  std::printf("checkpoints: %zu\n", checkpoints.size());
+  for (const auto& [cut, path] : checkpoints) {
+    auto loaded = durable::CheckpointStore::ReadCheckpoint(path);
+    if (!loaded.ok()) {
+      std::printf("  %s  UNUSABLE: %s\n",
+                  std::filesystem::path(path).filename().c_str(),
+                  loaded.status().message().c_str());
+      continue;
+    }
+    std::printf("  %s  cut=%" PRIu64 "  shards=%u  config=%016" PRIx64
+                "  payload=%zu bytes  crc=ok%s\n",
+                std::filesystem::path(path).filename().c_str(),
+                loaded->meta.cut, loaded->meta.n_shards,
+                loaded->meta.config_fingerprint, loaded->payload.size(),
+                have_checkpoint && loaded->meta.cut == newest_cut
+                    ? "  <- recovery target"
+                    : "");
+  }
+  if (!have_checkpoint) {
+    std::printf("  (no usable checkpoint: %s)\n",
+                newest.status().message().c_str());
+  }
+
+  // WAL chain: counted via a read-only replay from the oldest surviving
+  // segment (no torn-tail truncation).
+  uint64_t wal_floor = UINT64_MAX;
+  size_t n_segments = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    uint64_t seq = 0;
+    if (std::sscanf(entry.path().filename().string().c_str(),
+                    "seg-%" SCNu64 ".wal", &seq) == 1) {
+      ++n_segments;
+      if (seq < wal_floor) wal_floor = seq;
+    }
+  }
+  std::printf("\nwal segments: %zu\n", n_segments);
+  bool wal_ok = true;
+  durable::WalReplayStats stats;
+  if (n_segments > 0) {
+    uint64_t n_add_client = 0;
+    uint64_t n_traces = 0;
+    s = durable::WalReplay(
+        dir, wal_floor,
+        [&](const durable::WalEntry& e) -> Status {
+          if (e.kind == durable::WalEntry::Kind::kAddClient) {
+            ++n_add_client;
+          } else {
+            ++n_traces;
+          }
+          return Status::Ok();
+        },
+        &stats, /*truncate_torn=*/false);
+    if (!s.ok()) {
+      wal_ok = false;
+      std::printf("  UNREADABLE: %s\n", s.ToString().c_str());
+    } else {
+      std::printf("  sequences [%" PRIu64 ", %" PRIu64 ")  %" PRIu64
+                  " client registrations, %" PRIu64 " traces\n",
+                  wal_floor, stats.next_seq, n_add_client, n_traces);
+      if (stats.torn_bytes > 0) {
+        std::printf("  torn tail: %" PRIu64
+                    " bytes (truncated on next recovery)\n",
+                    stats.torn_bytes);
+      }
+    }
+  } else {
+    stats.next_seq = 0;
+  }
+
+  // Recoverable = a usable checkpoint whose cut the WAL reaches, or no
+  // checkpoint but a WAL that replays from its own start (cut 0 semantics
+  // require segment 0 to survive — enforced by serve's recovery, reported
+  // here).
+  bool recoverable;
+  if (have_checkpoint) {
+    recoverable = wal_ok || newest_cut >= stats.next_seq;
+  } else {
+    recoverable = n_segments == 0 || (wal_ok && wal_floor == 0);
+  }
+  std::printf("\nrecoverable: %s\n", recoverable ? "yes" : "NO");
+  return recoverable ? 0 : 1;
+}
