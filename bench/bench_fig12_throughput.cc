@@ -19,6 +19,7 @@
 #include "workload/blindw.h"
 #include "workload/smallbank.h"
 #include "workload/tpcc.h"
+#include "workload/ycsb.h"
 
 using namespace leopard;
 using namespace leopard::bench;
@@ -64,6 +65,55 @@ void RunSeries(const char* name,
   }
 }
 
+// One replay of a collected trace run through an OnlineVerifier: real
+// producer threads push their client streams concurrently; reports the
+// verification throughput, the mean time a producer spends blocked inside
+// Push(), and the violation count.
+struct ReplayStats {
+  double tps = 0;
+  double stall_us = 0;
+  uint64_t bugs = 0;
+};
+
+ReplayStats ReplayOnline(const RunResult& run,
+                         const OnlineVerifier::Options& options) {
+  const auto clients = static_cast<uint32_t>(run.client_traces.size());
+  const auto total = static_cast<uint64_t>(run.TotalTraces());
+  OnlineVerifier online(
+      clients,
+      ConfigForMiniDb(Protocol::kMvcc2plSsi, IsolationLevel::kSerializable),
+      options);
+  std::atomic<uint64_t> push_ns{0};
+  Stopwatch timer;
+  std::vector<std::thread> producers;
+  producers.reserve(clients);
+  for (ClientId c = 0; c < clients; ++c) {
+    producers.emplace_back([&run, &online, &push_ns, c] {
+      uint64_t ns = 0;
+      for (const auto& t : run.client_traces[c]) {
+        auto t0 = std::chrono::steady_clock::now();
+        online.Push(c, Trace(t));
+        ns += static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+      }
+      online.Close(c);
+      push_ns.fetch_add(ns, std::memory_order_relaxed);
+    });
+  }
+  for (auto& p : producers) p.join();
+  const VerifyReport& report = online.WaitReport();
+  double secs = timer.Seconds();
+  ReplayStats stats;
+  stats.tps = secs > 0 ? static_cast<double>(total) / secs : 0.0;
+  stats.stall_us = total > 0 ? static_cast<double>(push_ns.load()) /
+                                   static_cast<double>(total) / 1e3
+                             : 0.0;
+  stats.bugs = report.stats.TotalViolations();
+  return stats;
+}
+
 // Online shard-scaling curve: the same BlindW-RW trace streams are replayed
 // by real producer threads into an OnlineVerifier at increasing shard
 // counts. Reports verification throughput, speedup over the single-shard
@@ -86,8 +136,6 @@ void RunOnlineShardScaling(uint32_t max_shards) {
   to.seed = 120;
   ThreadRunner runner(&db, &workload, to);
   RunResult run = runner.Run();
-  const auto clients = static_cast<uint32_t>(run.client_traces.size());
-  const auto total = static_cast<uint64_t>(run.TotalTraces());
 
   std::vector<uint32_t> shard_counts;
   for (uint32_t s = 1; s < max_shards; s *= 2) shard_counts.push_back(s);
@@ -99,42 +147,66 @@ void RunOnlineShardScaling(uint32_t max_shards) {
   for (uint32_t shards : shard_counts) {
     OnlineVerifier::Options options;
     options.n_shards = shards;
-    OnlineVerifier online(
-        clients,
-        ConfigForMiniDb(Protocol::kMvcc2plSsi, IsolationLevel::kSerializable),
-        options);
-    std::atomic<uint64_t> push_ns{0};
-    Stopwatch timer;
-    std::vector<std::thread> producers;
-    producers.reserve(clients);
-    for (ClientId c = 0; c < clients; ++c) {
-      producers.emplace_back([&run, &online, &push_ns, c] {
-        uint64_t ns = 0;
-        for (const auto& t : run.client_traces[c]) {
-          auto t0 = std::chrono::steady_clock::now();
-          online.Push(c, Trace(t));
-          ns += static_cast<uint64_t>(
-              std::chrono::duration_cast<std::chrono::nanoseconds>(
-                  std::chrono::steady_clock::now() - t0)
-                  .count());
-        }
-        online.Close(c);
-        push_ns.fetch_add(ns, std::memory_order_relaxed);
-      });
-    }
-    for (auto& p : producers) p.join();
-    const VerifyReport& report = online.WaitReport();
-    double secs = timer.Seconds();
-    double tps = secs > 0 ? static_cast<double>(total) / secs : 0.0;
-    if (shards == 1) base_tps = tps;
-    double stall_us = total > 0
-                          ? static_cast<double>(push_ns.load()) /
-                                static_cast<double>(total) / 1e3
-                          : 0.0;
-    std::printf("%-8u %14.0f %9.2fx %16.2f %10llu\n", shards, tps,
-                base_tps > 0 ? tps / base_tps : 1.0, stall_us,
-                static_cast<unsigned long long>(
-                    report.stats.TotalViolations()));
+    ReplayStats stats = ReplayOnline(run, options);
+    if (shards == 1) base_tps = stats.tps;
+    std::printf("%-8u %14.0f %9.2fx %16.2f %10llu\n", shards, stats.tps,
+                base_tps > 0 ? stats.tps / base_tps : 1.0, stats.stall_us,
+                static_cast<unsigned long long>(stats.bugs));
+  }
+}
+
+// Skew sweep (--zipf=THETA): a zipfian-skewed YCSB trace stream is replayed
+// at increasing shard counts under (a) the static hash router and (b) the
+// skew-adaptive router (hot-key rebalancing + work stealing + batched SC
+// certification). Under heavy skew the hash router parks most of the
+// traffic on whichever shard owns the hot keys; the adaptive router
+// migrates them apart and steals from the drained queues, recovering the
+// lost parallelism. Both configurations must report the same bug count —
+// rebalancing may move work, never change verdicts.
+void RunOnlineSkewScaling(uint32_t max_shards, double theta) {
+  char title[96];
+  std::snprintf(title, sizeof(title),
+                "Fig. 12 (skew): YCSB zipfian theta=%.2f — static hash vs "
+                "adaptive router",
+                theta);
+  PrintHeader(title);
+  YcsbWorkload::Options wo;
+  wo.record_count = 2000;
+  wo.theta = theta;
+  wo.read_ratio = 0.5;
+  YcsbWorkload workload(wo);
+  Database::Options dbo;
+  dbo.protocol = Protocol::kMvcc2plSsi;
+  dbo.isolation = IsolationLevel::kSerializable;
+  dbo.lock_wait = LockWaitPolicy::kWaitDie;
+  Database db(dbo);
+  ThreadRunnerOptions to;
+  to.threads = 4;
+  to.total_txns = 20000;
+  to.seed = 121;
+  ThreadRunner runner(&db, &workload, to);
+  RunResult run = runner.Run();
+
+  std::vector<uint32_t> shard_counts;
+  for (uint32_t s = 2; s < max_shards; s *= 2) shard_counts.push_back(s);
+  if (max_shards >= 2) shard_counts.push_back(max_shards);
+
+  std::printf("%-8s %14s %14s %10s %8s %8s\n", "shards", "static-tps",
+              "adaptive-tps", "gain", "bugs-s", "bugs-a");
+  for (uint32_t shards : shard_counts) {
+    OnlineVerifier::Options static_opts;
+    static_opts.n_shards = shards;
+    ReplayStats st = ReplayOnline(run, static_opts);
+
+    OnlineVerifier::Options adaptive_opts;
+    adaptive_opts.n_shards = shards;
+    adaptive_opts.enable_rebalance = true;
+    ReplayStats ad = ReplayOnline(run, adaptive_opts);
+
+    std::printf("%-8u %14.0f %14.0f %9.2fx %8llu %8llu\n", shards, st.tps,
+                ad.tps, st.tps > 0 ? ad.tps / st.tps : 1.0,
+                static_cast<unsigned long long>(st.bugs),
+                static_cast<unsigned long long>(ad.bugs));
   }
 }
 
@@ -142,11 +214,14 @@ void RunOnlineShardScaling(uint32_t max_shards) {
 
 int main(int argc, char** argv) {
   uint32_t max_shards = 4;
+  double zipf_theta = 0.99;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--shards=", 9) == 0) {
       max_shards =
           static_cast<uint32_t>(std::strtoul(argv[i] + 9, nullptr, 10));
       if (max_shards == 0) max_shards = 1;
+    } else if (std::strncmp(argv[i], "--zipf=", 7) == 0) {
+      zipf_theta = std::strtod(argv[i] + 7, nullptr);
     }
   }
   RunSeries("SmallBank", [](uint32_t sf) -> std::unique_ptr<Workload> {
@@ -161,10 +236,13 @@ int main(int argc, char** argv) {
     return std::make_unique<TpccWorkload>(o);
   });
   RunOnlineShardScaling(max_shards);
+  RunOnlineSkewScaling(max_shards, zipf_theta);
   std::printf("\nPaper shape: Leopard's verification throughput matches or "
               "exceeds the DBMS's transaction throughput, with the largest "
               "headroom on the complex TPC-C logic; the sharded online "
-              "engine scales the per-key mechanisms across cores.\n");
+              "engine scales the per-key mechanisms across cores, and the "
+              "skew-adaptive router keeps them scaling under zipfian "
+              "hot-key traffic.\n");
   DropBenchMetrics("bench_fig12_throughput");
   return 0;
 }

@@ -114,23 +114,19 @@ std::optional<GraphViolation> DependencyGraph::CheckSsi(TxnId from, Node& f,
   return std::nullopt;
 }
 
-std::optional<GraphViolation> DependencyGraph::AddEdge(TxnId from, TxnId to,
-                                                       DepType type) {
-  if (from == to) return std::nullopt;
-  Node* f = Find(from);
-  Node* t = Find(to);
-  if (f == nullptr || t == nullptr) return std::nullopt;
-
+bool DependencyGraph::InsertAdjacency(TxnId from, Node* f, TxnId to, Node* t,
+                                      DepType type,
+                                      std::vector<GraphViolation>* rto) {
   // Duplicate detection: high-degree nodes keep a (peer -> type mask) hash
   // set so the check is O(1) instead of O(out-degree).
   const uint8_t type_bit = static_cast<uint8_t>(1u << static_cast<int>(type));
   if (f->out_seen != nullptr) {
     uint8_t& mask = (*f->out_seen)[to];
-    if (mask & type_bit) return std::nullopt;  // duplicate
+    if (mask & type_bit) return false;  // duplicate
     mask |= type_bit;
   } else {
     for (const Edge& e : f->out) {
-      if (e.to == to && e.type == type) return std::nullopt;  // duplicate
+      if (e.to == to && e.type == type) return false;  // duplicate
     }
     if (f->out.size() + 1 >= kDupSetThreshold) {
       auto seen = std::make_unique<FlatHashMap<TxnId, uint8_t>>();
@@ -147,15 +143,28 @@ std::optional<GraphViolation> DependencyGraph::AddEdge(TxnId from, TxnId to,
   ++t->in_degree;
   ++edge_count_;
 
-  if (check_real_time_order_ &&
+  if (check_real_time_order_ && rto != nullptr &&
       CertainlyBefore(t->info.end, f->info.first_op)) {
     // `to` finished before `from` even began, yet `to` depends on `from`:
     // the serialization order contradicts real time.
     std::ostringstream os;
     os << "strict serializability: " << DepTypeName(type) << " edge "
        << from << " -> " << to << " points backwards in real time";
-    return GraphViolation{os.str(), {BugEdge{from, to, type}}};
+    rto->push_back(GraphViolation{os.str(), {BugEdge{from, to, type}}});
   }
+  return true;
+}
+
+std::optional<GraphViolation> DependencyGraph::AddEdge(TxnId from, TxnId to,
+                                                       DepType type) {
+  if (from == to) return std::nullopt;
+  Node* f = Find(from);
+  Node* t = Find(to);
+  if (f == nullptr || t == nullptr) return std::nullopt;
+
+  std::vector<GraphViolation> rto;
+  if (!InsertAdjacency(from, f, to, t, type, &rto)) return std::nullopt;
+  if (!rto.empty()) return std::move(rto.front());
 
   switch (mode_) {
     case CertifierMode::kSsi: {
@@ -316,6 +325,92 @@ std::optional<GraphViolation> DependencyGraph::PkInsert(TxnId from, Node* f,
   for (Node* n : scratch_backward_) n->ord = scratch_slots_[i++];
   for (Node* n : scratch_forward_) n->ord = scratch_slots_[i++];
   return std::nullopt;
+}
+
+bool DependencyGraph::KahnRecompute() {
+  // From-scratch topological sort. `ord` doubles as the remaining-in-degree
+  // scratch counter until a node is processed (epoch mark set), at which
+  // point it receives its final index — so the recompute allocates nothing
+  // beyond the reused scratch stack.
+  const uint64_t epoch = BumpEpoch();
+  scratch_stack_.clear();
+  for (auto&& slot : nodes_) {
+    Node& n = slot.second;
+    n.ord = static_cast<int64_t>(n.in_degree);
+    if (n.in_degree == 0) scratch_stack_.push_back(&n);
+  }
+  int64_t ord = 0;
+  size_t processed = 0;
+  while (!scratch_stack_.empty()) {
+    Node* n = scratch_stack_.back();
+    scratch_stack_.pop_back();
+    n->mark = epoch;
+    n->ord = ord++;
+    ++processed;
+    for (const Edge& e : n->out) {
+      Node* nn = Find(e.to);
+      if (nn == nullptr || nn->mark >= epoch) continue;
+      if (--nn->ord == 0) scratch_stack_.push_back(nn);
+    }
+  }
+  if (processed != nodes_.size()) {
+    // A cycle: its participants never drained. Give them fresh (meaningless
+    // but distinct) indices so the ord invariant survives for subsequent
+    // inserts; the caller extracts the witness with the full DFS.
+    for (auto&& slot : nodes_) {
+      Node& n = slot.second;
+      if (n.mark < epoch) n.ord = ord++;
+    }
+    next_ord_ = ord;
+    return false;
+  }
+  next_ord_ = ord;
+  return true;
+}
+
+size_t DependencyGraph::AddEdgeBatch(const BatchEdge* edges, size_t n,
+                                     std::vector<GraphViolation>& violations) {
+  const bool batch_pk =
+      mode_ == CertifierMode::kCycle && n >= kBatchPkThreshold;
+  if (!batch_pk && mode_ != CertifierMode::kFullDfs) {
+    // Per-edge fallback: the mirror modes run O(degree) checks that gain
+    // nothing from batching, and small kCycle batches are cheaper through
+    // the incremental Pearce–Kelly repair.
+    size_t inserted = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const size_t before = edge_count_;
+      std::optional<GraphViolation> v =
+          AddEdge(edges[i].from, edges[i].to, edges[i].type);
+      if (edge_count_ != before) ++inserted;
+      if (v.has_value()) violations.push_back(std::move(*v));
+    }
+    return inserted;
+  }
+
+  // Adjacency-first: insert every edge, remembering only whether any of
+  // them violated the maintained topological order.
+  size_t inserted = 0;
+  bool order_broken = false;
+  std::vector<GraphViolation> rto;
+  for (size_t i = 0; i < n; ++i) {
+    const BatchEdge& be = edges[i];
+    if (be.from == be.to) continue;
+    Node* f = Find(be.from);
+    Node* t = Find(be.to);
+    if (f == nullptr || t == nullptr) continue;
+    if (!InsertAdjacency(be.from, f, be.to, t, be.type, &rto)) continue;
+    ++inserted;
+    if (t->ord <= f->ord) order_broken = true;
+  }
+  for (GraphViolation& v : rto) violations.push_back(std::move(v));
+  if (mode_ == CertifierMode::kFullDfs) {
+    return inserted;  // caller runs FullCycleSearch once per flush
+  }
+  if (order_broken && !KahnRecompute()) {
+    std::optional<GraphViolation> v = FullCycleSearch();
+    if (v.has_value()) violations.push_back(std::move(*v));
+  }
+  return inserted;
 }
 
 std::optional<GraphViolation> DependencyGraph::FullCycleSearch() {

@@ -74,6 +74,41 @@ class DependencyGraph {
   /// are ignored.
   std::optional<GraphViolation> AddEdge(TxnId from, TxnId to, DepType type);
 
+  /// One deduced edge of a certifier batch (AddEdgeBatch input).
+  struct BatchEdge {
+    TxnId from = 0;
+    TxnId to = 0;
+    DepType type = DepType::kWw;
+  };
+
+  /// Below this batch size AddEdgeBatch takes the per-edge Pearce–Kelly
+  /// path: a global Kahn recompute only amortizes once a drain carries
+  /// enough order-violating edges, and small batches are the uniform-
+  /// workload common case that must not regress.
+  static constexpr size_t kBatchPkThreshold = 16;
+
+  /// Batched edge insertion for the sharded certifier's drain loop. Inserts
+  /// every edge's adjacency first (duplicates and missing endpoints are
+  /// skipped exactly as AddEdge would), then restores the certifier
+  /// invariant once per batch instead of once per edge:
+  ///
+  ///  - kCycle: if no inserted edge violated the maintained topological
+  ///    order, nothing else happens (forward edges keep the order valid).
+  ///    Otherwise ONE global Kahn recompute reassigns all topological
+  ///    indices — amortizing what Pearce–Kelly would have done per edge —
+  ///    and a batch that closed a cycle is detected by Kahn's leftover set,
+  ///    with the witness path extracted by the full DFS.
+  ///  - kFullDfs: adjacency only; the caller runs FullCycleSearch once per
+  ///    flush (amortizing the per-commit search the same way).
+  ///  - other modes: falls back to per-edge AddEdge (their checks are
+  ///    O(degree) and gain nothing from batching).
+  ///
+  /// Violations are appended to `violations` (at most one cycle per batch —
+  /// re-running the search would rediscover the same witness). Returns the
+  /// number of edges whose adjacency was actually inserted.
+  size_t AddEdgeBatch(const BatchEdge* edges, size_t n,
+                      std::vector<GraphViolation>& violations);
+
   /// kFullDfs only: run the from-scratch cycle search (call per commit).
   /// Reuses the epoch-marked scratch state across calls.
   std::optional<GraphViolation> FullCycleSearch();
@@ -135,6 +170,17 @@ class DependencyGraph {
 
   Node* Find(TxnId id);
   const Node* Find(TxnId id) const;
+  /// Shared adjacency insertion (duplicate detection, out/in lists,
+  /// in-degree, edge count). Returns false when the edge was a duplicate.
+  /// Appends a real-time-order violation to `rto` when that check is on and
+  /// fires.
+  bool InsertAdjacency(TxnId from, Node* f, TxnId to, Node* t, DepType type,
+                       std::vector<GraphViolation>* rto);
+  /// From-scratch Kahn topological sort reassigning every node's `ord`.
+  /// Returns true when the graph is acyclic; on a cycle the unprocessed
+  /// nodes keep fresh (but meaningless) indices and the caller extracts a
+  /// witness via FullCycleSearch.
+  bool KahnRecompute();
   bool Concurrent(const Node& a, const Node& b) const;
   std::optional<GraphViolation> CheckSsi(TxnId from, Node& f, TxnId to,
                                          Node& t);

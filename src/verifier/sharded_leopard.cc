@@ -1,6 +1,7 @@
 #include "verifier/sharded_leopard.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cassert>
 #include <chrono>
@@ -14,6 +15,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/flat_hash_map.h"
 #include "common/spsc_queue.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
@@ -24,10 +26,12 @@
 namespace leopard {
 namespace sharded_internal {
 
-/// Router → shard worker. One queue per shard, produced only by the
-/// Process() caller, consumed only by the shard thread.
+/// Router → shard. One queue per shard, produced only by the Process()
+/// caller, consumed by whichever worker currently holds the shard's drain
+/// claim (the claim flag serializes consumers, keeping the queue SPSC).
 struct ShardMsg {
-  enum class Kind : uint8_t { kTrace, kFinish, kBarrier };
+  enum class Kind : uint8_t { kTrace, kFinish, kBarrier, kMigrateOut,
+                              kMigrateIn };
   Kind kind = Kind::kTrace;
   /// Projection of the routed trace onto this shard's keys (terminals are
   /// broadcast whole — they carry no accesses).
@@ -50,6 +54,14 @@ struct ShardMsg {
   /// it, so the certifier's commit gating sees a consistent prefix.
   bool emit_terminal = false;
   TimeInterval txn_first_op;
+  /// kMigrateOut/kMigrateIn: the key being rebalanced and the handoff
+  /// sequence number pairing the source's extracted bundle with the
+  /// target's install (mailbox slot). Because the router enqueues the
+  /// kMigrateOut *before* any post-move trace is routed to the target, and
+  /// the queues are FIFO, the per-key trace order the verdict-exactness
+  /// argument relies on is preserved across the move.
+  Key mig_key = 0;
+  uint64_t mig_seq = 0;
 };
 
 /// Shard worker → certifier. One queue per shard, produced only by the
@@ -74,7 +86,15 @@ struct Shard {
   std::unique_ptr<Leopard> leopard;
   SpscQueue<ShardMsg> in;
   SpscQueue<EdgeMsg> edges;
-  std::thread thread;
+  /// Drain claim: workers race to exchange() it before touching the shard.
+  /// The acquire on a successful claim pairs with the release on the
+  /// previous claimant's un-claim, publishing the shard's Leopard state and
+  /// both queues' cached consumer/producer cursors between (possibly
+  /// different) worker threads — each queue stays effectively SPSC.
+  std::atomic<bool> claim{false};
+  /// Set (release) after kFinish runs the shard's Leopard::Finish; workers
+  /// exit once every shard is finished.
+  std::atomic<bool> finished{false};
   uint64_t msgs_since_safe_ts = 0;
 
   Shard(const VerifierConfig& config, size_t queue_capacity)
@@ -94,6 +114,8 @@ namespace {
 constexpr size_t kMaxCertifierBugs = 10000;
 constexpr uint64_t kRouterSafeEvery = 64;   ///< traces between safe recomputes
 constexpr uint64_t kGaugeSyncEvery = 64;    ///< router gauge refresh cadence
+constexpr int kDrainBudget = 256;   ///< shard messages per worker claim
+constexpr uint64_t kHotSampleMask = 7;  ///< sample 1-in-8 traces into sketch
 
 void AccumulateStats(VerifierStats& into, const VerifierStats& from) {
   into.traces_processed += from.traces_processed;
@@ -151,6 +173,20 @@ struct ShardedLeopard::Impl {
     uint64_t edges_parked = 0;
     uint64_t edges_dropped = 0;
     std::vector<BugDescriptor> bugs;
+    /// Deduced-edge batch (kCycle/kFullDfs only): gating-passed edges
+    /// accumulate here and enter the graph through one AddEdgeBatch per
+    /// drain sweep, so Pearce–Kelly reorders — or the kFullDfs full search
+    /// runs — once per batch instead of once per edge. Flush points are
+    /// mandatory before anything that reads or prunes the graph: OnSafeTs
+    /// (GC could otherwise prune a node a batched edge references) and the
+    /// quiesce barrier (SaveState serializes the graph).
+    std::vector<DependencyGraph::BatchEdge> batch;
+    std::vector<GraphViolation> flush_scratch;
+    bool batch_saw_commit = false;
+    TxnId last_commit = 0;
+    uint64_t batch_flushes = 0;
+    uint64_t batch_edges_total = 0;
+    uint64_t batch_edges_max = 0;
 
     void Report(const GraphViolation& violation, std::string detail_suffix,
                 TxnId fallback_txn) {
@@ -193,10 +229,18 @@ struct ShardedLeopard::Impl {
       const bool have_to = graph.HasNode(e.to);
       if (have_from && have_to) {
         ++edges_applied;
-        auto violation = graph.AddEdge(e.from, e.to, e.type);
-        if (violation) {
-          Report(*violation,
-                 " (" + std::string(DepTypeName(e.type)) + " edge)", e.from);
+        if (config.certifier == CertifierMode::kCycle ||
+            config.certifier == CertifierMode::kFullDfs) {
+          batch.push_back({e.from, e.to, e.type});
+        } else {
+          // Mirror modes (SSI / commit-order / ts-order) have no reorder
+          // cost to amortize — apply immediately, keeping the per-edge
+          // detail suffix.
+          auto violation = graph.AddEdge(e.from, e.to, e.type);
+          if (violation) {
+            Report(*violation,
+                   " (" + std::string(DepTypeName(e.type)) + " edge)", e.from);
+          }
         }
         return;
       }
@@ -213,6 +257,7 @@ struct ShardedLeopard::Impl {
     void OnCommit(const EdgeMsg& e) {
       if (!committed.insert(e.from).second) return;
       graph.AddNode(e.from, {e.first_op, e.end});
+      last_commit = e.from;
       auto it = parked.find(e.from);
       if (it != parked.end()) {
         std::vector<EdgeMsg> waiting = std::move(it->second);
@@ -220,10 +265,32 @@ struct ShardedLeopard::Impl {
         // May re-park on the other endpoint — same as Leopard::EmitEdge.
         for (const EdgeMsg& w : waiting) TryEdge(w);
       }
-      if (config.certifier == CertifierMode::kFullDfs) {
-        auto violation = graph.FullCycleSearch();
-        if (violation) Report(*violation, "", e.from);
+      // kFullDfs certifies at the next Flush(): one full search covers
+      // every commit drained in the sweep, same verdicts amortized.
+      if (config.certifier == CertifierMode::kFullDfs) batch_saw_commit = true;
+    }
+
+    /// Applies the accumulated edge batch (and, for kFullDfs, runs the
+    /// one deferred full search covering the commits drained since the
+    /// last flush). Must run before OnSafeTs GC and before parking at a
+    /// quiesce barrier.
+    void Flush() {
+      if (!batch.empty()) {
+        ++batch_flushes;
+        batch_edges_total += batch.size();
+        batch_edges_max = std::max<uint64_t>(batch_edges_max, batch.size());
+        flush_scratch.clear();
+        graph.AddEdgeBatch(batch.data(), batch.size(), flush_scratch);
+        for (const GraphViolation& v : flush_scratch) {
+          Report(v, "", v.edges.empty() ? last_commit : v.edges.front().from);
+        }
+        batch.clear();
       }
+      if (batch_saw_commit && config.certifier == CertifierMode::kFullDfs) {
+        auto violation = graph.FullCycleSearch();
+        if (violation) Report(*violation, "", last_commit);
+      }
+      batch_saw_commit = false;
     }
 
     void OnAbort(TxnId txn) {
@@ -243,6 +310,8 @@ struct ShardedLeopard::Impl {
   Impl(const VerifierConfig& config, const Options& options)
       : config(config), opts(options) {
     opts.n_shards = std::clamp<uint32_t>(opts.n_shards, 1, 64);
+    if (opts.n_workers == 0) opts.n_workers = opts.n_shards;
+    opts.n_workers = std::clamp<uint32_t>(opts.n_workers, 1, 64);
     if (opts.metrics != nullptr) {
       stage_verify = opts.metrics->histogram("stage.read_to_verify_ns");
       gc_safe_gauge = opts.metrics->gauge("verifier.gc.safe_ts");
@@ -264,6 +333,20 @@ struct ShardedLeopard::Impl {
     scratch_writes.resize(opts.n_shards);
     scratch_absent.resize(opts.n_shards);
     touched_flag.assign(opts.n_shards, 0);
+    shard_load.assign(opts.n_shards, 0);
+    shard_stall_ns.assign(opts.n_shards, 0);
+    shard_stall_event_ns.assign(opts.n_shards, 0);
+
+    if (opts.metrics != nullptr) {
+      steal_batches_ctr = opts.metrics->counter("steal.batches");
+      steal_msgs_ctr = opts.metrics->counter("steal.msgs");
+      if (opts.enable_rebalance) {
+        reb_checks_ctr = opts.metrics->counter("rebalance.checks");
+        reb_migrations_ctr = opts.metrics->counter("rebalance.migrations");
+        reb_overrides_gauge = opts.metrics->gauge("rebalance.overrides");
+        reb_epoch_gauge = opts.metrics->gauge("rebalance.epoch");
+      }
+    }
 
     shards.reserve(opts.n_shards);
     for (uint32_t i = 0; i < opts.n_shards; ++i) {
@@ -277,6 +360,8 @@ struct ShardedLeopard::Impl {
             "sharded.shard" + std::to_string(i) + ".trace_queue_depth"));
         edge_depth_gauges.push_back(opts.metrics->gauge(
             "sharded.shard" + std::to_string(i) + ".edge_queue_depth"));
+        stall_counters.push_back(opts.metrics->counter(
+            "shard" + std::to_string(i) + ".verifier.stall_ns"));
       }
       if (config.check_sc) {
         SpscQueue<EdgeMsg>* out = &shards[i]->edges;
@@ -304,13 +389,15 @@ struct ShardedLeopard::Impl {
         cert_parked = opts.metrics->counter("sharded.certifier.edges_parked");
         cert_dropped = opts.metrics->counter("sharded.certifier.edges_dropped");
         cert_nodes = opts.metrics->gauge("sharded.certifier.graph_nodes");
+        cert_batch_count = opts.metrics->counter("certify.batch_count");
+        cert_batch_edges = opts.metrics->counter("certify.batch_edges");
+        cert_batch_max = opts.metrics->gauge("certify.batch_max_edges");
       }
       certifier_thread = std::thread([this] { CertifierLoop(); });
     }
-    for (uint32_t i = 0; i < opts.n_shards; ++i) {
-      Shard* shard = shards[i].get();
-      shards[i]->thread =
-          std::thread([this, shard, i] { ShardLoop(*shard, i); });
+    workers.reserve(opts.n_workers);
+    for (uint32_t w = 0; w < opts.n_workers; ++w) {
+      workers.emplace_back([this, w] { WorkerLoop(w); });
     }
   }
 
@@ -346,12 +433,28 @@ struct ShardedLeopard::Impl {
         break;
     }
 
+    if (opts.enable_rebalance) {
+      if ((router_traces & kHotSampleMask) == 0) {
+        for (const auto& w : trace.write_set) HotTouch(w.key);
+        for (const auto& r : trace.read_set) HotTouch(r.key);
+      }
+      if (++traces_since_rebalance >= opts.rebalance_check_every) {
+        traces_since_rebalance = 0;
+        MaybeRebalance();
+      }
+    }
+
     if (!trace_depth_gauges.empty() &&
         ++traces_since_gauges >= kGaugeSyncEvery) {
       traces_since_gauges = 0;
       for (uint32_t i = 0; i < opts.n_shards; ++i) {
         trace_depth_gauges[i]->Set(
             static_cast<int64_t>(shards[i]->in.ApproxSize()));
+      }
+      if (steal_batches_ctr != nullptr) {
+        steal_batches_ctr->Store(
+            steal_batches.load(std::memory_order_relaxed));
+        steal_msgs_ctr->Store(steal_msgs.load(std::memory_order_relaxed));
       }
     }
   }
@@ -394,28 +497,166 @@ struct ShardedLeopard::Impl {
       msg.txn_begin = route.first_op;
     }
     (void)txn;
+    ++shard_load[s];
+    PushToShard(s, std::move(msg));
+  }
+
+  /// Control-plane send (migration handoffs): piggybacks the frontier and
+  /// safe bound like Send but carries no transaction context.
+  void SendControl(uint32_t s, ShardMsg&& msg) {
+    msg.frontier = frontier;
+    msg.safe_bound = router_safe;
+    PushToShard(s, std::move(msg));
+  }
+
+  void PushToShard(uint32_t s, ShardMsg&& msg) {
     SpscQueue<ShardMsg>& q = shards[s]->in;
-    if (opts.events != nullptr && q.ApproxSize() >= q.capacity()) {
-      // The push below will stall the router until the shard drains.
-      // Throttled like the GC events — a wedged shard would fire this on
-      // every trace.
-      const uint64_t now = obs::NowNs();
-      if (now - last_stall_event_ns >= 1000000000ull) {
-        last_stall_event_ns = now;
-        opts.events->Recordf(obs::EventSeverity::kWarn, "router",
-                             "shard %u trace queue full; router stalling",
-                             static_cast<unsigned>(s));
+    if (q.ApproxSize() >= q.capacity()) {
+      // The push below will stall the router until the shard drains. Stall
+      // time is accumulated *per shard* and exported as
+      // shard<i>.verifier.stall_ns so backpressure is attributable to the
+      // shard causing it; journal events throttle per shard at ~1/s (a
+      // wedged shard would otherwise fire one per trace).
+      if (opts.events != nullptr) {
+        const uint64_t now = obs::NowNs();
+        if (now - shard_stall_event_ns[s] >= 1000000000ull) {
+          shard_stall_event_ns[s] = now;
+          opts.events->Recordf(obs::EventSeverity::kWarn, "router",
+                               "shard %u trace queue full; router stalling",
+                               static_cast<unsigned>(s));
+        }
+      }
+      const uint64_t t0 = obs::NowNs();
+      // false = every worker exited and the queue is poisoned; the engine
+      // is shutting down and the message is moot.
+      (void)q.Push(std::move(msg));
+      shard_stall_ns[s] += obs::NowNs() - t0;
+      if (!stall_counters.empty()) stall_counters[s]->Store(shard_stall_ns[s]);
+      return;
+    }
+    (void)q.Push(std::move(msg));
+  }
+
+  /// Live key → shard mapping: routing-table override first, hash second.
+  uint32_t ShardOf(Key key) const {
+    if (route_overrides.size() != 0) {
+      auto it = route_overrides.find(key);
+      if (it != route_overrides.end()) return it->second;
+    }
+    return ShardOfKey(key, opts.n_shards);
+  }
+
+  /// SpaceSaving top-k sketch over sampled key touches: an exact match
+  /// bumps its slot; a miss claims the minimum slot, inheriting its count
+  /// (the classic overestimate that keeps genuinely hot keys resident).
+  void HotTouch(Key key) {
+    HotSlot* min_slot = &hot[0];
+    for (HotSlot& h : hot) {
+      if (h.count > 0 && h.key == key) {
+        ++h.count;
+        return;
+      }
+      if (h.count < min_slot->count) min_slot = &h;
+    }
+    min_slot->key = key;
+    ++min_slot->count;
+  }
+
+  void MaybeRebalance() {
+    ++rebalance_checks;
+    uint64_t total = 0;
+    uint32_t hottest = 0;
+    uint32_t coldest = 0;
+    for (uint32_t s = 0; s < opts.n_shards; ++s) {
+      total += shard_load[s];
+      if (shard_load[s] > shard_load[hottest]) hottest = s;
+      if (shard_load[s] < shard_load[coldest]) coldest = s;
+    }
+    const double mean = static_cast<double>(total) / opts.n_shards;
+    if (total > 0 && hottest != coldest &&
+        static_cast<double>(shard_load[hottest]) >
+            opts.rebalance_imbalance * mean) {
+      std::array<HotSlot, kHotSlots> by_heat = hot;
+      std::sort(by_heat.begin(), by_heat.end(),
+                [](const HotSlot& a, const HotSlot& b) {
+                  return a.count > b.count;
+                });
+      uint64_t sampled = 0;
+      for (const HotSlot& h : by_heat) sampled += h.count;
+      // A single dominant key cannot be split below one shard: when it
+      // draws the majority of sampled traffic and already lives on the
+      // hottest shard, dedicate that shard to it by migrating the *other*
+      // hot residents away instead.
+      const bool dominant = sampled > 0 && by_heat[0].count * 2 > sampled &&
+                            ShardOf(by_heat[0].key) == hottest;
+      uint32_t moves = 0;
+      for (size_t i = dominant ? 1 : 0;
+           i < by_heat.size() && moves < opts.rebalance_max_moves; ++i) {
+        if (by_heat[i].count == 0) break;
+        if (ShardOf(by_heat[i].key) != hottest) continue;
+        if (MigrateKey(by_heat[i].key, coldest)) ++moves;
       }
     }
-    // false = the shard worker exited and poisoned its queue; the engine is
-    // shutting down and the message is moot.
-    (void)q.Push(std::move(msg));
+    // Exponential decay: the sketch and the load counters track the
+    // current phase of the workload, not its whole history.
+    for (uint64_t& l : shard_load) l >>= 1;
+    for (HotSlot& h : hot) h.count >>= 1;
+    if (reb_checks_ctr != nullptr) {
+      reb_checks_ctr->Store(rebalance_checks);
+      reb_migrations_ctr->Store(rebalance_migrations);
+      reb_overrides_gauge->Set(static_cast<int64_t>(route_overrides.size()));
+      reb_epoch_gauge->Set(static_cast<int64_t>(route_epoch));
+    }
+  }
+
+  /// Issues the in-order handoff moving `key`'s mirrored state to
+  /// `target`: kMigrateOut to the current owner (extract + deposit), then
+  /// kMigrateIn to the target (collect + install), then the routing-table
+  /// update so every subsequently routed trace lands on the target. FIFO
+  /// queues make the cut exact — no trace routed before the move can reach
+  /// the target after it, and vice versa.
+  bool MigrateKey(Key key, uint32_t target) {
+    if (target >= opts.n_shards) return false;
+    const uint32_t source = ShardOf(key);
+    if (source == target) return false;
+    const bool overridden = route_overrides.find(key) != route_overrides.end();
+    if (!overridden &&
+        route_overrides.size() >= opts.rebalance_max_overrides) {
+      return false;
+    }
+    const uint64_t seq = mig_seq_next++;
+    ShardMsg out_msg;
+    out_msg.kind = ShardMsg::Kind::kMigrateOut;
+    out_msg.mig_key = key;
+    out_msg.mig_seq = seq;
+    SendControl(source, std::move(out_msg));
+    ShardMsg in_msg;
+    in_msg.kind = ShardMsg::Kind::kMigrateIn;
+    in_msg.mig_key = key;
+    in_msg.mig_seq = seq;
+    SendControl(target, std::move(in_msg));
+    if (target == ShardOfKey(key, opts.n_shards)) {
+      route_overrides.erase(key);  // moved home: no override needed
+    } else {
+      route_overrides[key] = target;
+    }
+    ++route_epoch;
+    ++rebalance_migrations;
+    if (opts.events != nullptr) {
+      opts.events->Recordf(obs::EventSeverity::kInfo, "router",
+                           "migrating key %llu: shard %u -> %u (epoch %llu)",
+                           static_cast<unsigned long long>(key),
+                           static_cast<unsigned>(source),
+                           static_cast<unsigned>(target),
+                           static_cast<unsigned long long>(route_epoch));
+    }
+    return true;
   }
 
   void RouteWrite(const Trace& trace, TxnRoute& route) {
     touched.clear();
     for (const auto& w : trace.write_set) {
-      const uint32_t s = ShardOfKey(w.key, opts.n_shards);
+      const uint32_t s = ShardOf(w.key);
       if (!touched_flag[s]) {
         touched_flag[s] = 1;
         touched.push_back(s);
@@ -461,12 +702,12 @@ struct ShardedLeopard::Impl {
       }
     };
     for (const auto& r : trace.read_set) {
-      const uint32_t s = ShardOfKey(r.key, opts.n_shards);
+      const uint32_t s = ShardOf(r.key);
       touch(s);
       scratch_reads[s].push_back(r);
     }
     for (Key key : expanded_absent) {
-      const uint32_t s = ShardOfKey(key, opts.n_shards);
+      const uint32_t s = ShardOf(key);
       touch(s);
       scratch_absent[s].push_back(key);
     }
@@ -504,19 +745,84 @@ struct ShardedLeopard::Impl {
     }
   }
 
-  // ---- Shard worker ----
+  // ---- Worker pool (work-stealing shard drains) ----
 
-  void ShardLoop(Shard& shard, uint32_t index) {
+  /// Worker threads are not pinned: each scans every shard's trace queue —
+  /// home shard (w % n_shards) first for locality — and drains a budgeted
+  /// batch from any shard it can claim. A hot shard's backlog is therefore
+  /// worked by every idle thread instead of serializing behind one pinned
+  /// worker.
+  void WorkerLoop(uint32_t w) {
     obs::Watchdog::Slot* wd =
         opts.watchdog != nullptr
-            ? opts.watchdog->Register("shard" + std::to_string(index) +
-                                      ".worker")
+            ? opts.watchdog->Register("worker" + std::to_string(w))
             : nullptr;
-    SpscQueue<EdgeMsg>* out = certifier != nullptr ? &shard.edges : nullptr;
+    const uint32_t n = opts.n_shards;
+    const uint32_t home = w % n;
     for (;;) {
       if (wd != nullptr) wd->Beat();
-      ShardMsg msg;
-      if (!shard.in.PopWait(msg, std::chrono::microseconds(200))) continue;
+      bool progress = false;
+      bool all_finished = true;
+      for (uint32_t k = 0; k < n; ++k) {
+        const uint32_t s = (home + k) % n;
+        Shard& shard = *shards[s];
+        if (shard.finished.load(std::memory_order_acquire)) continue;
+        all_finished = false;
+        if (shard.claim.exchange(true, std::memory_order_acquire)) continue;
+        const size_t drained = DrainShard(shard);
+        shard.claim.store(false, std::memory_order_release);
+        if (drained > 0) {
+          progress = true;
+          if (k != 0) {
+            steal_batches.fetch_add(1, std::memory_order_relaxed);
+            steal_msgs.fetch_add(drained, std::memory_order_relaxed);
+          }
+        }
+      }
+      if (all_finished) break;
+      if (!progress) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    }
+    if (opts.watchdog != nullptr) opts.watchdog->Retire(wd);
+  }
+
+  /// Drains up to kDrainBudget messages from a claimed shard. Returns the
+  /// number consumed; 0 means the queue was empty *or* its head is a
+  /// kMigrateIn whose bundle has not been deposited yet — the worker
+  /// releases the claim and some worker retries after the source shard
+  /// progresses (the source's kMigrateOut is always poppable, so the
+  /// handoff cannot deadlock, even with a single worker).
+  size_t DrainShard(Shard& shard) {
+    SpscQueue<EdgeMsg>* out = certifier != nullptr ? &shard.edges : nullptr;
+    size_t processed = 0;
+    for (int budget = kDrainBudget; budget > 0; --budget) {
+      ShardMsg* front = shard.in.Front();
+      if (front == nullptr) break;
+      if (front->kind == ShardMsg::Kind::kMigrateIn) {
+        std::unique_ptr<Leopard::KeyStateBundle> bundle;
+        {
+          std::lock_guard<std::mutex> lock(mig_mu);
+          auto it = mig_mailbox.find(front->mig_seq);
+          if (it != mig_mailbox.end()) {
+            bundle = std::move(it->second);
+            mig_mailbox.erase(it);
+          }
+        }
+        if (bundle == nullptr) break;  // source not there yet; retry later
+        shard.leopard->SetSafeTsBound(front->safe_bound);
+        shard.leopard->InstallKeyState(std::move(bundle));
+        // Install *before* the frontier advance so migrated parked reads
+        // that are already due flush here, at the same frontier the source
+        // (and the single-threaded oracle) would have used.
+        shard.leopard->AdvanceFrontier(front->frontier);
+        shard.in.PopFront();
+        ++processed;
+        continue;
+      }
+      ShardMsg msg = std::move(*front);
+      shard.in.PopFront();
+      ++processed;
       if (msg.kind == ShardMsg::Kind::kFinish) {
         shard.leopard->Finish();
         if (out != nullptr) {
@@ -526,8 +832,8 @@ struct ShardedLeopard::Impl {
         }
         // Unblock a router that races a push against this exit.
         shard.in.Poison();
-        if (opts.watchdog != nullptr) opts.watchdog->Retire(wd);
-        return;
+        shard.finished.store(true, std::memory_order_release);
+        return processed;
       }
       if (msg.kind == ShardMsg::Kind::kBarrier) {
         // Forward the barrier to the certifier *before* acking: once every
@@ -543,6 +849,20 @@ struct ShardedLeopard::Impl {
           ++qz_shard_acks;
         }
         qz_cv.notify_all();
+        continue;
+      }
+      if (msg.kind == ShardMsg::Kind::kMigrateOut) {
+        // Flush everything due at the routing cut first, then hand the
+        // key's entire mirrored state to the mailbox. FIFO guarantees
+        // every pre-migration trace for the key was already applied here.
+        shard.leopard->SetSafeTsBound(msg.safe_bound);
+        shard.leopard->AdvanceFrontier(msg.frontier);
+        std::unique_ptr<Leopard::KeyStateBundle> bundle =
+            shard.leopard->ExtractKeyState(msg.mig_key);
+        {
+          std::lock_guard<std::mutex> lock(mig_mu);
+          mig_mailbox.emplace(msg.mig_seq, std::move(bundle));
+        }
         continue;
       }
       RecordStageVerify(msg.trace.ingest_ns);
@@ -570,6 +890,7 @@ struct ShardedLeopard::Impl {
         (void)out->Push(e);
       }
     }
+    return processed;
   }
 
   // ---- Certifier ----
@@ -606,6 +927,9 @@ struct ShardedLeopard::Impl {
               certifier->OnAbort(e.from);
               break;
             case EdgeMsg::Kind::kSafeTs:
+              // Flush before GC: a batched edge may reference a node the
+              // prune would otherwise collect from under it.
+              certifier->Flush();
               certifier->OnSafeTs(i, e.ts);
               break;
             case EdgeMsg::Kind::kDone:
@@ -615,7 +939,10 @@ struct ShardedLeopard::Impl {
             case EdgeMsg::Kind::kBarrier:
               if (++barriers >= opts.n_shards) {
                 // Every shard's pre-barrier traffic is applied: park until
-                // the checkpointer releases the quiescent point.
+                // the checkpointer releases the quiescent point. Flush
+                // first — SaveState serializes the graph, so no edge may
+                // still be sitting in the batch.
+                certifier->Flush();
                 barriers = 0;
                 std::unique_lock<std::mutex> lock(qz_mu);
                 qz_cert_paused = true;
@@ -630,11 +957,15 @@ struct ShardedLeopard::Impl {
           }
         }
       }
+      // One batched graph insertion per drain sweep: Pearce–Kelly (or the
+      // kFullDfs search) amortizes across every edge collected above.
+      certifier->Flush();
       if ((++iters & (kGaugeSyncEvery - 1)) == 0) SyncCertifierMetrics();
       if (!any) {
         std::this_thread::sleep_for(std::chrono::microseconds(100));
       }
     }
+    certifier->Flush();
     // Edges still parked here reference transactions that never committed
     // within the run — exactly the edges the single-threaded verifier also
     // leaves unapplied at Finish().
@@ -651,6 +982,9 @@ struct ShardedLeopard::Impl {
     cert_parked->Store(certifier->edges_parked);
     cert_dropped->Store(certifier->edges_dropped);
     cert_nodes->Set(static_cast<int64_t>(certifier->graph.NodeCount()));
+    cert_batch_count->Store(certifier->batch_flushes);
+    cert_batch_edges->Store(certifier->batch_edges_total);
+    cert_batch_max->Set(static_cast<int64_t>(certifier->batch_edges_max));
     for (uint32_t i = 0; i < opts.n_shards; ++i) {
       edge_depth_gauges[i]->Set(
           static_cast<int64_t>(shards[i]->edges.ApproxSize()));
@@ -711,6 +1045,25 @@ struct ShardedLeopard::Impl {
       w.PutU64(txn);
       serde::SaveInterval(w, route.first_op);
       w.PutU64(route.seen_mask);
+    }
+    // Routing table + skew rebalancer. The migration mailbox is provably
+    // empty at a quiescent point: every kMigrateOut deposit precedes its
+    // shard's barrier ack, and every kMigrateIn blocks its shard's barrier
+    // until the install consumed the bundle.
+    w.PutU64(route_epoch);
+    w.PutU64(mig_seq_next);
+    w.PutU64(traces_since_rebalance);
+    w.PutU64(rebalance_checks);
+    w.PutU64(rebalance_migrations);
+    w.PutU32(static_cast<uint32_t>(route_overrides.size()));
+    for (const auto& [key, target] : route_overrides) {
+      w.PutU64(key);
+      w.PutU32(target);
+    }
+    for (uint32_t i = 0; i < opts.n_shards; ++i) w.PutU64(shard_load[i]);
+    for (const HotSlot& h : hot) {
+      w.PutU64(h.key);
+      w.PutU64(h.count);
     }
     w.PutBool(certifier != nullptr);
     if (certifier == nullptr) return;
@@ -780,6 +1133,35 @@ struct ShardedLeopard::Impl {
       if (!(s = serde::LoadInterval(r, route.first_op)).ok()) return s;
       if (!(s = r.GetU64(route.seen_mask)).ok()) return s;
       txn_routes.emplace(txn, route);
+    }
+    if (!(s = r.GetU64(route_epoch)).ok()) return s;
+    if (!(s = r.GetU64(mig_seq_next)).ok()) return s;
+    if (!(s = r.GetU64(traces_since_rebalance)).ok()) return s;
+    if (!(s = r.GetU64(rebalance_checks)).ok()) return s;
+    if (!(s = r.GetU64(rebalance_migrations)).ok()) return s;
+    uint32_t n_overrides = 0;
+    if (!(s = r.GetU32(n_overrides)).ok()) return s;
+    if (!r.CountFits(n_overrides, 8 + 4)) {
+      return Status::InvalidArgument("sharded state: absurd override count");
+    }
+    route_overrides.clear();
+    for (uint32_t i = 0; i < n_overrides; ++i) {
+      Key key = 0;
+      uint32_t target = 0;
+      if (!(s = r.GetU64(key)).ok()) return s;
+      if (!(s = r.GetU32(target)).ok()) return s;
+      if (target >= opts.n_shards) {
+        return Status::InvalidArgument("sharded state: bad override shard");
+      }
+      route_overrides[key] = target;
+    }
+    shard_load.assign(opts.n_shards, 0);
+    for (uint32_t i = 0; i < opts.n_shards; ++i) {
+      if (!(s = r.GetU64(shard_load[i])).ok()) return s;
+    }
+    for (HotSlot& h : hot) {
+      if (!(s = r.GetU64(h.key)).ok()) return s;
+      if (!(s = r.GetU64(h.count)).ok()) return s;
     }
     bool has_certifier = false;
     if (!(s = r.GetBool(has_certifier)).ok()) return s;
@@ -881,13 +1263,20 @@ struct ShardedLeopard::Impl {
       report.bugs = single->bugs();
       return;
     }
+    // kFinish is routed last on every shard: FIFO (and the rule that a
+    // worker never skips past a deferred kMigrateIn) guarantees no
+    // migration handoff is still in flight when the shards wind down.
     for (auto& shard : shards) {
       ShardMsg msg;
       msg.kind = ShardMsg::Kind::kFinish;
       (void)shard->in.Push(std::move(msg));
     }
-    for (auto& shard : shards) shard->thread.join();
+    for (auto& worker : workers) worker.join();
     if (certifier_thread.joinable()) certifier_thread.join();
+    if (steal_batches_ctr != nullptr) {
+      steal_batches_ctr->Store(steal_batches.load(std::memory_order_relaxed));
+      steal_msgs_ctr->Store(steal_msgs.load(std::memory_order_relaxed));
+    }
 
     report.stats = VerifierStats{};
     for (auto& shard : shards) {
@@ -936,6 +1325,37 @@ struct ShardedLeopard::Impl {
   std::unique_ptr<Certifier> certifier;
   std::thread certifier_thread;
 
+  // Work-stealing worker pool (replaces per-shard pinned threads).
+  std::vector<std::thread> workers;
+  std::atomic<uint64_t> steal_batches{0};
+  std::atomic<uint64_t> steal_msgs{0};
+
+  // Key-migration mailbox: extracted per-key bundles in flight from a
+  // source worker to a target worker, keyed by handoff sequence number.
+  std::mutex mig_mu;
+  std::unordered_map<uint64_t, std::unique_ptr<Leopard::KeyStateBundle>>
+      mig_mailbox;
+
+  // Routing table + skew rebalancer (router thread only; workers never
+  // read these — the routing cut travels inside the message stream).
+  static constexpr size_t kHotSlots = 16;
+  struct HotSlot {
+    Key key = 0;
+    uint64_t count = 0;
+  };
+  FlatHashMap<Key, uint32_t> route_overrides;
+  uint64_t route_epoch = 0;
+  uint64_t mig_seq_next = 1;
+  uint64_t traces_since_rebalance = 0;
+  uint64_t rebalance_checks = 0;
+  uint64_t rebalance_migrations = 0;
+  std::vector<uint64_t> shard_load;
+  std::array<HotSlot, kHotSlots> hot{};
+
+  // Per-shard router backpressure attribution (router thread only).
+  std::vector<uint64_t> shard_stall_ns;
+  std::vector<uint64_t> shard_stall_event_ns;
+
   // Quiescent-point handshake (Quiesce/ResumeFromQuiesce vs the shard and
   // certifier loops). qz_active gates the certifier's park; acks count
   // shards that drained up to their barrier.
@@ -978,17 +1398,26 @@ struct ShardedLeopard::Impl {
   // Observability (optional).
   std::vector<obs::Gauge*> trace_depth_gauges;
   std::vector<obs::Gauge*> edge_depth_gauges;
+  std::vector<obs::Counter*> stall_counters;
   obs::Counter* cert_applied = nullptr;
   obs::Counter* cert_parked = nullptr;
   obs::Counter* cert_dropped = nullptr;
   obs::Gauge* cert_nodes = nullptr;
+  obs::Counter* cert_batch_count = nullptr;
+  obs::Counter* cert_batch_edges = nullptr;
+  obs::Gauge* cert_batch_max = nullptr;
+  obs::Counter* steal_batches_ctr = nullptr;
+  obs::Counter* steal_msgs_ctr = nullptr;
+  obs::Counter* reb_checks_ctr = nullptr;
+  obs::Counter* reb_migrations_ctr = nullptr;
+  obs::Gauge* reb_overrides_gauge = nullptr;
+  obs::Gauge* reb_epoch_gauge = nullptr;
   obs::Histogram* stage_verify = nullptr;
   obs::Histogram* stage_certify = nullptr;
   obs::Gauge* gc_safe_gauge = nullptr;
   std::atomic<uint64_t> stage_samples{0};
   uint64_t last_gc_event_ns = 0;
   Timestamp last_gc_event_safe = 0;
-  uint64_t last_stall_event_ns = 0;
   uint64_t single_traces = 0;  // GC-gauge cadence for the inline verifier
 
   VerifyReport report;
@@ -1048,14 +1477,16 @@ size_t ShardedLeopard::ApproxMemoryBytes() const {
   return bytes;
 }
 
+void ShardedLeopard::DebugForceMigrate(Key key, uint32_t target_shard) {
+  if (impl_->single != nullptr || impl_->finished) return;
+  (void)impl_->MigrateKey(key, target_shard % impl_->opts.n_shards);
+}
+
 uint32_t ShardedLeopard::ShardOfKey(Key key, uint32_t n_shards) {
   if (n_shards <= 1) return 0;
-  // splitmix64 finalizer: cheap, and spreads dense key spaces uniformly.
-  uint64_t x = key + 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  x ^= x >> 31;
-  return static_cast<uint32_t>(x % n_shards);
+  // splitmix64 finalizer (HashU64): cheap, and spreads dense key spaces
+  // uniformly.
+  return static_cast<uint32_t>(HashU64(key) % n_shards);
 }
 
 }  // namespace leopard

@@ -577,6 +577,54 @@ TEST(DurableVerifierTest, ShardedSaveLoadResumes) {
   EXPECT_EQ(BugSet(after.WaitReport().bugs), BugSet(h.bugs));
 }
 
+// Checkpoint/resume straddling live rebalancer state: the first engine
+// rebalances (hair-trigger) and takes forced migrations, so at the cut the
+// routing table holds keys living off their hash shard. The snapshot must
+// carry that table — a resumed engine that re-derived routes by hash would
+// send post-resume traces to shards that no longer own the keys' mirrored
+// state and diverge from the oracle's verdicts.
+TEST(DurableVerifierTest, ShardedEngineSaveLoadResumesMidRebalance) {
+  GoldenCase c = GoldenMatrix()[0];  // dropped_lock
+  FaultyHistory h = RunWithFaults(c.plan, c.protocol, c.isolation, c.seed);
+  ASSERT_FALSE(h.bugs.empty());
+  const size_t cut = h.traces.size() / 2;
+
+  ShardedLeopard::Options eo;
+  eo.n_shards = 4;
+  eo.enable_rebalance = true;
+  eo.rebalance_check_every = 64;
+  eo.rebalance_imbalance = 1.05;
+
+  auto feed = [&h](ShardedLeopard& engine, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      engine.Process(h.traces[i]);
+      // Same absolute-index schedule on both sides of the cut: the two
+      // halves compose into one continuous migration-riddled run.
+      if (i % 97 == 0) {
+        engine.DebugForceMigrate(static_cast<Key>(i % 60),
+                                 static_cast<uint32_t>(i % 4));
+      }
+    }
+  };
+
+  std::string payload;
+  {
+    ShardedLeopard before(h.config, eo);
+    feed(before, 0, cut);
+    before.Quiesce();
+    StateWriter w(payload);
+    before.SaveState(w);
+    before.ResumeFromQuiesce();
+    before.Finish();  // "crash": the rest of this run is discarded
+  }
+  ShardedLeopard after(h.config, eo);
+  StateReader r(payload);
+  ASSERT_TRUE(after.LoadState(r).ok());
+  feed(after, cut, h.traces.size());
+  after.Finish();
+  EXPECT_EQ(BugSet(after.report().bugs), BugSet(h.bugs));
+}
+
 TEST(DurableVerifierTest, SaveStateAfterFinishIsRejected) {
   // Regression for the draining race: a checkpoint that lands while the run
   // finishes must be refused, not applied to a half-drained verifier.

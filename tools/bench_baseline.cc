@@ -7,6 +7,10 @@
 //   full_dfs      — from-scratch cycle search per commit (kFullDfs scratch
 //                   reuse regression guard);
 //   version_index — version installs + candidate-set computations.
+//   sharded_zipf  — zipfian (theta=0.99) YCSB traces through the sharded
+//                   engine with skew-adaptive rebalancing enabled (hot-key
+//                   migration + work stealing + batched SC certification);
+//                   guards the skew-handling path end to end.
 //
 // A `calib_mops` score (fixed integer-mixing loop) normalizes scores across
 // machines: CI compares normalized throughput against the committed
@@ -16,12 +20,13 @@
 // Usage:
 //   bench_baseline [--txns=N] [--clients=N] [--seed=N] [--repeat=N]
 //                  [--label=STR] [--out=PATH]
-//                  [--compare=PATH] [--max-regress=0.20]
+//                  [--compare=PATH] [--max-regress=0.20] [--gate=METRIC]
 //
 // --compare reads a previous snapshot (or a BENCH_PR*.json trajectory file,
 // in which case the "after" snapshot is used) and exits nonzero when the
-// calibration-normalized verify throughput regressed by more than
-// --max-regress.
+// calibration-normalized throughput of the gating metric (--gate, default
+// "verify"; the skew perf-smoke job gates on "sharded_zipf") regressed by
+// more than --max-regress.
 
 #include <algorithm>
 #include <cstdint>
@@ -33,8 +38,10 @@
 
 #include "bench_util.h"
 #include "verifier/dependency_graph.h"
+#include "verifier/sharded_leopard.h"
 #include "verifier/version_order.h"
 #include "workload/blindw.h"
+#include "workload/ycsb.h"
 
 using namespace leopard;
 using namespace leopard::bench;
@@ -50,6 +57,7 @@ struct Options {
   std::string out;
   std::string compare;
   double max_regress = 0.20;
+  std::string gate = "verify";
 };
 
 struct Score {
@@ -99,6 +107,47 @@ Score MeasureVerify(const Options& opt) {
       best.per_sec = per_sec;
       best.items = out.traces;
       best.peak_memory = out.peak_memory;
+    }
+  }
+  return best;
+}
+
+Score MeasureShardedZipf(const Options& opt) {
+  YcsbWorkload::Options wo;
+  wo.record_count = 2000;
+  wo.theta = 0.99;
+  YcsbWorkload workload(wo);
+  RunResult run = CollectTraces(&workload, Protocol::kMvcc2plSsi,
+                                IsolationLevel::kSerializable, opt.txns,
+                                opt.clients, opt.seed + 1);
+  const auto clients = static_cast<uint32_t>(run.client_traces.size());
+  Score best;
+  for (int r = 0; r < opt.repeat; ++r) {
+    ShardedLeopard::Options so;
+    so.n_shards = 4;
+    so.enable_rebalance = true;
+    ShardedLeopard engine(
+        ConfigForMiniDb(Protocol::kMvcc2plSsi, IsolationLevel::kSerializable),
+        so);
+    TwoLevelPipeline pipeline(clients);
+    Stopwatch timer;
+    for (ClientId c = 0; c < clients; ++c) {
+      for (const auto& t : run.client_traces[c]) pipeline.Push(c, Trace(t));
+      pipeline.Close(c);
+    }
+    uint64_t n = 0;
+    while (auto t = pipeline.Dispatch()) {
+      engine.Process(*t);
+      ++n;
+    }
+    engine.Finish();
+    double secs = timer.Seconds();
+    double per_sec = secs > 0 ? static_cast<double>(n) / secs : 0.0;
+    if (per_sec > best.per_sec) {
+      best.seconds = secs;
+      best.per_sec = per_sec;
+      best.items = n;
+      best.peak_memory = engine.ApproxMemoryBytes();
     }
   }
   return best;
@@ -230,7 +279,8 @@ double ExtractNumber(const std::string& text, const std::string& section,
 }
 
 int Compare(const Options& opt, double calib, const Score& verify,
-            const Score& pk, const Score& dfs, const Score& vindex) {
+            const Score& sharded, const Score& pk, const Score& dfs,
+            const Score& vindex) {
   std::ifstream in(opt.compare);
   if (!in) {
     std::fprintf(stderr, "cannot read baseline %s\n", opt.compare.c_str());
@@ -239,25 +289,31 @@ int Compare(const Options& opt, double calib, const Score& verify,
   std::stringstream buf;
   buf << in.rdbuf();
   const std::string text = buf.str();
-  double base_tps = ExtractNumber(text, "verify", "per_sec");
   double base_calib = ExtractNumber(text, "", "calib_mops");
-  if (base_tps <= 0) {
-    std::fprintf(stderr, "baseline %s has no verify per_sec\n",
-                 opt.compare.c_str());
-    return 2;
-  }
   // Per-metric delta table, calibration-normalized on both sides (so a
-  // slower CI machine is not misread as a code regression). Only the verify
-  // row gates — the micro-benches are diagnostic context for a verify
+  // slower CI machine is not misread as a code regression). Only the --gate
+  // row gates ("verify" by default; the skew perf-smoke job gates on
+  // "sharded_zipf") — the micro-benches are diagnostic context for a
   // regression, too noisy to fail on individually.
   struct Row {
     const char* name;
     double current;
   };
   const Row rows[] = {{"verify", verify.per_sec},
+                      {"sharded_zipf", sharded.per_sec},
                       {"pk_insert", pk.per_sec},
                       {"full_dfs", dfs.per_sec},
                       {"version_index", vindex.per_sec}};
+  double base_tps = ExtractNumber(text, opt.gate, "per_sec");
+  double cur_tps = verify.per_sec;
+  for (const Row& row : rows) {
+    if (opt.gate == row.name) cur_tps = row.current;
+  }
+  if (base_tps <= 0) {
+    std::fprintf(stderr, "baseline %s has no %s per_sec\n",
+                 opt.compare.c_str(), opt.gate.c_str());
+    return 2;
+  }
   std::printf("compare vs %s (calib: baseline %.1f, current %.1f)\n",
               opt.compare.c_str(), base_calib, calib);
   std::printf("  %-14s %14s %14s %9s\n", "metric", "baseline/s", "current/s",
@@ -275,17 +331,17 @@ int Compare(const Options& opt, double calib, const Score& verify,
                 row.current, (cn / bn - 1.0) * 100.0);
   }
   double base_norm = base_calib > 0 ? base_tps / base_calib : base_tps;
-  double cur_norm = base_calib > 0 ? verify.per_sec / calib : verify.per_sec;
+  double cur_norm = base_calib > 0 ? cur_tps / calib : cur_tps;
   double ratio = cur_norm / base_norm;
-  std::printf("compare: baseline %.0f/s (calib %.1f), current %.0f/s "
+  std::printf("compare (%s): baseline %.0f/s (calib %.1f), current %.0f/s "
               "(calib %.1f), normalized ratio %.3f (min %.3f)\n",
-              base_tps, base_calib, verify.per_sec, calib, ratio,
+              opt.gate.c_str(), base_tps, base_calib, cur_tps, calib, ratio,
               1.0 - opt.max_regress);
   if (ratio < 1.0 - opt.max_regress) {
     std::fprintf(stderr,
-                 "PERF REGRESSION: normalized verify throughput ratio %.3f "
+                 "PERF REGRESSION: normalized %s throughput ratio %.3f "
                  "below threshold %.3f\n",
-                 ratio, 1.0 - opt.max_regress);
+                 opt.gate.c_str(), ratio, 1.0 - opt.max_regress);
     return 1;
   }
   return 0;
@@ -313,6 +369,8 @@ int main(int argc, char** argv) {
       opt.compare = a + 10;
     } else if (std::strncmp(a, "--max-regress=", 14) == 0) {
       opt.max_regress = std::strtod(a + 14, nullptr);
+    } else if (std::strncmp(a, "--gate=", 7) == 0) {
+      opt.gate = a + 7;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", a);
       return 2;
@@ -325,6 +383,7 @@ int main(int argc, char** argv) {
   // co-tenant noise on the runner directly becomes a false regression.
   if (!opt.compare.empty() && opt.repeat < 8) opt.repeat = 8;
   Score verify = MeasureVerify(opt);
+  Score sharded = MeasureShardedZipf(opt);
   Score pk = MeasurePkInsert(opt);
   Score dfs = MeasureFullDfs(opt);
   Score vindex = MeasureVersionIndex(opt);
@@ -339,6 +398,8 @@ int main(int argc, char** argv) {
   os << "  \"calib_mops\": " << calib << ",\n";
   AppendScore(os, "verify", verify, /*with_memory=*/true);
   os << ",\n";
+  AppendScore(os, "sharded_zipf", sharded, /*with_memory=*/true);
+  os << ",\n";
   AppendScore(os, "pk_insert", pk, false);
   os << ",\n";
   AppendScore(os, "full_dfs", dfs, false);
@@ -352,6 +413,8 @@ int main(int argc, char** argv) {
     f << os.str();
     std::printf("wrote %s\n", opt.out.c_str());
   }
-  if (!opt.compare.empty()) return Compare(opt, calib, verify, pk, dfs, vindex);
+  if (!opt.compare.empty()) {
+    return Compare(opt, calib, verify, sharded, pk, dfs, vindex);
+  }
   return 0;
 }
