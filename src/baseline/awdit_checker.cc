@@ -1,0 +1,256 @@
+#include "baseline/awdit_checker.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+namespace leopard {
+
+namespace {
+
+std::string DescribeRead(TxnId reader, Key key, Value value, TxnId writer) {
+  std::ostringstream os;
+  os << "txn " << reader << " read key " << key << " = " << value
+     << " (written by txn " << writer << ")";
+  return os.str();
+}
+
+}  // namespace
+
+void AwditChecker::Add(const Trace& trace) {
+  auto [it, inserted] = txns_.try_emplace(trace.txn);
+  TxnInfo& t = it->second;
+  if (inserted) {
+    t.client = trace.client;
+    t.session_index = session_counts_[trace.client]++;
+    // Chain the session order as transactions first appear; aborted links
+    // are skipped when the graph is built (Adya histories order committed
+    // transactions only).
+    session_last_[trace.client] = trace.txn;
+  }
+  switch (trace.op) {
+    case OpType::kRead:
+      t.reads.insert(t.reads.end(), trace.read_set.begin(),
+                     trace.read_set.end());
+      break;
+    case OpType::kWrite:
+      for (const WriteAccess& w : trace.write_set) {
+        t.writes[w.key].push_back(w.value);
+        value_writer_[w.value] = {trace.txn, w.key};
+      }
+      break;
+    case OpType::kCommit:
+      t.committed = true;
+      break;
+    case OpType::kAbort:
+      t.aborted = true;
+      break;
+  }
+}
+
+bool AwditChecker::CausallyPrecedes(TxnId from, TxnId to) {
+  if (from == to) return false;
+  // The bulk-load pseudo-transaction wrote the initial state: causally
+  // before every real transaction.
+  if (from == kLoadTxnId) return true;
+  if (to == kLoadTxnId) return false;
+  auto memo = reach_.find(from);
+  if (memo == reach_.end()) {
+    // One BFS over so ∪ wr per distinct source, memoized — the checks then
+    // answer every query against this source in O(1).
+    std::unordered_set<TxnId> seen;
+    std::deque<TxnId> frontier{from};
+    while (!frontier.empty()) {
+      TxnId cur = frontier.front();
+      frontier.pop_front();
+      auto sit = succ_.find(cur);
+      if (sit == succ_.end()) continue;
+      for (TxnId next : sit->second) {
+        if (seen.insert(next).second) frontier.push_back(next);
+      }
+    }
+    memo = reach_.emplace(from, std::move(seen)).first;
+  }
+  return memo->second.count(to) != 0;
+}
+
+AwditChecker::Report AwditChecker::Check() {
+  Report report;
+  // The load pseudo-transaction never sends a terminal op; it is committed
+  // by definition.
+  if (auto lit = txns_.find(kLoadTxnId); lit != txns_.end()) {
+    lit->second.committed = true;
+  }
+
+  // Committed writers per key (installed = last value per key).
+  for (const auto& [id, t] : txns_) {
+    if (!t.committed) continue;
+    ++report.txns;
+    for (const auto& [key, values] : t.writes) {
+      key_writers_[key].push_back(id);
+    }
+  }
+
+  // so edges: consecutive *committed* transactions of one session, in first-
+  // appearance order (clients issue transactions sequentially).
+  std::unordered_map<ClientId, std::vector<TxnId>> sessions;
+  for (const auto& [id, t] : txns_) {
+    if (t.committed && id != kLoadTxnId) sessions[t.client].push_back(id);
+  }
+  for (auto& [client, ids] : sessions) {
+    std::sort(ids.begin(), ids.end(), [&](TxnId a, TxnId b) {
+      return txns_[a].session_index < txns_[b].session_index;
+    });
+    for (size_t i = 1; i < ids.size(); ++i) {
+      succ_[ids[i - 1]].insert(ids[i]);
+    }
+  }
+  // wr edges from unique written values.
+  for (const auto& [id, t] : txns_) {
+    if (!t.committed || id == kLoadTxnId) continue;
+    for (const ReadAccess& r : t.reads) {
+      auto w = value_writer_.find(r.value);
+      if (w == value_writer_.end()) continue;
+      const TxnId writer = w->second.first;
+      if (writer == id || writer == kLoadTxnId) continue;
+      if (!txns_[writer].committed) continue;
+      // Counts every read resolved to a foreign committed writer, even when
+      // the so edge already subsumes it in the graph.
+      ++report.wr_edges;
+      succ_[writer].insert(id);
+    }
+  }
+
+  auto flag = [&report](const std::string& what) {
+    report.consistent = false;
+    if (report.anomalies.size() < 32) report.anomalies.push_back(what);
+  };
+
+  // A cycle in so ∪ wr means some transaction observed its own session's
+  // future — already a Read Committed (G1c-on-so∪wr) violation.
+  {
+    std::unordered_map<TxnId, int> color;  // 0 white, 1 grey, 2 black
+    for (const auto& [start, unused] : succ_) {
+      if (color[start] != 0) continue;
+      std::vector<std::pair<TxnId, bool>> stack{{start, false}};
+      bool cyclic = false;
+      while (!stack.empty() && !cyclic) {
+        auto [node, expanded] = stack.back();
+        stack.pop_back();
+        if (expanded) {
+          color[node] = 2;
+          continue;
+        }
+        if (color[node] == 2) continue;
+        if (color[node] == 1) continue;
+        color[node] = 1;
+        stack.push_back({node, true});
+        auto sit = succ_.find(node);
+        if (sit == succ_.end()) continue;
+        for (TxnId next : sit->second) {
+          if (color[next] == 1) {
+            cyclic = true;
+            break;
+          }
+          if (color[next] == 0) stack.push_back({next, false});
+        }
+      }
+      if (cyclic) {
+        std::ostringstream os;
+        os << "so+wr cycle through txn " << start;
+        flag(os.str());
+        break;
+      }
+    }
+  }
+
+  // Per-read bad patterns.
+  for (const auto& [id, t] : txns_) {
+    if (!t.committed || id == kLoadTxnId) continue;
+    // key -> writer observed by this transaction, for the fractured check.
+    std::unordered_map<Key, TxnId> observed;
+    for (const ReadAccess& r : t.reads) {
+      auto w = value_writer_.find(r.value);
+      if (w == value_writer_.end()) continue;
+      if (w->second.first != id) observed.emplace(r.key, w->second.first);
+    }
+    for (const ReadAccess& r : t.reads) {
+      ++report.reads_checked;
+      auto w = value_writer_.find(r.value);
+      if (w == value_writer_.end()) continue;
+      const TxnId writer = w->second.first;
+      const Key written_key = w->second.second;
+      if (writer == id) continue;  // read-your-own-writes
+      const TxnInfo& wt = txns_[writer];
+      // G1a: read from an aborted (or never-terminated) transaction.
+      if (wt.aborted || (!wt.committed && writer != kLoadTxnId)) {
+        flag("G1a aborted/uncommitted read: " +
+             DescribeRead(id, r.key, r.value, writer));
+        continue;
+      }
+      // G1b: read of an intermediate version the writer itself overwrote.
+      auto values = wt.writes.find(written_key);
+      if (values != wt.writes.end() && !values->second.empty() &&
+          values->second.back() != r.value) {
+        flag("G1b intermediate read: " +
+             DescribeRead(id, r.key, r.value, writer));
+        continue;
+      }
+      if (options_.level >= Level::kReadAtomicity && writer != kLoadTxnId) {
+        // Fractured read: this transaction observed `writer` on r.key, so
+        // atomicity demands it see writer's other keys too (or something
+        // newer) — observing a causally *older* version fractures the set.
+        for (const auto& [other_key, unused] : wt.writes) {
+          auto seen = observed.find(other_key);
+          if (seen == observed.end() || seen->second == writer) continue;
+          if (CausallyPrecedes(seen->second, writer)) {
+            std::ostringstream os;
+            os << "fractured read: txn " << id << " read key " << r.key
+               << " from txn " << writer << " but key " << other_key
+               << " from older txn " << seen->second;
+            flag(os.str());
+          }
+        }
+      }
+      if (options_.level >= Level::kCausal) {
+        // Causal staleness: a causally delivered newer write of r.key was
+        // visible to this transaction, yet it read the older version.
+        auto kw = key_writers_.find(r.key);
+        if (kw != key_writers_.end()) {
+          for (TxnId other : kw->second) {
+            if (other == writer || other == id) continue;
+            if (CausallyPrecedes(other, id) &&
+                CausallyPrecedes(writer, other)) {
+              std::ostringstream os;
+              os << "causal stale read: " +
+                        DescribeRead(id, r.key, r.value, writer)
+                 << " despite causally newer writer txn " << other;
+              flag(os.str());
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+  return report;
+}
+
+size_t AwditChecker::ApproxMemoryBytes() const {
+  size_t total = 0;
+  for (const auto& [id, t] : txns_) {
+    total += sizeof(TxnInfo) + t.reads.capacity() * sizeof(ReadAccess);
+    for (const auto& [key, values] : t.writes) {
+      total += sizeof(Key) + values.capacity() * sizeof(Value) + 32;
+    }
+  }
+  total += value_writer_.size() * (sizeof(Value) + sizeof(TxnId) + sizeof(Key));
+  for (const auto& [key, writers] : key_writers_) {
+    total += sizeof(Key) + writers.capacity() * sizeof(TxnId);
+  }
+  for (const auto& [id, s] : succ_) total += 32 + s.size() * sizeof(TxnId);
+  for (const auto& [id, s] : reach_) total += 32 + s.size() * sizeof(TxnId);
+  return total;
+}
+
+}  // namespace leopard

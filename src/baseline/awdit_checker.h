@@ -1,0 +1,111 @@
+#ifndef LEOPARD_BASELINE_AWDIT_CHECKER_H_
+#define LEOPARD_BASELINE_AWDIT_CHECKER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace leopard {
+
+/// Baseline reimplementation of AWDIT's checking strategy (an optimal tester
+/// for the *weak* isolation levels — PLDI'25): offline verification of
+/// Read Committed, Read Atomicity and Causal Consistency over the same
+/// client-side trace model Leopard consumes.
+///
+/// Like AWDIT (and unlike Leopard) the checker ignores the trace time
+/// intervals entirely and reasons only from the session order `so` (per
+/// client, by issue order) and the write-read relation `wr` (recovered from
+/// globally-unique written values). Each level checks the Biswas–Enea-style
+/// bad patterns:
+///
+///   RC  — G1a (read from an aborted transaction), G1b (read of an
+///         intermediate, overwritten-by-the-writer value), and a cycle in
+///         so ∪ wr (no transaction observes its session's own future);
+///   RA  — RC plus fractured reads: a transaction that reads some write of
+///         t1 must not also read an older version of another key t1 wrote;
+///   CC  — RA plus causal version ordering: if t reads key k from t1 while
+///         another writer t2 of k is causally (so ∪ wr)⁺-before t, then t1
+///         must not be causally before t2 (the read would be stale against
+///         a causally delivered write).
+///
+/// The checks run in one pass over the reads with memoized reachability —
+/// the "optimal tester" shape — and never consult the serialization
+/// certifier, so the checker is cheap but inherently blind to SER-only
+/// anomalies (write skew passes all three levels by design). That blindness
+/// is exactly what the mixed-IL differential tests exploit: Leopard's
+/// weak-session verdicts must agree with AWDIT's while its SER sessions
+/// still catch the cycle.
+class AwditChecker {
+ public:
+  /// Weak level to test, ordered weakest to strongest; each level includes
+  /// every weaker level's checks.
+  enum class Level : uint8_t {
+    kReadCommitted = 0,
+    kReadAtomicity = 1,
+    kCausal = 2,
+  };
+
+  struct Options {
+    Level level = Level::kCausal;
+  };
+
+  struct Report {
+    bool consistent = true;
+    /// Human-readable anomaly descriptions, in detection order.
+    std::vector<std::string> anomalies;
+    uint64_t txns = 0;
+    uint64_t reads_checked = 0;
+    uint64_t wr_edges = 0;
+  };
+
+  explicit AwditChecker(const Options& options) : options_(options) {}
+
+  /// Feeds one trace. Any per-client order is accepted; traces of one
+  /// client must arrive in issue order (the trace-file order), which is how
+  /// the session order is recovered.
+  void Add(const Trace& trace);
+
+  /// Runs all checks up to the configured level over everything added.
+  Report Check();
+
+  size_t ApproxMemoryBytes() const;
+
+ private:
+  struct TxnInfo {
+    ClientId client = 0;
+    bool committed = false;
+    bool aborted = false;
+    /// Reads as (key, value observed), program order.
+    std::vector<ReadAccess> reads;
+    /// Writes per key in program order (the last entry per key is the
+    /// version the transaction installs; earlier ones are intermediate).
+    std::unordered_map<Key, std::vector<Value>> writes;
+    /// Session-order position within the client.
+    uint64_t session_index = 0;
+  };
+
+  /// True when `from` is (so ∪ wr)⁺-before `to` among committed txns.
+  /// kLoadTxnId precedes everything. Memoized per source.
+  bool CausallyPrecedes(TxnId from, TxnId to);
+
+  Options options_;
+  std::unordered_map<TxnId, TxnInfo> txns_;
+  /// value -> (writer, key); recovered wr edges for unique-value workloads.
+  std::unordered_map<Value, std::pair<TxnId, Key>> value_writer_;
+  /// Committed writers per key, for the stale-read scans.
+  std::unordered_map<Key, std::vector<TxnId>> key_writers_;
+  /// so ∪ wr successor lists over committed transactions.
+  std::unordered_map<TxnId, std::unordered_set<TxnId>> succ_;
+  /// Memoized forward reachability (filled lazily by CausallyPrecedes).
+  std::unordered_map<TxnId, std::unordered_set<TxnId>> reach_;
+  std::unordered_map<ClientId, uint64_t> session_counts_;
+  std::unordered_map<ClientId, TxnId> session_last_;
+};
+
+}  // namespace leopard
+
+#endif  // LEOPARD_BASELINE_AWDIT_CHECKER_H_

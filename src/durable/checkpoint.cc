@@ -17,7 +17,7 @@ namespace {
 
 // "02": PR8 added the sharded router's routing table + rebalancer sketch to
 // the engine state; an "01" checkpoint would misparse past the txn routes.
-constexpr char kCkptMagic[8] = {'L', 'E', 'O', 'C', 'K', 'P', '0', '2'};
+constexpr char kCkptMagic[8] = {'L', 'E', 'O', 'C', 'K', 'P', '0', '3'};
 constexpr char kManifestMagic[8] = {'L', 'E', 'O', 'M', 'A', 'N', '0', '1'};
 constexpr size_t kKeepCheckpoints = 2;
 

@@ -1,0 +1,107 @@
+#include "isolation/isolation.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace leopard {
+namespace isolation {
+
+namespace {
+
+std::string Lower(const std::string& s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+}  // namespace
+
+StatusOr<IsolationLevel> ParseIsolationLevel(const std::string& text) {
+  const std::string t = Lower(text);
+  if (t == "rc" || t == "read_committed" || t == "read-committed") {
+    return IsolationLevel::kReadCommitted;
+  }
+  if (t == "rr" || t == "repeatable_read" || t == "repeatable-read") {
+    return IsolationLevel::kRepeatableRead;
+  }
+  if (t == "si" || t == "snapshot" || t == "snapshot_isolation" ||
+      t == "snapshot-isolation") {
+    return IsolationLevel::kSnapshotIsolation;
+  }
+  if (t == "ser" || t == "sr" || t == "serializable") {
+    return IsolationLevel::kSerializable;
+  }
+  return Status::InvalidArgument("unknown isolation level '" + text + "'");
+}
+
+const char* IsolationLevelShortName(IsolationLevel il) {
+  switch (il) {
+    case IsolationLevel::kReadCommitted:
+      return "rc";
+    case IsolationLevel::kRepeatableRead:
+      return "rr";
+    case IsolationLevel::kSnapshotIsolation:
+      return "si";
+    case IsolationLevel::kSerializable:
+      return "ser";
+  }
+  return "?";
+}
+
+StatusOr<SessionIlMap> SessionIlMap::Parse(const std::string& spec) {
+  SessionIlMap out;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+    const size_t colon = entry.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("isolation entry '" + entry +
+                                     "' is not <session>:<level>");
+    }
+    auto il = ParseIsolationLevel(entry.substr(colon + 1));
+    if (!il.ok()) return il.status();
+    const std::string sess = entry.substr(0, colon);
+    if (sess == "*") {
+      out.SetDefault(*il);
+      continue;
+    }
+    char* end = nullptr;
+    const unsigned long id = std::strtoul(sess.c_str(), &end, 10);
+    if (sess.empty() || end == nullptr || *end != '\0') {
+      return Status::InvalidArgument("bad session id '" + sess + "'");
+    }
+    out.Set(static_cast<ClientId>(id), *il);
+  }
+  return out;
+}
+
+std::string SessionIlMap::ToString() const {
+  std::vector<ClientId> ids;
+  ids.reserve(map_.size());
+  for (const auto& [id, il] : map_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  std::ostringstream os;
+  os << "*:" << IsolationLevelShortName(default_);
+  for (ClientId id : ids) {
+    os << "," << id << ":" << IsolationLevelShortName(map_.at(id));
+  }
+  return os.str();
+}
+
+void ApplyIlTags(const SessionIlMap& map, std::vector<Trace>& traces) {
+  for (Trace& t : traces) {
+    if (t.il != IsolationLevel::kSerializable) continue;  // explicit tag wins
+    t.il = map.Get(t.client);
+  }
+}
+
+}  // namespace isolation
+}  // namespace leopard

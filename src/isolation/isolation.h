@@ -1,0 +1,119 @@
+#ifndef LEOPARD_ISOLATION_ISOLATION_H_
+#define LEOPARD_ISOLATION_ISOLATION_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "trace/trace.h"
+
+namespace leopard {
+namespace isolation {
+
+/// Per-transaction mechanism selection (DESIGN.md §13): which of the four
+/// verification mechanisms a transaction declared at a given isolation level
+/// must satisfy. A mixed history runs through one Leopard instance whose
+/// VerifierConfig enables the *union* of the mechanisms any session needs;
+/// per-transaction the verifier then judges each txn only by its own level's
+/// subset, so a weaker session is never false-positived against a stronger
+/// session's rules:
+///
+///   RC       -> statement-level CR only
+///   RR / SI  -> transaction-level CR + ME + FUW
+///   SER      -> the above + SC (the serialization certifier)
+enum MechanismMask : uint8_t {
+  kMechCr = 1u << 0,
+  kMechMe = 1u << 1,
+  kMechFuw = 1u << 2,
+  kMechSc = 1u << 3,
+};
+
+/// The mechanism subset a transaction at `il` must satisfy.
+constexpr uint8_t MaskForIsolation(IsolationLevel il) {
+  switch (il) {
+    case IsolationLevel::kReadCommitted:
+      return kMechCr;
+    case IsolationLevel::kRepeatableRead:
+    case IsolationLevel::kSnapshotIsolation:
+      return kMechCr | kMechMe | kMechFuw;
+    case IsolationLevel::kSerializable:
+      return kMechCr | kMechMe | kMechFuw | kMechSc;
+  }
+  return kMechCr | kMechMe | kMechFuw | kMechSc;
+}
+
+/// Statement-level consistent read: RC sessions snapshot per statement even
+/// when the run-wide config is transaction-level.
+constexpr bool IlStatementLevelCr(IsolationLevel il) {
+  return il == IsolationLevel::kReadCommitted;
+}
+
+/// Mutual exclusion binds a conflicting pair only when *both* holders
+/// promised transaction-scope locking (>= RR); an RC session's statement
+/// locks legitimately interleave with anyone.
+constexpr bool IlRequiresMe(IsolationLevel il) {
+  return il >= IsolationLevel::kRepeatableRead;
+}
+
+/// First-updater-wins applies between snapshot-scope writers (>= RR); a
+/// concurrent update against an RC writer is not a lost-update anomaly at
+/// RC's contract.
+constexpr bool IlRequiresFuw(IsolationLevel il) {
+  return il >= IsolationLevel::kRepeatableRead;
+}
+
+/// Only SERIALIZABLE transactions enter the serialization certifier's
+/// dependency graph: a cycle through a weaker session is not a violation of
+/// anything that session promised.
+constexpr bool IlRequiresSc(IsolationLevel il) {
+  return il == IsolationLevel::kSerializable;
+}
+
+/// Parses "rc" / "rr" / "si" / "ser" (also full names, case-insensitive).
+StatusOr<IsolationLevel> ParseIsolationLevel(const std::string& text);
+
+/// Short lowercase name ("rc" / "rr" / "si" / "ser") for CLI/statusz output.
+const char* IsolationLevelShortName(IsolationLevel il);
+
+/// Session -> isolation level map with a spec-string parser for CLI use:
+///   "0:rc,1:si,2:ser"  per-session levels (unlisted sessions get default)
+///   "*:rc"             sets the default for every unlisted session
+class SessionIlMap {
+ public:
+  /// Parses a spec as above. Entries may repeat; the last wins.
+  static StatusOr<SessionIlMap> Parse(const std::string& spec);
+
+  void Set(ClientId client, IsolationLevel il) { map_[client] = il; }
+  void SetDefault(IsolationLevel il) { default_ = il; }
+
+  IsolationLevel Get(ClientId client) const {
+    auto it = map_.find(client);
+    return it != map_.end() ? it->second : default_;
+  }
+  IsolationLevel default_level() const { return default_; }
+  bool empty() const {
+    return map_.empty() && default_ == IsolationLevel::kSerializable;
+  }
+  const std::unordered_map<ClientId, IsolationLevel>& entries() const {
+    return map_;
+  }
+
+  /// Canonical spec string ("*:si,0:rc,3:ser"), sessions in ascending order.
+  std::string ToString() const;
+
+ private:
+  std::unordered_map<ClientId, IsolationLevel> map_;
+  IsolationLevel default_ = IsolationLevel::kSerializable;
+};
+
+/// Stamps every trace of `traces` with its client's isolation level from
+/// `map`. Explicit non-SER tags already on a trace win over the map (a
+/// record-level tag is more specific than a session-level default).
+void ApplyIlTags(const SessionIlMap& map, std::vector<Trace>& traces);
+
+}  // namespace isolation
+}  // namespace leopard
+
+#endif  // LEOPARD_ISOLATION_ISOLATION_H_

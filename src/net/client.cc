@@ -26,9 +26,20 @@ StatusOr<std::unique_ptr<VerifierClient>> VerifierClient::Connect(
   std::unique_ptr<VerifierClient> client(
       new VerifierClient(std::move(*sock), options));
 
+  if (options.stream_ils.size() > options.n_streams) {
+    return Status::InvalidArgument("stream_ils longer than n_streams");
+  }
+  if (!options.stream_ils.empty() && options.wire_version < 4) {
+    return Status::InvalidArgument(
+        "per-stream isolation levels need wire version >= 4");
+  }
   HelloMsg hello;
   hello.version = options.wire_version;
   hello.n_streams = options.n_streams;
+  // Declaring per-stream isolation levels makes the HELLO carry the v4
+  // tail, which only a v4 server accepts (wire.h); an older server drops
+  // the session with kError and Connect surfaces that status.
+  hello.stream_ils = options.stream_ils;
   const std::string frame = EncodeFrame(FrameType::kHello, EncodeHello(hello));
   Status s = client->sock_.SendAll(frame.data(), frame.size());
   if (!s.ok()) return s;
@@ -97,6 +108,12 @@ Status VerifierClient::SendBatch(uint32_t stream) {
   // v3 sessions stamp the batch with the push-time steady clock so the
   // server can attribute wire + queueing latency to the ingest stage.
   const uint64_t ingest_ns = version_ >= 3 ? obs::NowNs() : 0;
+  if (version_ < 4) {
+    // Pre-v4 decoders reject the isolation flag bit on the op byte, so a
+    // down-negotiated session ships every record untagged (SERIALIZABLE) —
+    // the strongest level, which never suppresses a violation.
+    for (Trace& t : pending_[stream]) t.il = IsolationLevel::kSerializable;
+  }
   std::string frame = EncodeFrame(
       FrameType::kBatch, EncodeBatch(stream, pending_[stream], ingest_ns));
   const size_t n = pending_[stream].size();

@@ -53,6 +53,13 @@ class VerifierClient {
     /// theirs). Batches carry the v3 ingest timestamp only when the
     /// negotiated version is >= 3.
     uint32_t wire_version = kWireVersion;
+    /// v4 mixed-isolation extension: declared isolation level per stream,
+    /// indexed by stream id (must not be longer than n_streams; missing
+    /// tail entries default to SERIALIZABLE). Non-empty makes the HELLO
+    /// carry the isolation tail, which a pre-v4 server rejects — declaring
+    /// per-stream levels therefore *requires* a v4 server (Connect fails
+    /// cleanly otherwise). Leave empty for version-agnostic sessions.
+    std::vector<IsolationLevel> stream_ils;
   };
 
   /// Connects and performs the handshake. `host_port` is "host:port";

@@ -282,6 +282,13 @@ bool VerifierServer::HandleHello(Session& session, const Frame& frame) {
     session.floor.resize(hello->n_streams);
     session.last_ts.assign(hello->n_streams, 0);
     session.stream_closed.assign(hello->n_streams, 0);
+    // v4 mixed-isolation tail: streams past the declared list (or the whole
+    // session, pre-v4) run at SERIALIZABLE — full-strength verification.
+    session.stream_ils.assign(hello->n_streams,
+                              IsolationLevel::kSerializable);
+    for (size_t i = 0; i < hello->stream_ils.size(); ++i) {
+      session.stream_ils[i] = hello->stream_ils[i];
+    }
     for (uint32_t i = 0; i < hello->n_streams; ++i) {
       auto added = online_->AddClient();
       if (!added.ok()) {
@@ -374,8 +381,13 @@ bool VerifierServer::HandleBatch(Session& session, const Frame& frame) {
     }
   }
   Backpressure(session, batch_bytes);
+  const IsolationLevel stream_il = session.stream_ils[batch->stream];
   for (Trace& t : batch->traces) {
     t.client = client;
+    // Session-declared isolation (v4 HELLO tail) combines weakest-wins with
+    // the record's own tag, and is applied before the WAL append so a
+    // replayed run re-derives identical per-txn levels.
+    if (stream_il < t.il) t.il = stream_il;
     // Re-stamp with the server's read time: downstream stage histograms
     // (read->verify, read->certify, read->report) attribute latency *inside*
     // the verifier, independent of how long the client sat on the batch.
@@ -1070,6 +1082,9 @@ VerifierServer::StatusSnapshot VerifierServer::GetStatus() const {
     for (const auto& sess : sessions_) {
       if (!sess->counted_complete.load(std::memory_order_relaxed)) {
         ++s.sessions_active;
+        if (sess->n_streams != 0) {
+          s.session_ils.emplace_back(sess->id, sess->stream_ils);
+        }
       }
     }
   }

@@ -164,6 +164,10 @@ class VerifierServer {
     uint32_t diagnoses_queued = 0;
     uint32_t diagnoses_done = 0;
     bool draining = false;
+    /// Per-session declared isolation levels (v4 HELLO tail): one entry per
+    /// live handshaken session, session id -> per-stream level list.
+    /// Sessions that never declared levels report all-SERIALIZABLE.
+    std::vector<std::pair<uint32_t, std::vector<IsolationLevel>>> session_ils;
     // Durability (all zero without Options::state_dir).
     bool durable = false;
     uint64_t checkpoints_written = 0;
@@ -200,6 +204,11 @@ class VerifierServer {
     /// Negotiated wire version: min(client, server). Selects the violation
     /// payload layout this session receives.
     uint32_t version = kWireVersion;
+    /// Declared isolation level per stream (v4 HELLO tail), one entry per
+    /// stream once the handshake succeeded; SERIALIZABLE when undeclared.
+    /// Applied weakest-wins against each record's own tag in HandleBatch.
+    /// Written once under mu_ during the handshake, read under mu_ after.
+    std::vector<IsolationLevel> stream_ils;
     std::vector<Timestamp> floor;          // admission floor per stream
     std::vector<Timestamp> last_ts;        // per-stream order enforcement
     std::vector<uint8_t> stream_closed;    // reader thread only

@@ -148,15 +148,40 @@ std::string EncodeHello(const HelloMsg& m) {
   std::string out;
   PutU32(out, m.version);
   PutU32(out, m.n_streams);
+  if (!m.stream_ils.empty()) {
+    // v4 mixed-isolation tail. Callers must leave stream_ils empty unless
+    // they require a v4 server: pre-v4 decoders reject any HELLO tail.
+    PutU32(out, static_cast<uint32_t>(m.stream_ils.size()));
+    for (IsolationLevel il : m.stream_ils) {
+      PutU8(out, static_cast<uint8_t>(il));
+    }
+  }
   return out;
 }
 
 StatusOr<HelloMsg> DecodeHello(const std::string& payload) {
   Reader r(payload);
   HelloMsg m;
-  if (!r.GetU32(m.version) || !r.GetU32(m.n_streams) || !r.Done()) {
+  if (!r.GetU32(m.version) || !r.GetU32(m.n_streams)) {
     return Malformed("HELLO");
   }
+  if (r.Done()) return m;  // no tail: every stream defaults to SERIALIZABLE
+  // v4 mixed-isolation tail, self-describing by the remaining length.
+  uint32_t n_ils = 0;
+  if (!r.GetU32(n_ils)) return Malformed("HELLO");
+  if (n_ils > m.n_streams || n_ils > r.remaining()) {
+    return Status::InvalidArgument("HELLO isolation tail exceeds streams");
+  }
+  m.stream_ils.reserve(n_ils);
+  for (uint32_t i = 0; i < n_ils; ++i) {
+    uint8_t il = 0;
+    if (!r.GetU8(il)) return Malformed("HELLO");
+    if (il > static_cast<uint8_t>(IsolationLevel::kSerializable)) {
+      return Status::InvalidArgument("HELLO invalid isolation level");
+    }
+    m.stream_ils.push_back(static_cast<IsolationLevel>(il));
+  }
+  if (!r.Done()) return Malformed("HELLO");
   return m;
 }
 

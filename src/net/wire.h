@@ -36,12 +36,21 @@ namespace net {
 /// structured witness (anchor timestamp, ops with `[ts_bef, ts_aft]`
 /// endpoints, dependency edges); v3 extends the kBatch payload with an
 /// optional trailing 8-byte client ingest timestamp (steady-clock ns at
-/// client push) used for end-to-end stage-latency attribution. Both
-/// extensions are self-describing (presence detected from the payload
-/// length), and the version is negotiated down per session: a v1 client
-/// still gets v1 violation frames from a v3 server, and a v3 client never
-/// sends the ingest tail to a v1/v2 server.
-constexpr uint32_t kWireVersion = 3;
+/// client push) used for end-to-end stage-latency attribution; v4 adds the
+/// mixed-isolation extension: kHello may carry an optional per-stream
+/// isolation-level tail, and kBatch trace records may use the trace_io
+/// isolation flag bit. The tails are self-describing (presence detected
+/// from the payload length), and the version is negotiated down per
+/// session: a v1 client still gets v1 violation frames from a v4 server,
+/// and a v4 client never sends the ingest tail to a v1/v2 server. The one
+/// asymmetry: a pre-v4 server rejects a kHello carrying the isolation tail
+/// (its decoder requires the payload to end after n_streams), so a client
+/// only emits the tail when the caller actually declared per-stream levels
+/// — such a session *requires* a v4 server and fails cleanly otherwise.
+/// When the ack negotiates the session below v4 the client strips record
+/// isolation tags (re-encodes as SERIALIZABLE), because pre-v4 decoders
+/// reject flagged op bytes.
+constexpr uint32_t kWireVersion = 4;
 /// Oldest version this build still speaks.
 constexpr uint32_t kMinWireVersion = 1;
 constexpr size_t kFrameHeaderBytes = 5;  // u32 payload length + u8 type
@@ -101,6 +110,11 @@ class FrameDecoder {
 struct HelloMsg {
   uint32_t version = kWireVersion;
   uint32_t n_streams = 1;
+  /// v4 mixed-isolation tail: declared isolation level per stream, indexed
+  /// by stream id (entries beyond n_streams are rejected; streams past the
+  /// end of the list default to SERIALIZABLE). Empty = no tail emitted —
+  /// the only shape a pre-v4 server accepts.
+  std::vector<IsolationLevel> stream_ils;
 };
 
 struct HelloAckMsg {

@@ -18,6 +18,20 @@ const char* OpTypeName(OpType op) {
   return "UNKNOWN";
 }
 
+const char* IsolationLevelName(IsolationLevel il) {
+  switch (il) {
+    case IsolationLevel::kReadCommitted:
+      return "READ_COMMITTED";
+    case IsolationLevel::kRepeatableRead:
+      return "REPEATABLE_READ";
+    case IsolationLevel::kSnapshotIsolation:
+      return "SNAPSHOT_ISOLATION";
+    case IsolationLevel::kSerializable:
+      return "SERIALIZABLE";
+  }
+  return "UNKNOWN";
+}
+
 std::string Trace::ToString() const {
   std::ostringstream os;
   os << "{" << interval << " " << OpTypeName(op) << " txn=" << txn
@@ -49,6 +63,9 @@ std::string Trace::ToString() const {
       os << write_set[i].key << ":" << write_set[i].value;
     }
     os << "]";
+  }
+  if (il != IsolationLevel::kSerializable) {
+    os << " il=" << IsolationLevelName(il);
   }
   os << "}";
   return os.str();

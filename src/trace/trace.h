@@ -41,6 +41,20 @@ enum class OpType : uint8_t {
 
 const char* OpTypeName(OpType op);
 
+/// ANSI-style isolation levels. Lives here (not txn/) because traces carry
+/// the declaring session's level: real fleets run RC, RR, SI and SER
+/// sessions side-by-side against the same data, and the verifier must judge
+/// each transaction only by the rules its own level promises. Ordered from
+/// weakest to strongest so `il >= kRepeatableRead` reads naturally.
+enum class IsolationLevel : uint8_t {
+  kReadCommitted = 0,   ///< statement-level consistent read
+  kRepeatableRead,      ///< transaction-level consistent read, no FUW
+  kSnapshotIsolation,   ///< transaction-level consistent read + FUW
+  kSerializable,        ///< adds the protocol's serialization certifier
+};
+
+const char* IsolationLevelName(IsolationLevel il);
+
 /// One element of a read set: the key and the value the client observed.
 struct ReadAccess {
   Key key = 0;
@@ -83,6 +97,11 @@ struct Trace {
   /// range_count). Keys in the range missing from read_set were absent.
   Key range_first = 0;
   uint32_t range_count = 0;
+
+  /// Isolation level the issuing session declared for this transaction.
+  /// Untagged traces default to SERIALIZABLE, so legacy histories keep
+  /// today's full-strength verdicts bit-for-bit (the all-SER differential).
+  IsolationLevel il = IsolationLevel::kSerializable;
 
   /// Runtime-only stage-latency anchor: obs::NowNs() when the verifier
   /// first saw this trace (server read for networked sessions, push for

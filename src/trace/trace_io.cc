@@ -98,8 +98,16 @@ uint32_t Crc32(const char* data, size_t n) {
   return crc ^ 0xFFFFFFFFu;
 }
 
+// Bit 0x04 of the op byte flags an isolation-level tail: one u8 isolation
+// level after the range footer. Emitted only for non-SERIALIZABLE traces, so
+// an all-SER (or legacy) history encodes byte-identically to the pre-IL
+// format and old decoders keep reading it. Op codes occupy the low two bits;
+// 0xFF still unambiguously starts the CRC footer.
+constexpr uint8_t kOpIlFlag = 0x04;
+
 void AppendTraceRecord(std::string& out, const Trace& t) {
-  PutU8(out, static_cast<uint8_t>(t.op));
+  const bool tagged = t.il != IsolationLevel::kSerializable;
+  PutU8(out, static_cast<uint8_t>(t.op) | (tagged ? kOpIlFlag : 0));
   PutU32(out, t.client);
   PutU64(out, t.txn);
   PutU64(out, t.ts_bef());
@@ -119,6 +127,7 @@ void AppendTraceRecord(std::string& out, const Trace& t) {
   PutU8(out, t.for_update ? 1 : 0);
   PutU64(out, t.range_first);
   PutU32(out, t.range_count);
+  if (tagged) PutU8(out, static_cast<uint8_t>(t.il));
 }
 
 Status DecodeTraceRecord(const std::string& bytes, size_t& pos, Trace& out) {
@@ -132,8 +141,9 @@ Status DecodeTraceRecord(const std::string& bytes, size_t& pos, Trace& out) {
       !reader.GetU64(bef) || !reader.GetU64(aft)) {
     return Status::InvalidArgument("truncated trace header");
   }
-  if (op > 3) return Status::InvalidArgument("invalid op code");
-  t.op = static_cast<OpType>(op);
+  if ((op & ~kOpIlFlag) > 3) return Status::InvalidArgument("invalid op code");
+  const bool tagged = (op & kOpIlFlag) != 0;
+  t.op = static_cast<OpType>(op & ~kOpIlFlag);
   t.client = client;
   t.txn = txn;
   t.interval = {bef, aft};
@@ -184,6 +194,16 @@ Status DecodeTraceRecord(const std::string& bytes, size_t& pos, Trace& out) {
   }
   if (for_update > 1) return Status::InvalidArgument("invalid for_update flag");
   t.for_update = for_update != 0;
+  if (tagged) {
+    uint8_t il = 0;
+    if (!reader.GetU8(il)) {
+      return Status::InvalidArgument("truncated isolation tail");
+    }
+    if (il > static_cast<uint8_t>(IsolationLevel::kSerializable)) {
+      return Status::InvalidArgument("invalid isolation level");
+    }
+    t.il = static_cast<IsolationLevel>(il);
+  }
   pos = reader.pos();
   out = std::move(t);
   return Status::Ok();

@@ -22,26 +22,20 @@ const char* ProtocolName(Protocol p) {
   return "UNKNOWN";
 }
 
-const char* IsolationLevelName(IsolationLevel il) {
-  switch (il) {
-    case IsolationLevel::kReadCommitted:
-      return "READ_COMMITTED";
-    case IsolationLevel::kRepeatableRead:
-      return "REPEATABLE_READ";
-    case IsolationLevel::kSnapshotIsolation:
-      return "SNAPSHOT_ISOLATION";
-    case IsolationLevel::kSerializable:
-      return "SERIALIZABLE";
-  }
-  return "UNKNOWN";
-}
+// IsolationLevelName lives in trace/trace.cc with the enum.
 
 Database::Database(const Options& options)
     : options_(options), faults_(options.faults, options.fault_seed) {}
 
-bool Database::UsesMvccReads() const {
+IsolationLevel Database::isolation_for(ClientId client) const {
+  auto it = options_.session_isolation.find(client);
+  return it != options_.session_isolation.end() ? it->second
+                                                : options_.isolation;
+}
+
+bool Database::UsesMvccReads(const Transaction* t) const {
   if (options_.protocol == Protocol::k2pl) return false;
-  if (LockingReads()) return false;
+  if (LockingReads(t)) return false;
   return true;
 }
 
@@ -52,32 +46,32 @@ bool Database::BufferedCommitProtocol() const {
 
 // InnoDB-style SERIALIZABLE: plain 2PL with shared locks on reads, reading
 // the latest committed version. Pure 2PL always reads under locks.
-bool Database::LockingReads() const {
+bool Database::LockingReads(const Transaction* t) const {
   if (options_.protocol == Protocol::k2pl) return true;
   return options_.protocol == Protocol::kMvcc2pl &&
-         options_.isolation == IsolationLevel::kSerializable;
+         t->isolation == IsolationLevel::kSerializable;
 }
 
 // First-updater-wins applies at snapshot isolation, and — PostgreSQL-style —
 // at every level >= REPEATABLE_READ of the SSI protocol (PostgreSQL's RR *is*
 // snapshot isolation). InnoDB-style RR deliberately lacks it, reproducing the
 // lost-update difference the paper highlights (§I, C2).
-bool Database::FuwEnabled() const {
-  if (options_.isolation == IsolationLevel::kSnapshotIsolation) return true;
+bool Database::FuwEnabled(const Transaction* t) const {
+  if (t->isolation == IsolationLevel::kSnapshotIsolation) return true;
   if (options_.protocol == Protocol::kMvcc2plSsi &&
-      options_.isolation >= IsolationLevel::kRepeatableRead) {
+      t->isolation >= IsolationLevel::kRepeatableRead) {
     return true;
   }
   return false;
 }
 
-bool Database::StatementLevelSnapshot() const {
-  return options_.isolation == IsolationLevel::kReadCommitted;
+bool Database::StatementLevelSnapshot(const Transaction* t) const {
+  return t->isolation == IsolationLevel::kReadCommitted;
 }
 
-bool Database::SsiEnabled() const {
+bool Database::SsiEnabled(const Transaction* t) const {
   return options_.protocol == Protocol::kMvcc2plSsi &&
-         options_.isolation == IsolationLevel::kSerializable;
+         t->isolation == IsolationLevel::kSerializable;
 }
 
 void Database::Load(const std::vector<WriteAccess>& rows) {
@@ -99,6 +93,7 @@ TxnId Database::Begin(ClientId client) {
   auto t = std::make_unique<Transaction>();
   t->id = id;
   t->client = client;
+  t->isolation = isolation_for(client);
   if (options_.protocol == Protocol::kMvccTo) {
     t->start_ts = ++lsn_;
   } else {
@@ -117,7 +112,7 @@ Transaction* Database::GetActive(TxnId txn) {
 }
 
 void Database::EnsureSnapshot(Transaction* t) {
-  if (StatementLevelSnapshot() || !t->snapshot_taken) {
+  if (StatementLevelSnapshot(t) || !t->snapshot_taken) {
     t->snapshot = lsn_;
     t->snapshot_taken = true;
     if (faults_.StaleSnapshot()) {
@@ -156,7 +151,7 @@ void Database::FinishTxn(Transaction* t, TxnStatus status) {
     ++stats_.aborts;
     // Aborted transactions leave no trace in the store; drop SIREAD marks
     // and the transaction object eagerly (nothing depends on them).
-    if (SsiEnabled()) {
+    if (SsiProtocol()) {
       for (const auto& [key, ts] : t->read_versions) {
         auto it = sireads_.find(key);
         if (it == sireads_.end()) continue;
@@ -196,7 +191,7 @@ StatusOr<Value> Database::ReadLocked(Transaction* t, Key key,
     return own->second;
   }
 
-  if (LockingReads()) {
+  if (LockingReads(t)) {
     if (!faults_.DropLock()) {
       Status s = AcquireLock(t, key, LockMode::kShared);
       if (!s.ok()) return s;  // kBusy: retry later; kAborted: rolled back
@@ -240,7 +235,7 @@ StatusOr<Value> Database::ReadLocked(Transaction* t, Key key,
   auto v = versions_.ReadAtSnapshot(key, t->snapshot);
   if (!v.ok()) return v.status();
   t->read_versions[key] = v->version_ts;
-  if (SsiEnabled()) {
+  if (SsiEnabled(t)) {
     auto& readers = sireads_[key];
     if (std::find(readers.begin(), readers.end(), t->id) == readers.end()) {
       readers.push_back(t->id);
@@ -291,7 +286,7 @@ StatusOr<std::vector<ReadAccess>> Database::ReadRange(TxnId txn, Key first,
   Transaction* t = GetActive(txn);
   if (t == nullptr) return Status::FailedPrecondition("txn not active");
   // One snapshot per statement: refresh once, then read all keys under it.
-  if (UsesMvccReads()) EnsureSnapshot(t);
+  if (UsesMvccReads(t)) EnsureSnapshot(t);
   std::vector<ReadAccess> out;
   out.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
@@ -341,7 +336,7 @@ StatusOr<Value> Database::ReadForUpdate(TxnId txn, Key key) {
   // Like any first statement, FOR UPDATE establishes the transaction
   // snapshot (it reads *current* state itself, but later snapshot reads
   // date from here).
-  if (UsesMvccReads()) EnsureSnapshot(t);
+  if (UsesMvccReads(t)) EnsureSnapshot(t);
   auto own = t->write_buffer.find(key);
   if (own != t->write_buffer.end()) {
     if (own->second == kTombstoneValue) {
@@ -377,12 +372,12 @@ Status Database::WriteLocked(Transaction* t, Key key, Value value) {
     case Protocol::k2pl:
     case Protocol::kMvcc2pl:
     case Protocol::kMvcc2plSsi: {
-      if (UsesMvccReads()) EnsureSnapshot(t);
+      if (UsesMvccReads(t)) EnsureSnapshot(t);
       if (!faults_.DropLock()) {
         Status s = AcquireLock(t, key, LockMode::kExclusive);
         if (!s.ok()) return s;  // kBusy: retry later; kAborted: rolled back
       }
-      if (FuwEnabled() && !faults_.SkipFuw()) {
+      if (FuwEnabled(t) && !faults_.SkipFuw()) {
         // First updater wins: a version committed after our snapshot means a
         // concurrent transaction already updated this record.
         if (versions_.LatestCommitLsn(key) > t->snapshot) {
@@ -431,7 +426,7 @@ Status Database::ValidateCommitLocked(Transaction* t) {
       return Status::Ok();
     }
     case Protocol::kMvcc2plSsi: {
-      if (!SsiEnabled()) return Status::Ok();
+      if (!SsiEnabled(t)) return Status::Ok();
       // SSI certifier: detect rw antidependencies r -rw-> t created by our
       // writes over versions that concurrent transactions have read.
       for (const auto& [key, value] : t->write_buffer) {
@@ -532,7 +527,7 @@ void Database::MaybeGcLocked() {
   for (auto it = txns_.begin(); it != txns_.end();) {
     Transaction* t = it->second.get();
     if (t->status == TxnStatus::kCommitted && t->commit_lsn < min_active) {
-      if (SsiEnabled()) {
+      if (SsiProtocol()) {
         for (const auto& [key, ts] : t->read_versions) {
           auto sit = sireads_.find(key);
           if (sit == sireads_.end()) continue;

@@ -35,6 +35,10 @@ class Database : public TransactionalKv {
     LockWaitPolicy lock_wait = LockWaitPolicy::kNoWait;
     FaultPlan faults;
     uint64_t fault_seed = 1;
+    /// Per-client isolation-level overrides for mixed-level runs: a client
+    /// listed here begins every transaction at its own level instead of
+    /// `isolation`. Unlisted clients use the default.
+    std::unordered_map<ClientId, IsolationLevel> session_isolation;
   };
 
   struct Stats {
@@ -86,6 +90,9 @@ class Database : public TransactionalKv {
   Status Abort(TxnId txn) override;
 
   const Options& options() const { return options_; }
+  /// Effective isolation level for `client`'s transactions (the per-session
+  /// override when present, the database default otherwise).
+  IsolationLevel isolation_for(ClientId client) const;
   Stats stats() const;
   uint64_t injected_fault_count() const;
 
@@ -111,12 +118,18 @@ class Database : public TransactionalKv {
   void InstallWritesLocked(Transaction* t);
   void MaybeGcLocked();
 
-  bool UsesMvccReads() const;
+  // Per-transaction mechanism selection: a transaction's own isolation level
+  // (mixed-level runs) decides its snapshot scope, FUW participation,
+  // locking reads and SSI membership.
+  bool UsesMvccReads(const Transaction* t) const;
   bool BufferedCommitProtocol() const;
-  bool LockingReads() const;
-  bool FuwEnabled() const;
-  bool StatementLevelSnapshot() const;
-  bool SsiEnabled() const;
+  bool LockingReads(const Transaction* t) const;
+  bool FuwEnabled(const Transaction* t) const;
+  bool StatementLevelSnapshot(const Transaction* t) const;
+  bool SsiEnabled(const Transaction* t) const;
+  /// Protocol-level: any transaction of this database may be SSI-tracked
+  /// (sireads GC must run even when the current txn is weak).
+  bool SsiProtocol() const { return options_.protocol == Protocol::kMvcc2plSsi; }
 
   Options options_;
   mutable std::mutex mu_;

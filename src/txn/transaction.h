@@ -16,6 +16,12 @@ struct Transaction {
   ClientId client = 0;
   TxnStatus status = TxnStatus::kActive;
 
+  /// Isolation level this transaction runs at: the database default, or the
+  /// client's per-session override (Database::Options::session_isolation).
+  /// Selects the per-transaction mechanism subset (snapshot scope, FUW,
+  /// locking reads, SSI participation) in a mixed-level run.
+  IsolationLevel isolation = IsolationLevel::kSerializable;
+
   /// MVCC snapshot: highest commit LSN visible to this transaction. Taken
   /// lazily at the first operation (transaction-level consistent read) or
   /// refreshed per statement (statement-level consistent read).

@@ -21,18 +21,11 @@ enum class Protocol : uint8_t {
 
 const char* ProtocolName(Protocol p);
 
-/// ANSI-style isolation levels offered by MiniDB. Which anomalies each level
-/// admits depends on the protocol, exactly as in real systems: e.g. MVCC+2PL
-/// repeatable read (InnoDB) allows lost updates while SI (PostgreSQL RR)
-/// does not.
-enum class IsolationLevel : uint8_t {
-  kReadCommitted = 0,   ///< statement-level consistent read
-  kRepeatableRead,      ///< transaction-level consistent read, no FUW
-  kSnapshotIsolation,   ///< transaction-level consistent read + FUW
-  kSerializable,        ///< adds the protocol's serialization certifier
-};
-
-const char* IsolationLevelName(IsolationLevel il);
+// IsolationLevel lives in trace/trace.h (traces carry the declaring
+// session's level); it is re-exported here through that include. Which
+// anomalies each level admits depends on the protocol, exactly as in real
+// systems: e.g. MVCC+2PL repeatable read (InnoDB) allows lost updates while
+// SI (PostgreSQL RR) does not.
 
 /// How lock conflicts are handled. NO-WAIT aborts the requester instantly
 /// (fully deterministic); WAIT-DIE lets a requester older than every

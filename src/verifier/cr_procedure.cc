@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "isolation/isolation.h"
 #include "obs/span.h"
 
 namespace leopard {
@@ -30,6 +31,7 @@ void Leopard::InstallVersion(Key key, Value value, TxnId writer,
 
 void Leopard::ProcessRead(const Trace& trace) {
   TxnState& t = GetTxn(trace.txn, trace.interval);
+  if (trace.il < t.il) t.il = trace.il;
   if (trace.read_set.empty() && trace.absent_reads.empty() &&
       trace.range_count == 0) {
     return;
@@ -45,13 +47,15 @@ void Leopard::ProcessRead(const Trace& trace) {
   pending.txn = trace.txn;
   pending.op_interval = trace.interval;
   // FOR UPDATE is a *current* read whatever the isolation level: its
-  // snapshot is the statement itself.
-  pending.snapshot = config_.statement_level_cr || trace.for_update
+  // snapshot is the statement itself. A READ COMMITTED session likewise only
+  // promises statement-level consistency, whatever the engine default.
+  pending.snapshot = config_.statement_level_cr || trace.for_update ||
+                             isolation::IlStatementLevelCr(t.il)
                          ? trace.interval
                          : t.first_op;
 
   auto note_read_lock = [&](Key key, bool exclusive) {
-    locks_.NoteAcquire(key, trace.txn, exclusive, trace.interval);
+    locks_.NoteAcquire(key, trace.txn, exclusive, trace.interval, t.il);
     if (std::find(t.read_keys.begin(), t.read_keys.end(), key) ==
         t.read_keys.end()) {
       t.read_keys.push_back(key);

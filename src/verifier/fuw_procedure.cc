@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "isolation/isolation.h"
 #include "obs/span.h"
 
 namespace leopard {
@@ -33,6 +34,15 @@ void Leopard::VerifyFuwAtCommit(TxnState& t) {
       }
       switch (order) {
         case PairOrder::kViolation: {
+          // First-updater-wins only binds writer pairs where both declared
+          // snapshot scope (>= RR): a READ COMMITTED updater legitimately
+          // overwrites a concurrent commit (its "snapshot" restarts per
+          // statement), and the stronger peer is not at fault either.
+          if (!isolation::IlRequiresFuw(t.il) ||
+              !isolation::IlRequiresFuw(entry.writer_il)) {
+            ++stats_.fuw_suppressed_weak;
+            break;
+          }
           std::ostringstream os;
           os << "lost update: concurrent committed updates (snapshots "
              << entry.writer_snapshot << " / " << t.first_op << ", commits "

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "isolation/isolation.h"
 #include "obs/span.h"
 #include "verifier/state_serde.h"
 
@@ -69,6 +70,10 @@ void Leopard::AttachMetrics(obs::MetricsRegistry* registry,
   mirror("verifier.gc.pruned_versions", stats_.pruned_versions);
   mirror("verifier.gc.pruned_locks", stats_.pruned_locks);
   mirror("verifier.gc.pruned_txns", stats_.pruned_txns);
+  mirror("isolation.weak_il_traces", stats_.weak_il_traces);
+  mirror("isolation.me_suppressed", stats_.me_suppressed_weak);
+  mirror("isolation.fuw_suppressed", stats_.fuw_suppressed_weak);
+  mirror("isolation.sc_nodes_skipped", stats_.sc_nodes_skipped_weak);
   SyncStatsToMetrics();
 }
 
@@ -185,6 +190,7 @@ void Leopard::Process(const Trace& trace) {
     frontier_ = std::max(frontier_, trace.ts_bef());
     FlushPendingReads();
     ++stats_.traces_processed;
+    if (trace.il != IsolationLevel::kSerializable) ++stats_.weak_il_traces;
     switch (trace.op) {
       case OpType::kRead:
         ProcessRead(trace);
@@ -224,6 +230,7 @@ void Leopard::Finish() {
 
 void Leopard::ProcessWrite(const Trace& trace) {
   TxnState& t = GetTxn(trace.txn, trace.interval);
+  if (trace.il < t.il) t.il = trace.il;
   for (const auto& w : trace.write_set) {
     auto [it, first_write] = t.own_writes.try_emplace(w.key);
     it->second = w.value;
@@ -233,7 +240,7 @@ void Leopard::ProcessWrite(const Trace& trace) {
     }
     if (config_.check_me) {
       locks_.NoteAcquire(w.key, trace.txn, /*exclusive=*/true,
-                         trace.interval);
+                         trace.interval, t.il);
     }
   }
 }
@@ -244,6 +251,7 @@ void Leopard::ProcessWrite(const Trace& trace) {
 
 void Leopard::ProcessTerminal(const Trace& trace, bool committed) {
   TxnState& t = GetTxn(trace.txn, trace.interval);
+  if (trace.il < t.il) t.il = trace.il;
   t.end = trace.interval;
   t.status = committed ? TxnStatus::kCommitted : TxnStatus::kAborted;
 
@@ -261,7 +269,15 @@ void Leopard::ProcessTerminal(const Trace& trace, bool committed) {
   if (committed) {
     MarkVersionsCommitted(t);
     if (config_.check_sc) {
-      graph_.AddNode(trace.txn, {t.first_op, t.end});
+      // A weak-IL transaction never promised serializability: keep it out of
+      // the dependency graph so its edges drop on the committed-but-pruned
+      // path (status_of treats a committed non-node as aborted) and it can
+      // never anchor an SC cycle against stronger sessions.
+      if (isolation::IlRequiresSc(t.il)) {
+        graph_.AddNode(trace.txn, {t.first_op, t.end});
+      } else {
+        ++stats_.sc_nodes_skipped_weak;
+      }
     }
     if (config_.check_fuw) VerifyFuwAtCommit(t);
     // Materialize dependency edges that were waiting for this commit.
@@ -339,6 +355,7 @@ void Leopard::MarkVersionsCommitted(TxnState& t) {
         entry.status = WriterStatus::kCommitted;
         entry.writer_snapshot = t.first_op;
         entry.writer_commit = t.end;
+        entry.writer_il = t.il;
       }
     }
   }
@@ -441,6 +458,7 @@ std::unique_ptr<Leopard::KeyStateBundle> Leopard::ExtractKeyState(Key key) {
     KeyStateBundle::TxnContribution c;
     c.txn = id;
     c.first_op = t.first_op;
+    c.il = t.il;
     auto* wit = std::find(t.write_keys.begin(), t.write_keys.end(), key);
     if (wit != t.write_keys.end()) {
       c.in_write_keys = true;
@@ -512,6 +530,7 @@ void Leopard::InstallKeyState(std::unique_ptr<KeyStateBundle> b) {
     // GetTxn installs the transaction's true global first-op interval when
     // this shard has not met it yet (same contract as BeginTxnAt).
     TxnState& t = GetTxn(c.txn, c.first_op);
+    if (c.il < t.il) t.il = c.il;
     if (c.in_write_keys &&
         std::find(t.write_keys.begin(), t.write_keys.end(), b->key) ==
             t.write_keys.end()) {
@@ -553,6 +572,7 @@ void Leopard::SaveState(StateWriter& w) const {
   for (const auto& [id, t] : txns_) {
     w.PutU64(id);
     w.PutU8(static_cast<uint8_t>(t.status));
+    w.PutU8(static_cast<uint8_t>(t.il));
     w.PutBool(t.has_first_op);
     serde::SaveInterval(w, t.first_op);
     serde::SaveInterval(w, t.end);
@@ -607,7 +627,7 @@ Status Leopard::LoadState(StateReader& r) {
   txns_.clear();
   uint32_t n_txns = 0;
   if (!(s = r.GetU32(n_txns)).ok()) return s;
-  if (!r.CountFits(n_txns, 8 + 1 + 1 + 16 + 16 + 4 + 4 + 4 + 4)) {
+  if (!r.CountFits(n_txns, 8 + 1 + 1 + 1 + 16 + 16 + 4 + 4 + 4 + 4)) {
     return Status::InvalidArgument("leopard state: absurd txn count");
   }
   for (uint32_t i = 0; i < n_txns; ++i) {
@@ -625,6 +645,12 @@ Status Leopard::LoadState(StateReader& r) {
       return Status::InvalidArgument("leopard state: bad txn status");
     }
     t.status = static_cast<TxnStatus>(status);
+    uint8_t il = 0;
+    if (!(s = r.GetU8(il)).ok()) return s;
+    if (il > static_cast<uint8_t>(IsolationLevel::kSerializable)) {
+      return Status::InvalidArgument("leopard state: bad isolation level");
+    }
+    t.il = static_cast<IsolationLevel>(il);
     if (!(s = r.GetBool(t.has_first_op)).ok()) return s;
     if (!(s = serde::LoadInterval(r, t.first_op)).ok()) return s;
     if (!(s = serde::LoadInterval(r, t.end)).ok()) return s;

@@ -154,6 +154,7 @@ class Leopard {
     struct TxnContribution {
       TxnId txn = 0;
       TimeInterval first_op;
+      IsolationLevel il = IsolationLevel::kSerializable;
       bool in_write_keys = false;
       bool in_read_keys = false;
       bool has_own_write = false;
@@ -202,6 +203,10 @@ class Leopard {
   struct TxnState {
     TxnId id = 0;
     TxnStatus status = TxnStatus::kActive;
+    /// Declared isolation level (weakest tag seen across the txn's traces).
+    /// Selects the mechanism subset this transaction is judged by
+    /// (src/isolation): an untagged/SER txn gets today's full treatment.
+    IsolationLevel il = IsolationLevel::kSerializable;
     bool has_first_op = false;
     TimeInterval first_op;
     TimeInterval end;

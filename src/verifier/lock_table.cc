@@ -5,10 +5,11 @@
 namespace leopard {
 
 void MirrorLockTable::NoteAcquire(Key key, TxnId txn, bool exclusive,
-                                  TimeInterval acquire) {
+                                  TimeInterval acquire, IsolationLevel il) {
   auto& list = map_[key];
   for (auto& rec : list) {
     if (rec.txn != txn) continue;
+    if (il < rec.il) rec.il = il;
     if (exclusive) {
       if (!rec.has_x) {
         rec.has_x = true;
@@ -22,6 +23,7 @@ void MirrorLockTable::NoteAcquire(Key key, TxnId txn, bool exclusive,
   }
   LockRec rec;
   rec.txn = txn;
+  rec.il = il;
   if (exclusive) {
     rec.has_x = true;
     rec.x_acquire = acquire;
@@ -136,6 +138,7 @@ void MirrorLockTable::SaveState(StateWriter& w) const {
       w.PutBool(rec.released);
       w.PutBool(rec.committed);
       serde::SaveInterval(w, rec.release);
+      w.PutU8(static_cast<uint8_t>(rec.il));
     }
   }
 }
@@ -156,7 +159,7 @@ Status MirrorLockTable::LoadState(StateReader& r) {
     uint32_t n_recs = 0;
     if (!(s = r.GetU64(key)).ok()) return s;
     if (!(s = r.GetU32(n_recs)).ok()) return s;
-    if (!r.CountFits(n_recs, 8 + 2 + 16 + 16 + 2 + 16)) {
+    if (!r.CountFits(n_recs, 8 + 2 + 16 + 16 + 2 + 16 + 1)) {
       return Status::InvalidArgument("lock table: absurd record count");
     }
     auto& list = map_[key];
@@ -172,6 +175,12 @@ Status MirrorLockTable::LoadState(StateReader& r) {
       if (!(s = r.GetBool(rec.released)).ok()) return s;
       if (!(s = r.GetBool(rec.committed)).ok()) return s;
       if (!(s = serde::LoadInterval(r, rec.release)).ok()) return s;
+      uint8_t il = 0;
+      if (!(s = r.GetU8(il)).ok()) return s;
+      if (il > static_cast<uint8_t>(IsolationLevel::kSerializable)) {
+        return Status::InvalidArgument("lock table: bad isolation level");
+      }
+      rec.il = static_cast<IsolationLevel>(il);
       any_released |= rec.released;
       list.push_back(rec);
     }

@@ -54,6 +54,10 @@ struct LockRec {
   /// deduction only uses committed ones.
   bool committed = false;
   TimeInterval release;
+  /// Isolation level the owning transaction declared. Mutual exclusion only
+  /// binds a conflicting pair when *both* holders promised transaction-scope
+  /// locking (>= REPEATABLE_READ); weaker holders' overlaps are legitimate.
+  IsolationLevel il = IsolationLevel::kSerializable;
 };
 
 /// Mirror of the DBMS lock table (§V-B): per-record lists of lock
@@ -62,8 +66,10 @@ struct LockRec {
 class MirrorLockTable {
  public:
   /// Records a lock acquisition (first acquisition of each mode wins; a
-  /// repeated write keeps the earliest X interval).
-  void NoteAcquire(Key key, TxnId txn, bool exclusive, TimeInterval acquire);
+  /// repeated write keeps the earliest X interval). `il` is the owning
+  /// transaction's declared isolation level (the weakest seen wins).
+  void NoteAcquire(Key key, TxnId txn, bool exclusive, TimeInterval acquire,
+                   IsolationLevel il = IsolationLevel::kSerializable);
 
   /// Marks `txn`'s locks on `keys` released at `release`.
   void NoteRelease(TxnId txn, const Key* keys, size_t n, TimeInterval release,

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "isolation/isolation.h"
 #include "obs/span.h"
 
 namespace leopard {
@@ -35,6 +36,15 @@ void Leopard::VerifyMeAtRelease(TxnState& t) {
     }
     switch (order) {
       case PairOrder::kViolation: {
+        // Mutual exclusion only binds the pair when both holders declared a
+        // transaction-scope level (>= RR): a READ COMMITTED session releases
+        // each statement's locks early, so its overlap is legitimate, and
+        // must not surface as the *other* session's violation either.
+        if (!isolation::IlRequiresMe(mine.il) ||
+            !isolation::IlRequiresMe(other.il)) {
+          ++stats_.me_suppressed_weak;
+          return;
+        }
         std::ostringstream os;
         os << "incompatible locks held simultaneously in every possible "
               "ordering (acquires "

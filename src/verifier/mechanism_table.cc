@@ -123,6 +123,16 @@ VerifierConfig ConfigFromRow(const MechanismRow& row) {
   config.statement_level_cr =
       row.isolation == IsolationLevel::kReadCommitted;
   config.locking_reads = !row.cr;  // single-version 2PL reads under S locks
+  // 2PL+MVCC SERIALIZABLE without a certifier (InnoDB, Aurora, PolarDB,
+  // SQL Server, Spanner, RocksDB-2PL): the engine serializes by locking
+  // reads of the latest version, i.e. statement-level consistency under
+  // shared locks (cf. ConfigForMiniDb's kMvcc2pl SERIALIZABLE branch).
+  // Deriving locking_reads from !cr alone left these rows with neither a
+  // certifier nor read locks — serializability went unchecked.
+  if (row.isolation == IsolationLevel::kSerializable && row.me && !row.sc) {
+    config.locking_reads = true;
+    config.statement_level_cr = true;
+  }
   config.certifier = row.certifier;
   if (!row.me) {
     // Lock-free engines (OCC / TO / Percolator) install at commit.

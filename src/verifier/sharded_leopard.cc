@@ -17,6 +17,7 @@
 
 #include "common/flat_hash_map.h"
 #include "common/spsc_queue.h"
+#include "isolation/isolation.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/watchdog.h"
@@ -80,6 +81,10 @@ struct EdgeMsg {
   /// kCommit: the terminal trace's runtime ingest stamp (Trace::ingest_ns),
   /// carried through so the certifier can attribute read→certify latency.
   uint64_t ingest_ns = 0;
+  /// kCommit: the transaction's declared isolation level (weakest tag the
+  /// router saw across its traces). Weak commits are gated out of the
+  /// certifier's graph — see Certifier::OnCommit.
+  IsolationLevel il = IsolationLevel::kSerializable;
 };
 
 struct Shard {
@@ -140,6 +145,10 @@ void AccumulateStats(VerifierStats& into, const VerifierStats& from) {
   into.pruned_versions += from.pruned_versions;
   into.pruned_locks += from.pruned_locks;
   into.pruned_txns += from.pruned_txns;
+  into.weak_il_traces += from.weak_il_traces;
+  into.me_suppressed_weak += from.me_suppressed_weak;
+  into.fuw_suppressed_weak += from.fuw_suppressed_weak;
+  into.sc_nodes_skipped_weak += from.sc_nodes_skipped_weak;
 }
 
 }  // namespace
@@ -172,6 +181,7 @@ struct ShardedLeopard::Impl {
     uint64_t edges_applied = 0;
     uint64_t edges_parked = 0;
     uint64_t edges_dropped = 0;
+    uint64_t sc_nodes_skipped_weak = 0;
     std::vector<BugDescriptor> bugs;
     /// Deduced-edge batch (kCycle/kFullDfs only): gating-passed edges
     /// accumulate here and enter the graph through one AddEdgeBatch per
@@ -256,6 +266,19 @@ struct ShardedLeopard::Impl {
 
     void OnCommit(const EdgeMsg& e) {
       if (!committed.insert(e.from).second) return;
+      if (!isolation::IlRequiresSc(e.il)) {
+        // Weak-IL commit: member of `committed` but never a graph node, so
+        // its edges (parked here or arriving late) drop on the committed-
+        // but-pruned path — mirroring the single-shard status_of fallback.
+        ++sc_nodes_skipped_weak;
+        auto wit = parked.find(e.from);
+        if (wit != parked.end()) {
+          std::vector<EdgeMsg> waiting = std::move(wit->second);
+          parked.erase(wit);
+          for (const EdgeMsg& w : waiting) TryEdge(w);
+        }
+        return;
+      }
       graph.AddNode(e.from, {e.first_op, e.end});
       last_commit = e.from;
       auto it = parked.find(e.from);
@@ -415,9 +438,11 @@ struct ShardedLeopard::Impl {
       RecomputeRouterSafe();
     }
 
+    if (trace.il != IsolationLevel::kSerializable) ++router_weak_il;
     auto [it, inserted] = txn_routes.try_emplace(trace.txn);
     if (inserted) it->second.first_op = trace.interval;
     TxnRoute& route = it->second;
+    if (trace.il < route.il) route.il = trace.il;
 
     switch (trace.op) {
       case OpType::kRead:
@@ -461,6 +486,10 @@ struct ShardedLeopard::Impl {
 
   struct TxnRoute {
     TimeInterval first_op;
+    /// Weakest isolation level seen across the txn's traces: the terminal
+    /// broadcast re-stamps with it so every shard (and the certifier)
+    /// converges on the same per-txn level whatever projection it saw.
+    IsolationLevel il = IsolationLevel::kSerializable;
     uint64_t seen_mask = 0;  ///< shards already introduced to this txn
   };
 
@@ -671,6 +700,7 @@ struct ShardedLeopard::Impl {
       msg.trace.op = OpType::kWrite;
       msg.trace.txn = trace.txn;
       msg.trace.client = trace.client;
+      msg.trace.il = trace.il;
       msg.trace.ingest_ns = trace.ingest_ns;
       msg.trace.write_set = std::move(scratch_writes[s]);
       scratch_writes[s] = {};
@@ -718,6 +748,7 @@ struct ShardedLeopard::Impl {
       msg.trace.op = OpType::kRead;
       msg.trace.txn = trace.txn;
       msg.trace.client = trace.client;
+      msg.trace.il = trace.il;
       msg.trace.ingest_ns = trace.ingest_ns;
       msg.trace.for_update = trace.for_update;
       msg.trace.read_set = std::move(scratch_reads[s]);
@@ -737,6 +768,10 @@ struct ShardedLeopard::Impl {
     for (uint32_t s = 0; s < opts.n_shards; ++s) {
       ShardMsg msg;
       msg.trace = trace;
+      // Re-stamp with the txn's weakest level: a shard that only saw a
+      // subset of the txn's (possibly unevenly tagged) traces still lands
+      // on the same per-txn level as the single-threaded oracle.
+      msg.trace.il = route.il;
       if (s == home && certifier != nullptr) {
         msg.emit_terminal = true;
         msg.txn_first_op = route.first_op;
@@ -880,6 +915,7 @@ struct ShardedLeopard::Impl {
         e.first_op = msg.txn_first_op;
         e.end = msg.trace.interval;
         e.ingest_ns = msg.trace.ingest_ns;
+        e.il = msg.trace.il;
         (void)out->Push(e);
       }
       if (out != nullptr && ++shard.msgs_since_safe_ts >= opts.safe_ts_every) {
@@ -1039,11 +1075,13 @@ struct ShardedLeopard::Impl {
     w.PutU64(router_safe);
     w.PutU64(router_traces);
     w.PutU64(router_out_of_order);
+    w.PutU64(router_weak_il);
     w.PutU64(traces_since_safe);
     w.PutU32(static_cast<uint32_t>(txn_routes.size()));
     for (const auto& [txn, route] : txn_routes) {
       w.PutU64(txn);
       serde::SaveInterval(w, route.first_op);
+      w.PutU8(static_cast<uint8_t>(route.il));
       w.PutU64(route.seen_mask);
     }
     // Routing table + skew rebalancer. The migration mailbox is provably
@@ -1087,6 +1125,7 @@ struct ShardedLeopard::Impl {
         serde::SaveInterval(w, e.end);
         w.PutU64(e.ts);
         w.PutU64(e.ingest_ns);
+        w.PutU8(static_cast<uint8_t>(e.il));
       }
     }
     w.PutU32(static_cast<uint32_t>(certifier->shard_safe.size()));
@@ -1096,6 +1135,7 @@ struct ShardedLeopard::Impl {
     w.PutU64(certifier->edges_applied);
     w.PutU64(certifier->edges_parked);
     w.PutU64(certifier->edges_dropped);
+    w.PutU64(certifier->sc_nodes_skipped_weak);
     w.PutU32(static_cast<uint32_t>(certifier->bugs.size()));
     for (const BugDescriptor& bug : certifier->bugs) serde::SaveBug(w, bug);
   }
@@ -1118,10 +1158,11 @@ struct ShardedLeopard::Impl {
     if (!(s = r.GetU64(router_safe)).ok()) return s;
     if (!(s = r.GetU64(router_traces)).ok()) return s;
     if (!(s = r.GetU64(router_out_of_order)).ok()) return s;
+    if (!(s = r.GetU64(router_weak_il)).ok()) return s;
     if (!(s = r.GetU64(traces_since_safe)).ok()) return s;
     uint32_t n = 0;
     if (!(s = r.GetU32(n)).ok()) return s;
-    if (!r.CountFits(n, 8 + 16 + 8)) {
+    if (!r.CountFits(n, 8 + 16 + 1 + 8)) {
       return Status::InvalidArgument("sharded state: absurd route count");
     }
     txn_routes.clear();
@@ -1131,6 +1172,12 @@ struct ShardedLeopard::Impl {
       if (!(s = r.GetU64(txn)).ok()) return s;
       TxnRoute route;
       if (!(s = serde::LoadInterval(r, route.first_op)).ok()) return s;
+      uint8_t il = 0;
+      if (!(s = r.GetU8(il)).ok()) return s;
+      if (il > static_cast<uint8_t>(IsolationLevel::kSerializable)) {
+        return Status::InvalidArgument("sharded state: bad isolation level");
+      }
+      route.il = static_cast<IsolationLevel>(il);
       if (!(s = r.GetU64(route.seen_mask)).ok()) return s;
       txn_routes.emplace(txn, route);
     }
@@ -1199,7 +1246,7 @@ struct ShardedLeopard::Impl {
       uint32_t n_msgs = 0;
       if (!(s = r.GetU64(txn)).ok()) return s;
       if (!(s = r.GetU32(n_msgs)).ok()) return s;
-      if (!r.CountFits(n_msgs, 1 + 8 + 8 + 1 + 16 + 16 + 8 + 8)) {
+      if (!r.CountFits(n_msgs, 1 + 8 + 8 + 1 + 16 + 16 + 8 + 8 + 1)) {
         return Status::InvalidArgument(
             "sharded state: absurd parked-edge count");
       }
@@ -1222,6 +1269,13 @@ struct ShardedLeopard::Impl {
         if (!(s = serde::LoadInterval(r, e.end)).ok()) return s;
         if (!(s = r.GetU64(e.ts)).ok()) return s;
         if (!(s = r.GetU64(e.ingest_ns)).ok()) return s;
+        uint8_t il = 0;
+        if (!(s = r.GetU8(il)).ok()) return s;
+        if (il > static_cast<uint8_t>(IsolationLevel::kSerializable)) {
+          return Status::InvalidArgument(
+              "sharded state: bad edge isolation level");
+        }
+        e.il = static_cast<IsolationLevel>(il);
         msgs.push_back(e);
       }
     }
@@ -1238,6 +1292,7 @@ struct ShardedLeopard::Impl {
     if (!(s = r.GetU64(certifier->edges_applied)).ok()) return s;
     if (!(s = r.GetU64(certifier->edges_parked)).ok()) return s;
     if (!(s = r.GetU64(certifier->edges_dropped)).ok()) return s;
+    if (!(s = r.GetU64(certifier->sc_nodes_skipped_weak)).ok()) return s;
     if (!(s = r.GetU32(n)).ok()) return s;
     if (!r.CountFits(n, 1 + 4 + 8 + 8 + 4 + 4 + 4)) {
       return Status::InvalidArgument("sharded state: absurd bug count");
@@ -1286,9 +1341,11 @@ struct ShardedLeopard::Impl {
     // processed once logically, however many shard projections it produced.
     report.stats.traces_processed = router_traces;
     report.stats.out_of_order_traces = router_out_of_order;
+    report.stats.weak_il_traces = router_weak_il;
     if (certifier != nullptr) {
       report.stats.sc_violations += certifier->sc_violations;
       report.stats.pruned_txns += certifier->pruned_txns;
+      report.stats.sc_nodes_skipped_weak += certifier->sc_nodes_skipped_weak;
     }
     report.bugs.clear();
     for (auto& shard : shards) {
@@ -1370,6 +1427,7 @@ struct ShardedLeopard::Impl {
   Timestamp router_safe = 0;
   uint64_t router_traces = 0;
   uint64_t router_out_of_order = 0;
+  uint64_t router_weak_il = 0;  ///< input traces tagged below SERIALIZABLE
   uint64_t traces_since_safe = 0;
   uint64_t traces_since_gauges = 0;
   std::unordered_map<TxnId, TxnRoute> txn_routes;

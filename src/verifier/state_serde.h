@@ -158,6 +158,10 @@ inline void SaveStats(StateWriter& w, const VerifierStats& st) {
   w.PutU64(st.pruned_versions);
   w.PutU64(st.pruned_locks);
   w.PutU64(st.pruned_txns);
+  w.PutU64(st.weak_il_traces);
+  w.PutU64(st.me_suppressed_weak);
+  w.PutU64(st.fuw_suppressed_weak);
+  w.PutU64(st.sc_nodes_skipped_weak);
 }
 
 inline Status LoadStats(StateReader& r, VerifierStats& st) {
@@ -170,7 +174,9 @@ inline Status LoadStats(StateReader& r, VerifierStats& st) {
         &st.deduced_overlapped_rw, &st.uncertain_ww, &st.uncertain_wr,
         &st.cr_violations, &st.me_violations, &st.fuw_violations,
         &st.sc_violations, &st.gc_sweeps, &st.pruned_versions,
-        &st.pruned_locks, &st.pruned_txns}) {
+        &st.pruned_locks, &st.pruned_txns, &st.weak_il_traces,
+        &st.me_suppressed_weak, &st.fuw_suppressed_weak,
+        &st.sc_nodes_skipped_weak}) {
     if (!(s = r.GetU64(*f)).ok()) return s;
   }
   return Status::Ok();

@@ -43,6 +43,14 @@ struct VerifierStats {
   uint64_t fuw_violations = 0;
   uint64_t sc_violations = 0;
 
+  // Mixed-isolation accounting (src/isolation): traces declared below
+  // SERIALIZABLE, and would-be violations suppressed because one endpoint's
+  // session never promised that mechanism's guarantee.
+  uint64_t weak_il_traces = 0;
+  uint64_t me_suppressed_weak = 0;
+  uint64_t fuw_suppressed_weak = 0;
+  uint64_t sc_nodes_skipped_weak = 0;
+
   // Garbage collection.
   uint64_t gc_sweeps = 0;
   uint64_t pruned_versions = 0;

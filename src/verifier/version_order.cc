@@ -201,6 +201,7 @@ void VersionOrderIndex::SaveState(StateWriter& w) const {
       w.PutU8(static_cast<uint8_t>(v.status));
       serde::SaveInterval(w, v.writer_snapshot);
       serde::SaveInterval(w, v.writer_commit);
+      w.PutU8(static_cast<uint8_t>(v.writer_il));
       serde::SaveIdVector(w, v.readers);
     }
   }
@@ -222,7 +223,7 @@ Status VersionOrderIndex::LoadState(StateReader& r) {
     uint32_t n_versions = 0;
     if (!(s = r.GetU64(key)).ok()) return s;
     if (!(s = r.GetU32(n_versions)).ok()) return s;
-    if (!r.CountFits(n_versions, 8 + 8 + 16 + 1 + 16 + 16 + 4)) {
+    if (!r.CountFits(n_versions, 8 + 8 + 16 + 1 + 16 + 16 + 1 + 4)) {
       return Status::InvalidArgument("version order: absurd version count");
     }
     auto& list = map_[key];
@@ -240,6 +241,12 @@ Status VersionOrderIndex::LoadState(StateReader& r) {
       v.status = static_cast<WriterStatus>(status);
       if (!(s = serde::LoadInterval(r, v.writer_snapshot)).ok()) return s;
       if (!(s = serde::LoadInterval(r, v.writer_commit)).ok()) return s;
+      uint8_t il = 0;
+      if (!(s = r.GetU8(il)).ok()) return s;
+      if (il > static_cast<uint8_t>(IsolationLevel::kSerializable)) {
+        return Status::InvalidArgument("version order: bad isolation level");
+      }
+      v.writer_il = static_cast<IsolationLevel>(il);
       if (!(s = serde::LoadIdVector(r, v.readers)).ok()) return s;
       list.push_back(std::move(v));
     }

@@ -25,6 +25,9 @@ struct VersionEntry {
   WriterStatus status = WriterStatus::kUnknown;
   TimeInterval writer_snapshot;  ///< writer's snapshot generation interval
   TimeInterval writer_commit;    ///< writer's commit interval
+  /// Writer's declared isolation level, backfilled at its commit. FUW only
+  /// binds writer pairs where both declared snapshot scope (>= RR).
+  IsolationLevel writer_il = IsolationLevel::kSerializable;
   /// Transactions whose reads matched this version uniquely (for rw
   /// antidependency deduction, Fig. 9). Inline for the common 0–2 readers.
   SmallVector<TxnId, 2> readers;

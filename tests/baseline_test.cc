@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
+#include "baseline/awdit_checker.h"
 #include "baseline/cobra_verifier.h"
 #include "baseline/elle_checker.h"
 #include "baseline/naive_verifier.h"
+#include "harness/sim_runner.h"
+#include "isolation/isolation.h"
+#include "txn/database.h"
 #include "verifier/mechanism_table.h"
+#include "workload/ycsb.h"
 
 namespace leopard {
 namespace {
@@ -172,6 +177,195 @@ TEST(ElleTest, MissesDirtyWriteWithoutCycle) {
   for (const auto& t : traces) leopard.Process(t);
   leopard.Finish();
   EXPECT_GE(leopard.stats().me_violations, 1u);  // Leopard: dirty write
+}
+
+// ---------------------------------------------------------------------------
+// AWDIT baseline: the optimal weak-level tester. Handcrafted bad patterns
+// per level, blindness to SER-only anomalies, and agreement with Leopard's
+// weak-session verdicts on an engine-generated RC history.
+// ---------------------------------------------------------------------------
+
+AwditChecker::Report RunAwdit(const std::vector<Trace>& traces,
+                              AwditChecker::Level level) {
+  AwditChecker::Options opts;
+  opts.level = level;
+  AwditChecker checker(opts);
+  for (const Trace& t : traces) checker.Add(t);
+  return checker.Check();
+}
+
+TEST(AwditTest, SerialHistoryCleanAtEveryLevel) {
+  for (auto level :
+       {AwditChecker::Level::kReadCommitted,
+        AwditChecker::Level::kReadAtomicity, AwditChecker::Level::kCausal}) {
+    auto report = RunAwdit(SerialHistory(), level);
+    EXPECT_TRUE(report.consistent);
+    EXPECT_TRUE(report.anomalies.empty());
+    EXPECT_EQ(report.txns, 3u);  // load + 2
+    EXPECT_GT(report.reads_checked, 0u);
+    EXPECT_GT(report.wr_edges, 0u);
+  }
+}
+
+TEST(AwditTest, FindsG1aAbortedRead) {
+  std::vector<Trace> traces = {
+      MakeWriteTrace(kLoadTxnId, 0, {1, 2}, {{1, 100}}),
+      MakeCommitTrace(kLoadTxnId, 0, {3, 4}),
+      W(1, 10, 11, 1, 666),
+      A(1, 12, 13),
+      R(2, 20, 21, 1, 666),
+      C(2, 22, 23),
+  };
+  auto report = RunAwdit(traces, AwditChecker::Level::kReadCommitted);
+  EXPECT_FALSE(report.consistent);
+  ASSERT_FALSE(report.anomalies.empty());
+  EXPECT_NE(report.anomalies[0].find("G1a"), std::string::npos);
+}
+
+TEST(AwditTest, FindsG1bIntermediateRead) {
+  std::vector<Trace> traces = {
+      W(1, 10, 11, 1, 7),
+      W(1, 12, 13, 1, 8),  // 7 becomes an intermediate value
+      C(1, 14, 15),
+      R(2, 20, 21, 1, 7),
+      C(2, 22, 23),
+  };
+  auto report = RunAwdit(traces, AwditChecker::Level::kReadCommitted);
+  EXPECT_FALSE(report.consistent);
+  ASSERT_FALSE(report.anomalies.empty());
+  EXPECT_NE(report.anomalies[0].find("G1b"), std::string::npos);
+}
+
+TEST(AwditTest, FindsFracturedReadAtRaButNotRc) {
+  // txn 1 writes both keys; txn 3 reads key 2 from txn 1 but key 1 from the
+  // causally older load transaction — atomicity of txn 1's write set is
+  // fractured.
+  std::vector<Trace> traces = {
+      MakeWriteTrace(kLoadTxnId, 0, {1, 2}, {{1, 100}, {2, 200}}),
+      MakeCommitTrace(kLoadTxnId, 0, {3, 4}),
+      MakeWriteTrace(1, 1, {10, 11}, {{1, 101}, {2, 201}}),
+      MakeCommitTrace(1, 1, {12, 13}),
+      R(3, 20, 21, 1, 100),  // old version of key 1
+      R(3, 22, 23, 2, 201),  // new version of key 2
+      C(3, 24, 25),
+  };
+  auto rc = RunAwdit(traces, AwditChecker::Level::kReadCommitted);
+  EXPECT_TRUE(rc.consistent);  // RC permits fractured reads
+  auto ra = RunAwdit(traces, AwditChecker::Level::kReadAtomicity);
+  EXPECT_FALSE(ra.consistent);
+  ASSERT_FALSE(ra.anomalies.empty());
+  EXPECT_NE(ra.anomalies[0].find("fractured"), std::string::npos);
+}
+
+TEST(AwditTest, FindsCausalStaleReadAtCausalOnly) {
+  // Session 1: w1 installs k=101, then w2 (so-after w1) installs k=102.
+  // Session 2 reads k=102 (observing w2) and *then* k=101 — a version
+  // causally before one it already proved visible.
+  std::vector<Trace> traces = {
+      MakeWriteTrace(kLoadTxnId, 0, {1, 2}, {{1, 100}}),
+      MakeCommitTrace(kLoadTxnId, 0, {3, 4}),
+      MakeWriteTrace(1, 1, {10, 11}, {{1, 101}}),
+      MakeCommitTrace(1, 1, {12, 13}),
+      MakeWriteTrace(2, 1, {14, 15}, {{1, 102}}),
+      MakeCommitTrace(2, 1, {16, 17}),
+      MakeReadTrace(3, 2, {20, 21}, {{1, 102}}),
+      MakeCommitTrace(3, 2, {22, 23}),
+      MakeReadTrace(4, 2, {24, 25}, {{1, 101}}),  // so-after reading 102
+      MakeCommitTrace(4, 2, {26, 27}),
+  };
+  auto ra = RunAwdit(traces, AwditChecker::Level::kReadAtomicity);
+  EXPECT_TRUE(ra.consistent);  // single-key reads never fracture
+  auto cc = RunAwdit(traces, AwditChecker::Level::kCausal);
+  EXPECT_FALSE(cc.consistent);
+  ASSERT_FALSE(cc.anomalies.empty());
+  EXPECT_NE(cc.anomalies[0].find("causal stale"), std::string::npos);
+}
+
+/// WriteSkewHistory() with the two transactions on their *own* sessions —
+/// the canonical shape: no session-order edge connects them, so only a
+/// serialization certifier can see the cycle.
+std::vector<Trace> TwoSessionWriteSkew() {
+  return {
+      MakeWriteTrace(kLoadTxnId, 0, {1, 2}, {{1, 100}, {2, 200}}),
+      MakeCommitTrace(kLoadTxnId, 0, {3, 4}),
+      MakeReadTrace(1, 1, {10, 11}, {{1, 100}}),
+      MakeReadTrace(2, 2, {12, 13}, {{2, 200}}),
+      MakeReadTrace(1, 1, {14, 15}, {{2, 200}}),
+      MakeReadTrace(2, 2, {16, 17}, {{1, 100}}),
+      MakeWriteTrace(1, 1, {20, 21}, {{2, 201}}),
+      MakeWriteTrace(2, 2, {22, 23}, {{1, 101}}),
+      MakeCommitTrace(1, 1, {30, 31}),
+      MakeCommitTrace(2, 2, {32, 33}),
+  };
+}
+
+TEST(AwditTest, BlindToWriteSkewByDesign) {
+  // Write skew is the canonical SER-only anomaly: AWDIT must pass it at
+  // every level while Leopard's certifier rejects it — the split that the
+  // mixed-IL differential relies on.
+  auto cc = RunAwdit(TwoSessionWriteSkew(), AwditChecker::Level::kCausal);
+  EXPECT_TRUE(cc.consistent)
+      << (cc.anomalies.empty() ? "" : cc.anomalies[0]);
+
+  Leopard leopard(ConfigForMiniDb(Protocol::kMvcc2plSsi,
+                                  IsolationLevel::kSerializable));
+  for (const auto& t : TwoSessionWriteSkew()) leopard.Process(t);
+  leopard.Finish();
+  EXPECT_GE(leopard.stats().sc_violations, 1u);
+}
+
+TEST(AwditTest, SingleSessionSkewIsAStaleReadNotSkew) {
+  // Folding both transactions onto one session changes the verdict: txn 2
+  // now so-follows txn 1 yet reads the version txn 1 overwrote — a causal
+  // stale read AWDIT *does* catch. Session attribution is load-bearing.
+  auto cc = RunAwdit(WriteSkewHistory(), AwditChecker::Level::kCausal);
+  EXPECT_FALSE(cc.consistent);
+  ASSERT_FALSE(cc.anomalies.empty());
+  EXPECT_NE(cc.anomalies[0].find("causal stale"), std::string::npos);
+}
+
+TEST(AwditTest, AgreesWithLeopardOnEngineRcHistory) {
+  // An RC run of the real engine: Leopard (verifying the RC contract) and
+  // AWDIT (testing the same declared level) must both call the history
+  // clean. AWDIT runs at its RC level — a correct RC engine may
+  // legitimately fracture multi-statement read sets, so stronger levels
+  // would test a promise no session made.
+  Database::Options dbo;
+  dbo.protocol = Protocol::kMvcc2plSsi;
+  dbo.isolation = IsolationLevel::kReadCommitted;
+  Database db(dbo);
+  YcsbWorkload::Options wo;
+  wo.record_count = 40;
+  wo.theta = 0.8;
+  YcsbWorkload workload(wo);
+  SimOptions so;
+  so.clients = 6;
+  so.total_txns = 500;
+  so.seed = 71;
+  SimRunner runner(&db, &workload, so);
+  std::vector<Trace> traces = runner.Run().MergedTraces();
+
+  auto map = isolation::SessionIlMap::Parse("*:rc");
+  ASSERT_TRUE(map.ok());
+  isolation::ApplyIlTags(*map, traces);
+
+  Leopard leopard(ConfigForMiniDb(Protocol::kMvcc2plSsi,
+                                  IsolationLevel::kReadCommitted));
+  for (const auto& t : traces) leopard.Process(t);
+  leopard.Finish();
+  EXPECT_EQ(leopard.stats().TotalViolations(), 0u);
+
+  auto report = RunAwdit(traces, AwditChecker::Level::kReadCommitted);
+  EXPECT_TRUE(report.consistent)
+      << (report.anomalies.empty() ? "" : report.anomalies[0]);
+  EXPECT_GT(report.txns, 0u);
+  EXPECT_GT(report.reads_checked, 0u);
+
+  AwditChecker::Options opts;
+  AwditChecker sized(opts);
+  for (const Trace& t : traces) sized.Add(t);
+  sized.Check();
+  EXPECT_GT(sized.ApproxMemoryBytes(), 0u);
 }
 
 TEST(NaiveVerifierTest, MatchesLeopardOnCleanHistory) {

@@ -7,6 +7,7 @@
 #include "diagnose/report.h"
 #include "diagnose/witness.h"
 #include "harness/sim_runner.h"
+#include "isolation/isolation.h"
 #include "obs/registry.h"
 #include "trace/trace_io.h"
 #include "txn/database.h"
@@ -155,6 +156,47 @@ TEST(DiagnoseGoldenTest, FaultMatrixDiagnosesToExpectedBugType) {
     }
     EXPECT_NE(d->explanation.find("Involved operations"), std::string::npos);
   }
+}
+
+// Mixed-isolation extension of the golden matrix: retagging every session
+// below the firing mechanism's threshold must make the bug disappear, and
+// retagging back to SER must bring it back diagnosable — the diagnosis
+// pipeline round-trips IL-tagged traces end to end.
+TEST(DiagnoseGoldenTest, WeakRetaggingSuppressesTheBugSerRestoresIt) {
+  FaultPlan plan;
+  plan.drop_lock_prob = 0.2;
+  FaultyHistory h = RunWithFaults(plan, Protocol::kMvcc2plSsi,
+                                  IsolationLevel::kSerializable, 11);
+  ASSERT_GT(h.injected, 0u);
+  const BugDescriptor* target = FirstOfType(h.bugs, BugType::kMeViolation);
+  ASSERT_NE(target, nullptr);
+
+  // All sessions RC: ME never binds, the bug list loses every ME entry.
+  std::vector<Trace> weak = h.traces;
+  auto rc_map = isolation::SessionIlMap::Parse("*:rc");
+  ASSERT_TRUE(rc_map.ok());
+  isolation::ApplyIlTags(*rc_map, weak);
+  Leopard weak_verifier(h.config);
+  for (const auto& t : weak) weak_verifier.Process(t);
+  weak_verifier.Finish();
+  EXPECT_EQ(FirstOfType(weak_verifier.bugs(), BugType::kMeViolation),
+            nullptr);
+  EXPECT_GT(weak_verifier.stats().me_suppressed_weak, 0u);
+
+  // Explicit all-SER tags: the bug fires again and diagnoses through the
+  // minimizer with the tags in place.
+  std::vector<Trace> tagged = h.traces;
+  for (Trace& t : tagged) t.il = IsolationLevel::kSerializable;
+  Leopard tagged_verifier(h.config);
+  for (const auto& t : tagged) tagged_verifier.Process(t);
+  tagged_verifier.Finish();
+  const BugDescriptor* retagged =
+      FirstOfType(tagged_verifier.bugs(), BugType::kMeViolation);
+  ASSERT_NE(retagged, nullptr);
+  auto d = Diagnose(h.config, tagged, *retagged);
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_EQ(d->bug.type, BugType::kMeViolation);
+  EXPECT_LE(d->minimized_txns, 10u);
 }
 
 TEST(DiagnoseMinimizerTest, FuzzedHistoriesShrinkToSmallCores) {

@@ -28,6 +28,7 @@
 #include "durable/wal.h"
 #include "harness/online_verifier.h"
 #include "harness/sim_runner.h"
+#include "isolation/isolation.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "net/socket.h"
@@ -550,6 +551,56 @@ TEST(DurableVerifierTest, SaveLoadResumesWithIdenticalVerdicts) {
       const VerifyReport& report = after.WaitReport();
       EXPECT_EQ(BugSet(report.bugs), BugSet(h.bugs));
     }
+  }
+}
+
+TEST(DurableVerifierTest, MixedIlTagsSurviveCheckpointResume) {
+  // A mixed-isolation history must checkpoint/resume to the same verdicts
+  // AND the same suppression accounting: the snapshot carries each open
+  // transaction's declared level (a resume that forgot the tags would
+  // false-positive the weak sessions post-cut) plus the weak-IL counters.
+  GoldenCase c = GoldenMatrix()[0];  // dropped_lock at SER
+  FaultyHistory h = RunWithFaults(c.plan, c.protocol, c.isolation, c.seed);
+  ASSERT_FALSE(h.bugs.empty());
+  auto map = isolation::SessionIlMap::Parse("0:rc,1:rc,2:si,*:ser");
+  ASSERT_TRUE(map.ok());
+  isolation::ApplyIlTags(*map, h.traces);
+  const uint32_t n_clients = MaxClient(h.traces);
+
+  // Oracle: one uninterrupted run over the tagged history.
+  OnlineVerifier oracle(n_clients, h.config);
+  PushRange(oracle, h.traces, 0, h.traces.size());
+  for (ClientId cl = 0; cl < n_clients; ++cl) oracle.Close(cl);
+  const VerifyReport& want = oracle.WaitReport();
+  // The weak sessions actually bite on this history: fewer bugs than the
+  // untagged verdicts, and a nonzero suppression trail.
+  EXPECT_LT(want.bugs.size(), h.bugs.size());
+  EXPECT_GT(want.stats.me_suppressed_weak, 0u);
+  EXPECT_GT(want.stats.weak_il_traces, 0u);
+
+  for (size_t cut : {h.traces.size() / 4, h.traces.size() / 2,
+                     h.traces.size() - 1}) {
+    SCOPED_TRACE("cut=" + std::to_string(cut));
+    std::string payload;
+    {
+      OnlineVerifier before(n_clients, h.config);
+      PushRange(before, h.traces, 0, cut);
+      StateWriter w(payload);
+      ASSERT_TRUE(before.SaveState(w).ok());
+    }
+    OnlineVerifier after(1, h.config);
+    StateReader r(payload);
+    ASSERT_TRUE(after.LoadState(r).ok());
+    PushRange(after, h.traces, cut, h.traces.size());
+    for (ClientId cl = 0; cl < n_clients; ++cl) after.Close(cl);
+    const VerifyReport& got = after.WaitReport();
+    EXPECT_EQ(BugSet(got.bugs), BugSet(want.bugs));
+    EXPECT_EQ(got.stats.weak_il_traces, want.stats.weak_il_traces);
+    EXPECT_EQ(got.stats.me_suppressed_weak, want.stats.me_suppressed_weak);
+    EXPECT_EQ(got.stats.fuw_suppressed_weak,
+              want.stats.fuw_suppressed_weak);
+    EXPECT_EQ(got.stats.sc_nodes_skipped_weak,
+              want.stats.sc_nodes_skipped_weak);
   }
 }
 

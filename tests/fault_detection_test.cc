@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "harness/sim_runner.h"
+#include "isolation/isolation.h"
 #include "txn/database.h"
 #include "verifier/leopard.h"
 #include "verifier/mechanism_table.h"
@@ -193,6 +194,157 @@ INSTANTIATE_TEST_SUITE_P(
         std::pair{IsolationLevel::kReadCommitted, 32ull},
         std::pair{IsolationLevel::kSnapshotIsolation, 33ull},
         std::pair{IsolationLevel::kSerializable, 34ull}));
+
+// ---------------------------------------------------------------------------
+// Mixed-isolation golden matrix: one fault class per mechanism, the same
+// fault-injected history verified twice — untagged (all sessions
+// SERIALIZABLE: the fault must be reported) and with every session tagged
+// below the mechanism's threshold (the same would-be violations must be
+// suppressed, and counted as suppressed, because no session promised that
+// guarantee).
+// ---------------------------------------------------------------------------
+
+/// Runs a fault-injected workload once and returns the raw trace history.
+std::vector<Trace> FaultedTraces(const FaultPlan& plan, Protocol protocol,
+                                 IsolationLevel isolation, uint64_t seed,
+                                 uint64_t* injected, uint64_t txns = 600,
+                                 double theta = 0.7, uint64_t records = 60) {
+  Database::Options dbo;
+  dbo.protocol = protocol;
+  dbo.isolation = isolation;
+  dbo.faults = plan;
+  dbo.fault_seed = seed;
+  Database db(dbo);
+  YcsbWorkload::Options wo;
+  wo.record_count = records;
+  wo.theta = theta;
+  YcsbWorkload workload(wo);
+  SimOptions so;
+  so.clients = 8;
+  so.total_txns = txns;
+  so.seed = seed;
+  SimRunner runner(&db, &workload, so);
+  RunResult result = runner.Run();
+  *injected = db.injected_fault_count();
+  return result.MergedTraces();
+}
+
+VerifierStats VerifyWithIlMap(const VerifierConfig& config,
+                              std::vector<Trace> traces,
+                              const std::string& spec) {
+  auto map = isolation::SessionIlMap::Parse(spec);
+  EXPECT_TRUE(map.ok()) << map.status();
+  isolation::ApplyIlTags(*map, traces);
+  Leopard verifier(config);
+  for (const auto& t : traces) verifier.Process(t);
+  verifier.Finish();
+  return verifier.stats();
+}
+
+struct MixedIlGoldenCase {
+  const char* name;
+  /// Session spec under which the fault must still be reported.
+  const char* firing_spec;
+  /// Session spec under which every such violation must be suppressed.
+  const char* weak_spec;
+  uint64_t VerifierStats::* violation;   // fired mechanism counter
+  uint64_t VerifierStats::* suppressed;  // its suppression counter
+};
+
+TEST(MixedIlFaultMatrixTest, WeakSessionsSuppressExactlyTheirMechanisms) {
+  const VerifierConfig union_config = ConfigForMiniDb(
+      Protocol::kMvcc2plSsi, IsolationLevel::kSerializable);
+
+  // Dropped locks -> ME: binds at >= RR, suppressed when every session is
+  // RC.
+  {
+    SCOPED_TRACE("dropped_lock_me");
+    FaultPlan plan;
+    plan.drop_lock_prob = 0.25;
+    uint64_t injected = 0;
+    std::vector<Trace> traces =
+        FaultedTraces(plan, Protocol::kMvcc2plSsi,
+                      IsolationLevel::kSerializable, 61, &injected,
+                      /*txns=*/500, /*theta=*/0.8, /*records=*/30);
+    ASSERT_GT(injected, 0u);
+    VerifierStats ser = VerifyWithIlMap(union_config, traces, "*:ser");
+    ASSERT_GT(ser.me_violations, 0u);
+    VerifierStats rc = VerifyWithIlMap(union_config, traces, "*:rc");
+    EXPECT_EQ(rc.me_violations, 0u);
+    EXPECT_GE(rc.me_suppressed_weak, ser.me_violations);
+    EXPECT_GT(rc.weak_il_traces, 0u);
+    // RR sessions still promise transaction-scope locks: no suppression.
+    VerifierStats rr = VerifyWithIlMap(union_config, traces, "*:rr");
+    EXPECT_EQ(rr.me_violations, ser.me_violations);
+  }
+
+  // Skipped first-updater-wins validation -> FUW: binds at >= RR,
+  // suppressed at RC.
+  {
+    SCOPED_TRACE("skip_fuw");
+    FaultPlan plan;
+    plan.skip_fuw_prob = 1.0;
+    uint64_t injected = 0;
+    std::vector<Trace> traces =
+        FaultedTraces(plan, Protocol::kMvcc2plSsi,
+                      IsolationLevel::kSnapshotIsolation, 62, &injected,
+                      /*txns=*/800, /*theta=*/0.9, /*records=*/20);
+    ASSERT_GT(injected, 0u);
+    const VerifierConfig si_config = ConfigForMiniDb(
+        Protocol::kMvcc2plSsi, IsolationLevel::kSnapshotIsolation);
+    VerifierStats si = VerifyWithIlMap(si_config, traces, "*:si");
+    ASSERT_GT(si.fuw_violations, 0u);
+    VerifierStats rc = VerifyWithIlMap(si_config, traces, "*:rc");
+    EXPECT_EQ(rc.fuw_violations, 0u);
+    EXPECT_GE(rc.fuw_suppressed_weak, si.fuw_violations);
+  }
+
+  // Skipped certifier -> SC: only SERIALIZABLE sessions enter the
+  // dependency graph, so an all-SI tagging leaves nothing to cycle.
+  {
+    SCOPED_TRACE("skip_certifier_sc");
+    FaultPlan plan;
+    plan.skip_certifier_prob = 1.0;
+    uint64_t injected = 0;
+    std::vector<Trace> traces =
+        FaultedTraces(plan, Protocol::kMvccOcc,
+                      IsolationLevel::kSerializable, 63, &injected,
+                      /*txns=*/800, /*theta=*/0.9, /*records=*/20);
+    ASSERT_GT(injected, 0u);
+    const VerifierConfig occ_config = ConfigForMiniDb(
+        Protocol::kMvccOcc, IsolationLevel::kSerializable);
+    VerifierStats ser = VerifyWithIlMap(occ_config, traces, "*:ser");
+    ASSERT_GT(ser.sc_violations, 0u);
+    VerifierStats si = VerifyWithIlMap(occ_config, traces, "*:si");
+    EXPECT_EQ(si.sc_violations, 0u);
+    EXPECT_GT(si.sc_nodes_skipped_weak, 0u);
+  }
+}
+
+TEST(MixedIlFaultMatrixTest, PartialWeakTaggingOnlyEverReduces) {
+  // Tagging *some* sessions weak must never report more than the all-SER
+  // run (monotone suppression) while SER-SER conflict pairs keep firing.
+  FaultPlan plan;
+  plan.drop_lock_prob = 0.3;
+  uint64_t injected = 0;
+  std::vector<Trace> traces =
+      FaultedTraces(plan, Protocol::kMvcc2plSsi,
+                    IsolationLevel::kSerializable, 64, &injected,
+                    /*txns=*/800, /*theta=*/0.9, /*records=*/20);
+  ASSERT_GT(injected, 0u);
+  const VerifierConfig config = ConfigForMiniDb(
+      Protocol::kMvcc2plSsi, IsolationLevel::kSerializable);
+  VerifierStats all_ser = VerifyWithIlMap(config, traces, "*:ser");
+  ASSERT_GT(all_ser.me_violations, 0u);
+  VerifierStats mixed =
+      VerifyWithIlMap(config, traces, "0:rc,1:rc,2:rc,3:rc,*:ser");
+  EXPECT_LE(mixed.me_violations, all_ser.me_violations);
+  EXPECT_LE(mixed.sc_violations, all_ser.sc_violations);
+  EXPECT_GT(mixed.weak_il_traces, 0u);
+  // Half the sessions conflict often enough at theta = 0.9 that at least
+  // one SER-SER pair still fires.
+  EXPECT_GT(mixed.me_violations + mixed.sc_violations, 0u);
+}
 
 // Detection must survive garbage collection and the wait-die lock policy.
 TEST(FaultDetectionTest, DetectionSurvivesGcAndBlocking) {

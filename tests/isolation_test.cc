@@ -1,0 +1,379 @@
+// Tests for the mixed-isolation subsystem (src/isolation): level/spec
+// parsing, session maps, trace tagging, the per-level mechanism masks, and
+// the verifier-level suppression semantics — a weak session must never be
+// false-positived against a rule it did not promise, while an all-SER
+// tagged history stays verdict-identical to an untagged one (single-shard
+// and sharded).
+
+#include "isolation/isolation.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fuzz_history_util.h"
+#include "verifier/leopard.h"
+#include "verifier/mechanism_table.h"
+#include "verifier/sharded_leopard.h"
+
+namespace leopard {
+namespace {
+
+using isolation::ApplyIlTags;
+using isolation::IlRequiresFuw;
+using isolation::IlRequiresMe;
+using isolation::IlRequiresSc;
+using isolation::IlStatementLevelCr;
+using isolation::MaskForIsolation;
+using isolation::ParseIsolationLevel;
+using isolation::SessionIlMap;
+
+using IL = IsolationLevel;
+
+TEST(ParseIsolationLevelTest, ShortFullAndCaseInsensitiveNames) {
+  EXPECT_EQ(*ParseIsolationLevel("rc"), IL::kReadCommitted);
+  EXPECT_EQ(*ParseIsolationLevel("READ_COMMITTED"), IL::kReadCommitted);
+  EXPECT_EQ(*ParseIsolationLevel("read-committed"), IL::kReadCommitted);
+  EXPECT_EQ(*ParseIsolationLevel("rr"), IL::kRepeatableRead);
+  EXPECT_EQ(*ParseIsolationLevel("Repeatable_Read"), IL::kRepeatableRead);
+  EXPECT_EQ(*ParseIsolationLevel("si"), IL::kSnapshotIsolation);
+  EXPECT_EQ(*ParseIsolationLevel("snapshot"), IL::kSnapshotIsolation);
+  EXPECT_EQ(*ParseIsolationLevel("ser"), IL::kSerializable);
+  EXPECT_EQ(*ParseIsolationLevel("SERIALIZABLE"), IL::kSerializable);
+  EXPECT_FALSE(ParseIsolationLevel("").ok());
+  EXPECT_FALSE(ParseIsolationLevel("serial").ok());
+  EXPECT_FALSE(ParseIsolationLevel("read committed").ok());
+}
+
+TEST(MechanismMaskTest, LevelsSelectTheirMechanismSubsets) {
+  // RC -> CR only; RR/SI -> CR+ME+FUW; SER -> all four (DESIGN.md §13).
+  EXPECT_EQ(MaskForIsolation(IL::kReadCommitted), isolation::kMechCr);
+  EXPECT_EQ(MaskForIsolation(IL::kRepeatableRead),
+            isolation::kMechCr | isolation::kMechMe | isolation::kMechFuw);
+  EXPECT_EQ(MaskForIsolation(IL::kSnapshotIsolation),
+            MaskForIsolation(IL::kRepeatableRead));
+  EXPECT_EQ(MaskForIsolation(IL::kSerializable),
+            isolation::kMechCr | isolation::kMechMe | isolation::kMechFuw |
+                isolation::kMechSc);
+
+  EXPECT_TRUE(IlStatementLevelCr(IL::kReadCommitted));
+  EXPECT_FALSE(IlStatementLevelCr(IL::kSnapshotIsolation));
+
+  EXPECT_FALSE(IlRequiresMe(IL::kReadCommitted));
+  EXPECT_TRUE(IlRequiresMe(IL::kRepeatableRead));
+  EXPECT_TRUE(IlRequiresMe(IL::kSerializable));
+
+  EXPECT_FALSE(IlRequiresFuw(IL::kReadCommitted));
+  EXPECT_TRUE(IlRequiresFuw(IL::kSnapshotIsolation));
+
+  EXPECT_FALSE(IlRequiresSc(IL::kSnapshotIsolation));
+  EXPECT_TRUE(IlRequiresSc(IL::kSerializable));
+
+  // Stronger levels verify supersets: the mask is monotone in the enum.
+  EXPECT_EQ(MaskForIsolation(IL::kReadCommitted) &
+                MaskForIsolation(IL::kSerializable),
+            MaskForIsolation(IL::kReadCommitted));
+  EXPECT_EQ(MaskForIsolation(IL::kSnapshotIsolation) &
+                MaskForIsolation(IL::kSerializable),
+            MaskForIsolation(IL::kSnapshotIsolation));
+}
+
+TEST(SessionIlMapTest, ParseGetAndDefault) {
+  auto map = SessionIlMap::Parse("0:rc,1:si,*:rr,7:ser");
+  ASSERT_TRUE(map.ok()) << map.status();
+  EXPECT_EQ(map->Get(0), IL::kReadCommitted);
+  EXPECT_EQ(map->Get(1), IL::kSnapshotIsolation);
+  EXPECT_EQ(map->Get(7), IL::kSerializable);
+  EXPECT_EQ(map->Get(42), IL::kRepeatableRead);  // falls to the default
+  EXPECT_EQ(map->default_level(), IL::kRepeatableRead);
+  EXPECT_FALSE(map->empty());
+}
+
+TEST(SessionIlMapTest, LastEntryWinsAndEmptySegmentsSkip) {
+  auto map = SessionIlMap::Parse("3:rc,,3:ser,");
+  ASSERT_TRUE(map.ok()) << map.status();
+  EXPECT_EQ(map->Get(3), IL::kSerializable);
+  EXPECT_EQ(map->Get(4), IL::kSerializable);
+}
+
+TEST(SessionIlMapTest, ParseErrors) {
+  EXPECT_FALSE(SessionIlMap::Parse("0=rc").ok());
+  EXPECT_FALSE(SessionIlMap::Parse("x:rc").ok());
+  EXPECT_FALSE(SessionIlMap::Parse("0:bogus").ok());
+  EXPECT_FALSE(SessionIlMap::Parse(":rc").ok());
+}
+
+TEST(SessionIlMapTest, DefaultConstructedIsEmptyAllSer) {
+  SessionIlMap map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Get(9), IL::kSerializable);
+  auto parsed = SessionIlMap::Parse("");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(SessionIlMapTest, ToStringCanonicalAndRoundTrips) {
+  auto map = SessionIlMap::Parse("5:rc,*:si,2:ser");
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(map->ToString(), "*:si,2:ser,5:rc");
+  auto again = SessionIlMap::Parse(map->ToString());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->ToString(), map->ToString());
+}
+
+TEST(ApplyIlTagsTest, MapTagsByClientButExplicitTagWins) {
+  auto map = SessionIlMap::Parse("0:rc,1:si");
+  ASSERT_TRUE(map.ok());
+  std::vector<Trace> traces;
+  traces.push_back(MakeCommitTrace(1, 0, {1, 2}));  // -> rc via map
+  traces.push_back(MakeCommitTrace(2, 1, {3, 4}));  // -> si via map
+  traces.push_back(MakeCommitTrace(3, 2, {5, 6}));  // -> default ser
+  Trace pre = MakeCommitTrace(4, 0, {7, 8});
+  pre.il = IL::kRepeatableRead;  // explicit record tag beats the map
+  traces.push_back(pre);
+  ApplyIlTags(*map, traces);
+  EXPECT_EQ(traces[0].il, IL::kReadCommitted);
+  EXPECT_EQ(traces[1].il, IL::kSnapshotIsolation);
+  EXPECT_EQ(traces[2].il, IL::kSerializable);
+  EXPECT_EQ(traces[3].il, IL::kRepeatableRead);
+}
+
+// ---------------------------------------------------------------------------
+// Verifier-level suppression golden tests: one handcrafted anomaly per
+// mechanism, verified twice over the same history — once all-SER (the
+// anomaly must be reported) and once with a weak session involved (the same
+// would-be violation must be suppressed and counted as suppressed).
+// ---------------------------------------------------------------------------
+
+Trace R(TxnId txn, Timestamp bef, Timestamp aft, Key key, Value value) {
+  return MakeReadTrace(txn, 0, {bef, aft}, {{key, value}});
+}
+Trace W(TxnId txn, Timestamp bef, Timestamp aft, Key key, Value value) {
+  return MakeWriteTrace(txn, 0, {bef, aft}, {{key, value}});
+}
+Trace C(TxnId txn, Timestamp bef, Timestamp aft) {
+  return MakeCommitTrace(txn, 0, {bef, aft});
+}
+
+VerifierConfig PgSer() {
+  return ConfigForMiniDb(Protocol::kMvcc2plSsi, IL::kSerializable);
+}
+
+VerifierStats VerifyTagged(const std::vector<Trace>& traces,
+                           IL il_txn1, IL il_txn2) {
+  Leopard verifier(PgSer());
+  for (Trace t : traces) {
+    if (t.txn == 1) t.il = il_txn1;
+    if (t.txn == 2) t.il = il_txn2;
+    verifier.Process(t);
+  }
+  verifier.Finish();
+  return verifier.stats();
+}
+
+/// Two blind writes whose exclusive lock spans overlap: a dirty write, i.e.
+/// an ME violation between transaction-scope lockers.
+std::vector<Trace> DirtyWriteHistory() {
+  return {
+      MakeWriteTrace(kLoadTxnId, 0, {1, 2}, {{1, 100}}),
+      MakeCommitTrace(kLoadTxnId, 0, {3, 4}),
+      W(1, 10, 11, 1, 101),
+      W(2, 14, 15, 1, 102),
+      C(1, 40, 41),
+      C(2, 44, 45),
+  };
+}
+
+/// Classic write skew: both read the other's key, then blind-write their
+/// own — clean at SI, a certifier cycle at SER.
+std::vector<Trace> WriteSkewHistory() {
+  return {
+      MakeWriteTrace(kLoadTxnId, 0, {1, 2}, {{1, 100}, {2, 200}}),
+      MakeCommitTrace(kLoadTxnId, 0, {3, 4}),
+      R(1, 10, 11, 1, 100),
+      R(2, 12, 13, 2, 200),
+      R(1, 14, 15, 2, 200),
+      R(2, 16, 17, 1, 100),
+      W(1, 20, 21, 2, 201),
+      W(2, 22, 23, 1, 101),
+      C(1, 30, 31),
+      C(2, 32, 33),
+  };
+}
+
+TEST(IlSuppressionTest, DirtyWriteReportedForSerPairs) {
+  VerifierStats all_ser =
+      VerifyTagged(DirtyWriteHistory(), IL::kSerializable, IL::kSerializable);
+  EXPECT_GE(all_ser.me_violations, 1u);
+  EXPECT_EQ(all_ser.me_suppressed_weak, 0u);
+  EXPECT_EQ(all_ser.weak_il_traces, 0u);
+}
+
+TEST(IlSuppressionTest, DirtyWriteSuppressedWhenOneSideIsRc) {
+  // An RC session's statement locks legitimately interleave: the overlap is
+  // not a violation of anything txn 2 promised.
+  VerifierStats mixed =
+      VerifyTagged(DirtyWriteHistory(), IL::kSerializable, IL::kReadCommitted);
+  EXPECT_EQ(mixed.me_violations, 0u);
+  EXPECT_GE(mixed.me_suppressed_weak, 1u);
+  EXPECT_GT(mixed.weak_il_traces, 0u);
+}
+
+TEST(IlSuppressionTest, DirtyWriteStillBindsRrAndSiPairs) {
+  // RR and SI both promise transaction-scope write locks, so the pair still
+  // binds without any SER session in the history.
+  VerifierStats rr_si = VerifyTagged(DirtyWriteHistory(), IL::kRepeatableRead,
+                                     IL::kSnapshotIsolation);
+  EXPECT_GE(rr_si.me_violations, 1u);
+  EXPECT_EQ(rr_si.me_suppressed_weak, 0u);
+}
+
+TEST(IlSuppressionTest, WriteSkewCaughtAtSerOnly) {
+  VerifierStats all_ser =
+      VerifyTagged(WriteSkewHistory(), IL::kSerializable, IL::kSerializable);
+  EXPECT_GE(all_ser.sc_violations, 1u);
+  EXPECT_EQ(all_ser.sc_nodes_skipped_weak, 0u);
+
+  // The same interleaving is *allowed* at SI: neither transaction enters
+  // the certifier, so the cycle cannot be reported against them.
+  VerifierStats all_si = VerifyTagged(
+      WriteSkewHistory(), IL::kSnapshotIsolation, IL::kSnapshotIsolation);
+  EXPECT_EQ(all_si.sc_violations, 0u);
+  EXPECT_GE(all_si.sc_nodes_skipped_weak, 2u);
+  // The weaker mechanisms still ran — SI never excuses a fractured
+  // snapshot, and this history has none.
+  EXPECT_EQ(all_si.cr_violations, 0u);
+}
+
+TEST(IlSuppressionTest, WriteSkewWithOneWeakParticipantHasNoCycle) {
+  // A cycle needs every node in the graph: one SI participant removes its
+  // node and the remaining SER transaction is trivially acyclic.
+  VerifierStats mixed = VerifyTagged(WriteSkewHistory(), IL::kSerializable,
+                                     IL::kSnapshotIsolation);
+  EXPECT_EQ(mixed.sc_violations, 0u);
+  EXPECT_GE(mixed.sc_nodes_skipped_weak, 1u);
+}
+
+TEST(IlSuppressionTest, LostUpdateSuppressedForRcWriters) {
+  // Two concurrent updaters of one key both commit: first-updater-wins is
+  // violated between snapshot-scope writers, but an RC writer never
+  // promised FUW.
+  std::vector<Trace> history = {
+      MakeWriteTrace(kLoadTxnId, 0, {1, 2}, {{1, 100}}),
+      MakeCommitTrace(kLoadTxnId, 0, {3, 4}),
+      R(1, 10, 11, 1, 100),
+      R(2, 12, 13, 1, 100),
+      W(1, 20, 21, 1, 101),
+      W(2, 24, 25, 1, 102),
+      C(1, 40, 41),
+      C(2, 44, 45),
+  };
+  VerifierStats both_si =
+      VerifyTagged(history, IL::kSnapshotIsolation, IL::kSnapshotIsolation);
+  EXPECT_GE(both_si.fuw_violations, 1u);
+  EXPECT_EQ(both_si.fuw_suppressed_weak, 0u);
+
+  VerifierStats one_rc =
+      VerifyTagged(history, IL::kSnapshotIsolation, IL::kReadCommitted);
+  EXPECT_EQ(one_rc.fuw_violations, 0u);
+  EXPECT_GE(one_rc.fuw_suppressed_weak, 1u);
+}
+
+TEST(IlSuppressionTest, RcGetsStatementLevelSnapshots) {
+  // A transaction that observes a value committed mid-transaction: a
+  // non-repeatable read. Fatal under a transaction-level snapshot, legal
+  // under RC's per-statement snapshots.
+  std::vector<Trace> history = {
+      MakeWriteTrace(kLoadTxnId, 0, {1, 2}, {{1, 100}}),
+      MakeCommitTrace(kLoadTxnId, 0, {3, 4}),
+      R(1, 10, 11, 1, 100),
+      W(2, 14, 15, 1, 101),
+      C(2, 18, 19),
+      R(1, 25, 26, 1, 101),  // sees txn 2's commit mid-transaction
+      C(1, 30, 31),
+  };
+  VerifierStats ser =
+      VerifyTagged(history, IL::kSerializable, IL::kSerializable);
+  EXPECT_GE(ser.cr_violations + ser.sc_violations, 1u);
+
+  VerifierStats rc_reader =
+      VerifyTagged(history, IL::kReadCommitted, IL::kSerializable);
+  EXPECT_EQ(rc_reader.cr_violations, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Differential: tagging every session SERIALIZABLE through the same
+// SessionIlMap/ApplyIlTags path used by the CLI must be bit-identical to
+// the untagged run — identical counters and identical bug strings — both
+// single-shard and sharded.
+// ---------------------------------------------------------------------------
+
+VerifyReport RunEngine(const VerifierConfig& config,
+                       const std::vector<Trace>& traces, uint32_t n_shards) {
+  ShardedLeopard::Options options;
+  options.n_shards = n_shards;
+  options.queue_capacity = 1024;
+  options.safe_ts_every = 64;
+  ShardedLeopard engine(config, options);
+  for (const Trace& t : traces) engine.Process(t);
+  engine.Finish();
+  return engine.report();
+}
+
+std::vector<std::string> BugStrings(const VerifyReport& report) {
+  std::vector<std::string> out;
+  for (const BugDescriptor& bug : report.bugs) out.push_back(bug.ToString());
+  return out;
+}
+
+void ExpectIdenticalVerdicts(const VerifyReport& a, const VerifyReport& b) {
+  EXPECT_EQ(a.stats.traces_processed, b.stats.traces_processed);
+  EXPECT_EQ(a.stats.reads_verified, b.stats.reads_verified);
+  EXPECT_EQ(a.stats.deps_deduced, b.stats.deps_deduced);
+  EXPECT_EQ(a.stats.cr_violations, b.stats.cr_violations);
+  EXPECT_EQ(a.stats.me_violations, b.stats.me_violations);
+  EXPECT_EQ(a.stats.fuw_violations, b.stats.fuw_violations);
+  EXPECT_EQ(a.stats.sc_violations, b.stats.sc_violations);
+  EXPECT_EQ(a.stats.weak_il_traces, b.stats.weak_il_traces);
+  EXPECT_EQ(BugStrings(a), BugStrings(b));
+}
+
+TEST(IlDifferentialTest, AllSerTaggedEqualsUntagged) {
+  auto map = SessionIlMap::Parse("*:ser");
+  ASSERT_TRUE(map.ok());
+  for (uint64_t seed : {3u, 17u}) {
+    fuzzutil::History h = fuzzutil::BuildSerialHistory(seed, 250);
+    std::vector<Trace> tagged = h.traces;
+    ApplyIlTags(*map, tagged);
+    for (uint32_t n_shards : {1u, 4u}) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) +
+                   " shards=" + std::to_string(n_shards));
+      VerifyReport untagged_report = RunEngine(PgSer(), h.traces, n_shards);
+      VerifyReport tagged_report = RunEngine(PgSer(), tagged, n_shards);
+      EXPECT_EQ(untagged_report.stats.TotalViolations(), 0u);
+      EXPECT_EQ(untagged_report.stats.weak_il_traces, 0u);
+      ExpectIdenticalVerdicts(untagged_report, tagged_report);
+    }
+  }
+}
+
+TEST(IlDifferentialTest, WeakTagsOnlyEverSuppress) {
+  // Tagging sessions weaker can only remove violations, never invent them;
+  // a clean serial history stays clean at every mixed assignment, single-
+  // shard and sharded alike.
+  auto map = SessionIlMap::Parse("0:rc,1:rc,2:si,3:rr,*:ser");
+  ASSERT_TRUE(map.ok());
+  fuzzutil::History h = fuzzutil::BuildSerialHistory(29, 250);
+  std::vector<Trace> tagged = h.traces;
+  ApplyIlTags(*map, tagged);
+  for (uint32_t n_shards : {1u, 4u}) {
+    SCOPED_TRACE("shards=" + std::to_string(n_shards));
+    VerifyReport report = RunEngine(PgSer(), tagged, n_shards);
+    EXPECT_EQ(report.stats.TotalViolations(), 0u);
+    EXPECT_GT(report.stats.weak_il_traces, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace leopard

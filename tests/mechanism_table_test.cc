@@ -118,5 +118,75 @@ TEST(MechanismTableTest, MiniDbConfigsMirrorProtocols) {
   EXPECT_TRUE(sqlite.locking_reads);
 }
 
+// Table-driven sweep: ConfigFromRow must satisfy the structural invariants
+// of the Fig. 1 encoding for *every* row, so a new row can never silently
+// produce a verifier that checks nothing relevant.
+TEST(MechanismTableTest, EveryRowMapsToAWellFormedConfig) {
+  for (const MechanismRow& row : MechanismTable()) {
+    SCOPED_TRACE(row.dbms + "/" + IsolationLevelName(row.isolation));
+    const VerifierConfig config = ConfigFromRow(row);
+
+    // The checks mirror the row's mechanism flags one-for-one.
+    EXPECT_EQ(config.check_me, row.me);
+    EXPECT_EQ(config.check_cr, row.cr);
+    EXPECT_EQ(config.check_fuw, row.fuw);
+    EXPECT_EQ(config.check_sc, row.sc);
+    EXPECT_EQ(config.certifier, row.certifier);
+
+    // Something must be verifiable at every row.
+    EXPECT_TRUE(config.check_me || config.check_cr || config.check_fuw ||
+                config.check_sc);
+
+    // READ COMMITTED always snapshots per statement.
+    if (row.isolation == IsolationLevel::kReadCommitted) {
+      EXPECT_TRUE(config.statement_level_cr);
+    }
+
+    // A SERIALIZABLE row needs *some* serialization story: a certifier, or
+    // locking reads (2PL serializes by excluding writers from read spans).
+    if (row.isolation == IsolationLevel::kSerializable) {
+      EXPECT_TRUE(config.check_sc || config.locking_reads)
+          << "SER row with neither certifier nor locking reads";
+      // The SER-without-certifier engines (InnoDB et al.) lock the latest
+      // version: statement-level consistency under shared locks.
+      if (row.me && !row.sc) {
+        EXPECT_TRUE(config.locking_reads);
+        EXPECT_TRUE(config.statement_level_cr);
+      }
+    }
+
+    // Lock-free engines install at commit; lock-based ones in place.
+    EXPECT_EQ(config.install_at_commit, !row.me);
+
+    // Stale reads are only ever legal under a timestamp-order certifier.
+    if (config.allow_stale_reads) {
+      EXPECT_EQ(config.certifier, CertifierMode::kTsOrder);
+      EXPECT_FALSE(row.me);
+    }
+
+    // MVCC rows (cr = true) read versioned snapshots, so they must not
+    // *also* claim single-version locking reads unless SER locking demands
+    // it; pure-locking rows (cr = false) must.
+    if (!row.cr) {
+      EXPECT_TRUE(config.locking_reads);
+    }
+  }
+}
+
+// The paper's running example rows, pinned: InnoDB-style SERIALIZABLE has
+// no certifier and must fall back to locking reads (the ConfigFromRow
+// regression this suite guards).
+TEST(MechanismTableTest, SerWithoutCertifierRowsGetLockingReads) {
+  for (const char* dbms :
+       {"InnoDB", "Aurora", "PolarDB", "SQLServer", "Spanner"}) {
+    auto row = FindMechanismRow(dbms, IsolationLevel::kSerializable);
+    ASSERT_TRUE(row.has_value()) << dbms;
+    ASSERT_TRUE(row->me && !row->sc) << dbms;
+    VerifierConfig config = ConfigFromRow(*row);
+    EXPECT_TRUE(config.locking_reads) << dbms;
+    EXPECT_TRUE(config.statement_level_cr) << dbms;
+  }
+}
+
 }  // namespace
 }  // namespace leopard

@@ -225,6 +225,56 @@ TEST(WireTest, HelloVersionNegotiatesDown) {
   EXPECT_EQ(ack->base_client, 8u);
 }
 
+TEST(WireTest, HelloStreamIlTailRoundTripsAtV4) {
+  HelloMsg hello;
+  hello.version = kWireVersion;
+  hello.n_streams = 3;
+  hello.stream_ils = {IsolationLevel::kReadCommitted,
+                      IsolationLevel::kSnapshotIsolation};
+  auto decoded = DecodeHello(EncodeHello(hello));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->version, kWireVersion);
+  EXPECT_EQ(decoded->n_streams, 3u);
+  ASSERT_EQ(decoded->stream_ils.size(), 2u);
+  EXPECT_EQ(decoded->stream_ils[0], IsolationLevel::kReadCommitted);
+  EXPECT_EQ(decoded->stream_ils[1], IsolationLevel::kSnapshotIsolation);
+
+  // No tail declared: the payload is the legacy 8-byte shape and decodes
+  // with an empty list.
+  HelloMsg legacy;
+  legacy.n_streams = 7;
+  const std::string legacy_payload = EncodeHello(legacy);
+  EXPECT_EQ(legacy_payload.size(), 8u);
+  auto plain = DecodeHello(legacy_payload);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(plain->stream_ils.empty());
+
+  // More declared levels than streams is malformed.
+  HelloMsg overlong;
+  overlong.n_streams = 1;
+  overlong.stream_ils = {IsolationLevel::kSerializable,
+                         IsolationLevel::kSerializable};
+  EXPECT_FALSE(DecodeHello(EncodeHello(overlong)).ok());
+}
+
+TEST(WireTest, BatchRoundTripsIsolationTags) {
+  std::vector<Trace> traces;
+  traces.push_back(MakeReadTrace(9, 2, TimeInterval(100, 105),
+                                 {ReadAccess{3, 77}}));
+  traces[0].il = IsolationLevel::kReadCommitted;
+  traces.push_back(MakeWriteTrace(9, 2, TimeInterval(110, 115),
+                                  {WriteAccess{3, 78}}));
+  traces[1].il = IsolationLevel::kSnapshotIsolation;
+  traces.push_back(MakeCommitTrace(9, 2, TimeInterval(120, 125)));
+  // traces[2] untagged: must stay SERIALIZABLE through the wire.
+  auto batch = DecodeBatch(EncodeBatch(5, traces));
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  ASSERT_EQ(batch->traces.size(), 3u);
+  EXPECT_EQ(batch->traces[0].il, IsolationLevel::kReadCommitted);
+  EXPECT_EQ(batch->traces[1].il, IsolationLevel::kSnapshotIsolation);
+  EXPECT_EQ(batch->traces[2].il, IsolationLevel::kSerializable);
+}
+
 TEST(WireTest, DecoderPoisonsOnOversizedLength) {
   FrameDecoder decoder(1024);
   std::string bad;
@@ -464,6 +514,137 @@ TEST(NetLoopbackTest, MultiStreamSessionMergesCorrectly) {
   drain.join();
   const VerifyReport& report = server.WaitReport();
   EXPECT_EQ(report.stats.TotalViolations(), 0u);
+}
+
+/// A dirty write between two transactions of one session: exclusive lock
+/// spans overlap on key 1 — an ME violation when the stream promises >= RR,
+/// legitimately interleaving statement locks when it declares RC.
+std::vector<Trace> DirtyWriteTraces() {
+  return {
+      MakeWriteTrace(kLoadTxnId, 0, TimeInterval(1, 2), {{1, 100}}),
+      MakeCommitTrace(kLoadTxnId, 0, TimeInterval(3, 4)),
+      MakeWriteTrace(1, 0, TimeInterval(10, 11), {{1, 101}}),
+      MakeWriteTrace(2, 0, TimeInterval(14, 15), {{1, 102}}),
+      MakeCommitTrace(1, 0, TimeInterval(40, 41)),
+      MakeCommitTrace(2, 0, TimeInterval(44, 45)),
+  };
+}
+
+std::vector<BugDescriptor> StreamDirtyWrites(
+    uint16_t port, std::vector<IsolationLevel> stream_ils) {
+  VerifierClient::Options co;
+  co.stream_ils = std::move(stream_ils);
+  auto client =
+      VerifierClient::Connect("127.0.0.1:" + std::to_string(port), co);
+  EXPECT_TRUE(client.ok()) << client.status();
+  if (!client.ok()) return {};
+  for (Trace& t : DirtyWriteTraces()) {
+    Status s = (*client)->Push(0, std::move(t));
+    EXPECT_TRUE(s.ok()) << s;
+  }
+  auto bye = (*client)->Finish();
+  EXPECT_TRUE(bye.ok()) << bye.status();
+  return (*client)->violations();
+}
+
+TEST(NetLoopbackTest, StreamIsolationSuppressesWeakSessionViolations) {
+  // Control first: the same history on an undeclared (SERIALIZABLE) stream
+  // must come back with the ME violation over the wire.
+  {
+    VerifierServer::Options so;
+    so.expected_sessions = 1;
+    VerifierServer server(PgSer(), so);
+    ASSERT_TRUE(server.Start().ok());
+    std::thread drain([&server] { server.WaitReport(); });
+    auto violations = StreamDirtyWrites(server.port(), {});
+    drain.join();
+    ASSERT_FALSE(violations.empty());
+    bool got_me = false;
+    for (const auto& bug : violations) {
+      if (bug.type == BugType::kMeViolation) got_me = true;
+    }
+    EXPECT_TRUE(got_me);
+    EXPECT_GE(server.WaitReport().stats.me_violations, 1u);
+  }
+  // Declared RC: the server restamps the stream's traces to RC before
+  // verification, the pair never binds, and the would-be report is counted
+  // as suppressed instead.
+  {
+    VerifierServer::Options so;
+    so.expected_sessions = 1;
+    VerifierServer server(PgSer(), so);
+    ASSERT_TRUE(server.Start().ok());
+    std::thread drain([&server] { server.WaitReport(); });
+    auto violations =
+        StreamDirtyWrites(server.port(), {IsolationLevel::kReadCommitted});
+    drain.join();
+    EXPECT_TRUE(violations.empty());
+    const VerifyReport& report = server.WaitReport();
+    EXPECT_EQ(report.stats.me_violations, 0u);
+    EXPECT_GE(report.stats.me_suppressed_weak, 1u);
+    EXPECT_GT(report.stats.weak_il_traces, 0u);
+  }
+}
+
+TEST(NetLoopbackTest, StreamIlOptionValidation) {
+  VerifierServer::Options so;
+  so.expected_sessions = 1;
+  VerifierServer server(PgSer(), so);
+  ASSERT_TRUE(server.Start().ok());
+  const std::string addr = "127.0.0.1:" + std::to_string(server.port());
+
+  // More declared levels than streams: rejected before the handshake.
+  VerifierClient::Options overlong;
+  overlong.n_streams = 1;
+  overlong.stream_ils = {IsolationLevel::kReadCommitted,
+                         IsolationLevel::kSerializable};
+  EXPECT_FALSE(VerifierClient::Connect(addr, overlong).ok());
+
+  // Per-stream levels need the v4 handshake: a v3-pinned session cannot
+  // declare them.
+  VerifierClient::Options pinned;
+  pinned.wire_version = 3;
+  pinned.stream_ils = {IsolationLevel::kReadCommitted};
+  EXPECT_FALSE(VerifierClient::Connect(addr, pinned).ok());
+
+  server.Shutdown();
+  server.WaitReport();
+}
+
+TEST(NetLoopbackTest, V3PinnedSessionShipsRecordsUntagged) {
+  // A session that negotiated v3 must strip record-level IL tags (a pre-v4
+  // decoder rejects the flag bit), so the server judges the stream at
+  // SERIALIZABLE and the dirty write still fires — tags only thin verdicts
+  // when the whole path speaks v4.
+  VerifierServer::Options so;
+  so.expected_sessions = 1;
+  VerifierServer server(PgSer(), so);
+  ASSERT_TRUE(server.Start().ok());
+  std::thread drain([&server] { server.WaitReport(); });
+
+  VerifierClient::Options co;
+  co.wire_version = 3;
+  auto client = VerifierClient::Connect(
+      "127.0.0.1:" + std::to_string(server.port()), co);
+  ASSERT_TRUE(client.ok()) << client.status();
+  EXPECT_EQ((*client)->wire_version(), 3u);
+  for (Trace& t : DirtyWriteTraces()) {
+    t.il = IsolationLevel::kReadCommitted;  // stripped in flight
+    ASSERT_TRUE((*client)->Push(0, std::move(t)).ok());
+  }
+  ASSERT_TRUE((*client)->Finish().ok());
+  auto violations = (*client)->violations();
+  drain.join();
+
+  ASSERT_FALSE(violations.empty());
+  bool got_me = false;
+  for (const auto& bug : violations) {
+    if (bug.type == BugType::kMeViolation) got_me = true;
+  }
+  EXPECT_TRUE(got_me);
+  const VerifyReport& report = server.WaitReport();
+  EXPECT_GE(report.stats.me_violations, 1u);
+  EXPECT_EQ(report.stats.weak_il_traces, 0u);
 }
 
 }  // namespace

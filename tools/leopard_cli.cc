@@ -14,6 +14,10 @@
 //   --workload=ycsb[-a,-b,-c,-e,-f]|blindw|blindw-w|blindw-rw+|smallbank|tpcc|ledger [ycsb]
 //   --protocol=pg|innodb|occ|to|2pl|percolator   [pg]    (concurrency control)
 //   --isolation=rc|rr|si|ser          [ser]
+//       or a mixed-level spec "<sess:il,...>" ("0:rc,1:si,*:ser"): each
+//       listed client session runs and is verified at its own level ("*"
+//       sets the default for unlisted sessions). Traces are tagged
+//       per-session; the verifier applies each level's mechanism subset.
 //   --txns=N [2000]  --clients=N [8]  --seed=N [42]
 //   --lock-wait=nowait|waitdie        [waitdie]
 //   --out=DIR / --in=DIR              [/tmp]
@@ -34,6 +38,7 @@
 #include "diagnose/report.h"
 #include "diagnose/witness.h"
 #include "harness/sim_runner.h"
+#include "isolation/isolation.h"
 #include "net/client.h"
 #include "obs/export.h"
 #include "obs/progress.h"
@@ -58,6 +63,9 @@ namespace {
 
 struct CliOptions {
   std::string command;
+  /// Parsed from --isolation when the value is a "<sess:il,...>" spec.
+  isolation::SessionIlMap il_map;
+  bool mixed_il = false;
   std::string engine = "minidb";  // or "sqlite"
   std::string workload = "ycsb";
   std::string protocol = "pg";
@@ -242,7 +250,7 @@ std::unique_ptr<Workload> MakeWorkload(const CliOptions& opts) {
   return nullptr;
 }
 
-bool ResolveEngine(const CliOptions& opts, Protocol& protocol,
+bool ResolveEngine(CliOptions& opts, Protocol& protocol,
                    IsolationLevel& isolation) {
   if (opts.protocol == "pg") {
     protocol = Protocol::kMvcc2plSsi;
@@ -258,6 +266,24 @@ bool ResolveEngine(const CliOptions& opts, Protocol& protocol,
     protocol = Protocol::k2pl;
   } else {
     return false;
+  }
+  if (opts.isolation.find(':') != std::string::npos) {
+    // Mixed-level spec ("0:rc,1:si,*:ser"). The engine runs each session at
+    // its own level; the verifier is configured for the *strongest* declared
+    // level (the union of mechanisms) and weakens per transaction via the
+    // trace tags.
+    auto map = isolation::SessionIlMap::Parse(opts.isolation);
+    if (!map.ok()) {
+      std::fprintf(stderr, "%s\n", map.status().ToString().c_str());
+      return false;
+    }
+    opts.il_map = std::move(*map);
+    opts.mixed_il = true;
+    isolation = opts.il_map.default_level();
+    for (const auto& [id, il] : opts.il_map.entries()) {
+      isolation = std::max(isolation, il);
+    }
+    return true;
   }
   if (opts.isolation == "rc") {
     isolation = IsolationLevel::kReadCommitted;
@@ -421,6 +447,14 @@ int StreamToServer(const CliOptions& opts,
   const uint32_t n = static_cast<uint32_t>(client_traces.size());
   net::VerifierClient::Options co;
   co.n_streams = n;
+  if (opts.mixed_il) {
+    // Declare each stream's level in the v4 HELLO so the server tags (and
+    // /statusz reports) the session even if record tags get stripped.
+    co.stream_ils.reserve(n);
+    for (uint32_t c = 0; c < n; ++c) {
+      co.stream_ils.push_back(opts.il_map.Get(c));
+    }
+  }
   auto client = net::VerifierClient::Connect(opts.connect, co);
   if (!client.ok()) {
     std::fprintf(stderr, "connect to %s failed: %s\n", opts.connect.c_str(),
@@ -468,7 +502,7 @@ int StreamToServer(const CliOptions& opts,
   return violations.empty() ? 0 : 1;
 }
 
-int RunWorkload(const CliOptions& opts, bool verify_inline) {
+int RunWorkload(CliOptions& opts, bool verify_inline) {
   Protocol protocol;
   IsolationLevel isolation;
   if (!ResolveEngine(opts, protocol, isolation)) {
@@ -500,7 +534,8 @@ int RunWorkload(const CliOptions& opts, bool verify_inline) {
   } else if (opts.engine == "minidb") {
     Database::Options dbo;
     dbo.protocol = protocol;
-    dbo.isolation = isolation;
+    dbo.isolation = opts.mixed_il ? opts.il_map.default_level() : isolation;
+    if (opts.mixed_il) dbo.session_isolation = opts.il_map.entries();
     dbo.lock_wait = opts.lock_wait == "nowait" ? LockWaitPolicy::kNoWait
                                                : LockWaitPolicy::kWaitDie;
     dbo.faults = opts.faults;
@@ -518,6 +553,13 @@ int RunWorkload(const CliOptions& opts, bool verify_inline) {
   so.seed = opts.seed;
   SimRunner runner(db, workload.get(), so);
   RunResult run = runner.Run();
+  if (opts.mixed_il) {
+    // Stamp every trace with its session's declared level; the tags ride
+    // the trace files / the wire and select the per-txn mechanism subset.
+    for (auto& traces : run.client_traces) {
+      isolation::ApplyIlTags(opts.il_map, traces);
+    }
+  }
   uint64_t injected = minidb ? minidb->injected_fault_count() : 0;
   std::printf("ran %s on %s (%s/%s): %llu committed, %llu aborted, "
               "%llu traces, %llu faults injected\n",
@@ -548,7 +590,7 @@ int RunWorkload(const CliOptions& opts, bool verify_inline) {
                             std::move(run.client_traces));
 }
 
-int VerifyFiles(const CliOptions& opts) {
+int VerifyFiles(CliOptions& opts) {
   Protocol protocol;
   IsolationLevel isolation;
   if (!ResolveEngine(opts, protocol, isolation)) {
@@ -566,6 +608,9 @@ int VerifyFiles(const CliOptions& opts) {
       return 1;
     }
     client_traces[c] = std::move(*traces);
+    if (opts.mixed_il) {
+      isolation::ApplyIlTags(opts.il_map, client_traces[c]);
+    }
   }
   if (!opts.connect.empty()) {
     return StreamToServer(opts, std::move(client_traces));

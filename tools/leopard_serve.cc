@@ -51,6 +51,7 @@
 #include <string>
 #include <thread>
 
+#include "isolation/isolation.h"
 #include "net/server.h"
 #include "obs/events.h"
 #include "obs/export.h"
@@ -294,6 +295,23 @@ int main(int argc, char** argv) {
       out += std::to_string(s.diagnoses_queued);
       out += ",\"done\":";
       out += std::to_string(s.diagnoses_done);
+      out += "}";
+      // Per-session declared isolation levels (v4 mixed-IL sessions);
+      // sessions that never declared any show as all-"ser".
+      out += ",\"session_isolation\":{";
+      bool first_sess = true;
+      for (const auto& [sid, ils] : s.session_ils) {
+        if (!first_sess) out += ",";
+        first_sess = false;
+        out += "\"" + std::to_string(sid) + "\":[";
+        for (size_t i = 0; i < ils.size(); ++i) {
+          if (i != 0) out += ",";
+          out += "\"";
+          out += isolation::IsolationLevelShortName(ils[i]);
+          out += "\"";
+        }
+        out += "]";
+      }
       out += "}";
       if (s.durable) {
         out += ",\"durable\":{\"checkpoints\":";

@@ -19,8 +19,11 @@
 #include <system_error>
 #include <vector>
 
+#include <map>
+
 #include "durable/checkpoint.h"
 #include "durable/wal.h"
+#include "isolation/isolation.h"
 
 int main(int argc, char** argv) {
   using namespace leopard;
@@ -95,6 +98,9 @@ int main(int argc, char** argv) {
   if (n_segments > 0) {
     uint64_t n_add_client = 0;
     uint64_t n_traces = 0;
+    // Weakest isolation level observed per verifier client (v4 mixed-IL
+    // tags ride the WAL's trace records; untagged history = all "ser").
+    std::map<ClientId, IsolationLevel> session_ils;
     s = durable::WalReplay(
         dir, wal_floor,
         [&](const durable::WalEntry& e) -> Status {
@@ -102,6 +108,11 @@ int main(int argc, char** argv) {
             ++n_add_client;
           } else {
             ++n_traces;
+            auto [it, inserted] =
+                session_ils.emplace(e.trace.client, e.trace.il);
+            if (!inserted && e.trace.il < it->second) {
+              it->second = e.trace.il;
+            }
           }
           return Status::Ok();
         },
@@ -117,6 +128,14 @@ int main(int argc, char** argv) {
         std::printf("  torn tail: %" PRIu64
                     " bytes (truncated on next recovery)\n",
                     stats.torn_bytes);
+      }
+      if (!session_ils.empty()) {
+        std::printf("  session isolation:");
+        for (const auto& [client, il] : session_ils) {
+          std::printf(" %u:%s", client,
+                      isolation::IsolationLevelShortName(il));
+        }
+        std::printf("\n");
       }
     }
   } else {
