@@ -6,6 +6,8 @@
 #include <atomic>
 #include <cstdio>
 
+#include "obs/registry.h"
+
 namespace leopard {
 
 namespace {
@@ -13,6 +15,12 @@ namespace {
 // adapter rolls it back — the standard application-side resolution of
 // SQLite's shared->reserved upgrade deadlock.
 constexpr uint32_t kBusyLimit = 50;
+
+// SQLITE_LOCKED (a table-level conflict within a shared-cache group or an
+// in-progress statement on the same connection) is retried exactly like
+// SQLITE_BUSY: from the harness's point of view both mean "the engine could
+// not grant the access right now".
+bool IsBusyRc(int rc) { return rc == SQLITE_BUSY || rc == SQLITE_LOCKED; }
 
 std::string TempPath() {
   static std::atomic<uint64_t> counter{0};
@@ -45,10 +53,34 @@ struct SqliteDb::Connection {
 SqliteDb::SqliteDb(const Options& options) : options_(options) {
   path_ = options.path.empty() ? TempPath() : options.path;
   unlink_on_close_ = options.path.empty();
+  if (options_.metrics != nullptr) {
+    m_busy_retries_ = options_.metrics->counter("adapter.sqlite.busy_retries");
+    m_aborts_ = options_.metrics->counter("adapter.sqlite.aborts");
+    m_commits_ = options_.metrics->counter("adapter.sqlite.commits");
+    m_begins_ = options_.metrics->counter("adapter.sqlite.begins");
+  }
+  const char* journal_pragma = nullptr;
+  if (options_.journal_mode == "wal") {
+    journal_pragma = "PRAGMA journal_mode=WAL;";
+  } else if (options_.journal_mode == "rollback" ||
+             options_.journal_mode == "delete") {
+    journal_pragma = "PRAGMA journal_mode=DELETE;";
+  } else {
+    return;  // unknown journal mode: fail init cleanly
+  }
   for (uint32_t i = 0; i < options_.connections; ++i) {
     auto conn = std::make_unique<Connection>();
     if (sqlite3_open(path_.c_str(), &conn->db) != SQLITE_OK) return;
-    sqlite3_busy_timeout(conn->db, 0);  // immediate BUSY: harness retries
+    // busy_timeout 0 keeps the historical immediate-BUSY behaviour so the
+    // harness does the retrying; positive values let SQLite block in-engine.
+    sqlite3_busy_timeout(conn->db, options_.busy_timeout_ms);
+    if (i == 0) {
+      char* jerr = nullptr;
+      // journal_mode returns a row; sqlite3_exec discards it.
+      int jrc = sqlite3_exec(conn->db, journal_pragma, nullptr, nullptr, &jerr);
+      if (jerr != nullptr) sqlite3_free(jerr);
+      if (jrc != SQLITE_OK) return;
+    }
     if (i == 0) {
       char* err = nullptr;
       int rc = sqlite3_exec(
@@ -100,7 +132,10 @@ Status SqliteDb::Exec(Connection& conn, const char* sql) {
   std::string message = err != nullptr ? err : "";
   if (err != nullptr) sqlite3_free(err);
   if (rc == SQLITE_OK) return Status::Ok();
-  if (rc == SQLITE_BUSY) return Status::Busy("sqlite busy");
+  if (IsBusyRc(rc)) {
+    if (m_busy_retries_ != nullptr) m_busy_retries_->Inc();
+    return Status::Busy("sqlite busy");
+  }
   return Status::Internal("sqlite: " + message);
 }
 
@@ -112,15 +147,17 @@ Status SqliteDb::Step(Connection& conn, sqlite3_stmt* stmt) {
     return rc == SQLITE_ROW ? Status::Ok()
                             : Status::NotFound("no row");
   }
-  if (rc == SQLITE_BUSY) {
+  if (IsBusyRc(rc)) {
     // Shared->reserved upgrade deadlocks never resolve by waiting; after a
     // bounded streak, roll the transaction back like real applications do.
     if (++conn.busy_streak >= kBusyLimit) {
       Exec(conn, "ROLLBACK;");
       conn.in_txn = false;
       conn.busy_streak = 0;
+      if (m_aborts_ != nullptr) m_aborts_->Inc();
       return Status::Aborted("sqlite busy (deadlock resolution)");
     }
+    if (m_busy_retries_ != nullptr) m_busy_retries_->Inc();
     return Status::Busy("sqlite busy");
   }
   return Status::Internal(sqlite3_errmsg(conn.db));
@@ -150,6 +187,7 @@ TxnId SqliteDb::Begin(ClientId client) {
     conn.in_txn = true;
     conn.busy_streak = 0;
   }
+  if (m_begins_ != nullptr) m_begins_->Inc();
   std::lock_guard<std::mutex> lock(mu_);
   TxnId id = next_txn_++;
   txn_conn_[id] = conn_idx;
@@ -175,13 +213,15 @@ StatusOr<Value> SqliteDb::Read(TxnId txn, Key key) {
     conn->busy_streak = 0;
     return Status::NotFound("no row");
   }
-  if (rc == SQLITE_BUSY) {
+  if (IsBusyRc(rc)) {
     if (++conn->busy_streak >= kBusyLimit) {
       Exec(*conn, "ROLLBACK;");
       conn->in_txn = false;
       conn->busy_streak = 0;
+      if (m_aborts_ != nullptr) m_aborts_->Inc();
       return Status::Aborted("sqlite busy (deadlock resolution)");
     }
+    if (m_busy_retries_ != nullptr) m_busy_retries_->Inc();
     return Status::Busy("sqlite busy");
   }
   return Status::Internal(sqlite3_errmsg(conn->db));
@@ -224,13 +264,15 @@ StatusOr<std::vector<ReadAccess>> SqliteDb::ReadRange(TxnId txn, Key first,
     conn->busy_streak = 0;
     return out;
   }
-  if (rc == SQLITE_BUSY) {
+  if (IsBusyRc(rc)) {
     if (++conn->busy_streak >= kBusyLimit) {
       Exec(*conn, "ROLLBACK;");
       conn->in_txn = false;
       conn->busy_streak = 0;
+      if (m_aborts_ != nullptr) m_aborts_->Inc();
       return Status::Aborted("sqlite busy (deadlock resolution)");
     }
+    if (m_busy_retries_ != nullptr) m_busy_retries_->Inc();
     return Status::Busy("sqlite busy");
   }
   return Status::Internal(sqlite3_errmsg(conn->db));
@@ -268,11 +310,13 @@ Status SqliteDb::Commit(TxnId txn) {
   Status s = Exec(*conn, "COMMIT;");
   if (s.ok()) {
     conn->in_txn = false;
+    if (m_commits_ != nullptr) m_commits_->Inc();
     return s;
   }
   // COMMIT failed (e.g. BUSY): roll back so the connection is reusable.
   Exec(*conn, "ROLLBACK;");
   conn->in_txn = false;
+  if (m_aborts_ != nullptr) m_aborts_->Inc();
   return Status::Aborted("sqlite commit failed: " + s.message());
 }
 
@@ -286,6 +330,7 @@ Status SqliteDb::Abort(TxnId txn) {
   if (conn->in_txn) {
     Exec(*conn, "ROLLBACK;");
     conn->in_txn = false;
+    if (m_aborts_ != nullptr) m_aborts_->Inc();
   }
   return Status::Ok();
 }

@@ -14,6 +14,11 @@ struct sqlite3_stmt;
 
 namespace leopard {
 
+namespace obs {
+class MetricsRegistry;
+class Counter;
+}  // namespace obs
+
 /// TransactionalKv adapter over a *real* SQLite database — the black-box
 /// promise made concrete: the identical harness, tracer and verifier that
 /// run against MiniDB run unchanged against an actual engine.
@@ -25,9 +30,9 @@ namespace leopard {
 ///   CREATE TABLE kv (k INTEGER PRIMARY KEY, v INTEGER);
 /// Values round-trip through SQLite's signed 64-bit INTEGER.
 ///
-/// Error mapping: SQLITE_BUSY on a statement -> kBusy (the harness retries,
-/// stretching the trace interval like a blocked statement); SQLITE_BUSY on
-/// COMMIT rolls back -> kAborted; no row -> kNotFound.
+/// Error mapping: SQLITE_BUSY or SQLITE_LOCKED on a statement -> kBusy (the
+/// harness retries, stretching the trace interval like a blocked statement);
+/// SQLITE_BUSY on COMMIT rolls back -> kAborted; no row -> kNotFound.
 class SqliteDb : public TransactionalKv {
  public:
   struct Options {
@@ -35,6 +40,21 @@ class SqliteDb : public TransactionalKv {
     /// destruction.
     std::string path;
     uint32_t connections = 8;  ///< one per client (client id % connections)
+    /// Journal mode applied to every connection: "rollback" (SQLite's
+    /// default DELETE journal — writers exclude readers) or "wal"
+    /// (write-ahead log — readers proceed against the last committed
+    /// snapshot while one writer appends). WAL changes the concurrency
+    /// shape the verifier observes, so campaigns can exercise both.
+    std::string journal_mode = "rollback";
+    /// Per-connection sqlite3_busy_timeout in milliseconds. 0 keeps the
+    /// historical behaviour: statements return BUSY immediately and the
+    /// harness retries, stretching the trace interval. A positive value
+    /// makes SQLite itself spin-wait before surfacing BUSY, trading
+    /// adapter retries for longer in-engine blocking.
+    int busy_timeout_ms = 0;
+    /// Optional metrics sink; when set the adapter exports
+    /// `adapter.sqlite.*` counters (see docs/OBSERVABILITY.md).
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   explicit SqliteDb(const Options& options);
@@ -69,6 +89,11 @@ class SqliteDb : public TransactionalKv {
   bool init_ok_ = false;
   std::string path_;
   bool unlink_on_close_ = false;
+  // Cached metric pointers (null when Options::metrics is null).
+  obs::Counter* m_busy_retries_ = nullptr;  ///< adapter.sqlite.busy_retries
+  obs::Counter* m_aborts_ = nullptr;        ///< adapter.sqlite.aborts
+  obs::Counter* m_commits_ = nullptr;       ///< adapter.sqlite.commits
+  obs::Counter* m_begins_ = nullptr;        ///< adapter.sqlite.begins
   std::vector<std::unique_ptr<Connection>> connections_;
   std::mutex mu_;  // protects txn_conn_ and next_txn_
   std::unordered_map<TxnId, uint32_t> txn_conn_;

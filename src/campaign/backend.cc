@@ -1,0 +1,206 @@
+#include "campaign/backend.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "txn/database.h"
+
+#ifdef LEOPARD_HAVE_SQLITE
+#include "adapters/sqlite_db.h"
+#endif
+
+namespace leopard {
+namespace campaign {
+
+namespace {
+
+/// Committed versions kept per key in FaultyKv's shadow history. Two are
+/// enough for a stale read; a little slack keeps churn scenarios honest.
+constexpr size_t kHistoryDepth = 4;
+
+std::unique_ptr<TransactionalKv> MakeMiniDb(const BackendOptions& options) {
+  Database::Options db;
+  db.isolation = options.isolation;
+  db.session_isolation = options.session_isolation;
+  db.faults = options.engine_faults;
+  db.fault_seed = options.fault_seed;
+  return std::make_unique<Database>(db);
+}
+
+#ifdef LEOPARD_HAVE_SQLITE
+StatusOr<std::unique_ptr<TransactionalKv>> MakeSqlite(
+    const BackendOptions& options) {
+  SqliteDb::Options db;
+  db.path = options.sqlite_path;
+  // One connection per campaign session: SqliteDb maps client ->
+  // connection as `client % connections`, so an undersized pool would make
+  // two live sessions share a connection (and its transaction).
+  db.connections = std::max<uint32_t>(1, options.sessions);
+  db.journal_mode = options.sqlite_journal_mode;
+  db.busy_timeout_ms = options.sqlite_busy_timeout_ms;
+  db.metrics = options.metrics;
+  auto sqlite = std::make_unique<SqliteDb>(db);
+  if (!sqlite->ok()) {
+    return Status::Internal("sqlite backend failed to initialize (path='" +
+                            options.sqlite_path + "', journal_mode='" +
+                            options.sqlite_journal_mode + "')");
+  }
+  return std::unique_ptr<TransactionalKv>(std::move(sqlite));
+}
+#endif
+
+}  // namespace
+
+StatusOr<std::unique_ptr<TransactionalKv>> MakeBackend(
+    const std::string& name, const BackendOptions& options) {
+  if (name == "minidb") return MakeMiniDb(options);
+#ifdef LEOPARD_HAVE_SQLITE
+  if (name == "sqlite") return MakeSqlite(options);
+#endif
+  std::string known;
+  for (const std::string& b : BackendNames()) {
+    if (!known.empty()) known += ", ";
+    known += b;
+  }
+  return Status::InvalidArgument("unknown backend '" + name +
+                                 "' (available: " + known + ")");
+}
+
+std::vector<std::string> BackendNames() {
+  std::vector<std::string> names = {"minidb"};
+#ifdef LEOPARD_HAVE_SQLITE
+  names.push_back("sqlite");
+#endif
+  return names;
+}
+
+FaultyKv::FaultyKv(std::unique_ptr<TransactionalKv> inner,
+                   const FaultPlan& plan, uint64_t seed)
+    : inner_(std::move(inner)),
+      injector_(plan, seed),
+      pick_rng_(seed ^ 0x9e3779b97f4a7c15ULL) {}
+
+void FaultyKv::Load(const std::vector<WriteAccess>& rows) {
+  inner_->Load(rows);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const WriteAccess& row : rows) history_[row.key].push_back(row.value);
+}
+
+TxnId FaultyKv::Begin(ClientId client) {
+  TxnId txn = inner_->Begin(client);
+  std::lock_guard<std::mutex> lock(mu_);
+  txn_writes_[txn];  // open an (empty) buffer
+  return txn;
+}
+
+StatusOr<Value> FaultyKv::Read(TxnId txn, Key key) {
+  auto got = inner_->Read(txn, key);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (got.ok()) {
+    if (injector_.HideRow()) return Status::NotFound("row hidden by fault");
+    if (injector_.StaleSnapshot()) {
+      auto it = history_.find(key);
+      // Need a *previous* committed version distinct from the latest; fall
+      // through to the truthful read otherwise (the coin already counted,
+      // which only makes planted campaigns conservative).
+      if (it != history_.end() && it->second.size() >= 2) {
+        const Value stale = it->second[it->second.size() - 2];
+        if (stale != kTombstoneValue) return stale;
+      }
+    }
+    return got;
+  }
+  if (got.status().code() == StatusCode::kNotFound &&
+      injector_.ResurrectDeleted()) {
+    auto it = history_.find(key);
+    if (it != history_.end()) {
+      // Last committed non-tombstone version, if any survives the history.
+      for (auto v = it->second.rbegin(); v != it->second.rend(); ++v) {
+        if (*v != kTombstoneValue) return *v;
+      }
+    }
+  }
+  return got;
+}
+
+StatusOr<Value> FaultyKv::ReadForUpdate(TxnId txn, Key key) {
+  // Locking reads stay truthful: they anchor write-write ordering, and
+  // corrupting them would break the engine's own locking discipline rather
+  // than model a read-path bug.
+  return inner_->ReadForUpdate(txn, key);
+}
+
+StatusOr<std::vector<ReadAccess>> FaultyKv::ReadRange(TxnId txn, Key first,
+                                                      uint32_t count) {
+  auto got = inner_->ReadRange(txn, first, count);
+  if (!got.ok()) return got;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!got->empty() && injector_.HideRow()) {
+    // Drop one row the scan actually saw — the classic phantom-maker: the
+    // predicate matched, the result set lies.
+    const size_t victim = pick_rng_.Uniform(got->size());
+    got->erase(got->begin() + static_cast<ptrdiff_t>(victim));
+  }
+  return got;
+}
+
+Status FaultyKv::Write(TxnId txn, Key key, Value value) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (injector_.LostWrite()) {
+      // Report success, never forward: the client (and its trace) believe
+      // the write committed; the engine never saw it.
+      txn_writes_[txn][key] = value;
+      return Status::Ok();
+    }
+  }
+  Status s = inner_->Write(txn, key, value);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    txn_writes_[txn][key] = value;
+  }
+  return s;
+}
+
+Status FaultyKv::Delete(TxnId txn, Key key) {
+  Status s = inner_->Delete(txn, key);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    txn_writes_[txn][key] = kTombstoneValue;
+  }
+  return s;
+}
+
+Status FaultyKv::Commit(TxnId txn) {
+  Status s = inner_->Commit(txn);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = txn_writes_.find(txn);
+  if (it != txn_writes_.end()) {
+    if (s.ok()) {
+      for (const auto& [key, value] : it->second) {
+        auto& versions = history_[key];
+        versions.push_back(value);
+        if (versions.size() > kHistoryDepth) {
+          versions.erase(versions.begin());
+        }
+      }
+    }
+    txn_writes_.erase(it);
+  }
+  return s;
+}
+
+Status FaultyKv::Abort(TxnId txn) {
+  Status s = inner_->Abort(txn);
+  std::lock_guard<std::mutex> lock(mu_);
+  txn_writes_.erase(txn);
+  return s;
+}
+
+uint64_t FaultyKv::injected_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injector_.injected_count();
+}
+
+}  // namespace campaign
+}  // namespace leopard

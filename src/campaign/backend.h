@@ -1,0 +1,113 @@
+#ifndef LEOPARD_CAMPAIGN_BACKEND_H_
+#define LEOPARD_CAMPAIGN_BACKEND_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "trace/trace.h"
+#include "txn/fault_injector.h"
+#include "txn/kv_interface.h"
+
+namespace leopard {
+
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
+namespace campaign {
+
+/// Backend registry for the campaign runner: every entry exposes a database
+/// engine through the one TransactionalKv adapter interface the harness
+/// speaks, making the paper's black-box claim operational — the identical
+/// scenario, tracer and live verifier run against MiniDB and against a real
+/// SQLite file by flipping `--backend=`.
+struct BackendOptions {
+  /// Total harness sessions across all campaign nodes. Backends that bind
+  /// clients to connections (SQLite: `client % connections`) size their
+  /// pool from this so concurrent sessions never share a connection.
+  uint32_t sessions = 8;
+  /// Engine-level default isolation (MiniDB only; SQLite is always
+  /// SERIALIZABLE — weaker levels there exist only as verification tags).
+  IsolationLevel isolation = IsolationLevel::kSerializable;
+  /// Engine-level per-session isolation overrides (MiniDB only), keyed by
+  /// the campaign's global session index.
+  std::unordered_map<ClientId, IsolationLevel> session_isolation;
+  /// Engine-level fault plan (MiniDB only): corrupts one of the four
+  /// mechanisms inside the engine. Real backends cannot be corrupted from
+  /// outside — plant faults there with FaultyKv instead.
+  FaultPlan engine_faults;
+  uint64_t fault_seed = 1;
+  /// SQLite knobs (ignored by MiniDB).
+  std::string sqlite_path;                    ///< empty = temp file
+  std::string sqlite_journal_mode = "rollback";  ///< "wal" | "rollback"
+  int sqlite_busy_timeout_ms = 0;
+  /// Optional metrics sink (adapter.sqlite.* counters).
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Instantiates the backend registered under `name` ("minidb" always;
+/// "sqlite" when the build found libsqlite3). Unknown names list the
+/// available registry in the error.
+StatusOr<std::unique_ptr<TransactionalKv>> MakeBackend(
+    const std::string& name, const BackendOptions& options);
+
+/// Registered backend names, in registry order.
+std::vector<std::string> BackendNames();
+
+/// Adapter-boundary fault injector: wraps any TransactionalKv and corrupts
+/// what the *client* observes, without touching the engine — the only way
+/// to plant a known anomaly into a real database the campaign cannot open
+/// up. Reuses the FaultPlan knob names with client-side meanings:
+///
+///   stale_snapshot_prob   a Read returns the previous committed version
+///                         instead of the latest (requires >= 2 commits)
+///   hide_row_prob         a Read reports the row absent / a ReadRange
+///                         silently drops one returned row (phantom bait)
+///   lost_write_prob       a Write reports OK but never reaches the engine
+///   resurrect_deleted_prob a Read that found no row returns the last
+///                         committed value anyway
+///
+/// The wrapper tracks committed values itself (it cannot ask the engine
+/// without disturbing it): per-transaction write buffers are promoted to a
+/// bounded per-key history on Commit. Thread-safe like the engines it wraps.
+class FaultyKv : public TransactionalKv {
+ public:
+  FaultyKv(std::unique_ptr<TransactionalKv> inner, const FaultPlan& plan,
+           uint64_t seed);
+
+  void Load(const std::vector<WriteAccess>& rows) override;
+  TxnId Begin(ClientId client) override;
+  StatusOr<Value> Read(TxnId txn, Key key) override;
+  StatusOr<Value> ReadForUpdate(TxnId txn, Key key) override;
+  StatusOr<std::vector<ReadAccess>> ReadRange(TxnId txn, Key first,
+                                              uint32_t count) override;
+  Status Write(TxnId txn, Key key, Value value) override;
+  Status Delete(TxnId txn, Key key) override;
+  Status Commit(TxnId txn) override;
+  Status Abort(TxnId txn) override;
+
+  /// Faults actually injected so far (a planted campaign asserts > 0).
+  uint64_t injected_count() const;
+
+  TransactionalKv* inner() { return inner_.get(); }
+
+ private:
+  std::unique_ptr<TransactionalKv> inner_;
+  mutable std::mutex mu_;
+  FaultInjector injector_;             // guarded by mu_
+  Rng pick_rng_;                       // guarded by mu_ (victim selection)
+  /// Last few committed values per key, oldest first (bounded).
+  std::unordered_map<Key, std::vector<Value>> history_;
+  /// Buffered writes of in-flight transactions (value or tombstone).
+  std::unordered_map<TxnId, std::unordered_map<Key, Value>> txn_writes_;
+};
+
+}  // namespace campaign
+}  // namespace leopard
+
+#endif  // LEOPARD_CAMPAIGN_BACKEND_H_

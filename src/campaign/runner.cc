@@ -1,0 +1,344 @@
+#include "campaign/runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "harness/executor.h"
+#include "net/client.h"
+#include "obs/registry.h"
+
+namespace leopard {
+namespace campaign {
+
+namespace {
+
+/// Attempts after a disconnect before giving up on resuming the parked
+/// session (the server may not have noticed the EOF yet; each miss sleeps
+/// 1ms, so this bounds the wait at ~200ms).
+constexpr uint32_t kResumeAttempts = 200;
+
+bool IsWriteClass(OpType op) {
+  return op == OpType::kWrite || op == OpType::kCommit;
+}
+
+}  // namespace
+
+struct CampaignRunner::NodeOutcome {
+  Status status = Status::Ok();
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t traces_pushed = 0;
+  uint64_t reconnects = 0;
+  std::vector<BugDescriptor> violations;
+};
+
+CampaignRunner::CampaignRunner(TransactionalKv* db, Scenario scenario,
+                               CampaignOptions options)
+    : db_(db), scenario_(std::move(scenario)), opts_(std::move(options)) {}
+
+StatusOr<CampaignResult> CampaignRunner::Run() {
+  if (opts_.nodes == 0 || opts_.sessions_per_node == 0) {
+    return Status::InvalidArgument("need at least one node and one session");
+  }
+  if (opts_.connect.empty()) {
+    return Status::InvalidArgument("no verifier endpoint (--connect)");
+  }
+
+  std::vector<WriteAccess> rows = scenario_.workload->InitialRows();
+  db_->Load(rows);
+
+  MonotonicClock base_clock;
+  const Timestamp run_start = base_clock.Now();
+
+  std::vector<NodeOutcome> outcomes(opts_.nodes);
+  std::vector<std::thread> threads;
+  threads.reserve(opts_.nodes);
+  for (uint32_t node = 0; node < opts_.nodes; ++node) {
+    threads.emplace_back([this, node, run_start, &outcomes] {
+      RunNode(node, run_start, &outcomes[node]);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  CampaignResult result;
+  for (NodeOutcome& out : outcomes) {
+    result.committed += out.committed;
+    result.aborted += out.aborted;
+    result.traces_pushed += out.traces_pushed;
+    result.reconnects += out.reconnects;
+    for (BugDescriptor& bug : out.violations) {
+      result.violations.push_back(std::move(bug));
+    }
+  }
+  for (const NodeOutcome& out : outcomes) {
+    if (!out.status.ok()) return out.status;
+  }
+
+  if (opts_.metrics != nullptr) {
+    opts_.metrics->counter("campaign.txns_committed")->Inc(result.committed);
+    opts_.metrics->counter("campaign.txns_aborted")->Inc(result.aborted);
+    opts_.metrics->counter("campaign.traces_pushed")->Inc(result.traces_pushed);
+    opts_.metrics->counter("campaign.reconnects")->Inc(result.reconnects);
+    opts_.metrics->counter("campaign.violations")
+        ->Inc(result.violations.size());
+  }
+  return result;
+}
+
+void CampaignRunner::RunNode(uint32_t node, Timestamp run_start,
+                             NodeOutcome* out) {
+  MonotonicClock base_clock;
+  SkewedClock clock(&base_clock,
+                    static_cast<int64_t>(node) * opts_.clock_skew_us * 1000);
+  // Clock-uncertainty bound, TrueTime-style: node skews lie in
+  // [0, (nodes-1) * clock_skew_us], so the true instant of a local reading
+  // L is within [L - bound, L]. ts_bef is widened by the bound to keep the
+  // interval covering the true operation time — skew then shows up to the
+  // verifier as realistically *wider* intervals, never as unsound ones.
+  const Timestamp skew_bound_ns = static_cast<Timestamp>(opts_.nodes - 1) *
+                                  opts_.clock_skew_us * 1000;
+  const int64_t apply_lag_ns = static_cast<int64_t>(opts_.apply_lag_us) * 1000;
+  const uint32_t spn = opts_.sessions_per_node;
+  const bool reconnects_on = scenario_.disconnect_every_txns > 0;
+
+  net::VerifierClient::Options copts;
+  copts.n_streams = spn;
+  copts.batch_traces = opts_.batch_traces;
+  copts.recv_timeout_ms = opts_.recv_timeout_ms;
+  copts.resumable = reconnects_on;
+  if (!opts_.il_map.empty()) {
+    copts.stream_ils.resize(spn);
+    for (uint32_t s = 0; s < spn; ++s) {
+      copts.stream_ils[s] = opts_.il_map.Get(node * spn + s);
+    }
+  }
+  auto connected = net::VerifierClient::Connect(opts_.connect, copts);
+  if (!connected.ok()) {
+    out->status = connected.status();
+    return;
+  }
+  std::unique_ptr<net::VerifierClient> client = std::move(*connected);
+
+  // Per-stream floor the next ts_bef must clear. Advanced by resumes and by
+  // every pushed op: ts_bef must be *strictly* increasing within a stream,
+  // because the verifier recovers program order from timestamps once the
+  // pipeline merges streams — uncertainty widening would otherwise clamp a
+  // run of early ops to one identical ts_bef and lose their order. Bumping
+  // to last_bef + 1ns stays sound: the true op instants are themselves
+  // strictly increasing, and ts_bef never overtakes its own op's start.
+  std::vector<Timestamp> min_next_ts(spn, 0);
+  // Traces pushed over the *current* connection (BatchAck counts restart
+  // with each server-side session, so the ack watermark is per-connection).
+  uint64_t conn_pushed = 0;
+
+  // Node 0 feeds the initial load into the verifier: the bulk-load appears
+  // as one committed write transaction strictly before every client op.
+  if (node == 0) {
+    std::vector<WriteAccess> rows = scenario_.workload->InitialRows();
+    if (!rows.empty()) {
+      Status s = client->Push(
+          0, MakeWriteTrace(kLoadTxnId, 0,
+                            TimeInterval(run_start - 4, run_start - 3),
+                            std::move(rows)));
+      if (s.ok()) {
+        s = client->Push(0, MakeCommitTrace(
+                                kLoadTxnId, 0,
+                                TimeInterval(run_start - 2, run_start - 1)));
+      }
+      if (!s.ok()) {
+        out->status = s;
+        return;
+      }
+      out->traces_pushed += 2;
+      conn_pushed += 2;
+      // Stream 0 already carries the load commit at run_start - 1; the
+      // uncertainty-widened ts_bef of its first op must not step back.
+      min_next_ts[0] = std::max(min_next_ts[0], run_start - 1);
+    }
+  }
+
+  // Round-robin session state.
+  struct SessionState {
+    std::unique_ptr<TxnExecutor> exec;
+    Rng rng{1};
+    uint32_t committed = 0;   // transactions finished (committed)
+    Timestamp bef = 0;        // ts_bef of the op in flight (survives retries)
+    uint32_t retries = 0;     // consecutive retry outcomes for that op
+    bool op_armed = false;    // bef is valid (a retried op is pending)
+  };
+  std::vector<SessionState> sessions(spn);
+  for (uint32_t s = 0; s < spn; ++s) {
+    const ClientId global = node * spn + s;
+    sessions[s].exec = std::make_unique<TxnExecutor>(global, db_);
+    sessions[s].rng = Rng(opts_.seed * 0x100000001b3ULL + global + 1);
+  }
+
+  uint64_t node_committed_total = 0;
+  uint64_t next_disconnect =
+      reconnects_on ? scenario_.disconnect_every_txns : 0;
+  bool draining_for_reconnect = false;
+
+  auto push_trace = [&](uint32_t stream, Trace trace) -> Status {
+    Status s = client->Push(stream, std::move(trace));
+    if (s.ok()) {
+      ++out->traces_pushed;
+      ++conn_pushed;
+    }
+    return s;
+  };
+
+  // Drops the connection (after draining acks) and re-attaches to the
+  // parked session via the v5 resume handshake.
+  auto reconnect = [&]() -> Status {
+    for (uint32_t s = 0; s < spn; ++s) {
+      Status st = client->Flush(s);
+      if (!st.ok()) return st;
+    }
+    Status st = client->WaitForAcked(conn_pushed);
+    if (!st.ok()) return st;
+    const uint32_t base = client->base_client();
+    for (const BugDescriptor& bug : client->violations()) {
+      out->violations.push_back(bug);
+    }
+    client.reset();  // abrupt close: the server parks the session
+
+    net::VerifierClient::Options ropts = copts;
+    ropts.resume = true;
+    ropts.resume_base = base;
+    for (uint32_t attempt = 0; attempt < kResumeAttempts; ++attempt) {
+      auto again = net::VerifierClient::Connect(opts_.connect, ropts);
+      if (again.ok() && (*again)->resumed()) {
+        client = std::move(*again);
+        const std::vector<Timestamp>& floors = client->resume_floors();
+        for (uint32_t s = 0; s < spn && s < floors.size(); ++s) {
+          min_next_ts[s] = std::max(min_next_ts[s], floors[s]);
+        }
+        conn_pushed = 0;
+        ++out->reconnects;
+        return Status::Ok();
+      }
+      // Not parked yet (the server has not seen our EOF) or transient
+      // connect failure. A fresh fallback session, if the connect
+      // succeeded, dies with `again` at the end of this iteration: it is
+      // parked but never resumed, which the server tolerates.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return Status::Internal("could not resume session after disconnect");
+  };
+
+  const uint64_t target_total =
+      static_cast<uint64_t>(spn) * opts_.txns_per_session;
+  while (node_committed_total < target_total) {
+    bool all_idle = true;
+    bool progressed = false;
+    for (uint32_t s = 0; s < spn; ++s) {
+      SessionState& ss = sessions[s];
+      if (ss.committed >= opts_.txns_per_session && !ss.exec->InTxn()) {
+        continue;  // this session is done
+      }
+      if (!ss.exec->InTxn()) {
+        if (draining_for_reconnect) continue;  // no new txns while draining
+        ss.exec->BeginTxn(scenario_.workload->NextTransaction(ss.rng));
+        ss.op_armed = false;
+      }
+      all_idle = false;
+      if (scenario_.think_time_us > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(scenario_.think_time_us));
+      }
+      if (!ss.op_armed) {
+        const Timestamp local = clock.Now();
+        const Timestamp earliest =
+            local > skew_bound_ns ? local - skew_bound_ns : 0;
+        ss.bef = std::max(earliest, min_next_ts[s]);
+        ss.retries = 0;
+        ss.op_armed = true;
+      }
+      OpOutcome outcome = ss.exec->ExecuteNextOp();
+      if (outcome.retry) {
+        // Lock wait: keep ts_bef, let the other sessions run, retry on the
+        // next round-robin pass. After too many spins force-abort (the
+        // holder may live on this very thread).
+        if (++ss.retries > opts_.max_retry_spins) {
+          outcome = ss.exec->AbortTxn();
+        } else {
+          std::this_thread::yield();
+          continue;
+        }
+      }
+      progressed = true;
+      ss.op_armed = false;
+      Timestamp aft = clock.Now();
+      if (apply_lag_ns > 0 && IsWriteClass(outcome.trace.op)) {
+        aft += static_cast<Timestamp>(apply_lag_ns);
+      }
+      outcome.trace.interval = TimeInterval(ss.bef, std::max(ss.bef, aft));
+      min_next_ts[s] = std::max(min_next_ts[s], ss.bef + 1);
+      Status st = push_trace(s, std::move(outcome.trace));
+      if (!st.ok()) {
+        out->status = st;
+        return;
+      }
+      if (outcome.txn_finished) {
+        if (outcome.committed) {
+          ++ss.committed;
+          ++node_committed_total;
+          ++out->committed;
+        } else {
+          ++out->aborted;
+        }
+      }
+    }
+    if (!progressed && !all_idle && !draining_for_reconnect) {
+      // Every live session is stuck in a lock wait this pass; yield so
+      // other nodes (threads) can release what we are waiting on.
+      std::this_thread::yield();
+    }
+    if (reconnects_on && node_committed_total >= next_disconnect &&
+        node_committed_total < target_total) {
+      if (!draining_for_reconnect) {
+        draining_for_reconnect = true;  // finish in-flight txns first
+      }
+      if (all_idle) {
+        Status st = reconnect();
+        if (!st.ok()) {
+          out->status = st;
+          return;
+        }
+        draining_for_reconnect = false;
+        next_disconnect += scenario_.disconnect_every_txns;
+      }
+    }
+  }
+
+  if (opts_.drain_bye) {
+    auto bye = client->Finish();
+    if (!bye.ok()) {
+      out->status = bye.status();
+      return;
+    }
+  } else {
+    for (uint32_t s = 0; s < spn; ++s) {
+      Status st = client->CloseStream(s);
+      if (!st.ok()) {
+        out->status = st;
+        return;
+      }
+    }
+    Status st = client->WaitForAcked(conn_pushed);
+    if (!st.ok()) {
+      out->status = st;
+      return;
+    }
+  }
+  for (const BugDescriptor& bug : client->violations()) {
+    out->violations.push_back(bug);
+  }
+}
+
+}  // namespace campaign
+}  // namespace leopard

@@ -1,0 +1,111 @@
+#ifndef LEOPARD_CAMPAIGN_RUNNER_H_
+#define LEOPARD_CAMPAIGN_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/scenario.h"
+#include "common/status.h"
+#include "isolation/isolation.h"
+#include "txn/kv_interface.h"
+#include "verifier/bug.h"
+
+namespace leopard {
+
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
+namespace campaign {
+
+/// Campaign configuration: how many harness nodes drive the backend, and
+/// how their traces are streamed live into a running leopard_serve.
+struct CampaignOptions {
+  /// Verifier endpoint ("host:port"); the campaign streams traces over the
+  /// wire protocol as it executes — no trace files.
+  std::string connect;
+  /// Harness nodes, the paper's multi-server topology: each node is one
+  /// thread with its own skewed clock and its own verifier connection.
+  uint32_t nodes = 1;
+  /// Concurrent sessions per node; each is one wire stream (one verifier
+  /// client id) driven round-robin so transactions genuinely interleave.
+  uint32_t sessions_per_node = 2;
+  /// Committed transactions each session contributes before the campaign
+  /// winds down.
+  uint32_t txns_per_session = 50;
+  /// Per-node clock skew, microseconds: node i reads its timestamps from a
+  /// clock running i * clock_skew_us ahead of node 0 — the uncertainty the
+  /// paper's interval model exists to absorb.
+  uint32_t clock_skew_us = 0;
+  /// Replication-style apply lag, microseconds: write and commit intervals
+  /// are closed this much later than the operation returned, modeling a
+  /// primary acking before the effect is visible everywhere. Injected at
+  /// the trace boundary, so ts_aft stays a sound upper bound.
+  uint32_t apply_lag_us = 0;
+  uint64_t seed = 1;
+  /// Wire batch size (traces per kBatch frame).
+  size_t batch_traces = 64;
+  uint64_t recv_timeout_ms = 30000;
+  /// Per-session isolation-level *tags*, keyed by global session index
+  /// (node * sessions_per_node + s): the level each stream declares in the
+  /// v4 HELLO tail, gating which mechanisms the verifier checks. Leave
+  /// empty for all-SERIALIZABLE.
+  isolation::SessionIlMap il_map;
+  /// Cap on retry spins for one operation before the runner force-aborts
+  /// the transaction (lock waits that never resolve).
+  uint32_t max_retry_spins = 10000;
+  /// When true (default) each node ends with Finish(): close streams and
+  /// block for the server's kBye, so every violation involving this node
+  /// has arrived. False: close streams, wait for acks only.
+  bool drain_bye = true;
+  /// Optional metrics sink (campaign.* counters).
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// What a campaign run produced. Violations are those the server streamed
+/// back to this campaign's connections (server-side artifacts/diagnosis are
+/// independent of this).
+struct CampaignResult {
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t traces_pushed = 0;
+  uint64_t reconnects = 0;
+  std::vector<BugDescriptor> violations;
+};
+
+/// Executes one scenario against one backend, streaming every trace live
+/// into a leopard_serve instance. The runner owns clocks and timestamping:
+/// ts_bef is taken (from the node's skewed clock) before an operation first
+/// executes and survives retries, ts_aft after it returns (+ apply lag for
+/// writes/commits) — the interval idiom the verifier's soundness rests on.
+///
+/// Scenario quirks honored here: think time (sleep between op steps) and
+/// periodic disconnect + session resume (drains in-flight transactions,
+/// waits for acks, drops the connection, reconnects with the v5 resume
+/// handshake, and continues pushing above the server's resume floor).
+class CampaignRunner {
+ public:
+  CampaignRunner(TransactionalKv* db, Scenario scenario,
+                 CampaignOptions options);
+
+  /// Runs the whole campaign (blocking). Returns the aggregate result, or
+  /// the first node error (connection refused, session failed, ...).
+  StatusOr<CampaignResult> Run();
+
+ private:
+  struct NodeOutcome;
+
+  /// Body of one harness node: own connection, own skewed clock,
+  /// sessions_per_node round-robin executors.
+  void RunNode(uint32_t node, Timestamp run_start, NodeOutcome* out);
+
+  TransactionalKv* db_;
+  Scenario scenario_;
+  CampaignOptions opts_;
+};
+
+}  // namespace campaign
+}  // namespace leopard
+
+#endif  // LEOPARD_CAMPAIGN_RUNNER_H_

@@ -1,0 +1,195 @@
+#include "campaign/scenario.h"
+
+#include <algorithm>
+
+namespace leopard {
+namespace campaign {
+
+namespace {
+
+/// Phantom hunter. The stable population is the EVEN keys; the ODD keys
+/// churn: inserts and deletes race the scanners. Scanners run the same
+/// range predicate twice inside one transaction (the textbook phantom
+/// witness) and then write, so the scan results feed dependencies the
+/// verifier can anchor. ReadRange traces carry [first, first+count), which
+/// is what lets the verifier reason about rows that are *absent* from the
+/// result.
+class PhantomWorkload : public Workload {
+ public:
+  explicit PhantomWorkload(const ScenarioOptions& options)
+      : keys_(std::max<uint32_t>(options.keys, 8)),
+        span_(std::min(std::max<uint32_t>(options.scan_span, 2), keys_)) {}
+
+  std::string name() const override { return "phantom"; }
+
+  std::vector<WriteAccess> InitialRows() const override {
+    std::vector<WriteAccess> rows;
+    for (Key k = 0; k < keys_; k += 2) {
+      rows.push_back({k, MakeLoadValue(k)});
+    }
+    return rows;
+  }
+
+  TxnSpec NextTransaction(Rng& rng) override {
+    TxnSpec txn;
+    const uint32_t pick = rng.Uniform(10);
+    if (pick < 4) {
+      // Scanner: same predicate twice, then a write inside the window.
+      const Key first = rng.Uniform(keys_ - span_ + 1);
+      txn.ops.push_back(OpSpec::RangeRead(first, span_));
+      txn.ops.push_back(OpSpec::RangeRead(first, span_));
+      txn.ops.push_back(OpSpec::WriteUnique(first + rng.Uniform(span_)));
+    } else if (pick < 7) {
+      // Insert a churn row the scanners' predicates may cover.
+      txn.ops.push_back(OpSpec::WriteUnique(OddKey(rng)));
+    } else if (pick < 9) {
+      // Delete a churn row (tombstone: later scans must not see it).
+      txn.ops.push_back(OpSpec::Delete(OddKey(rng)));
+    } else {
+      // Point read + write keeps single-row dependencies flowing too.
+      const Key k = rng.Uniform(keys_) & ~Key{1};
+      txn.ops.push_back(OpSpec::Read(k));
+      txn.ops.push_back(OpSpec::WriteUnique(k));
+    }
+    return txn;
+  }
+
+ private:
+  Key OddKey(Rng& rng) const { return rng.Uniform(keys_ / 2) * 2 + 1; }
+
+  const uint32_t keys_;
+  const uint32_t span_;
+};
+
+/// Long interactive transactions: many statements, think time between them
+/// (applied by the runner), alternating reads and unique writes over random
+/// keys. Produces the wide uncertainty intervals of §VI-C's interactive
+/// sessions.
+class LongTxnWorkload : public Workload {
+ public:
+  explicit LongTxnWorkload(const ScenarioOptions& options)
+      : keys_(std::max<uint32_t>(options.keys, 8)),
+        ops_(std::max<uint32_t>(options.ops_per_txn, 2)) {}
+
+  std::string name() const override { return "longtxn"; }
+
+  std::vector<WriteAccess> InitialRows() const override {
+    std::vector<WriteAccess> rows;
+    for (Key k = 0; k < keys_; ++k) rows.push_back({k, MakeLoadValue(k)});
+    return rows;
+  }
+
+  TxnSpec NextTransaction(Rng& rng) override {
+    TxnSpec txn;
+    for (uint32_t i = 0; i < ops_; ++i) {
+      const Key k = rng.Uniform(keys_);
+      if (i % 2 == 0) {
+        txn.ops.push_back(OpSpec::Read(k));
+      } else {
+        txn.ops.push_back(OpSpec::WriteUnique(k));
+      }
+    }
+    return txn;
+  }
+
+ private:
+  const uint32_t keys_;
+  const uint32_t ops_;
+};
+
+/// Hot-row churn: every transaction does a locking read-modify-write on one
+/// of a handful of contended keys (plus one cold read for dependency
+/// variety). Maximizes lock handoffs — FUW and lost-update bait.
+class HotRowWorkload : public Workload {
+ public:
+  explicit HotRowWorkload(const ScenarioOptions& options)
+      : keys_(std::max<uint32_t>(options.keys, 8)),
+        hot_(std::min(std::max<uint32_t>(options.hot_keys, 1), keys_)) {}
+
+  std::string name() const override { return "hotrow"; }
+
+  std::vector<WriteAccess> InitialRows() const override {
+    std::vector<WriteAccess> rows;
+    for (Key k = 0; k < keys_; ++k) rows.push_back({k, MakeLoadValue(k)});
+    return rows;
+  }
+
+  TxnSpec NextTransaction(Rng& rng) override {
+    TxnSpec txn;
+    const Key hot = rng.Uniform(hot_);
+    txn.ops.push_back(OpSpec::ReadForUpdate(hot));
+    txn.ops.push_back(OpSpec::WriteLastReadPlus(hot, 0));
+    txn.ops.push_back(OpSpec::Read(hot_ + rng.Uniform(keys_ - hot_)));
+    return txn;
+  }
+
+ private:
+  const uint32_t keys_;
+  const uint32_t hot_;
+};
+
+/// Plain read/write mix; the interesting part is the runner-side behavior
+/// (periodic disconnect + session resume), not the access pattern.
+class ReconnectWorkload : public Workload {
+ public:
+  explicit ReconnectWorkload(const ScenarioOptions& options)
+      : keys_(std::max<uint32_t>(options.keys, 8)) {}
+
+  std::string name() const override { return "reconnect"; }
+
+  std::vector<WriteAccess> InitialRows() const override {
+    std::vector<WriteAccess> rows;
+    for (Key k = 0; k < keys_; ++k) rows.push_back({k, MakeLoadValue(k)});
+    return rows;
+  }
+
+  TxnSpec NextTransaction(Rng& rng) override {
+    TxnSpec txn;
+    const Key k = rng.Uniform(keys_);
+    txn.ops.push_back(OpSpec::Read(k));
+    if (rng.Chance(0.5)) {
+      txn.ops.push_back(OpSpec::WriteUnique(rng.Uniform(keys_)));
+    }
+    return txn;
+  }
+
+ private:
+  const uint32_t keys_;
+};
+
+}  // namespace
+
+StatusOr<Scenario> MakeScenario(const std::string& name,
+                                const ScenarioOptions& options) {
+  Scenario s;
+  s.name = name;
+  s.think_time_us = options.think_time_us;
+  s.disconnect_every_txns = options.disconnect_every_txns;
+  if (name == "phantom") {
+    s.workload = std::make_shared<PhantomWorkload>(options);
+  } else if (name == "longtxn") {
+    s.workload = std::make_shared<LongTxnWorkload>(options);
+    if (s.think_time_us == 0) s.think_time_us = 200;
+  } else if (name == "hotrow") {
+    s.workload = std::make_shared<HotRowWorkload>(options);
+  } else if (name == "reconnect") {
+    s.workload = std::make_shared<ReconnectWorkload>(options);
+    if (s.disconnect_every_txns == 0) s.disconnect_every_txns = 25;
+  } else {
+    std::string known;
+    for (const std::string& n : ScenarioNames()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    return Status::InvalidArgument("unknown scenario '" + name +
+                                   "' (available: " + known + ")");
+  }
+  return s;
+}
+
+std::vector<std::string> ScenarioNames() {
+  return {"phantom", "longtxn", "hotrow", "reconnect"};
+}
+
+}  // namespace campaign
+}  // namespace leopard

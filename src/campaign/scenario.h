@@ -1,0 +1,65 @@
+#ifndef LEOPARD_CAMPAIGN_SCENARIO_H_
+#define LEOPARD_CAMPAIGN_SCENARIO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/workload.h"
+
+namespace leopard {
+namespace campaign {
+
+/// Tuning knobs shared by the scenario library. Every scenario is an
+/// anomaly-*hunting* shape: it concentrates the access patterns that make a
+/// class of isolation bug observable, instead of spreading load uniformly.
+struct ScenarioOptions {
+  /// Size of the key space (phantom scenarios churn the odd half of it).
+  uint32_t keys = 64;
+  /// Width of predicate/range scans (phantom scenario).
+  uint32_t scan_span = 16;
+  /// Number of contended keys (hotrow scenario).
+  uint32_t hot_keys = 2;
+  /// Operations per transaction (longtxn scenario).
+  uint32_t ops_per_txn = 8;
+  /// Think time between the ops of one transaction, microseconds. 0 keeps
+  /// the scenario's own default (only longtxn defaults to non-zero).
+  uint32_t think_time_us = 0;
+  /// Drop + resume the verifier connection every N committed transactions
+  /// per node. 0 keeps the scenario default (only reconnect defaults on).
+  uint32_t disconnect_every_txns = 0;
+};
+
+/// A named campaign scenario: the workload plus the execution quirks the
+/// runner must honor (think time, mid-campaign disconnects).
+struct Scenario {
+  std::string name;
+  std::shared_ptr<Workload> workload;
+  uint32_t think_time_us = 0;
+  uint32_t disconnect_every_txns = 0;
+};
+
+/// Instantiates the scenario registered under `name`:
+///
+///   phantom    predicate/range scans racing inserts and deletes of the
+///              rows the predicate matches — ReadRange traces carry the
+///              scanned interval, so a row wrongly missing from (or extra
+///              in) the result surfaces as a CR/absent-row violation.
+///   longtxn    long interactive transactions with think time between
+///              statements: wide ts_bef/ts_aft intervals, the worst case
+///              for the verifier's candidate pruning.
+///   hotrow     read-modify-write churn on a few contended keys: lock
+///              handoffs, FUW/lost-update bait.
+///   reconnect  plain read/write mix, but the runner drops and resumes the
+///              verifier connection mid-campaign (session-resume path).
+StatusOr<Scenario> MakeScenario(const std::string& name,
+                                const ScenarioOptions& options);
+
+/// Registered scenario names, in registry order.
+std::vector<std::string> ScenarioNames();
+
+}  // namespace campaign
+}  // namespace leopard
+
+#endif  // LEOPARD_CAMPAIGN_SCENARIO_H_

@@ -135,6 +135,31 @@ StatusOr<OnlineVerifier::AddedClient> OnlineVerifier::AddClient() {
   return added;
 }
 
+StatusOr<OnlineVerifier::AddedClient> OnlineVerifier::ReopenClient(
+    ClientId client) {
+  AddedClient reopened;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sealed_) {
+      return Status::FailedPrecondition(
+          "ReopenClient() requires Options::dynamic_clients and must precede "
+          "SealClients()");
+    }
+    if (client >= n_clients_) {
+      return Status::InvalidArgument("ReopenClient: unknown client");
+    }
+    if (!client_closed_[client]) {
+      return Status::FailedPrecondition("ReopenClient: client still open");
+    }
+    client_closed_[client] = 0;
+    reopened.id = client;
+    reopened.floor = pipeline_.Reopen(client);
+    ++open_clients_;
+  }
+  producer_cv_.notify_one();
+  return reopened;
+}
+
 void OnlineVerifier::SealClients() {
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -119,6 +119,15 @@ class OnlineVerifier {
   /// (VerifierServer) surface the failure to the session as a kError frame.
   StatusOr<AddedClient> AddClient();
 
+  /// Re-opens a previously Close()d client stream — the reconnect case: a
+  /// session that disconnected mid-run resumes the same client id instead
+  /// of registering a fresh one. The returned floor is the oldest ts_bef
+  /// the resumed stream may still push: max(its last pushed ts_bef, the
+  /// dispatch floor). Fails with FailedPrecondition when the verifier is
+  /// not dynamic, already sealed, or the client is still open, and with
+  /// InvalidArgument for an unknown client id. Thread-safe.
+  StatusOr<AddedClient> ReopenClient(ClientId client);
+
   /// Declares that no further AddClient() calls will come, letting the run
   /// finish once every registered client is closed and drained. Idempotent;
   /// implicit for non-dynamic verifiers.

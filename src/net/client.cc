@@ -33,6 +33,9 @@ StatusOr<std::unique_ptr<VerifierClient>> VerifierClient::Connect(
     return Status::InvalidArgument(
         "per-stream isolation levels need wire version >= 4");
   }
+  if ((options.resumable || options.resume) && options.wire_version < 5) {
+    return Status::InvalidArgument("session resume needs wire version >= 5");
+  }
   HelloMsg hello;
   hello.version = options.wire_version;
   hello.n_streams = options.n_streams;
@@ -40,6 +43,10 @@ StatusOr<std::unique_ptr<VerifierClient>> VerifierClient::Connect(
   // tail, which only a v4 server accepts (wire.h); an older server drops
   // the session with kError and Connect surfaces that status.
   hello.stream_ils = options.stream_ils;
+  // Resume flags add the v5 tail, which likewise requires a v5 server.
+  hello.resumable = options.resumable;
+  hello.has_resume = options.resume;
+  hello.resume_base = options.resume ? options.resume_base : 0;
   const std::string frame = EncodeFrame(FrameType::kHello, EncodeHello(hello));
   Status s = client->sock_.SendAll(frame.data(), frame.size());
   if (!s.ok()) return s;
@@ -57,6 +64,10 @@ StatusOr<std::unique_ptr<VerifierClient>> VerifierClient::Connect(
   }
   client->version_ = msg->version;
   client->base_client_ = msg->base_client;
+  // A successful resume keeps the requested base id and reports per-stream
+  // floors; a fallback allocation gets a fresh (different) base.
+  client->resumed_ = options.resume && msg->base_client == options.resume_base;
+  client->resume_floors_ = std::move(msg->resume_floors);
   return client;
 }
 
@@ -155,6 +166,20 @@ StatusOr<ByeMsg> VerifierClient::Finish() {
   Status s = WaitFor(FrameType::kBye, bye);
   if (!s.ok()) return s;
   return bye_;
+}
+
+Status VerifierClient::WaitForAcked(uint64_t min_acked) {
+  while (acked_traces_ < min_acked) {
+    if (dead_) {
+      return Status::FailedPrecondition("session dead: " + server_error_);
+    }
+    Frame frame;
+    Status s = WaitFor(FrameType::kBatchAck, frame);
+    if (!s.ok()) return s;
+    s = Consume(std::move(frame));
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
 }
 
 Status VerifierClient::Consume(Frame frame) {

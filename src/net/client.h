@@ -60,6 +60,16 @@ class VerifierClient {
     /// per-stream levels therefore *requires* a v4 server (Connect fails
     /// cleanly otherwise). Leave empty for version-agnostic sessions.
     std::vector<IsolationLevel> stream_ils;
+    /// v5 session-resume extension. `resumable` asks the server to park
+    /// this session's per-stream floors if the connection drops before all
+    /// streams closed cleanly, so a later connection can resume them.
+    /// `resume` + `resume_base` re-attach to such a parked session: on
+    /// success the server assigns the same base client id (check
+    /// resumed()); when nothing is parked under resume_base it falls back
+    /// to a fresh allocation. Either flag requires a v5 server.
+    bool resumable = false;
+    bool resume = false;
+    uint32_t resume_base = 0;
   };
 
   /// Connects and performs the handshake. `host_port` is "host:port";
@@ -92,6 +102,21 @@ class VerifierClient {
   /// Traces the server has acknowledged (from the latest kBatchAck).
   uint64_t acked_traces() const { return acked_traces_; }
 
+  /// Blocks until the server has acknowledged at least `min_acked` traces
+  /// from this session (consuming violations on the way). A client that
+  /// intends to drop the connection and resume later calls this first, so
+  /// no sent-but-unacked batch can be lost to an abrupt close.
+  Status WaitForAcked(uint64_t min_acked);
+
+  /// True when Connect() re-attached to the parked session requested via
+  /// Options::resume — the session kept its old base client id and
+  /// resume_floors() holds the per-stream push floors.
+  bool resumed() const { return resumed_; }
+
+  /// Per-stream re-admission floors of a resumed session (empty otherwise):
+  /// stream s may only push traces with ts_bef >= resume_floors()[s].
+  const std::vector<Timestamp>& resume_floors() const { return resume_floors_; }
+
   /// First verifier client id of this session (stream s = base + s).
   uint32_t base_client() const { return base_client_; }
 
@@ -122,6 +147,8 @@ class VerifierClient {
   std::vector<uint8_t> stream_closed_;
   std::vector<BugDescriptor> violations_;
   uint64_t acked_traces_ = 0;
+  bool resumed_ = false;
+  std::vector<Timestamp> resume_floors_;
   bool got_bye_ = false;
   ByeMsg bye_;
   std::string server_error_;

@@ -267,12 +267,62 @@ bool VerifierServer::HandleHello(Session& session, const Frame& frame) {
   }
   HelloAckMsg ack;
   ack.version = session.version;
+  bool resumed = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_.load(std::memory_order_relaxed)) {
       FailSession(session, "server draining");
       return false;
     }
+    session.resumable = hello->resumable;
+    if (hello->has_resume) {
+      // v5 resume: re-attach to the stream state a resumable session parked
+      // when its connection dropped. No match (wrong base, stream-count
+      // mismatch, state lost to a restart) falls back to a fresh
+      // allocation, which the client detects by the differing base id.
+      auto it = parked_.find(hello->resume_base);
+      if (it != parked_.end() && it->second.n_streams == hello->n_streams) {
+        ParkedSession saved = std::move(it->second);
+        parked_.erase(it);
+        const uint32_t base = hello->resume_base;
+        session.base_client = base;
+        session.floor.resize(hello->n_streams);
+        session.last_ts = saved.last_ts;
+        session.stream_closed = saved.stream_closed;
+        // The levels the verifier already applied to these streams win over
+        // anything the reconnecting HELLO declares.
+        session.stream_ils = saved.stream_ils;
+        ack.resume_floors.resize(hello->n_streams);
+        for (uint32_t i = 0; i < hello->n_streams; ++i) {
+          if (saved.stream_closed[i]) {
+            // Cleanly closed before the disconnect; stays closed.
+            session.floor[i] = saved.last_ts[i];
+            ack.resume_floors[i] = saved.last_ts[i];
+            continue;
+          }
+          auto reopened = online_->ReopenClient(base + i);
+          if (!reopened.ok()) {
+            // Drain committed between the stopping_ check and here; re-close
+            // what we reopened and reject the session.
+            for (uint32_t j = 0; j < i; ++j) {
+              if (!saved.stream_closed[j]) online_->Close(base + j);
+            }
+            FailSession(session,
+                        "server draining: " + reopened.status().message());
+            return false;
+          }
+          // The reopen floor already covers everything dispatch handed out;
+          // the stream's own last push keeps per-stream order seamless.
+          session.floor[i] = std::max(reopened->floor, saved.last_ts[i]);
+          ack.resume_floors[i] = session.floor[i];
+          client_session_[base + i] = &session;
+        }
+        session.n_streams = hello->n_streams;
+        ack.base_client = base;
+        resumed = true;
+      }
+    }
+    if (!resumed) {
     if (next_stream_slot_ + hello->n_streams > opts_.max_streams) {
       FailSession(session, "server at stream capacity");
       return false;
@@ -313,19 +363,24 @@ bool VerifierServer::HandleHello(Session& session, const Frame& frame) {
       gate_closed_ = true;
     }
     ack.base_client = session.base_client;
+    }  // !resumed
   }
-  // WAL registrations go outside mu_ (durable_mu_ nests before mu_, never
-  // after). Replay is idempotent by id, so an id both checkpointed and
-  // logged here is skipped on recovery.
-  for (uint32_t i = 0; i < session.n_streams; ++i) {
-    WalAddClient(session.base_client + i);
+  if (!resumed) {
+    // WAL registrations go outside mu_ (durable_mu_ nests before mu_, never
+    // after). Replay is idempotent by id, so an id both checkpointed and
+    // logged here is skipped on recovery. A resumed session's ids were
+    // already registered by its first handshake.
+    for (uint32_t i = 0; i < session.n_streams; ++i) {
+      WalAddClient(session.base_client + i);
+    }
   }
   SendToSession(session, EncodeFrame(FrameType::kHelloAck,
                                      EncodeHelloAck(ack)));
   if (opts_.events != nullptr) {
     opts_.events->Recordf(obs::EventSeverity::kInfo, "net.server",
-                          "session %u handshake: %u streams, wire v%u",
-                          session.id, session.n_streams, session.version);
+                          "session %u handshake: %u streams, wire v%u%s",
+                          session.id, session.n_streams, session.version,
+                          resumed ? " (resumed)" : "");
   }
   return true;
 }
@@ -552,7 +607,28 @@ void VerifierServer::FailSession(Session& session,
 
 void VerifierServer::FinishSession(Session& session) {
   bool had_open = false;
+  bool parked = false;
   if (session.n_streams > 0) {
+    bool any_open = false;
+    for (uint32_t i = 0; i < session.n_streams; ++i) {
+      if (!session.stream_closed[i]) any_open = true;
+    }
+    if (any_open && session.resumable &&
+        !stopping_.load(std::memory_order_relaxed)) {
+      // A resumable session that dropped with open streams is expected
+      // back: park its per-stream state (captured as it stands at
+      // disconnect, before the force-close below) so a resume HELLO can
+      // re-admit the same client ids. The streams are still closed in the
+      // verifier meanwhile — an absent client must not pin the watermark.
+      std::lock_guard<std::mutex> lock(mu_);
+      ParkedSession p;
+      p.n_streams = session.n_streams;
+      p.stream_ils = session.stream_ils;
+      p.last_ts = session.last_ts;
+      p.stream_closed = session.stream_closed;
+      parked_.emplace(session.base_client, std::move(p));
+      parked = true;
+    }
     for (uint32_t i = 0; i < session.n_streams; ++i) {
       if (!session.stream_closed[i]) {
         session.stream_closed[i] = 1;
@@ -560,7 +636,7 @@ void VerifierServer::FinishSession(Session& session) {
         had_open = true;
       }
     }
-    if (!session.counted_complete.exchange(true)) {
+    if (!session.counted_complete.exchange(true) && !parked) {
       sessions_completed_.fetch_add(1, std::memory_order_relaxed);
       if (m_sessions_done_ != nullptr) m_sessions_done_->Inc();
       drain_cv_.notify_all();
@@ -1107,6 +1183,13 @@ const VerifyReport& VerifierServer::WaitReport() {
               sessions_completed_.load(std::memory_order_relaxed) >=
                   opts_.expected_sessions);
     });
+    if (draining_ || drained_) {
+      // Another caller won the race past the wait and owns the teardown
+      // below; it joins threads, so a second runner would double-join.
+      drain_cv_.wait(lock, [this] { return drained_; });
+      return report_;
+    }
+    draining_ = true;
     stopping_.store(true, std::memory_order_relaxed);
   }
   // Stop accepting and collect the session set (stable: entries are never
@@ -1156,6 +1239,7 @@ const VerifyReport& VerifierServer::WaitReport() {
     std::lock_guard<std::mutex> lock(mu_);
     drained_ = true;
   }
+  drain_cv_.notify_all();
   return report_;
 }
 

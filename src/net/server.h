@@ -215,6 +215,9 @@ class VerifierServer {
     std::atomic<uint64_t> traces_received{0};
     std::atomic<uint64_t> last_frame_ns{0};
     std::atomic<uint32_t> violations_sent{0};
+    /// v5: the client declared the session resumable — an abrupt disconnect
+    /// parks its stream state (see parked_) instead of retiring the ids.
+    bool resumable = false;
     /// Session counted towards sessions_completed (exactly once).
     std::atomic<bool> counted_complete{false};
     /// Write side dead (error sent or peer gone); skip further sends.
@@ -279,10 +282,27 @@ class VerifierServer {
   /// client_session_ entry (counted net.violations_unroutable).
   std::unordered_map<TxnId, ClientId> txn_client_;
   std::unordered_map<ClientId, Session*> client_session_;
+  /// Stream state parked by an abrupt disconnect of a *resumable* session
+  /// (v5), keyed by base client id. A later HELLO with has_resume re-admits
+  /// the same verifier client ids at floors that preserve Theorem 1
+  /// (OnlineVerifier::ReopenClient). In-process only: durable recovery
+  /// closes all restored clients, so a restart empties this map and resume
+  /// attempts fall back to fresh allocation. Guarded by mu_.
+  struct ParkedSession {
+    uint32_t n_streams = 0;
+    std::vector<IsolationLevel> stream_ils;
+    std::vector<Timestamp> last_ts;
+    std::vector<uint8_t> stream_closed;
+  };
+  std::unordered_map<uint32_t, ParkedSession> parked_;
   uint32_t next_stream_slot_ = 0;  // streams allocated (excluding the gate)
   uint32_t sessions_handshaken_ = 0;
   bool gate_closed_ = false;
   bool drained_ = false;
+  /// True while one WaitReport() caller runs the teardown sequence. Further
+  /// callers (the drain-thread idiom has at least two) park on drain_cv_
+  /// until drained_ — the teardown joins threads and must run exactly once.
+  bool draining_ = false;
   std::atomic<bool> stopping_{false};  // set by Shutdown(), any thread
   std::atomic<bool> accepting_{false};
   std::atomic<uint64_t> traces_received_{0};

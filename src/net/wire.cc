@@ -148,13 +148,23 @@ std::string EncodeHello(const HelloMsg& m) {
   std::string out;
   PutU32(out, m.version);
   PutU32(out, m.n_streams);
-  if (!m.stream_ils.empty()) {
+  const bool v5_tail = m.resumable || m.has_resume;
+  if (!m.stream_ils.empty() || v5_tail) {
     // v4 mixed-isolation tail. Callers must leave stream_ils empty unless
     // they require a v4 server: pre-v4 decoders reject any HELLO tail.
+    // The v5 resume tail always rides behind an isolation count (possibly
+    // zero) so the decoder can tell the two tails apart by length.
     PutU32(out, static_cast<uint32_t>(m.stream_ils.size()));
     for (IsolationLevel il : m.stream_ils) {
       PutU8(out, static_cast<uint8_t>(il));
     }
+  }
+  if (v5_tail) {
+    uint8_t flags = 0;
+    if (m.resumable) flags |= 0x1;
+    if (m.has_resume) flags |= 0x2;
+    PutU8(out, flags);
+    PutU32(out, m.resume_base);
   }
   return out;
 }
@@ -181,7 +191,24 @@ StatusOr<HelloMsg> DecodeHello(const std::string& payload) {
     }
     m.stream_ils.push_back(static_cast<IsolationLevel>(il));
   }
-  if (!r.Done()) return Malformed("HELLO");
+  if (r.Done()) return m;
+  // v5 resume tail: a fixed 5 bytes (u8 flags, u32 resume_base) behind the
+  // isolation tail. Anything else trailing is malformed.
+  if (r.remaining() != 5) return Malformed("HELLO");
+  uint8_t flags = 0;
+  uint32_t resume_base = 0;
+  if (!r.GetU8(flags) || !r.GetU32(resume_base) || !r.Done()) {
+    return Malformed("HELLO");
+  }
+  if ((flags & ~uint8_t{0x3}) != 0) {
+    return Status::InvalidArgument("HELLO unknown resume flags");
+  }
+  m.resumable = (flags & 0x1) != 0;
+  m.has_resume = (flags & 0x2) != 0;
+  m.resume_base = resume_base;
+  if (!m.resumable && !m.has_resume) {
+    return Status::InvalidArgument("HELLO empty resume tail");
+  }
   return m;
 }
 
@@ -189,14 +216,32 @@ std::string EncodeHelloAck(const HelloAckMsg& m) {
   std::string out;
   PutU32(out, m.version);
   PutU32(out, m.base_client);
+  if (!m.resume_floors.empty()) {
+    // v5 resume tail; only emitted on a successful resume, which only a v5
+    // client can have requested — older decoders never see it.
+    PutU32(out, static_cast<uint32_t>(m.resume_floors.size()));
+    for (Timestamp floor : m.resume_floors) PutU64(out, floor);
+  }
   return out;
 }
 
 StatusOr<HelloAckMsg> DecodeHelloAck(const std::string& payload) {
   Reader r(payload);
   HelloAckMsg m;
-  if (!r.GetU32(m.version) || !r.GetU32(m.base_client) || !r.Done()) {
+  if (!r.GetU32(m.version) || !r.GetU32(m.base_client)) {
     return Malformed("HELLO_ACK");
+  }
+  if (r.Done()) return m;
+  uint32_t n_floors = 0;
+  if (!r.GetU32(n_floors)) return Malformed("HELLO_ACK");
+  if (static_cast<uint64_t>(n_floors) * 8 != r.remaining()) {
+    return Malformed("HELLO_ACK");
+  }
+  m.resume_floors.reserve(n_floors);
+  for (uint32_t i = 0; i < n_floors; ++i) {
+    uint64_t floor = 0;
+    if (!r.GetU64(floor)) return Malformed("HELLO_ACK");
+    m.resume_floors.push_back(floor);
   }
   return m;
 }

@@ -49,8 +49,18 @@ namespace net {
 /// — such a session *requires* a v4 server and fails cleanly otherwise.
 /// When the ack negotiates the session below v4 the client strips record
 /// isolation tags (re-encodes as SERIALIZABLE), because pre-v4 decoders
-/// reject flagged op bytes.
-constexpr uint32_t kWireVersion = 4;
+/// reject flagged op bytes. v5 adds the session-resume extension: kHello
+/// may carry a fixed 5-byte tail (u8 flags, u32 resume_base) after the
+/// isolation tail — flag bit 0 declares the session *resumable* (the
+/// server parks its per-stream floors on an abrupt disconnect instead of
+/// retiring the ids), flag bit 1 asks to *resume* the parked session whose
+/// base client id is resume_base. When a resume succeeds, kHelloAck echoes
+/// resume_base as base_client and appends its own self-describing tail
+/// (u32 count, count x u64): the per-stream push floors the resumed
+/// streams must respect. Like the v4 tail, the v5 tail makes the HELLO
+/// unacceptable to older servers, so clients only emit it when the caller
+/// opted into resumability — such a session requires a v5 server.
+constexpr uint32_t kWireVersion = 5;
 /// Oldest version this build still speaks.
 constexpr uint32_t kMinWireVersion = 1;
 constexpr size_t kFrameHeaderBytes = 5;  // u32 payload length + u8 type
@@ -115,6 +125,16 @@ struct HelloMsg {
   /// end of the list default to SERIALIZABLE). Empty = no tail emitted —
   /// the only shape a pre-v4 server accepts.
   std::vector<IsolationLevel> stream_ils;
+  /// v5 resume tail. `resumable` asks the server to park this session's
+  /// stream state (per-client floors) if the connection drops before every
+  /// stream closed cleanly. `has_resume` asks to re-attach to the parked
+  /// session whose base client id is `resume_base`; when no such parked
+  /// session exists the server falls back to a fresh allocation (detected
+  /// by the ack's base_client differing from resume_base). Setting either
+  /// flag emits the tail — which requires a v5 server.
+  bool resumable = false;
+  bool has_resume = false;
+  uint32_t resume_base = 0;
 };
 
 struct HelloAckMsg {
@@ -122,6 +142,10 @@ struct HelloAckMsg {
   /// First verifier client id assigned to this session; the session's
   /// stream `s` maps to verifier client `base_client + s`.
   uint32_t base_client = 0;
+  /// v5: on a successful resume, one entry per stream — the oldest ts_bef
+  /// the resumed stream may still push (its re-admission floor). Empty on
+  /// fresh sessions.
+  std::vector<Timestamp> resume_floors;
 };
 
 struct BatchMsg {

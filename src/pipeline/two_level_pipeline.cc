@@ -70,6 +70,17 @@ ClientId TwoLevelPipeline::AddClient() {
   return id;
 }
 
+Timestamp TwoLevelPipeline::Reopen(ClientId client) {
+  assert(client < locals_.size());
+  assert(closed_[client]);
+  closed_[client] = false;
+  // Same admission rule as AddClient, except the stream keeps its history:
+  // a reconnecting client may not push below what it already pushed, nor
+  // below what dispatch handed out while it was away.
+  last_pushed_[client] = std::max(last_pushed_[client], max_dispatched_);
+  return last_pushed_[client];
+}
+
 void TwoLevelPipeline::UpdateWatermark() {
   Timestamp wm = kMaxTimestamp;
   for (size_t i = 0; i < locals_.size(); ++i) {

@@ -70,6 +70,13 @@ class TwoLevelPipeline {
   /// themselves before Push.
   ClientId AddClient();
 
+  /// Re-admits a previously Close()d client stream — the reconnect case
+  /// where a session resumes the same client id mid-run. Returns the
+  /// stream's new floor: max(its last pushed ts_bef, the dispatch floor),
+  /// the oldest ts_bef the resumed stream may still legally push without
+  /// breaking Theorem 1. The client must already be closed.
+  Timestamp Reopen(ClientId client);
+
   /// Largest ts_bef handed out by Dispatch() so far — the lower bound on
   /// what a client registered now may still push.
   Timestamp dispatch_floor() const { return max_dispatched_; }

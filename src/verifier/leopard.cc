@@ -425,6 +425,14 @@ Timestamp Leopard::SafeTs() const {
       safe = std::min(safe, t.first_op.bef);
     }
   }
+  // Parked reads outlive their transaction's registry entry (a committed
+  // txn's reads flush only once the frontier passes snapshot.aft), and with
+  // wide clock uncertainty their snapshot.bef trails the frontier by the
+  // full skew bound. A version such a snapshot still admits must not be
+  // pruned out from under it.
+  for (const PendingRead& r : pending_reads_.c) {
+    safe = std::min(safe, r.snapshot.bef);
+  }
   return safe;
 }
 

@@ -237,6 +237,17 @@ class Leopard {
       return a.snapshot.aft > b.snapshot.aft;
     }
   };
+  /// Heap keyed by snapshot.aft (flush order), with the underlying container
+  /// exposed: SafeTs() must walk the parked reads, because a read can stay
+  /// parked past its transaction's commit (the registry entry is gone by
+  /// then) while its snapshot.bef trails the frontier by the full clock
+  /// uncertainty — GC pruning a version such a read still needs would turn
+  /// into a false CR violation.
+  struct PendingReadQueue
+      : std::priority_queue<PendingRead, std::vector<PendingRead>,
+                            PendingReadLater> {
+    using priority_queue::c;
+  };
 
   TxnState& GetTxn(TxnId id, const TimeInterval& op_interval);
   void InstallVersion(Key key, Value value, TxnId writer,
@@ -287,9 +298,7 @@ class Leopard {
   MirrorLockTable locks_;
   DependencyGraph graph_;
   SlabMap<TxnId, TxnState> txns_;
-  std::priority_queue<PendingRead, std::vector<PendingRead>,
-                      PendingReadLater>
-      pending_reads_;
+  PendingReadQueue pending_reads_;
   /// Retired PendingRead shells (vectors kept warm); ProcessRead refills
   /// from here so the parked-read path stops allocating per statement.
   std::vector<PendingRead> read_pool_;

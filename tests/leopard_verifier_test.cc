@@ -574,6 +574,43 @@ TEST(LeopardGcTest, LongRunningReaderPinsSafeTs) {
                                  : leopard.bugs()[0].ToString());
 }
 
+TEST(LeopardGcTest, ParkedReadOfCommittedTxnPinsSafeTs) {
+  // A read with wide clock uncertainty stays parked until the frontier
+  // passes snapshot.aft — potentially long after its own transaction
+  // committed and left the registry. GC must not prune a version that
+  // parked snapshot still admits: here txn 3 legitimately read the value
+  // txn 1 wrote (its snapshot began before txn 2's delete committed), but
+  // hundreds of later traces advance the frontier past the delete while
+  // the read is still parked. Pruning the txn-1 version would leave only
+  // the tombstone in the candidate set — a false CR violation.
+  VerifierConfig config = PgSerializableConfig();
+  config.gc_every = 16;  // very aggressive sweeps
+  Leopard leopard(config);
+  leopard.Process(MakeWriteTrace(kLoadTxnId, 0, {1, 2}, {{1, 100}}));
+  leopard.Process(MakeCommitTrace(kLoadTxnId, 0, {3, 4}));
+  leopard.Process(W(1, 10, 11, 1, 200));
+  leopard.Process(C(1, 12, 13));
+  // The uncertain read: snapshot [20, 1000] — bef precedes the delete
+  // below, aft trails every churn trace, so it parks until Finish().
+  leopard.Process(R(3, 20, 1000, 1, 200));
+  leopard.Process(W(2, 30, 31, 1, kTombstoneValue));
+  leopard.Process(C(2, 32, 33));
+  leopard.Process(C(3, 40, 41));  // reader commits; registry entry drops
+  // Churn on another key drives the frontier (and GC sweeps) far past the
+  // delete's commit while the read above is still parked.
+  Timestamp now = 50;
+  Value value = 5000;
+  for (TxnId txn = 10; txn < 60; ++txn) {
+    leopard.Process(W(txn, now, now + 1, 2, value++));
+    leopard.Process(C(txn, now + 2, now + 3));
+    now += 10;
+  }
+  leopard.Finish();
+  EXPECT_EQ(leopard.stats().TotalViolations(), 0u)
+      << (leopard.bugs().empty() ? std::string()
+                                 : leopard.bugs()[0].ToString());
+}
+
 TEST(LeopardInputTest, OutOfOrderInputCounted) {
   Leopard leopard(PgSerializableConfig());
   leopard.Process(MakeCommitTrace(kLoadTxnId, 0, {50, 51}));

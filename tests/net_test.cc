@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
@@ -116,7 +117,8 @@ bool ReadFrameOfType(Socket& sock, FrameDecoder& decoder, FrameType want,
 }
 
 TEST(WireTest, FrameRoundTripByteByByte) {
-  HelloMsg hello{kWireVersion, 7};
+  HelloMsg hello;
+  hello.n_streams = 7;
   std::string frame = EncodeFrame(FrameType::kHello, EncodeHello(hello));
   FrameDecoder decoder;
   Frame out;
@@ -136,7 +138,9 @@ TEST(WireTest, FrameRoundTripByteByByte) {
 }
 
 TEST(WireTest, AllMessageTypesRoundTrip) {
-  auto ack = DecodeHelloAck(EncodeHelloAck(HelloAckMsg{kWireVersion, 42}));
+  HelloAckMsg ack_in;
+  ack_in.base_client = 42;
+  auto ack = DecodeHelloAck(EncodeHelloAck(ack_in));
   ASSERT_TRUE(ack.ok());
   EXPECT_EQ(ack->base_client, 42u);
 
@@ -216,10 +220,16 @@ TEST(WireTest, ViolationRoundTripsStructuredWitnessAtV2) {
 TEST(WireTest, HelloVersionNegotiatesDown) {
   // An old (v1) client hello still decodes; the ack mirrors the lower
   // version back.
-  auto hello = DecodeHello(EncodeHello(HelloMsg{1, 4}));
+  HelloMsg v1_hello;
+  v1_hello.version = 1;
+  v1_hello.n_streams = 4;
+  auto hello = DecodeHello(EncodeHello(v1_hello));
   ASSERT_TRUE(hello.ok());
   EXPECT_EQ(hello->version, 1u);
-  auto ack = DecodeHelloAck(EncodeHelloAck(HelloAckMsg{1, 8}));
+  HelloAckMsg v1_ack;
+  v1_ack.version = 1;
+  v1_ack.base_client = 8;
+  auto ack = DecodeHelloAck(EncodeHelloAck(v1_ack));
   ASSERT_TRUE(ack.ok());
   EXPECT_EQ(ack->version, 1u);
   EXPECT_EQ(ack->base_client, 8u);
@@ -255,6 +265,82 @@ TEST(WireTest, HelloStreamIlTailRoundTripsAtV4) {
   overlong.stream_ils = {IsolationLevel::kSerializable,
                          IsolationLevel::kSerializable};
   EXPECT_FALSE(DecodeHello(EncodeHello(overlong)).ok());
+}
+
+TEST(WireTest, HelloResumeTailRoundTripsAtV5) {
+  HelloMsg hello;
+  hello.version = kWireVersion;
+  hello.n_streams = 2;
+  hello.resumable = true;
+  hello.has_resume = true;
+  hello.resume_base = 17;
+  auto decoded = DecodeHello(EncodeHello(hello));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(decoded->resumable);
+  EXPECT_TRUE(decoded->has_resume);
+  EXPECT_EQ(decoded->resume_base, 17u);
+
+  // Either flag alone still emits (and round-trips) the tail.
+  HelloMsg park_only;
+  park_only.resumable = true;
+  auto parked = DecodeHello(EncodeHello(park_only));
+  ASSERT_TRUE(parked.ok());
+  EXPECT_TRUE(parked->resumable);
+  EXPECT_FALSE(parked->has_resume);
+
+  // Neither flag: the legacy shape, nothing appended.
+  HelloMsg plain;
+  plain.n_streams = 4;
+  auto legacy = DecodeHello(EncodeHello(plain));
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_FALSE(legacy->resumable);
+  EXPECT_FALSE(legacy->has_resume);
+  EXPECT_EQ(legacy->resume_base, 0u);
+}
+
+TEST(WireTest, HelloAckResumeFloorsRoundTripAtV5) {
+  HelloAckMsg ack;
+  ack.version = kWireVersion;
+  ack.base_client = 17;
+  ack.resume_floors = {0, 123456789ull, uint64_t{1} << 62};
+  auto decoded = DecodeHelloAck(EncodeHelloAck(ack));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->base_client, 17u);
+  EXPECT_EQ(decoded->resume_floors, ack.resume_floors);
+
+  HelloAckMsg fresh;
+  fresh.base_client = 3;
+  auto plain = DecodeHelloAck(EncodeHelloAck(fresh));
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(plain->resume_floors.empty());
+}
+
+// Campaign regression: a range scan's scanned interval and its absent keys
+// must cross the wire bit-exactly — re-encoding the decoded batch must
+// reproduce the original payload byte for byte.
+TEST(WireTest, RangeScanBatchReencodesByteIdentical) {
+  Trace scan = MakeReadTrace(31, 4, TimeInterval(1000, 1400),
+                             {ReadAccess{64, 7}, ReadAccess{70, 9}});
+  scan.range_first = 64;
+  scan.range_count = 16;
+  scan.absent_reads = {65, 66, 79};
+  scan.il = IsolationLevel::kReadCommitted;
+  Trace locking = MakeReadTrace(31, 4, TimeInterval(1500, 1501),
+                                {ReadAccess{64, 7}});
+  locking.for_update = true;
+  const std::vector<Trace> traces = {scan, locking};
+
+  const std::string payload = EncodeBatch(2, traces);
+  auto batch = DecodeBatch(payload);
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  ASSERT_EQ(batch->traces.size(), 2u);
+  EXPECT_EQ(batch->traces[0].range_first, 64u);
+  EXPECT_EQ(batch->traces[0].range_count, 16u);
+  EXPECT_EQ(batch->traces[0].absent_reads, (std::vector<Key>{65, 66, 79}));
+  EXPECT_EQ(batch->traces[0].il, IsolationLevel::kReadCommitted);
+  EXPECT_TRUE(batch->traces[1].for_update);
+  EXPECT_EQ(EncodeBatch(batch->stream, batch->traces, batch->ingest_ns),
+            payload);
 }
 
 TEST(WireTest, BatchRoundTripsIsolationTags) {
@@ -645,6 +731,74 @@ TEST(NetLoopbackTest, V3PinnedSessionShipsRecordsUntagged) {
   const VerifyReport& report = server.WaitReport();
   EXPECT_GE(report.stats.me_violations, 1u);
   EXPECT_EQ(report.stats.weak_il_traces, 0u);
+}
+
+// v5 session resume, end to end: a resumable session streams half its
+// history, drains the ack watermark, drops the connection abruptly, then
+// re-attaches to the parked session — same base client id, floors honored —
+// and streams the rest. The server must stitch both connections into one
+// session whose verification is clean and complete.
+TEST(NetLoopbackTest, ResumableSessionSurvivesDisconnect) {
+  VerifierServer::Options so;
+  so.expected_sessions = 1;
+  VerifierServer server(PgSer(), so);
+  ASSERT_TRUE(server.Start().ok());
+  std::thread drain([&server] { server.WaitReport(); });
+
+  History h = BuildSerialHistory(31, 80);
+  const size_t total = h.traces.size();
+  const size_t half = total / 2;
+  const std::string endpoint = "127.0.0.1:" + std::to_string(server.port());
+
+  VerifierClient::Options co;
+  co.batch_traces = 8;
+  co.resumable = true;
+  auto first = VerifierClient::Connect(endpoint, co);
+  ASSERT_TRUE(first.ok()) << first.status();
+  for (size_t i = 0; i < half; ++i) {
+    ASSERT_TRUE((*first)->Push(0, h.traces[i]).ok());
+  }
+  ASSERT_TRUE((*first)->Flush(0).ok());
+  // Drain the ack watermark so the abrupt close below cannot lose a
+  // sent-but-unacked batch.
+  ASSERT_TRUE((*first)->WaitForAcked(half).ok());
+  const uint32_t base = (*first)->base_client();
+  first->reset();  // abrupt close: no CLOSE_STREAM, no BYE
+
+  VerifierClient::Options ro = co;
+  ro.resume = true;
+  ro.resume_base = base;
+  std::unique_ptr<VerifierClient> second;
+  for (int attempt = 0; attempt < 500; ++attempt) {
+    // The server parks the session only once it notices the EOF; until
+    // then a resume request falls back to a fresh allocation, which we
+    // discard (the fallback parks harmlessly on close).
+    auto again = VerifierClient::Connect(endpoint, ro);
+    ASSERT_TRUE(again.ok()) << again.status();
+    if ((*again)->resumed()) {
+      second = std::move(*again);
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_NE(second, nullptr) << "server never parked the dropped session";
+  EXPECT_EQ(second->base_client(), base);
+  ASSERT_EQ(second->resume_floors().size(), 1u);
+  // The floor never overtakes the next trace we owe: the history is pushed
+  // in ts_bef order and everything past `half` is still unsent.
+  EXPECT_LE(second->resume_floors()[0], h.traces[half].ts_bef());
+  for (size_t i = half; i < total; ++i) {
+    ASSERT_TRUE(second->Push(0, h.traces[i]).ok());
+  }
+  auto bye = second->Finish();
+  ASSERT_TRUE(bye.ok()) << bye.status();
+  EXPECT_TRUE(second->violations().empty());
+
+  drain.join();
+  const VerifyReport& report = server.WaitReport();
+  EXPECT_EQ(report.stats.TotalViolations(), 0u);
+  // Both connection legs landed in the same verification run.
+  EXPECT_EQ(server.traces_received(), total);
 }
 
 }  // namespace

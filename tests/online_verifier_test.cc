@@ -115,6 +115,43 @@ TEST(OnlineVerifierTest, ConcurrentFaultyWorkloadFlaggedLive) {
 
 // Regression: a duplicate Close() used to decrement the open-client count
 // again, which could end the run while another client was still producing.
+// Session resume (v5): a dynamic verifier re-admits a closed client under
+// its old id, at a floor that may not undercut the stream's last push, and
+// the resumed stream's traces land in the same verification run.
+TEST(OnlineVerifierTest, ReopenClientResumesClosedStream) {
+  OnlineVerifier::Options oo;
+  oo.dynamic_clients = true;
+  OnlineVerifier online(1, PgConfig(), oo);
+  online.Push(0, MakeWriteTrace(kLoadTxnId, 0, {1, 2}, {{1, 100}}));
+  online.Push(0, MakeCommitTrace(kLoadTxnId, 0, {3, 4}));
+
+  auto added = online.AddClient();
+  ASSERT_TRUE(added.ok()) << added.status();
+  const ClientId c = added->id;
+  online.Push(c, MakeReadTrace(1, c, {10, 11}, {{1, 100}}));
+  online.Push(c, MakeCommitTrace(1, c, {12, 13}));
+
+  // Guard rails: an open client cannot be reopened, nor an unknown id.
+  EXPECT_FALSE(online.ReopenClient(c).ok());
+  EXPECT_FALSE(online.ReopenClient(999).ok());
+
+  online.Close(c);  // the disconnect
+  auto reopened = online.ReopenClient(c);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(reopened->id, c);
+  EXPECT_GE(reopened->floor, 12u);  // never below the stream's last push
+
+  const Timestamp t0 = reopened->floor;
+  online.Push(c, MakeReadTrace(2, c, {t0, t0 + 1}, {{1, 100}}));
+  online.Push(c, MakeCommitTrace(2, c, {t0 + 2, t0 + 3}));
+  online.Close(c);
+  online.Close(0);
+  online.SealClients();
+  const VerifyReport& report = online.WaitReport();
+  EXPECT_EQ(report.stats.traces_processed, 6u);
+  EXPECT_EQ(report.stats.TotalViolations(), 0u);
+}
+
 TEST(OnlineVerifierTest, DuplicateCloseIsIdempotentPerClient) {
   OnlineVerifier online(3, PgConfig());
   online.Push(0, MakeWriteTrace(kLoadTxnId, 0, {1, 2}, {{1, 100}}));

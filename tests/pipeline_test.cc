@@ -54,6 +54,35 @@ TEST(PipelineTest, EqualTsBefTieDispatchesAtWatermark) {
   EXPECT_TRUE(p.Exhausted());
 }
 
+// Session resume (v5): a closed client re-admitted via Reopen continues at
+// a floor of max(its last pushed ts_bef, the dispatch floor), so Theorem 1
+// monotonicity survives the disconnect/reconnect cycle.
+TEST(PipelineTest, ReopenRestoresClosedClientAtItsFloor) {
+  TwoLevelPipeline p(2);
+  p.Push(0, T(0, 1, 2));
+  p.Push(0, T(0, 5, 6));
+  p.Push(1, T(1, 3, 4));
+  p.Close(0);  // the disconnect: client 0 vanishes with a trace buffered
+  EXPECT_EQ(p.Dispatch()->ts_bef(), 1u);
+  EXPECT_EQ(p.Dispatch()->ts_bef(), 3u);
+  // Client 1 is open and empty, so ts_bef=5 is beyond the watermark.
+  EXPECT_FALSE(p.Dispatch().has_value());
+
+  // Reconnect: client 0's floor is its own last push (5), which exceeds
+  // the dispatch floor (3).
+  const Timestamp floor = p.Reopen(0);
+  EXPECT_EQ(floor, 5u);
+  p.Push(0, T(0, floor, floor + 1));  // exactly at the floor: legal
+  p.Push(0, T(0, 7, 8));
+  p.Push(1, T(1, 9, 10));
+  p.Close(0);
+  p.Close(1);
+  std::vector<Timestamp> order;
+  while (auto t = p.Dispatch()) order.push_back(t->ts_bef());
+  EXPECT_EQ(order, (std::vector<Timestamp>{5, 5, 7, 9}));
+  EXPECT_TRUE(p.Exhausted());
+}
+
 TEST(PipelineTest, StarvesOnOpenEmptyBuffer) {
   TwoLevelPipeline p(2);
   p.Push(0, T(0, 1, 2));

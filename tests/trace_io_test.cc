@@ -42,6 +42,35 @@ TEST(TraceIoTest, EncodeDecodeRoundTrip) {
   EXPECT_EQ((*decoded)[5].write_set[1].value, kTombstoneValue);
 }
 
+// Regression for the campaign path: a range scan's scanned interval
+// [range_first, range_first + range_count) must survive the codec
+// *bit-exactly* — decode followed by re-encode reproduces the original
+// bytes, so no field (range bounds, absent keys, FOR UPDATE flag, ...) is
+// silently normalized or dropped anywhere in the record layout.
+TEST(TraceIoTest, RangeScanReencodeIsByteIdentical) {
+  Trace scan = MakeReadTrace(11, 3, {100, 140}, {{64, 7}, {66, 9}});
+  scan.range_first = 64;
+  scan.range_count = 16;
+  scan.absent_reads = {65, 67, 79};
+  Trace edge = MakeReadTrace(12, 3, {150, 151}, {});
+  edge.range_first = ~Key{0} - 3;  // scan window touching the key-space end
+  edge.range_count = 4;
+  edge.for_update = true;
+  const std::vector<Trace> traces = {scan, edge};
+
+  const std::string bytes = EncodeTraces(traces);
+  auto decoded = DecodeTraces(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_EQ(decoded->size(), traces.size());
+  EXPECT_EQ((*decoded)[0].range_first, 64u);
+  EXPECT_EQ((*decoded)[0].range_count, 16u);
+  EXPECT_EQ((*decoded)[0].absent_reads, (std::vector<Key>{65, 67, 79}));
+  EXPECT_EQ((*decoded)[1].range_first, ~Key{0} - 3);
+  EXPECT_EQ((*decoded)[1].range_count, 4u);
+  EXPECT_TRUE((*decoded)[1].for_update);
+  EXPECT_EQ(EncodeTraces(*decoded), bytes);
+}
+
 TEST(TraceIoTest, EmptyStreamRoundTrip) {
   auto decoded = DecodeTraces(EncodeTraces({}));
   ASSERT_TRUE(decoded.ok());

@@ -1,0 +1,328 @@
+// leopard_campaign — scenario-driven anomaly-hunting campaign runner
+// (DESIGN.md §14).
+//
+//   leopard_campaign --backend=sqlite --scenario=phantom --nodes=2
+//                    --clock-skew-us=500 --connect=127.0.0.1:7411
+//
+// Executes a long-running campaign scenario against a registered backend
+// (MiniDB or a real SQLite file, both behind the same TransactionalKv
+// adapter surface) and streams every trace *live* into a running
+// leopard_serve over the wire protocol — no trace files. Violations the
+// server detects stream back and are printed here.
+//
+// Flags (defaults in brackets):
+//   --backend=minidb|sqlite     [minidb]
+//   --scenario=phantom|longtxn|hotrow|reconnect   [phantom]
+//   --connect=host:port         verifier endpoint (required)
+//   --nodes=N                   [1]  harness nodes (threads + connections)
+//   --sessions=N                [2]  sessions (wire streams) per node
+//   --txns=N                    [50] committed txns per session
+//   --clock-skew-us=N           [0]  node i's clock runs i*N us ahead
+//   --apply-lag-us=N            [0]  write/commit ts_aft closes N us late
+//   --isolation=SPEC            [ser] per-session IL tags, e.g.
+//                               "0:rc,1:si,*:ser" (global session index)
+//   --engine-isolation=rc|rr|si|ser  [ser] MiniDB engine default level
+//   --faults=knob:prob,...      adapter-boundary fault wrapper
+//                               (stale_snapshot, hide_row, lost_write,
+//                               resurrect_deleted); engine knobs
+//                               (drop_lock, skip_fuw, ...) apply to MiniDB
+//   --engine-faults=knob:prob,... MiniDB in-engine fault plan
+//   --seed=N                    [1]
+//   --keys=N                    [64]   key-space size
+//   --scan-span=N               [16]   phantom scan width
+//   --ops-per-txn=N             [8]    longtxn statements per txn
+//   --think-us=N                [scenario default] think time between ops
+//   --reconnect-every=N         [scenario default] disconnect + resume
+//                               every N committed txns per node
+//   --batch=N                   [64] traces per wire batch
+//   --journal-mode=rollback|wal [rollback] (sqlite)
+//   --busy-timeout-ms=N         [0] (sqlite)
+//   --sqlite-path=FILE          [temp file] (sqlite)
+//   --metrics-out=FILE(.json|.csv)  campaign.* / adapter.* counters
+//
+// Exit status: 0 = campaign clean, 1 = violations reported, 2 = bad usage
+// or runtime error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "campaign/backend.h"
+#include "campaign/runner.h"
+#include "campaign/scenario.h"
+#include "isolation/isolation.h"
+#include "obs/export.h"
+#include "obs/registry.h"
+
+namespace leopard {
+namespace {
+
+struct ToolOptions {
+  std::string backend = "minidb";
+  std::string scenario = "phantom";
+  std::string connect;
+  std::string isolation_spec;
+  std::string engine_isolation = "ser";
+  std::string faults_spec;
+  std::string engine_faults_spec;
+  std::string journal_mode = "rollback";
+  std::string sqlite_path;
+  std::string metrics_out;
+  campaign::CampaignOptions run;
+  campaign::ScenarioOptions scen;
+  int busy_timeout_ms = 0;
+};
+
+void Usage() {
+  std::string backends, scenarios;
+  for (const std::string& b : campaign::BackendNames()) {
+    if (!backends.empty()) backends += "|";
+    backends += b;
+  }
+  for (const std::string& s : campaign::ScenarioNames()) {
+    if (!scenarios.empty()) scenarios += "|";
+    scenarios += s;
+  }
+  std::fprintf(
+      stderr,
+      "usage: leopard_campaign --connect=host:port [--backend=%s]"
+      " [--scenario=%s] [--nodes=N] [--sessions=N] [--txns=N]"
+      " [--clock-skew-us=N] [--apply-lag-us=N] [--isolation=SPEC]"
+      " [--engine-isolation=rc|rr|si|ser] [--faults=knob:prob,...]"
+      " [--engine-faults=knob:prob,...] [--seed=N] [--keys=N]"
+      " [--scan-span=N] [--ops-per-txn=N] [--think-us=N]"
+      " [--reconnect-every=N] [--batch=N] [--journal-mode=rollback|wal]"
+      " [--busy-timeout-ms=N] [--sqlite-path=FILE]"
+      " [--metrics-out=FILE(.json|.csv)]\n",
+      backends.c_str(), scenarios.c_str());
+}
+
+bool ParseFaults(const std::string& spec, FaultPlan& plan) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    std::string item = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    size_t colon = item.find(':');
+    if (colon == std::string::npos) return false;
+    std::string knob = item.substr(0, colon);
+    double prob = std::atof(item.c_str() + colon + 1);
+    if (knob == "drop_lock") {
+      plan.drop_lock_prob = prob;
+    } else if (knob == "stale_snapshot") {
+      plan.stale_snapshot_prob = prob;
+    } else if (knob == "dirty_read") {
+      plan.dirty_read_prob = prob;
+    } else if (knob == "future_read") {
+      plan.future_read_prob = prob;
+    } else if (knob == "lost_write") {
+      plan.lost_write_prob = prob;
+    } else if (knob == "skip_fuw") {
+      plan.skip_fuw_prob = prob;
+    } else if (knob == "skip_certifier") {
+      plan.skip_certifier_prob = prob;
+    } else if (knob == "resurrect_deleted") {
+      plan.resurrect_deleted_prob = prob;
+    } else if (knob == "hide_row") {
+      plan.hide_row_prob = prob;
+    } else {
+      return false;
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, ToolOptions& opts) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto eat = [&arg](const char* prefix, std::string& out) {
+      size_t n = std::strlen(prefix);
+      if (arg.compare(0, n, prefix) != 0) return false;
+      out = arg.substr(n);
+      return true;
+    };
+    std::string value;
+    if (eat("--backend=", opts.backend) ||
+        eat("--scenario=", opts.scenario) ||
+        eat("--connect=", opts.run.connect) ||
+        eat("--isolation=", opts.isolation_spec) ||
+        eat("--engine-isolation=", opts.engine_isolation) ||
+        eat("--faults=", opts.faults_spec) ||
+        eat("--engine-faults=", opts.engine_faults_spec) ||
+        eat("--journal-mode=", opts.journal_mode) ||
+        eat("--sqlite-path=", opts.sqlite_path) ||
+        eat("--metrics-out=", opts.metrics_out)) {
+      continue;
+    }
+    if (eat("--nodes=", value)) {
+      opts.run.nodes =
+          static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (eat("--sessions=", value)) {
+      opts.run.sessions_per_node =
+          static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (eat("--txns=", value)) {
+      opts.run.txns_per_session =
+          static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (eat("--clock-skew-us=", value)) {
+      opts.run.clock_skew_us =
+          static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (eat("--apply-lag-us=", value)) {
+      opts.run.apply_lag_us =
+          static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (eat("--seed=", value)) {
+      opts.run.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (eat("--keys=", value)) {
+      opts.scen.keys =
+          static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (eat("--scan-span=", value)) {
+      opts.scen.scan_span =
+          static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (eat("--ops-per-txn=", value)) {
+      opts.scen.ops_per_txn =
+          static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (eat("--think-us=", value)) {
+      opts.scen.think_time_us =
+          static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (eat("--reconnect-every=", value)) {
+      opts.scen.disconnect_every_txns =
+          static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (eat("--batch=", value)) {
+      opts.run.batch_traces = std::strtoull(value.c_str(), nullptr, 10);
+      if (opts.run.batch_traces == 0) opts.run.batch_traces = 1;
+    } else if (eat("--busy-timeout-ms=", value)) {
+      opts.busy_timeout_ms =
+          static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int RunTool(int argc, char** argv) {
+  ToolOptions opts;
+  if (!ParseArgs(argc, argv, opts)) {
+    Usage();
+    return 2;
+  }
+  if (opts.run.connect.empty()) {
+    std::fprintf(stderr, "leopard_campaign: --connect=host:port required\n");
+    Usage();
+    return 2;
+  }
+
+  obs::MetricsRegistry registry;
+  opts.run.metrics = &registry;
+
+  if (!opts.isolation_spec.empty()) {
+    auto parsed = isolation::SessionIlMap::Parse(opts.isolation_spec);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "leopard_campaign: --isolation: %s\n",
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    opts.run.il_map = *parsed;
+  }
+
+  campaign::BackendOptions bo;
+  bo.sessions = opts.run.nodes * opts.run.sessions_per_node;
+  bo.fault_seed = opts.run.seed;
+  bo.sqlite_path = opts.sqlite_path;
+  bo.sqlite_journal_mode = opts.journal_mode;
+  bo.sqlite_busy_timeout_ms = opts.busy_timeout_ms;
+  bo.metrics = &registry;
+  auto engine_il = isolation::ParseIsolationLevel(opts.engine_isolation);
+  if (!engine_il.ok()) {
+    std::fprintf(stderr, "leopard_campaign: --engine-isolation: %s\n",
+                 engine_il.status().ToString().c_str());
+    return 2;
+  }
+  bo.isolation = *engine_il;
+  if (!opts.engine_faults_spec.empty() &&
+      !ParseFaults(opts.engine_faults_spec, bo.engine_faults)) {
+    std::fprintf(stderr, "leopard_campaign: bad --engine-faults spec\n");
+    return 2;
+  }
+
+  auto backend = campaign::MakeBackend(opts.backend, bo);
+  if (!backend.ok()) {
+    std::fprintf(stderr, "leopard_campaign: %s\n",
+                 backend.status().ToString().c_str());
+    return 2;
+  }
+  std::unique_ptr<TransactionalKv> db = std::move(*backend);
+
+  // Adapter-boundary faults wrap *any* backend — including the real one.
+  campaign::FaultyKv* faulty = nullptr;
+  if (!opts.faults_spec.empty()) {
+    FaultPlan plan;
+    if (!ParseFaults(opts.faults_spec, plan)) {
+      std::fprintf(stderr, "leopard_campaign: bad --faults spec\n");
+      return 2;
+    }
+    auto wrapped = std::make_unique<campaign::FaultyKv>(
+        std::move(db), plan, opts.run.seed);
+    faulty = wrapped.get();
+    db = std::move(wrapped);
+  }
+
+  auto scenario = campaign::MakeScenario(opts.scenario, opts.scen);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "leopard_campaign: %s\n",
+                 scenario.status().ToString().c_str());
+    return 2;
+  }
+
+  std::printf(
+      "[leopard_campaign] %s scenario against %s: %u node(s) x %u "
+      "session(s) x %u txns -> %s\n",
+      opts.scenario.c_str(), opts.backend.c_str(), opts.run.nodes,
+      opts.run.sessions_per_node, opts.run.txns_per_session,
+      opts.run.connect.c_str());
+  std::fflush(stdout);
+
+  campaign::CampaignRunner runner(db.get(), std::move(*scenario), opts.run);
+  auto result = runner.Run();
+  if (!result.ok()) {
+    std::fprintf(stderr, "leopard_campaign: %s\n",
+                 result.status().ToString().c_str());
+    return 2;
+  }
+
+  std::printf(
+      "[leopard_campaign] %llu committed, %llu aborted, %llu traces "
+      "streamed, %llu reconnects, %llu faults injected\n",
+      static_cast<unsigned long long>(result->committed),
+      static_cast<unsigned long long>(result->aborted),
+      static_cast<unsigned long long>(result->traces_pushed),
+      static_cast<unsigned long long>(result->reconnects),
+      static_cast<unsigned long long>(faulty != nullptr
+                                          ? faulty->injected_count()
+                                          : 0));
+  size_t shown = 0;
+  for (const auto& bug : result->violations) {
+    std::printf("  %s\n", bug.ToString().c_str());
+    if (++shown == 10) break;
+  }
+  if (result->violations.size() > shown) {
+    std::printf("  ... and %zu more\n", result->violations.size() - shown);
+  }
+
+  if (!opts.metrics_out.empty()) {
+    Status w = obs::WriteMetricsFile(registry, opts.metrics_out);
+    if (!w.ok()) {
+      std::fprintf(stderr, "%s\n", w.ToString().c_str());
+      return 2;
+    }
+  }
+  return result->violations.empty() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace leopard
+
+int main(int argc, char** argv) { return leopard::RunTool(argc, argv); }

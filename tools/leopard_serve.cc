@@ -15,7 +15,7 @@
 //   --expect-clients=N    [0]   sessions to serve before reporting;
 //                               0 = run until SIGINT
 //   --max-streams=N       [256] stream capacity across all sessions
-//   --protocol=pg|innodb|occ|to|2pl|percolator   [pg]
+//   --protocol=pg|innodb|occ|to|2pl|percolator|sqlite   [pg]
 //   --isolation=rc|rr|si|ser                     [ser]
 //   --idle-timeout-ms=N   [30000]
 //   --max-inflight-mb=N   [64]  backpressure threshold
@@ -92,7 +92,7 @@ void Usage() {
       stderr,
       "usage: leopard_serve [--port=N] [--port-file=FILE] [--shards=N]"
       " [--expect-clients=N] [--max-streams=N]"
-      " [--protocol=pg|innodb|occ|to|2pl|percolator]"
+      " [--protocol=pg|innodb|occ|to|2pl|percolator|sqlite]"
       " [--isolation=rc|rr|si|ser] [--idle-timeout-ms=N]"
       " [--max-inflight-mb=N] [--metrics-out=FILE(.json|.csv)]"
       " [--progress-interval-ms=N] [--diagnose] [--diagnose-out=DIR]"
@@ -166,6 +166,12 @@ bool ParseArgs(int argc, char** argv, ServeOptions& opts) {
 bool ResolveConfig(const ServeOptions& opts, VerifierConfig& config) {
   Protocol protocol;
   IsolationLevel isolation;
+  if (opts.protocol == "sqlite") {
+    // Real-engine mechanism profile (used by SQLite campaigns): CR without
+    // statement-level shrinking, ME, cycle-mode SC, no FUW.
+    config = ConfigForSqlite();
+    return true;
+  }
   if (opts.protocol == "pg") {
     protocol = Protocol::kMvcc2plSsi;
   } else if (opts.protocol == "innodb") {
